@@ -1,0 +1,270 @@
+//! The AprioriTid algorithm (Agrawal & Srikant, VLDB 1994).
+//!
+//! AprioriTid generates candidates exactly like Apriori but, after pass
+//! 1, never rescans the raw database: it maintains `C̄_k`, a per-
+//! transaction list of the candidate ids the transaction contains. A
+//! size-`k+1` candidate is contained in a transaction iff both of its
+//! size-`k` generators are in the transaction's list, so each pass is a
+//! join over the (shrinking) `C̄` representation. Transactions whose
+//! lists empty out are dropped entirely — the behaviour that makes the
+//! algorithm fast in late passes and memory-hungry in pass 2.
+
+use crate::candidate::{apriori_gen, gen_pairs};
+use crate::itemsets::{FrequentItemsets, Itemset};
+use crate::stats::MiningStats;
+use crate::{ItemsetMiner, MinSupport, MiningResult};
+use dm_dataset::{DataError, TransactionDb};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Frequent-itemset miner using the candidate-id list representation.
+#[derive(Debug, Clone)]
+pub struct AprioriTid {
+    min_support: MinSupport,
+    max_len: Option<usize>,
+}
+
+impl AprioriTid {
+    /// Creates a miner with the given threshold.
+    pub fn new(min_support: MinSupport) -> Self {
+        Self {
+            min_support,
+            max_len: None,
+        }
+    }
+
+    /// Stops after mining itemsets of this size.
+    pub fn with_max_len(mut self, max_len: usize) -> Self {
+        self.max_len = Some(max_len);
+        self
+    }
+}
+
+impl ItemsetMiner for AprioriTid {
+    fn name(&self) -> &'static str {
+        "apriori-tid"
+    }
+
+    fn mine(&self, db: &TransactionDb) -> Result<MiningResult, DataError> {
+        let min_count = self.min_support.resolve(db)?;
+        let mut stats = MiningStats::default();
+        let mut levels: Vec<Vec<(Itemset, usize)>> = Vec::new();
+
+        // ---- Pass 1: dense item counting + initial C̄_1. ----
+        let t0 = Instant::now();
+        let mut counts = vec![0usize; db.n_items() as usize];
+        for txn in db.iter() {
+            for &item in txn {
+                counts[item as usize] += 1;
+            }
+        }
+        let l1: Vec<(Itemset, usize)> = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c >= min_count)
+            .map(|(item, &c)| (vec![item as u32], c))
+            .collect();
+        // Dense id per frequent item.
+        let mut item_id = vec![u32::MAX; db.n_items() as usize];
+        for (id, (items, _)) in l1.iter().enumerate() {
+            item_id[items[0] as usize] = id as u32;
+        }
+        // C̄_1: per transaction, the (sorted) ids of its frequent items.
+        let mut tidlists: Vec<Vec<u32>> = db
+            .iter()
+            .map(|txn| {
+                txn.iter()
+                    .map(|&i| item_id[i as usize])
+                    .filter(|&id| id != u32::MAX)
+                    .collect::<Vec<u32>>()
+            })
+            .filter(|ids: &Vec<u32>| !ids.is_empty())
+            .collect();
+        stats.push(1, db.n_items() as usize, l1.len(), t0.elapsed());
+        levels.push(l1);
+
+        // ---- Passes k ≥ 2 over the C̄ representation. ----
+        let mut k = 1usize;
+        // Stamp array marking which previous-level ids the current
+        // transaction contains (generation-stamped to avoid clearing).
+        let mut stamp: Vec<u32> = Vec::new();
+        loop {
+            if self.max_len.is_some_and(|m| k >= m) {
+                break;
+            }
+            let prev = &levels[k - 1];
+            if prev.len() < 2 {
+                break;
+            }
+            let t0 = Instant::now();
+            let prev_sets: Vec<Itemset> = prev.iter().map(|(i, _)| i.clone()).collect();
+            let candidates = if k == 1 {
+                gen_pairs(&prev_sets.iter().map(|i| i[0]).collect::<Vec<_>>())
+            } else {
+                apriori_gen(&prev_sets)
+            };
+            if candidates.is_empty() {
+                break;
+            }
+            let n_candidates = candidates.len();
+
+            // Each candidate's two generators as dense prev-level ids.
+            let prev_id: HashMap<&[u32], u32> = prev_sets
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.as_slice(), i as u32))
+                .collect();
+            let mut generators: Vec<(u32, u32)> = Vec::with_capacity(candidates.len());
+            // Candidates grouped by first generator for the per-txn probe.
+            let mut by_g1: Vec<Vec<u32>> = vec![Vec::new(); prev_sets.len()];
+            for (cid, cand) in candidates.iter().enumerate() {
+                let n = cand.len();
+                let mut g1: Itemset = cand.clone();
+                g1.remove(n - 1); // drop last item
+                let mut g2: Itemset = cand.clone();
+                g2.remove(n - 2); // drop second-to-last item
+                let id1 = prev_id[g1.as_slice()];
+                let id2 = prev_id[g2.as_slice()];
+                generators.push((id1, id2));
+                by_g1[id1 as usize].push(cid as u32);
+            }
+
+            // Join pass over C̄_{k-1}.
+            stamp.clear();
+            stamp.resize(prev_sets.len(), u32::MAX);
+            let mut cand_counts = vec![0usize; candidates.len()];
+            let mut next_tidlists: Vec<Vec<u32>> = Vec::with_capacity(tidlists.len());
+            for (gen, ids) in tidlists.iter().enumerate() {
+                let gen = gen as u32;
+                for &id in ids {
+                    stamp[id as usize] = gen;
+                }
+                let mut present: Vec<u32> = Vec::new();
+                for &id in ids {
+                    for &cid in &by_g1[id as usize] {
+                        let (_, g2) = generators[cid as usize];
+                        if stamp[g2 as usize] == gen {
+                            cand_counts[cid as usize] += 1;
+                            present.push(cid);
+                        }
+                    }
+                }
+                if !present.is_empty() {
+                    present.sort_unstable();
+                    next_tidlists.push(present);
+                }
+            }
+
+            // Filter to the frequent candidates and remap ids densely.
+            let mut keep: Vec<u32> = Vec::new();
+            let mut new_id = vec![u32::MAX; candidates.len()];
+            let mut lk: Vec<(Itemset, usize)> = Vec::new();
+            for (cid, cand) in candidates.into_iter().enumerate() {
+                if cand_counts[cid] >= min_count {
+                    new_id[cid] = keep.len() as u32;
+                    keep.push(cid as u32);
+                    lk.push((cand, cand_counts[cid]));
+                }
+            }
+            for ids in &mut next_tidlists {
+                ids.retain_mut(|cid| {
+                    let mapped = new_id[*cid as usize];
+                    if mapped == u32::MAX {
+                        false
+                    } else {
+                        *cid = mapped;
+                        true
+                    }
+                });
+            }
+            next_tidlists.retain(|ids| !ids.is_empty());
+            tidlists = next_tidlists;
+
+            stats.push(k + 1, n_candidates, lk.len(), t0.elapsed());
+            let done = lk.is_empty();
+            levels.push(lk);
+            k += 1;
+            if done || tidlists.is_empty() {
+                break;
+            }
+        }
+
+        Ok(MiningResult {
+            itemsets: FrequentItemsets::from_levels(levels, db.len()),
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Apriori;
+
+    fn paper_db() -> TransactionDb {
+        TransactionDb::new(vec![
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+        ])
+    }
+
+    #[test]
+    fn matches_paper_example() {
+        let result = AprioriTid::new(MinSupport::Count(2))
+            .mine(&paper_db())
+            .unwrap();
+        let f = &result.itemsets;
+        assert_eq!(f.level_len(1), 4);
+        assert_eq!(f.level_len(2), 4);
+        assert_eq!(f.level_len(3), 1);
+        assert_eq!(f.support_count(&[2, 3, 5]), Some(2));
+        assert!(f.verify_downward_closure());
+    }
+
+    #[test]
+    fn agrees_with_apriori_on_paper_db() {
+        let db = paper_db();
+        for min in 1..=4 {
+            let a = Apriori::new(MinSupport::Count(min)).mine(&db).unwrap();
+            let b = AprioriTid::new(MinSupport::Count(min)).mine(&db).unwrap();
+            assert_eq!(a.itemsets, b.itemsets, "min_count {min}");
+        }
+    }
+
+    #[test]
+    fn candidate_counts_match_apriori() {
+        // The candidate sets are identical by construction; the per-pass
+        // stats must agree on candidate and frequent counts.
+        let db = paper_db();
+        let a = Apriori::new(MinSupport::Count(2)).mine(&db).unwrap();
+        let b = AprioriTid::new(MinSupport::Count(2)).mine(&db).unwrap();
+        for (pa, pb) in a.stats.passes.iter().zip(&b.stats.passes) {
+            assert_eq!(pa.candidates, pb.candidates, "pass {}", pa.pass);
+            assert_eq!(pa.frequent, pb.frequent, "pass {}", pa.pass);
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_databases() {
+        let empty = TransactionDb::new(vec![]);
+        assert!(AprioriTid::new(MinSupport::Count(1))
+            .mine(&empty)
+            .unwrap()
+            .itemsets
+            .is_empty());
+        let singles = TransactionDb::new(vec![vec![0], vec![1]]);
+        let r = AprioriTid::new(MinSupport::Count(1)).mine(&singles).unwrap();
+        assert_eq!(r.itemsets.max_len(), 1);
+    }
+
+    #[test]
+    fn max_len_respected() {
+        let r = AprioriTid::new(MinSupport::Count(2))
+            .with_max_len(2)
+            .mine(&paper_db())
+            .unwrap();
+        assert_eq!(r.itemsets.max_len(), 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Exhaustive reference miner used as the correctness oracle.
+
+use crate::itemsets::{FrequentItemsets, Itemset};
+use crate::stats::MiningStats;
+use crate::{ItemsetMiner, MinSupport, MiningResult};
+use dm_dataset::{DataError, TransactionDb};
+use std::time::Instant;
+
+/// Upper bound on the item universe accepted by [`BruteForce`]; beyond
+/// this the 2^N subset enumeration is infeasible and certainly a bug in
+/// the caller.
+pub const MAX_BRUTE_ITEMS: u32 = 20;
+
+/// Enumerates *every* subset of the item universe and counts its support
+/// with a full database scan. Exponential — only usable on tiny
+/// universes, which is exactly its role: the oracle the property tests
+/// compare the real miners against.
+#[derive(Debug, Clone)]
+pub struct BruteForce {
+    min_support: MinSupport,
+    max_len: Option<usize>,
+}
+
+impl BruteForce {
+    /// Creates a reference miner with the given threshold.
+    pub fn new(min_support: MinSupport) -> Self {
+        Self {
+            min_support,
+            max_len: None,
+        }
+    }
+
+    /// Stops after itemsets of this size.
+    pub fn with_max_len(mut self, max_len: usize) -> Self {
+        self.max_len = Some(max_len);
+        self
+    }
+}
+
+impl ItemsetMiner for BruteForce {
+    fn name(&self) -> &'static str {
+        "brute-force"
+    }
+
+    fn mine(&self, db: &TransactionDb) -> Result<MiningResult, DataError> {
+        let min_count = self.min_support.resolve(db)?;
+        let n = db.n_items();
+        if n > MAX_BRUTE_ITEMS {
+            return Err(DataError::InvalidParameter(format!(
+                "brute-force mining over {n} items would enumerate 2^{n} subsets \
+                 (limit {MAX_BRUTE_ITEMS})"
+            )));
+        }
+        let t0 = Instant::now();
+        let max_len = self.max_len.unwrap_or(n as usize);
+        let mut levels: Vec<Vec<(Itemset, usize)>> = Vec::new();
+        let mut candidates_total = 0usize;
+        // Enumerate subsets as bitmasks, bucketed by popcount.
+        for mask in 1u32..(1u32 << n) {
+            let size = mask.count_ones() as usize;
+            if size > max_len {
+                continue;
+            }
+            candidates_total += 1;
+            let itemset: Itemset = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+            let count = db.support_count(&itemset);
+            if count >= min_count {
+                while levels.len() < size {
+                    levels.push(Vec::new());
+                }
+                levels[size - 1].push((itemset, count));
+            }
+        }
+        let itemsets = FrequentItemsets::from_levels(levels, db.len());
+        let mut stats = MiningStats::default();
+        stats.push(1, candidates_total, itemsets.len(), t0.elapsed());
+        Ok(MiningResult { itemsets, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_db() -> TransactionDb {
+        TransactionDb::new(vec![
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+        ])
+    }
+
+    #[test]
+    fn matches_paper_example() {
+        let f = BruteForce::new(MinSupport::Count(2))
+            .mine(&paper_db())
+            .unwrap()
+            .itemsets;
+        assert_eq!(f.level_len(1), 4);
+        assert_eq!(f.level_len(2), 4);
+        assert_eq!(f.level_len(3), 1);
+        assert!(f.verify_downward_closure());
+    }
+
+    #[test]
+    fn rejects_large_universes() {
+        let db = TransactionDb::new(vec![vec![0, 25]]);
+        assert!(BruteForce::new(MinSupport::Count(1)).mine(&db).is_err());
+    }
+
+    #[test]
+    fn max_len_cap() {
+        let f = BruteForce::new(MinSupport::Count(2))
+            .with_max_len(1)
+            .mine(&paper_db())
+            .unwrap()
+            .itemsets;
+        assert_eq!(f.max_len(), 1);
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = TransactionDb::new(vec![]);
+        let f = BruteForce::new(MinSupport::Count(1)).mine(&db).unwrap().itemsets;
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,310 @@
+//! The hash tree used by Apriori to count candidate support in time
+//! sublinear in the number of candidates per transaction.
+//!
+//! Interior nodes hash one item to a fixed fanout of children; leaves
+//! hold candidate itemsets with their counts. A leaf that outgrows
+//! `leaf_capacity` at depth `< k` splits into an interior node. During
+//! counting, a transaction walks every hash path its items induce and
+//! performs subset checks only at the (few) leaves it reaches; a
+//! generation stamp prevents counting a leaf twice for one transaction.
+
+use crate::itemsets::Itemset;
+use dm_dataset::transactions::is_subset_sorted;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Child node ids, one per hash bucket.
+    Interior(Vec<usize>),
+    /// Candidates with counts, plus the generation stamp of the last
+    /// transaction that visited this leaf.
+    Leaf {
+        candidates: Vec<(Itemset, usize)>,
+        last_visit: u64,
+    },
+}
+
+/// A hash tree over size-`k` candidate itemsets.
+#[derive(Debug, Clone)]
+pub struct HashTree {
+    nodes: Vec<Node>,
+    k: usize,
+    fanout: usize,
+    leaf_capacity: usize,
+    n_candidates: usize,
+    generation: u64,
+}
+
+impl HashTree {
+    /// Creates an empty tree for size-`k` candidates.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `fanout < 2` or `leaf_capacity == 0`.
+    pub fn new(k: usize, fanout: usize, leaf_capacity: usize) -> Self {
+        assert!(k >= 1, "candidate size must be >= 1");
+        assert!(fanout >= 2, "fanout must be >= 2");
+        assert!(leaf_capacity >= 1, "leaf capacity must be >= 1");
+        Self {
+            nodes: vec![Node::Leaf {
+                candidates: Vec::new(),
+                last_visit: 0,
+            }],
+            k,
+            fanout,
+            leaf_capacity,
+            n_candidates: 0,
+            generation: 0,
+        }
+    }
+
+    /// Builds a tree holding all of `candidates` (each sorted, length `k`).
+    pub fn build(candidates: Vec<Itemset>, k: usize, fanout: usize, leaf_capacity: usize) -> Self {
+        let mut tree = Self::new(k, fanout, leaf_capacity);
+        for c in candidates {
+            tree.insert(c);
+        }
+        tree
+    }
+
+    /// Number of candidates stored.
+    pub fn len(&self) -> usize {
+        self.n_candidates
+    }
+
+    /// Whether the tree holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.n_candidates == 0
+    }
+
+    /// Inserts a sorted size-`k` candidate with count 0.
+    pub fn insert(&mut self, candidate: Itemset) {
+        debug_assert_eq!(candidate.len(), self.k);
+        debug_assert!(candidate.windows(2).all(|w| w[0] < w[1]));
+        let mut node = 0usize;
+        let mut depth = 0usize;
+        loop {
+            match &mut self.nodes[node] {
+                Node::Interior(children) => {
+                    node = children[candidate[depth] as usize % self.fanout];
+                    depth += 1;
+                }
+                Node::Leaf { candidates, .. } => {
+                    candidates.push((candidate, 0));
+                    self.n_candidates += 1;
+                    if candidates.len() > self.leaf_capacity && depth < self.k {
+                        self.split_leaf(node, depth);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Splits the leaf at `node` (which sits at `depth`) into an interior
+    /// node, redistributing its candidates by the hash of their item at
+    /// `depth`.
+    fn split_leaf(&mut self, node: usize, depth: usize) {
+        let candidates = match std::mem::replace(
+            &mut self.nodes[node],
+            Node::Interior(Vec::new()),
+        ) {
+            Node::Leaf { candidates, .. } => candidates,
+            Node::Interior(_) => unreachable!("split target is a leaf"),
+        };
+        let mut children = Vec::with_capacity(self.fanout);
+        for _ in 0..self.fanout {
+            children.push(self.nodes.len());
+            self.nodes.push(Node::Leaf {
+                candidates: Vec::new(),
+                last_visit: 0,
+            });
+        }
+        for (cand, count) in candidates {
+            let child = children[cand[depth] as usize % self.fanout];
+            match &mut self.nodes[child] {
+                Node::Leaf { candidates, .. } => candidates.push((cand, count)),
+                Node::Interior(_) => unreachable!("fresh children are leaves"),
+            }
+        }
+        self.nodes[node] = Node::Interior(children);
+        // Note: a child may itself exceed capacity when many candidates
+        // share a hash path. It will split lazily on the next insert that
+        // lands in it; at depth == k it is allowed to overflow.
+    }
+
+    /// Counts this tree's candidates contained in `txn` (sorted item ids),
+    /// incrementing their counts.
+    pub fn count_transaction(&mut self, txn: &[u32]) {
+        if txn.len() < self.k || self.is_empty() {
+            return;
+        }
+        self.generation += 1;
+        let generation = self.generation;
+        let fanout = self.fanout;
+        let k = self.k;
+        // Explicit DFS stack of (node id, next transaction position,
+        // depth of the node).
+        let mut stack: Vec<(usize, usize, usize)> = Vec::with_capacity(txn.len() + 4);
+        stack.push((0, 0, 0));
+        while let Some((node, start, depth)) = stack.pop() {
+            match &mut self.nodes[node] {
+                Node::Leaf {
+                    candidates,
+                    last_visit,
+                } => {
+                    if *last_visit == generation {
+                        continue; // already counted for this transaction
+                    }
+                    *last_visit = generation;
+                    for (cand, count) in candidates {
+                        if is_subset_sorted(cand, txn) {
+                            *count += 1;
+                        }
+                    }
+                }
+                Node::Interior(children) => {
+                    // Choosing the (depth+1)-th item at position i must
+                    // leave k - depth - 1 further items after it.
+                    let last = txn.len() - (k - depth);
+                    for (i, &item) in txn.iter().enumerate().take(last + 1).skip(start) {
+                        stack.push((children[item as usize % fanout], i + 1, depth + 1));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains the tree, returning every `(candidate, count)` pair with
+    /// `count >= min_count`, lexicographically sorted.
+    pub fn into_frequent(self, min_count: usize) -> Vec<(Itemset, usize)> {
+        let mut out = Vec::new();
+        for node in self.nodes {
+            if let Node::Leaf { candidates, .. } = node {
+                out.extend(
+                    candidates
+                        .into_iter()
+                        .filter(|&(_, count)| count >= min_count),
+                );
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// All `(candidate, count)` pairs regardless of count, sorted.
+    pub fn into_counts(self) -> Vec<(Itemset, usize)> {
+        self.into_frequent(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_dataset::TransactionDb;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn counts_match_reference_on_small_db() {
+        let db = TransactionDb::new(vec![
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+        ]);
+        let candidates = vec![
+            vec![1, 3],
+            vec![2, 3],
+            vec![2, 5],
+            vec![3, 5],
+            vec![1, 5],
+            vec![4, 5],
+        ];
+        let mut tree = HashTree::build(candidates.clone(), 2, 3, 2);
+        for t in db.iter() {
+            tree.count_transaction(t);
+        }
+        let counts = tree.into_counts();
+        for (cand, count) in counts {
+            assert_eq!(count, db.support_count(&cand), "candidate {cand:?}");
+        }
+    }
+
+    #[test]
+    fn splitting_preserves_counts_randomized() {
+        // Random DB + random candidates; tiny leaf capacity forces deep
+        // splits. Counts must equal the brute-force reference.
+        let mut rng = StdRng::seed_from_u64(99);
+        let txns: Vec<Vec<u32>> = (0..200)
+            .map(|_| {
+                let len = rng.gen_range(1..=12);
+                (0..len).map(|_| rng.gen_range(0..30u32)).collect()
+            })
+            .collect();
+        let db = TransactionDb::new(txns);
+        // Candidates: random sorted triples.
+        let mut candidates: Vec<Itemset> = Vec::new();
+        while candidates.len() < 80 {
+            let mut c: Vec<u32> = (0..3).map(|_| rng.gen_range(0..30u32)).collect();
+            c.sort_unstable();
+            c.dedup();
+            if c.len() == 3 && !candidates.contains(&c) {
+                candidates.push(c);
+            }
+        }
+        let mut tree = HashTree::build(candidates, 3, 4, 1);
+        for t in db.iter() {
+            tree.count_transaction(t);
+        }
+        for (cand, count) in tree.into_counts() {
+            assert_eq!(count, db.support_count(&cand), "candidate {cand:?}");
+        }
+    }
+
+    #[test]
+    fn into_frequent_filters_by_count() {
+        let mut tree = HashTree::new(1, 2, 4);
+        tree.insert(vec![0]);
+        tree.insert(vec![1]);
+        tree.count_transaction(&[0]);
+        tree.count_transaction(&[0, 1]);
+        let frequent = tree.into_frequent(2);
+        assert_eq!(frequent, vec![(vec![0], 2)]);
+    }
+
+    #[test]
+    fn short_transactions_skipped() {
+        let mut tree = HashTree::new(3, 2, 2);
+        tree.insert(vec![1, 2, 3]);
+        tree.count_transaction(&[1, 2]); // too short to contain a 3-set
+        assert_eq!(tree.into_counts(), vec![(vec![1, 2, 3], 0)]);
+    }
+
+    #[test]
+    fn empty_tree_is_safe() {
+        let mut tree = HashTree::new(2, 4, 4);
+        assert!(tree.is_empty());
+        tree.count_transaction(&[1, 2, 3]);
+        assert!(tree.into_counts().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout")]
+    fn rejects_tiny_fanout() {
+        HashTree::new(2, 1, 4);
+    }
+
+    #[test]
+    fn no_double_count_via_multiple_paths() {
+        // Items 0 and 4 share bucket (fanout 4 ⇒ 0 % 4 == 4 % 4), so the
+        // transaction reaches the same leaf along two paths; the
+        // generation stamp must prevent double counting.
+        let mut tree = HashTree::new(2, 4, 1);
+        tree.insert(vec![0, 4]);
+        tree.insert(vec![0, 8]);
+        tree.insert(vec![4, 8]); // force splits among colliding items
+        tree.count_transaction(&[0, 4, 8]);
+        for (cand, count) in tree.into_counts() {
+            assert_eq!(count, 1, "candidate {cand:?}");
+        }
+    }
+}

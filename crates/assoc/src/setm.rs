@@ -1,0 +1,203 @@
+//! SETM (Houtsma & Swami, ICDE 1995) — the set-oriented, SQL-style
+//! miner used as the second baseline in the VLDB-'94 evaluation.
+//!
+//! SETM represents each pass relationally: `bar_k` is the multiset of
+//! `(tid, k-itemset)` *occurrence* records. Pass `k` joins `bar_{k-1}`
+//! with the transaction items (extending each occurrence by every larger
+//! item of its transaction), aggregates occurrences by itemset to get
+//! supports, and filters both the frequent set and the occurrence
+//! relation. Because every occurrence is materialized — with no
+//! `apriori-gen` pruning — SETM's intermediate relations dwarf the
+//! database at low supports, which is exactly the failure mode the
+//! paper's comparison (and experiment E1) exhibits.
+
+use crate::itemsets::{FrequentItemsets, Itemset};
+use crate::stats::MiningStats;
+use crate::{ItemsetMiner, MinSupport, MiningResult};
+use dm_dataset::{DataError, TransactionDb};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Set-oriented miner over `(tid, itemset)` occurrence relations.
+#[derive(Debug, Clone)]
+pub struct Setm {
+    min_support: MinSupport,
+    max_len: Option<usize>,
+}
+
+impl Setm {
+    /// Creates a SETM miner.
+    pub fn new(min_support: MinSupport) -> Self {
+        Self {
+            min_support,
+            max_len: None,
+        }
+    }
+
+    /// Stops after mining itemsets of this size.
+    pub fn with_max_len(mut self, max_len: usize) -> Self {
+        self.max_len = Some(max_len);
+        self
+    }
+}
+
+impl ItemsetMiner for Setm {
+    fn name(&self) -> &'static str {
+        "setm"
+    }
+
+    fn mine(&self, db: &TransactionDb) -> Result<MiningResult, DataError> {
+        let min_count = self.min_support.resolve(db)?;
+        let mut stats = MiningStats::default();
+        let mut levels: Vec<Vec<(Itemset, usize)>> = Vec::new();
+
+        // Pass 1: count items; bar_1 = frequent item occurrences.
+        let t0 = Instant::now();
+        let mut counts = vec![0usize; db.n_items() as usize];
+        for txn in db.iter() {
+            for &item in txn {
+                counts[item as usize] += 1;
+            }
+        }
+        let l1: Vec<(Itemset, usize)> = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c >= min_count)
+            .map(|(item, &c)| (vec![item as u32], c))
+            .collect();
+        let frequent_item = {
+            let mut f = vec![false; db.n_items() as usize];
+            for (items, _) in &l1 {
+                f[items[0] as usize] = true;
+            }
+            f
+        };
+        // Occurrence relation: (tid, itemset).
+        let mut bar: Vec<(u32, Itemset)> = Vec::new();
+        for (tid, txn) in db.iter().enumerate() {
+            for &item in txn {
+                if frequent_item[item as usize] {
+                    bar.push((tid as u32, vec![item]));
+                }
+            }
+        }
+        stats.push(1, db.n_items() as usize, l1.len(), t0.elapsed());
+        levels.push(l1);
+
+        let mut k = 1usize;
+        while !levels[k - 1].is_empty() && self.max_len.is_none_or(|m| k < m) {
+            let t0 = Instant::now();
+            // Join: extend each occurrence with every larger item of its
+            // transaction (relational semantics — no candidate pruning).
+            let mut extended: Vec<(u32, Itemset)> = Vec::new();
+            for (tid, itemset) in &bar {
+                let txn = db.transaction(*tid as usize);
+                let max_item = *itemset.last().expect("non-empty");
+                let from = txn.partition_point(|&i| i <= max_item);
+                for &item in &txn[from..] {
+                    let mut cand = itemset.clone();
+                    cand.push(item);
+                    extended.push((*tid, cand));
+                }
+            }
+            if extended.is_empty() {
+                break;
+            }
+            // Aggregate occurrences by itemset ("GROUP BY / HAVING").
+            let mut support: HashMap<&[u32], usize> = HashMap::new();
+            for (_, itemset) in &extended {
+                *support.entry(itemset.as_slice()).or_insert(0) += 1;
+            }
+            let n_candidates = support.len();
+            let mut lk: Vec<(Itemset, usize)> = support
+                .iter()
+                .filter(|&(_, &c)| c >= min_count)
+                .map(|(items, &c)| (items.to_vec(), c))
+                .collect();
+            lk.sort();
+            // Filter the occurrence relation down to frequent itemsets.
+            let keep: std::collections::HashSet<&[u32]> =
+                lk.iter().map(|(i, _)| i.as_slice()).collect();
+            let bar_next: Vec<(u32, Itemset)> = extended
+                .iter()
+                .filter(|(_, itemset)| keep.contains(itemset.as_slice()))
+                .cloned()
+                .collect();
+            drop(extended);
+            bar = bar_next;
+            stats.push(k + 1, n_candidates, lk.len(), t0.elapsed());
+            let done = lk.is_empty();
+            levels.push(lk);
+            k += 1;
+            if done {
+                break;
+            }
+        }
+
+        Ok(MiningResult {
+            itemsets: FrequentItemsets::from_levels(levels, db.len()),
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Apriori;
+
+    fn paper_db() -> TransactionDb {
+        TransactionDb::new(vec![
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+        ])
+    }
+
+    #[test]
+    fn matches_apriori_on_paper_db() {
+        let db = paper_db();
+        for min in 1..=4 {
+            let a = Apriori::new(MinSupport::Count(min)).mine(&db).unwrap();
+            let s = Setm::new(MinSupport::Count(min)).mine(&db).unwrap();
+            assert_eq!(a.itemsets, s.itemsets, "min {min}");
+        }
+    }
+
+    #[test]
+    fn occurrence_relation_counts_match_reference() {
+        let db = paper_db();
+        let r = Setm::new(MinSupport::Count(2)).mine(&db).unwrap();
+        for (itemset, count) in r.itemsets.iter() {
+            assert_eq!(count, db.support_count(itemset));
+        }
+    }
+
+    #[test]
+    fn max_len_and_degenerate_inputs() {
+        let db = paper_db();
+        let r = Setm::new(MinSupport::Count(2))
+            .with_max_len(1)
+            .mine(&db)
+            .unwrap();
+        assert_eq!(r.itemsets.max_len(), 1);
+        let empty = TransactionDb::new(vec![]);
+        assert!(Setm::new(MinSupport::Count(1))
+            .mine(&empty)
+            .unwrap()
+            .itemsets
+            .is_empty());
+    }
+
+    #[test]
+    fn agrees_on_synthetic_workload() {
+        use dm_synth::{QuestConfig, QuestGenerator};
+        let db = QuestGenerator::new(QuestConfig::standard(6.0, 2.0, 600), 9)
+            .unwrap()
+            .generate(10);
+        let a = Apriori::new(MinSupport::Fraction(0.02)).mine(&db).unwrap();
+        let s = Setm::new(MinSupport::Fraction(0.02)).mine(&db).unwrap();
+        assert_eq!(a.itemsets, s.itemsets);
+    }
+}

@@ -1,0 +1,94 @@
+//! Per-pass work statistics, the raw material of experiments E1–E4.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Work performed in one level-wise pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassStats {
+    /// Pass number (itemset size), 1-based.
+    pub pass: usize,
+    /// Number of candidate itemsets counted this pass.
+    pub candidates: usize,
+    /// Number of candidates that turned out frequent.
+    pub frequent: usize,
+    /// Wall-clock time spent in the pass.
+    pub duration: Duration,
+}
+
+/// Statistics for a whole mining run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MiningStats {
+    /// One entry per executed pass, in order.
+    pub passes: Vec<PassStats>,
+}
+
+impl MiningStats {
+    /// Records a pass.
+    pub fn push(&mut self, pass: usize, candidates: usize, frequent: usize, duration: Duration) {
+        self.passes.push(PassStats {
+            pass,
+            candidates,
+            frequent,
+            duration,
+        });
+    }
+
+    /// Number of passes executed.
+    pub fn n_passes(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Total candidates counted across passes.
+    pub fn total_candidates(&self) -> usize {
+        self.passes.iter().map(|p| p.candidates).sum()
+    }
+
+    /// Total frequent itemsets found.
+    pub fn total_frequent(&self) -> usize {
+        self.passes.iter().map(|p| p.frequent).sum()
+    }
+
+    /// Total wall-clock time across passes.
+    pub fn total_duration(&self) -> Duration {
+        self.passes.iter().map(|p| p.duration).sum()
+    }
+}
+
+impl fmt::Display for MiningStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:>4} {:>12} {:>10} {:>12}", "pass", "candidates", "frequent", "time")?;
+        for p in &self.passes {
+            writeln!(
+                f,
+                "{:>4} {:>12} {:>10} {:>10.2?}",
+                p.pass, p.candidates, p.frequent, p.duration
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation() {
+        let mut s = MiningStats::default();
+        s.push(1, 100, 40, Duration::from_millis(5));
+        s.push(2, 780, 120, Duration::from_millis(12));
+        assert_eq!(s.n_passes(), 2);
+        assert_eq!(s.total_candidates(), 880);
+        assert_eq!(s.total_frequent(), 160);
+        assert_eq!(s.total_duration(), Duration::from_millis(17));
+    }
+
+    #[test]
+    fn display_has_one_line_per_pass() {
+        let mut s = MiningStats::default();
+        s.push(1, 10, 5, Duration::ZERO);
+        s.push(2, 8, 2, Duration::ZERO);
+        assert_eq!(s.to_string().lines().count(), 3);
+    }
+}

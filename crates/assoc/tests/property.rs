@@ -1,0 +1,111 @@
+//! Property tests: the production miners must agree with the exhaustive
+//! oracle on arbitrary small databases, and the structural invariants of
+//! frequent-itemset mining must hold.
+
+use dm_assoc::{
+    Ais, Apriori, AprioriHybrid, AprioriTid, BruteForce, CountingStrategy, ItemsetMiner,
+    MinSupport, RuleGenerator, Setm,
+};
+use dm_dataset::TransactionDb;
+use proptest::prelude::*;
+
+/// Strategy: a database of up to 24 transactions over up to 10 items.
+fn small_db() -> impl Strategy<Value = TransactionDb> {
+    prop::collection::vec(prop::collection::vec(0u32..10, 0..6), 1..24)
+        .prop_map(TransactionDb::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_miners_match_brute_force(db in small_db(), min in 1usize..6) {
+        let oracle = BruteForce::new(MinSupport::Count(min)).mine(&db).unwrap();
+        let apriori = Apriori::new(MinSupport::Count(min)).mine(&db).unwrap();
+        let linear = Apriori::new(MinSupport::Count(min))
+            .with_counting(CountingStrategy::Linear)
+            .mine(&db)
+            .unwrap();
+        let tid = AprioriTid::new(MinSupport::Count(min)).mine(&db).unwrap();
+        let ais = Ais::new(MinSupport::Count(min)).mine(&db).unwrap();
+        let setm = Setm::new(MinSupport::Count(min)).mine(&db).unwrap();
+        let hybrid_hi = AprioriHybrid::new(MinSupport::Count(min)).mine(&db).unwrap();
+        let hybrid_lo = AprioriHybrid::new(MinSupport::Count(min))
+            .with_tid_budget(0)
+            .mine(&db)
+            .unwrap();
+        prop_assert_eq!(&oracle.itemsets, &apriori.itemsets);
+        prop_assert_eq!(&oracle.itemsets, &linear.itemsets);
+        prop_assert_eq!(&oracle.itemsets, &tid.itemsets);
+        prop_assert_eq!(&oracle.itemsets, &ais.itemsets);
+        prop_assert_eq!(&oracle.itemsets, &setm.itemsets);
+        prop_assert_eq!(&oracle.itemsets, &hybrid_hi.itemsets);
+        prop_assert_eq!(&oracle.itemsets, &hybrid_lo.itemsets);
+    }
+
+    #[test]
+    fn downward_closure_holds(db in small_db(), min in 1usize..5) {
+        let mined = Apriori::new(MinSupport::Count(min)).mine(&db).unwrap();
+        prop_assert!(mined.itemsets.verify_downward_closure());
+    }
+
+    #[test]
+    fn supports_match_reference_counter(db in small_db(), min in 1usize..5) {
+        let mined = Apriori::new(MinSupport::Count(min)).mine(&db).unwrap();
+        for (itemset, count) in mined.itemsets.iter() {
+            prop_assert_eq!(count, db.support_count(itemset));
+            prop_assert!(count >= min);
+        }
+    }
+
+    #[test]
+    fn rules_respect_confidence_and_derive_from_frequent_sets(
+        db in small_db(),
+        min in 1usize..4,
+        conf in 0.1f64..1.0,
+    ) {
+        let mined = Apriori::new(MinSupport::Count(min)).mine(&db).unwrap();
+        let rules = RuleGenerator::new(conf).generate(&mined.itemsets).unwrap();
+        for r in &rules {
+            prop_assert!(r.confidence >= conf - 1e-12);
+            prop_assert!(r.confidence <= 1.0 + 1e-12);
+            prop_assert!(r.support > 0.0 && r.support <= 1.0);
+            prop_assert!(r.lift > 0.0);
+            // Confidence is exactly supp(A∪C)/supp(A) per the database.
+            let mut union: Vec<u32> = r.antecedent.iter().chain(&r.consequent).copied().collect();
+            union.sort_unstable();
+            let expected = db.support_count(&union) as f64 / db.support_count(&r.antecedent) as f64;
+            prop_assert!((r.confidence - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rule_generation_is_exhaustive(db in small_db(), min in 1usize..4) {
+        // Every (antecedent ⇒ consequent) partition of every frequent
+        // itemset meeting the bar must be emitted (checked for 2-sets
+        // where enumeration is trivial).
+        let conf = 0.6;
+        let mined = Apriori::new(MinSupport::Count(min)).mine(&db).unwrap();
+        let rules = RuleGenerator::new(conf).generate(&mined.itemsets).unwrap();
+        for (itemset, count) in mined.itemsets.level(2) {
+            for (a, c) in [(itemset[0], itemset[1]), (itemset[1], itemset[0])] {
+                let expected_conf = *count as f64 / db.support_count(&[a]) as f64;
+                let present = rules
+                    .iter()
+                    .any(|r| r.antecedent == vec![a] && r.consequent == vec![c]);
+                prop_assert_eq!(present, expected_conf >= conf,
+                    "rule {}=>{} conf {}", a, c, expected_conf);
+            }
+        }
+    }
+
+    #[test]
+    fn fraction_and_count_thresholds_agree(db in small_db()) {
+        let n = db.len();
+        let frac = 0.3;
+        let by_frac = Apriori::new(MinSupport::Fraction(frac)).mine(&db).unwrap();
+        let count = ((frac * n as f64).ceil() as usize).max(1);
+        let by_count = Apriori::new(MinSupport::Count(count)).mine(&db).unwrap();
+        prop_assert_eq!(by_frac.itemsets, by_count.itemsets);
+    }
+}

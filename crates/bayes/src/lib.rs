@@ -1,0 +1,403 @@
+//! # dm-bayes
+//!
+//! Naive Bayes classification over mixed numeric/categorical data:
+//! numeric attributes get per-class Gaussian likelihoods, categorical
+//! attributes get Laplace-smoothed frequency likelihoods, and inference
+//! runs in log space. Missing cells are simply skipped — the standard
+//! naive-Bayes treatment, and one of the reasons the method was a
+//! fixture of the mid-90s mining toolkits.
+//!
+//! ```
+//! use dm_synth::{AgrawalFunction, AgrawalGenerator};
+//! use dm_bayes::NaiveBayes;
+//!
+//! let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F1, 600)
+//!     .unwrap()
+//!     .generate(3);
+//! let model = NaiveBayes::new().fit(&data, &labels).unwrap();
+//! let acc = model
+//!     .predict(&data)
+//!     .iter()
+//!     .zip(labels.codes())
+//!     .filter(|(p, t)| p == t)
+//!     .count() as f64
+//!     / 600.0;
+//! assert!(acc > 0.7);
+//! ```
+
+
+#![warn(missing_docs)]
+use dm_dataset::{Column, DataError, Dataset, Labels, MISSING_CODE};
+
+/// Per-attribute likelihood model.
+#[derive(Debug, Clone)]
+enum AttrModel {
+    /// Per-class mean and variance.
+    Gaussian { mean: Vec<f64>, var: Vec<f64> },
+    /// `log_prob[class][category]`, Laplace smoothed.
+    Categorical { log_prob: Vec<Vec<f64>> },
+}
+
+/// Naive Bayes learner.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    laplace: f64,
+}
+
+impl Default for NaiveBayes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NaiveBayes {
+    /// A learner with Laplace smoothing constant 1.
+    pub fn new() -> Self {
+        Self { laplace: 1.0 }
+    }
+
+    /// Overrides the Laplace smoothing constant (must be > 0 so unseen
+    /// categories never zero out a class).
+    pub fn with_laplace(mut self, laplace: f64) -> Self {
+        self.laplace = laplace;
+        self
+    }
+
+    /// Trains on `data` with `labels`.
+    pub fn fit(&self, data: &Dataset, labels: &Labels) -> Result<NaiveBayesModel, DataError> {
+        if labels.len() != data.n_rows() {
+            return Err(DataError::LabelLengthMismatch {
+                labels: labels.len(),
+                rows: data.n_rows(),
+            });
+        }
+        if data.n_rows() == 0 {
+            return Err(DataError::Empty("training set"));
+        }
+        if self.laplace <= 0.0 {
+            return Err(DataError::InvalidParameter(
+                "laplace constant must be positive".into(),
+            ));
+        }
+        let n_classes = labels.n_classes();
+        let codes = labels.codes();
+        let class_counts = labels.class_counts();
+        let n = data.n_rows() as f64;
+        // Smoothed class priors (avoids -inf for absent classes).
+        let class_log_prior: Vec<f64> = class_counts
+            .iter()
+            .map(|&c| ((c as f64 + self.laplace) / (n + self.laplace * n_classes as f64)).ln())
+            .collect();
+
+        let mut attrs = Vec::with_capacity(data.n_cols());
+        for j in 0..data.n_cols() {
+            match data.column(j) {
+                Column::Numeric(values) => {
+                    let mut sum = vec![0.0f64; n_classes];
+                    let mut count = vec![0usize; n_classes];
+                    for (i, &v) in values.iter().enumerate() {
+                        if !v.is_nan() {
+                            sum[codes[i] as usize] += v;
+                            count[codes[i] as usize] += 1;
+                        }
+                    }
+                    let mean: Vec<f64> = sum
+                        .iter()
+                        .zip(&count)
+                        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+                        .collect();
+                    let mut var = vec![0.0f64; n_classes];
+                    for (i, &v) in values.iter().enumerate() {
+                        if !v.is_nan() {
+                            let c = codes[i] as usize;
+                            let d = v - mean[c];
+                            var[c] += d * d;
+                        }
+                    }
+                    // Variance floor keeps the pdf finite for constant
+                    // attributes; scaled to the attribute's magnitude.
+                    let floor = 1e-9
+                        * values
+                            .iter()
+                            .filter(|v| !v.is_nan())
+                            .fold(1.0f64, |a, &b| a.max(b.abs()));
+                    for (v, &c) in var.iter_mut().zip(&count) {
+                        *v = if c > 1 { *v / c as f64 } else { 0.0 };
+                        if *v < floor {
+                            *v = floor;
+                        }
+                    }
+                    attrs.push(AttrModel::Gaussian { mean, var });
+                }
+                Column::Categorical { codes: cat_codes, dict } => {
+                    let n_cats = dict.len();
+                    let mut counts = vec![vec![0usize; n_cats]; n_classes];
+                    let mut totals = vec![0usize; n_classes];
+                    for (i, &cc) in cat_codes.iter().enumerate() {
+                        if cc != MISSING_CODE {
+                            counts[codes[i] as usize][cc as usize] += 1;
+                            totals[codes[i] as usize] += 1;
+                        }
+                    }
+                    let log_prob: Vec<Vec<f64>> = counts
+                        .iter()
+                        .zip(&totals)
+                        .map(|(per_cat, &total)| {
+                            per_cat
+                                .iter()
+                                .map(|&c| {
+                                    ((c as f64 + self.laplace)
+                                        / (total as f64 + self.laplace * n_cats as f64))
+                                        .ln()
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    attrs.push(AttrModel::Categorical { log_prob });
+                }
+            }
+        }
+        Ok(NaiveBayesModel {
+            class_log_prior,
+            attrs,
+            n_classes,
+        })
+    }
+}
+
+/// A trained naive-Bayes model.
+#[derive(Debug, Clone)]
+pub struct NaiveBayesModel {
+    class_log_prior: Vec<f64>,
+    attrs: Vec<AttrModel>,
+    n_classes: usize,
+}
+
+impl NaiveBayesModel {
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Per-class log posterior (unnormalized) for row `i`.
+    pub fn log_posterior(&self, data: &Dataset, i: usize) -> Vec<f64> {
+        let mut scores = self.class_log_prior.clone();
+        for (j, attr) in self.attrs.iter().enumerate() {
+            match (attr, data.value(i, j)) {
+                (AttrModel::Gaussian { mean, var }, dm_dataset::Value::Num(x)) => {
+                    for (c, s) in scores.iter_mut().enumerate() {
+                        let v = var[c];
+                        let d = x - mean[c];
+                        *s += -0.5 * ((std::f64::consts::TAU * v).ln() + d * d / v);
+                    }
+                }
+                (AttrModel::Categorical { log_prob }, dm_dataset::Value::Cat(cc)) => {
+                    let cc = cc as usize;
+                    if cc < log_prob[0].len() {
+                        for (c, s) in scores.iter_mut().enumerate() {
+                            *s += log_prob[c][cc];
+                        }
+                    } // unseen category: no evidence, skip
+                }
+                // Missing cells (or kind mismatches) contribute nothing.
+                _ => {}
+            }
+        }
+        scores
+    }
+
+    /// Predicts row `i` (argmax posterior; ties go to the smaller code).
+    pub fn predict_row(&self, data: &Dataset, i: usize) -> u32 {
+        self.log_posterior(data, i)
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.partial_cmp(b).expect("finite").then(ib.cmp(ia)))
+            .map(|(c, _)| c as u32)
+            .unwrap_or(0)
+    }
+
+    /// Predicts every row of `data`.
+    pub fn predict(&self, data: &Dataset) -> Vec<u32> {
+        (0..data.n_rows()).map(|i| self.predict_row(data, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_dataset::Column;
+    use dm_synth::{AgrawalFunction, AgrawalGenerator};
+
+    fn weather() -> (Dataset, Labels) {
+        // Quinlan's play-tennis table (categorical only).
+        let outlook = [
+            "sunny", "sunny", "overcast", "rain", "rain", "rain", "overcast", "sunny", "sunny",
+            "rain", "sunny", "overcast", "overcast", "rain",
+        ];
+        let humidity = [
+            "high", "high", "high", "high", "normal", "normal", "normal", "high", "normal",
+            "normal", "normal", "high", "normal", "high",
+        ];
+        let windy = [
+            "f", "t", "f", "f", "f", "t", "t", "f", "f", "f", "t", "t", "f", "t",
+        ];
+        let play = [
+            "no", "no", "yes", "yes", "yes", "no", "yes", "no", "yes", "yes", "yes", "yes",
+            "yes", "no",
+        ];
+        let ds = Dataset::from_columns(
+            "weather",
+            vec![
+                ("outlook".into(), Column::from_strings(outlook)),
+                ("humidity".into(), Column::from_strings(humidity)),
+                ("windy".into(), Column::from_strings(windy)),
+            ],
+        )
+        .unwrap();
+        (ds, Labels::from_strs(play))
+    }
+
+    #[test]
+    fn fits_the_tennis_table() {
+        let (data, labels) = weather();
+        let model = NaiveBayes::new().fit(&data, &labels).unwrap();
+        let acc = model
+            .predict(&data)
+            .iter()
+            .zip(labels.codes())
+            .filter(|(p, t)| p == t)
+            .count();
+        assert!(acc >= 12, "training accuracy {acc}/14");
+    }
+
+    #[test]
+    fn gaussian_separates_numeric_classes() {
+        let data = Dataset::from_columns(
+            "g",
+            vec![(
+                "x".into(),
+                Column::from_numeric(vec![1.0, 1.2, 0.8, 10.0, 10.3, 9.7]),
+            )],
+        )
+        .unwrap();
+        let labels = Labels::from_strs(["a", "a", "a", "b", "b", "b"]);
+        let model = NaiveBayes::new().fit(&data, &labels).unwrap();
+        assert_eq!(model.predict(&data), labels.codes());
+        // Posterior ordering flips across the midpoint.
+        let test = Dataset::from_columns(
+            "t",
+            vec![("x".into(), Column::from_numeric(vec![2.0, 8.0]))],
+        )
+        .unwrap();
+        assert_eq!(model.predict(&test), vec![0, 1]);
+    }
+
+    #[test]
+    fn laplace_smoothing_prevents_zero_probability() {
+        let (data, labels) = weather();
+        let model = NaiveBayes::new().fit(&data, &labels).unwrap();
+        // "overcast" never appears with play=no; posterior must stay
+        // finite for the no class.
+        let test = Dataset::from_columns(
+            "t",
+            vec![
+                ("outlook".into(), Column::from_strings(["overcast"])),
+                ("humidity".into(), Column::from_strings(["high"])),
+                ("windy".into(), Column::from_strings(["t"])),
+            ],
+        )
+        .unwrap();
+        let scores = model.log_posterior(&test, 0);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn missing_values_are_skipped() {
+        let data = Dataset::from_columns(
+            "m",
+            vec![
+                (
+                    "x".into(),
+                    Column::from_numeric(vec![1.0, f64::NAN, 9.0, 10.0]),
+                ),
+                (
+                    "c".into(),
+                    Column::from_strings_opt([Some("p"), Some("p"), None, Some("q")]),
+                ),
+            ],
+        )
+        .unwrap();
+        let labels = Labels::from_strs(["a", "a", "b", "b"]);
+        let model = NaiveBayes::new().fit(&data, &labels).unwrap();
+        let p = model.predict(&data);
+        assert_eq!(p.len(), 4);
+        // All-missing row predicts by prior (tied -> class 0).
+        let test = Dataset::from_columns(
+            "m",
+            vec![
+                ("x".into(), Column::from_numeric(vec![f64::NAN])),
+                ("c".into(), Column::from_strings_opt([None::<&str>])),
+            ],
+        )
+        .unwrap();
+        assert_eq!(model.predict(&test)[0], 0);
+    }
+
+    #[test]
+    fn constant_attribute_does_not_blow_up() {
+        let data = Dataset::from_columns(
+            "c",
+            vec![
+                ("k".into(), Column::from_numeric(vec![5.0, 5.0, 5.0, 5.0])),
+                ("x".into(), Column::from_numeric(vec![0.0, 0.1, 9.9, 10.0])),
+            ],
+        )
+        .unwrap();
+        let labels = Labels::from_strs(["a", "a", "b", "b"]);
+        let model = NaiveBayes::new().fit(&data, &labels).unwrap();
+        assert_eq!(model.predict(&data), labels.codes());
+    }
+
+    #[test]
+    fn decent_on_linear_agrawal_functions() {
+        // F7 is a linear threshold on income: a natural fit for NB's
+        // Gaussian likelihoods.
+        let (train, train_l) = AgrawalGenerator::new(AgrawalFunction::F7, 1200)
+            .unwrap()
+            .generate(1);
+        let (test, test_l) = AgrawalGenerator::new(AgrawalFunction::F7, 600)
+            .unwrap()
+            .generate(2);
+        let model = NaiveBayes::new().fit(&train, &train_l).unwrap();
+        let acc = model
+            .predict(&test)
+            .iter()
+            .zip(test_l.codes())
+            .filter(|(p, t)| p == t)
+            .count() as f64
+            / 600.0;
+        assert!(acc > 0.75, "accuracy {acc}");
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (data, _) = weather();
+        let short = Labels::from_strs(["x"]);
+        assert!(NaiveBayes::new().fit(&data, &short).is_err());
+        let (data, labels) = weather();
+        assert!(NaiveBayes::new()
+            .with_laplace(0.0)
+            .fit(&data, &labels)
+            .is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F3, 300)
+            .unwrap()
+            .generate(8);
+        let a = NaiveBayes::new().fit(&data, &labels).unwrap();
+        let b = NaiveBayes::new().fit(&data, &labels).unwrap();
+        assert_eq!(a.predict(&data), b.predict(&data));
+    }
+}

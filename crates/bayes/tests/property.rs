@@ -1,0 +1,79 @@
+//! Property tests for naive Bayes.
+
+use dm_bayes::NaiveBayes;
+use dm_dataset::{Column, Dataset, Labels};
+use proptest::prelude::*;
+
+fn labelled_data() -> impl Strategy<Value = (Dataset, Labels)> {
+    (2usize..40).prop_flat_map(|n| {
+        (
+            prop::collection::vec(prop::option::of(-100.0f64..100.0), n..=n),
+            prop::collection::vec(prop::option::of(0u8..4), n..=n),
+            prop::collection::vec(0u8..3, n..=n),
+        )
+            .prop_map(|(nums, cats, labels)| {
+                let ds = Dataset::from_columns(
+                    "prop",
+                    vec![
+                        ("x".into(), Column::from_numeric_opt(nums)),
+                        (
+                            "c".into(),
+                            Column::from_strings_opt(
+                                cats.into_iter()
+                                    .map(|c| c.map(|c| format!("v{c}")))
+                                    .collect::<Vec<_>>(),
+                            ),
+                        ),
+                    ],
+                )
+                .expect("consistent schema");
+                let labels = Labels::from_strs(
+                    labels.iter().map(|l| format!("l{l}")).collect::<Vec<_>>(),
+                );
+                (ds, labels)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn posteriors_are_finite_and_predictions_valid((data, labels) in labelled_data()) {
+        let model = NaiveBayes::new().fit(&data, &labels).unwrap();
+        for i in 0..data.n_rows() {
+            let scores = model.log_posterior(&data, i);
+            prop_assert_eq!(scores.len(), labels.n_classes());
+            prop_assert!(scores.iter().all(|s| s.is_finite()), "{:?}", scores);
+            let p = model.predict_row(&data, i);
+            prop_assert!((p as usize) < labels.n_classes());
+        }
+    }
+
+    #[test]
+    fn prediction_is_argmax_of_posterior((data, labels) in labelled_data()) {
+        let model = NaiveBayes::new().fit(&data, &labels).unwrap();
+        for i in 0..data.n_rows() {
+            let scores = model.log_posterior(&data, i);
+            let p = model.predict_row(&data, i) as usize;
+            prop_assert!(scores.iter().all(|&s| s <= scores[p] + 1e-12));
+        }
+    }
+
+    #[test]
+    fn laplace_strength_changes_smoothing_not_validity(
+        (data, labels) in labelled_data(),
+        laplace in 0.01f64..10.0,
+    ) {
+        let model = NaiveBayes::new().with_laplace(laplace).fit(&data, &labels).unwrap();
+        let pred = model.predict(&data);
+        prop_assert_eq!(pred.len(), data.n_rows());
+    }
+
+    #[test]
+    fn deterministic((data, labels) in labelled_data()) {
+        let a = NaiveBayes::new().fit(&data, &labels).unwrap();
+        let b = NaiveBayes::new().fit(&data, &labels).unwrap();
+        prop_assert_eq!(a.predict(&data), b.predict(&data));
+    }
+}

@@ -1,0 +1,115 @@
+//! Criterion benches for the association-mining experiments (E1–E5, A1).
+//!
+//! These time the hot kernels on reduced instances; the full tables come
+//! from the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dm_core::prelude::*;
+use std::hint::black_box;
+
+fn quest(t: f64, i: f64, d: usize) -> TransactionDb {
+    QuestGenerator::new(QuestConfig::standard(t, i, d), 101)
+        .expect("valid config")
+        .generate(202)
+}
+
+/// E1 kernel: the three miners on one database/threshold.
+fn e1_miners(c: &mut Criterion) {
+    let db = quest(10.0, 4.0, 2_000);
+    let support = MinSupport::Fraction(0.01);
+    let mut group = c.benchmark_group("e01_miners_t10i4d2k_1pct");
+    group.sample_size(10);
+    group.bench_function("apriori", |b| {
+        b.iter(|| Apriori::new(support).mine(black_box(&db)).unwrap())
+    });
+    group.bench_function("apriori_tid", |b| {
+        b.iter(|| AprioriTid::new(support).mine(black_box(&db)).unwrap())
+    });
+    group.bench_function("ais", |b| {
+        b.iter(|| Ais::new(support).mine(black_box(&db)).unwrap())
+    });
+    group.finish();
+}
+
+/// E2 kernel: pass statistics come free with a mine; time the stats path.
+fn e2_pass_stats(c: &mut Criterion) {
+    let db = quest(10.0, 4.0, 2_000);
+    c.bench_function("e02_per_pass_stats", |b| {
+        b.iter(|| {
+            let r = Apriori::new(MinSupport::Fraction(0.0075))
+                .mine(black_box(&db))
+                .unwrap();
+            black_box(r.stats.total_candidates())
+        })
+    });
+}
+
+/// E3 kernel: Apriori across database sizes (linear scale-up claim).
+fn e3_scaleup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e03_apriori_scaleup_d");
+    group.sample_size(10);
+    for d in [1_000usize, 2_000, 4_000] {
+        let db = quest(10.0, 4.0, d);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &db, |b, db| {
+            b.iter(|| Apriori::new(MinSupport::Fraction(0.01)).mine(black_box(db)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// E4 kernel: Apriori across transaction widths.
+fn e4_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e04_apriori_scaleup_width");
+    group.sample_size(10);
+    for t in [5usize, 10, 20] {
+        let db = quest(t as f64, 4.0, 20_000 / t);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &db, |b, db| {
+            b.iter(|| Apriori::new(MinSupport::Count(20)).mine(black_box(db)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// E5 kernel: rule generation from a mined itemset collection.
+fn e5_rules(c: &mut Criterion) {
+    let db = quest(10.0, 4.0, 2_000);
+    let mined = Apriori::new(MinSupport::Fraction(0.0075)).mine(&db).unwrap();
+    let mut group = c.benchmark_group("e05_rule_generation");
+    for conf in [0.9f64, 0.5] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("conf{}", (conf * 100.0) as u32)),
+            &conf,
+            |b, &conf| {
+                b.iter(|| {
+                    RuleGenerator::new(conf)
+                        .generate(black_box(&mined.itemsets))
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A1 kernel: hash-tree vs linear candidate counting (passes ≥ 3).
+fn a1_counting(c: &mut Criterion) {
+    let db = quest(20.0, 6.0, 2_000);
+    let support = MinSupport::Fraction(0.01);
+    let mut group = c.benchmark_group("a1_counting_structure");
+    group.sample_size(10);
+    group.bench_function("hash_tree", |b| {
+        b.iter(|| Apriori::new(support).mine(black_box(&db)).unwrap())
+    });
+    group.bench_function("linear", |b| {
+        b.iter(|| {
+            Apriori::new(support)
+                .with_counting(CountingStrategy::Linear)
+                .mine(black_box(&db))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, e1_miners, e2_pass_stats, e3_scaleup, e4_width, e5_rules, a1_counting);
+criterion_main!(benches);

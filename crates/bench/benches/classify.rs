@@ -1,0 +1,131 @@
+//! Criterion benches for the classification experiments (E9–E12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dm_core::prelude::*;
+use std::hint::black_box;
+
+fn data(f: AgrawalFunction, n: usize, seed: u64) -> (Dataset, Labels) {
+    AgrawalGenerator::new(f, n).expect("rows > 0").generate(seed)
+}
+
+/// E9 kernel: fit+predict of each classifier on one function.
+fn e9_fit_predict(c: &mut Criterion) {
+    let (train, labels) = data(AgrawalFunction::F2, 1_000, 1);
+    let (test, _) = data(AgrawalFunction::F2, 500, 2);
+    let mut group = c.benchmark_group("e09_fit_predict_f2");
+    group.sample_size(10);
+    let classifiers: Vec<Box<dyn Classifier>> = vec![
+        Box::new(TreeClassifier::default()),
+        Box::new(BayesClassifier::default()),
+        Box::new(KnnClassifier::default()),
+        Box::new(OneRClassifier::default()),
+    ];
+    for cl in classifiers {
+        group.bench_function(cl.name(), |b| {
+            b.iter(|| {
+                let model = cl.fit(black_box(&train), black_box(&labels)).unwrap();
+                black_box(model.predict(&test))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// E10 kernel: tree induction across training sizes (pruned).
+fn e10_tree_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_tree_training_size");
+    group.sample_size(10);
+    for n in [200usize, 800, 3200] {
+        let (train, labels) = data(AgrawalFunction::F2, n, n as u64);
+        let noisy = flip_labels(&labels, 0.10, 7).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
+            b.iter(|| {
+                DecisionTreeLearner::new()
+                    .with_pruning(Pruning::Pessimistic { cf: 0.25 })
+                    .fit(black_box(&train), black_box(&noisy))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// E11 kernel: per-classifier fit time at one larger size.
+fn e11_fit_time(c: &mut Criterion) {
+    let (train, labels) = data(AgrawalFunction::F5, 4_000, 9);
+    let mut group = c.benchmark_group("e11_fit_n4000");
+    group.sample_size(10);
+    group.bench_function("tree", |b| {
+        b.iter(|| DecisionTreeLearner::new().fit(black_box(&train), &labels).unwrap())
+    });
+    group.bench_function("naive_bayes", |b| {
+        b.iter(|| NaiveBayes::new().fit(black_box(&train), &labels).unwrap())
+    });
+    group.bench_function("one_r", |b| {
+        b.iter(|| OneR::new().fit(black_box(&train), &labels).unwrap())
+    });
+    group.finish();
+}
+
+/// E12 kernel: pruning cost on noisy labels.
+fn e12_pruning(c: &mut Criterion) {
+    let (train, labels) = data(AgrawalFunction::F5, 1_000, 11);
+    let noisy = flip_labels(&labels, 0.2, 5).unwrap();
+    let mut group = c.benchmark_group("e12_pruning_noisy");
+    group.sample_size(10);
+    group.bench_function("unpruned", |b| {
+        b.iter(|| DecisionTreeLearner::new().fit(black_box(&train), &noisy).unwrap())
+    });
+    group.bench_function("pessimistic", |b| {
+        b.iter(|| {
+            DecisionTreeLearner::new()
+                .with_pruning(Pruning::Pessimistic { cf: 0.25 })
+                .fit(black_box(&train), &noisy)
+                .unwrap()
+        })
+    });
+    group.bench_function("reduced_error", |b| {
+        b.iter(|| {
+            DecisionTreeLearner::new()
+                .with_pruning(Pruning::ReducedError {
+                    fraction: 0.3,
+                    seed: 1,
+                })
+                .fit(black_box(&train), &noisy)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// k-NN backend ablation: brute force vs k-d tree prediction.
+fn knn_backend(c: &mut Criterion) {
+    let (train, _) = GaussianMixture::well_separated(4, 3, 500, 8.0)
+        .expect("valid")
+        .generate(3);
+    let labels: Vec<u32> = (0..train.rows() as u32).map(|i| i % 4).collect();
+    let (queries, _) = GaussianMixture::well_separated(4, 3, 100, 8.0)
+        .expect("valid")
+        .generate(4);
+    let mut group = c.benchmark_group("knn_backend_n2000_d3");
+    for (name, search) in [("brute", Search::Brute), ("kdtree", Search::KdTree)] {
+        let model = Knn::new(5)
+            .with_search(search)
+            .fit(&train, &labels)
+            .unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| model.predict(black_box(&queries)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    e9_fit_predict,
+    e10_tree_by_size,
+    e11_fit_time,
+    e12_pruning,
+    knn_backend
+);
+criterion_main!(benches);

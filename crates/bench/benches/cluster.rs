@@ -1,0 +1,110 @@
+//! Criterion benches for the clustering experiments (E6–E8, A2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dm_core::prelude::*;
+use std::hint::black_box;
+
+fn blobs(n_per: usize) -> Matrix {
+    GaussianMixture::well_separated(5, 2, n_per, 8.0)
+        .expect("valid mixture")
+        .generate(13)
+        .0
+}
+
+/// E6 kernel: one k-means fit per init strategy.
+fn e6_kmeans_init(c: &mut Criterion) {
+    let data = blobs(200);
+    let mut group = c.benchmark_group("e06_kmeans_init");
+    group.bench_function("kmeans_pp", |b| {
+        b.iter(|| {
+            KMeans::new(5)
+                .with_seed(1)
+                .fit_model(black_box(&data))
+                .unwrap()
+        })
+    });
+    group.bench_function("kmeans_random", |b| {
+        b.iter(|| {
+            KMeans::new(5)
+                .with_init(Init::Random)
+                .with_seed(1)
+                .fit_model(black_box(&data))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// E7 kernel: each algorithm once on a fixed mixture.
+fn e7_algorithms(c: &mut Criterion) {
+    let data = blobs(120);
+    let mut group = c.benchmark_group("e07_clusterers_n600");
+    group.sample_size(10);
+    let clusterers: Vec<Box<dyn Clusterer>> = vec![
+        Box::new(KMeans::new(5).with_seed(1)),
+        Box::new(Pam::new(5)),
+        Box::new(Agglomerative::new(5).with_linkage(Linkage::Ward)),
+        Box::new(Birch::new(5).with_threshold(1.0).with_seed(1)),
+        Box::new(Dbscan::new(1.2, 5)),
+    ];
+    for cl in clusterers {
+        group.bench_function(cl.name(), |b| b.iter(|| cl.fit(black_box(&data)).unwrap()));
+    }
+    group.finish();
+}
+
+/// E8 kernel: scaling of the three contenders.
+fn e8_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e08_scaling");
+    group.sample_size(10);
+    for n_per in [100usize, 200, 400] {
+        let data = blobs(n_per);
+        let n = data.rows();
+        group.bench_with_input(BenchmarkId::new("kmeans", n), &data, |b, d| {
+            b.iter(|| KMeans::new(5).with_seed(3).fit(black_box(d)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("birch", n), &data, |b, d| {
+            b.iter(|| {
+                Birch::new(5)
+                    .with_threshold(1.0)
+                    .with_seed(3)
+                    .fit(black_box(d))
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hierarchical", n), &data, |b, d| {
+            b.iter(|| {
+                Agglomerative::new(5)
+                    .with_linkage(Linkage::Average)
+                    .fit(black_box(d))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A2 kernel: CF-tree build across thresholds.
+fn a2_birch_threshold(c: &mut Criterion) {
+    let data = blobs(400);
+    let mut group = c.benchmark_group("a2_birch_threshold");
+    for threshold in [0.25f64, 1.0, 4.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &t| {
+                b.iter(|| {
+                    Birch::new(5)
+                        .with_threshold(t)
+                        .with_seed(7)
+                        .fit(black_box(&data))
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, e6_kmeans_init, e7_algorithms, e8_scaling, a2_birch_threshold);
+criterion_main!(benches);

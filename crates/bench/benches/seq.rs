@@ -1,0 +1,34 @@
+//! Criterion benches for the sequential-pattern experiment (E13).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dm_core::prelude::*;
+use std::hint::black_box;
+
+/// E13 kernel: AprioriAll across supports on a small sequence database.
+fn e13_apriori_all(c: &mut Criterion) {
+    let generator = SequenceGenerator::new(SequenceConfig::standard(200), 77).expect("valid");
+    let db = generator.generate(78);
+    let mut group = c.benchmark_group("e13_apriori_all_c200");
+    group.sample_size(10);
+    for pct in [8.0f64, 4.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("minsup{pct}")),
+            &pct,
+            |b, &pct| {
+                b.iter(|| AprioriAll::new(pct / 100.0).mine(black_box(&db)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Generator throughput (sequences are the most structured workload).
+fn sequence_generation(c: &mut Criterion) {
+    let generator = SequenceGenerator::new(SequenceConfig::standard(500), 1).expect("valid");
+    c.bench_function("seq_generate_c500", |b| {
+        b.iter(|| black_box(&generator).generate(9))
+    });
+}
+
+criterion_group!(benches, e13_apriori_all, sequence_generation);
+criterion_main!(benches);

@@ -1,0 +1,267 @@
+//! Association-rule experiments E1–E5 and ablation A1.
+//!
+//! Reconstructions of the Agrawal & Srikant (VLDB 1994) evaluation over
+//! Quest synthetic data. Dataset sizes are scaled to laptop budgets
+//! (D = 10K instead of 100K); the claimed *shapes* — who wins, how the
+//! gap moves with minsup, linear transaction scale-up — are preserved.
+
+use crate::table::{fmt_duration, Table};
+use dm_core::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Pattern-table seed shared by all association experiments.
+const PATTERN_SEED: u64 = 101;
+/// Database seed.
+const DB_SEED: u64 = 202;
+
+fn quest_db(t: f64, i: f64, d: usize) -> (String, TransactionDb) {
+    let config = QuestConfig::standard(t, i, d);
+    let name = config.name();
+    let gen = QuestGenerator::new(config, PATTERN_SEED).expect("valid config");
+    (name, gen.generate(DB_SEED))
+}
+
+fn time_miner(miner: &dyn ItemsetMiner, db: &TransactionDb) -> (Duration, MiningResult) {
+    let t0 = Instant::now();
+    let result = miner.mine(db).expect("mining succeeds");
+    (t0.elapsed(), result)
+}
+
+/// E1 — relative execution time of AIS / Apriori / AprioriTid across
+/// minimum supports on three Quest databases (VLDB'94 Table/Fig. of
+/// per-minsup execution times).
+pub fn e1_miner_times() -> String {
+    let mut out = String::new();
+    out.push_str("# E1: miner execution time vs minimum support\n");
+    out.push_str("(reconstruction of Agrawal–Srikant VLDB'94 execution-time figures)\n\n");
+    for (t, i) in [(5.0, 2.0), (10.0, 4.0), (20.0, 6.0)] {
+        let (name, db) = quest_db(t, i, 10_000);
+        let mut table = Table::new(
+            format!("{name}: time by minsup"),
+            &["minsup %", "ais", "setm", "apriori", "apriori-tid", "hybrid", "frequent sets"],
+        );
+        for minsup in [2.0, 1.5, 1.0, 0.75, 0.5f64] {
+            let support = MinSupport::Fraction(minsup / 100.0);
+            let (t_ais, _) = time_miner(&Ais::new(support), &db);
+            let (t_setm, _) = time_miner(&Setm::new(support), &db);
+            let (t_ap, r_ap) = time_miner(&Apriori::new(support), &db);
+            let (t_tid, _) = time_miner(&AprioriTid::new(support), &db);
+            let (t_hy, _) = time_miner(&AprioriHybrid::new(support), &db);
+            table.row(vec![
+                format!("{minsup}"),
+                fmt_duration(t_ais),
+                fmt_duration(t_setm),
+                fmt_duration(t_ap),
+                fmt_duration(t_tid),
+                fmt_duration(t_hy),
+                r_ap.itemsets.len().to_string(),
+            ]);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// E2 — per-pass candidate and frequent-set counts (the VLDB'94
+/// candidates-per-pass figure explaining Apriori's advantage).
+pub fn e2_per_pass() -> String {
+    let (name, db) = quest_db(10.0, 4.0, 10_000);
+    let support = MinSupport::Fraction(0.0075);
+    let mut out = String::new();
+    out.push_str("# E2: per-pass candidates (T10.I4, minsup 0.75%)\n");
+    out.push_str("(reconstruction of the VLDB'94 per-pass candidate-count figure)\n\n");
+    for miner in [
+        &Ais::new(support) as &dyn ItemsetMiner,
+        &Setm::new(support),
+        &Apriori::new(support),
+        &AprioriTid::new(support),
+    ] {
+        let (_, result) = time_miner(miner, &db);
+        let mut table = Table::new(
+            format!("{} on {name}", miner.name()),
+            &["pass", "candidates", "frequent", "time"],
+        );
+        for p in &result.stats.passes {
+            table.row(vec![
+                p.pass.to_string(),
+                p.candidates.to_string(),
+                p.frequent.to_string(),
+                fmt_duration(p.duration),
+            ]);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// E3 — Apriori scale-up with the number of transactions (VLDB'94
+/// transaction scale-up figure; expect near-linear growth).
+pub fn e3_scaleup_transactions() -> String {
+    let mut out = String::new();
+    out.push_str("# E3: Apriori scale-up with |D| (T10.I4, minsup 1%)\n\n");
+    let mut table = Table::new(
+        "time vs transactions",
+        &["transactions", "time", "time per 1K txns", "frequent sets"],
+    );
+    for d in [2_500usize, 5_000, 10_000, 20_000, 40_000] {
+        let (_, db) = quest_db(10.0, 4.0, d);
+        let (time, result) = time_miner(&Apriori::new(MinSupport::Fraction(0.01)), &db);
+        table.row(vec![
+            d.to_string(),
+            fmt_duration(time),
+            fmt_duration(time / (d as u32 / 1000).max(1)),
+            result.itemsets.len().to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// E4 — Apriori scale-up with transaction width at fixed |D| and fixed
+/// fractional support (VLDB'94 transaction-size scale-up figure; expect
+/// superlinear but bounded growth with width).
+pub fn e4_scaleup_width() -> String {
+    let mut out = String::new();
+    out.push_str("# E4: Apriori scale-up with |T| (|D| = 10K, minsup 1%)\n\n");
+    let mut table = Table::new(
+        "time vs mean transaction width",
+        &["|T|", "time", "frequent sets"],
+    );
+    for t in [5usize, 10, 20, 30] {
+        let (_, db) = quest_db(t as f64, 4.0, 10_000);
+        let (time, result) = time_miner(&Apriori::new(MinSupport::Fraction(0.01)), &db);
+        table.row(vec![
+            t.to_string(),
+            fmt_duration(time),
+            result.itemsets.len().to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// E5 — rule counts at varying minimum confidence (the rule-generation
+/// table; the count grows as minconf falls and every rule meets the bar).
+pub fn e5_rule_counts() -> String {
+    let (name, db) = quest_db(10.0, 4.0, 10_000);
+    let mined = Apriori::new(MinSupport::Fraction(0.005))
+        .mine(&db)
+        .expect("mining succeeds");
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# E5: rule generation on {name} (minsup 0.5%, {} frequent itemsets)\n\n",
+        mined.itemsets.len()
+    ));
+    let mut table = Table::new(
+        "rules vs minimum confidence",
+        &["minconf %", "rules", "mean lift", "top rule confidence"],
+    );
+    for conf in [90.0, 70.0, 50.0, 30.0f64] {
+        let rules = RuleGenerator::new(conf / 100.0)
+            .generate(&mined.itemsets)
+            .expect("valid threshold");
+        let mean_lift = if rules.is_empty() {
+            0.0
+        } else {
+            rules.iter().map(|r| r.lift).sum::<f64>() / rules.len() as f64
+        };
+        table.row(vec![
+            format!("{conf}"),
+            rules.len().to_string(),
+            format!("{mean_lift:.2}"),
+            rules
+                .first()
+                .map(|r| format!("{:.3}", r.confidence))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// A1 — ablation: counting-structure choices inside Apriori. The grid
+/// crosses {dense pair array on/off} × {hash tree / linear scan}; the
+/// pair array is the dominant effect (pass 2 carries ~|L1|²/2
+/// candidates), and the hash tree is what keeps the array-less variant
+/// from collapsing — the original paper's configuration.
+pub fn a1_hashtree_ablation() -> String {
+    let mut out = String::new();
+    out.push_str("# A1: Apriori counting-structure ablation\n\n");
+    let (name, db) = quest_db(10.0, 4.0, 2_000);
+    let support = MinSupport::Fraction(0.01);
+    let mut table = Table::new(
+        format!("total mining time on {name} (minsup 1%)"),
+        &["pair array", "pass>=3 structure", "time", "vs best"],
+    );
+    let variants: Vec<(&str, &str, Apriori)> = vec![
+        ("yes", "hash tree", Apriori::new(support)),
+        (
+            "yes",
+            "linear",
+            Apriori::new(support).with_counting(CountingStrategy::Linear),
+        ),
+        ("no", "hash tree", Apriori::new(support).with_pair_array(false)),
+        (
+            "no",
+            "linear",
+            Apriori::new(support)
+                .with_pair_array(false)
+                .with_counting(CountingStrategy::Linear),
+        ),
+    ];
+    let mut reference: Option<&FrequentItemsets> = None;
+    let mined: Vec<_> = variants
+        .iter()
+        .map(|(a, s, m)| {
+            let (time, result) = time_miner(m, &db);
+            (*a, *s, time, result)
+        })
+        .collect();
+    for (_, _, _, r) in &mined {
+        match reference {
+            Some(first) => assert_eq!(first, &r.itemsets, "variants must agree"),
+            None => reference = Some(&r.itemsets),
+        }
+    }
+    let best = mined
+        .iter()
+        .map(|(_, _, t, _)| *t)
+        .min()
+        .expect("non-empty grid");
+    for (array, structure, time, _) in &mined {
+        table.row(vec![
+            array.to_string(),
+            structure.to_string(),
+            fmt_duration(*time),
+            format!("{:.1}x", time.as_secs_f64() / best.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quest_db_is_deterministic() {
+        let (na, a) = quest_db(5.0, 2.0, 500);
+        let (nb, b) = quest_db(5.0, 2.0, 500);
+        assert_eq!(a, b);
+        assert_eq!(na, nb);
+        assert_eq!(na, "T5.I2.D500");
+    }
+
+    #[test]
+    fn e5_report_is_well_formed() {
+        // Uses a small inline variant to stay fast in CI.
+        let (_, db) = quest_db(5.0, 2.0, 800);
+        let mined = Apriori::new(MinSupport::Fraction(0.02)).mine(&db).unwrap();
+        let high = RuleGenerator::new(0.9).generate(&mined.itemsets).unwrap();
+        let low = RuleGenerator::new(0.5).generate(&mined.itemsets).unwrap();
+        assert!(low.len() >= high.len());
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates the tables and figures of `DESIGN.md`'s experiment index.
+//!
+//! ```text
+//! experiments all          # run everything (E1..E12, A1, A2)
+//! experiments e1 e9        # run a subset
+//! experiments --list       # show available ids
+//! ```
+
+use std::io::Write;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: experiments [--list] <all | e1..e12 a1 a2 ...>");
+        std::process::exit(2);
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in dm_bench::ALL_EXPERIMENTS {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        dm_bench::ALL_EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for id in ids {
+        let t0 = Instant::now();
+        match dm_bench::run(id) {
+            Some(report) => {
+                writeln!(out, "{report}").expect("stdout writable");
+                writeln!(out, "[{id} completed in {:?}]\n", t0.elapsed()).expect("stdout writable");
+            }
+            None => {
+                eprintln!("unknown experiment id `{id}` (try --list)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

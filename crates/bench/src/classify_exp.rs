@@ -1,0 +1,228 @@
+//! Classification experiments E9–E12.
+//!
+//! Reconstructions of the Agrawal et al. (TKDE 1993) / SLIQ-era
+//! decision-tree benchmarks over the ten synthetic functions.
+
+use crate::table::{fmt_duration, Table};
+use dm_core::prelude::*;
+use std::time::Instant;
+
+fn classifier_suite() -> Vec<Box<dyn Classifier>> {
+    vec![
+        Box::new(TreeClassifier::new(
+            DecisionTreeLearner::new()
+                .with_criterion(SplitCriterion::GainRatio)
+                .with_pruning(Pruning::Pessimistic { cf: 0.25 }),
+        )),
+        Box::new(TreeClassifier::new(
+            DecisionTreeLearner::new().with_criterion(SplitCriterion::Gini),
+        )),
+        Box::new(BaggedClassifier::new(BaggedTrees::new(11))),
+        Box::new(BayesClassifier::default()),
+        Box::new(KnnClassifier::new(Knn::new(5))),
+        Box::new(OneRClassifier::default()),
+    ]
+}
+
+fn suite_names() -> Vec<&'static str> {
+    vec![
+        "c4.5-style",
+        "cart-style",
+        "bagged-11",
+        "naive-bayes",
+        "knn-5",
+        "one-r",
+    ]
+}
+
+/// E9 — 5-fold cross-validated accuracy over functions F1–F10 (the
+/// per-function accuracy table).
+pub fn e9_accuracy_table() -> String {
+    let mut out = String::new();
+    out.push_str("# E9: 5-fold CV accuracy on Agrawal functions F1-F10 (2000 records)\n\n");
+    let mut header = vec!["function"];
+    header.extend(suite_names());
+    let mut table = Table::new("accuracy by classifier", &header);
+    for f in AgrawalFunction::ALL {
+        let (data, labels) = AgrawalGenerator::new(f, 2000)
+            .expect("valid")
+            .generate(1000 + f.number() as u64);
+        let mut cells = vec![format!("F{}", f.number())];
+        for c in classifier_suite() {
+            let r = cross_validate(c.as_ref(), &data, &labels, 5, 0).expect("cv succeeds");
+            cells.push(format!("{:.3}", r.mean_accuracy));
+        }
+        table.row(cells);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// E10 — learning curve and pruning effect on F2 (accuracy and tree size
+/// vs training-set size, pruned vs unpruned).
+pub fn e10_learning_curve() -> String {
+    let mut out = String::new();
+    out.push_str("# E10: learning curve on F2 with 10% label noise (test = 2000 clean records)\n\n");
+    let (test, test_labels) = AgrawalGenerator::new(AgrawalFunction::F2, 2000)
+        .expect("valid")
+        .generate(999);
+    let mut table = Table::new(
+        "accuracy / size vs training size",
+        &[
+            "train n",
+            "unpruned acc",
+            "pruned acc",
+            "unpruned nodes",
+            "pruned nodes",
+        ],
+    );
+    for n in [100usize, 200, 400, 800, 1600, 3200] {
+        let (train, labels) = AgrawalGenerator::new(AgrawalFunction::F2, n)
+            .expect("valid")
+            .generate(n as u64);
+        let noisy = flip_labels(&labels, 0.10, 7).expect("two classes");
+        let unpruned = DecisionTreeLearner::new().fit(&train, &noisy).expect("fits");
+        let pruned = DecisionTreeLearner::new()
+            .with_pruning(Pruning::Pessimistic { cf: 0.25 })
+            .fit(&train, &noisy)
+            .expect("fits");
+        let acc = |t: &dm_core::tree::DecisionTree| {
+            t.predict(&test)
+                .iter()
+                .zip(test_labels.codes())
+                .filter(|(p, t)| p == t)
+                .count() as f64
+                / test.n_rows() as f64
+        };
+        table.row(vec![
+            n.to_string(),
+            format!("{:.3}", acc(&unpruned)),
+            format!("{:.3}", acc(&pruned)),
+            unpruned.n_nodes().to_string(),
+            pruned.n_nodes().to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// E11 — training-time scale-up with record count (the SLIQ-style
+/// classifier scale-up figure).
+pub fn e11_train_time_scaleup() -> String {
+    let mut out = String::new();
+    out.push_str("# E11: train/predict time vs records (F5; predict on 1000 rows)\n\n");
+    let (test, _) = AgrawalGenerator::new(AgrawalFunction::F5, 1000)
+        .expect("valid")
+        .generate(500);
+    let mut header = vec!["records"];
+    for n in suite_names() {
+        header.push(n);
+    }
+    let mut table = Table::new("fit time (predict time)", &header);
+    for n in [1000usize, 2000, 4000, 8000, 16000] {
+        let (train, labels) = AgrawalGenerator::new(AgrawalFunction::F5, n)
+            .expect("valid")
+            .generate(n as u64 + 1);
+        let mut cells = vec![n.to_string()];
+        for c in classifier_suite() {
+            let t0 = Instant::now();
+            let model = c.fit(&train, &labels).expect("fits");
+            let fit = t0.elapsed();
+            let t0 = Instant::now();
+            let _ = model.predict(&test);
+            let predict = t0.elapsed();
+            cells.push(format!("{} ({})", fmt_duration(fit), fmt_duration(predict)));
+        }
+        table.row(cells);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// E12 — noise sensitivity (Quinlan-style): accuracy on clean test data
+/// as training label noise rises; pruning should degrade more
+/// gracefully.
+pub fn e12_noise_sensitivity() -> String {
+    let mut out = String::new();
+    out.push_str("# E12: label-noise sensitivity on F5 (train 2000, clean test 1000)\n\n");
+    let (test, test_labels) = AgrawalGenerator::new(AgrawalFunction::F5, 1000)
+        .expect("valid")
+        .generate(321);
+    let (train, clean_labels) = AgrawalGenerator::new(AgrawalFunction::F5, 2000)
+        .expect("valid")
+        .generate(322);
+    let mut table = Table::new(
+        "accuracy vs training label noise",
+        &[
+            "noise %",
+            "unpruned tree",
+            "pruned tree",
+            "naive bayes",
+            "unpruned nodes",
+            "pruned nodes",
+        ],
+    );
+    for noise in [0.0, 0.05, 0.10, 0.20f64] {
+        let labels = flip_labels(&clean_labels, noise, 55).expect("two classes");
+        let unpruned = DecisionTreeLearner::new().fit(&train, &labels).expect("fits");
+        let pruned = DecisionTreeLearner::new()
+            .with_pruning(Pruning::Pessimistic { cf: 0.25 })
+            .fit(&train, &labels)
+            .expect("fits");
+        let nb = NaiveBayes::new().fit(&train, &labels).expect("fits");
+        let acc = |pred: Vec<u32>| {
+            pred.iter()
+                .zip(test_labels.codes())
+                .filter(|(p, t)| p == t)
+                .count() as f64
+                / test.n_rows() as f64
+        };
+        table.row(vec![
+            format!("{:.0}", noise * 100.0),
+            format!("{:.3}", acc(unpruned.predict(&test))),
+            format!("{:.3}", acc(pruned.predict(&test))),
+            format!("{:.3}", acc(nb.predict(&test))),
+            unpruned.n_nodes().to_string(),
+            pruned.n_nodes().to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_and_names_line_up() {
+        assert_eq!(classifier_suite().len(), suite_names().len());
+    }
+
+    #[test]
+    fn e12_shape_pruning_degrades_gracefully() {
+        // Miniature version of E12's claim: at 20% noise the pruned tree
+        // must be no worse than the unpruned one on clean test data.
+        let (test, test_labels) = AgrawalGenerator::new(AgrawalFunction::F5, 400)
+            .unwrap()
+            .generate(1);
+        let (train, clean) = AgrawalGenerator::new(AgrawalFunction::F5, 800)
+            .unwrap()
+            .generate(2);
+        let noisy = flip_labels(&clean, 0.2, 3).unwrap();
+        let unpruned = DecisionTreeLearner::new().fit(&train, &noisy).unwrap();
+        let pruned = DecisionTreeLearner::new()
+            .with_pruning(Pruning::Pessimistic { cf: 0.25 })
+            .fit(&train, &noisy)
+            .unwrap();
+        let acc = |t: &dm_core::tree::DecisionTree| {
+            t.predict(&test)
+                .iter()
+                .zip(test_labels.codes())
+                .filter(|(p, t)| p == t)
+                .count()
+        };
+        assert!(acc(&pruned) + 8 >= acc(&unpruned));
+        assert!(pruned.n_nodes() <= unpruned.n_nodes());
+    }
+}

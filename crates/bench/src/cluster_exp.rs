@@ -1,0 +1,264 @@
+//! Clustering experiments E6–E8 and ablation A2.
+
+use crate::table::{fmt_duration, Table};
+use dm_core::prelude::*;
+use std::time::Instant;
+
+/// E6 — the k-means elbow curve at the true k, plus the k-means++ vs
+/// random-init comparison (shape of the k-means++ evaluation).
+pub fn e6_elbow_and_init() -> String {
+    let mixture = GaussianMixture::well_separated(5, 2, 300, 7.0).expect("valid mixture");
+    let (data, _) = mixture.generate(31);
+    let mut out = String::new();
+    out.push_str("# E6: k-means elbow and initialization comparison (true k = 5)\n\n");
+
+    let mut elbow = Table::new("SSE vs k (kmeans++, best of 3 seeds)", &["k", "sse", "iterations"]);
+    for k in 1..=10usize {
+        let best = (0..3)
+            .map(|seed| {
+                KMeans::new(k)
+                    .with_seed(seed)
+                    .fit_model(&data)
+                    .expect("valid k")
+            })
+            .min_by(|a, b| a.inertia.partial_cmp(&b.inertia).expect("finite"))
+            .expect("three runs");
+        elbow.row(vec![
+            k.to_string(),
+            format!("{:.0}", best.inertia),
+            best.iterations.to_string(),
+        ]);
+    }
+    out.push_str(&elbow.render());
+    out.push('\n');
+
+    let mut init = Table::new(
+        "init strategy over 10 seeds (k = 5)",
+        &["init", "mean sse", "worst sse", "mean iterations"],
+    );
+    for (label, strategy) in [("random", Init::Random), ("kmeans++", Init::KMeansPlusPlus)] {
+        let models: Vec<_> = (0..10)
+            .map(|seed| {
+                KMeans::new(5)
+                    .with_init(strategy)
+                    .with_seed(seed)
+                    .fit_model(&data)
+                    .expect("valid k")
+            })
+            .collect();
+        let mean_sse = models.iter().map(|m| m.inertia).sum::<f64>() / models.len() as f64;
+        let worst = models
+            .iter()
+            .map(|m| m.inertia)
+            .fold(0.0f64, f64::max);
+        let mean_iter =
+            models.iter().map(|m| m.iterations).sum::<usize>() as f64 / models.len() as f64;
+        init.row(vec![
+            label.into(),
+            format!("{mean_sse:.0}"),
+            format!("{worst:.0}"),
+            format!("{mean_iter:.1}"),
+        ]);
+    }
+    out.push_str(&init.render());
+    out
+}
+
+/// k-means with the conventional multiple-restart protocol: the restart
+/// with the lowest inertia wins.
+struct BestOfKMeans {
+    k: usize,
+    restarts: u64,
+}
+
+impl Clusterer for BestOfKMeans {
+    fn name(&self) -> &'static str {
+        "kmeans++ (x5)"
+    }
+
+    fn fit(&self, data: &Matrix) -> Result<Clustering, dm_core::dataset::DataError> {
+        let best = (0..self.restarts)
+            .map(|seed| KMeans::new(self.k).with_seed(seed).fit_model(data))
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .min_by(|a, b| a.inertia.partial_cmp(&b.inertia).expect("finite"))
+            .expect("restarts >= 1");
+        Ok(Clustering {
+            assignments: best.assignments,
+            n_clusters: self.k,
+            centroids: Some(best.centroids),
+        })
+    }
+}
+
+/// E7 — clustering quality across data regimes (the algorithm-comparison
+/// table of the BIRCH/CLARANS era evaluations).
+pub fn e7_quality_comparison() -> String {
+    let mut out = String::new();
+    out.push_str("# E7: clustering quality (ARI / NMI) across data regimes\n\n");
+
+    let regimes: Vec<(&str, GaussianMixture)> = vec![
+        (
+            "well-separated",
+            GaussianMixture::well_separated(4, 2, 150, 8.0).expect("valid"),
+        ),
+        (
+            "overlapping",
+            GaussianMixture::well_separated(4, 2, 150, 2.5).expect("valid"),
+        ),
+        (
+            "imbalanced",
+            GaussianMixture::new(vec![
+                ClusterSpec::new(vec![0.0, 0.0], 1.0, 450),
+                ClusterSpec::new(vec![8.0, 0.0], 1.0, 100),
+                ClusterSpec::new(vec![4.0, 7.0], 1.0, 50),
+            ])
+            .expect("valid"),
+        ),
+        (
+            "noisy",
+            GaussianMixture::well_separated(4, 2, 140, 8.0)
+                .expect("valid")
+                .with_noise(60, 15.0),
+        ),
+    ];
+
+    for (regime, mixture) in regimes {
+        let k = mixture.k();
+        let (data, truth) = mixture.generate(77);
+        let mut table = Table::new(
+            format!("{regime} (n = {}, k = {k})", data.rows()),
+            &["algorithm", "ari", "nmi", "clusters", "noise pts"],
+        );
+        let clusterers: Vec<Box<dyn Clusterer>> = vec![
+            Box::new(BestOfKMeans { k, restarts: 5 }),
+            Box::new(Pam::new(k)),
+            Box::new(Clarans::new(k).with_seed(1)),
+            Box::new(Agglomerative::new(k).with_linkage(Linkage::Ward)),
+            Box::new(Birch::new(k).with_threshold(1.0).with_seed(1)),
+            Box::new(Dbscan::new(1.2, 5)),
+        ];
+        for c in clusterers {
+            let result = c.fit(&data).expect("clustering succeeds");
+            // Noise labels participate as their own "cluster" for scoring.
+            let ari = adjusted_rand_index(&truth, &result.assignments).expect("valid");
+            let nmi = normalized_mutual_information(&truth, &result.assignments).expect("valid");
+            table.row(vec![
+                c.name().into(),
+                format!("{ari:.3}"),
+                format!("{nmi:.3}"),
+                result.n_clusters.to_string(),
+                result.n_noise().to_string(),
+            ]);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// E8 — wall-clock scaling of BIRCH vs hierarchical vs k-means (the
+/// BIRCH SIGMOD'96 scaling figure: hierarchical blows up quadratically,
+/// BIRCH stays near-linear).
+pub fn e8_scaling() -> String {
+    let mut out = String::new();
+    out.push_str("# E8: clustering time vs dataset size (d = 2, k = 5)\n\n");
+    let mut table = Table::new(
+        "time (and ARI) by n",
+        &["n", "kmeans++", "birch", "hierarchical", "ari kmeans", "ari birch", "ari hier"],
+    );
+    for n_per in [100usize, 200, 400, 800, 1600] {
+        let mixture = GaussianMixture::well_separated(5, 2, n_per, 8.0).expect("valid");
+        let (data, truth) = mixture.generate(13);
+        let n = data.rows();
+
+        let t0 = Instant::now();
+        let km = KMeans::new(5).with_seed(3).fit(&data).expect("valid");
+        let t_km = t0.elapsed();
+
+        let t0 = Instant::now();
+        let bi = Birch::new(5)
+            .with_threshold(1.0)
+            .with_seed(3)
+            .fit(&data)
+            .expect("valid");
+        let t_bi = t0.elapsed();
+
+        let t0 = Instant::now();
+        let hi = Agglomerative::new(5)
+            .with_linkage(Linkage::Average)
+            .fit(&data)
+            .expect("valid");
+        let t_hi = t0.elapsed();
+
+        table.row(vec![
+            n.to_string(),
+            fmt_duration(t_km),
+            fmt_duration(t_bi),
+            fmt_duration(t_hi),
+            format!("{:.3}", adjusted_rand_index(&truth, &km.assignments).expect("valid")),
+            format!("{:.3}", adjusted_rand_index(&truth, &bi.assignments).expect("valid")),
+            format!("{:.3}", adjusted_rand_index(&truth, &hi.assignments).expect("valid")),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// A2 — BIRCH sensitivity to its CF-tree parameters.
+pub fn a2_birch_ablation() -> String {
+    let mixture = GaussianMixture::well_separated(5, 2, 600, 8.0).expect("valid");
+    let (data, truth) = mixture.generate(5);
+    let mut out = String::new();
+    out.push_str("# A2: BIRCH threshold / branching ablation (n = 3000, k = 5)\n\n");
+    let mut table = Table::new(
+        "CF-tree shape and quality",
+        &["threshold", "branching", "leaf entries", "time", "ari"],
+    );
+    for threshold in [0.25, 0.5, 1.0, 2.0, 4.0f64] {
+        for branching in [4usize, 16] {
+            let birch = Birch::new(5)
+                .with_threshold(threshold)
+                .with_branching(branching)
+                .with_seed(7);
+            let stats = birch.tree_stats(&data).expect("valid");
+            let t0 = Instant::now();
+            let result = birch.fit(&data).expect("valid");
+            let time = t0.elapsed();
+            let ari = adjusted_rand_index(&truth, &result.assignments).expect("valid");
+            table.row(vec![
+                format!("{threshold}"),
+                branching.to_string(),
+                stats.leaf_entries.to_string(),
+                fmt_duration(time),
+                format!("{ari:.3}"),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e6_elbow_shape_holds_on_small_instance() {
+        use dm_core::prelude::*;
+        let (data, _) = GaussianMixture::well_separated(3, 2, 60, 8.0)
+            .unwrap()
+            .generate(1);
+        let sse_at = |k: usize| {
+            KMeans::new(k)
+                .with_seed(0)
+                .fit_model(&data)
+                .unwrap()
+                .inertia
+        };
+        // SSE falls steeply up to the true k, then flattens.
+        let s1 = sse_at(1);
+        let s3 = sse_at(3);
+        let s6 = sse_at(6);
+        assert!(s3 < s1 * 0.2, "elbow drop: {s3} vs {s1}");
+        assert!(s6 > s3 * 0.3, "beyond the elbow the drop flattens");
+    }
+}

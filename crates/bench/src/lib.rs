@@ -1,0 +1,52 @@
+//! # dm-bench
+//!
+//! The experiment harness reproducing every table and figure of the
+//! evaluation plan in `DESIGN.md` (experiments E1–E12 plus the two
+//! ablations A1–A2). Each experiment is a pure function returning the
+//! formatted table/series it regenerates; the `experiments` binary
+//! prints them, and Criterion benches (in `benches/`) time the hot
+//! kernels.
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run --release -p dm-bench --bin experiments -- all
+//! ```
+//!
+//! or a single experiment by id (`e1` … `e13`, `a1`, `a2`).
+
+
+#![warn(missing_docs)]
+pub mod assoc_exp;
+pub mod classify_exp;
+pub mod cluster_exp;
+pub mod seq_exp;
+pub mod table;
+
+/// All experiment ids, in order.
+pub const ALL_EXPERIMENTS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "a1", "a2",
+];
+
+/// Runs one experiment by id, returning its report. `None` for unknown
+/// ids.
+pub fn run(id: &str) -> Option<String> {
+    Some(match id {
+        "e1" => assoc_exp::e1_miner_times(),
+        "e2" => assoc_exp::e2_per_pass(),
+        "e3" => assoc_exp::e3_scaleup_transactions(),
+        "e4" => assoc_exp::e4_scaleup_width(),
+        "e5" => assoc_exp::e5_rule_counts(),
+        "e6" => cluster_exp::e6_elbow_and_init(),
+        "e7" => cluster_exp::e7_quality_comparison(),
+        "e8" => cluster_exp::e8_scaling(),
+        "e9" => classify_exp::e9_accuracy_table(),
+        "e10" => classify_exp::e10_learning_curve(),
+        "e11" => classify_exp::e11_train_time_scaleup(),
+        "e12" => classify_exp::e12_noise_sensitivity(),
+        "e13" => seq_exp::e13_sequential_patterns(),
+        "a1" => assoc_exp::a1_hashtree_ablation(),
+        "a2" => cluster_exp::a2_birch_ablation(),
+        _ => return None,
+    })
+}

@@ -1,0 +1,411 @@
+//! Agglomerative hierarchical clustering with Lance–Williams updates.
+
+use crate::{Clusterer, Clustering};
+use dm_dataset::matrix::{euclidean, euclidean_sq};
+use dm_dataset::{DataError, Matrix};
+
+/// Inter-cluster distance definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance (chains).
+    Single,
+    /// Maximum pairwise distance (compact, diameter-bounded).
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA).
+    Average,
+    /// Ward's minimum-variance criterion (on squared distances).
+    Ward,
+}
+
+/// One merge step of the dendrogram. Cluster ids: leaves are `0..n`,
+/// the cluster created by merge `i` has id `n + i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Merge {
+    /// First merged cluster id.
+    pub a: usize,
+    /// Second merged cluster id.
+    pub b: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+    /// Size of the resulting cluster.
+    pub size: usize,
+}
+
+/// A full merge history over `n_leaves` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    /// Number of original points.
+    pub n_leaves: usize,
+    /// The `n_leaves - 1` merges in execution order.
+    pub merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Cuts the dendrogram into `k` clusters: applies the first
+    /// `n_leaves - k` merges and labels the resulting components `0..k`
+    /// in order of their smallest member index.
+    pub fn cut(&self, k: usize) -> Result<Vec<u32>, DataError> {
+        let n = self.n_leaves;
+        if k == 0 || k > n {
+            return Err(DataError::InvalidParameter(format!(
+                "cannot cut {n} leaves into {k} clusters"
+            )));
+        }
+        // Union-find over leaves; merge node ids map to representatives.
+        let mut parent: Vec<usize> = (0..n + self.merges.len()).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for (i, m) in self.merges.iter().take(n - k).enumerate() {
+            let node = n + i;
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            parent[ra] = node;
+            parent[rb] = node;
+        }
+        // Label components by first appearance.
+        let mut label_of_root: std::collections::HashMap<usize, u32> =
+            std::collections::HashMap::new();
+        let mut labels = Vec::with_capacity(n);
+        for leaf in 0..n {
+            let root = find(&mut parent, leaf);
+            let next = label_of_root.len() as u32;
+            labels.push(*label_of_root.entry(root).or_insert(next));
+        }
+        Ok(labels)
+    }
+
+    /// Merge distances in execution order (useful for choosing `k`).
+    pub fn heights(&self) -> Vec<f64> {
+        self.merges.iter().map(|m| m.distance).collect()
+    }
+}
+
+/// Bottom-up hierarchical clusterer producing `k` flat clusters (and the
+/// full [`Dendrogram`] via [`Agglomerative::fit_dendrogram`]).
+///
+/// Runs in O(n²) memory and roughly O(n²)–O(n³) time via a
+/// nearest-neighbour cache over the evolving distance matrix.
+#[derive(Debug, Clone)]
+pub struct Agglomerative {
+    k: usize,
+    linkage: Linkage,
+}
+
+impl Agglomerative {
+    /// Creates a hierarchical clusterer cutting at `k` clusters, average
+    /// linkage by default.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            linkage: Linkage::Average,
+        }
+    }
+
+    /// Sets the linkage criterion.
+    pub fn with_linkage(mut self, linkage: Linkage) -> Self {
+        self.linkage = linkage;
+        self
+    }
+
+    /// Builds the full dendrogram for `data`.
+    pub fn fit_dendrogram(&self, data: &Matrix) -> Result<Dendrogram, DataError> {
+        let n = data.rows();
+        if n == 0 {
+            return Err(DataError::Empty("matrix"));
+        }
+        if n == 1 {
+            return Ok(Dendrogram {
+                n_leaves: 1,
+                merges: vec![],
+            });
+        }
+        // Ward works on squared Euclidean distances.
+        let squared = self.linkage == Linkage::Ward;
+        let mut dist = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = if squared {
+                    euclidean_sq(data.row(i), data.row(j))
+                } else {
+                    euclidean(data.row(i), data.row(j))
+                };
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+        }
+        let mut active: Vec<bool> = vec![true; n];
+        let mut size: Vec<usize> = vec![1; n];
+        // node_id[slot] = current dendrogram id of the cluster in `slot`.
+        let mut node_id: Vec<usize> = (0..n).collect();
+        // Nearest-neighbour cache per active slot.
+        let mut nn: Vec<usize> = vec![0; n];
+        let mut nn_dist: Vec<f64> = vec![f64::INFINITY; n];
+        let recompute_nn = |slot: usize,
+                            dist: &[f64],
+                            active: &[bool],
+                            nn: &mut [usize],
+                            nn_dist: &mut [f64]| {
+            let mut best = (usize::MAX, f64::INFINITY);
+            for j in 0..n {
+                if j != slot && active[j] {
+                    let d = dist[slot * n + j];
+                    if d < best.1 {
+                        best = (j, d);
+                    }
+                }
+            }
+            nn[slot] = best.0;
+            nn_dist[slot] = best.1;
+        };
+        for slot in 0..n {
+            recompute_nn(slot, &dist, &active, &mut nn, &mut nn_dist);
+        }
+
+        let mut merges: Vec<Merge> = Vec::with_capacity(n - 1);
+        for step in 0..(n - 1) {
+            // Global minimum over the NN cache.
+            let a = (0..n)
+                .filter(|&s| active[s])
+                .min_by(|&x, &y| nn_dist[x].partial_cmp(&nn_dist[y]).expect("finite"))
+                .expect("at least two active slots");
+            let b = nn[a];
+            let d_ab = nn_dist[a];
+            debug_assert!(active[b]);
+
+            // Record the merge (report sqrt for Ward so heights are in
+            // distance units).
+            merges.push(Merge {
+                a: node_id[a],
+                b: node_id[b],
+                distance: if squared { d_ab.sqrt() } else { d_ab },
+                size: size[a] + size[b],
+            });
+
+            // Lance–Williams update into slot a; deactivate slot b.
+            let (na, nb) = (size[a] as f64, size[b] as f64);
+            for o in 0..n {
+                if !active[o] || o == a || o == b {
+                    continue;
+                }
+                let d_ao = dist[a * n + o];
+                let d_bo = dist[b * n + o];
+                let newd = match self.linkage {
+                    Linkage::Single => d_ao.min(d_bo),
+                    Linkage::Complete => d_ao.max(d_bo),
+                    Linkage::Average => (na * d_ao + nb * d_bo) / (na + nb),
+                    Linkage::Ward => {
+                        let no = size[o] as f64;
+                        ((na + no) * d_ao + (nb + no) * d_bo - no * d_ab) / (na + nb + no)
+                    }
+                };
+                dist[a * n + o] = newd;
+                dist[o * n + a] = newd;
+            }
+            active[b] = false;
+            size[a] += size[b];
+            node_id[a] = n + step;
+
+            // Refresh NN caches: slot a changed; any slot whose NN was a
+            // or b must rescan; others may adopt a if it got closer.
+            recompute_nn(a, &dist, &active, &mut nn, &mut nn_dist);
+            for s in 0..n {
+                if !active[s] || s == a {
+                    continue;
+                }
+                if nn[s] == a || nn[s] == b {
+                    recompute_nn(s, &dist, &active, &mut nn, &mut nn_dist);
+                } else {
+                    let d = dist[s * n + a];
+                    if d < nn_dist[s] {
+                        nn[s] = a;
+                        nn_dist[s] = d;
+                    }
+                }
+            }
+        }
+        Ok(Dendrogram {
+            n_leaves: n,
+            merges,
+        })
+    }
+}
+
+impl Clusterer for Agglomerative {
+    fn name(&self) -> &'static str {
+        match self.linkage {
+            Linkage::Single => "hier-single",
+            Linkage::Complete => "hier-complete",
+            Linkage::Average => "hier-average",
+            Linkage::Ward => "hier-ward",
+        }
+    }
+
+    fn fit(&self, data: &Matrix) -> Result<Clustering, DataError> {
+        if self.k == 0 || self.k > data.rows() {
+            return Err(DataError::InvalidParameter(format!(
+                "cannot form {} clusters from {} points",
+                self.k,
+                data.rows()
+            )));
+        }
+        let dendrogram = self.fit_dendrogram(data)?;
+        let assignments = dendrogram.cut(self.k)?;
+        Ok(Clustering {
+            assignments,
+            n_clusters: self.k,
+            centroids: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_synth::{ClusterSpec, GaussianMixture};
+
+    fn line_data() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0],
+            vec![1.0],
+            vec![2.0],
+            vec![10.0],
+            vec![11.0],
+            vec![12.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn two_groups_on_a_line() {
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
+            let c = Agglomerative::new(2)
+                .with_linkage(linkage)
+                .fit(&line_data())
+                .unwrap();
+            assert_eq!(&c.assignments[..3], &[c.assignments[0]; 3]);
+            assert_eq!(&c.assignments[3..], &[c.assignments[3]; 3]);
+            assert_ne!(c.assignments[0], c.assignments[3], "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn dendrogram_structure() {
+        let d = Agglomerative::new(1).fit_dendrogram(&line_data()).unwrap();
+        assert_eq!(d.n_leaves, 6);
+        assert_eq!(d.merges.len(), 5);
+        // Final merge contains everything.
+        assert_eq!(d.merges.last().unwrap().size, 6);
+        // Cutting at 1 gives one cluster; at n gives singletons.
+        assert!(d.cut(1).unwrap().iter().all(|&l| l == 0));
+        let singles = d.cut(6).unwrap();
+        let mut sorted = singles.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+        assert!(d.cut(0).is_err());
+        assert!(d.cut(7).is_err());
+    }
+
+    #[test]
+    fn single_linkage_heights_are_monotone() {
+        let d = Agglomerative::new(1)
+            .with_linkage(Linkage::Single)
+            .fit_dendrogram(&line_data())
+            .unwrap();
+        let h = d.heights();
+        // Single linkage is monotone: heights never decrease.
+        assert!(h.windows(2).all(|w| w[0] <= w[1] + 1e-12), "{h:?}");
+        // First merges happen at distance 1, the bridge at distance 8.
+        assert!((h[0] - 1.0).abs() < 1e-12);
+        assert!((h.last().unwrap() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovers_gaussian_blobs() {
+        let (data, truth) = GaussianMixture::new(vec![
+            ClusterSpec::new(vec![0.0, 0.0], 0.5, 40),
+            ClusterSpec::new(vec![10.0, 0.0], 0.5, 40),
+            ClusterSpec::new(vec![5.0, 9.0], 0.5, 40),
+        ])
+        .unwrap()
+        .generate(3);
+        for linkage in [Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            let c = Agglomerative::new(3)
+                .with_linkage(linkage)
+                .fit(&data)
+                .unwrap();
+            let ari = dm_eval::adjusted_rand_index(&truth, &c.assignments).unwrap();
+            assert!(ari > 0.95, "{linkage:?} ari {ari}");
+        }
+    }
+
+    #[test]
+    fn single_linkage_chains_where_others_do_not() {
+        // A chain of points bridging two blobs: single linkage follows
+        // the chain, complete linkage cuts it.
+        let mut rows = Vec::new();
+        for i in 0..5 {
+            rows.push(vec![i as f64 * 0.5, 0.0]);
+        }
+        for i in 0..5 {
+            rows.push(vec![20.0 + i as f64 * 0.5, 0.0]);
+        }
+        // the bridge
+        for i in 1..8 {
+            rows.push(vec![2.5 + i as f64 * 2.45, 0.0]);
+        }
+        let data = Matrix::from_rows(&rows).unwrap();
+        let single = Agglomerative::new(2)
+            .with_linkage(Linkage::Single)
+            .fit(&data)
+            .unwrap();
+        let complete = Agglomerative::new(2)
+            .with_linkage(Linkage::Complete)
+            .fit(&data)
+            .unwrap();
+        // Single linkage merges across the bridge, so one cluster holds
+        // almost everything.
+        let s_sizes = single.cluster_sizes();
+        let c_sizes = complete.cluster_sizes();
+        assert!(s_sizes.iter().max() > c_sizes.iter().max());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let one = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        let d = Agglomerative::new(1).fit_dendrogram(&one).unwrap();
+        assert!(d.merges.is_empty());
+        assert_eq!(d.cut(1).unwrap(), vec![0]);
+        let c = Agglomerative::new(1).fit(&one).unwrap();
+        assert_eq!(c.assignments, vec![0]);
+        assert!(Agglomerative::new(2).fit(&one).is_err());
+        assert!(Agglomerative::new(0).fit(&one).is_err());
+        let empty = Matrix::from_rows(&[]).unwrap();
+        assert!(Agglomerative::new(1).fit_dendrogram(&empty).is_err());
+    }
+
+    #[test]
+    fn duplicate_points() {
+        let data = Matrix::from_rows(&vec![vec![1.0, 1.0]; 5]).unwrap();
+        let c = Agglomerative::new(2).fit(&data).unwrap();
+        assert_eq!(c.assignments.len(), 5);
+        let d = Agglomerative::new(1).fit_dendrogram(&data).unwrap();
+        assert!(d.heights().iter().all(|&h| h == 0.0));
+    }
+}

@@ -1,0 +1,661 @@
+//! BIRCH: balanced iterative reducing and clustering using hierarchies
+//! (Zhang, Ramakrishnan & Livny, SIGMOD 1996).
+//!
+//! Phase 1 condenses the data into a height-balanced **CF-tree** whose
+//! leaf entries are [`ClusteringFeature`]s — `(n, LS, SS)` summaries that
+//! absorb points while their radius stays under a threshold. Phase 3
+//! runs weighted k-means over the (few) leaf-entry centroids, and phase
+//! 4 relabels the original points by nearest global centroid. The result
+//! is k-means-quality clustering in a single data pass plus work
+//! proportional to the number of leaf entries — the near-linear scaling
+//! that experiment E8 reproduces against the O(n²)-plus hierarchical
+//! baseline.
+
+use crate::{Clusterer, Clustering};
+use dm_dataset::matrix::euclidean_sq;
+use dm_dataset::{DataError, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A clustering feature: the sufficient statistics `(n, LS, SS)` of a
+/// set of points (count, per-dimension linear sum, total squared norm).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusteringFeature {
+    /// Number of absorbed points.
+    pub n: usize,
+    /// Per-dimension linear sum.
+    pub ls: Vec<f64>,
+    /// Sum of squared norms of the points.
+    pub ss: f64,
+}
+
+impl ClusteringFeature {
+    /// An empty CF of the given dimensionality.
+    pub fn empty(dims: usize) -> Self {
+        Self {
+            n: 0,
+            ls: vec![0.0; dims],
+            ss: 0.0,
+        }
+    }
+
+    /// A CF holding a single point.
+    pub fn from_point(p: &[f64]) -> Self {
+        Self {
+            n: 1,
+            ls: p.to_vec(),
+            ss: p.iter().map(|x| x * x).sum(),
+        }
+    }
+
+    /// Absorbs a point.
+    pub fn add_point(&mut self, p: &[f64]) {
+        debug_assert_eq!(p.len(), self.ls.len());
+        self.n += 1;
+        for (s, &x) in self.ls.iter_mut().zip(p) {
+            *s += x;
+        }
+        self.ss += p.iter().map(|x| x * x).sum::<f64>();
+    }
+
+    /// Merges another CF (the additivity theorem).
+    pub fn merge(&mut self, other: &ClusteringFeature) {
+        debug_assert_eq!(self.ls.len(), other.ls.len());
+        self.n += other.n;
+        for (s, &x) in self.ls.iter_mut().zip(&other.ls) {
+            *s += x;
+        }
+        self.ss += other.ss;
+    }
+
+    /// The centroid `LS / n`.
+    pub fn centroid(&self) -> Vec<f64> {
+        let n = self.n.max(1) as f64;
+        self.ls.iter().map(|&s| s / n).collect()
+    }
+
+    /// The radius: RMS distance of member points from the centroid.
+    ///
+    /// `R² = SS/n − ‖LS/n‖²` (clamped at 0 against rounding).
+    pub fn radius(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let centroid_norm_sq: f64 = self.ls.iter().map(|&s| (s / n) * (s / n)).sum();
+        (self.ss / n - centroid_norm_sq).max(0.0).sqrt()
+    }
+
+    /// Squared distance between this CF's centroid and a point.
+    fn centroid_dist_sq(&self, p: &[f64]) -> f64 {
+        let n = self.n.max(1) as f64;
+        let mut d = 0.0;
+        for (&s, &x) in self.ls.iter().zip(p) {
+            let diff = s / n - x;
+            d += diff * diff;
+        }
+        d
+    }
+}
+
+/// Structural statistics of a built CF-tree (exposed for tests and the
+/// ablation benchmark).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CfNodeStats {
+    /// Number of leaf nodes.
+    pub leaves: usize,
+    /// Total leaf entries (sub-clusters).
+    pub leaf_entries: usize,
+    /// Tree height (1 = root is a leaf).
+    pub height: usize,
+}
+
+enum CfNode {
+    Leaf {
+        entries: Vec<ClusteringFeature>,
+    },
+    Interior {
+        entries: Vec<(ClusteringFeature, Box<CfNode>)>,
+    },
+}
+
+impl CfNode {
+    fn stats(&self, depth: usize, out: &mut CfNodeStats) {
+        out.height = out.height.max(depth);
+        match self {
+            CfNode::Leaf { entries } => {
+                out.leaves += 1;
+                out.leaf_entries += entries.len();
+            }
+            CfNode::Interior { entries } => {
+                for (_, child) in entries {
+                    child.stats(depth + 1, out);
+                }
+            }
+        }
+    }
+
+    fn collect_leaf_entries<'a>(&'a self, out: &mut Vec<&'a ClusteringFeature>) {
+        match self {
+            CfNode::Leaf { entries } => out.extend(entries.iter()),
+            CfNode::Interior { entries } => {
+                for (_, child) in entries {
+                    child.collect_leaf_entries(out);
+                }
+            }
+        }
+    }
+
+    /// Inserts a point; returns a split sibling (with its CF) when this
+    /// node overflowed.
+    fn insert(
+        &mut self,
+        p: &[f64],
+        threshold: f64,
+        branching: usize,
+    ) -> Option<(ClusteringFeature, Box<CfNode>)> {
+        match self {
+            CfNode::Leaf { entries } => {
+                if let Some(best) = entries
+                    .iter_mut()
+                    .min_by(|a, b| {
+                        a.centroid_dist_sq(p)
+                            .partial_cmp(&b.centroid_dist_sq(p))
+                            .expect("finite")
+                    })
+                {
+                    // Tentatively absorb; undo if the radius bound breaks.
+                    let mut candidate = best.clone();
+                    candidate.add_point(p);
+                    if candidate.radius() <= threshold {
+                        *best = candidate;
+                        return None;
+                    }
+                }
+                entries.push(ClusteringFeature::from_point(p));
+                if entries.len() <= branching {
+                    None
+                } else {
+                    Some(split_entries(entries).map_node(|e| CfNode::Leaf { entries: e }))
+                }
+            }
+            CfNode::Interior { entries } => {
+                let idx = entries
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, (a, _)), (_, (b, _))| {
+                        a.centroid_dist_sq(p)
+                            .partial_cmp(&b.centroid_dist_sq(p))
+                            .expect("finite")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("interior nodes are non-empty");
+                entries[idx].0.add_point(p);
+                if let Some((sib_cf, sib_node)) = entries[idx].1.insert(p, threshold, branching) {
+                    // Child split: recompute the child's CF and add the sibling.
+                    entries[idx].0 = cf_of_node(&entries[idx].1);
+                    entries.push((sib_cf, sib_node));
+                    if entries.len() > branching {
+                        let split = split_interior(entries);
+                        return Some(split);
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+/// Helper carrying the entries moved to a new sibling during a split.
+struct SplitOut<E> {
+    moved: Vec<E>,
+}
+
+impl<E> SplitOut<E> {
+    fn map_node(
+        self,
+        make: impl FnOnce(Vec<E>) -> CfNode,
+    ) -> (ClusteringFeature, Box<CfNode>)
+    where
+        E: HasCf,
+    {
+        let mut cf = ClusteringFeature::empty(self.moved.first().map_or(0, |e| e.cf().ls.len()));
+        for e in &self.moved {
+            cf.merge(e.cf());
+        }
+        (cf, Box::new(make(self.moved)))
+    }
+}
+
+trait HasCf {
+    fn cf(&self) -> &ClusteringFeature;
+}
+
+impl HasCf for ClusteringFeature {
+    fn cf(&self) -> &ClusteringFeature {
+        self
+    }
+}
+
+impl HasCf for (ClusteringFeature, Box<CfNode>) {
+    fn cf(&self) -> &ClusteringFeature {
+        &self.0
+    }
+}
+
+/// Splits an overfull entry list by farthest-pair seeding: the two most
+/// distant entries seed the two groups, the rest join the nearer seed.
+/// The entries staying behind remain in `entries`; the moved group is
+/// returned.
+fn split_entries<E: HasCf>(entries: &mut Vec<E>) -> SplitOut<E> {
+    let n = entries.len();
+    debug_assert!(n >= 2);
+    let mut far = (0usize, 1usize, -1.0f64);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let ci = entries[i].cf().centroid();
+            let cj = entries[j].cf().centroid();
+            let d = euclidean_sq(&ci, &cj);
+            if d > far.2 {
+                far = (i, j, d);
+            }
+        }
+    }
+    let (seed_a, seed_b) = (far.0, far.1);
+    let ca = entries[seed_a].cf().centroid();
+    let cb = entries[seed_b].cf().centroid();
+    let mut keep: Vec<E> = Vec::new();
+    let mut moved: Vec<E> = Vec::new();
+    for (i, e) in entries.drain(..).enumerate() {
+        let c = e.cf().centroid();
+        let to_a = if i == seed_a {
+            true
+        } else if i == seed_b {
+            false
+        } else {
+            euclidean_sq(&c, &ca) <= euclidean_sq(&c, &cb)
+        };
+        if to_a {
+            keep.push(e);
+        } else {
+            moved.push(e);
+        }
+    }
+    *entries = keep;
+    SplitOut { moved }
+}
+
+fn split_interior(
+    entries: &mut Vec<(ClusteringFeature, Box<CfNode>)>,
+) -> (ClusteringFeature, Box<CfNode>) {
+    split_entries(entries).map_node(|e| CfNode::Interior { entries: e })
+}
+
+fn cf_of_node(node: &CfNode) -> ClusteringFeature {
+    match node {
+        CfNode::Leaf { entries } => {
+            let mut cf = ClusteringFeature::empty(entries.first().map_or(0, |e| e.ls.len()));
+            for e in entries {
+                cf.merge(e);
+            }
+            cf
+        }
+        CfNode::Interior { entries } => {
+            let mut cf =
+                ClusteringFeature::empty(entries.first().map_or(0, |(c, _)| c.ls.len()));
+            for (c, _) in entries {
+                cf.merge(c);
+            }
+            cf
+        }
+    }
+}
+
+/// The BIRCH clusterer.
+#[derive(Debug, Clone)]
+pub struct Birch {
+    k: usize,
+    branching: usize,
+    threshold: f64,
+    seed: u64,
+}
+
+impl Birch {
+    /// Creates a BIRCH clusterer with branching factor 8 and threshold
+    /// 0.5 (in data units).
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            branching: 8,
+            threshold: 0.5,
+            seed: 0,
+        }
+    }
+
+    /// Sets the CF-tree branching factor (≥ 2).
+    pub fn with_branching(mut self, branching: usize) -> Self {
+        self.branching = branching;
+        self
+    }
+
+    /// Sets the leaf-entry radius threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Sets the seed of the global k-means phase.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn build_tree(&self, data: &Matrix) -> CfNode {
+        let mut root = CfNode::Leaf {
+            entries: Vec::new(),
+        };
+        for i in 0..data.rows() {
+            if let Some((sib_cf, sib_node)) =
+                root.insert(data.row(i), self.threshold, self.branching)
+            {
+                // Root split: grow a new root.
+                let old = std::mem::replace(
+                    &mut root,
+                    CfNode::Interior {
+                        entries: Vec::new(),
+                    },
+                );
+                let old_cf = cf_of_node(&old);
+                if let CfNode::Interior { entries } = &mut root {
+                    entries.push((old_cf, Box::new(old)));
+                    entries.push((sib_cf, sib_node));
+                }
+            }
+        }
+        root
+    }
+
+    /// Builds the CF-tree and reports its shape (for tests/ablations).
+    pub fn tree_stats(&self, data: &Matrix) -> Result<CfNodeStats, DataError> {
+        if data.rows() == 0 {
+            return Err(DataError::Empty("matrix"));
+        }
+        if self.branching < 2 {
+            return Err(DataError::InvalidParameter("branching must be >= 2".into()));
+        }
+        let tree = self.build_tree(data);
+        let mut stats = CfNodeStats {
+            leaves: 0,
+            leaf_entries: 0,
+            height: 0,
+        };
+        tree.stats(1, &mut stats);
+        Ok(stats)
+    }
+
+    /// Weighted k-means++ over leaf-entry centroids.
+    fn global_kmeans(&self, entries: &[&ClusteringFeature]) -> Matrix {
+        let dims = entries[0].ls.len();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let centroids_of: Vec<Vec<f64>> = entries.iter().map(|e| e.centroid()).collect();
+        let weights: Vec<f64> = entries.iter().map(|e| e.n as f64).collect();
+
+        // k-means++ seeding weighted by entry size.
+        let mut centers: Vec<Vec<f64>> = Vec::with_capacity(self.k);
+        let total_w: f64 = weights.iter().sum();
+        let mut x = rng.gen::<f64>() * total_w;
+        let mut first = 0usize;
+        for (i, &w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                first = i;
+                break;
+            }
+        }
+        centers.push(centroids_of[first].clone());
+        let mut dist2: Vec<f64> = centroids_of
+            .iter()
+            .map(|c| euclidean_sq(c, &centers[0]))
+            .collect();
+        while centers.len() < self.k {
+            let scores: Vec<f64> = dist2
+                .iter()
+                .zip(&weights)
+                .map(|(&d, &w)| d * w)
+                .collect();
+            let total: f64 = scores.iter().sum();
+            let pick = if total <= 0.0 {
+                rng.gen_range(0..centroids_of.len())
+            } else {
+                let mut x = rng.gen::<f64>() * total;
+                let mut pick = centroids_of.len() - 1;
+                for (i, &s) in scores.iter().enumerate() {
+                    x -= s;
+                    if x <= 0.0 {
+                        pick = i;
+                        break;
+                    }
+                }
+                pick
+            };
+            centers.push(centroids_of[pick].clone());
+            for (i, c) in centroids_of.iter().enumerate() {
+                let d = euclidean_sq(c, centers.last().expect("just pushed"));
+                if d < dist2[i] {
+                    dist2[i] = d;
+                }
+            }
+        }
+
+        // Weighted Lloyd iterations over the entries.
+        for _ in 0..50 {
+            let mut sums = vec![vec![0.0f64; dims]; self.k];
+            let mut counts = vec![0.0f64; self.k];
+            for (e, c) in entries.iter().zip(&centroids_of) {
+                let best = centers
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        euclidean_sq(a, c)
+                            .partial_cmp(&euclidean_sq(b, c))
+                            .expect("finite")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("k >= 1");
+                for (s, &x) in sums[best].iter_mut().zip(&e.ls) {
+                    *s += x;
+                }
+                counts[best] += e.n as f64;
+            }
+            let mut changed = false;
+            for (ci, center) in centers.iter_mut().enumerate() {
+                if counts[ci] > 0.0 {
+                    for (c, &s) in center.iter_mut().zip(&sums[ci]) {
+                        let new = s / counts[ci];
+                        if (new - *c).abs() > 1e-12 {
+                            changed = true;
+                        }
+                        *c = new;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Matrix::from_rows(&centers).expect("consistent dims")
+    }
+}
+
+impl Clusterer for Birch {
+    fn name(&self) -> &'static str {
+        "birch"
+    }
+
+    fn fit(&self, data: &Matrix) -> Result<Clustering, DataError> {
+        let n = data.rows();
+        if self.k == 0 {
+            return Err(DataError::InvalidParameter("k must be >= 1".into()));
+        }
+        if n < self.k {
+            return Err(DataError::InvalidParameter(format!(
+                "cannot form {} clusters from {n} points",
+                self.k
+            )));
+        }
+        if self.branching < 2 {
+            return Err(DataError::InvalidParameter("branching must be >= 2".into()));
+        }
+        if self.threshold < 0.0 {
+            return Err(DataError::InvalidParameter(
+                "threshold must be non-negative".into(),
+            ));
+        }
+        // Phase 1: condense.
+        let tree = self.build_tree(data);
+        let mut entries: Vec<&ClusteringFeature> = Vec::new();
+        tree.collect_leaf_entries(&mut entries);
+
+        // Phase 3: global clustering. If condensation was too aggressive
+        // for k, fall back to clustering the raw points.
+        let centroids = if entries.len() >= self.k {
+            self.global_kmeans(&entries)
+        } else {
+            crate::kmeans::KMeans::new(self.k)
+                .with_seed(self.seed)
+                .fit_model(data)?
+                .centroids
+        };
+
+        // Phase 4: relabel original points.
+        let assignments: Vec<u32> = (0..n)
+            .map(|i| {
+                (0..self.k)
+                    .min_by(|&a, &b| {
+                        euclidean_sq(centroids.row(a), data.row(i))
+                            .partial_cmp(&euclidean_sq(centroids.row(b), data.row(i)))
+                            .expect("finite")
+                    })
+                    .expect("k >= 1") as u32
+            })
+            .collect();
+        Ok(Clustering {
+            assignments,
+            n_clusters: self.k,
+            centroids: Some(centroids),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_synth::{ClusterSpec, GaussianMixture};
+
+    #[test]
+    fn cf_additivity() {
+        let points = [[1.0, 2.0], [3.0, -1.0], [0.5, 0.5], [2.0, 2.0]];
+        let mut whole = ClusteringFeature::empty(2);
+        for p in &points {
+            whole.add_point(p);
+        }
+        let mut a = ClusteringFeature::empty(2);
+        a.add_point(&points[0]);
+        a.add_point(&points[1]);
+        let mut b = ClusteringFeature::empty(2);
+        b.add_point(&points[2]);
+        b.add_point(&points[3]);
+        a.merge(&b);
+        assert_eq!(a.n, whole.n);
+        assert_eq!(a.ls, whole.ls);
+        assert!((a.ss - whole.ss).abs() < 1e-12);
+        assert!((a.radius() - whole.radius()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cf_centroid_and_radius() {
+        let mut cf = ClusteringFeature::from_point(&[0.0, 0.0]);
+        cf.add_point(&[2.0, 0.0]);
+        assert_eq!(cf.centroid(), vec![1.0, 0.0]);
+        assert!((cf.radius() - 1.0).abs() < 1e-12);
+        assert_eq!(ClusteringFeature::empty(2).radius(), 0.0);
+    }
+
+    #[test]
+    fn tree_condenses_points() {
+        let (data, _) = GaussianMixture::well_separated(4, 2, 200, 10.0)
+            .unwrap()
+            .generate(1);
+        let stats = Birch::new(4)
+            .with_threshold(1.0)
+            .tree_stats(&data)
+            .unwrap();
+        assert!(stats.leaf_entries > 0);
+        assert!(
+            stats.leaf_entries < data.rows() / 4,
+            "tree should condense: {} entries for {} points",
+            stats.leaf_entries,
+            data.rows()
+        );
+        assert!(stats.height >= 1);
+    }
+
+    #[test]
+    fn smaller_threshold_means_more_entries() {
+        let (data, _) = GaussianMixture::well_separated(3, 2, 150, 8.0)
+            .unwrap()
+            .generate(2);
+        let fine = Birch::new(3).with_threshold(0.1).tree_stats(&data).unwrap();
+        let coarse = Birch::new(3).with_threshold(2.0).tree_stats(&data).unwrap();
+        assert!(fine.leaf_entries > coarse.leaf_entries);
+    }
+
+    #[test]
+    fn recovers_gaussian_blobs() {
+        let (data, truth) = GaussianMixture::new(vec![
+            ClusterSpec::new(vec![0.0, 0.0], 0.5, 100),
+            ClusterSpec::new(vec![10.0, 0.0], 0.5, 100),
+            ClusterSpec::new(vec![5.0, 9.0], 0.5, 100),
+        ])
+        .unwrap()
+        .generate(7);
+        let c = Birch::new(3).with_threshold(1.0).fit(&data).unwrap();
+        let ari = dm_eval::adjusted_rand_index(&truth, &c.assignments).unwrap();
+        assert!(ari > 0.95, "ari {ari}");
+    }
+
+    #[test]
+    fn fallback_when_overcondensed() {
+        // Huge threshold: everything lands in one CF entry, but k=2 must
+        // still come back with 2 clusters via the raw-data fallback.
+        let data = Matrix::from_rows(&[
+            vec![0.0],
+            vec![0.1],
+            vec![10.0],
+            vec![10.1],
+        ])
+        .unwrap();
+        let c = Birch::new(2).with_threshold(1e9).fit(&data).unwrap();
+        assert_eq!(c.n_clusters, 2);
+        assert_ne!(c.assignments[0], c.assignments[2]);
+    }
+
+    #[test]
+    fn invalid_params() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        assert!(Birch::new(0).fit(&data).is_err());
+        assert!(Birch::new(3).fit(&data).is_err());
+        assert!(Birch::new(2).with_branching(1).fit(&data).is_err());
+        assert!(Birch::new(2).with_threshold(-1.0).fit(&data).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (data, _) = GaussianMixture::well_separated(3, 2, 80, 8.0)
+            .unwrap()
+            .generate(4);
+        let a = Birch::new(3).with_seed(5).fit(&data).unwrap();
+        let b = Birch::new(3).with_seed(5).fit(&data).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+    }
+}

@@ -1,0 +1,217 @@
+//! CLARA: clustering large applications (Kaufman & Rousseeuw 1990).
+//!
+//! CLARA scales PAM to large databases by sampling: it draws several
+//! random samples, runs PAM on each, and keeps the medoid set whose
+//! *whole-database* cost is lowest. The quality/time trade-off against
+//! exhaustive PAM and randomized CLARANS is part of experiment E7's
+//! story (the VLDB'94 CLARANS paper positions itself exactly between
+//! these two).
+
+use crate::{Clusterer, Clustering, Pam};
+use dm_dataset::matrix::euclidean;
+use dm_dataset::{DataError, Matrix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Sampling-based k-medoids clusterer.
+#[derive(Debug, Clone)]
+pub struct Clara {
+    k: usize,
+    n_samples: usize,
+    sample_size: Option<usize>,
+    seed: u64,
+}
+
+impl Clara {
+    /// Creates a CLARA clusterer with the book's defaults: 5 samples of
+    /// size `40 + 2k`.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            n_samples: 5,
+            sample_size: None,
+            seed: 0,
+        }
+    }
+
+    /// Number of samples drawn.
+    pub fn with_n_samples(mut self, n_samples: usize) -> Self {
+        self.n_samples = n_samples;
+        self
+    }
+
+    /// Overrides the per-sample size.
+    pub fn with_sample_size(mut self, sample_size: usize) -> Self {
+        self.sample_size = Some(sample_size);
+        self
+    }
+
+    /// Sets the sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs CLARA, returning `(clustering, medoid rows, total cost)`.
+    pub fn fit_medoids(&self, data: &Matrix) -> Result<(Clustering, Vec<usize>, f64), DataError> {
+        let n = data.rows();
+        if self.k == 0 {
+            return Err(DataError::InvalidParameter("k must be >= 1".into()));
+        }
+        if n < self.k {
+            return Err(DataError::InvalidParameter(format!(
+                "cannot form {} clusters from {n} points",
+                self.k
+            )));
+        }
+        if self.n_samples == 0 {
+            return Err(DataError::InvalidParameter("n_samples must be >= 1".into()));
+        }
+        let sample_size = self
+            .sample_size
+            .unwrap_or(40 + 2 * self.k)
+            .clamp(self.k, n);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut best: Option<(Vec<usize>, f64)> = None;
+
+        for _ in 0..self.n_samples {
+            // Draw a sample (without replacement) and solve it with PAM.
+            let mut pool: Vec<usize> = (0..n).collect();
+            pool.shuffle(&mut rng);
+            let sample: Vec<usize> = pool[..sample_size].to_vec();
+            let sub = data.select_rows(&sample);
+            let (_, sub_medoids) = Pam::new(self.k).fit_medoids(&sub)?;
+            // Map sample-local medoids back to database rows.
+            let medoids: Vec<usize> = sub_medoids.iter().map(|&m| sample[m]).collect();
+            // Score on the WHOLE database — the step that makes CLARA
+            // honest about sample quality.
+            let cost: f64 = (0..n)
+                .map(|i| {
+                    medoids
+                        .iter()
+                        .map(|&m| euclidean(data.row(i), data.row(m)))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum();
+            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                best = Some((medoids, cost));
+            }
+        }
+
+        let (medoids, cost) = best.expect("n_samples >= 1");
+        let assignments: Vec<u32> = (0..n)
+            .map(|i| {
+                medoids
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, &a), (_, &b)| {
+                        euclidean(data.row(i), data.row(a))
+                            .partial_cmp(&euclidean(data.row(i), data.row(b)))
+                            .expect("finite")
+                    })
+                    .map(|(c, _)| c as u32)
+                    .expect("k >= 1")
+            })
+            .collect();
+        let mut centroids = Matrix::zeros(self.k, data.cols());
+        for (c, &m) in medoids.iter().enumerate() {
+            centroids.row_mut(c).copy_from_slice(data.row(m));
+        }
+        Ok((
+            Clustering {
+                assignments,
+                n_clusters: self.k,
+                centroids: Some(centroids),
+            },
+            medoids,
+            cost,
+        ))
+    }
+}
+
+impl Clusterer for Clara {
+    fn name(&self) -> &'static str {
+        "clara"
+    }
+
+    fn fit(&self, data: &Matrix) -> Result<Clustering, DataError> {
+        Ok(self.fit_medoids(data)?.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_synth::GaussianMixture;
+    use std::time::Instant;
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (data, truth) = GaussianMixture::well_separated(3, 2, 150, 8.0)
+            .unwrap()
+            .generate(3);
+        let c = Clara::new(3).with_seed(1).fit(&data).unwrap();
+        let ari = dm_eval::adjusted_rand_index(&truth, &c.assignments).unwrap();
+        assert!(ari > 0.95, "ari {ari}");
+    }
+
+    #[test]
+    fn much_faster_than_pam_on_larger_data() {
+        let (data, _) = GaussianMixture::well_separated(4, 2, 200, 8.0)
+            .unwrap()
+            .generate(5);
+        let t0 = Instant::now();
+        Pam::new(4).fit(&data).unwrap();
+        let pam_time = t0.elapsed();
+        let t0 = Instant::now();
+        Clara::new(4).with_seed(2).fit(&data).unwrap();
+        let clara_time = t0.elapsed();
+        assert!(
+            clara_time < pam_time / 2,
+            "clara {clara_time:?} vs pam {pam_time:?}"
+        );
+    }
+
+    #[test]
+    fn cost_reasonably_close_to_pam() {
+        let (data, _) = GaussianMixture::well_separated(3, 2, 60, 8.0)
+            .unwrap()
+            .generate(7);
+        let (_, pam_medoids) = Pam::new(3).fit_medoids(&data).unwrap();
+        let pam_cost: f64 = (0..data.rows())
+            .map(|i| {
+                pam_medoids
+                    .iter()
+                    .map(|&m| euclidean(data.row(i), data.row(m)))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        let (_, _, clara_cost) = Clara::new(3).with_seed(4).fit_medoids(&data).unwrap();
+        assert!(
+            clara_cost <= pam_cost * 1.15,
+            "clara {clara_cost} vs pam {pam_cost}"
+        );
+    }
+
+    #[test]
+    fn sample_size_clamped_and_validated() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![9.0]]).unwrap();
+        // sample_size default (40+2k) exceeds n: clamps to n.
+        let c = Clara::new(2).fit(&data).unwrap();
+        assert_eq!(c.n_clusters, 2);
+        assert!(Clara::new(0).fit(&data).is_err());
+        assert!(Clara::new(4).fit(&data).is_err());
+        assert!(Clara::new(1).with_n_samples(0).fit(&data).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (data, _) = GaussianMixture::well_separated(3, 2, 80, 8.0)
+            .unwrap()
+            .generate(9);
+        let a = Clara::new(3).with_seed(11).fit(&data).unwrap();
+        let b = Clara::new(3).with_seed(11).fit(&data).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+    }
+}

@@ -1,0 +1,229 @@
+//! CLARANS: clustering large applications based on randomized search
+//! (Ng & Han, VLDB 1994).
+//!
+//! CLARANS views k-medoid clustering as a search over the graph whose
+//! nodes are medoid sets and whose edges swap one medoid for one
+//! non-medoid. From a random node it repeatedly samples random
+//! neighbours, moving whenever the cost improves; after `max_neighbor`
+//! consecutive non-improving samples the node is declared a local
+//! minimum. The best of `num_local` such minima wins. Compared to PAM's
+//! exhaustive steepest-descent SWAP it trades determinism for large-n
+//! tractability — the middle ground between PAM and sampling-based
+//! CLARA that the paper stakes out.
+
+use crate::{Clusterer, Clustering};
+use dm_dataset::matrix::euclidean;
+use dm_dataset::{DataError, Matrix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Randomized k-medoids clusterer.
+#[derive(Debug, Clone)]
+pub struct Clarans {
+    k: usize,
+    num_local: usize,
+    max_neighbor: Option<usize>,
+    seed: u64,
+}
+
+impl Clarans {
+    /// Creates a CLARANS clusterer with the paper's defaults:
+    /// `num_local = 2` and `max_neighbor = max(250, 1.25% · k(n−k))`.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            num_local: 2,
+            max_neighbor: None,
+            seed: 0,
+        }
+    }
+
+    /// Number of local minima to collect.
+    pub fn with_num_local(mut self, num_local: usize) -> Self {
+        self.num_local = num_local;
+        self
+    }
+
+    /// Overrides the non-improving-neighbour budget.
+    pub fn with_max_neighbor(mut self, max_neighbor: usize) -> Self {
+        self.max_neighbor = Some(max_neighbor);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total cost of a medoid set: each point's distance to its nearest
+    /// medoid.
+    fn cost(data: &Matrix, medoids: &[usize]) -> f64 {
+        let mut total = 0.0;
+        for i in 0..data.rows() {
+            let mut best = f64::INFINITY;
+            for &m in medoids {
+                let d = euclidean(data.row(i), data.row(m));
+                if d < best {
+                    best = d;
+                }
+            }
+            total += best;
+        }
+        total
+    }
+
+    /// Runs the search, returning `(clustering, medoids, cost)`.
+    pub fn fit_medoids(&self, data: &Matrix) -> Result<(Clustering, Vec<usize>, f64), DataError> {
+        let n = data.rows();
+        if self.k == 0 {
+            return Err(DataError::InvalidParameter("k must be >= 1".into()));
+        }
+        if n < self.k {
+            return Err(DataError::InvalidParameter(format!(
+                "cannot form {} clusters from {n} points",
+                self.k
+            )));
+        }
+        if self.num_local == 0 {
+            return Err(DataError::InvalidParameter("num_local must be >= 1".into()));
+        }
+        let max_neighbor = self.max_neighbor.unwrap_or_else(|| {
+            (((self.k * (n - self.k)) as f64 * 0.0125) as usize).max(250)
+        });
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut best: Option<(Vec<usize>, f64)> = None;
+
+        for _ in 0..self.num_local {
+            // Random starting node.
+            let mut pool: Vec<usize> = (0..n).collect();
+            pool.shuffle(&mut rng);
+            let mut medoids: Vec<usize> = pool[..self.k].to_vec();
+            let mut cost = Self::cost(data, &medoids);
+
+            let mut failures = 0usize;
+            while failures < max_neighbor {
+                // Random neighbour: swap one medoid for one non-medoid.
+                let mi = rng.gen_range(0..self.k);
+                let candidate = loop {
+                    let c = rng.gen_range(0..n);
+                    if !medoids.contains(&c) {
+                        break c;
+                    }
+                };
+                let old = medoids[mi];
+                medoids[mi] = candidate;
+                let new_cost = Self::cost(data, &medoids);
+                if new_cost + 1e-12 < cost {
+                    cost = new_cost;
+                    failures = 0;
+                } else {
+                    medoids[mi] = old;
+                    failures += 1;
+                }
+            }
+            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                best = Some((medoids, cost));
+            }
+        }
+
+        let (medoids, cost) = best.expect("num_local >= 1");
+        let assignments: Vec<u32> = (0..n)
+            .map(|i| {
+                medoids
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, &a), (_, &b)| {
+                        euclidean(data.row(i), data.row(a))
+                            .partial_cmp(&euclidean(data.row(i), data.row(b)))
+                            .expect("finite")
+                    })
+                    .map(|(c, _)| c as u32)
+                    .expect("k >= 1")
+            })
+            .collect();
+        let mut centroids = Matrix::zeros(self.k, data.cols());
+        for (c, &m) in medoids.iter().enumerate() {
+            centroids.row_mut(c).copy_from_slice(data.row(m));
+        }
+        Ok((
+            Clustering {
+                assignments,
+                n_clusters: self.k,
+                centroids: Some(centroids),
+            },
+            medoids,
+            cost,
+        ))
+    }
+}
+
+impl Clusterer for Clarans {
+    fn name(&self) -> &'static str {
+        "clarans"
+    }
+
+    fn fit(&self, data: &Matrix) -> Result<Clustering, DataError> {
+        Ok(self.fit_medoids(data)?.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pam;
+    use dm_synth::{ClusterSpec, GaussianMixture};
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (data, truth) = GaussianMixture::new(vec![
+            ClusterSpec::new(vec![0.0, 0.0], 0.5, 60),
+            ClusterSpec::new(vec![10.0, 0.0], 0.5, 60),
+            ClusterSpec::new(vec![5.0, 9.0], 0.5, 60),
+        ])
+        .unwrap()
+        .generate(4);
+        let c = Clarans::new(3).with_seed(1).fit(&data).unwrap();
+        let ari = dm_eval::adjusted_rand_index(&truth, &c.assignments).unwrap();
+        assert!(ari > 0.95, "ari {ari}");
+    }
+
+    #[test]
+    fn cost_close_to_pam_optimum() {
+        let (data, _) = GaussianMixture::well_separated(3, 2, 40, 8.0)
+            .unwrap()
+            .generate(6);
+        let (_, pam_medoids) = Pam::new(3).fit_medoids(&data).unwrap();
+        let pam_cost = Clarans::cost(&data, &pam_medoids);
+        let (_, _, clarans_cost) = Clarans::new(3)
+            .with_seed(2)
+            .with_num_local(3)
+            .fit_medoids(&data)
+            .unwrap();
+        assert!(
+            clarans_cost <= pam_cost * 1.1,
+            "clarans {clarans_cost} vs pam {pam_cost}"
+        );
+    }
+
+    #[test]
+    fn medoids_are_data_points_and_deterministic() {
+        let (data, _) = GaussianMixture::well_separated(2, 2, 30, 8.0)
+            .unwrap()
+            .generate(8);
+        let (c1, m1, _) = Clarans::new(2).with_seed(5).fit_medoids(&data).unwrap();
+        let (c2, m2, _) = Clarans::new(2).with_seed(5).fit_medoids(&data).unwrap();
+        assert_eq!(c1.assignments, c2.assignments);
+        assert_eq!(m1, m2);
+        assert!(m1.iter().all(|&m| m < data.rows()));
+    }
+
+    #[test]
+    fn invalid_params() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        assert!(Clarans::new(0).fit(&data).is_err());
+        assert!(Clarans::new(3).fit(&data).is_err());
+        assert!(Clarans::new(1).with_num_local(0).fit(&data).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! DBSCAN: density-based spatial clustering of applications with noise
+//! (Ester, Kriegel, Sander & Xu, KDD 1996).
+
+use crate::{Clusterer, Clustering, NOISE};
+use dm_dataset::matrix::euclidean_sq;
+use dm_dataset::{DataError, Matrix};
+
+/// Density-based clusterer: clusters are maximal sets of density-
+/// connected points; low-density points become [`NOISE`].
+///
+/// A point is a *core point* when at least `min_pts` points (including
+/// itself) lie within `eps`. Region queries are brute force O(n), giving
+/// O(n²) total — adequate at this repository's benchmark sizes and free
+/// of spatial-index edge cases.
+#[derive(Debug, Clone)]
+pub struct Dbscan {
+    eps: f64,
+    min_pts: usize,
+}
+
+impl Dbscan {
+    /// Creates a DBSCAN clusterer.
+    pub fn new(eps: f64, min_pts: usize) -> Self {
+        Self { eps, min_pts }
+    }
+}
+
+impl Clusterer for Dbscan {
+    fn name(&self) -> &'static str {
+        "dbscan"
+    }
+
+    fn fit(&self, data: &Matrix) -> Result<Clustering, DataError> {
+        if self.eps <= 0.0 {
+            return Err(DataError::InvalidParameter("eps must be positive".into()));
+        }
+        if self.min_pts == 0 {
+            return Err(DataError::InvalidParameter("min_pts must be >= 1".into()));
+        }
+        let n = data.rows();
+        let eps_sq = self.eps * self.eps;
+        let neighbors = |i: usize| -> Vec<usize> {
+            (0..n)
+                .filter(|&j| euclidean_sq(data.row(i), data.row(j)) <= eps_sq)
+                .collect()
+        };
+
+        const UNVISITED: u32 = u32::MAX - 1;
+        let mut labels = vec![UNVISITED; n];
+        let mut cluster = 0u32;
+        for i in 0..n {
+            if labels[i] != UNVISITED {
+                continue;
+            }
+            let seed_neighbors = neighbors(i);
+            if seed_neighbors.len() < self.min_pts {
+                labels[i] = NOISE;
+                continue;
+            }
+            // Expand a new cluster from core point i (BFS).
+            labels[i] = cluster;
+            let mut queue: Vec<usize> = seed_neighbors;
+            let mut qi = 0usize;
+            while qi < queue.len() {
+                let j = queue[qi];
+                qi += 1;
+                if labels[j] == NOISE {
+                    labels[j] = cluster; // border point adopted
+                }
+                if labels[j] != UNVISITED {
+                    continue;
+                }
+                labels[j] = cluster;
+                let j_neighbors = neighbors(j);
+                if j_neighbors.len() >= self.min_pts {
+                    queue.extend(j_neighbors);
+                }
+            }
+            cluster += 1;
+        }
+        debug_assert!(labels.iter().all(|&l| l != UNVISITED));
+        Ok(Clustering {
+            assignments: labels,
+            n_clusters: cluster as usize,
+            centroids: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_synth::{ClusterSpec, GaussianMixture};
+
+    #[test]
+    fn separates_dense_blobs_and_flags_noise() {
+        let (data, truth) = GaussianMixture::new(vec![
+            ClusterSpec::new(vec![0.0, 0.0], 0.3, 80),
+            ClusterSpec::new(vec![10.0, 10.0], 0.3, 80),
+        ])
+        .unwrap()
+        .with_noise(10, 30.0)
+        .generate(11);
+        let c = Dbscan::new(1.0, 5).fit(&data).unwrap();
+        assert_eq!(c.n_clusters, 2);
+        // The blob points agree with the ground truth (noise excluded).
+        let mut correct = 0;
+        let mut blob_points = 0;
+        for (i, &t) in truth.iter().enumerate() {
+            if t < 2 {
+                blob_points += 1;
+                if c.assignments[i] != NOISE {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(correct as f64 / blob_points as f64 > 0.98);
+        // Far-flung uniform noise is mostly labelled NOISE.
+        let noise_flagged = truth
+            .iter()
+            .enumerate()
+            .filter(|&(i, &t)| t == 2 && c.assignments[i] == NOISE)
+            .count();
+        assert!(noise_flagged >= 7, "only {noise_flagged}/10 noise flagged");
+    }
+
+    #[test]
+    fn all_noise_when_eps_tiny() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![5.0], vec![10.0]]).unwrap();
+        let c = Dbscan::new(0.1, 2).fit(&data).unwrap();
+        assert_eq!(c.n_clusters, 0);
+        assert_eq!(c.n_noise(), 3);
+    }
+
+    #[test]
+    fn one_cluster_when_eps_huge() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![5.0], vec![10.0]]).unwrap();
+        let c = Dbscan::new(100.0, 2).fit(&data).unwrap();
+        assert_eq!(c.n_clusters, 1);
+        assert_eq!(c.n_noise(), 0);
+    }
+
+    #[test]
+    fn follows_chains_like_single_linkage() {
+        // A dense chain is one cluster even though its ends are far apart.
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 * 0.5, 0.0]).collect();
+        let data = Matrix::from_rows(&rows).unwrap();
+        let c = Dbscan::new(0.6, 2).fit(&data).unwrap();
+        assert_eq!(c.n_clusters, 1);
+    }
+
+    #[test]
+    fn border_points_join_a_cluster() {
+        // Points: dense core at 0..4 (spacing 0.4), border at 2.0.
+        let data = Matrix::from_rows(&[
+            vec![0.0],
+            vec![0.4],
+            vec![0.8],
+            vec![1.2],
+            vec![2.0], // within eps of 1.2 but has only 2 neighbours
+        ])
+        .unwrap();
+        let c = Dbscan::new(0.9, 3).fit(&data).unwrap();
+        assert_eq!(c.n_clusters, 1);
+        assert_eq!(c.assignments[4], c.assignments[0]);
+    }
+
+    #[test]
+    fn invalid_params() {
+        let data = Matrix::from_rows(&[vec![0.0]]).unwrap();
+        assert!(Dbscan::new(0.0, 3).fit(&data).is_err());
+        assert!(Dbscan::new(-1.0, 3).fit(&data).is_err());
+        assert!(Dbscan::new(1.0, 0).fit(&data).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let data = Matrix::from_rows(&[]).unwrap();
+        let c = Dbscan::new(1.0, 2).fit(&data).unwrap();
+        assert_eq!(c.n_clusters, 0);
+        assert!(c.assignments.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (data, _) = GaussianMixture::well_separated(3, 2, 60, 8.0)
+            .unwrap()
+            .generate(3);
+        let a = Dbscan::new(1.5, 4).fit(&data).unwrap();
+        let b = Dbscan::new(1.5, 4).fit(&data).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+    }
+}

@@ -1,0 +1,380 @@
+//! Lloyd's k-means with pluggable initialization.
+
+
+// Numeric kernels below co-index several parallel arrays; indexed loops
+// are clearer than zipped iterator chains there.
+#![allow(clippy::needless_range_loop)]
+use crate::{Clusterer, Clustering};
+use dm_dataset::matrix::euclidean_sq;
+use dm_dataset::{DataError, Matrix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Centroid initialization strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// Forgy: k distinct random data points become the initial centroids.
+    Random,
+    /// k-means++ (Arthur & Vassilvitskii 2007): points are chosen with
+    /// probability proportional to their squared distance from the
+    /// nearest centroid chosen so far.
+    KMeansPlusPlus,
+}
+
+/// Lloyd's algorithm: alternate nearest-centroid assignment and centroid
+/// recomputation until assignments stabilize (or `max_iter`).
+///
+/// Empty clusters are re-seeded with the point farthest from its
+/// centroid, so the model always has exactly `k` non-empty clusters when
+/// `n >= k`.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    k: usize,
+    max_iter: usize,
+    init: Init,
+    seed: u64,
+}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone)]
+pub struct KMeansModel {
+    /// Final centroids, one row per cluster.
+    pub centroids: Matrix,
+    /// Per-point cluster assignments.
+    pub assignments: Vec<u32>,
+    /// Within-cluster sum of squared distances at convergence.
+    pub inertia: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether assignments stabilized before `max_iter`.
+    pub converged: bool,
+}
+
+impl KMeansModel {
+    /// Assigns new points to the nearest learned centroid.
+    pub fn predict(&self, data: &Matrix) -> Result<Vec<u32>, DataError> {
+        if data.cols() != self.centroids.cols() {
+            return Err(DataError::InvalidParameter(format!(
+                "model fitted on {} dims, got {}",
+                self.centroids.cols(),
+                data.cols()
+            )));
+        }
+        Ok((0..data.rows())
+            .map(|i| nearest(self.centroids.iter_rows(), data.row(i)).0 as u32)
+            .collect())
+    }
+}
+
+/// Index and squared distance of the nearest centroid.
+fn nearest<'a>(centroids: impl Iterator<Item = &'a [f64]>, point: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.enumerate() {
+        let d = euclidean_sq(c, point);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+impl KMeans {
+    /// Creates a k-means clusterer with k-means++ init, 100 iterations.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iter: 100,
+            init: Init::KMeansPlusPlus,
+            seed: 0,
+        }
+    }
+
+    /// Sets the initialization strategy.
+    pub fn with_init(mut self, init: Init) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Sets the iteration cap.
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter;
+        self
+    }
+
+    /// Sets the RNG seed used for initialization.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn init_centroids(&self, data: &Matrix, rng: &mut StdRng) -> Matrix {
+        let n = data.rows();
+        let d = data.cols();
+        let mut centroids = Matrix::zeros(self.k, d);
+        match self.init {
+            Init::Random => {
+                let mut idx: Vec<usize> = (0..n).collect();
+                idx.shuffle(rng);
+                for (c, &i) in idx.iter().take(self.k).enumerate() {
+                    centroids.row_mut(c).copy_from_slice(data.row(i));
+                }
+            }
+            Init::KMeansPlusPlus => {
+                let first = rng.gen_range(0..n);
+                centroids.row_mut(0).copy_from_slice(data.row(first));
+                // dist2[i] = squared distance to the nearest chosen centroid.
+                let mut dist2: Vec<f64> = (0..n)
+                    .map(|i| euclidean_sq(data.row(i), data.row(first)))
+                    .collect();
+                for c in 1..self.k {
+                    let total: f64 = dist2.iter().sum();
+                    let chosen = if total <= 0.0 {
+                        // All points coincide with chosen centroids.
+                        rng.gen_range(0..n)
+                    } else {
+                        let mut x = rng.gen::<f64>() * total;
+                        let mut pick = n - 1;
+                        for (i, &d) in dist2.iter().enumerate() {
+                            x -= d;
+                            if x <= 0.0 {
+                                pick = i;
+                                break;
+                            }
+                        }
+                        pick
+                    };
+                    centroids.row_mut(c).copy_from_slice(data.row(chosen));
+                    for i in 0..n {
+                        let d = euclidean_sq(data.row(i), data.row(chosen));
+                        if d < dist2[i] {
+                            dist2[i] = d;
+                        }
+                    }
+                }
+            }
+        }
+        centroids
+    }
+
+    /// Runs Lloyd's algorithm, returning the full model.
+    pub fn fit_model(&self, data: &Matrix) -> Result<KMeansModel, DataError> {
+        let n = data.rows();
+        let d = data.cols();
+        if self.k == 0 {
+            return Err(DataError::InvalidParameter("k must be >= 1".into()));
+        }
+        if n < self.k {
+            return Err(DataError::InvalidParameter(format!(
+                "cannot form {} clusters from {n} points",
+                self.k
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut centroids = self.init_centroids(data, &mut rng);
+        let mut assignments = vec![u32::MAX; n];
+        let mut iterations = 0usize;
+        let mut converged = false;
+
+        while iterations < self.max_iter {
+            iterations += 1;
+            // Assignment step.
+            let mut changed = false;
+            for i in 0..n {
+                let (c, _) = nearest(centroids.iter_rows(), data.row(i));
+                if assignments[i] != c as u32 {
+                    assignments[i] = c as u32;
+                    changed = true;
+                }
+            }
+            if !changed {
+                converged = true;
+                iterations -= 1; // final pass did no work
+                break;
+            }
+            // Update step.
+            let mut sums = Matrix::zeros(self.k, d);
+            let mut counts = vec![0usize; self.k];
+            for i in 0..n {
+                let c = assignments[i] as usize;
+                counts[c] += 1;
+                let row = sums.row_mut(c);
+                for (s, &x) in row.iter_mut().zip(data.row(i)) {
+                    *s += x;
+                }
+            }
+            for c in 0..self.k {
+                if counts[c] > 0 {
+                    let row = sums.row_mut(c);
+                    for s in row.iter_mut() {
+                        *s /= counts[c] as f64;
+                    }
+                    centroids.row_mut(c).copy_from_slice(sums.row(c));
+                } else {
+                    // Re-seed an empty cluster with the point farthest
+                    // from its current centroid.
+                    let far = (0..n)
+                        .max_by(|&a, &b| {
+                            let da = euclidean_sq(data.row(a), centroids.row(assignments[a] as usize));
+                            let db = euclidean_sq(data.row(b), centroids.row(assignments[b] as usize));
+                            da.partial_cmp(&db).expect("finite distances")
+                        })
+                        .expect("n >= 1");
+                    centroids.row_mut(c).copy_from_slice(data.row(far));
+                }
+            }
+        }
+
+        if !converged {
+            // The loop ended on max_iter right after a centroid update:
+            // refresh assignments so the nearest-centroid invariant holds
+            // for the returned model.
+            for i in 0..n {
+                let (c, _) = nearest(centroids.iter_rows(), data.row(i));
+                assignments[i] = c as u32;
+            }
+        }
+        let inertia = (0..n)
+            .map(|i| euclidean_sq(data.row(i), centroids.row(assignments[i] as usize)))
+            .sum();
+        Ok(KMeansModel {
+            centroids,
+            assignments,
+            inertia,
+            iterations,
+            converged,
+        })
+    }
+}
+
+impl Clusterer for KMeans {
+    fn name(&self) -> &'static str {
+        match self.init {
+            Init::Random => "kmeans-random",
+            Init::KMeansPlusPlus => "kmeans++",
+        }
+    }
+
+    fn fit(&self, data: &Matrix) -> Result<Clustering, DataError> {
+        let model = self.fit_model(data)?;
+        Ok(Clustering {
+            assignments: model.assignments,
+            n_clusters: self.k,
+            centroids: Some(model.centroids),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_synth::GaussianMixture;
+
+    fn two_blobs() -> (Matrix, Vec<u32>) {
+        GaussianMixture::new(vec![
+            dm_synth::ClusterSpec::new(vec![0.0, 0.0], 0.4, 60),
+            dm_synth::ClusterSpec::new(vec![10.0, 10.0], 0.4, 60),
+        ])
+        .unwrap()
+        .generate(5)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (data, truth) = two_blobs();
+        let model = KMeans::new(2).with_seed(1).fit_model(&data).unwrap();
+        assert!(model.converged);
+        let ari = dm_eval::adjusted_rand_index(&truth, &model.assignments).unwrap();
+        assert!(ari > 0.99, "ari {ari}");
+        assert!(model.inertia < 100.0, "inertia {}", model.inertia);
+    }
+
+    #[test]
+    fn every_point_assigned_to_nearest_centroid() {
+        let (data, _) = two_blobs();
+        let model = KMeans::new(3).with_seed(2).fit_model(&data).unwrap();
+        for i in 0..data.rows() {
+            let assigned = model.assignments[i] as usize;
+            let da = euclidean_sq(data.row(i), model.centroids.row(assigned));
+            for c in 0..3 {
+                let dc = euclidean_sq(data.row(i), model.centroids.row(c));
+                assert!(da <= dc + 1e-9, "point {i}: {da} > {dc}");
+            }
+        }
+    }
+
+    #[test]
+    fn plus_plus_not_worse_than_random_on_average() {
+        let (data, _) = two_blobs();
+        let mut pp_total = 0.0;
+        let mut rnd_total = 0.0;
+        for seed in 0..10 {
+            pp_total += KMeans::new(4)
+                .with_init(Init::KMeansPlusPlus)
+                .with_seed(seed)
+                .fit_model(&data)
+                .unwrap()
+                .inertia;
+            rnd_total += KMeans::new(4)
+                .with_init(Init::Random)
+                .with_seed(seed)
+                .fit_model(&data)
+                .unwrap()
+                .inertia;
+        }
+        assert!(
+            pp_total <= rnd_total * 1.2,
+            "kmeans++ {pp_total} vs random {rnd_total}"
+        );
+    }
+
+    #[test]
+    fn predict_matches_training_assignments() {
+        let (data, _) = two_blobs();
+        let model = KMeans::new(2).with_seed(3).fit_model(&data).unwrap();
+        let again = model.predict(&data).unwrap();
+        assert_eq!(again, model.assignments);
+        let narrow = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert!(model.predict(&narrow).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (data, _) = two_blobs();
+        let a = KMeans::new(2).with_seed(7).fit_model(&data).unwrap();
+        let b = KMeans::new(2).with_seed(7).fit_model(&data).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![5.0], vec![9.0]]).unwrap();
+        let model = KMeans::new(3).with_seed(1).fit_model(&data).unwrap();
+        assert!(model.inertia < 1e-18);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        assert!(KMeans::new(0).fit_model(&data).is_err());
+        assert!(KMeans::new(3).fit_model(&data).is_err());
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        // All identical points: k-means++ falls back to uniform choice.
+        let data = Matrix::from_rows(&vec![vec![2.0, 2.0]; 8]).unwrap();
+        let model = KMeans::new(3).with_seed(0).fit_model(&data).unwrap();
+        assert_eq!(model.assignments.len(), 8);
+        assert!(model.inertia < 1e-18);
+    }
+
+    #[test]
+    fn clusterer_trait_reports_centroids() {
+        let (data, _) = two_blobs();
+        let c = KMeans::new(2).with_seed(1).fit(&data).unwrap();
+        assert_eq!(c.n_clusters, 2);
+        assert!(c.centroids.is_some());
+        assert_eq!(c.cluster_sizes().iter().sum::<usize>(), data.rows());
+    }
+}

@@ -1,0 +1,99 @@
+//! # dm-cluster
+//!
+//! Clustering algorithms of the classic data-mining survey:
+//!
+//! * [`KMeans`] — Lloyd's algorithm with Forgy/random-partition/k-means++
+//!   initialization.
+//! * [`Pam`] — k-medoids (Kaufman & Rousseeuw's PAM: BUILD + SWAP).
+//! * [`Agglomerative`] — bottom-up hierarchical clustering with single,
+//!   complete, average and Ward linkage (Lance–Williams updates) plus
+//!   dendrogram extraction.
+//! * [`Clara`] — sampling-based k-medoids for large databases
+//!   (Kaufman & Rousseeuw 1990).
+//! * [`Clarans`] — randomized k-medoid search for large databases
+//!   (Ng & Han, VLDB 1994).
+//! * [`Birch`] — the CF-tree pre-clustering of Zhang, Ramakrishnan &
+//!   Livny (SIGMOD 1996) with a weighted k-means global phase.
+//! * [`Dbscan`] — density-based clustering with noise (Ester et al.,
+//!   KDD 1996).
+//!
+//! All algorithms consume a [`dm_dataset::Matrix`] (rows = points) and
+//! produce a [`Clustering`]. Noise points (DBSCAN only) are labelled
+//! [`NOISE`].
+
+
+#![warn(missing_docs)]
+pub mod agglomerative;
+pub mod birch;
+pub mod clara;
+pub mod clarans;
+pub mod dbscan;
+pub mod kmeans;
+pub mod pam;
+
+pub use agglomerative::{Agglomerative, Dendrogram, Linkage, Merge};
+pub use birch::{Birch, CfNodeStats, ClusteringFeature};
+pub use clara::Clara;
+pub use clarans::Clarans;
+pub use dbscan::Dbscan;
+pub use kmeans::{Init, KMeans, KMeansModel};
+pub use pam::Pam;
+
+use dm_dataset::{DataError, Matrix};
+
+/// Label assigned to noise points by density-based algorithms.
+pub const NOISE: u32 = u32::MAX;
+
+/// The result of a clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Per-row cluster labels in `0..n_clusters`, or [`NOISE`].
+    pub assignments: Vec<u32>,
+    /// Number of (non-noise) clusters found.
+    pub n_clusters: usize,
+    /// Cluster centroids, when the algorithm produces them.
+    pub centroids: Option<Matrix>,
+}
+
+impl Clustering {
+    /// Per-cluster sizes indexed by label (noise excluded).
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.n_clusters];
+        for &a in &self.assignments {
+            if a != NOISE {
+                sizes[a as usize] += 1;
+            }
+        }
+        sizes
+    }
+
+    /// Number of noise points.
+    pub fn n_noise(&self) -> usize {
+        self.assignments.iter().filter(|&&a| a == NOISE).count()
+    }
+}
+
+/// A clustering algorithm over dense numeric data.
+pub trait Clusterer {
+    /// A short human-readable algorithm name (for experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Clusters the rows of `data`.
+    fn fit(&self, data: &Matrix) -> Result<Clustering, DataError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustering_helpers() {
+        let c = Clustering {
+            assignments: vec![0, 1, 0, NOISE, 1, 1],
+            n_clusters: 2,
+            centroids: None,
+        };
+        assert_eq!(c.cluster_sizes(), vec![2, 3]);
+        assert_eq!(c.n_noise(), 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! PAM (Partitioning Around Medoids) k-medoids clustering.
+//!
+//! Kaufman & Rousseeuw's classic: a BUILD phase greedily selects `k`
+//! medoids minimizing total distance, then a SWAP phase exchanges
+//! medoid/non-medoid pairs while any swap lowers the total cost. Robust
+//! to outliers (medoids are actual data points) at O(k·(n-k)²) per SWAP
+//! iteration — the trade-off the clustering-comparison experiment
+//! surfaces.
+
+
+// Numeric kernels below co-index several parallel arrays; indexed loops
+// are clearer than zipped iterator chains there.
+#![allow(clippy::needless_range_loop)]
+use crate::{Clusterer, Clustering};
+use dm_dataset::matrix::euclidean;
+use dm_dataset::{DataError, Matrix};
+
+/// k-medoids clusterer with the BUILD + SWAP procedure.
+#[derive(Debug, Clone)]
+pub struct Pam {
+    k: usize,
+    max_swaps: usize,
+}
+
+impl Pam {
+    /// Creates a PAM clusterer with at most 100 SWAP iterations.
+    pub fn new(k: usize) -> Self {
+        Self { k, max_swaps: 100 }
+    }
+
+    /// Caps the number of SWAP iterations.
+    pub fn with_max_swaps(mut self, max_swaps: usize) -> Self {
+        self.max_swaps = max_swaps;
+        self
+    }
+
+    /// Runs PAM and also returns the medoid row indices.
+    pub fn fit_medoids(&self, data: &Matrix) -> Result<(Clustering, Vec<usize>), DataError> {
+        let n = data.rows();
+        if self.k == 0 {
+            return Err(DataError::InvalidParameter("k must be >= 1".into()));
+        }
+        if n < self.k {
+            return Err(DataError::InvalidParameter(format!(
+                "cannot form {} clusters from {n} points",
+                self.k
+            )));
+        }
+
+        // Precompute the distance matrix (symmetric, n²; PAM is a small-n
+        // algorithm by design).
+        let mut dist = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = euclidean(data.row(i), data.row(j));
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+        }
+        let d = |a: usize, b: usize| dist[a * n + b];
+
+        // ---- BUILD: greedy medoid selection. ----
+        let mut medoids: Vec<usize> = Vec::with_capacity(self.k);
+        // First medoid: minimizes total distance to all points.
+        let first = (0..n)
+            .min_by(|&a, &b| {
+                let sa: f64 = (0..n).map(|j| d(a, j)).sum();
+                let sb: f64 = (0..n).map(|j| d(b, j)).sum();
+                sa.partial_cmp(&sb).expect("finite")
+            })
+            .expect("n >= 1");
+        medoids.push(first);
+        // nearest[i] = distance from i to its nearest medoid.
+        let mut nearest: Vec<f64> = (0..n).map(|i| d(i, first)).collect();
+        while medoids.len() < self.k {
+            // Choose the candidate with the largest total gain.
+            let mut best: Option<(usize, f64)> = None;
+            for cand in 0..n {
+                if medoids.contains(&cand) {
+                    continue;
+                }
+                let gain: f64 = (0..n)
+                    .map(|j| (nearest[j] - d(cand, j)).max(0.0))
+                    .sum();
+                if best.is_none_or(|(_, g)| gain > g) {
+                    best = Some((cand, gain));
+                }
+            }
+            let (chosen, _) = best.expect("k <= n guarantees a candidate");
+            medoids.push(chosen);
+            for j in 0..n {
+                nearest[j] = nearest[j].min(d(chosen, j));
+            }
+        }
+
+        // ---- SWAP: steepest-descent exchanges. ----
+        let total_cost = |medoids: &[usize]| -> f64 {
+            (0..n)
+                .map(|i| {
+                    medoids
+                        .iter()
+                        .map(|&m| d(i, m))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum()
+        };
+        let mut cost = total_cost(&medoids);
+        for _ in 0..self.max_swaps {
+            let mut best: Option<(usize, usize, f64)> = None; // (medoid idx, candidate, new cost)
+            for mi in 0..medoids.len() {
+                for cand in 0..n {
+                    if medoids.contains(&cand) {
+                        continue;
+                    }
+                    let old = medoids[mi];
+                    medoids[mi] = cand;
+                    let c = total_cost(&medoids);
+                    medoids[mi] = old;
+                    if c < cost - 1e-12 && best.is_none_or(|(_, _, bc)| c < bc) {
+                        best = Some((mi, cand, c));
+                    }
+                }
+            }
+            match best {
+                Some((mi, cand, c)) => {
+                    medoids[mi] = cand;
+                    cost = c;
+                }
+                None => break,
+            }
+        }
+
+        // Final assignment.
+        let assignments: Vec<u32> = (0..n)
+            .map(|i| {
+                medoids
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, &a), (_, &b)| d(i, a).partial_cmp(&d(i, b)).expect("finite"))
+                    .map(|(c, _)| c as u32)
+                    .expect("k >= 1")
+            })
+            .collect();
+        let mut centroids = Matrix::zeros(self.k, data.cols());
+        for (c, &m) in medoids.iter().enumerate() {
+            centroids.row_mut(c).copy_from_slice(data.row(m));
+        }
+        Ok((
+            Clustering {
+                assignments,
+                n_clusters: self.k,
+                centroids: Some(centroids),
+            },
+            medoids,
+        ))
+    }
+}
+
+impl Clusterer for Pam {
+    fn name(&self) -> &'static str {
+        "pam"
+    }
+
+    fn fit(&self, data: &Matrix) -> Result<Clustering, DataError> {
+        Ok(self.fit_medoids(data)?.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_synth::{ClusterSpec, GaussianMixture};
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (data, truth) = GaussianMixture::new(vec![
+            ClusterSpec::new(vec![0.0, 0.0], 0.4, 40),
+            ClusterSpec::new(vec![8.0, 8.0], 0.4, 40),
+            ClusterSpec::new(vec![0.0, 8.0], 0.4, 40),
+        ])
+        .unwrap()
+        .generate(9);
+        let c = Pam::new(3).fit(&data).unwrap();
+        let ari = dm_eval::adjusted_rand_index(&truth, &c.assignments).unwrap();
+        assert!(ari > 0.98, "ari {ari}");
+    }
+
+    #[test]
+    fn medoids_are_data_points() {
+        let data = Matrix::from_rows(&[
+            vec![0.0],
+            vec![1.0],
+            vec![10.0],
+            vec![11.0],
+        ])
+        .unwrap();
+        let (c, medoids) = Pam::new(2).fit_medoids(&data).unwrap();
+        assert_eq!(medoids.len(), 2);
+        for (cluster, &m) in medoids.iter().enumerate() {
+            assert!(m < 4);
+            assert_eq!(c.assignments[m], cluster as u32);
+        }
+        // The two natural groups.
+        assert_eq!(c.assignments[0], c.assignments[1]);
+        assert_eq!(c.assignments[2], c.assignments[3]);
+        assert_ne!(c.assignments[0], c.assignments[2]);
+    }
+
+    #[test]
+    fn medoid_robust_to_an_outlier() {
+        // With k=1 the medoid stays at the data mass (the 1-median is
+        // point 2.0), whereas the mean would be dragged to ~18.3.
+        let data = Matrix::from_rows(&[
+            vec![0.0],
+            vec![1.0],
+            vec![2.0],
+            vec![3.0],
+            vec![4.0],
+            vec![100.0], // outlier
+        ])
+        .unwrap();
+        let (_, medoids) = Pam::new(1).fit_medoids(&data).unwrap();
+        assert_eq!(medoids, vec![2], "medoid should sit at the data mass");
+    }
+
+    #[test]
+    fn isolates_extreme_outlier_when_k_allows() {
+        // With k=2, isolating the outlier minimizes total cost.
+        let data = Matrix::from_rows(&[
+            vec![0.0],
+            vec![0.5],
+            vec![1.0],
+            vec![100.0],
+            vec![10.0],
+            vec![10.5],
+        ])
+        .unwrap();
+        let (c, medoids) = Pam::new(2).fit_medoids(&data).unwrap();
+        assert!(medoids.contains(&3), "medoids {medoids:?}");
+        let outlier_cluster = c.assignments[3];
+        assert_eq!(
+            c.assignments.iter().filter(|&&a| a == outlier_cluster).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn invalid_params() {
+        let data = Matrix::from_rows(&[vec![0.0]]).unwrap();
+        assert!(Pam::new(0).fit(&data).is_err());
+        assert!(Pam::new(2).fit(&data).is_err());
+    }
+
+    #[test]
+    fn k_equals_n() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![5.0]]).unwrap();
+        let (c, medoids) = Pam::new(2).fit_medoids(&data).unwrap();
+        assert_eq!(medoids.len(), 2);
+        assert_ne!(c.assignments[0], c.assignments[1]);
+    }
+}

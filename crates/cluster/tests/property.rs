@@ -1,0 +1,104 @@
+//! Property tests for the clustering invariants.
+
+use dm_cluster::{Agglomerative, Birch, Clusterer, Dbscan, KMeans, Linkage, NOISE};
+use dm_dataset::matrix::euclidean_sq;
+use dm_dataset::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: 4–40 random points in up to 3 dimensions.
+fn points() -> impl Strategy<Value = Matrix> {
+    (4usize..40, 1usize..4).prop_flat_map(|(n, d)| {
+        prop::collection::vec(
+            prop::collection::vec(-50.0f64..50.0, d..=d),
+            n..=n,
+        )
+        .prop_map(|rows| Matrix::from_rows(&rows).expect("rectangular"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kmeans_assigns_every_point_to_nearest_centroid(data in points(), k in 1usize..5, seed in 0u64..8) {
+        prop_assume!(data.rows() >= k);
+        let model = KMeans::new(k).with_seed(seed).fit_model(&data).unwrap();
+        prop_assert_eq!(model.assignments.len(), data.rows());
+        for i in 0..data.rows() {
+            let assigned = model.assignments[i] as usize;
+            prop_assert!(assigned < k);
+            let da = euclidean_sq(data.row(i), model.centroids.row(assigned));
+            for c in 0..k {
+                prop_assert!(da <= euclidean_sq(data.row(i), model.centroids.row(c)) + 1e-9);
+            }
+        }
+        // Inertia equals the recomputed SSE against final centroids.
+        let sse: f64 = (0..data.rows())
+            .map(|i| euclidean_sq(data.row(i), model.centroids.row(model.assignments[i] as usize)))
+            .sum();
+        prop_assert!((sse - model.inertia).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dendrogram_cut_produces_exactly_k_clusters(data in points(), k in 1usize..6) {
+        prop_assume!(data.rows() >= k);
+        let d = Agglomerative::new(1).fit_dendrogram(&data).unwrap();
+        let labels = d.cut(k).unwrap();
+        let mut distinct: Vec<u32> = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(distinct.len(), k);
+        // Labels are dense 0..k.
+        prop_assert!(labels.iter().all(|&l| (l as usize) < k));
+    }
+
+    #[test]
+    fn single_linkage_heights_monotone(data in points()) {
+        let d = Agglomerative::new(1)
+            .with_linkage(Linkage::Single)
+            .fit_dendrogram(&data)
+            .unwrap();
+        let h = d.heights();
+        prop_assert!(h.windows(2).all(|w| w[0] <= w[1] + 1e-9), "{:?}", h);
+    }
+
+    #[test]
+    fn birch_covers_all_points_and_respects_k(data in points(), k in 1usize..4) {
+        prop_assume!(data.rows() >= k);
+        let c = Birch::new(k).with_threshold(5.0).with_seed(1).fit(&data).unwrap();
+        prop_assert_eq!(c.assignments.len(), data.rows());
+        prop_assert!(c.assignments.iter().all(|&a| (a as usize) < k));
+        // CF-tree condenses: never more leaf entries than points.
+        let stats = Birch::new(k).with_threshold(5.0).tree_stats(&data).unwrap();
+        prop_assert!(stats.leaf_entries <= data.rows());
+        prop_assert!(stats.leaf_entries >= 1);
+    }
+
+    #[test]
+    fn dbscan_labels_are_noise_or_dense(data in points(), min_pts in 1usize..6) {
+        let c = Dbscan::new(10.0, min_pts).fit(&data).unwrap();
+        prop_assert_eq!(c.assignments.len(), data.rows());
+        for &a in &c.assignments {
+            prop_assert!(a == NOISE || (a as usize) < c.n_clusters);
+        }
+        // Every non-noise cluster id is used.
+        for cluster in 0..c.n_clusters as u32 {
+            prop_assert!(c.assignments.contains(&cluster));
+        }
+        // With min_pts = 1 every point is a core point: no noise at all.
+        if min_pts == 1 {
+            prop_assert_eq!(c.n_noise(), 0);
+        }
+    }
+
+    #[test]
+    fn clusterers_are_deterministic(data in points(), k in 1usize..4) {
+        prop_assume!(data.rows() >= k);
+        let a = KMeans::new(k).with_seed(7).fit(&data).unwrap();
+        let b = KMeans::new(k).with_seed(7).fit(&data).unwrap();
+        prop_assert_eq!(a.assignments, b.assignments);
+        let a = Agglomerative::new(k).fit(&data).unwrap();
+        let b = Agglomerative::new(k).fit(&data).unwrap();
+        prop_assert_eq!(a.assignments, b.assignments);
+    }
+}

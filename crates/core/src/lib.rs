@@ -1,0 +1,94 @@
+//! # dm-core
+//!
+//! The unified facade of the `datamining` workspace: one crate to depend
+//! on for the full toolkit.
+//!
+//! * Re-exports every subsystem crate under a stable module name
+//!   ([`dataset`], [`synth`], [`eval`], [`assoc`], [`cluster`], [`tree`],
+//!   [`bayes`], [`knn`]).
+//! * Defines the polymorphic [`Classifier`]/[`ClassifierModel`] traits
+//!   with adapters for every classifier in the workspace, so model
+//!   selection code can treat them uniformly.
+//! * Provides the [`model_selection`] module: k-fold cross-validation
+//!   and train/test evaluation over any [`Classifier`].
+//!
+//! ```
+//! use dm_core::prelude::*;
+//!
+//! let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F1, 400)
+//!     .unwrap()
+//!     .generate(7);
+//! let result = cross_validate(
+//!     &TreeClassifier::default(),
+//!     &data,
+//!     &labels,
+//!     5,
+//!     0, // shuffle seed
+//! )
+//! .unwrap();
+//! assert!(result.mean_accuracy > 0.9);
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod classify;
+pub mod model_selection;
+
+/// The data substrate (re-export of `dm-dataset`).
+pub use dm_dataset as dataset;
+/// Synthetic workload generators (re-export of `dm-synth`).
+pub use dm_synth as synth;
+/// Evaluation metrics (re-export of `dm-eval`).
+pub use dm_eval as eval;
+/// Association-rule mining (re-export of `dm-assoc`).
+pub use dm_assoc as assoc;
+/// Clustering (re-export of `dm-cluster`).
+pub use dm_cluster as cluster;
+/// Decision trees (re-export of `dm-tree`).
+pub use dm_tree as tree;
+/// Naive Bayes (re-export of `dm-bayes`).
+pub use dm_bayes as bayes;
+/// k-nearest neighbours (re-export of `dm-knn`).
+pub use dm_knn as knn;
+/// Sequential-pattern mining (re-export of `dm-seq`).
+pub use dm_seq as seq;
+
+pub use classify::{
+    BaggedClassifier, BayesClassifier, Classifier, ClassifierModel, KnnClassifier,
+    OneRClassifier, TreeClassifier,
+};
+pub use model_selection::{cross_validate, train_test_evaluate, CvResult};
+
+/// Convenience prelude pulling in the common types of every subsystem.
+pub mod prelude {
+    pub use crate::classify::{
+        BaggedClassifier, BayesClassifier, Classifier, ClassifierModel, KnnClassifier,
+        OneRClassifier, TreeClassifier,
+    };
+    pub use crate::model_selection::{cross_validate, train_test_evaluate, CvResult};
+    pub use dm_assoc::{
+        Ais, Apriori, AprioriHybrid, AprioriTid, BruteForce, CountingStrategy, FrequentItemsets,
+        ItemsetMiner, MinSupport, MiningResult, Rule, RuleGenerator, Setm,
+    };
+    pub use dm_bayes::NaiveBayes;
+    pub use dm_cluster::{
+        Agglomerative, Birch, Clara, Clarans, Clusterer, Clustering, Dbscan, Init, KMeans, Linkage,
+        Pam,
+        NOISE,
+    };
+    pub use dm_dataset::{
+        Column, DataError, Dataset, Dict, KFold, Labels, Matrix, StratifiedKFold, TransactionDb,
+        Value,
+    };
+    pub use dm_eval::{
+        adjusted_rand_index, normalized_mutual_information, purity, silhouette, sse,
+        ConfusionMatrix,
+    };
+    pub use dm_knn::{CondensedNn, Distance, Knn, Search, Weighting};
+    pub use dm_seq::{AprioriAll, SequenceConfig, SequenceDb, SequenceGenerator, SequentialPattern};
+    pub use dm_synth::{
+        flip_labels, AgrawalFunction, AgrawalGenerator, ClusterSpec, GaussianMixture, QuestConfig,
+        QuestGenerator,
+    };
+    pub use dm_tree::{BaggedTrees, DecisionTreeLearner, OneR, Pruning, SplitCriterion};
+}

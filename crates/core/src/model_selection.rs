@@ -1,0 +1,184 @@
+//! Model selection: cross-validation and train/test evaluation over any
+//! [`Classifier`].
+
+use crate::classify::Classifier;
+use dm_dataset::{DataError, Dataset, Labels, StratifiedKFold};
+use dm_eval::ConfusionMatrix;
+use std::time::{Duration, Instant};
+
+/// The outcome of a cross-validation (or train/test) run.
+#[derive(Debug, Clone)]
+pub struct CvResult {
+    /// Classifier name.
+    pub name: String,
+    /// Per-fold accuracies.
+    pub fold_accuracies: Vec<f64>,
+    /// Mean of the fold accuracies.
+    pub mean_accuracy: f64,
+    /// Population standard deviation of the fold accuracies.
+    pub std_accuracy: f64,
+    /// Confusion matrix accumulated over all test folds.
+    pub confusion: ConfusionMatrix,
+    /// Total time spent fitting.
+    pub fit_time: Duration,
+    /// Total time spent predicting.
+    pub predict_time: Duration,
+}
+
+impl CvResult {
+    fn from_folds(
+        name: String,
+        fold_accuracies: Vec<f64>,
+        confusion: ConfusionMatrix,
+        fit_time: Duration,
+        predict_time: Duration,
+    ) -> Self {
+        let n = fold_accuracies.len().max(1) as f64;
+        let mean = fold_accuracies.iter().sum::<f64>() / n;
+        let var = fold_accuracies
+            .iter()
+            .map(|a| (a - mean) * (a - mean))
+            .sum::<f64>()
+            / n;
+        Self {
+            name,
+            fold_accuracies,
+            mean_accuracy: mean,
+            std_accuracy: var.sqrt(),
+            confusion,
+            fit_time,
+            predict_time,
+        }
+    }
+}
+
+/// Stratified k-fold cross-validation of `classifier` on
+/// (`data`, `labels`).
+///
+/// Folds are stratified by class and shuffled with `seed`, so results
+/// are deterministic for a given `(classifier, data, k, seed)`.
+pub fn cross_validate(
+    classifier: &dyn Classifier,
+    data: &Dataset,
+    labels: &Labels,
+    k: usize,
+    seed: u64,
+) -> Result<CvResult, DataError> {
+    if labels.len() != data.n_rows() {
+        return Err(DataError::LabelLengthMismatch {
+            labels: labels.len(),
+            rows: data.n_rows(),
+        });
+    }
+    let folds = StratifiedKFold::new(k)?.shuffled(seed).split(labels.codes())?;
+    let n_classes = labels.n_classes();
+    let mut confusion = ConfusionMatrix::from_labels(n_classes, &[], &[])?;
+    let mut fold_accuracies = Vec::with_capacity(k);
+    let mut fit_time = Duration::ZERO;
+    let mut predict_time = Duration::ZERO;
+    for (train_idx, test_idx) in &folds {
+        let train = data.select_rows(train_idx);
+        let train_labels = labels.select(train_idx);
+        let test = data.select_rows(test_idx);
+        let test_labels = labels.select(test_idx);
+
+        let t0 = Instant::now();
+        let model = classifier.fit(&train, &train_labels)?;
+        fit_time += t0.elapsed();
+
+        let t0 = Instant::now();
+        let pred = model.predict(&test);
+        predict_time += t0.elapsed();
+
+        let fold_cm = ConfusionMatrix::from_labels(n_classes, test_labels.codes(), &pred)?;
+        fold_accuracies.push(fold_cm.accuracy());
+        confusion.merge(&fold_cm)?;
+    }
+    Ok(CvResult::from_folds(
+        classifier.name(),
+        fold_accuracies,
+        confusion,
+        fit_time,
+        predict_time,
+    ))
+}
+
+/// Trains on one dataset and evaluates on another (a single "fold").
+pub fn train_test_evaluate(
+    classifier: &dyn Classifier,
+    train: &Dataset,
+    train_labels: &Labels,
+    test: &Dataset,
+    test_labels: &Labels,
+) -> Result<CvResult, DataError> {
+    let n_classes = train_labels.n_classes().max(test_labels.n_classes());
+    let t0 = Instant::now();
+    let model = classifier.fit(train, train_labels)?;
+    let fit_time = t0.elapsed();
+    let t0 = Instant::now();
+    let pred = model.predict(test);
+    let predict_time = t0.elapsed();
+    let cm = ConfusionMatrix::from_labels(n_classes, test_labels.codes(), &pred)?;
+    let acc = cm.accuracy();
+    Ok(CvResult::from_folds(
+        classifier.name(),
+        vec![acc],
+        cm,
+        fit_time,
+        predict_time,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{BayesClassifier, OneRClassifier, TreeClassifier};
+    use dm_synth::{AgrawalFunction, AgrawalGenerator};
+
+    #[test]
+    fn cross_validation_scores_a_learnable_function() {
+        let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F1, 500)
+            .unwrap()
+            .generate(1);
+        let r = cross_validate(&TreeClassifier::default(), &data, &labels, 5, 0).unwrap();
+        assert_eq!(r.fold_accuracies.len(), 5);
+        assert!(r.mean_accuracy > 0.9, "accuracy {}", r.mean_accuracy);
+        assert!(r.std_accuracy < 0.1);
+        assert_eq!(r.confusion.total(), 500);
+        assert_eq!(r.name, "decision-tree");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F2, 300)
+            .unwrap()
+            .generate(2);
+        let a = cross_validate(&BayesClassifier::default(), &data, &labels, 4, 9).unwrap();
+        let b = cross_validate(&BayesClassifier::default(), &data, &labels, 4, 9).unwrap();
+        assert_eq!(a.fold_accuracies, b.fold_accuracies);
+    }
+
+    #[test]
+    fn train_test_path() {
+        let (train, train_l) = AgrawalGenerator::new(AgrawalFunction::F1, 400)
+            .unwrap()
+            .generate(3);
+        let (test, test_l) = AgrawalGenerator::new(AgrawalFunction::F1, 200)
+            .unwrap()
+            .generate(4);
+        let r =
+            train_test_evaluate(&OneRClassifier::default(), &train, &train_l, &test, &test_l)
+                .unwrap();
+        assert_eq!(r.confusion.total(), 200);
+        assert!(r.mean_accuracy > 0.8, "accuracy {}", r.mean_accuracy);
+    }
+
+    #[test]
+    fn label_mismatch_rejected() {
+        let (data, _) = AgrawalGenerator::new(AgrawalFunction::F1, 50)
+            .unwrap()
+            .generate(5);
+        let labels = dm_dataset::Labels::from_strs(["a", "b"]);
+        assert!(cross_validate(&TreeClassifier::default(), &data, &labels, 3, 0).is_err());
+    }
+}

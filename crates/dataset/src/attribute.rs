@@ -1,0 +1,92 @@
+//! Attribute (column) metadata.
+
+use std::fmt;
+
+/// The kind of values an attribute holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrKind {
+    /// Continuous floating-point values.
+    Numeric,
+    /// Discrete interned categories.
+    Categorical,
+}
+
+impl fmt::Display for AttrKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrKind::Numeric => write!(f, "numeric"),
+            AttrKind::Categorical => write!(f, "categorical"),
+        }
+    }
+}
+
+/// Metadata describing one dataset column: its name and kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    name: String,
+    kind: AttrKind,
+}
+
+impl Attribute {
+    /// Creates a new attribute.
+    pub fn new(name: impl Into<String>, kind: AttrKind) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// Shorthand for a numeric attribute.
+    pub fn numeric(name: impl Into<String>) -> Self {
+        Self::new(name, AttrKind::Numeric)
+    }
+
+    /// Shorthand for a categorical attribute.
+    pub fn categorical(name: impl Into<String>) -> Self {
+        Self::new(name, AttrKind::Categorical)
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's kind.
+    pub fn kind(&self) -> AttrKind {
+        self.kind
+    }
+
+    /// Whether the attribute is numeric.
+    pub fn is_numeric(&self) -> bool {
+        self.kind == AttrKind::Numeric
+    }
+
+    /// Whether the attribute is categorical.
+    pub fn is_categorical(&self) -> bool {
+        self.kind == AttrKind::Categorical
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let a = Attribute::numeric("age");
+        assert_eq!(a.name(), "age");
+        assert_eq!(a.kind(), AttrKind::Numeric);
+        assert!(a.is_numeric());
+        assert!(!a.is_categorical());
+
+        let b = Attribute::categorical("city");
+        assert!(b.is_categorical());
+        assert_eq!(b.to_string(), "city (categorical)");
+    }
+}

@@ -1,0 +1,292 @@
+//! Column storage: typed vectors with first-class missing values.
+
+use crate::dict::Dict;
+use crate::value::Value;
+use crate::MISSING_CODE;
+
+/// A single typed column of a [`crate::Dataset`].
+///
+/// * Numeric columns store `f64`, with `NaN` encoding a missing cell.
+/// * Categorical columns store interned `u32` codes (resolvable through
+///   the embedded [`Dict`]), with [`MISSING_CODE`] encoding a missing cell.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// Continuous values; `NaN` means missing.
+    Numeric(Vec<f64>),
+    /// Interned categories; [`MISSING_CODE`] means missing.
+    Categorical {
+        /// Per-row category codes.
+        codes: Vec<u32>,
+        /// Code ↔ name dictionary.
+        dict: Dict,
+    },
+}
+
+impl PartialEq for Column {
+    /// Equality with missing-aware semantics: two missing numeric cells
+    /// (`NaN`) compare equal, unlike raw `f64` comparison.
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Column::Numeric(a), Column::Numeric(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b)
+                        .all(|(x, y)| x == y || (x.is_nan() && y.is_nan()))
+            }
+            (
+                Column::Categorical { codes: ca, dict: da },
+                Column::Categorical { codes: cb, dict: db },
+            ) => ca == cb && da == db,
+            _ => false,
+        }
+    }
+}
+
+impl Column {
+    /// Builds a numeric column from raw values (`NaN` allowed for missing).
+    pub fn from_numeric(values: Vec<f64>) -> Self {
+        Column::Numeric(values)
+    }
+
+    /// Builds a numeric column where `None` marks missing cells.
+    pub fn from_numeric_opt(values: impl IntoIterator<Item = Option<f64>>) -> Self {
+        Column::Numeric(values.into_iter().map(|v| v.unwrap_or(f64::NAN)).collect())
+    }
+
+    /// Builds a categorical column by interning string values.
+    pub fn from_strings<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut dict = Dict::new();
+        let codes = values
+            .into_iter()
+            .map(|s| dict.intern(s.as_ref()))
+            .collect();
+        Column::Categorical { codes, dict }
+    }
+
+    /// Builds a categorical column by interning string values, with `None`
+    /// marking missing cells.
+    pub fn from_strings_opt<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = Option<S>>,
+        S: AsRef<str>,
+    {
+        let mut dict = Dict::new();
+        let codes = values
+            .into_iter()
+            .map(|s| match s {
+                Some(s) => dict.intern(s.as_ref()),
+                None => MISSING_CODE,
+            })
+            .collect();
+        Column::Categorical { codes, dict }
+    }
+
+    /// Builds a categorical column directly from codes and a dictionary.
+    ///
+    /// Callers must ensure every non-missing code is in range for `dict`.
+    pub fn from_codes(codes: Vec<u32>, dict: Dict) -> Self {
+        debug_assert!(codes
+            .iter()
+            .all(|&c| c == MISSING_CODE || (c as usize) < dict.len()));
+        Column::Categorical { codes, dict }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.len(),
+            Column::Categorical { codes, .. } => codes.len(),
+        }
+    }
+
+    /// Whether the column has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `row`, or `None` if out of range.
+    pub fn get(&self, row: usize) -> Option<Value> {
+        match self {
+            Column::Numeric(v) => v.get(row).map(|&x| {
+                if x.is_nan() {
+                    Value::Missing
+                } else {
+                    Value::Num(x)
+                }
+            }),
+            Column::Categorical { codes, .. } => codes.get(row).map(|&c| {
+                if c == MISSING_CODE {
+                    Value::Missing
+                } else {
+                    Value::Cat(c)
+                }
+            }),
+        }
+    }
+
+    /// Whether this is a numeric column.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Column::Numeric(_))
+    }
+
+    /// Whether this is a categorical column.
+    pub fn is_categorical(&self) -> bool {
+        matches!(self, Column::Categorical { .. })
+    }
+
+    /// The raw numeric slice, if numeric.
+    pub fn as_numeric(&self) -> Option<&[f64]> {
+        match self {
+            Column::Numeric(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw codes and dictionary, if categorical.
+    pub fn as_categorical(&self) -> Option<(&[u32], &Dict)> {
+        match self {
+            Column::Categorical { codes, dict } => Some((codes, dict)),
+            _ => None,
+        }
+    }
+
+    /// Number of distinct categories (0 for numeric columns).
+    pub fn n_categories(&self) -> usize {
+        match self {
+            Column::Numeric(_) => 0,
+            Column::Categorical { dict, .. } => dict.len(),
+        }
+    }
+
+    /// Count of missing cells.
+    pub fn n_missing(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.iter().filter(|x| x.is_nan()).count(),
+            Column::Categorical { codes, .. } => {
+                codes.iter().filter(|&&c| c == MISSING_CODE).count()
+            }
+        }
+    }
+
+    /// A new column containing only the rows at `indices` (in order).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn select(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::Numeric(v) => Column::Numeric(indices.iter().map(|&i| v[i]).collect()),
+            Column::Categorical { codes, dict } => Column::Categorical {
+                codes: indices.iter().map(|&i| codes[i]).collect(),
+                dict: dict.clone(),
+            },
+        }
+    }
+
+    /// Mean of the non-missing numeric values, or `None` for categorical or
+    /// all-missing columns.
+    pub fn mean(&self) -> Option<f64> {
+        let v = self.as_numeric()?;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &x in v {
+            if !x.is_nan() {
+                sum += x;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// Minimum and maximum over non-missing numeric values.
+    pub fn min_max(&self) -> Option<(f64, f64)> {
+        let v = self.as_numeric()?;
+        let mut it = v.iter().copied().filter(|x| !x.is_nan());
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for x in it {
+            if x < lo {
+                lo = x;
+            }
+            if x > hi {
+                hi = x;
+            }
+        }
+        Some((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_column_basics() {
+        let c = Column::from_numeric(vec![1.0, f64::NAN, 3.0]);
+        assert_eq!(c.len(), 3);
+        assert!(c.is_numeric());
+        assert_eq!(c.get(0), Some(Value::Num(1.0)));
+        assert_eq!(c.get(1), Some(Value::Missing));
+        assert_eq!(c.get(3), None);
+        assert_eq!(c.n_missing(), 1);
+        assert_eq!(c.mean(), Some(2.0));
+        assert_eq!(c.min_max(), Some((1.0, 3.0)));
+    }
+
+    #[test]
+    fn numeric_from_options() {
+        let c = Column::from_numeric_opt([Some(1.0), None, Some(2.0)]);
+        assert_eq!(c.n_missing(), 1);
+        assert_eq!(c.get(1), Some(Value::Missing));
+    }
+
+    #[test]
+    fn categorical_column_basics() {
+        let c = Column::from_strings(["red", "blue", "red"]);
+        assert!(c.is_categorical());
+        assert_eq!(c.n_categories(), 2);
+        assert_eq!(c.get(0), Some(Value::Cat(0)));
+        assert_eq!(c.get(2), Some(Value::Cat(0)));
+        let (codes, dict) = c.as_categorical().unwrap();
+        assert_eq!(codes, &[0, 1, 0]);
+        assert_eq!(dict.name(1), Some("blue"));
+    }
+
+    #[test]
+    fn categorical_with_missing() {
+        let c = Column::from_strings_opt([Some("a"), None, Some("b")]);
+        assert_eq!(c.n_missing(), 1);
+        assert_eq!(c.get(1), Some(Value::Missing));
+        assert_eq!(c.n_categories(), 2);
+    }
+
+    #[test]
+    fn select_preserves_dictionary() {
+        let c = Column::from_strings(["a", "b", "c", "a"]);
+        let s = c.select(&[3, 1]);
+        let (codes, dict) = s.as_categorical().unwrap();
+        assert_eq!(codes, &[0, 1]);
+        assert_eq!(dict.len(), 3);
+        assert_eq!(dict.name(0), Some("a"));
+    }
+
+    #[test]
+    fn mean_all_missing_is_none() {
+        let c = Column::from_numeric(vec![f64::NAN, f64::NAN]);
+        assert_eq!(c.mean(), None);
+        assert_eq!(c.min_max(), None);
+    }
+
+    #[test]
+    fn mean_of_categorical_is_none() {
+        let c = Column::from_strings(["a"]);
+        assert_eq!(c.mean(), None);
+    }
+}

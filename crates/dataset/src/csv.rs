@@ -1,0 +1,215 @@
+//! Minimal CSV reader/writer with type inference.
+//!
+//! The dialect: comma separator, `"`-quoted fields with `""` escapes, one
+//! header line, `?` or the empty string as the missing marker. This covers
+//! the classic UCI-style datasets the 1996-era tools consumed; it is not a
+//! general RFC-4180 implementation (no embedded newlines inside quotes).
+
+use crate::column::Column;
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use std::io::{BufRead, BufWriter, Write};
+
+/// Splits one CSV line into fields, honouring quotes.
+fn split_line(line: &str, lineno: usize) -> Result<Vec<String>, DataError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Csv {
+            line: lineno,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+fn is_missing(field: &str) -> bool {
+    let t = field.trim();
+    t.is_empty() || t == "?"
+}
+
+/// Reads a CSV document (header + rows) into a [`Dataset`], inferring each
+/// column as numeric when every non-missing field parses as `f64`, and
+/// categorical otherwise.
+pub fn read_csv<R: BufRead>(name: &str, reader: R) -> Result<Dataset, DataError> {
+    let mut lines = reader.lines().enumerate();
+    let header = match lines.next() {
+        Some((_, l)) => split_line(&l?, 1)?,
+        None => return Err(DataError::Empty("csv document")),
+    };
+    let n_cols = header.len();
+    let mut cells: Vec<Vec<String>> = vec![Vec::new(); n_cols];
+    for (i, line) in lines {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_line(&line, i + 1)?;
+        if fields.len() != n_cols {
+            return Err(DataError::Csv {
+                line: i + 1,
+                message: format!("expected {n_cols} fields, got {}", fields.len()),
+            });
+        }
+        for (c, f) in cells.iter_mut().zip(fields) {
+            c.push(f);
+        }
+    }
+
+    let mut columns = Vec::with_capacity(n_cols);
+    for (hname, col_cells) in header.into_iter().zip(cells) {
+        let all_numeric = col_cells
+            .iter()
+            .filter(|f| !is_missing(f))
+            .all(|f| f.trim().parse::<f64>().is_ok());
+        let has_values = col_cells.iter().any(|f| !is_missing(f));
+        let col = if all_numeric && has_values {
+            Column::from_numeric_opt(col_cells.iter().map(|f| {
+                if is_missing(f) {
+                    None
+                } else {
+                    Some(f.trim().parse::<f64>().expect("checked above"))
+                }
+            }))
+        } else {
+            Column::from_strings_opt(col_cells.iter().map(|f| {
+                if is_missing(f) {
+                    None
+                } else {
+                    Some(f.trim())
+                }
+            }))
+        };
+        columns.push((hname, col));
+    }
+    Dataset::from_columns(name, columns)
+}
+
+/// Quotes a field when necessary.
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Writes a [`Dataset`] as CSV (header + rows; missing cells become `?`).
+pub fn write_csv<W: Write>(ds: &Dataset, writer: W) -> Result<(), DataError> {
+    let mut out = BufWriter::new(writer);
+    let header: Vec<String> = ds.attrs().iter().map(|a| quote(a.name())).collect();
+    writeln!(out, "{}", header.join(","))?;
+    for i in 0..ds.n_rows() {
+        let mut fields = Vec::with_capacity(ds.n_cols());
+        for j in 0..ds.n_cols() {
+            let field = match ds.value(i, j) {
+                crate::Value::Num(x) => x.to_string(),
+                crate::Value::Cat(c) => {
+                    let (_, dict) = ds.column(j).as_categorical().expect("cat column");
+                    quote(dict.name(c).expect("code in range"))
+                }
+                crate::Value::Missing => "?".to_owned(),
+            };
+            fields.push(field);
+        }
+        writeln!(out, "{}", fields.join(","))?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn infers_types_and_missing() {
+        let doc = "age,city\n30,ny\n?,sf\n45,?\n";
+        let ds = read_csv("t", doc.as_bytes()).unwrap();
+        assert_eq!(ds.n_rows(), 3);
+        assert!(ds.attr(0).is_numeric());
+        assert!(ds.attr(1).is_categorical());
+        assert_eq!(ds.value(0, 0), Value::Num(30.0));
+        assert_eq!(ds.value(1, 0), Value::Missing);
+        assert_eq!(ds.value(2, 1), Value::Missing);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_escapes() {
+        let doc = "name,score\n\"Smith, John\",1\n\"say \"\"hi\"\"\",2\n";
+        let ds = read_csv("t", doc.as_bytes()).unwrap();
+        let (_, dict) = ds.column(0).as_categorical().unwrap();
+        assert_eq!(dict.name(0), Some("Smith, John"));
+        assert_eq!(dict.name(1), Some("say \"hi\""));
+    }
+
+    #[test]
+    fn field_count_mismatch_reports_line() {
+        let doc = "a,b\n1,2\n3\n";
+        let err = read_csv("t", doc.as_bytes()).unwrap_err();
+        assert!(matches!(err, DataError::Csv { line: 3, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let doc = "a\n\"oops\n";
+        assert!(read_csv("t", doc.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_document_rejected() {
+        assert!(read_csv("t", "".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn all_missing_column_is_categorical() {
+        let doc = "a,b\n1,?\n2,?\n";
+        let ds = read_csv("t", doc.as_bytes()).unwrap();
+        assert!(ds.attr(1).is_categorical());
+        assert_eq!(ds.column(1).n_missing(), 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let doc = "age,city\n30,ny\n?,\"sf, ca\"\n45,?\n";
+        let ds = read_csv("t", doc.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let back = read_csv("t", &buf[..]).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let doc = "a\n1\n\n2\n";
+        let ds = read_csv("t", doc.as_bytes()).unwrap();
+        assert_eq!(ds.n_rows(), 2);
+    }
+}

@@ -1,0 +1,427 @@
+//! The tabular [`Dataset`] container.
+
+use crate::attribute::{AttrKind, Attribute};
+use crate::column::Column;
+use crate::error::DataError;
+use crate::matrix::Matrix;
+use crate::value::Value;
+use crate::MISSING_CODE;
+
+/// A named, immutable-after-construction table of equal-length columns.
+///
+/// `Dataset` is the lingua franca of the workspace: synthesizers produce
+/// one, the classifiers consume one (together with a [`crate::Labels`]
+/// target), and [`Dataset::to_matrix`] bridges to the purely numeric
+/// algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    name: String,
+    attrs: Vec<Attribute>,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+/// How categorical columns are encoded by [`Dataset::to_matrix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixEncoding {
+    /// Categorical codes are cast to `f64` (one matrix column per
+    /// dataset column). Suitable for tree-style consumers; *not* metric.
+    Codes,
+    /// Each categorical column expands into one indicator column per
+    /// category (one-hot). Suitable for distance-based consumers.
+    OneHot,
+}
+
+impl Dataset {
+    /// Builds a dataset from `(name, column)` pairs.
+    ///
+    /// Attribute kinds are inferred from the column variants. Fails if
+    /// column lengths differ or names repeat.
+    pub fn from_columns(
+        name: impl Into<String>,
+        columns: Vec<(String, Column)>,
+    ) -> Result<Self, DataError> {
+        let n_rows = columns.first().map_or(0, |(_, c)| c.len());
+        let mut attrs = Vec::with_capacity(columns.len());
+        let mut cols = Vec::with_capacity(columns.len());
+        let mut seen = std::collections::HashSet::new();
+        for (cname, col) in columns {
+            if !seen.insert(cname.clone()) {
+                return Err(DataError::DuplicateColumn(cname));
+            }
+            if col.len() != n_rows {
+                return Err(DataError::ColumnLengthMismatch {
+                    column: cname,
+                    len: col.len(),
+                    expected: n_rows,
+                });
+            }
+            let kind = if col.is_numeric() {
+                AttrKind::Numeric
+            } else {
+                AttrKind::Categorical
+            };
+            attrs.push(Attribute::new(cname, kind));
+            cols.push(col);
+        }
+        Ok(Self {
+            name: name.into(),
+            attrs,
+            columns: cols,
+            n_rows,
+        })
+    }
+
+    /// The dataset's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The attribute metadata for column `j`.
+    pub fn attr(&self, j: usize) -> &Attribute {
+        &self.attrs[j]
+    }
+
+    /// All attributes in column order.
+    pub fn attrs(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// The column at index `j`.
+    pub fn column(&self, j: usize) -> &Column {
+        &self.columns[j]
+    }
+
+    /// Looks a column up by name.
+    pub fn column_by_name(&self, name: &str) -> Option<(usize, &Column)> {
+        self.attrs
+            .iter()
+            .position(|a| a.name() == name)
+            .map(|j| (j, &self.columns[j]))
+    }
+
+    /// The cell value at (`row`, `col`).
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        let column = self
+            .columns
+            .get(col)
+            .unwrap_or_else(|| panic!("column index {col} out of range for {} columns", self.columns.len()));
+        column
+            .get(row)
+            .unwrap_or_else(|| panic!("row index {row} out of range for {} rows", self.n_rows))
+    }
+
+    /// Iterates the values of row `i` in column order.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = Value> + '_ {
+        self.columns.iter().map(move |c| c.get(i).unwrap())
+    }
+
+    /// A new dataset containing only the rows at `indices` (in order,
+    /// duplicates allowed — useful for bootstrap samples).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn select_rows(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            attrs: self.attrs.clone(),
+            columns: self.columns.iter().map(|c| c.select(indices)).collect(),
+            n_rows: indices.len(),
+        }
+    }
+
+    /// A new dataset containing only the columns at `indices` (in order).
+    pub fn select_cols(&self, indices: &[usize]) -> Result<Dataset, DataError> {
+        let mut attrs = Vec::with_capacity(indices.len());
+        let mut cols = Vec::with_capacity(indices.len());
+        for &j in indices {
+            if j >= self.n_cols() {
+                return Err(DataError::ColumnIndexOutOfRange {
+                    index: j,
+                    n_cols: self.n_cols(),
+                });
+            }
+            attrs.push(self.attrs[j].clone());
+            cols.push(self.columns[j].clone());
+        }
+        Ok(Dataset {
+            name: self.name.clone(),
+            attrs,
+            columns: cols,
+            n_rows: self.n_rows,
+        })
+    }
+
+    /// Replaces column `j`, keeping its name. The new column must have the
+    /// same length as the dataset.
+    pub fn with_column(&self, j: usize, col: Column) -> Result<Dataset, DataError> {
+        if j >= self.n_cols() {
+            return Err(DataError::ColumnIndexOutOfRange {
+                index: j,
+                n_cols: self.n_cols(),
+            });
+        }
+        if col.len() != self.n_rows {
+            return Err(DataError::ColumnLengthMismatch {
+                column: self.attrs[j].name().to_owned(),
+                len: col.len(),
+                expected: self.n_rows,
+            });
+        }
+        let mut out = self.clone();
+        out.attrs[j] = Attribute::new(
+            self.attrs[j].name(),
+            if col.is_numeric() {
+                AttrKind::Numeric
+            } else {
+                AttrKind::Categorical
+            },
+        );
+        out.columns[j] = col;
+        Ok(out)
+    }
+
+    /// Total count of missing cells across all columns.
+    pub fn n_missing(&self) -> usize {
+        self.columns.iter().map(Column::n_missing).sum()
+    }
+
+    /// Converts the dataset to a dense `f64` matrix.
+    ///
+    /// Missing numeric cells become the column mean (0 if the whole column
+    /// is missing); missing categorical cells become an all-zero indicator
+    /// row under [`MatrixEncoding::OneHot`], or the value `-1.0` under
+    /// [`MatrixEncoding::Codes`].
+    pub fn to_matrix(&self, encoding: MatrixEncoding) -> Matrix {
+        let mut width = 0usize;
+        for c in &self.columns {
+            width += match (c, encoding) {
+                (Column::Numeric(_), _) => 1,
+                (Column::Categorical { .. }, MatrixEncoding::Codes) => 1,
+                (c @ Column::Categorical { .. }, MatrixEncoding::OneHot) => c.n_categories(),
+            };
+        }
+        let mut data = vec![0.0f64; self.n_rows * width];
+        let mut offset = 0usize;
+        for c in &self.columns {
+            match c {
+                Column::Numeric(v) => {
+                    let fill = c.mean().unwrap_or(0.0);
+                    for (i, &x) in v.iter().enumerate() {
+                        data[i * width + offset] = if x.is_nan() { fill } else { x };
+                    }
+                    offset += 1;
+                }
+                Column::Categorical { codes, dict } => match encoding {
+                    MatrixEncoding::Codes => {
+                        for (i, &code) in codes.iter().enumerate() {
+                            data[i * width + offset] = if code == MISSING_CODE {
+                                -1.0
+                            } else {
+                                code as f64
+                            };
+                        }
+                        offset += 1;
+                    }
+                    MatrixEncoding::OneHot => {
+                        for (i, &code) in codes.iter().enumerate() {
+                            if code != MISSING_CODE {
+                                data[i * width + offset + code as usize] = 1.0;
+                            }
+                        }
+                        offset += dict.len();
+                    }
+                },
+            }
+        }
+        Matrix::from_vec(data, self.n_rows, width).expect("internal dimension bug")
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Dataset `{}`: {} rows x {} cols",
+            self.name,
+            self.n_rows,
+            self.n_cols()
+        )?;
+        for (a, c) in self.attrs.iter().zip(&self.columns) {
+            writeln!(
+                f,
+                "  {a}{}",
+                if c.n_missing() > 0 {
+                    format!(", {} missing", c.n_missing())
+                } else {
+                    String::new()
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_columns(
+            "t",
+            vec![
+                ("x".into(), Column::from_numeric(vec![1.0, 2.0, 3.0, 4.0])),
+                ("c".into(), Column::from_strings(["a", "b", "a", "c"])),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let ds = sample();
+        assert_eq!(ds.n_rows(), 4);
+        assert_eq!(ds.n_cols(), 2);
+        assert_eq!(ds.attr(0).name(), "x");
+        assert!(ds.attr(0).is_numeric());
+        assert!(ds.attr(1).is_categorical());
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let err = Dataset::from_columns(
+            "t",
+            vec![
+                ("x".into(), Column::from_numeric(vec![1.0])),
+                ("y".into(), Column::from_numeric(vec![1.0, 2.0])),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, DataError::ColumnLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Dataset::from_columns(
+            "t",
+            vec![
+                ("x".into(), Column::from_numeric(vec![1.0])),
+                ("x".into(), Column::from_numeric(vec![2.0])),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, DataError::DuplicateColumn(_)));
+    }
+
+    #[test]
+    fn value_and_row_access() {
+        let ds = sample();
+        assert_eq!(ds.value(1, 0), Value::Num(2.0));
+        assert_eq!(ds.value(3, 1), Value::Cat(2));
+        let row: Vec<_> = ds.row(2).collect();
+        assert_eq!(row, vec![Value::Num(3.0), Value::Cat(0)]);
+    }
+
+    #[test]
+    fn column_by_name() {
+        let ds = sample();
+        let (j, col) = ds.column_by_name("c").unwrap();
+        assert_eq!(j, 1);
+        assert!(col.is_categorical());
+        assert!(ds.column_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn select_rows_with_duplicates() {
+        let ds = sample();
+        let sub = ds.select_rows(&[3, 3, 0]);
+        assert_eq!(sub.n_rows(), 3);
+        assert_eq!(sub.value(0, 0), Value::Num(4.0));
+        assert_eq!(sub.value(2, 0), Value::Num(1.0));
+    }
+
+    #[test]
+    fn select_cols_subset() {
+        let ds = sample();
+        let sub = ds.select_cols(&[1]).unwrap();
+        assert_eq!(sub.n_cols(), 1);
+        assert_eq!(sub.attr(0).name(), "c");
+        assert!(sub.select_cols(&[5]).is_err());
+    }
+
+    #[test]
+    fn with_column_replaces_and_validates() {
+        let ds = sample();
+        let ds2 = ds
+            .with_column(0, Column::from_strings(["p", "q", "p", "q"]))
+            .unwrap();
+        assert!(ds2.attr(0).is_categorical());
+        assert_eq!(ds2.attr(0).name(), "x");
+        assert!(ds.with_column(0, Column::from_numeric(vec![1.0])).is_err());
+        assert!(ds
+            .with_column(9, Column::from_numeric(vec![1.0; 4]))
+            .is_err());
+    }
+
+    #[test]
+    fn to_matrix_codes() {
+        let ds = sample();
+        let m = ds.to_matrix(MatrixEncoding::Codes);
+        assert_eq!((m.rows(), m.cols()), (4, 2));
+        assert_eq!(m.row(3), &[4.0, 2.0]);
+    }
+
+    #[test]
+    fn to_matrix_onehot() {
+        let ds = sample();
+        let m = ds.to_matrix(MatrixEncoding::OneHot);
+        assert_eq!((m.rows(), m.cols()), (4, 4)); // 1 numeric + 3 categories
+        assert_eq!(m.row(0), &[1.0, 1.0, 0.0, 0.0]);
+        assert_eq!(m.row(1), &[2.0, 0.0, 1.0, 0.0]);
+        assert_eq!(m.row(3), &[4.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn to_matrix_fills_missing_numeric_with_mean() {
+        let ds = Dataset::from_columns(
+            "m",
+            vec![("x".into(), Column::from_numeric(vec![1.0, f64::NAN, 3.0]))],
+        )
+        .unwrap();
+        let m = ds.to_matrix(MatrixEncoding::Codes);
+        assert_eq!(m.row(1), &[2.0]);
+    }
+
+    #[test]
+    fn missing_counts() {
+        let ds = Dataset::from_columns(
+            "m",
+            vec![
+                ("x".into(), Column::from_numeric(vec![f64::NAN, 1.0])),
+                ("c".into(), Column::from_strings_opt([None::<&str>, Some("a")])),
+            ],
+        )
+        .unwrap();
+        assert_eq!(ds.n_missing(), 2);
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        let s = sample().to_string();
+        assert!(s.contains("4 rows"));
+        assert!(s.contains("x (numeric)"));
+    }
+}

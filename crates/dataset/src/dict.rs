@@ -1,0 +1,114 @@
+//! String interning dictionary for categorical columns and class labels.
+
+use std::collections::HashMap;
+
+/// A bidirectional mapping between category names and dense `u32` codes.
+///
+/// Codes are assigned in first-seen order starting from zero, so a `Dict`
+/// built from the same sequence of strings is always identical — an
+/// invariant the deterministic-pipeline tests rely on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dict {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Dict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a dictionary pre-populated from `names` in order.
+    ///
+    /// Duplicate names are collapsed onto their first code.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut d = Self::new();
+        for n in names {
+            d.intern(n.as_ref());
+        }
+        d
+    }
+
+    /// Returns the code for `name`, interning it if unseen.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&c) = self.index.get(name) {
+            return c;
+        }
+        let code = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), code);
+        code
+    }
+
+    /// Returns the code for `name` if already interned.
+    pub fn code(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the name for `code`, or `None` when out of range.
+    pub fn name(&self, code: u32) -> Option<&str> {
+        self.names.get(code as usize).map(String::as_str)
+    }
+
+    /// The number of distinct categories.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no category has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(code, name)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_codes_in_order() {
+        let mut d = Dict::new();
+        assert_eq!(d.intern("a"), 0);
+        assert_eq!(d.intern("b"), 1);
+        assert_eq!(d.intern("a"), 0);
+        assert_eq!(d.intern("c"), 2);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        let d = Dict::from_names(["x", "y", "x", "z"]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.code("y"), Some(1));
+        assert_eq!(d.name(2), Some("z"));
+        assert_eq!(d.code("missing"), None);
+        assert_eq!(d.name(9), None);
+    }
+
+    #[test]
+    fn iter_in_code_order() {
+        let d = Dict::from_names(["p", "q"]);
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs, vec![(0, "p"), (1, "q")]);
+    }
+
+    #[test]
+    fn empty_dict() {
+        let d = Dict::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Discretization of numeric columns into categorical bins.
+//!
+//! Discretization was a core preprocessing step for the 1996-era miners
+//! (ID3-style trees and Apriori over quantitative attributes both need
+//! it). Two classic unsupervised schemes are provided: equal-width and
+//! equal-frequency binning.
+
+use crate::column::Column;
+use crate::dict::Dict;
+use crate::error::DataError;
+use crate::MISSING_CODE;
+
+/// A discretization scheme that learns cut points from data.
+pub trait Discretizer {
+    /// Learns cut points from the non-missing values of `values`.
+    fn fit(&self, values: &[f64]) -> Result<FittedDiscretizer, DataError>;
+}
+
+/// Cut points learned by a [`Discretizer`]; maps values to bin codes.
+///
+/// A value `x` falls in bin `i` where `i` is the number of cut points
+/// `<= x` (so cuts are right-exclusive: bin 0 is `(-inf, c0)`, bin 1 is
+/// `[c0, c1)`, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FittedDiscretizer {
+    cuts: Vec<f64>,
+    n_bins: usize,
+}
+
+impl FittedDiscretizer {
+    /// Builds directly from strictly increasing cut points.
+    pub fn from_cuts(cuts: Vec<f64>) -> Result<Self, DataError> {
+        if cuts.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(DataError::InvalidParameter(
+                "cut points must be strictly increasing".into(),
+            ));
+        }
+        let n_bins = cuts.len() + 1;
+        Ok(Self { cuts, n_bins })
+    }
+
+    /// The learned cut points.
+    pub fn cuts(&self) -> &[f64] {
+        &self.cuts
+    }
+
+    /// Number of bins (`cuts.len() + 1`).
+    pub fn n_bins(&self) -> usize {
+        self.n_bins
+    }
+
+    /// Maps one value to its bin code (`None` for NaN).
+    pub fn bin(&self, x: f64) -> Option<u32> {
+        if x.is_nan() {
+            return None;
+        }
+        Some(self.cuts.partition_point(|&c| c <= x) as u32)
+    }
+
+    /// Discretizes a numeric column into a categorical one with bin-name
+    /// categories `bin0..binK` (missing stays missing).
+    pub fn transform_column(&self, values: &[f64]) -> Column {
+        let mut dict = Dict::new();
+        for b in 0..self.n_bins {
+            dict.intern(&self.bin_name(b));
+        }
+        let codes = values
+            .iter()
+            .map(|&x| self.bin(x).unwrap_or(MISSING_CODE))
+            .collect();
+        Column::from_codes(codes, dict)
+    }
+
+    /// Human-readable interval label for bin `b`.
+    pub fn bin_name(&self, b: usize) -> String {
+        let lo = if b == 0 {
+            "-inf".to_owned()
+        } else {
+            format!("{:.4}", self.cuts[b - 1])
+        };
+        let hi = if b == self.cuts.len() {
+            "+inf".to_owned()
+        } else {
+            format!("{:.4}", self.cuts[b])
+        };
+        format!("[{lo}, {hi})")
+    }
+}
+
+/// Equal-width binning: the observed `[min, max]` range is divided into
+/// `bins` intervals of equal length.
+#[derive(Debug, Clone, Copy)]
+pub struct EqualWidth {
+    /// Number of bins; must be ≥ 1.
+    pub bins: usize,
+}
+
+impl Discretizer for EqualWidth {
+    fn fit(&self, values: &[f64]) -> Result<FittedDiscretizer, DataError> {
+        if self.bins == 0 {
+            return Err(DataError::InvalidParameter("bins must be >= 1".into()));
+        }
+        let mut it = values.iter().copied().filter(|x| !x.is_nan());
+        let first = it.next().ok_or(DataError::Empty("numeric column"))?;
+        let (mut lo, mut hi) = (first, first);
+        for x in it {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        if lo == hi || self.bins == 1 {
+            // Degenerate range: a single bin.
+            return FittedDiscretizer::from_cuts(Vec::new());
+        }
+        let width = (hi - lo) / self.bins as f64;
+        let cuts = (1..self.bins).map(|i| lo + width * i as f64).collect();
+        FittedDiscretizer::from_cuts(cuts)
+    }
+}
+
+/// Equal-frequency binning: cut points are placed at sample quantiles so
+/// each bin receives roughly the same number of training values.
+#[derive(Debug, Clone, Copy)]
+pub struct EqualFrequency {
+    /// Number of bins; must be ≥ 1.
+    pub bins: usize,
+}
+
+impl Discretizer for EqualFrequency {
+    fn fit(&self, values: &[f64]) -> Result<FittedDiscretizer, DataError> {
+        if self.bins == 0 {
+            return Err(DataError::InvalidParameter("bins must be >= 1".into()));
+        }
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+        if sorted.is_empty() {
+            return Err(DataError::Empty("numeric column"));
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+        let n = sorted.len();
+        let mut cuts = Vec::new();
+        for b in 1..self.bins {
+            let pos = (b * n) / self.bins;
+            if pos == 0 || pos >= n {
+                continue;
+            }
+            let c = sorted[pos];
+            // Skip duplicate cut points produced by heavy ties.
+            if cuts.last().is_none_or(|&last| c > last) && c > sorted[0] {
+                cuts.push(c);
+            }
+        }
+        FittedDiscretizer::from_cuts(cuts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_width_cuts() {
+        let f = EqualWidth { bins: 4 }.fit(&[0.0, 10.0]).unwrap();
+        assert_eq!(f.cuts(), &[2.5, 5.0, 7.5]);
+        assert_eq!(f.n_bins(), 4);
+        assert_eq!(f.bin(0.0), Some(0));
+        assert_eq!(f.bin(2.5), Some(1)); // right-exclusive
+        assert_eq!(f.bin(9.9), Some(3));
+        assert_eq!(f.bin(10.0), Some(3));
+        assert_eq!(f.bin(-5.0), Some(0)); // out-of-range clamps naturally
+        assert_eq!(f.bin(99.0), Some(3));
+        assert_eq!(f.bin(f64::NAN), None);
+    }
+
+    #[test]
+    fn equal_width_constant_column_single_bin() {
+        let f = EqualWidth { bins: 5 }.fit(&[3.0, 3.0, 3.0]).unwrap();
+        assert_eq!(f.n_bins(), 1);
+        assert_eq!(f.bin(3.0), Some(0));
+    }
+
+    #[test]
+    fn equal_width_rejects_zero_bins_and_empty() {
+        assert!(EqualWidth { bins: 0 }.fit(&[1.0]).is_err());
+        assert!(EqualWidth { bins: 3 }.fit(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn equal_frequency_balances_counts() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let f = EqualFrequency { bins: 4 }.fit(&values).unwrap();
+        let mut counts = vec![0usize; f.n_bins()];
+        for &v in &values {
+            counts[f.bin(v).unwrap() as usize] += 1;
+        }
+        assert_eq!(counts, vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn equal_frequency_handles_ties() {
+        // Heavy ties: only one meaningful cut survives.
+        let values = vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0];
+        let f = EqualFrequency { bins: 4 }.fit(&values).unwrap();
+        assert!(f.n_bins() <= 2);
+        assert!(f.bin(1.0).unwrap() < f.bin(2.0).unwrap() || f.n_bins() == 1);
+    }
+
+    #[test]
+    fn transform_column_maps_missing() {
+        let f = EqualWidth { bins: 2 }.fit(&[0.0, 10.0]).unwrap();
+        let col = f.transform_column(&[1.0, f64::NAN, 9.0]);
+        assert!(col.is_categorical());
+        assert_eq!(col.n_missing(), 1);
+        let (codes, dict) = col.as_categorical().unwrap();
+        assert_eq!(codes[0], 0);
+        assert_eq!(codes[2], 1);
+        assert_eq!(dict.len(), 2);
+        assert!(dict.name(0).unwrap().starts_with("[-inf"));
+    }
+
+    #[test]
+    fn from_cuts_rejects_non_increasing() {
+        assert!(FittedDiscretizer::from_cuts(vec![1.0, 1.0]).is_err());
+        assert!(FittedDiscretizer::from_cuts(vec![2.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn monotonic_binning_property() {
+        let f = EqualWidth { bins: 7 }.fit(&[-3.0, 12.0]).unwrap();
+        let xs: Vec<f64> = (-30..=120).map(|i| i as f64 / 10.0).collect();
+        let bins: Vec<u32> = xs.iter().map(|&x| f.bin(x).unwrap()).collect();
+        assert!(bins.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*bins.last().unwrap() as usize, f.n_bins() - 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Error type shared by the dataset substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or transforming datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// Columns passed to a dataset constructor had differing lengths.
+    ColumnLengthMismatch {
+        /// Name of the offending column.
+        column: String,
+        /// Its length.
+        len: usize,
+        /// The length established by the first column.
+        expected: usize,
+    },
+    /// Two columns share a name.
+    DuplicateColumn(String),
+    /// A column or attribute name was not found.
+    UnknownColumn(String),
+    /// A column index was out of range.
+    ColumnIndexOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// Number of columns available.
+        n_cols: usize,
+    },
+    /// A row index was out of range.
+    RowIndexOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// Number of rows available.
+        n_rows: usize,
+    },
+    /// An operation required a numeric column but got a categorical one
+    /// (or vice versa).
+    WrongColumnKind {
+        /// Name of the offending column.
+        column: String,
+        /// The kind the operation needed.
+        expected: &'static str,
+    },
+    /// A labels vector did not match the dataset row count.
+    LabelLengthMismatch {
+        /// Number of labels supplied.
+        labels: usize,
+        /// Number of dataset rows.
+        rows: usize,
+    },
+    /// CSV input could not be parsed.
+    Csv {
+        /// 1-based line number of the malformed input.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// An I/O failure while reading or writing data files.
+    Io(String),
+    /// A parameter was outside its valid domain (e.g. zero bins).
+    InvalidParameter(String),
+    /// The operation needs at least one row/element and got none.
+    Empty(&'static str),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ColumnLengthMismatch {
+                column,
+                len,
+                expected,
+            } => write!(
+                f,
+                "column `{column}` has {len} rows but the dataset has {expected}"
+            ),
+            DataError::DuplicateColumn(name) => write!(f, "duplicate column name `{name}`"),
+            DataError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            DataError::ColumnIndexOutOfRange { index, n_cols } => {
+                write!(f, "column index {index} out of range for {n_cols} columns")
+            }
+            DataError::RowIndexOutOfRange { index, n_rows } => {
+                write!(f, "row index {index} out of range for {n_rows} rows")
+            }
+            DataError::WrongColumnKind { column, expected } => {
+                write!(f, "column `{column}` is not {expected}")
+            }
+            DataError::LabelLengthMismatch { labels, rows } => {
+                write!(f, "{labels} labels supplied for a dataset with {rows} rows")
+            }
+            DataError::Csv { line, message } => write!(f, "csv parse error on line {line}: {message}"),
+            DataError::Io(msg) => write!(f, "i/o error: {msg}"),
+            DataError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            DataError::Empty(what) => write!(f, "operation requires a non-empty {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DataError::ColumnLengthMismatch {
+            column: "age".into(),
+            len: 3,
+            expected: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("age"));
+        assert!(s.contains('3'));
+        assert!(s.contains('5'));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: DataError = io.into();
+        assert!(matches!(e, DataError::Io(_)));
+        assert!(e.to_string().contains("nope"));
+    }
+}

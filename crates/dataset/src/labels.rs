@@ -1,0 +1,153 @@
+//! Interned class-label vectors used as supervised-learning targets.
+
+use crate::dict::Dict;
+use crate::error::DataError;
+
+/// A vector of class labels, interned to dense `u32` codes.
+///
+/// Classifiers in this workspace exchange predictions as `Vec<u32>` of
+/// codes; `Labels` pins down the code ↔ name mapping and the class count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Labels {
+    codes: Vec<u32>,
+    dict: Dict,
+}
+
+impl Labels {
+    /// Interns a sequence of string labels.
+    pub fn from_strs<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut dict = Dict::new();
+        let codes = values
+            .into_iter()
+            .map(|s| dict.intern(s.as_ref()))
+            .collect();
+        Self { codes, dict }
+    }
+
+    /// Builds labels from pre-assigned codes and a dictionary.
+    ///
+    /// Every code must be in range for `dict`.
+    pub fn from_codes(codes: Vec<u32>, dict: Dict) -> Result<Self, DataError> {
+        if let Some(&bad) = codes.iter().find(|&&c| c as usize >= dict.len()) {
+            return Err(DataError::InvalidParameter(format!(
+                "label code {bad} out of range for {} classes",
+                dict.len()
+            )));
+        }
+        Ok(Self { codes, dict })
+    }
+
+    /// The label codes.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The class dictionary.
+    pub fn dict(&self) -> &Dict {
+        &self.dict
+    }
+
+    /// Number of labelled rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether there are no labels.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Number of distinct classes in the dictionary.
+    pub fn n_classes(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// The label code at row `i`.
+    pub fn get(&self, i: usize) -> u32 {
+        self.codes[i]
+    }
+
+    /// The label name at row `i`.
+    pub fn name(&self, i: usize) -> &str {
+        self.dict.name(self.codes[i]).expect("code in range")
+    }
+
+    /// Per-class counts, indexed by code.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes()];
+        for &c in &self.codes {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+
+    /// The majority class code, ties broken toward the smaller code.
+    /// Returns `None` when empty.
+    pub fn majority(&self) -> Option<u32> {
+        let counts = self.class_counts();
+        counts
+            .iter()
+            .enumerate()
+            .max_by(|(ia, ca), (ib, cb)| ca.cmp(cb).then(ib.cmp(ia)))
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Labels restricted to the rows at `indices` (dictionary shared).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn select(&self, indices: &[usize]) -> Labels {
+        Labels {
+            codes: indices.iter().map(|&i| self.codes[i]).collect(),
+            dict: self.dict.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_and_counts() {
+        let l = Labels::from_strs(["yes", "no", "yes", "yes"]);
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.n_classes(), 2);
+        assert_eq!(l.codes(), &[0, 1, 0, 0]);
+        assert_eq!(l.class_counts(), vec![3, 1]);
+        assert_eq!(l.majority(), Some(0));
+        assert_eq!(l.name(1), "no");
+    }
+
+    #[test]
+    fn majority_tie_prefers_smaller_code() {
+        let l = Labels::from_strs(["a", "b"]);
+        assert_eq!(l.majority(), Some(0));
+    }
+
+    #[test]
+    fn majority_empty_is_none() {
+        let l = Labels::from_strs(Vec::<&str>::new());
+        assert!(l.is_empty());
+        assert_eq!(l.majority(), None);
+    }
+
+    #[test]
+    fn from_codes_validates_range() {
+        let dict = Dict::from_names(["a", "b"]);
+        assert!(Labels::from_codes(vec![0, 1, 0], dict.clone()).is_ok());
+        assert!(Labels::from_codes(vec![0, 2], dict).is_err());
+    }
+
+    #[test]
+    fn select_shares_dictionary() {
+        let l = Labels::from_strs(["a", "b", "c"]);
+        let s = l.select(&[2, 0]);
+        assert_eq!(s.codes(), &[2, 0]);
+        assert_eq!(s.n_classes(), 3);
+    }
+}

@@ -1,0 +1,71 @@
+//! # dm-dataset
+//!
+//! The data substrate of the `datamining` workspace: an in-memory tabular
+//! dataset model with mixed numeric/categorical columns, transaction
+//! databases for association-rule mining, CSV I/O, train/test and k-fold
+//! splitting, discretization and feature scaling.
+//!
+//! Everything in this crate is deterministic; any operation that involves
+//! randomness (shuffled splits, bootstrap sampling) takes an explicit
+//! [`rand::Rng`] so callers control seeding.
+//!
+//! ## Core types
+//!
+//! * [`Dataset`] — a named collection of equal-length [`Column`]s described
+//!   by [`Attribute`]s. Missing values are first-class (`NaN` for numeric
+//!   columns, a sentinel code for categorical ones).
+//! * [`Labels`] — an interned class-label vector used as the supervised
+//!   learning target.
+//! * [`Matrix`] — a dense row-major `f64` matrix, the representation used
+//!   by the purely numeric algorithms (clustering, k-NN).
+//! * [`TransactionDb`] — a database of sparse item-id transactions, the
+//!   input to the frequent-itemset miners.
+//!
+//! ## Example
+//!
+//! ```
+//! use dm_dataset::{Dataset, Column};
+//!
+//! let ds = Dataset::from_columns(
+//!     "people",
+//!     vec![
+//!         ("age".into(), Column::from_numeric(vec![31.0, 45.0, 23.0])),
+//!         ("city".into(), Column::from_strings(["ny", "sf", "ny"])),
+//!     ],
+//! )
+//! .unwrap();
+//! assert_eq!(ds.n_rows(), 3);
+//! assert_eq!(ds.n_cols(), 2);
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod attribute;
+pub mod column;
+pub mod csv;
+pub mod dataset;
+pub mod dict;
+pub mod discretize;
+pub mod error;
+pub mod labels;
+pub mod matrix;
+pub mod scale;
+pub mod split;
+pub mod transactions;
+pub mod value;
+
+pub use attribute::{AttrKind, Attribute};
+pub use column::Column;
+pub use dataset::Dataset;
+pub use dict::Dict;
+pub use discretize::{Discretizer, EqualFrequency, EqualWidth, FittedDiscretizer};
+pub use error::DataError;
+pub use labels::Labels;
+pub use matrix::Matrix;
+pub use scale::{FittedScaler, MinMaxScaler, Scaler, StandardScaler};
+pub use split::{train_test_split, KFold, StratifiedKFold};
+pub use transactions::TransactionDb;
+pub use value::Value;
+
+/// Sentinel categorical code representing a missing value.
+pub const MISSING_CODE: u32 = u32::MAX;

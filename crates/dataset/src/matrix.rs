@@ -1,0 +1,270 @@
+//! Dense row-major `f64` matrix plus the distance kernels shared by the
+//! distance-based algorithms (clustering, k-NN).
+
+use crate::error::DataError;
+
+/// A dense row-major matrix of `f64`.
+///
+/// Rows are observations, columns are features. The storage is a single
+/// contiguous `Vec<f64>` so row access is cache-friendly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Builds a matrix from a flat row-major buffer. Zero-width matrices
+    /// with rows are rejected (they would make `iter_rows` inconsistent
+    /// with `rows()`).
+    pub fn from_vec(data: Vec<f64>, rows: usize, cols: usize) -> Result<Self, DataError> {
+        if data.len() != rows * cols {
+            return Err(DataError::InvalidParameter(format!(
+                "buffer of {} elements cannot be a {rows}x{cols} matrix",
+                data.len()
+            )));
+        }
+        if cols == 0 && rows > 0 {
+            return Err(DataError::InvalidParameter(format!(
+                "a matrix with {rows} rows must have at least one column"
+            )));
+        }
+        Ok(Self { data, rows, cols })
+    }
+
+    /// Builds a matrix from row slices. All rows must share one length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, DataError> {
+        if rows.is_empty() {
+            return Ok(Self {
+                data: Vec::new(),
+                rows: 0,
+                cols: 0,
+            });
+        }
+        let cols = rows[0].len();
+        if cols == 0 {
+            return Err(DataError::InvalidParameter(format!(
+                "a matrix with {} rows must have at least one column",
+                rows.len()
+            )));
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(DataError::InvalidParameter(format!(
+                    "row {i} has {} columns, expected {cols}",
+                    r.len()
+                )));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self {
+            data,
+            rows: rows.len(),
+            cols,
+        })
+    }
+
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Number of rows (observations).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (features).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The cell at (`i`, `j`).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets the cell at (`i`, `j`).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Iterates rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// A new matrix containing the rows at `indices` (in order).
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix {
+            data,
+            rows: indices.len(),
+            cols: self.cols,
+        }
+    }
+
+    /// Per-column means.
+    pub fn col_means(&self) -> Vec<f64> {
+        let mut means = vec![0.0; self.cols];
+        if self.rows == 0 {
+            return means;
+        }
+        for r in self.iter_rows() {
+            for (m, &x) in means.iter_mut().zip(r) {
+                *m += x;
+            }
+        }
+        for m in &mut means {
+            *m /= self.rows as f64;
+        }
+        means
+    }
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x - y;
+        s += d * d;
+    }
+    s
+}
+
+/// Euclidean (L2) distance.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    euclidean_sq(a, b).sqrt()
+}
+
+/// Manhattan (L1) distance.
+#[inline]
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum()
+}
+
+/// Chebyshev (L∞) distance.
+#[inline]
+pub fn chebyshev(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Minkowski distance of order `p` (`p >= 1`).
+#[inline]
+pub fn minkowski(a: &[f64], b: &[f64], p: f64) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert!(p >= 1.0);
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs().powf(p))
+        .sum::<f64>()
+        .powf(1.0 / p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_shape() {
+        assert!(Matrix::from_vec(vec![1.0, 2.0, 3.0], 2, 2).is_err());
+        let m = Matrix::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2, 2).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn from_rows_validates_ragged() {
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = Matrix::from_rows(&[]).unwrap();
+        assert_eq!(m.rows(), 0);
+        assert_eq!(m.iter_rows().count(), 0);
+        assert!(m.col_means().is_empty());
+    }
+
+    #[test]
+    fn row_access_and_mutation() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(0, 2, 5.0);
+        m.row_mut(1).copy_from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.get(0, 2), 5.0);
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn select_rows_copies_in_order() {
+        let m = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+        let s = m.select_rows(&[2, 0, 2]);
+        assert_eq!(s.as_slice(), &[2.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn col_means() {
+        let m = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0]]).unwrap();
+        assert_eq!(m.col_means(), vec![2.0, 20.0]);
+    }
+
+    #[test]
+    fn distances() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(euclidean_sq(&a, &b), 25.0);
+        assert_eq!(euclidean(&a, &b), 5.0);
+        assert_eq!(manhattan(&a, &b), 7.0);
+        assert_eq!(chebyshev(&a, &b), 4.0);
+        assert!((minkowski(&a, &b, 2.0) - 5.0).abs() < 1e-12);
+        assert!((minkowski(&a, &b, 1.0) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_identity() {
+        let a = [1.5, -2.0, 0.25];
+        assert_eq!(euclidean(&a, &a), 0.0);
+        assert_eq!(manhattan(&a, &a), 0.0);
+        assert_eq!(chebyshev(&a, &a), 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Feature scaling for numeric matrices.
+//!
+//! Distance-based algorithms (k-means, k-NN) are sensitive to feature
+//! scale, so min-max and z-score scalers are part of the substrate. Both
+//! follow a fit/transform protocol: statistics are learned on training
+//! data and applied unchanged to held-out data.
+
+use crate::error::DataError;
+use crate::matrix::Matrix;
+
+/// A scaling scheme that learns per-column statistics.
+pub trait Scaler {
+    /// Learns statistics from the columns of `m`.
+    fn fit(&self, m: &Matrix) -> Result<FittedScaler, DataError>;
+}
+
+/// Per-column affine transform `x -> (x - shift) / scale` learned by a
+/// [`Scaler`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FittedScaler {
+    shift: Vec<f64>,
+    scale: Vec<f64>,
+}
+
+impl FittedScaler {
+    /// Applies the transform, returning a new matrix.
+    ///
+    /// Fails when the column count differs from the fitted one.
+    pub fn transform(&self, m: &Matrix) -> Result<Matrix, DataError> {
+        if m.cols() != self.shift.len() {
+            return Err(DataError::InvalidParameter(format!(
+                "scaler fitted on {} columns applied to {}",
+                self.shift.len(),
+                m.cols()
+            )));
+        }
+        let mut out = m.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for (j, x) in row.iter_mut().enumerate() {
+                *x = (*x - self.shift[j]) / self.scale[j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inverts the transform (`x -> x * scale + shift`).
+    pub fn inverse_transform(&self, m: &Matrix) -> Result<Matrix, DataError> {
+        if m.cols() != self.shift.len() {
+            return Err(DataError::InvalidParameter(format!(
+                "scaler fitted on {} columns applied to {}",
+                self.shift.len(),
+                m.cols()
+            )));
+        }
+        let mut out = m.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for (j, x) in row.iter_mut().enumerate() {
+                *x = *x * self.scale[j] + self.shift[j];
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Scales each column to `[0, 1]` over the training range. Constant
+/// columns map to 0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinMaxScaler;
+
+impl Scaler for MinMaxScaler {
+    fn fit(&self, m: &Matrix) -> Result<FittedScaler, DataError> {
+        if m.rows() == 0 {
+            return Err(DataError::Empty("matrix"));
+        }
+        let cols = m.cols();
+        let mut lo = vec![f64::INFINITY; cols];
+        let mut hi = vec![f64::NEG_INFINITY; cols];
+        for r in m.iter_rows() {
+            for j in 0..cols {
+                lo[j] = lo[j].min(r[j]);
+                hi[j] = hi[j].max(r[j]);
+            }
+        }
+        let scale = lo
+            .iter()
+            .zip(&hi)
+            .map(|(&l, &h)| if h > l { h - l } else { 1.0 })
+            .collect();
+        Ok(FittedScaler { shift: lo, scale })
+    }
+}
+
+/// Standardizes each column to zero mean and unit (population) standard
+/// deviation. Constant columns map to 0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardScaler;
+
+impl Scaler for StandardScaler {
+    fn fit(&self, m: &Matrix) -> Result<FittedScaler, DataError> {
+        if m.rows() == 0 {
+            return Err(DataError::Empty("matrix"));
+        }
+        let cols = m.cols();
+        let means = m.col_means();
+        let mut var = vec![0.0f64; cols];
+        for r in m.iter_rows() {
+            for j in 0..cols {
+                let d = r[j] - means[j];
+                var[j] += d * d;
+            }
+        }
+        let n = m.rows() as f64;
+        let scale = var
+            .iter()
+            .map(|&v| {
+                let sd = (v / n).sqrt();
+                if sd > 0.0 {
+                    sd
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Ok(FittedScaler {
+            shift: means,
+            scale,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Matrix {
+        Matrix::from_rows(&[vec![0.0, 10.0], vec![5.0, 10.0], vec![10.0, 10.0]]).unwrap()
+    }
+
+    #[test]
+    fn min_max_scales_to_unit_interval() {
+        let f = MinMaxScaler.fit(&m()).unwrap();
+        let t = f.transform(&m()).unwrap();
+        assert_eq!(t.row(0), &[0.0, 0.0]);
+        assert_eq!(t.row(1), &[0.5, 0.0]);
+        assert_eq!(t.row(2), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_var() {
+        let f = StandardScaler.fit(&m()).unwrap();
+        let t = f.transform(&m()).unwrap();
+        let mean0: f64 = (0..3).map(|i| t.get(i, 0)).sum::<f64>() / 3.0;
+        assert!(mean0.abs() < 1e-12);
+        let var0: f64 = (0..3).map(|i| t.get(i, 0).powi(2)).sum::<f64>() / 3.0;
+        assert!((var0 - 1.0).abs() < 1e-12);
+        // Constant column untouched (maps to zero, scale 1).
+        assert_eq!(t.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn transform_validates_width() {
+        let f = MinMaxScaler.fit(&m()).unwrap();
+        let narrow = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert!(f.transform(&narrow).is_err());
+        assert!(f.inverse_transform(&narrow).is_err());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let f = StandardScaler.fit(&m()).unwrap();
+        let t = f.transform(&m()).unwrap();
+        let back = f.inverse_transform(&t).unwrap();
+        for i in 0..3 {
+            for j in 0..2 {
+                assert!((back.get(i, j) - m().get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        let e = Matrix::from_rows(&[]).unwrap();
+        assert!(MinMaxScaler.fit(&e).is_err());
+        assert!(StandardScaler.fit(&e).is_err());
+    }
+
+    #[test]
+    fn heldout_data_uses_training_stats() {
+        let f = MinMaxScaler.fit(&m()).unwrap();
+        let test = Matrix::from_rows(&[vec![20.0, 10.0]]).unwrap();
+        let t = f.transform(&test).unwrap();
+        assert_eq!(t.row(0), &[2.0, 0.0]); // extrapolates beyond [0,1]
+    }
+}

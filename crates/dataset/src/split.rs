@@ -1,0 +1,286 @@
+//! Train/test and cross-validation index splitting.
+//!
+//! All splitters operate on *row indices* so they compose with any of
+//! [`crate::Dataset::select_rows`], [`crate::Labels::select`] or
+//! [`crate::Matrix::select_rows`].
+
+use crate::error::DataError;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The `(train, test)` index pairs produced by a cross-validation
+/// splitter, one per fold.
+pub type Folds = Vec<(Vec<usize>, Vec<usize>)>;
+
+/// Randomly splits `n` rows into `(train, test)` index sets, with
+/// `test_fraction` of rows (rounded) in the test set.
+pub fn train_test_split<R: Rng>(
+    n: usize,
+    test_fraction: f64,
+    rng: &mut R,
+) -> Result<(Vec<usize>, Vec<usize>), DataError> {
+    if !(0.0..=1.0).contains(&test_fraction) {
+        return Err(DataError::InvalidParameter(format!(
+            "test_fraction {test_fraction} not in [0, 1]"
+        )));
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let n_test = (n as f64 * test_fraction).round() as usize;
+    let test = idx.split_off(n - n_test.min(n));
+    Ok((idx, test))
+}
+
+/// Draws a bootstrap sample of `n` indices (with replacement) from `0..n`.
+pub fn bootstrap_sample<R: Rng>(n: usize, rng: &mut R) -> Vec<usize> {
+    (0..n).map(|_| rng.gen_range(0..n)).collect()
+}
+
+/// Plain k-fold cross-validation splitter.
+///
+/// Folds are contiguous over a (optionally shuffled) permutation of the
+/// rows, with the first `n % k` folds one element larger, so every row
+/// appears in exactly one test fold.
+#[derive(Debug, Clone)]
+pub struct KFold {
+    k: usize,
+    shuffle_seed: Option<u64>,
+}
+
+impl KFold {
+    /// Creates a k-fold splitter; `k >= 2`.
+    pub fn new(k: usize) -> Result<Self, DataError> {
+        if k < 2 {
+            return Err(DataError::InvalidParameter(format!("k-fold needs k >= 2, got {k}")));
+        }
+        Ok(Self {
+            k,
+            shuffle_seed: None,
+        })
+    }
+
+    /// Shuffles rows with the given seed before folding.
+    pub fn shuffled(mut self, seed: u64) -> Self {
+        self.shuffle_seed = Some(seed);
+        self
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Produces the `(train, test)` index pairs for `n` rows.
+    pub fn split(&self, n: usize) -> Result<Folds, DataError> {
+        if n < self.k {
+            return Err(DataError::InvalidParameter(format!(
+                "cannot split {n} rows into {} folds",
+                self.k
+            )));
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        if let Some(seed) = self.shuffle_seed {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            order.shuffle(&mut rng);
+        }
+        let base = n / self.k;
+        let extra = n % self.k;
+        let mut out = Vec::with_capacity(self.k);
+        let mut start = 0usize;
+        for f in 0..self.k {
+            let len = base + usize::from(f < extra);
+            let test: Vec<usize> = order[start..start + len].to_vec();
+            let train: Vec<usize> = order[..start]
+                .iter()
+                .chain(&order[start + len..])
+                .copied()
+                .collect();
+            out.push((train, test));
+            start += len;
+        }
+        Ok(out)
+    }
+}
+
+/// Stratified k-fold: each fold's class proportions approximate the
+/// overall proportions. Rows of each class are dealt round-robin (after an
+/// optional shuffle) across folds.
+#[derive(Debug, Clone)]
+pub struct StratifiedKFold {
+    k: usize,
+    shuffle_seed: Option<u64>,
+}
+
+impl StratifiedKFold {
+    /// Creates a stratified splitter; `k >= 2`.
+    pub fn new(k: usize) -> Result<Self, DataError> {
+        if k < 2 {
+            return Err(DataError::InvalidParameter(format!(
+                "stratified k-fold needs k >= 2, got {k}"
+            )));
+        }
+        Ok(Self {
+            k,
+            shuffle_seed: None,
+        })
+    }
+
+    /// Shuffles within each class with the given seed before dealing.
+    pub fn shuffled(mut self, seed: u64) -> Self {
+        self.shuffle_seed = Some(seed);
+        self
+    }
+
+    /// Produces `(train, test)` pairs stratified by `labels`.
+    pub fn split(&self, labels: &[u32]) -> Result<Folds, DataError> {
+        let n = labels.len();
+        if n < self.k {
+            return Err(DataError::InvalidParameter(format!(
+                "cannot split {n} rows into {} folds",
+                self.k
+            )));
+        }
+        // Group row indices by class.
+        let n_classes = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+        for (i, &c) in labels.iter().enumerate() {
+            by_class[c as usize].push(i);
+        }
+        if let Some(seed) = self.shuffle_seed {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            for g in &mut by_class {
+                g.shuffle(&mut rng);
+            }
+        }
+        // Deal each class round-robin across folds.
+        let mut fold_of_row = vec![0usize; n];
+        let mut next_fold = 0usize;
+        for group in &by_class {
+            for &row in group {
+                fold_of_row[row] = next_fold;
+                next_fold = (next_fold + 1) % self.k;
+            }
+        }
+        let mut out = Vec::with_capacity(self.k);
+        for f in 0..self.k {
+            let mut train = Vec::new();
+            let mut test = Vec::new();
+            for (row, &fold) in fold_of_row.iter().enumerate() {
+                if fold == f {
+                    test.push(row);
+                } else {
+                    train.push(row);
+                }
+            }
+            if test.is_empty() {
+                return Err(DataError::InvalidParameter(format!(
+                    "fold {f} is empty; too few rows for {} folds",
+                    self.k
+                )));
+            }
+            out.push((train, test));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn train_test_partitions() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (train, test) = train_test_split(100, 0.25, &mut rng).unwrap();
+        assert_eq!(test.len(), 25);
+        assert_eq!(train.len(), 75);
+        let all: HashSet<_> = train.iter().chain(&test).collect();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn train_test_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (train, test) = train_test_split(10, 0.0, &mut rng).unwrap();
+        assert_eq!((train.len(), test.len()), (10, 0));
+        let (train, test) = train_test_split(10, 1.0, &mut rng).unwrap();
+        assert_eq!((train.len(), test.len()), (0, 10));
+        assert!(train_test_split(10, 1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn kfold_covers_every_row_exactly_once() {
+        let folds = KFold::new(3).unwrap().split(10).unwrap();
+        assert_eq!(folds.len(), 3);
+        let mut seen = [0usize; 10];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 10);
+            for &i in test {
+                seen[i] += 1;
+            }
+            let tr: HashSet<_> = train.iter().collect();
+            assert!(test.iter().all(|i| !tr.contains(i)));
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+        // 10 = 3+3+4 -> sizes 4,3,3
+        let sizes: Vec<_> = folds.iter().map(|(_, t)| t.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn kfold_shuffle_is_deterministic() {
+        let a = KFold::new(4).unwrap().shuffled(42).split(20).unwrap();
+        let b = KFold::new(4).unwrap().shuffled(42).split(20).unwrap();
+        assert_eq!(a, b);
+        let c = KFold::new(4).unwrap().shuffled(43).split(20).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn kfold_rejects_bad_params() {
+        assert!(KFold::new(1).is_err());
+        assert!(KFold::new(5).unwrap().split(3).is_err());
+    }
+
+    #[test]
+    fn stratified_preserves_class_ratio() {
+        // 40 of class 0, 20 of class 1.
+        let labels: Vec<u32> = (0..60).map(|i| u32::from(i >= 40)).collect();
+        let folds = StratifiedKFold::new(4).unwrap().split(&labels).unwrap();
+        for (_, test) in &folds {
+            let ones = test.iter().filter(|&&i| labels[i] == 1).count();
+            assert_eq!(test.len(), 15);
+            assert_eq!(ones, 5);
+        }
+    }
+
+    #[test]
+    fn stratified_covers_all_rows() {
+        let labels = vec![0u32, 1, 0, 1, 2, 2, 0, 1, 2, 0];
+        let folds = StratifiedKFold::new(2)
+            .unwrap()
+            .shuffled(1)
+            .split(&labels)
+            .unwrap();
+        let mut seen = vec![0usize; labels.len()];
+        for (_, test) in &folds {
+            for &i in test {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn bootstrap_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = bootstrap_sample(50, &mut rng);
+        assert_eq!(s.len(), 50);
+        assert!(s.iter().all(|&i| i < 50));
+    }
+}

@@ -1,0 +1,249 @@
+//! Transaction databases for frequent-itemset mining.
+
+use crate::error::DataError;
+use std::io::{BufRead, BufWriter, Write};
+
+/// A database of transactions, each a sorted, deduplicated list of item
+/// ids in `0..n_items`.
+///
+/// This is the input format of the association-rule miners. Items are
+/// plain `u32` ids; callers that have named items keep their own mapping
+/// (see [`crate::Dict`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransactionDb {
+    txns: Vec<Vec<u32>>,
+    n_items: u32,
+}
+
+impl TransactionDb {
+    /// Builds a database from raw transactions.
+    ///
+    /// Each transaction is sorted and deduplicated; `n_items` is computed
+    /// as one past the largest item id (0 for an empty database).
+    pub fn new(raw: Vec<Vec<u32>>) -> Self {
+        let mut n_items = 0u32;
+        let txns = raw
+            .into_iter()
+            .map(|mut t| {
+                t.sort_unstable();
+                t.dedup();
+                if let Some(&max) = t.last() {
+                    n_items = n_items.max(max + 1);
+                }
+                t
+            })
+            .collect();
+        Self { txns, n_items }
+    }
+
+    /// Builds a database asserting a fixed item universe of `n_items`.
+    ///
+    /// Fails if any transaction references an item `>= n_items`.
+    pub fn with_universe(raw: Vec<Vec<u32>>, n_items: u32) -> Result<Self, DataError> {
+        let db = Self::new(raw);
+        if db.n_items > n_items {
+            return Err(DataError::InvalidParameter(format!(
+                "transaction references item {} outside universe of {n_items}",
+                db.n_items - 1
+            )));
+        }
+        Ok(Self { n_items, ..db })
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Whether the database has no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// Size of the item universe (one past the largest id).
+    pub fn n_items(&self) -> u32 {
+        self.n_items
+    }
+
+    /// The transaction at index `i` (sorted item ids).
+    pub fn transaction(&self, i: usize) -> &[u32] {
+        &self.txns[i]
+    }
+
+    /// Iterates transactions as sorted slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> {
+        self.txns.iter().map(Vec::as_slice)
+    }
+
+    /// Mean transaction length.
+    pub fn mean_len(&self) -> f64 {
+        if self.txns.is_empty() {
+            return 0.0;
+        }
+        self.txns.iter().map(Vec::len).sum::<usize>() as f64 / self.txns.len() as f64
+    }
+
+    /// Absolute support count of `itemset` (must be sorted, deduplicated).
+    ///
+    /// This is the O(|D| · |T|) reference counter used by tests and the
+    /// brute-force miner; the real miners count during their passes.
+    pub fn support_count(&self, itemset: &[u32]) -> usize {
+        debug_assert!(itemset.windows(2).all(|w| w[0] < w[1]));
+        self.iter()
+            .filter(|t| is_subset_sorted(itemset, t))
+            .count()
+    }
+
+    /// Relative support of `itemset` in `[0, 1]`.
+    pub fn support(&self, itemset: &[u32]) -> f64 {
+        if self.txns.is_empty() {
+            return 0.0;
+        }
+        self.support_count(itemset) as f64 / self.txns.len() as f64
+    }
+
+    /// Converts a fractional minimum support into an absolute count,
+    /// rounding up (a set is frequent iff its count ≥ the returned value).
+    pub fn min_support_count(&self, min_support: f64) -> usize {
+        ((min_support * self.txns.len() as f64).ceil() as usize).max(1)
+    }
+
+    /// Writes the database in a simple line-per-transaction text format
+    /// (space-separated item ids).
+    pub fn write_to<W: Write>(&self, w: W) -> Result<(), DataError> {
+        let mut out = BufWriter::new(w);
+        for t in &self.txns {
+            let mut first = true;
+            for item in t {
+                if !first {
+                    write!(out, " ")?;
+                }
+                write!(out, "{item}")?;
+                first = false;
+            }
+            writeln!(out)?;
+        }
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Reads the format written by [`TransactionDb::write_to`]. Blank lines
+    /// are empty transactions.
+    pub fn read_from<R: BufRead>(r: R) -> Result<Self, DataError> {
+        let mut raw = Vec::new();
+        for (i, line) in r.lines().enumerate() {
+            let line = line?;
+            let mut t = Vec::new();
+            for tok in line.split_whitespace() {
+                let item: u32 = tok.parse().map_err(|_| DataError::Csv {
+                    line: i + 1,
+                    message: format!("invalid item id `{tok}`"),
+                })?;
+                t.push(item);
+            }
+            raw.push(t);
+        }
+        Ok(Self::new(raw))
+    }
+}
+
+/// Whether sorted slice `small` is a subset of sorted slice `big`.
+#[inline]
+pub fn is_subset_sorted(small: &[u32], big: &[u32]) -> bool {
+    let mut bi = 0usize;
+    'outer: for &s in small {
+        while bi < big.len() {
+            match big[bi].cmp(&s) {
+                std::cmp::Ordering::Less => bi += 1,
+                std::cmp::Ordering::Equal => {
+                    bi += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TransactionDb {
+        TransactionDb::new(vec![
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+        ])
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let db = TransactionDb::new(vec![vec![3, 1, 3, 2]]);
+        assert_eq!(db.transaction(0), &[1, 2, 3]);
+        assert_eq!(db.n_items(), 4);
+    }
+
+    #[test]
+    fn universe_validation() {
+        assert!(TransactionDb::with_universe(vec![vec![0, 5]], 6).is_ok());
+        assert!(TransactionDb::with_universe(vec![vec![0, 5]], 5).is_err());
+        let db = TransactionDb::with_universe(vec![vec![0]], 100).unwrap();
+        assert_eq!(db.n_items(), 100);
+    }
+
+    #[test]
+    fn support_counting_matches_hand_computation() {
+        let db = db();
+        // Classic Agrawal–Srikant example database.
+        assert_eq!(db.support_count(&[2, 3]), 2);
+        assert_eq!(db.support_count(&[2, 5]), 3);
+        assert_eq!(db.support_count(&[1]), 2);
+        assert_eq!(db.support_count(&[2, 3, 5]), 2);
+        assert_eq!(db.support_count(&[4, 5]), 0);
+        assert_eq!(db.support_count(&[]), 4); // empty set in every txn
+        assert!((db.support(&[2, 5]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_support_count_rounds_up_and_floors_at_one() {
+        let db = db(); // 4 transactions
+        assert_eq!(db.min_support_count(0.5), 2);
+        assert_eq!(db.min_support_count(0.51), 3);
+        assert_eq!(db.min_support_count(0.0), 1);
+        assert_eq!(db.min_support_count(1.0), 4);
+    }
+
+    #[test]
+    fn subset_check() {
+        assert!(is_subset_sorted(&[], &[1, 2]));
+        assert!(is_subset_sorted(&[2], &[1, 2, 3]));
+        assert!(is_subset_sorted(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset_sorted(&[1, 4], &[1, 2, 3]));
+        assert!(!is_subset_sorted(&[0], &[]));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let db = db();
+        let mut buf = Vec::new();
+        db.write_to(&mut buf).unwrap();
+        let back = TransactionDb::read_from(&buf[..]).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        let err = TransactionDb::read_from("1 2\n3 x\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, DataError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn mean_len() {
+        assert!((db().mean_len() - 3.0).abs() < 1e-12);
+        assert_eq!(TransactionDb::new(vec![]).mean_len(), 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! A single cell of a dataset.
+
+use std::fmt;
+
+/// A single value held by a dataset cell.
+///
+/// Numeric columns yield [`Value::Num`], categorical columns yield
+/// [`Value::Cat`] (an interned code resolvable through the column's
+/// [`crate::Dict`]), and missing cells of either kind yield
+/// [`Value::Missing`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// A numeric (floating point) value. Never NaN — NaN cells are
+    /// surfaced as [`Value::Missing`].
+    Num(f64),
+    /// An interned categorical code.
+    Cat(u32),
+    /// A missing cell.
+    Missing,
+}
+
+impl Value {
+    /// Returns the numeric payload, if this is a [`Value::Num`].
+    pub fn as_num(self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// Returns the categorical code, if this is a [`Value::Cat`].
+    pub fn as_cat(self) -> Option<u32> {
+        match self {
+            Value::Cat(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Whether this cell is missing.
+    pub fn is_missing(self) -> bool {
+        matches!(self, Value::Missing)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(x) => write!(f, "{x}"),
+            Value::Cat(c) => write!(f, "#{c}"),
+            Value::Missing => write!(f, "?"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Num(2.5).as_num(), Some(2.5));
+        assert_eq!(Value::Num(2.5).as_cat(), None);
+        assert_eq!(Value::Cat(3).as_cat(), Some(3));
+        assert_eq!(Value::Cat(3).as_num(), None);
+        assert!(Value::Missing.is_missing());
+        assert!(!Value::Num(0.0).is_missing());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Num(1.5).to_string(), "1.5");
+        assert_eq!(Value::Cat(7).to_string(), "#7");
+        assert_eq!(Value::Missing.to_string(), "?");
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for the data substrate.
+
+use dm_dataset::csv::{read_csv, write_csv};
+use dm_dataset::{
+    Column, Dataset, Discretizer, EqualFrequency, EqualWidth, KFold, Matrix, Scaler,
+    StandardScaler, StratifiedKFold,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy: a dataset with one numeric and one categorical column.
+fn dataset() -> impl Strategy<Value = Dataset> {
+    (1usize..40).prop_flat_map(|n| {
+        (
+            prop::collection::vec(prop::option::of(-1e6f64..1e6), n..=n),
+            prop::collection::vec(prop::option::of(0u8..5), n..=n),
+        )
+            .prop_map(|(nums, cats)| {
+                Dataset::from_columns(
+                    "prop",
+                    vec![
+                        ("num".into(), Column::from_numeric_opt(nums)),
+                        (
+                            "cat".into(),
+                            Column::from_strings_opt(
+                                cats.into_iter()
+                                    .map(|c| c.map(|c| format!("v{c}")))
+                                    .collect::<Vec<_>>(),
+                            ),
+                        ),
+                    ],
+                )
+                .expect("consistent schema")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csv_roundtrip_is_identity_for_values(ds in dataset()) {
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let back = read_csv("prop", &buf[..]).unwrap();
+        prop_assert_eq!(back.n_rows(), ds.n_rows());
+        prop_assert_eq!(back.n_cols(), ds.n_cols());
+        for i in 0..ds.n_rows() {
+            for j in 0..ds.n_cols() {
+                match (ds.value(i, j), back.value(i, j)) {
+                    (dm_dataset::Value::Num(a), dm_dataset::Value::Num(b)) => {
+                        // f64 display roundtrips exactly in Rust.
+                        prop_assert_eq!(a, b);
+                    }
+                    (dm_dataset::Value::Missing, dm_dataset::Value::Missing) => {}
+                    (dm_dataset::Value::Cat(_), dm_dataset::Value::Cat(_)) => {
+                        // Codes may differ; names must agree.
+                        let (_, d1) = ds.column(j).as_categorical().unwrap();
+                        let (_, d2) = back.column(j).as_categorical().unwrap();
+                        let a = d1.name(ds.value(i, j).as_cat().unwrap()).unwrap();
+                        let b = d2.name(back.value(i, j).as_cat().unwrap()).unwrap();
+                        prop_assert_eq!(a, b);
+                    }
+                    (a, b) => prop_assert!(false, "kind mismatch {:?} vs {:?}", a, b),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kfold_partitions_rows(n in 4usize..200, k in 2usize..6, seed in 0u64..4) {
+        prop_assume!(n >= k);
+        let folds = KFold::new(k).unwrap().shuffled(seed).split(n).unwrap();
+        prop_assert_eq!(folds.len(), k);
+        let mut seen = vec![0usize; n];
+        for (train, test) in &folds {
+            prop_assert_eq!(train.len() + test.len(), n);
+            let train_set: HashSet<_> = train.iter().collect();
+            for i in test {
+                prop_assert!(!train_set.contains(i));
+                seen[*i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn stratified_kfold_balances_every_class(
+        labels in prop::collection::vec(0u32..3, 12..100),
+        seed in 0u64..4,
+    ) {
+        let k = 3usize;
+        // Ensure each class has at least k members for clean stratification.
+        let mut counts = [0usize; 3];
+        for &l in &labels { counts[l as usize] += 1; }
+        prop_assume!(counts.iter().all(|&c| c == 0 || c >= k));
+        prop_assume!(counts.iter().filter(|&&c| c > 0).count() >= 1);
+        let folds = StratifiedKFold::new(k).unwrap().shuffled(seed).split(&labels).unwrap();
+        for (_, test) in &folds {
+            for class in 0..3u32 {
+                let total = counts[class as usize];
+                if total == 0 { continue; }
+                let in_fold = test.iter().filter(|&&i| labels[i] == class).count();
+                // Round-robin dealing puts floor..ceil of total/k per fold.
+                prop_assert!(in_fold >= total / k - 1 && in_fold <= total / k + 1,
+                    "class {} fold share {} of {}", class, in_fold, total);
+            }
+        }
+    }
+
+    #[test]
+    fn discretizers_bin_monotonically(values in prop::collection::vec(-1e3f64..1e3, 2..60), bins in 1usize..8) {
+        for fitted in [
+            EqualWidth { bins }.fit(&values).unwrap(),
+            EqualFrequency { bins }.fit(&values).unwrap(),
+        ] {
+            let mut sorted = values.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let bins: Vec<u32> = sorted.iter().map(|&v| fitted.bin(v).unwrap()).collect();
+            prop_assert!(bins.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(bins.iter().all(|&b| (b as usize) < fitted.n_bins()));
+        }
+    }
+
+    #[test]
+    fn standard_scaler_roundtrips(
+        rows in (2usize..4).prop_flat_map(|d| {
+            prop::collection::vec(prop::collection::vec(-1e3f64..1e3, d..=d), 2..30)
+        }),
+    ) {
+        let m = Matrix::from_rows(&rows).unwrap();
+        let fitted = StandardScaler.fit(&m).unwrap();
+        let t = fitted.transform(&m).unwrap();
+        let back = fitted.inverse_transform(&t).unwrap();
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                prop_assert!((back.get(i, j) - m.get(i, j)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn select_rows_matches_pointwise(ds in dataset(), seed in 0u64..100) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let indices: Vec<usize> = (0..ds.n_rows().min(10))
+            .map(|_| rng.gen_range(0..ds.n_rows()))
+            .collect();
+        let sub = ds.select_rows(&indices);
+        prop_assert_eq!(sub.n_rows(), indices.len());
+        for (new_i, &old_i) in indices.iter().enumerate() {
+            for j in 0..ds.n_cols() {
+                prop_assert_eq!(sub.value(new_i, j), ds.value(old_i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Clustering quality indices.
+//!
+//! External indices ([`adjusted_rand_index`],
+//! [`normalized_mutual_information`], [`purity`]) compare a clustering
+//! against ground-truth labels; internal indices ([`sse`],
+//! [`silhouette`]) score a clustering from the data alone. Cluster ids in
+//! the input slices are arbitrary `u32` values (they need not be dense).
+
+
+// Numeric kernels below co-index several parallel arrays; indexed loops
+// are clearer than zipped iterator chains there.
+#![allow(clippy::needless_range_loop)]
+use dm_dataset::matrix::{euclidean, euclidean_sq};
+use dm_dataset::{DataError, Matrix};
+use std::collections::HashMap;
+
+/// Builds the contingency table between two labelings, re-indexed densely.
+fn contingency(a: &[u32], b: &[u32]) -> (Vec<Vec<usize>>, Vec<usize>, Vec<usize>) {
+    let mut a_ids: HashMap<u32, usize> = HashMap::new();
+    let mut b_ids: HashMap<u32, usize> = HashMap::new();
+    for &x in a {
+        let next = a_ids.len();
+        a_ids.entry(x).or_insert(next);
+    }
+    for &x in b {
+        let next = b_ids.len();
+        b_ids.entry(x).or_insert(next);
+    }
+    let (ra, rb) = (a_ids.len(), b_ids.len());
+    let mut table = vec![vec![0usize; rb]; ra];
+    for (&x, &y) in a.iter().zip(b) {
+        table[a_ids[&x]][b_ids[&y]] += 1;
+    }
+    let row_sums: Vec<usize> = table.iter().map(|r| r.iter().sum()).collect();
+    let mut col_sums = vec![0usize; rb];
+    for r in &table {
+        for (c, &v) in col_sums.iter_mut().zip(r) {
+            *c += v;
+        }
+    }
+    (table, row_sums, col_sums)
+}
+
+fn choose2(n: usize) -> f64 {
+    (n as f64) * (n as f64 - 1.0) / 2.0
+}
+
+/// Adjusted Rand index between two labelings (Hubert & Arabie 1985).
+///
+/// 1.0 for identical partitions (up to label permutation), ~0 for random
+/// agreement, can be negative for worse-than-random.
+pub fn adjusted_rand_index(truth: &[u32], pred: &[u32]) -> Result<f64, DataError> {
+    if truth.len() != pred.len() {
+        return Err(DataError::LabelLengthMismatch {
+            labels: pred.len(),
+            rows: truth.len(),
+        });
+    }
+    if truth.is_empty() {
+        return Err(DataError::Empty("label slice"));
+    }
+    let n = truth.len();
+    let (table, rows, cols) = contingency(truth, pred);
+    let sum_cells: f64 = table
+        .iter()
+        .flat_map(|r| r.iter())
+        .map(|&v| choose2(v))
+        .sum();
+    let sum_rows: f64 = rows.iter().map(|&v| choose2(v)).sum();
+    let sum_cols: f64 = cols.iter().map(|&v| choose2(v)).sum();
+    let expected = sum_rows * sum_cols / choose2(n).max(1.0);
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    if (max_index - expected).abs() < 1e-15 {
+        // Both partitions are single-cluster (or equivalent degenerate
+        // case): define ARI as 1 when identical, 0 otherwise.
+        return Ok(if sum_cells == max_index { 1.0 } else { 0.0 });
+    }
+    Ok((sum_cells - expected) / (max_index - expected))
+}
+
+/// Normalized mutual information with arithmetic-mean normalization,
+/// `NMI = 2·I(T;P) / (H(T) + H(P))`, in `[0, 1]`.
+///
+/// Defined as 1 when both partitions are trivial (zero entropy) and
+/// identical in cluster count, else 0 for a trivial/informative pair.
+pub fn normalized_mutual_information(truth: &[u32], pred: &[u32]) -> Result<f64, DataError> {
+    if truth.len() != pred.len() {
+        return Err(DataError::LabelLengthMismatch {
+            labels: pred.len(),
+            rows: truth.len(),
+        });
+    }
+    if truth.is_empty() {
+        return Err(DataError::Empty("label slice"));
+    }
+    let n = truth.len() as f64;
+    let (table, rows, cols) = contingency(truth, pred);
+    let h = |sums: &[usize]| -> f64 {
+        sums.iter()
+            .filter(|&&s| s > 0)
+            .map(|&s| {
+                let p = s as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ht = h(&rows);
+    let hp = h(&cols);
+    if ht == 0.0 && hp == 0.0 {
+        return Ok(1.0);
+    }
+    if ht == 0.0 || hp == 0.0 {
+        return Ok(0.0);
+    }
+    let mut mi = 0.0;
+    for (i, r) in table.iter().enumerate() {
+        for (j, &v) in r.iter().enumerate() {
+            if v > 0 {
+                let pij = v as f64 / n;
+                let pi = rows[i] as f64 / n;
+                let pj = cols[j] as f64 / n;
+                mi += pij * (pij / (pi * pj)).ln();
+            }
+        }
+    }
+    Ok((2.0 * mi / (ht + hp)).clamp(0.0, 1.0))
+}
+
+/// Purity: each predicted cluster is assigned its majority true class;
+/// purity is the fraction of points so matched. In `(0, 1]`, with 1 for
+/// a clustering that never mixes classes.
+pub fn purity(truth: &[u32], pred: &[u32]) -> Result<f64, DataError> {
+    if truth.len() != pred.len() {
+        return Err(DataError::LabelLengthMismatch {
+            labels: pred.len(),
+            rows: truth.len(),
+        });
+    }
+    if truth.is_empty() {
+        return Err(DataError::Empty("label slice"));
+    }
+    let (table, _, _) = contingency(pred, truth);
+    let matched: usize = table.iter().map(|r| r.iter().copied().max().unwrap_or(0)).sum();
+    Ok(matched as f64 / truth.len() as f64)
+}
+
+/// Within-cluster sum of squared distances to each cluster's centroid.
+///
+/// `assignments[i]` is the cluster of row `i`; clusters may be any `u32`
+/// ids. Empty input yields 0.
+pub fn sse(data: &Matrix, assignments: &[u32]) -> Result<f64, DataError> {
+    if data.rows() != assignments.len() {
+        return Err(DataError::LabelLengthMismatch {
+            labels: assignments.len(),
+            rows: data.rows(),
+        });
+    }
+    if data.rows() == 0 {
+        return Ok(0.0);
+    }
+    let d = data.cols();
+    let mut sums: HashMap<u32, (Vec<f64>, usize)> = HashMap::new();
+    for (i, &c) in assignments.iter().enumerate() {
+        let entry = sums.entry(c).or_insert_with(|| (vec![0.0; d], 0));
+        for (s, &x) in entry.0.iter_mut().zip(data.row(i)) {
+            *s += x;
+        }
+        entry.1 += 1;
+    }
+    let centroids: HashMap<u32, Vec<f64>> = sums
+        .into_iter()
+        .map(|(c, (mut s, n))| {
+            for x in &mut s {
+                *x /= n as f64;
+            }
+            (c, s)
+        })
+        .collect();
+    let mut total = 0.0;
+    for (i, &c) in assignments.iter().enumerate() {
+        total += euclidean_sq(data.row(i), &centroids[&c]);
+    }
+    Ok(total)
+}
+
+/// Mean silhouette coefficient over all points, in `[-1, 1]`.
+///
+/// O(n²); points in singleton clusters contribute 0 (the standard
+/// convention). Errors when there are fewer than 2 clusters.
+pub fn silhouette(data: &Matrix, assignments: &[u32]) -> Result<f64, DataError> {
+    if data.rows() != assignments.len() {
+        return Err(DataError::LabelLengthMismatch {
+            labels: assignments.len(),
+            rows: data.rows(),
+        });
+    }
+    let n = data.rows();
+    if n == 0 {
+        return Err(DataError::Empty("matrix"));
+    }
+    let mut cluster_sizes: HashMap<u32, usize> = HashMap::new();
+    for &c in assignments {
+        *cluster_sizes.entry(c).or_insert(0) += 1;
+    }
+    if cluster_sizes.len() < 2 {
+        return Err(DataError::InvalidParameter(
+            "silhouette needs at least two clusters".into(),
+        ));
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        let ci = assignments[i];
+        if cluster_sizes[&ci] == 1 {
+            continue; // contributes 0
+        }
+        // Mean distance to each cluster.
+        let mut dist_sum: HashMap<u32, f64> = HashMap::new();
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            *dist_sum.entry(assignments[j]).or_insert(0.0) +=
+                euclidean(data.row(i), data.row(j));
+        }
+        let a = dist_sum.get(&ci).copied().unwrap_or(0.0) / (cluster_sizes[&ci] - 1) as f64;
+        let b = dist_sum
+            .iter()
+            .filter(|(&c, _)| c != ci)
+            .map(|(&c, &s)| s / cluster_sizes[&c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let s = if a < b {
+            1.0 - a / b
+        } else if a > b {
+            b / a - 1.0
+        } else {
+            0.0
+        };
+        total += s;
+    }
+    Ok(total / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ari_identical_partitions() {
+        let t = [0u32, 0, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&t, &t).unwrap() - 1.0).abs() < 1e-12);
+        // Label permutation does not matter.
+        let p = [5u32, 5, 9, 9, 0, 0];
+        assert!((adjusted_rand_index(&t, &p).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_known_value() {
+        // Classic worked example.
+        let t = [0u32, 0, 0, 1, 1, 1];
+        let p = [0u32, 0, 1, 1, 2, 2];
+        let ari = adjusted_rand_index(&t, &p).unwrap();
+        // Contingency [[2,1,0],[0,1,2]]: index=2, expected=4.8*7/15=2.24,
+        // max=(4.8+7)/2 wait rows: C(3,2)*2=6... compute directly:
+        // sum_cells = C(2,2)+C(1,2)+C(1,2)+C(2,2) = 1+0+0+1 = 2
+        // sum_rows = 3+3 = 6, sum_cols = C(2,2)*3 = 3, n=6, C(6,2)=15
+        // expected = 6*3/15 = 1.2, max = 4.5 -> ARI = (2-1.2)/(4.5-1.2)
+        assert!((ari - 0.8 / 3.3).abs() < 1e-9, "ari {ari}");
+    }
+
+    #[test]
+    fn ari_single_cluster_degenerate() {
+        let t = [0u32, 0, 0];
+        assert_eq!(adjusted_rand_index(&t, &t).unwrap(), 1.0);
+        let p = [0u32, 1, 2];
+        // all-singletons vs all-one: worse-than-chance degenerate pair -> 0
+        assert_eq!(adjusted_rand_index(&t, &p).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn nmi_bounds_and_identity() {
+        let t = [0u32, 0, 1, 1];
+        assert!((normalized_mutual_information(&t, &t).unwrap() - 1.0).abs() < 1e-12);
+        let indep = [0u32, 1, 0, 1];
+        let v = normalized_mutual_information(&t, &indep).unwrap();
+        assert!(v < 0.01, "independent labelings should give ~0, got {v}");
+        let trivial = [7u32, 7, 7, 7];
+        assert_eq!(normalized_mutual_information(&t, &trivial).unwrap(), 0.0);
+        assert_eq!(
+            normalized_mutual_information(&trivial, &trivial).unwrap(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn purity_examples() {
+        let t = [0u32, 0, 1, 1];
+        assert_eq!(purity(&t, &t).unwrap(), 1.0);
+        let p = [0u32, 0, 0, 0];
+        assert_eq!(purity(&t, &p).unwrap(), 0.5);
+        // Over-clustering yields perfect purity (known caveat of the metric).
+        let p = [0u32, 1, 2, 3];
+        assert_eq!(purity(&t, &p).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn sse_hand_computed() {
+        let m = Matrix::from_rows(&[vec![0.0], vec![2.0], vec![10.0]]).unwrap();
+        // cluster 0 = {0,2}, centroid 1 -> 1+1 = 2; cluster 1 = {10} -> 0
+        let v = sse(&m, &[0, 0, 1]).unwrap();
+        assert!((v - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sse_zero_for_perfect_clusters() {
+        let m = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0], vec![5.0, 5.0]]).unwrap();
+        assert_eq!(sse(&m, &[0, 0, 1]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sse_decreases_with_finer_clustering() {
+        let m = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0], vec![11.0]]).unwrap();
+        let coarse = sse(&m, &[0, 0, 0, 0]).unwrap();
+        let fine = sse(&m, &[0, 0, 1, 1]).unwrap();
+        assert!(fine < coarse);
+    }
+
+    #[test]
+    fn silhouette_separated_vs_mixed() {
+        let m = Matrix::from_rows(&[
+            vec![0.0],
+            vec![0.1],
+            vec![10.0],
+            vec![10.1],
+        ])
+        .unwrap();
+        let good = silhouette(&m, &[0, 0, 1, 1]).unwrap();
+        let bad = silhouette(&m, &[0, 1, 0, 1]).unwrap();
+        assert!(good > 0.9, "good {good}");
+        assert!(bad < 0.0, "bad {bad}");
+    }
+
+    #[test]
+    fn silhouette_requires_two_clusters() {
+        let m = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        assert!(silhouette(&m, &[0, 0]).is_err());
+    }
+
+    #[test]
+    fn silhouette_singletons_contribute_zero() {
+        let m = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![9.0]]).unwrap();
+        let s = silhouette(&m, &[0, 0, 1]).unwrap();
+        // Third point is a singleton: only the first two contribute.
+        assert!(s > 0.5);
+    }
+
+    #[test]
+    fn length_mismatches_rejected() {
+        let m = Matrix::from_rows(&[vec![0.0]]).unwrap();
+        assert!(sse(&m, &[0, 1]).is_err());
+        assert!(silhouette(&m, &[]).is_err());
+        assert!(adjusted_rand_index(&[0], &[0, 1]).is_err());
+        assert!(normalized_mutual_information(&[0], &[]).is_err());
+        assert!(purity(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,325 @@
+//! Multi-class confusion matrices and derived classification scores.
+
+use dm_dataset::DataError;
+use std::fmt;
+
+/// A `k × k` confusion matrix: `count(true class, predicted class)`.
+///
+/// Rows index the true class, columns the predicted class — the layout
+/// used throughout the classic literature and this repository's
+/// experiment printouts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<usize>, // row-major k*k
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix over `n_classes` classes from parallel
+    /// truth/prediction slices.
+    pub fn from_labels(
+        n_classes: usize,
+        truth: &[u32],
+        predicted: &[u32],
+    ) -> Result<Self, DataError> {
+        if truth.len() != predicted.len() {
+            return Err(DataError::LabelLengthMismatch {
+                labels: predicted.len(),
+                rows: truth.len(),
+            });
+        }
+        if n_classes == 0 {
+            return Err(DataError::InvalidParameter(
+                "confusion matrix needs at least one class".into(),
+            ));
+        }
+        let mut counts = vec![0usize; n_classes * n_classes];
+        for (&t, &p) in truth.iter().zip(predicted) {
+            let (t, p) = (t as usize, p as usize);
+            if t >= n_classes || p >= n_classes {
+                return Err(DataError::InvalidParameter(format!(
+                    "label ({t}, {p}) out of range for {n_classes} classes"
+                )));
+            }
+            counts[t * n_classes + p] += 1;
+        }
+        Ok(Self {
+            k: n_classes,
+            counts,
+        })
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Count of rows with true class `t` predicted as `p`.
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        self.counts[t * self.k + p]
+    }
+
+    /// Total number of scored rows.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.k).map(|i| self.count(i, i)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision of class `c` (`tp / (tp + fp)`); 0 when the class is
+    /// never predicted.
+    pub fn precision(&self, c: usize) -> f64 {
+        let tp = self.count(c, c);
+        let predicted: usize = (0..self.k).map(|t| self.count(t, c)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of class `c` (`tp / (tp + fn)`); 0 when the class never
+    /// occurs in the truth.
+    pub fn recall(&self, c: usize) -> f64 {
+        let tp = self.count(c, c);
+        let actual: usize = (0..self.k).map(|p| self.count(c, p)).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp as f64 / actual as f64
+        }
+    }
+
+    /// F1 score of class `c`; 0 when precision + recall is 0.
+    pub fn f1(&self, c: usize) -> f64 {
+        let p = self.precision(c);
+        let r = self.recall(c);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean of per-class precisions.
+    pub fn macro_precision(&self) -> f64 {
+        (0..self.k).map(|c| self.precision(c)).sum::<f64>() / self.k as f64
+    }
+
+    /// Unweighted mean of per-class recalls.
+    pub fn macro_recall(&self) -> f64 {
+        (0..self.k).map(|c| self.recall(c)).sum::<f64>() / self.k as f64
+    }
+
+    /// Unweighted mean of per-class F1 scores.
+    pub fn macro_f1(&self) -> f64 {
+        (0..self.k).map(|c| self.f1(c)).sum::<f64>() / self.k as f64
+    }
+
+    /// Per-true-class row-normalized rates (the "heat-map" view used in
+    /// the experiment printouts): entry `(t, p)` is `count(t,p) /
+    /// row_total(t)`, or 0 for empty rows.
+    pub fn normalized_rows(&self) -> Vec<Vec<f64>> {
+        (0..self.k)
+            .map(|t| {
+                let row_total: usize = (0..self.k).map(|p| self.count(t, p)).sum();
+                (0..self.k)
+                    .map(|p| {
+                        if row_total == 0 {
+                            0.0
+                        } else {
+                            self.count(t, p) as f64 / row_total as f64
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Cohen's kappa: chance-corrected agreement,
+    /// `(p_o − p_e) / (1 − p_e)` where `p_o` is accuracy and `p_e` the
+    /// agreement expected from the marginals. 1 = perfect, 0 = chance
+    /// level, negative = worse than chance. Defined as 0 when the
+    /// expected agreement is already 1 (degenerate marginals).
+    pub fn kappa(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let n = total as f64;
+        let po = self.accuracy();
+        let mut pe = 0.0;
+        for c in 0..self.k {
+            let row: usize = (0..self.k).map(|p| self.count(c, p)).sum();
+            let col: usize = (0..self.k).map(|t| self.count(t, c)).sum();
+            pe += (row as f64 / n) * (col as f64 / n);
+        }
+        if (1.0 - pe).abs() < 1e-15 {
+            0.0
+        } else {
+            (po - pe) / (1.0 - pe)
+        }
+    }
+
+    /// Merges another confusion matrix (e.g. from another CV fold) into
+    /// this one. Both must have the same class count.
+    pub fn merge(&mut self, other: &ConfusionMatrix) -> Result<(), DataError> {
+        if self.k != other.k {
+            return Err(DataError::InvalidParameter(format!(
+                "cannot merge {}-class and {}-class confusion matrices",
+                self.k, other.k
+            )));
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "true\\pred {}", (0..self.k).map(|p| format!("{p:>7}")).collect::<String>())?;
+        for t in 0..self.k {
+            write!(f, "{t:>9} ")?;
+            for p in 0..self.k {
+                write!(f, "{:>7}", self.count(t, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// truth:  0 0 0 1 1 2
+    /// pred:   0 0 1 1 1 0
+    fn cm() -> ConfusionMatrix {
+        ConfusionMatrix::from_labels(3, &[0, 0, 0, 1, 1, 2], &[0, 0, 1, 1, 1, 0]).unwrap()
+    }
+
+    #[test]
+    fn counts_and_total() {
+        let m = cm();
+        assert_eq!(m.count(0, 0), 2);
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.count(1, 1), 2);
+        assert_eq!(m.count(2, 0), 1);
+        assert_eq!(m.count(2, 2), 0);
+        assert_eq!(m.total(), 6);
+    }
+
+    #[test]
+    fn accuracy() {
+        assert!((cm().accuracy() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let m = cm();
+        // class 0: tp=2, predicted as 0: 3 (two true 0s + one true 2)
+        assert!((m.precision(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1(0) - 2.0 / 3.0).abs() < 1e-12);
+        // class 1: tp=2, predicted: 3, actual: 2
+        assert!((m.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall(1) - 1.0).abs() < 1e-12);
+        assert!((m.f1(1) - 0.8).abs() < 1e-12);
+        // class 2 never predicted correctly
+        assert_eq!(m.precision(2), 0.0);
+        assert_eq!(m.recall(2), 0.0);
+        assert_eq!(m.f1(2), 0.0);
+    }
+
+    #[test]
+    fn macro_scores() {
+        let m = cm();
+        assert!((m.macro_precision() - (2.0 / 3.0 + 2.0 / 3.0 + 0.0) / 3.0).abs() < 1e-12);
+        assert!((m.macro_recall() - (2.0 / 3.0 + 1.0 + 0.0) / 3.0).abs() < 1e-12);
+        assert!((m.macro_f1() - (2.0 / 3.0 + 0.8 + 0.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_rows_sum_to_one() {
+        let m = cm();
+        let rows = m.normalized_rows();
+        for row in rows.iter().take(2) {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        assert!((rows[0][0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ConfusionMatrix::from_labels(2, &[0], &[0, 1]).is_err());
+        assert!(ConfusionMatrix::from_labels(0, &[], &[]).is_err());
+        assert!(ConfusionMatrix::from_labels(2, &[2], &[0]).is_err());
+        assert!(ConfusionMatrix::from_labels(2, &[0], &[2]).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_has_zero_accuracy() {
+        let m = ConfusionMatrix::from_labels(2, &[], &[]).unwrap();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates_folds() {
+        let mut a = ConfusionMatrix::from_labels(2, &[0, 1], &[0, 1]).unwrap();
+        let b = ConfusionMatrix::from_labels(2, &[0, 1], &[1, 1]).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.count(0, 1), 1);
+        assert!((a.accuracy() - 0.75).abs() < 1e-12);
+        let c = ConfusionMatrix::from_labels(3, &[0], &[0]).unwrap();
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let m = ConfusionMatrix::from_labels(2, &[0, 1, 0], &[0, 1, 0]).unwrap();
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn kappa_values() {
+        // Perfect agreement.
+        let m = ConfusionMatrix::from_labels(2, &[0, 1, 0, 1], &[0, 1, 0, 1]).unwrap();
+        assert!((m.kappa() - 1.0).abs() < 1e-12);
+        // Chance-level agreement: prediction independent of truth.
+        let truth = [0u32, 0, 1, 1];
+        let pred = [0u32, 1, 0, 1];
+        let m = ConfusionMatrix::from_labels(2, &truth, &pred).unwrap();
+        assert!(m.kappa().abs() < 1e-12, "kappa {}", m.kappa());
+        // Degenerate marginals (everything one class): defined as 0.
+        let m = ConfusionMatrix::from_labels(2, &[0, 0], &[0, 0]).unwrap();
+        assert_eq!(m.kappa(), 0.0);
+        // Empty.
+        let m = ConfusionMatrix::from_labels(2, &[], &[]).unwrap();
+        assert_eq!(m.kappa(), 0.0);
+        // Worse than chance.
+        let m = ConfusionMatrix::from_labels(2, &[0, 0, 1, 1], &[1, 1, 0, 0]).unwrap();
+        assert!(m.kappa() < 0.0);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let s = cm().to_string();
+        assert!(s.contains('2'));
+        assert!(s.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,22 @@
+//! # dm-eval
+//!
+//! Evaluation metrics for the `datamining` workspace:
+//!
+//! * [`confusion`] — multi-class confusion matrices and the
+//!   classification scores derived from them (accuracy, per-class
+//!   precision/recall/F1, macro averages).
+//! * [`clustering`] — external indices comparing a clustering against
+//!   ground truth (adjusted Rand index, normalized mutual information,
+//!   purity) and internal indices (within-cluster sum of squares,
+//!   silhouette coefficient).
+//!
+//! All metrics are plain functions over label slices / matrices so they
+//! work with any model in the workspace.
+
+
+#![warn(missing_docs)]
+pub mod clustering;
+pub mod confusion;
+
+pub use clustering::{adjusted_rand_index, normalized_mutual_information, purity, silhouette, sse};
+pub use confusion::ConfusionMatrix;

@@ -1,0 +1,195 @@
+//! Condensed nearest neighbour (Hart, IEEE Trans. IT 1968): instance
+//! reduction for k-NN.
+//!
+//! CNN builds a small *prototype set* that classifies the full training
+//! set consistently under 1-NN: starting from one instance per class, it
+//! repeatedly scans the training data and absorbs every instance the
+//! current prototypes misclassify, until a full pass adds nothing. The
+//! resulting model answers queries against the (much smaller) prototype
+//! set — the storage/speed fix for k-NN's main operational complaint.
+
+use crate::{Distance, Knn, KnnModel, Search};
+use dm_dataset::{DataError, Matrix};
+
+/// Condensed 1-NN learner.
+#[derive(Debug, Clone)]
+pub struct CondensedNn {
+    distance: Distance,
+    max_passes: usize,
+}
+
+impl Default for CondensedNn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CondensedNn {
+    /// A Euclidean condenser with at most 50 absorption passes.
+    pub fn new() -> Self {
+        Self {
+            distance: Distance::Euclidean,
+            max_passes: 50,
+        }
+    }
+
+    /// Sets the distance metric.
+    pub fn with_distance(mut self, distance: Distance) -> Self {
+        self.distance = distance;
+        self
+    }
+
+    /// Selects the prototype row indices for `(train, labels)`.
+    pub fn select_prototypes(
+        &self,
+        train: &Matrix,
+        labels: &[u32],
+    ) -> Result<Vec<usize>, DataError> {
+        if train.rows() != labels.len() {
+            return Err(DataError::LabelLengthMismatch {
+                labels: labels.len(),
+                rows: train.rows(),
+            });
+        }
+        if train.rows() == 0 {
+            return Err(DataError::Empty("training set"));
+        }
+        // Seed: the first instance of each class, in row order.
+        let mut prototypes: Vec<usize> = Vec::new();
+        let mut seen_classes: Vec<u32> = Vec::new();
+        for (i, &l) in labels.iter().enumerate() {
+            if !seen_classes.contains(&l) {
+                seen_classes.push(l);
+                prototypes.push(i);
+            }
+        }
+        let nearest_label = |prototypes: &[usize], q: &[f64]| -> u32 {
+            let best = prototypes
+                .iter()
+                .min_by(|&&a, &&b| {
+                    self.distance
+                        .eval(train.row(a), q)
+                        .partial_cmp(&self.distance.eval(train.row(b), q))
+                        .expect("finite")
+                })
+                .expect("non-empty prototype set");
+            labels[*best]
+        };
+        for _ in 0..self.max_passes {
+            let mut added = false;
+            for i in 0..train.rows() {
+                if prototypes.contains(&i) {
+                    continue;
+                }
+                if nearest_label(&prototypes, train.row(i)) != labels[i] {
+                    prototypes.push(i);
+                    added = true;
+                }
+            }
+            if !added {
+                break;
+            }
+        }
+        prototypes.sort_unstable();
+        Ok(prototypes)
+    }
+
+    /// Fits a 1-NN model over the selected prototypes, returning the
+    /// model and the number of prototypes kept.
+    pub fn fit(&self, train: &Matrix, labels: &[u32]) -> Result<(KnnModel, usize), DataError> {
+        let prototypes = self.select_prototypes(train, labels)?;
+        let sub = train.select_rows(&prototypes);
+        let sub_labels: Vec<u32> = prototypes.iter().map(|&i| labels[i]).collect();
+        let kept = prototypes.len();
+        let model = Knn::new(1)
+            .with_distance(self.distance)
+            .with_search(Search::KdTree)
+            .fit(&sub, &sub_labels)?;
+        Ok((model, kept))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_synth::GaussianMixture;
+
+    #[test]
+    fn training_set_consistency() {
+        // Hart's guarantee: the condensed set classifies every training
+        // point correctly under 1-NN.
+        let (data, labels) = GaussianMixture::well_separated(3, 2, 60, 6.0)
+            .unwrap()
+            .generate(2);
+        let cnn = CondensedNn::new();
+        let (model, _) = cnn.fit(&data, &labels).unwrap();
+        let pred = model.predict(&data).unwrap();
+        assert_eq!(pred, labels);
+    }
+
+    #[test]
+    fn condenses_separable_data_aggressively() {
+        let (data, labels) = GaussianMixture::well_separated(2, 2, 200, 12.0)
+            .unwrap()
+            .generate(3);
+        let (_, kept) = CondensedNn::new().fit(&data, &labels).unwrap();
+        assert!(
+            kept < data.rows() / 10,
+            "kept {kept} of {} points",
+            data.rows()
+        );
+    }
+
+    #[test]
+    fn keeps_more_prototypes_near_class_overlap() {
+        let far = GaussianMixture::well_separated(2, 2, 150, 12.0)
+            .unwrap()
+            .generate(4);
+        let near = GaussianMixture::well_separated(2, 2, 150, 2.0)
+            .unwrap()
+            .generate(4);
+        let kept_far = CondensedNn::new().fit(&far.0, &far.1).unwrap().1;
+        let kept_near = CondensedNn::new().fit(&near.0, &near.1).unwrap().1;
+        assert!(
+            kept_near > kept_far,
+            "overlap {kept_near} vs separated {kept_far}"
+        );
+    }
+
+    #[test]
+    fn generalizes_close_to_full_knn() {
+        let (train, train_l) = GaussianMixture::well_separated(3, 2, 120, 8.0)
+            .unwrap()
+            .generate(5);
+        let (test, test_l) = GaussianMixture::well_separated(3, 2, 60, 8.0)
+            .unwrap()
+            .generate(6);
+        let full = Knn::new(1).fit(&train, &train_l).unwrap();
+        let (condensed, kept) = CondensedNn::new().fit(&train, &train_l).unwrap();
+        let acc = |pred: Vec<u32>| {
+            pred.iter().zip(&test_l).filter(|(p, t)| p == t).count() as f64 / test_l.len() as f64
+        };
+        let full_acc = acc(full.predict(&test).unwrap());
+        let cnn_acc = acc(condensed.predict(&test).unwrap());
+        assert!(kept < train.rows());
+        assert!(
+            cnn_acc >= full_acc - 0.05,
+            "condensed {cnn_acc} vs full {full_acc}"
+        );
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let m = Matrix::from_rows(&[vec![0.0]]).unwrap();
+        assert!(CondensedNn::new().fit(&m, &[0, 1]).is_err());
+        let empty = Matrix::from_rows(&[]).unwrap();
+        assert!(CondensedNn::new().fit(&empty, &[]).is_err());
+    }
+
+    #[test]
+    fn single_class_needs_one_prototype() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+        let protos = CondensedNn::new().select_prototypes(&data, &[0, 0, 0]).unwrap();
+        assert_eq!(protos, vec![0]);
+    }
+}

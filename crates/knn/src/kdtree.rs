@@ -1,0 +1,219 @@
+//! An exact k-d tree for nearest-neighbour queries.
+//!
+//! Works with every [`crate::Distance`] in the Minkowski family because
+//! the per-axis coordinate difference is a lower bound on all of them,
+//! which is the only property the pruning rule needs.
+
+use crate::Distance;
+use dm_dataset::Matrix;
+
+#[derive(Debug, Clone)]
+struct KdNode {
+    /// Row index of the splitting point.
+    point: usize,
+    /// Splitting axis.
+    axis: usize,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+/// An exact k-d tree over the rows of a matrix.
+///
+/// The tree stores row *indices*; the matrix itself is supplied again at
+/// query time (the model owns it), keeping the tree small and cloneable.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    nodes: Vec<KdNode>,
+    root: Option<usize>,
+}
+
+impl KdTree {
+    /// Builds a balanced tree by median splitting on cycling axes.
+    pub fn build(data: &Matrix) -> Self {
+        let mut indices: Vec<usize> = (0..data.rows()).collect();
+        let mut nodes = Vec::with_capacity(data.rows());
+        let root = Self::build_rec(data, &mut indices[..], 0, &mut nodes);
+        Self { nodes, root }
+    }
+
+    fn build_rec(
+        data: &Matrix,
+        indices: &mut [usize],
+        depth: usize,
+        nodes: &mut Vec<KdNode>,
+    ) -> Option<usize> {
+        if indices.is_empty() {
+            return None;
+        }
+        let axis = if data.cols() == 0 {
+            0
+        } else {
+            depth % data.cols()
+        };
+        let mid = indices.len() / 2;
+        indices.select_nth_unstable_by(mid, |&a, &b| {
+            data.get(a, axis)
+                .partial_cmp(&data.get(b, axis))
+                .expect("finite coordinates")
+                .then(a.cmp(&b))
+        });
+        let point = indices[mid];
+        let (left_slice, rest) = indices.split_at_mut(mid);
+        let right_slice = &mut rest[1..];
+        let left = Self::build_rec(data, left_slice, depth + 1, nodes);
+        let right = Self::build_rec(data, right_slice, depth + 1, nodes);
+        nodes.push(KdNode {
+            point,
+            axis,
+            left,
+            right,
+        });
+        Some(nodes.len() - 1)
+    }
+
+    /// Number of points in the tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The `k` nearest rows to `query`, ascending by `(distance, index)`
+    /// — exactly the ordering of a brute-force scan.
+    pub fn nearest(
+        &self,
+        data: &Matrix,
+        query: &[f64],
+        k: usize,
+        metric: Distance,
+    ) -> Vec<(usize, f64)> {
+        let mut best: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
+        if k == 0 {
+            return best;
+        }
+        if let Some(root) = self.root {
+            self.search(root, data, query, k, metric, &mut best);
+        }
+        best
+    }
+
+    fn search(
+        &self,
+        node_id: usize,
+        data: &Matrix,
+        query: &[f64],
+        k: usize,
+        metric: Distance,
+        best: &mut Vec<(usize, f64)>,
+    ) {
+        let node = &self.nodes[node_id];
+        let dist = metric.eval(data.row(node.point), query);
+        // Insert in (distance, index) order; cap at k.
+        let pos = best
+            .partition_point(|&(i, d)| d < dist || (d == dist && i < node.point));
+        if pos < k {
+            best.insert(pos, (node.point, dist));
+            best.truncate(k);
+        }
+        let diff = query[node.axis] - data.get(node.point, node.axis);
+        let (near, far) = if diff <= 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if let Some(n) = near {
+            self.search(n, data, query, k, metric, best);
+        }
+        let worst = if best.len() == k {
+            best[k - 1].1
+        } else {
+            f64::INFINITY
+        };
+        // The axis gap lower-bounds every Minkowski distance; ties must
+        // still be visited because a tied point with a smaller index
+        // outranks the current worst.
+        if diff.abs() <= worst {
+            if let Some(f) = far {
+                self.search(f, data, query, k, metric, best);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute(data: &Matrix, query: &[f64], k: usize, metric: Distance) -> Vec<(usize, f64)> {
+        let mut dists: Vec<(usize, f64)> = (0..data.rows())
+            .map(|i| (i, metric.eval(data.row(i), query)))
+            .collect();
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        dists.truncate(k);
+        dists
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for dims in [1usize, 2, 3, 5] {
+            let rows: Vec<Vec<f64>> = (0..200)
+                .map(|_| (0..dims).map(|_| rng.gen_range(-10.0..10.0)).collect())
+                .collect();
+            let data = Matrix::from_rows(&rows).unwrap();
+            let tree = KdTree::build(&data);
+            for _ in 0..30 {
+                let q: Vec<f64> = (0..dims).map(|_| rng.gen_range(-12.0..12.0)).collect();
+                for metric in [
+                    Distance::Euclidean,
+                    Distance::Manhattan,
+                    Distance::Chebyshev,
+                ] {
+                    for k in [1usize, 3, 10] {
+                        assert_eq!(
+                            tree.nearest(&data, &q, k, metric),
+                            brute(&data, &q, k, metric),
+                            "dims {dims} metric {metric:?} k {k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn handles_duplicates_deterministically() {
+        let data = Matrix::from_rows(&vec![vec![1.0, 2.0]; 10]).unwrap();
+        let tree = KdTree::build(&data);
+        let result = tree.nearest(&data, &[1.0, 2.0], 3, Distance::Euclidean);
+        assert_eq!(result, vec![(0, 0.0), (1, 0.0), (2, 0.0)]);
+    }
+
+    #[test]
+    fn empty_and_tiny_trees() {
+        let empty = Matrix::from_rows(&[]).unwrap();
+        let tree = KdTree::build(&empty);
+        assert!(tree.is_empty());
+        assert!(tree.nearest(&empty, &[], 3, Distance::Euclidean).is_empty());
+
+        let one = Matrix::from_rows(&[vec![5.0]]).unwrap();
+        let tree = KdTree::build(&one);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(
+            tree.nearest(&one, &[4.0], 2, Distance::Euclidean),
+            vec![(0, 1.0)]
+        );
+    }
+
+    #[test]
+    fn k_zero_returns_nothing() {
+        let data = Matrix::from_rows(&[vec![0.0]]).unwrap();
+        let tree = KdTree::build(&data);
+        assert!(tree.nearest(&data, &[0.0], 0, Distance::Euclidean).is_empty());
+    }
+}

@@ -1,0 +1,341 @@
+//! # dm-knn
+//!
+//! k-nearest-neighbour classification over dense numeric data, with
+//! brute-force and k-d-tree search backends, four Minkowski-family
+//! distance metrics, optional inverse-distance vote weighting, and
+//! Hart's condensed-nearest-neighbour instance reduction.
+//!
+//! The two backends return identical predictions (enforced by property
+//! tests); the k-d tree is the fast path in low dimensions while brute
+//! force wins in high dimensions — the classic curse-of-dimensionality
+//! trade-off.
+//!
+//! ```
+//! use dm_dataset::Matrix;
+//! use dm_knn::Knn;
+//!
+//! let train = Matrix::from_rows(&[
+//!     vec![0.0, 0.0], vec![0.1, 0.1], vec![9.0, 9.0], vec![9.1, 9.2],
+//! ]).unwrap();
+//! let model = Knn::new(3).fit(&train, &[0, 0, 1, 1]).unwrap();
+//! let test = Matrix::from_rows(&[vec![0.3, 0.2], vec![8.5, 9.4]]).unwrap();
+//! assert_eq!(model.predict(&test).unwrap(), vec![0, 1]);
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod condensed;
+pub mod kdtree;
+
+pub use condensed::CondensedNn;
+pub use kdtree::KdTree;
+
+use dm_dataset::matrix::{chebyshev, euclidean, manhattan, minkowski};
+use dm_dataset::{DataError, Matrix};
+
+/// Distance metric for neighbour search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distance {
+    /// L2.
+    Euclidean,
+    /// L1.
+    Manhattan,
+    /// L∞.
+    Chebyshev,
+    /// Lp with the given order `p ≥ 1`.
+    Minkowski(f64),
+}
+
+impl Distance {
+    /// Evaluates the metric.
+    #[inline]
+    pub fn eval(self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            Distance::Euclidean => euclidean(a, b),
+            Distance::Manhattan => manhattan(a, b),
+            Distance::Chebyshev => chebyshev(a, b),
+            Distance::Minkowski(p) => minkowski(a, b, p),
+        }
+    }
+}
+
+/// How neighbour votes are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Weighting {
+    /// One vote per neighbour.
+    Uniform,
+    /// Votes weighted by `1 / (distance + ε)`.
+    InverseDistance,
+}
+
+/// Neighbour-search backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Search {
+    /// Scan all training points per query.
+    Brute,
+    /// k-d tree (exact, with per-axis pruning).
+    KdTree,
+}
+
+/// The k-NN classifier configuration.
+#[derive(Debug, Clone)]
+pub struct Knn {
+    k: usize,
+    distance: Distance,
+    weighting: Weighting,
+    search: Search,
+}
+
+impl Knn {
+    /// A Euclidean, uniform-vote classifier using the k-d tree backend.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            distance: Distance::Euclidean,
+            weighting: Weighting::Uniform,
+            search: Search::KdTree,
+        }
+    }
+
+    /// Sets the distance metric.
+    pub fn with_distance(mut self, distance: Distance) -> Self {
+        self.distance = distance;
+        self
+    }
+
+    /// Sets the vote weighting.
+    pub fn with_weighting(mut self, weighting: Weighting) -> Self {
+        self.weighting = weighting;
+        self
+    }
+
+    /// Sets the search backend.
+    pub fn with_search(mut self, search: Search) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// "Trains" (stores) the model. `labels[i]` is the class of row `i`.
+    pub fn fit(&self, train: &Matrix, labels: &[u32]) -> Result<KnnModel, DataError> {
+        if self.k == 0 {
+            return Err(DataError::InvalidParameter("k must be >= 1".into()));
+        }
+        if let Distance::Minkowski(p) = self.distance {
+            if p < 1.0 {
+                return Err(DataError::InvalidParameter(format!(
+                    "minkowski order {p} must be >= 1"
+                )));
+            }
+        }
+        if train.rows() != labels.len() {
+            return Err(DataError::LabelLengthMismatch {
+                labels: labels.len(),
+                rows: train.rows(),
+            });
+        }
+        if train.rows() == 0 {
+            return Err(DataError::Empty("training set"));
+        }
+        let n_classes = labels.iter().copied().max().unwrap_or(0) as usize + 1;
+        let kd = match self.search {
+            Search::KdTree => Some(KdTree::build(train)),
+            Search::Brute => None,
+        };
+        Ok(KnnModel {
+            config: self.clone(),
+            train: train.clone(),
+            labels: labels.to_vec(),
+            n_classes,
+            kd,
+        })
+    }
+}
+
+/// A fitted k-NN model (stores the training data).
+#[derive(Debug, Clone)]
+pub struct KnnModel {
+    config: Knn,
+    train: Matrix,
+    labels: Vec<u32>,
+    n_classes: usize,
+    kd: Option<KdTree>,
+}
+
+impl KnnModel {
+    /// The `(index, distance)` list of the k nearest training points to
+    /// `query`, ascending by distance (ties by index).
+    pub fn neighbors(&self, query: &[f64]) -> Result<Vec<(usize, f64)>, DataError> {
+        if query.len() != self.train.cols() {
+            return Err(DataError::InvalidParameter(format!(
+                "query has {} dims, model {}",
+                query.len(),
+                self.train.cols()
+            )));
+        }
+        let k = self.config.k.min(self.train.rows());
+        match &self.kd {
+            Some(tree) => Ok(tree.nearest(&self.train, query, k, self.config.distance)),
+            None => {
+                let mut dists: Vec<(usize, f64)> = (0..self.train.rows())
+                    .map(|i| (i, self.config.distance.eval(self.train.row(i), query)))
+                    .collect();
+                dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+                dists.truncate(k);
+                Ok(dists)
+            }
+        }
+    }
+
+    /// Predicts the class of `query`.
+    pub fn predict_one(&self, query: &[f64]) -> Result<u32, DataError> {
+        let neighbors = self.neighbors(query)?;
+        let mut votes = vec![0.0f64; self.n_classes];
+        for &(idx, dist) in &neighbors {
+            let w = match self.config.weighting {
+                Weighting::Uniform => 1.0,
+                Weighting::InverseDistance => 1.0 / (dist + 1e-9),
+            };
+            votes[self.labels[idx] as usize] += w;
+        }
+        Ok(votes
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.partial_cmp(b).expect("finite").then(ib.cmp(ia)))
+            .map(|(c, _)| c as u32)
+            .unwrap_or(0))
+    }
+
+    /// Predicts every row of `data`.
+    pub fn predict(&self, data: &Matrix) -> Result<Vec<u32>, DataError> {
+        (0..data.rows()).map(|i| self.predict_one(data.row(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_synth::GaussianMixture;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs() -> (Matrix, Vec<u32>) {
+        GaussianMixture::well_separated(3, 2, 50, 10.0)
+            .unwrap()
+            .generate(2)
+    }
+
+    #[test]
+    fn classifies_separated_blobs() {
+        let (data, labels) = blobs();
+        let model = Knn::new(5).fit(&data, &labels).unwrap();
+        let pred = model.predict(&data).unwrap();
+        let acc = pred.iter().zip(&labels).filter(|(p, t)| p == t).count();
+        assert!(acc as f64 / labels.len() as f64 > 0.98);
+    }
+
+    #[test]
+    fn brute_and_kdtree_agree() {
+        let (data, labels) = blobs();
+        let mut rng = StdRng::seed_from_u64(5);
+        let queries: Vec<Vec<f64>> = (0..50)
+            .map(|_| vec![rng.gen_range(-5.0..25.0), rng.gen_range(-5.0..25.0)])
+            .collect();
+        let q = Matrix::from_rows(&queries).unwrap();
+        for distance in [
+            Distance::Euclidean,
+            Distance::Manhattan,
+            Distance::Chebyshev,
+            Distance::Minkowski(3.0),
+        ] {
+            let brute = Knn::new(7)
+                .with_distance(distance)
+                .with_search(Search::Brute)
+                .fit(&data, &labels)
+                .unwrap();
+            let kd = Knn::new(7)
+                .with_distance(distance)
+                .with_search(Search::KdTree)
+                .fit(&data, &labels)
+                .unwrap();
+            assert_eq!(
+                brute.predict(&q).unwrap(),
+                kd.predict(&q).unwrap(),
+                "{distance:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn neighbor_lists_match_exactly() {
+        let (data, labels) = blobs();
+        let brute = Knn::new(4)
+            .with_search(Search::Brute)
+            .fit(&data, &labels)
+            .unwrap();
+        let kd = Knn::new(4)
+            .with_search(Search::KdTree)
+            .fit(&data, &labels)
+            .unwrap();
+        let q = [3.0, 7.0];
+        assert_eq!(brute.neighbors(&q).unwrap(), kd.neighbors(&q).unwrap());
+    }
+
+    #[test]
+    fn k_one_memorizes_training_data() {
+        let (data, labels) = blobs();
+        let model = Knn::new(1).fit(&data, &labels).unwrap();
+        assert_eq!(model.predict(&data).unwrap(), labels);
+    }
+
+    #[test]
+    fn inverse_distance_breaks_majority() {
+        // Query next to a single class-1 point, with two class-0 points
+        // farther away: uniform 3-NN says 0, weighted says 1.
+        let data = Matrix::from_rows(&[
+            vec![0.0],
+            vec![10.0],
+            vec![10.4],
+        ])
+        .unwrap();
+        let labels = vec![1, 0, 0];
+        let uniform = Knn::new(3).fit(&data, &labels).unwrap();
+        let weighted = Knn::new(3)
+            .with_weighting(Weighting::InverseDistance)
+            .fit(&data, &labels)
+            .unwrap();
+        let q = [0.5];
+        assert_eq!(uniform.predict_one(&q).unwrap(), 0);
+        assert_eq!(weighted.predict_one(&q).unwrap(), 1);
+    }
+
+    #[test]
+    fn k_larger_than_training_set_is_clamped() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let model = Knn::new(10).fit(&data, &[0, 1]).unwrap();
+        assert_eq!(model.neighbors(&[0.2]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let data = Matrix::from_rows(&[vec![0.0]]).unwrap();
+        assert!(Knn::new(0).fit(&data, &[0]).is_err());
+        assert!(Knn::new(1).fit(&data, &[0, 1]).is_err());
+        assert!(Knn::new(1)
+            .with_distance(Distance::Minkowski(0.5))
+            .fit(&data, &[0])
+            .is_err());
+        let empty = Matrix::from_rows(&[]).unwrap();
+        assert!(Knn::new(1).fit(&empty, &[]).is_err());
+        let model = Knn::new(1).fit(&data, &[0]).unwrap();
+        assert!(model.predict_one(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn exact_duplicate_points() {
+        let data = Matrix::from_rows(&vec![vec![1.0, 1.0]; 6]).unwrap();
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let model = Knn::new(6).fit(&data, &labels).unwrap();
+        // All distances zero; tie broken toward the smaller class.
+        assert_eq!(model.predict_one(&[1.0, 1.0]).unwrap(), 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests: the k-d tree backend must be exactly equivalent to
+//! brute force for every metric, k, and query.
+
+use dm_dataset::Matrix;
+use dm_knn::{Distance, Knn, Search};
+use proptest::prelude::*;
+
+fn fixed_width_points(max_n: usize) -> impl Strategy<Value = (Matrix, Vec<Vec<f64>>)> {
+    (1usize..4, 2usize..max_n).prop_flat_map(|(d, n)| {
+        (
+            prop::collection::vec(prop::collection::vec(-100.0f64..100.0, d..=d), n..=n),
+            prop::collection::vec(prop::collection::vec(-120.0f64..120.0, d..=d), 1..8),
+        )
+            .prop_map(|(train, queries)| (Matrix::from_rows(&train).expect("rectangular"), queries))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kdtree_equals_brute_force(
+        (train, queries) in fixed_width_points(50),
+        k in 1usize..8,
+        metric_idx in 0usize..4,
+    ) {
+        let metric = [
+            Distance::Euclidean,
+            Distance::Manhattan,
+            Distance::Chebyshev,
+            Distance::Minkowski(3.0),
+        ][metric_idx];
+        let labels: Vec<u32> = (0..train.rows() as u32).map(|i| i % 3).collect();
+        let brute = Knn::new(k)
+            .with_distance(metric)
+            .with_search(Search::Brute)
+            .fit(&train, &labels)
+            .unwrap();
+        let kd = Knn::new(k)
+            .with_distance(metric)
+            .with_search(Search::KdTree)
+            .fit(&train, &labels)
+            .unwrap();
+        for q in &queries {
+            prop_assert_eq!(brute.neighbors(q).unwrap(), kd.neighbors(q).unwrap());
+            prop_assert_eq!(brute.predict_one(q).unwrap(), kd.predict_one(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn neighbors_sorted_and_self_is_nearest((train, _) in fixed_width_points(40), k in 1usize..6) {
+        let labels: Vec<u32> = vec![0; train.rows()];
+        let model = Knn::new(k).fit(&train, &labels).unwrap();
+        for i in 0..train.rows() {
+            let neighbors = model.neighbors(train.row(i)).unwrap();
+            // Ascending by (distance, index).
+            let sorted = neighbors
+                .windows(2)
+                .all(|w| w[0].1 < w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0));
+            prop_assert!(sorted, "unsorted neighbor list {:?}", neighbors);
+            // The query point itself (distance 0) heads the list.
+            prop_assert_eq!(neighbors[0].1, 0.0);
+        }
+    }
+
+    #[test]
+    fn condensed_set_is_training_consistent((train, _) in fixed_width_points(30)) {
+        use dm_knn::CondensedNn;
+        // Labels from a deterministic spatial rule so they are learnable.
+        let labels: Vec<u32> = (0..train.rows())
+            .map(|i| u32::from(train.row(i)[0] > 0.0))
+            .collect();
+        let (model, kept) = CondensedNn::new().fit(&train, &labels).unwrap();
+        prop_assert!(kept >= 1 && kept <= train.rows());
+        prop_assert_eq!(model.predict(&train).unwrap(), labels);
+    }
+}

@@ -1,0 +1,470 @@
+//! The AprioriAll algorithm (Agrawal & Srikant, ICDE 1995).
+//!
+//! Five phases, per the paper:
+//!
+//! 1. **Sort phase** — implicit here (the [`crate::SequenceDb`] is
+//!    already grouped by customer and time-ordered).
+//! 2. **Litemset phase** — find the *large itemsets*: itemsets contained
+//!    in a single transaction of at least `minsup` customers. This is a
+//!    frequent-itemset problem with per-customer (not per-transaction)
+//!    support, mined here with a customer-deduplicated Apriori.
+//! 3. **Transformation phase** — replace every transaction by the set of
+//!    litemset ids it contains; drop empty transactions/customers.
+//! 4. **Sequence phase** — apriori-style level-wise search over
+//!    *sequences of litemset ids*: candidates of length `k` are joined
+//!    from frequent `(k-1)`-sequences and pruned by the
+//!    all-subsequences-frequent condition.
+//! 5. **Maximal phase** — optionally discard patterns contained in a
+//!    longer frequent pattern.
+
+use crate::SequenceDb;
+use dm_dataset::transactions::is_subset_sorted;
+use dm_dataset::DataError;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// A mined sequential pattern with its customer support.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequentialPattern {
+    /// The pattern's elements: a time-ordered list of sorted itemsets.
+    pub elements: Vec<Vec<u32>>,
+    /// Number of supporting customers.
+    pub support_count: usize,
+}
+
+/// Result of a sequential-pattern mining run.
+#[derive(Debug, Clone)]
+pub struct SeqMiningResult {
+    /// Frequent sequential patterns (maximal only, unless configured
+    /// otherwise), ordered by length then lexicographically.
+    pub patterns: Vec<SequentialPattern>,
+    /// Number of large itemsets found in phase 2.
+    pub n_litemsets: usize,
+    /// Per-sequence-length counts of frequent sequences (index 0 =
+    /// length 1), before the maximal filter.
+    pub frequent_per_length: Vec<usize>,
+    /// Total wall-clock time.
+    pub duration: Duration,
+}
+
+/// The AprioriAll miner.
+#[derive(Debug, Clone)]
+pub struct AprioriAll {
+    min_support: f64,
+    max_len: Option<usize>,
+    maximal_only: bool,
+}
+
+impl AprioriAll {
+    /// Creates a miner with fractional customer support `minsup`.
+    pub fn new(min_support: f64) -> Self {
+        Self {
+            min_support,
+            max_len: None,
+            maximal_only: true,
+        }
+    }
+
+    /// Caps pattern length.
+    pub fn with_max_len(mut self, max_len: usize) -> Self {
+        self.max_len = Some(max_len);
+        self
+    }
+
+    /// Keep *all* frequent patterns, not just the maximal ones.
+    pub fn keep_non_maximal(mut self) -> Self {
+        self.maximal_only = false;
+        self
+    }
+
+    /// Mines `db`.
+    pub fn mine(&self, db: &SequenceDb) -> Result<SeqMiningResult, DataError> {
+        let t0 = Instant::now();
+        let min_count = db.min_support_count(self.min_support)?;
+
+        // ---- Phase 2: litemsets under customer support. ----
+        let litemsets = mine_litemsets(db, min_count);
+        let n_litemsets = litemsets.len();
+        if n_litemsets == 0 {
+            return Ok(SeqMiningResult {
+                patterns: Vec::new(),
+                n_litemsets: 0,
+                frequent_per_length: Vec::new(),
+                duration: t0.elapsed(),
+            });
+        }
+        // ---- Phase 3: transform customers to litemset-id sequences. ----
+        // Each transaction becomes the sorted set of litemset ids it
+        // contains (note: a transaction can contain several litemsets).
+        let transformed: Vec<Vec<Vec<u32>>> = db
+            .iter()
+            .map(|seq| {
+                seq.iter()
+                    .map(|txn| {
+                        litemsets
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, l)| is_subset_sorted(l, txn))
+                            .map(|(id, _)| id as u32)
+                            .collect::<Vec<u32>>()
+                    })
+                    .filter(|ids| !ids.is_empty())
+                    .collect()
+            })
+            .filter(|seq: &Vec<Vec<u32>>| !seq.is_empty())
+            .collect();
+
+        // ---- Phase 4: level-wise sequence mining over litemset ids. ----
+        // L1: every litemset is frequent by construction.
+        let mut frequent: Vec<Vec<(Vec<u32>, usize)>> = Vec::new();
+        let l1: Vec<(Vec<u32>, usize)> = (0..n_litemsets as u32)
+            .map(|id| {
+                let count = transformed
+                    .iter()
+                    .filter(|seq| seq.iter().any(|txn| txn.binary_search(&id).is_ok()))
+                    .count();
+                (vec![id], count)
+            })
+            .filter(|&(_, c)| c >= min_count)
+            .collect();
+        frequent.push(l1);
+
+        let mut k = 1usize;
+        while !frequent[k - 1].is_empty() && self.max_len.is_none_or(|m| k < m) {
+            let prev: Vec<&[u32]> = frequent[k - 1].iter().map(|(s, _)| s.as_slice()).collect();
+            let prev_set: HashSet<&[u32]> = prev.iter().copied().collect();
+            // Join: s1 (drop first) == s2 (drop last) -> s1 + last(s2).
+            // For k == 1 this degenerates to all ordered pairs (including
+            // repeats), per the paper.
+            let mut candidates: Vec<Vec<u32>> = Vec::new();
+            for s1 in &prev {
+                for s2 in &prev {
+                    if s1[1..] == s2[..k - 1] {
+                        let mut cand = s1.to_vec();
+                        cand.push(s2[k - 1]);
+                        // Prune: all k-subsequences frequent.
+                        if subsequences_frequent(&cand, &prev_set) {
+                            candidates.push(cand);
+                        }
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                break;
+            }
+            // Count candidate sequences against the transformed database.
+            let mut lk: Vec<(Vec<u32>, usize)> = Vec::new();
+            for cand in candidates {
+                let count = transformed
+                    .iter()
+                    .filter(|seq| contains_id_sequence(seq, &cand))
+                    .count();
+                if count >= min_count {
+                    lk.push((cand, count));
+                }
+            }
+            lk.sort();
+            let done = lk.is_empty();
+            frequent.push(lk);
+            k += 1;
+            if done {
+                break;
+            }
+        }
+        while frequent.last().is_some_and(Vec::is_empty) {
+            frequent.pop();
+        }
+        let frequent_per_length: Vec<usize> = frequent.iter().map(Vec::len).collect();
+
+        // ---- Phase 5: map ids back to itemsets, then maximal filter.
+        // Containment is checked at the itemset level: <(40)> is
+        // contained in <(30)(40 70)> even though their litemset ids
+        // differ — the id-sequence view would miss that.
+        let mut materialized: Vec<(Vec<Vec<u32>>, usize)> = frequent
+            .iter()
+            .flatten()
+            .map(|(seq, count)| {
+                (
+                    seq.iter()
+                        .map(|&id| litemsets[id as usize].clone())
+                        .collect::<Vec<Vec<u32>>>(),
+                    *count,
+                )
+            })
+            .collect();
+        // Containers first so the keep-list only needs one pass: if p is
+        // properly contained in q then p has no more elements and
+        // strictly fewer total items (equal counts force p == q), so
+        // (element count desc, item count desc) orders q before p.
+        let item_count = |p: &[Vec<u32>]| p.iter().map(Vec::len).sum::<usize>();
+        materialized.sort_by(|a, b| {
+            b.0.len()
+                .cmp(&a.0.len())
+                .then(item_count(&b.0).cmp(&item_count(&a.0)))
+                .then(a.0.cmp(&b.0))
+        });
+        let mut kept: Vec<(Vec<Vec<u32>>, usize)> = Vec::new();
+        for (elements, count) in materialized {
+            let is_max = !self.maximal_only
+                || !kept
+                    .iter()
+                    .any(|(longer, _)| pattern_contained(&elements, longer));
+            if is_max {
+                kept.push((elements, count));
+            }
+        }
+        kept.sort_by(|a, b| a.0.len().cmp(&b.0.len()).then(a.0.cmp(&b.0)));
+        let patterns = kept
+            .into_iter()
+            .map(|(elements, support_count)| SequentialPattern {
+                elements,
+                support_count,
+            })
+            .collect();
+
+        Ok(SeqMiningResult {
+            patterns,
+            n_litemsets,
+            frequent_per_length,
+            duration: t0.elapsed(),
+        })
+    }
+}
+
+/// Litemset phase: frequent itemsets where support counts *customers*
+/// containing the itemset in any single transaction. Level-wise with
+/// `apriori-gen`, counting each customer at most once per itemset.
+fn mine_litemsets(db: &SequenceDb, min_count: usize) -> Vec<Vec<u32>> {
+    // Pass 1: customer-deduplicated item counts.
+    let n_items = db.n_items() as usize;
+    let mut counts = vec![0usize; n_items];
+    let mut seen = vec![u32::MAX; n_items];
+    for (ci, seq) in db.iter().enumerate() {
+        for txn in seq {
+            for &item in txn {
+                if seen[item as usize] != ci as u32 {
+                    seen[item as usize] = ci as u32;
+                    counts[item as usize] += 1;
+                }
+            }
+        }
+    }
+    let mut level: Vec<Vec<u32>> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c >= min_count)
+        .map(|(item, _)| vec![item as u32])
+        .collect();
+    let mut all: Vec<Vec<u32>> = level.clone();
+
+    while level.len() > 1 {
+        let candidates = dm_assoc::candidate::apriori_gen(&level);
+        if candidates.is_empty() {
+            break;
+        }
+        let mut next = Vec::new();
+        for cand in candidates {
+            let count = db
+                .iter()
+                .filter(|seq| seq.iter().any(|txn| is_subset_sorted(&cand, txn)))
+                .count();
+            if count >= min_count {
+                next.push(cand);
+            }
+        }
+        next.sort();
+        if next.is_empty() {
+            break;
+        }
+        all.extend(next.iter().cloned());
+        level = next;
+    }
+    all.sort();
+    all
+}
+
+/// Whether each of the ids of `pattern` appears, in order, in distinct
+/// transactions of the transformed sequence.
+fn contains_id_sequence(seq: &[Vec<u32>], pattern: &[u32]) -> bool {
+    let mut ti = 0usize;
+    'outer: for &id in pattern {
+        while ti < seq.len() {
+            let txn = &seq[ti];
+            ti += 1;
+            if txn.binary_search(&id).is_ok() {
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Whether all (k-1)-subsequences of `cand` are frequent.
+fn subsequences_frequent(cand: &[u32], frequent: &HashSet<&[u32]>) -> bool {
+    let mut sub: Vec<u32> = Vec::with_capacity(cand.len() - 1);
+    for skip in 0..cand.len() {
+        sub.clear();
+        sub.extend(
+            cand.iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &x)| x),
+        );
+        if !frequent.contains(sub.as_slice()) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether pattern `p` is contained in pattern `q` at the itemset level:
+/// each element of `p` must be a subset of a distinct, in-order element
+/// of `q`. A pattern is contained in itself only if they are equal-length
+/// with element-wise subsets — callers exclude identity by construction
+/// (maximal filtering compares against strictly longer patterns or
+/// supersets).
+fn pattern_contained(p: &[Vec<u32>], q: &[Vec<u32>]) -> bool {
+    if p.len() > q.len() || p == q {
+        return false;
+    }
+    let mut qi = 0usize;
+    'outer: for element in p {
+        while qi < q.len() {
+            let candidate = &q[qi];
+            qi += 1;
+            if is_subset_sorted(element, candidate) {
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The ICDE'95 running example.
+    fn paper_db() -> SequenceDb {
+        SequenceDb::new(vec![
+            vec![vec![30], vec![90]],
+            vec![vec![10, 20], vec![30], vec![40, 60, 70]],
+            vec![vec![30, 50, 70]],
+            vec![vec![30], vec![40, 70], vec![90]],
+            vec![vec![90]],
+        ])
+    }
+
+    #[test]
+    fn reproduces_the_paper_example() {
+        // With minsup 25% (2 of 5 customers) the paper reports the
+        // maximal sequential patterns <(30)(90)> and <(30)(40 70)>.
+        let result = AprioriAll::new(0.25).mine(&paper_db()).unwrap();
+        let patterns: Vec<&Vec<Vec<u32>>> =
+            result.patterns.iter().map(|p| &p.elements).collect();
+        assert!(patterns.contains(&&vec![vec![30], vec![90]]), "{patterns:?}");
+        assert!(
+            patterns.contains(&&vec![vec![30], vec![40, 70]]),
+            "{patterns:?}"
+        );
+        // Non-maximal patterns like <(30)> must have been filtered.
+        assert!(!patterns.contains(&&vec![vec![30]]));
+        // Supports are customer counts.
+        for p in &result.patterns {
+            assert_eq!(
+                p.support_count,
+                paper_db().support_count(&p.elements),
+                "{:?}",
+                p.elements
+            );
+            assert!(p.support_count >= 2);
+        }
+    }
+
+    #[test]
+    fn keep_non_maximal_includes_subpatterns() {
+        let result = AprioriAll::new(0.25)
+            .keep_non_maximal()
+            .mine(&paper_db())
+            .unwrap();
+        let patterns: Vec<&Vec<Vec<u32>>> =
+            result.patterns.iter().map(|p| &p.elements).collect();
+        assert!(patterns.contains(&&vec![vec![30]]));
+        assert!(patterns.contains(&&vec![vec![90]]));
+        assert!(patterns.contains(&&vec![vec![30], vec![90]]));
+    }
+
+    #[test]
+    fn litemset_support_counts_customers_not_transactions() {
+        // Item 7 occurs twice inside one customer: support must be 1.
+        let db = SequenceDb::new(vec![
+            vec![vec![7], vec![7], vec![7]],
+            vec![vec![1]],
+        ]);
+        let lits = mine_litemsets(&db, 1);
+        assert!(lits.contains(&vec![7]));
+        let result = AprioriAll::new(0.9).mine(&db).unwrap();
+        // At 90% support (2 customers) nothing survives.
+        assert!(result.patterns.is_empty());
+    }
+
+    #[test]
+    fn max_len_caps_patterns() {
+        let result = AprioriAll::new(0.25)
+            .with_max_len(1)
+            .mine(&paper_db())
+            .unwrap();
+        assert!(result.patterns.iter().all(|p| p.elements.len() == 1));
+    }
+
+    #[test]
+    fn empty_db_and_hopeless_threshold() {
+        let empty = SequenceDb::new(vec![]);
+        assert!(AprioriAll::new(0.5).mine(&empty).is_ok());
+        let db = paper_db();
+        let result = AprioriAll::new(1.0).mine(&db).unwrap();
+        assert!(result.patterns.is_empty());
+        assert!(AprioriAll::new(0.0).mine(&db).is_err());
+    }
+
+    #[test]
+    fn repeated_litemset_sequences_found() {
+        // "buy 1, later buy 1 again" — requires the k=1 self-join.
+        let db = SequenceDb::new(vec![
+            vec![vec![1], vec![1]],
+            vec![vec![1], vec![2], vec![1]],
+            vec![vec![1]],
+        ]);
+        let result = AprioriAll::new(0.6).mine(&db).unwrap();
+        let patterns: Vec<&Vec<Vec<u32>>> =
+            result.patterns.iter().map(|p| &p.elements).collect();
+        assert!(patterns.contains(&&vec![vec![1], vec![1]]), "{patterns:?}");
+    }
+
+    #[test]
+    fn helpers() {
+        assert!(pattern_contained(&[vec![40]], &[vec![30], vec![40, 70]]));
+        assert!(pattern_contained(
+            &[vec![30], vec![40]],
+            &[vec![30], vec![40, 70]]
+        ));
+        assert!(!pattern_contained(&[vec![40], vec![30]], &[vec![30], vec![40, 70]]));
+        let same = [vec![1u32], vec![2]];
+        assert!(!pattern_contained(&same, &same), "identity excluded");
+        assert!(contains_id_sequence(&[vec![0, 1], vec![2]], &[1, 2]));
+        assert!(!contains_id_sequence(&[vec![0, 1]], &[1, 1]));
+    }
+
+    #[test]
+    fn maximal_filter_sees_element_subsets() {
+        // <(40 70)> (one element) is contained in <(30)(40 70)> and must
+        // not be reported as maximal.
+        let result = AprioriAll::new(0.25).mine(&paper_db()).unwrap();
+        let patterns: Vec<&Vec<Vec<u32>>> =
+            result.patterns.iter().map(|p| &p.elements).collect();
+        assert!(!patterns.contains(&&vec![vec![40, 70]]), "{patterns:?}");
+        assert!(!patterns.contains(&&vec![vec![40]]), "{patterns:?}");
+    }
+}

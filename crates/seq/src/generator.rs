@@ -1,0 +1,226 @@
+//! Quest-style synthetic customer-sequence generator.
+//!
+//! Follows the structure of the ICDE'95 data generator (`C|C|.T|T|.
+//! S|S|.I|I|` datasets): a pool of *maximal potential sequences* — each a
+//! short sequence of small itemsets — is drawn with exponential weights;
+//! every customer interleaves one or two weighted pattern sequences with
+//! uniform noise items across a Poisson number of transactions.
+
+use crate::{CustomerSequence, SequenceDb};
+use dm_dataset::DataError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the sequence generator.
+#[derive(Debug, Clone)]
+pub struct SequenceConfig {
+    /// `|C|` — number of customers.
+    pub n_customers: usize,
+    /// Average transactions per customer (Poisson mean).
+    pub avg_txns_per_customer: f64,
+    /// Average items per transaction (Poisson mean).
+    pub avg_txn_len: f64,
+    /// `|S|` — average elements per potential pattern sequence.
+    pub avg_pattern_elements: f64,
+    /// `|I|` — average items per pattern element.
+    pub avg_element_len: f64,
+    /// Number of potential pattern sequences in the pool.
+    pub n_patterns: usize,
+    /// Item universe size.
+    pub n_items: u32,
+}
+
+impl SequenceConfig {
+    /// A small default in the spirit of the paper's C10.T2.5.S4.I1.25.
+    pub fn standard(n_customers: usize) -> Self {
+        Self {
+            n_customers,
+            avg_txns_per_customer: 6.0,
+            avg_txn_len: 2.5,
+            avg_pattern_elements: 3.0,
+            avg_element_len: 1.5,
+            n_patterns: 30,
+            n_items: 200,
+        }
+    }
+
+    fn validate(&self) -> Result<(), DataError> {
+        if self.n_customers == 0 || self.n_patterns == 0 || self.n_items == 0 {
+            return Err(DataError::InvalidParameter(
+                "customers, patterns and items must be positive".into(),
+            ));
+        }
+        if self.avg_txns_per_customer <= 0.0
+            || self.avg_txn_len <= 0.0
+            || self.avg_pattern_elements <= 0.0
+            || self.avg_element_len <= 0.0
+        {
+            return Err(DataError::InvalidParameter(
+                "all averages must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Generator holding the pattern pool.
+#[derive(Debug, Clone)]
+pub struct SequenceGenerator {
+    config: SequenceConfig,
+    patterns: Vec<Vec<Vec<u32>>>,
+    weights: Vec<f64>,
+}
+
+/// Poisson sampler (duplicated from `dm-synth` to keep the crate graphs
+/// of the two generator crates independent; both are Knuth's method).
+fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+impl SequenceGenerator {
+    /// Builds the pattern pool deterministically from `seed`.
+    pub fn new(config: SequenceConfig, seed: u64) -> Result<Self, DataError> {
+        config.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut patterns = Vec::with_capacity(config.n_patterns);
+        let mut weights = Vec::with_capacity(config.n_patterns);
+        let mut total = 0.0f64;
+        for _ in 0..config.n_patterns {
+            let n_elements = (poisson(&mut rng, config.avg_pattern_elements).max(1) as usize)
+                .min(8);
+            let mut pattern = Vec::with_capacity(n_elements);
+            for _ in 0..n_elements {
+                let len = (poisson(&mut rng, config.avg_element_len).max(1) as usize)
+                    .min(config.n_items as usize);
+                let mut element: Vec<u32> = Vec::with_capacity(len);
+                while element.len() < len {
+                    let item = rng.gen_range(0..config.n_items);
+                    if !element.contains(&item) {
+                        element.push(item);
+                    }
+                }
+                element.sort_unstable();
+                pattern.push(element);
+            }
+            let w = -(1.0 - rng.gen::<f64>()).ln(); // Exp(1)
+            total += w;
+            patterns.push(pattern);
+            weights.push(w);
+        }
+        for w in &mut weights {
+            *w /= total;
+        }
+        Ok(Self {
+            config,
+            patterns,
+            weights,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SequenceConfig {
+        &self.config
+    }
+
+    fn pick_pattern<R: Rng + ?Sized>(&self, rng: &mut R) -> &[Vec<u32>] {
+        let mut x = rng.gen::<f64>();
+        for (p, &w) in self.patterns.iter().zip(&self.weights) {
+            x -= w;
+            if x <= 0.0 {
+                return p;
+            }
+        }
+        self.patterns.last().expect("pool non-empty")
+    }
+
+    /// Generates the customer-sequence database.
+    pub fn generate(&self, seed: u64) -> SequenceDb {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut customers: Vec<CustomerSequence> = Vec::with_capacity(self.config.n_customers);
+        for _ in 0..self.config.n_customers {
+            let n_txns = (poisson(&mut rng, self.config.avg_txns_per_customer).max(1)) as usize;
+            let mut txns: Vec<Vec<u32>> = vec![Vec::new(); n_txns];
+            // Weave in one or two pattern sequences at random offsets.
+            let n_weave = 1 + usize::from(rng.gen::<f64>() < 0.5);
+            for _ in 0..n_weave {
+                let pattern = self.pick_pattern(&mut rng).to_vec();
+                if pattern.len() > n_txns {
+                    continue;
+                }
+                // Choose an increasing sequence of txn slots.
+                let mut slots: Vec<usize> = (0..n_txns).collect();
+                for i in (1..slots.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    slots.swap(i, j);
+                }
+                slots.truncate(pattern.len());
+                slots.sort_unstable();
+                for (slot, element) in slots.into_iter().zip(&pattern) {
+                    txns[slot].extend_from_slice(element);
+                }
+            }
+            // Noise items up to the Poisson transaction length.
+            for txn in &mut txns {
+                let target = (poisson(&mut rng, self.config.avg_txn_len).max(1)) as usize;
+                while txn.len() < target {
+                    txn.push(rng.gen_range(0..self.config.n_items));
+                }
+            }
+            customers.push(txns);
+        }
+        SequenceDb::new(customers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AprioriAll;
+
+    #[test]
+    fn shapes_and_determinism() {
+        let g = SequenceGenerator::new(SequenceConfig::standard(200), 3).unwrap();
+        let a = g.generate(4);
+        let b = g.generate(4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        assert!(a.mean_len() > 2.0 && a.mean_len() < 12.0);
+        assert_ne!(a, g.generate(5));
+    }
+
+    #[test]
+    fn planted_patterns_are_mined() {
+        // With strong weights, at least one multi-element pattern should
+        // exceed 5% customer support.
+        let g = SequenceGenerator::new(SequenceConfig::standard(400), 7).unwrap();
+        let db = g.generate(8);
+        let result = AprioriAll::new(0.05).mine(&db).unwrap();
+        assert!(
+            result.patterns.iter().any(|p| p.elements.len() >= 2),
+            "no multi-element pattern found: {:?}",
+            result.frequent_per_length
+        );
+    }
+
+    #[test]
+    fn validation() {
+        let mut c = SequenceConfig::standard(10);
+        c.n_items = 0;
+        assert!(SequenceGenerator::new(c, 0).is_err());
+        let mut c = SequenceConfig::standard(10);
+        c.avg_txn_len = 0.0;
+        assert!(SequenceGenerator::new(c, 0).is_err());
+        let mut c = SequenceConfig::standard(0);
+        c.n_customers = 0;
+        assert!(SequenceGenerator::new(c, 0).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! # dm-seq
+//!
+//! Sequential-pattern mining after Agrawal & Srikant, *"Mining
+//! Sequential Patterns"* (ICDE 1995): given a database of *customer
+//! sequences* (ordered lists of transactions), find all sequences of
+//! itemsets contained in at least `minsup` of the customers.
+//!
+//! The crate provides:
+//!
+//! * [`SequenceDb`] — the customer-sequence database.
+//! * [`AprioriAll`] — the paper's count-all algorithm, complete with its
+//!   litemset phase, the transformed database, the apriori-style
+//!   sequence phase, and the maximal-phase filter.
+//! * [`BruteForceSeq`] — the exhaustive oracle used by the tests.
+//! * [`SequenceGenerator`] — a Quest-style synthetic generator of
+//!   correlated customer sequences.
+//!
+//! ```
+//! use dm_seq::{AprioriAll, SequenceDb};
+//!
+//! // Two of three customers first buy {1}, later buy {2, 3} together.
+//! let db = SequenceDb::new(vec![
+//!     vec![vec![1], vec![2, 3]],
+//!     vec![vec![1], vec![4], vec![2, 3]],
+//!     vec![vec![2], vec![1]],
+//! ]);
+//! let result = AprioriAll::new(0.6).mine(&db).unwrap();
+//! assert!(result
+//!     .patterns
+//!     .iter()
+//!     .any(|p| p.elements == vec![vec![1], vec![2, 3]]));
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod apriori_all;
+pub mod brute;
+pub mod generator;
+
+pub use apriori_all::{AprioriAll, SeqMiningResult, SequentialPattern};
+pub use brute::BruteForceSeq;
+pub use generator::{SequenceConfig, SequenceGenerator};
+
+use dm_dataset::DataError;
+
+/// One customer's transaction history: an ordered list of itemsets
+/// (each sorted, deduplicated).
+pub type CustomerSequence = Vec<Vec<u32>>;
+
+/// A database of customer sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequenceDb {
+    sequences: Vec<CustomerSequence>,
+    n_items: u32,
+}
+
+impl SequenceDb {
+    /// Builds a database; each transaction is sorted and deduplicated,
+    /// and empty transactions are dropped.
+    pub fn new(raw: Vec<CustomerSequence>) -> Self {
+        let mut n_items = 0u32;
+        let sequences = raw
+            .into_iter()
+            .map(|seq| {
+                seq.into_iter()
+                    .map(|mut txn| {
+                        txn.sort_unstable();
+                        txn.dedup();
+                        if let Some(&max) = txn.last() {
+                            n_items = n_items.max(max + 1);
+                        }
+                        txn
+                    })
+                    .filter(|txn| !txn.is_empty())
+                    .collect()
+            })
+            .collect();
+        Self { sequences, n_items }
+    }
+
+    /// Number of customers.
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+
+    /// One past the largest item id.
+    pub fn n_items(&self) -> u32 {
+        self.n_items
+    }
+
+    /// The sequence of customer `i`.
+    pub fn sequence(&self, i: usize) -> &CustomerSequence {
+        &self.sequences[i]
+    }
+
+    /// Iterates customer sequences.
+    pub fn iter(&self) -> impl Iterator<Item = &CustomerSequence> {
+        self.sequences.iter()
+    }
+
+    /// Mean transactions per customer.
+    pub fn mean_len(&self) -> f64 {
+        if self.sequences.is_empty() {
+            return 0.0;
+        }
+        self.sequences.iter().map(Vec::len).sum::<usize>() as f64 / self.sequences.len() as f64
+    }
+
+    /// Whether `pattern` (a sequence of sorted itemsets) is contained in
+    /// customer sequence `seq`: each pattern element must be a subset of
+    /// a distinct transaction, in order. Greedy left-to-right matching
+    /// is exact for this containment relation.
+    pub fn contains(seq: &CustomerSequence, pattern: &[Vec<u32>]) -> bool {
+        let mut ti = 0usize;
+        'outer: for element in pattern {
+            while ti < seq.len() {
+                let txn = &seq[ti];
+                ti += 1;
+                if dm_dataset::transactions::is_subset_sorted(element, txn) {
+                    continue 'outer;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Number of customers whose sequence contains `pattern`.
+    pub fn support_count(&self, pattern: &[Vec<u32>]) -> usize {
+        self.iter().filter(|seq| Self::contains(seq, pattern)).count()
+    }
+
+    /// Resolves a fractional support to an absolute customer count.
+    pub fn min_support_count(&self, min_support: f64) -> Result<usize, DataError> {
+        if !(min_support > 0.0 && min_support <= 1.0) {
+            return Err(DataError::InvalidParameter(format!(
+                "support fraction {min_support} not in (0, 1]"
+            )));
+        }
+        Ok(((min_support * self.len() as f64).ceil() as usize).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> SequenceDb {
+        // The ICDE'95 running example (customer sequences).
+        SequenceDb::new(vec![
+            vec![vec![30], vec![90]],
+            vec![vec![10, 20], vec![30], vec![40, 60, 70]],
+            vec![vec![30, 50, 70]],
+            vec![vec![30], vec![40, 70], vec![90]],
+            vec![vec![90]],
+        ])
+    }
+
+    #[test]
+    fn construction_normalizes() {
+        let db = SequenceDb::new(vec![vec![vec![3, 1, 3], vec![], vec![2]]]);
+        assert_eq!(db.sequence(0), &vec![vec![1, 3], vec![2]]);
+        assert_eq!(db.n_items(), 4);
+    }
+
+    #[test]
+    fn containment_semantics() {
+        let seq = vec![vec![1, 2], vec![3], vec![2, 4]];
+        assert!(SequenceDb::contains(&seq, &[vec![1], vec![3]]));
+        assert!(SequenceDb::contains(&seq, &[vec![1, 2], vec![2, 4]]));
+        assert!(SequenceDb::contains(&seq, &[vec![3]]));
+        // Order matters.
+        assert!(!SequenceDb::contains(&seq, &[vec![3], vec![1]]));
+        // Two elements may not map to the same transaction...
+        assert!(!SequenceDb::contains(&seq, &[vec![4], vec![4]]));
+        // ...but can map to distinct ones holding the same item.
+        assert!(SequenceDb::contains(&seq, &[vec![2], vec![2]])); // txns 0 and 2
+        // Empty pattern is contained everywhere.
+        assert!(SequenceDb::contains(&seq, &[]));
+    }
+
+    #[test]
+    fn paper_supports() {
+        let db = db();
+        // <(30)(90)> is supported by customers 1 and 4.
+        assert_eq!(db.support_count(&[vec![30], vec![90]]), 2);
+        // <(30)(40 70)> by customers 2 and 4.
+        assert_eq!(db.support_count(&[vec![30], vec![40, 70]]), 2);
+        // <(90)> by customers 1, 4, 5.
+        assert_eq!(db.support_count(&[vec![90]]), 3);
+        // <(30)> by 1, 2, 3, 4.
+        assert_eq!(db.support_count(&[vec![30]]), 4);
+    }
+
+    #[test]
+    fn min_support_resolution() {
+        let db = db();
+        assert_eq!(db.min_support_count(0.25).unwrap(), 2);
+        assert_eq!(db.min_support_count(1.0).unwrap(), 5);
+        assert!(db.min_support_count(0.0).is_err());
+        assert!(db.min_support_count(1.5).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests: AprioriAll must agree with the exhaustive oracle on
+//! arbitrary small sequence databases.
+
+use dm_seq::{brute::assert_matches_oracle, AprioriAll, SequenceDb};
+use proptest::prelude::*;
+
+/// Up to 12 customers, up to 4 transactions each, over 6 items.
+fn small_seq_db() -> impl Strategy<Value = SequenceDb> {
+    prop::collection::vec(
+        prop::collection::vec(prop::collection::vec(0u32..6, 1..4), 1..5),
+        1..12,
+    )
+    .prop_map(SequenceDb::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn apriori_all_matches_oracle(db in small_seq_db(), pct in 2usize..8) {
+        let minsup = pct as f64 / 10.0;
+        assert_matches_oracle(&db, minsup, 3);
+    }
+
+    #[test]
+    fn supports_match_direct_counting(db in small_seq_db()) {
+        let result = AprioriAll::new(0.3).keep_non_maximal().mine(&db).unwrap();
+        for p in &result.patterns {
+            prop_assert_eq!(p.support_count, db.support_count(&p.elements));
+        }
+    }
+
+    #[test]
+    fn maximal_patterns_are_mutually_incomparable(db in small_seq_db()) {
+        let result = AprioriAll::new(0.3).mine(&db).unwrap();
+        for (i, a) in result.patterns.iter().enumerate() {
+            for (j, b) in result.patterns.iter().enumerate() {
+                if i == j { continue; }
+                // No maximal pattern properly contained in another.
+                let contained = a.elements.len() <= b.elements.len() && {
+                    let mut qi = 0usize;
+                    let mut ok = true;
+                    'outer: for e in &a.elements {
+                        while qi < b.elements.len() {
+                            let c = &b.elements[qi];
+                            qi += 1;
+                            if dm_dataset::transactions::is_subset_sorted(e, c) {
+                                continue 'outer;
+                            }
+                        }
+                        ok = false;
+                        break;
+                    }
+                    ok && a.elements != b.elements
+                };
+                prop_assert!(!contained, "{:?} contained in {:?}", a.elements, b.elements);
+            }
+        }
+    }
+}

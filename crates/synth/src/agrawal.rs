@@ -1,0 +1,378 @@
+//! The Agrawal–Imielinski–Swami synthetic classification benchmark.
+//!
+//! Reimplements the nine-attribute "people" schema and the ten
+//! classification functions of Agrawal, Imielinski & Swami, *"Database
+//! Mining: A Performance Perspective"* (IEEE TKDE 5(6), 1993) — the
+//! standard decision-tree benchmark of the SIGMOD-'96 era (also used by
+//! SLIQ and SPRINT).
+//!
+//! Attributes (sampling ranges per the paper):
+//!
+//! | attribute  | kind        | distribution                                   |
+//! |------------|-------------|------------------------------------------------|
+//! | salary     | numeric     | uniform 20,000 … 150,000                       |
+//! | commission | numeric     | 0 if salary ≥ 75,000, else uniform 10k … 75k   |
+//! | age        | numeric     | uniform 20 … 80                                |
+//! | elevel     | categorical | uniform {0 … 4}                                |
+//! | car        | categorical | uniform {1 … 20}                               |
+//! | zipcode    | categorical | uniform {0 … 9}                                |
+//! | hvalue     | numeric     | uniform 0.5·k·100,000 … 1.5·k·100,000, k = zip |
+//! | hyears     | numeric     | uniform 1 … 30                                 |
+//! | loan       | numeric     | uniform 0 … 500,000                            |
+//!
+//! Each function assigns label `A` (group A) or `B`.
+
+use dm_dataset::{Column, DataError, Dataset, Dict, Labels};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One of the ten published classification functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AgrawalFunction {
+    /// Age-only disjunction — trivially learnable.
+    F1,
+    /// Age × salary rectangles.
+    F2,
+    /// Age × education level.
+    F3,
+    /// Age × education gating a salary band.
+    F4,
+    /// Age × salary gating a loan band.
+    F5,
+    /// Total income bands by age group.
+    F6,
+    /// Linear disposable-income predicate over salary/commission/loan.
+    F7,
+    /// Linear disposable income with education penalty.
+    F8,
+    /// Linear disposable income with education and loan terms.
+    F9,
+    /// Home-equity based disposable income — the hardest function.
+    F10,
+}
+
+impl AgrawalFunction {
+    /// All ten functions in order.
+    pub const ALL: [AgrawalFunction; 10] = [
+        AgrawalFunction::F1,
+        AgrawalFunction::F2,
+        AgrawalFunction::F3,
+        AgrawalFunction::F4,
+        AgrawalFunction::F5,
+        AgrawalFunction::F6,
+        AgrawalFunction::F7,
+        AgrawalFunction::F8,
+        AgrawalFunction::F9,
+        AgrawalFunction::F10,
+    ];
+
+    /// Function number (1–10).
+    pub fn number(self) -> usize {
+        match self {
+            AgrawalFunction::F1 => 1,
+            AgrawalFunction::F2 => 2,
+            AgrawalFunction::F3 => 3,
+            AgrawalFunction::F4 => 4,
+            AgrawalFunction::F5 => 5,
+            AgrawalFunction::F6 => 6,
+            AgrawalFunction::F7 => 7,
+            AgrawalFunction::F8 => 8,
+            AgrawalFunction::F9 => 9,
+            AgrawalFunction::F10 => 10,
+        }
+    }
+
+    /// Evaluates the predicate on one person; `true` means group A.
+    #[allow(clippy::too_many_arguments)]
+    fn is_group_a(
+        self,
+        salary: f64,
+        commission: f64,
+        age: f64,
+        elevel: u32,
+        hvalue: f64,
+        hyears: f64,
+        loan: f64,
+    ) -> bool {
+        let young = age < 40.0;
+        let middle = (40.0..60.0).contains(&age);
+        match self {
+            AgrawalFunction::F1 => !(40.0..60.0).contains(&age),
+            AgrawalFunction::F2 => {
+                if young {
+                    (50_000.0..=100_000.0).contains(&salary)
+                } else if middle {
+                    (75_000.0..=125_000.0).contains(&salary)
+                } else {
+                    (25_000.0..=75_000.0).contains(&salary)
+                }
+            }
+            AgrawalFunction::F3 => {
+                if young {
+                    elevel <= 1
+                } else if middle {
+                    (1..=3).contains(&elevel)
+                } else {
+                    (2..=4).contains(&elevel)
+                }
+            }
+            AgrawalFunction::F4 => {
+                if young {
+                    if elevel <= 1 {
+                        (25_000.0..=75_000.0).contains(&salary)
+                    } else {
+                        (50_000.0..=100_000.0).contains(&salary)
+                    }
+                } else if middle {
+                    if (1..=3).contains(&elevel) {
+                        (50_000.0..=100_000.0).contains(&salary)
+                    } else {
+                        (75_000.0..=125_000.0).contains(&salary)
+                    }
+                } else if (2..=4).contains(&elevel) {
+                    (50_000.0..=100_000.0).contains(&salary)
+                } else {
+                    (25_000.0..=75_000.0).contains(&salary)
+                }
+            }
+            AgrawalFunction::F5 => {
+                if young {
+                    if (50_000.0..=100_000.0).contains(&salary) {
+                        (100_000.0..=300_000.0).contains(&loan)
+                    } else {
+                        (200_000.0..=400_000.0).contains(&loan)
+                    }
+                } else if middle {
+                    if (75_000.0..=125_000.0).contains(&salary) {
+                        (200_000.0..=400_000.0).contains(&loan)
+                    } else {
+                        (300_000.0..=500_000.0).contains(&loan)
+                    }
+                } else if (25_000.0..=75_000.0).contains(&salary) {
+                    (300_000.0..=500_000.0).contains(&loan)
+                } else {
+                    (100_000.0..=300_000.0).contains(&loan)
+                }
+            }
+            AgrawalFunction::F6 => {
+                let total = salary + commission;
+                if young {
+                    (25_000.0..=75_000.0).contains(&total)
+                } else if middle {
+                    (50_000.0..=125_000.0).contains(&total)
+                } else {
+                    (75_000.0..=125_000.0).contains(&total)
+                }
+            }
+            AgrawalFunction::F7 => 0.67 * (salary + commission) - 0.2 * loan - 20_000.0 > 0.0,
+            AgrawalFunction::F8 => {
+                0.67 * (salary + commission) - 5_000.0 * elevel as f64 - 20_000.0 > 0.0
+            }
+            AgrawalFunction::F9 => {
+                0.67 * (salary + commission) - 5_000.0 * elevel as f64 - 0.2 * loan - 10_000.0
+                    > 0.0
+            }
+            AgrawalFunction::F10 => {
+                let equity = if hyears < 20.0 {
+                    0.0
+                } else {
+                    0.1 * hvalue * (hyears - 20.0)
+                };
+                0.67 * (salary + commission) - 5_000.0 * elevel as f64 + 0.2 * equity - 10_000.0
+                    > 0.0
+            }
+        }
+    }
+}
+
+/// Generates labelled "people" datasets for one [`AgrawalFunction`].
+#[derive(Debug, Clone)]
+pub struct AgrawalGenerator {
+    function: AgrawalFunction,
+    n_rows: usize,
+}
+
+impl AgrawalGenerator {
+    /// Creates a generator for `function` emitting `n_rows` records.
+    pub fn new(function: AgrawalFunction, n_rows: usize) -> Result<Self, DataError> {
+        if n_rows == 0 {
+            return Err(DataError::InvalidParameter("n_rows must be > 0".into()));
+        }
+        Ok(Self { function, n_rows })
+    }
+
+    /// The function being generated.
+    pub fn function(&self) -> AgrawalFunction {
+        self.function
+    }
+
+    /// Generates `(dataset, labels)` deterministically from `seed`.
+    ///
+    /// Labels are `"A"` (code 0) and `"B"` (code 1); the `Dict` always
+    /// contains both classes even if one is absent from the sample.
+    pub fn generate(&self, seed: u64) -> (Dataset, Labels) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.n_rows;
+        let mut salary = Vec::with_capacity(n);
+        let mut commission = Vec::with_capacity(n);
+        let mut age = Vec::with_capacity(n);
+        let mut elevel = Vec::with_capacity(n);
+        let mut car = Vec::with_capacity(n);
+        let mut zipcode = Vec::with_capacity(n);
+        let mut hvalue = Vec::with_capacity(n);
+        let mut hyears = Vec::with_capacity(n);
+        let mut loan = Vec::with_capacity(n);
+        let mut label_codes = Vec::with_capacity(n);
+
+        for _ in 0..n {
+            let s: f64 = rng.gen_range(20_000.0..=150_000.0);
+            let c: f64 = if s >= 75_000.0 {
+                0.0
+            } else {
+                rng.gen_range(10_000.0..=75_000.0)
+            };
+            let a: f64 = rng.gen_range(20.0..=80.0);
+            let e: u32 = rng.gen_range(0..=4);
+            let cr: u32 = rng.gen_range(1..=20);
+            let z: u32 = rng.gen_range(0..=9);
+            // Paper: hvalue depends on zipcode ("k" below), uniform in
+            // [0.5 k 100000, 1.5 k 100000] with k derived from zipcode.
+            let k = (z + 1) as f64;
+            let hv: f64 = rng.gen_range(0.5 * k * 100_000.0..=1.5 * k * 100_000.0);
+            let hy: f64 = rng.gen_range(1.0..=30.0);
+            let l: f64 = rng.gen_range(0.0..=500_000.0);
+
+            let group_a = self.function.is_group_a(s, c, a, e, hv, hy, l);
+            salary.push(s);
+            commission.push(c);
+            age.push(a);
+            elevel.push(e);
+            car.push(cr);
+            zipcode.push(z);
+            hvalue.push(hv);
+            hyears.push(hy);
+            loan.push(l);
+            label_codes.push(u32::from(!group_a)); // A=0, B=1
+        }
+
+        let elevel_dict = Dict::from_names((0..=4).map(|i| format!("level{i}")));
+        let car_dict = Dict::from_names((1..=20).map(|i| format!("make{i}")));
+        let zip_dict = Dict::from_names((0..=9).map(|i| format!("zip{i}")));
+
+        let ds = Dataset::from_columns(
+            format!("agrawal-f{}", self.function.number()),
+            vec![
+                ("salary".into(), Column::from_numeric(salary)),
+                ("commission".into(), Column::from_numeric(commission)),
+                ("age".into(), Column::from_numeric(age)),
+                ("elevel".into(), Column::from_codes(elevel, elevel_dict)),
+                ("car".into(), Column::from_codes(car.iter().map(|&c| c - 1).collect(), car_dict)),
+                ("zipcode".into(), Column::from_codes(zipcode, zip_dict)),
+                ("hvalue".into(), Column::from_numeric(hvalue)),
+                ("hyears".into(), Column::from_numeric(hyears)),
+                ("loan".into(), Column::from_numeric(loan)),
+            ],
+        )
+        .expect("schema is consistent by construction");
+
+        let dict = Dict::from_names(["A", "B"]);
+        let labels = Labels::from_codes(label_codes, dict).expect("codes in range");
+        (ds, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_dataset::Value;
+
+    #[test]
+    fn schema_is_nine_attributes() {
+        let g = AgrawalGenerator::new(AgrawalFunction::F1, 50).unwrap();
+        let (ds, labels) = g.generate(1);
+        assert_eq!(ds.n_cols(), 9);
+        assert_eq!(ds.n_rows(), 50);
+        assert_eq!(labels.len(), 50);
+        assert_eq!(labels.n_classes(), 2);
+        assert!(ds.attr(0).is_numeric()); // salary
+        assert!(ds.attr(3).is_categorical()); // elevel
+        assert!(ds.attr(5).is_categorical()); // zipcode
+    }
+
+    #[test]
+    fn f1_label_matches_age_rule() {
+        let g = AgrawalGenerator::new(AgrawalFunction::F1, 300).unwrap();
+        let (ds, labels) = g.generate(2);
+        let (age_idx, _) = ds.column_by_name("age").unwrap();
+        for i in 0..ds.n_rows() {
+            let age = match ds.value(i, age_idx) {
+                Value::Num(a) => a,
+                _ => panic!("age is numeric"),
+            };
+            let expect_a = !(40.0..60.0).contains(&age);
+            assert_eq!(labels.get(i) == 0, expect_a, "row {i} age {age}");
+        }
+    }
+
+    #[test]
+    fn commission_zero_iff_high_salary() {
+        let g = AgrawalGenerator::new(AgrawalFunction::F7, 300).unwrap();
+        let (ds, _) = g.generate(3);
+        for i in 0..ds.n_rows() {
+            let s = ds.value(i, 0).as_num().unwrap();
+            let c = ds.value(i, 1).as_num().unwrap();
+            if s >= 75_000.0 {
+                assert_eq!(c, 0.0);
+            } else {
+                assert!((10_000.0..=75_000.0).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn every_function_produces_both_classes() {
+        for f in AgrawalFunction::ALL {
+            let g = AgrawalGenerator::new(f, 1000).unwrap();
+            let (_, labels) = g.generate(11);
+            let counts = labels.class_counts();
+            assert!(
+                counts[0] > 0 && counts[1] > 0,
+                "function {f:?} produced counts {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = AgrawalGenerator::new(AgrawalFunction::F5, 100).unwrap();
+        assert_eq!(g.generate(7).0, g.generate(7).0);
+        assert_ne!(g.generate(7).0, g.generate(8).0);
+    }
+
+    #[test]
+    fn zero_rows_rejected() {
+        assert!(AgrawalGenerator::new(AgrawalFunction::F1, 0).is_err());
+    }
+
+    #[test]
+    fn labels_are_a_then_b() {
+        let g = AgrawalGenerator::new(AgrawalFunction::F2, 10).unwrap();
+        let (_, labels) = g.generate(1);
+        assert_eq!(labels.dict().name(0), Some("A"));
+        assert_eq!(labels.dict().name(1), Some("B"));
+    }
+
+    #[test]
+    fn hvalue_scales_with_zipcode() {
+        let g = AgrawalGenerator::new(AgrawalFunction::F10, 2000).unwrap();
+        let (ds, _) = g.generate(5);
+        let (zi, _) = ds.column_by_name("zipcode").unwrap();
+        let (hi, _) = ds.column_by_name("hvalue").unwrap();
+        for i in 0..ds.n_rows() {
+            let z = ds.value(i, zi).as_cat().unwrap() as f64 + 1.0;
+            let hv = ds.value(i, hi).as_num().unwrap();
+            assert!(hv >= 0.5 * z * 100_000.0 - 1e-9);
+            assert!(hv <= 1.5 * z * 100_000.0 + 1e-9);
+        }
+    }
+}

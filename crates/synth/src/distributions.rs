@@ -1,0 +1,145 @@
+//! Small sampling toolbox: Poisson, Gaussian and exponential variates.
+//!
+//! The workspace's only sampling dependency is `rand` (uniform variates);
+//! the classic distributions the generators need are derived here, which
+//! keeps the dependency surface down and makes the exact sampling
+//! algorithms part of the reproducible artifact.
+
+use rand::Rng;
+
+/// Samples a Poisson variate with mean `lambda` using Knuth's
+/// multiplication method.
+///
+/// The method is exact and O(λ) per sample — fine for the small means
+/// (transaction and pattern lengths ≲ 50) used by the generators.
+///
+/// # Panics
+/// Panics if `lambda` is not finite and positive.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(
+        lambda.is_finite() && lambda > 0.0,
+        "poisson mean must be positive and finite"
+    );
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Samples a standard normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+/// Samples an exponential variate with the given mean (inverse-CDF).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -mean * u.ln()
+}
+
+/// Draws an index from `weights` proportionally to the weights.
+///
+/// # Panics
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let mut x = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_and_variance_match() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lambda = 10.0;
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| poisson(&mut rng, lambda) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() < 0.15, "mean {mean}");
+        assert!((var - lambda).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn poisson_rejects_nonpositive_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        poisson(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean = (0..n).map(|_| exponential(&mut rng, 2.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.5).abs() < 0.1, "mean {mean}");
+        assert!((0..1000).all(|_| exponential(&mut rng, 1.0) >= 0.0));
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let weights = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            counts[weighted_index(&mut rng, &weights)] += 1;
+        }
+        let p1 = counts[1] as f64 / n as f64;
+        let p2 = counts[2] as f64 / n as f64;
+        assert!((p1 - 0.3).abs() < 0.02, "p1 {p1}");
+        assert!((p2 - 0.6).abs() < 0.02, "p2 {p2}");
+    }
+
+    #[test]
+    fn weighted_index_degenerate_single() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(weighted_index(&mut rng, &[42.0]), 0);
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(poisson(&mut a, 5.0), poisson(&mut b, 5.0));
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Seeded Gaussian-mixture generator for clustering experiments.
+
+
+// Numeric kernels below co-index several parallel arrays; indexed loops
+// are clearer than zipped iterator chains there.
+#![allow(clippy::needless_range_loop)]
+use crate::distributions::normal;
+use dm_dataset::{DataError, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One spherical Gaussian component.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Component mean.
+    pub center: Vec<f64>,
+    /// Per-dimension standard deviation (spherical).
+    pub std: f64,
+    /// Number of points drawn from this component.
+    pub count: usize,
+}
+
+impl ClusterSpec {
+    /// Creates a component spec.
+    pub fn new(center: Vec<f64>, std: f64, count: usize) -> Self {
+        Self { center, std, count }
+    }
+}
+
+/// A mixture of spherical Gaussians plus optional uniform background
+/// noise.
+///
+/// [`GaussianMixture::generate`] returns the data matrix and the
+/// ground-truth labels: component indices `0..k`, with noise points
+/// labelled `k` (one past the last component).
+#[derive(Debug, Clone)]
+pub struct GaussianMixture {
+    components: Vec<ClusterSpec>,
+    noise_count: usize,
+    /// Bounding box half-width for noise placement (noise is uniform in
+    /// the hypercube `[-extent, extent]^d`).
+    noise_extent: f64,
+}
+
+impl GaussianMixture {
+    /// Builds a mixture from explicit component specs.
+    pub fn new(components: Vec<ClusterSpec>) -> Result<Self, DataError> {
+        if components.is_empty() {
+            return Err(DataError::Empty("component list"));
+        }
+        let d = components[0].center.len();
+        if d == 0 {
+            return Err(DataError::InvalidParameter(
+                "components must have at least one dimension".into(),
+            ));
+        }
+        if components.iter().any(|c| c.center.len() != d) {
+            return Err(DataError::InvalidParameter(
+                "all components must share one dimensionality".into(),
+            ));
+        }
+        if components.iter().any(|c| c.std < 0.0) {
+            return Err(DataError::InvalidParameter(
+                "standard deviations must be non-negative".into(),
+            ));
+        }
+        Ok(Self {
+            components,
+            noise_count: 0,
+            noise_extent: 10.0,
+        })
+    }
+
+    /// A canonical benchmark mixture: `k` clusters of `count` points each
+    /// in `d` dimensions, centers placed on a scaled simplex-like lattice
+    /// so that neighbouring centers are `separation` standard deviations
+    /// apart (σ = 1).
+    pub fn well_separated(k: usize, d: usize, count: usize, separation: f64) -> Result<Self, DataError> {
+        if k == 0 || d == 0 {
+            return Err(DataError::InvalidParameter(
+                "k and d must be positive".into(),
+            ));
+        }
+        // Centers on a Z^d lattice walk: component i sits at position
+        // derived from i in base `side`, scaled by `separation`.
+        let side = (k as f64).powf(1.0 / d as f64).ceil().max(2.0) as usize;
+        let mut components = Vec::with_capacity(k);
+        for i in 0..k {
+            let mut center = vec![0.0f64; d];
+            let mut v = i;
+            for c in center.iter_mut() {
+                *c = (v % side) as f64 * separation;
+                v /= side;
+            }
+            components.push(ClusterSpec::new(center, 1.0, count));
+        }
+        Self::new(components)
+    }
+
+    /// Adds `count` uniform background-noise points over
+    /// `[-extent, extent]^d`, labelled `k`.
+    pub fn with_noise(mut self, count: usize, extent: f64) -> Self {
+        self.noise_count = count;
+        self.noise_extent = extent;
+        self
+    }
+
+    /// Number of Gaussian components.
+    pub fn k(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.components[0].center.len()
+    }
+
+    /// Total number of points (components + noise).
+    pub fn total_points(&self) -> usize {
+        self.components.iter().map(|c| c.count).sum::<usize>() + self.noise_count
+    }
+
+    /// Generates `(data, labels)` deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> (Matrix, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = self.dims();
+        let n = self.total_points();
+        let mut data = Vec::with_capacity(n * d);
+        let mut labels = Vec::with_capacity(n);
+        for (ci, comp) in self.components.iter().enumerate() {
+            for _ in 0..comp.count {
+                for &mu in &comp.center {
+                    data.push(normal(&mut rng, mu, comp.std));
+                }
+                labels.push(ci as u32);
+            }
+        }
+        let noise_label = self.components.len() as u32;
+        for _ in 0..self.noise_count {
+            for _ in 0..d {
+                data.push(rng.gen_range(-self.noise_extent..=self.noise_extent));
+            }
+            labels.push(noise_label);
+        }
+        (
+            Matrix::from_vec(data, n, d).expect("shape correct by construction"),
+            labels,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_dataset::matrix::euclidean;
+
+    #[test]
+    fn shapes_and_labels() {
+        let gm = GaussianMixture::new(vec![
+            ClusterSpec::new(vec![0.0, 0.0], 0.5, 30),
+            ClusterSpec::new(vec![10.0, 10.0], 0.5, 20),
+        ])
+        .unwrap();
+        let (m, labels) = gm.generate(1);
+        assert_eq!((m.rows(), m.cols()), (50, 2));
+        assert_eq!(labels.iter().filter(|&&l| l == 0).count(), 30);
+        assert_eq!(labels.iter().filter(|&&l| l == 1).count(), 20);
+    }
+
+    #[test]
+    fn points_cluster_near_their_centers() {
+        let gm = GaussianMixture::new(vec![
+            ClusterSpec::new(vec![0.0, 0.0], 0.5, 100),
+            ClusterSpec::new(vec![20.0, 0.0], 0.5, 100),
+        ])
+        .unwrap();
+        let (m, labels) = gm.generate(2);
+        for (i, &l) in labels.iter().enumerate() {
+            let center = if l == 0 { [0.0, 0.0] } else { [20.0, 0.0] };
+            assert!(euclidean(m.row(i), &center) < 5.0);
+        }
+    }
+
+    #[test]
+    fn noise_labelled_past_components() {
+        let gm = GaussianMixture::new(vec![ClusterSpec::new(vec![0.0], 0.1, 10)])
+            .unwrap()
+            .with_noise(5, 3.0);
+        let (m, labels) = gm.generate(3);
+        assert_eq!(m.rows(), 15);
+        assert_eq!(labels.iter().filter(|&&l| l == 1).count(), 5);
+        for (i, &l) in labels.iter().enumerate() {
+            if l == 1 {
+                assert!(m.get(i, 0).abs() <= 3.0);
+            }
+        }
+    }
+
+    #[test]
+    fn well_separated_builder() {
+        let gm = GaussianMixture::well_separated(5, 2, 40, 8.0).unwrap();
+        assert_eq!(gm.k(), 5);
+        assert_eq!(gm.dims(), 2);
+        assert_eq!(gm.total_points(), 200);
+        let (m, _) = gm.generate(4);
+        assert_eq!(m.rows(), 200);
+        // Distinct centers: pairwise distances at least ~separation.
+        let (_, labels) = gm.generate(4);
+        let mut centers = vec![vec![0.0; 2]; 5];
+        let mut counts = vec![0usize; 5];
+        for (i, &l) in labels.iter().enumerate() {
+            for j in 0..2 {
+                centers[l as usize][j] += m.get(i, j);
+            }
+            counts[l as usize] += 1;
+        }
+        for (c, n) in centers.iter_mut().zip(&counts) {
+            for x in c.iter_mut() {
+                *x /= *n as f64;
+            }
+        }
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                assert!(euclidean(&centers[a], &centers[b]) > 4.0);
+            }
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(GaussianMixture::new(vec![]).is_err());
+        assert!(GaussianMixture::new(vec![ClusterSpec::new(vec![], 1.0, 5)]).is_err());
+        assert!(GaussianMixture::new(vec![
+            ClusterSpec::new(vec![0.0], 1.0, 5),
+            ClusterSpec::new(vec![0.0, 1.0], 1.0, 5),
+        ])
+        .is_err());
+        assert!(GaussianMixture::new(vec![ClusterSpec::new(vec![0.0], -1.0, 5)]).is_err());
+        assert!(GaussianMixture::well_separated(0, 2, 5, 1.0).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let gm = GaussianMixture::well_separated(3, 2, 10, 6.0).unwrap();
+        assert_eq!(gm.generate(7).0, gm.generate(7).0);
+        assert_ne!(gm.generate(7).0, gm.generate(8).0);
+    }
+}

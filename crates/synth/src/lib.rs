@@ -1,0 +1,31 @@
+//! # dm-synth
+//!
+//! Synthetic workload generators standing in for the proprietary data used
+//! by the canonical mid-90s data-mining evaluations (see the repository's
+//! `DESIGN.md` for the substitution table):
+//!
+//! * [`quest`] — the IBM Quest market-basket generator of Agrawal &
+//!   Srikant (VLDB 1994), parameterized as `T<avg txn len>.I<avg pattern
+//!   len>.D<n transactions>`. Drives the association-rule experiments.
+//! * [`gaussian`] — seeded Gaussian mixtures with controllable
+//!   separation, imbalance and background noise. Drives the clustering
+//!   experiments.
+//! * [`agrawal`] — the nine-attribute "people" schema and the ten
+//!   classification functions F1–F10 of Agrawal, Imielinski & Swami
+//!   (TKDE 1993). Drives the classification experiments.
+//! * [`noise`] — label-noise injection for robustness studies.
+//!
+//! Every generator takes an explicit seed and is fully deterministic.
+
+
+#![warn(missing_docs)]
+pub mod agrawal;
+pub mod distributions;
+pub mod gaussian;
+pub mod noise;
+pub mod quest;
+
+pub use agrawal::{AgrawalFunction, AgrawalGenerator};
+pub use gaussian::{ClusterSpec, GaussianMixture};
+pub use noise::flip_labels;
+pub use quest::{QuestConfig, QuestGenerator};

@@ -1,0 +1,109 @@
+//! Label-noise injection for robustness experiments.
+
+use dm_dataset::{DataError, Labels};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Returns a copy of `labels` where each label is independently replaced,
+/// with probability `rate`, by a *different* class chosen uniformly.
+///
+/// This is the classification-noise model of Quinlan's noise studies: a
+/// flipped label never stays the same, so `rate` is exactly the expected
+/// fraction of corrupted rows. Requires at least two classes when
+/// `rate > 0`.
+pub fn flip_labels(labels: &Labels, rate: f64, seed: u64) -> Result<Labels, DataError> {
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(DataError::InvalidParameter(format!(
+            "noise rate {rate} not in [0, 1]"
+        )));
+    }
+    let k = labels.n_classes() as u32;
+    if rate > 0.0 && k < 2 {
+        return Err(DataError::InvalidParameter(
+            "label flipping needs at least two classes".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let codes = labels
+        .codes()
+        .iter()
+        .map(|&c| {
+            if rate > 0.0 && rng.gen::<f64>() < rate {
+                // Pick uniformly among the other k-1 classes.
+                let mut alt = rng.gen_range(0..k - 1);
+                if alt >= c {
+                    alt += 1;
+                }
+                alt
+            } else {
+                c
+            }
+        })
+        .collect();
+    Labels::from_codes(codes, labels.dict().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_dataset::Dict;
+
+    fn labels(n: usize) -> Labels {
+        let dict = Dict::from_names(["a", "b", "c"]);
+        Labels::from_codes((0..n as u32).map(|i| i % 3).collect(), dict).unwrap()
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let l = labels(30);
+        let flipped = flip_labels(&l, 0.0, 1).unwrap();
+        assert_eq!(l.codes(), flipped.codes());
+    }
+
+    #[test]
+    fn full_rate_changes_every_label() {
+        let l = labels(100);
+        let flipped = flip_labels(&l, 1.0, 2).unwrap();
+        for (a, b) in l.codes().iter().zip(flipped.codes()) {
+            assert_ne!(a, b);
+            assert!(*b < 3);
+        }
+    }
+
+    #[test]
+    fn rate_approximates_fraction_flipped() {
+        let l = labels(5000);
+        let flipped = flip_labels(&l, 0.2, 3).unwrap();
+        let changed = l
+            .codes()
+            .iter()
+            .zip(flipped.codes())
+            .filter(|(a, b)| a != b)
+            .count();
+        let frac = changed as f64 / 5000.0;
+        assert!((frac - 0.2).abs() < 0.03, "flipped fraction {frac}");
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let l = labels(10);
+        assert!(flip_labels(&l, -0.1, 0).is_err());
+        assert!(flip_labels(&l, 1.1, 0).is_err());
+        let single = Labels::from_strs(["only", "only"]);
+        assert!(flip_labels(&single, 0.5, 0).is_err());
+        assert!(flip_labels(&single, 0.0, 0).is_ok());
+    }
+
+    #[test]
+    fn deterministic() {
+        let l = labels(200);
+        assert_eq!(
+            flip_labels(&l, 0.3, 9).unwrap().codes(),
+            flip_labels(&l, 0.3, 9).unwrap().codes()
+        );
+        assert_ne!(
+            flip_labels(&l, 0.3, 9).unwrap().codes(),
+            flip_labels(&l, 0.3, 10).unwrap().codes()
+        );
+    }
+}

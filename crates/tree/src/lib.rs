@@ -1,0 +1,51 @@
+//! # dm-tree
+//!
+//! Decision-tree classification in the lineage the survey covers:
+//!
+//! * [`DecisionTreeLearner`] — a top-down inducer supporting the three
+//!   classic split criteria ([`SplitCriterion::InfoGain`] as in ID3,
+//!   [`SplitCriterion::GainRatio`] as in C4.5, [`SplitCriterion::Gini`]
+//!   as in CART), numeric threshold splits, categorical splits
+//!   (multiway for the entropy criteria, binary one-vs-rest for Gini),
+//!   and missing-value routing to the majority child.
+//! * [`Pruning`] — reduced-error pruning on a holdout, or C4.5-style
+//!   pessimistic (error-based) pruning.
+//! * [`OneR`] — Holte's 1R single-attribute baseline.
+//! * [`BaggedTrees`] — Breiman's bootstrap-aggregated tree ensemble.
+//!
+//! ```
+//! use dm_synth::{AgrawalFunction, AgrawalGenerator};
+//! use dm_tree::{DecisionTreeLearner, SplitCriterion};
+//!
+//! let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F1, 500)
+//!     .unwrap()
+//!     .generate(42);
+//! let tree = DecisionTreeLearner::new()
+//!     .with_criterion(SplitCriterion::GainRatio)
+//!     .fit(&data, &labels)
+//!     .unwrap();
+//! let predictions = tree.predict(&data);
+//! let correct = predictions
+//!     .iter()
+//!     .zip(labels.codes())
+//!     .filter(|(p, t)| p == t)
+//!     .count();
+//! assert!(correct as f64 / 500.0 > 0.95);
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod criterion;
+pub mod ensemble;
+pub mod one_r;
+pub mod prune;
+pub mod rules;
+pub mod split;
+pub mod tree;
+
+pub use criterion::SplitCriterion;
+pub use ensemble::{BaggedTrees, BaggedTreesModel};
+pub use one_r::{OneR, OneRModel};
+pub use prune::Pruning;
+pub use rules::{extract_rules, rules_from_tree, ClassificationRule, Condition, RuleSet};
+pub use tree::{DecisionTree, DecisionTreeLearner, Node, SplitKind};

@@ -1,0 +1,273 @@
+//! Holte's 1R: the one-attribute rule baseline.
+//!
+//! 1R (Holte, *Machine Learning* 1993) builds, for every attribute, a
+//! rule mapping each attribute value to the majority class among rows
+//! with that value, then keeps the single attribute whose rule makes the
+//! fewest training errors. Numeric attributes are discretized with
+//! equal-frequency binning before rule construction. Famously "very
+//! simple classification rules perform well on most commonly used
+//! datasets" — the floor the tree experiments compare against.
+
+use dm_dataset::{
+    Column, DataError, Dataset, Discretizer, EqualFrequency, FittedDiscretizer, Labels,
+    MISSING_CODE,
+};
+
+/// 1R learner.
+#[derive(Debug, Clone)]
+pub struct OneR {
+    bins: usize,
+}
+
+impl Default for OneR {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OneR {
+    /// A 1R learner discretizing numeric attributes into 6 bins (a
+    /// typical setting in Holte's study).
+    pub fn new() -> Self {
+        Self { bins: 6 }
+    }
+
+    /// Overrides the numeric discretization bin count.
+    pub fn with_bins(mut self, bins: usize) -> Self {
+        self.bins = bins;
+        self
+    }
+
+    /// Trains the rule.
+    pub fn fit(&self, data: &Dataset, labels: &Labels) -> Result<OneRModel, DataError> {
+        if labels.len() != data.n_rows() {
+            return Err(DataError::LabelLengthMismatch {
+                labels: labels.len(),
+                rows: data.n_rows(),
+            });
+        }
+        if data.n_rows() == 0 {
+            return Err(DataError::Empty("training set"));
+        }
+        let n_classes = labels.n_classes();
+        let codes = labels.codes();
+        let overall_majority = labels.majority().unwrap_or(0);
+
+        let mut best: Option<OneRModel> = None;
+        let mut best_errors = usize::MAX;
+        for attr in 0..data.n_cols() {
+            // Reduce the column to per-row bucket codes.
+            let (buckets, discretizer, n_buckets) = match data.column(attr) {
+                Column::Numeric(values) => {
+                    let Ok(fitted) = EqualFrequency { bins: self.bins }.fit(values) else {
+                        continue; // all-missing column
+                    };
+                    let buckets: Vec<u32> = values
+                        .iter()
+                        .map(|&v| fitted.bin(v).unwrap_or(MISSING_CODE))
+                        .collect();
+                    let n = fitted.n_bins();
+                    (buckets, Some(fitted), n)
+                }
+                Column::Categorical { codes, dict } => {
+                    (codes.clone(), None, dict.len())
+                }
+            };
+            if n_buckets == 0 {
+                continue;
+            }
+            // Majority class per bucket.
+            let mut counts = vec![vec![0usize; n_classes]; n_buckets];
+            for (i, &b) in buckets.iter().enumerate() {
+                if b != MISSING_CODE {
+                    counts[b as usize][codes[i] as usize] += 1;
+                }
+            }
+            let rule: Vec<u32> = counts
+                .iter()
+                .map(|c| {
+                    c.iter()
+                        .enumerate()
+                        .max_by(|(ia, ca), (ib, cb)| ca.cmp(cb).then(ib.cmp(ia)))
+                        .map(|(i, _)| i as u32)
+                        .unwrap_or(overall_majority)
+                })
+                .collect();
+            // Training errors (missing rows predicted by overall majority).
+            let errors = buckets
+                .iter()
+                .enumerate()
+                .filter(|&(i, &b)| {
+                    let pred = if b == MISSING_CODE {
+                        overall_majority
+                    } else {
+                        rule[b as usize]
+                    };
+                    pred != codes[i]
+                })
+                .count();
+            if errors < best_errors {
+                best_errors = errors;
+                best = Some(OneRModel {
+                    attr,
+                    attr_name: data.attr(attr).name().to_owned(),
+                    discretizer,
+                    rule,
+                    default: overall_majority,
+                    training_errors: errors,
+                });
+            }
+        }
+        best.ok_or(DataError::Empty("usable attribute"))
+    }
+}
+
+/// A trained 1R rule: one attribute, a value→class table, a default.
+#[derive(Debug, Clone)]
+pub struct OneRModel {
+    attr: usize,
+    attr_name: String,
+    /// Present when the chosen attribute is numeric.
+    discretizer: Option<FittedDiscretizer>,
+    /// Bucket (or category code) → class.
+    rule: Vec<u32>,
+    /// Fallback class for missing/unseen values.
+    default: u32,
+    /// Errors the rule makes on its own training data.
+    training_errors: usize,
+}
+
+impl OneRModel {
+    /// The chosen attribute's column index.
+    pub fn attr(&self) -> usize {
+        self.attr
+    }
+
+    /// The chosen attribute's name.
+    pub fn attr_name(&self) -> &str {
+        &self.attr_name
+    }
+
+    /// Training errors of the winning rule.
+    pub fn training_errors(&self) -> usize {
+        self.training_errors
+    }
+
+    /// Predicts row `i` of `data`.
+    pub fn predict_row(&self, data: &Dataset, i: usize) -> u32 {
+        let bucket = match (data.value(i, self.attr), &self.discretizer) {
+            (dm_dataset::Value::Num(x), Some(d)) => d.bin(x),
+            (dm_dataset::Value::Cat(c), None) => Some(c),
+            _ => None,
+        };
+        match bucket {
+            Some(b) if (b as usize) < self.rule.len() => self.rule[b as usize],
+            _ => self.default,
+        }
+    }
+
+    /// Predicts every row of `data`.
+    pub fn predict(&self, data: &Dataset) -> Vec<u32> {
+        (0..data.n_rows()).map(|i| self.predict_row(data, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_synth::{AgrawalFunction, AgrawalGenerator};
+
+    #[test]
+    fn picks_the_single_informative_attribute() {
+        let data = Dataset::from_columns(
+            "t",
+            vec![
+                ("noise".into(), Column::from_strings(["p", "q", "p", "q"])),
+                ("signal".into(), Column::from_strings(["a", "a", "b", "b"])),
+            ],
+        )
+        .unwrap();
+        let labels = Labels::from_strs(["x", "x", "y", "y"]);
+        let model = OneR::new().fit(&data, &labels).unwrap();
+        assert_eq!(model.attr_name(), "signal");
+        assert_eq!(model.training_errors(), 0);
+        assert_eq!(model.predict(&data), labels.codes());
+    }
+
+    #[test]
+    fn discretizes_numeric_attributes() {
+        // F1 depends only on age; 1R with enough bins should capture the
+        // two cut points approximately.
+        let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F1, 1500)
+            .unwrap()
+            .generate(5);
+        let model = OneR::new().with_bins(12).fit(&data, &labels).unwrap();
+        assert_eq!(model.attr_name(), "age");
+        let acc = model
+            .predict(&data)
+            .iter()
+            .zip(labels.codes())
+            .filter(|(p, t)| p == t)
+            .count() as f64
+            / 1500.0;
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn weaker_than_trees_on_conjunctive_functions() {
+        use crate::{DecisionTreeLearner, SplitCriterion};
+        let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F2, 1200)
+            .unwrap()
+            .generate(6);
+        let (test, test_l) = AgrawalGenerator::new(AgrawalFunction::F2, 600)
+            .unwrap()
+            .generate(7);
+        let oner = OneR::new().fit(&data, &labels).unwrap();
+        let tree = DecisionTreeLearner::new()
+            .with_criterion(SplitCriterion::GainRatio)
+            .fit(&data, &labels)
+            .unwrap();
+        let acc = |pred: &[u32]| {
+            pred.iter()
+                .zip(test_l.codes())
+                .filter(|(p, t)| p == t)
+                .count() as f64
+                / 600.0
+        };
+        let a1 = acc(&oner.predict(&test));
+        let a2 = acc(&tree.predict(&test));
+        assert!(a2 > a1 + 0.05, "tree {a2} vs 1R {a1}");
+    }
+
+    #[test]
+    fn unseen_and_missing_fall_back_to_default() {
+        let data = Dataset::from_columns(
+            "t",
+            vec![("c".into(), Column::from_strings(["a", "a", "b"]))],
+        )
+        .unwrap();
+        let labels = Labels::from_strs(["x", "x", "y"]);
+        let model = OneR::new().fit(&data, &labels).unwrap();
+        let test = Dataset::from_columns(
+            "t",
+            vec![(
+                "c".into(),
+                Column::from_strings_opt([Some("zzz"), None]),
+            )],
+        )
+        .unwrap();
+        let p = model.predict(&test);
+        assert_eq!(p, vec![0, 0]); // overall majority is "x"
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let data = Dataset::from_columns(
+            "t",
+            vec![("x".into(), Column::from_numeric(vec![1.0]))],
+        )
+        .unwrap();
+        let short = Labels::from_strs(["a", "b"]);
+        assert!(OneR::new().fit(&data, &short).is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! Post-growth pruning strategies.
+
+use crate::tree::{DecisionTree, Node};
+use dm_dataset::Dataset;
+
+/// Pruning strategy applied after the tree is grown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pruning {
+    /// Keep the full tree.
+    None,
+    /// Reduced-error pruning (Quinlan 1987): hold out `fraction` of the
+    /// training rows; bottom-up, replace any subtree whose majority leaf
+    /// would make no more holdout errors than the subtree does.
+    ReducedError {
+        /// Fraction of rows held out for pruning, in `[0, 1)`.
+        fraction: f64,
+        /// Shuffle seed for the holdout selection.
+        seed: u64,
+    },
+    /// Pessimistic (error-based) pruning as in C4.5: compare the
+    /// subtree's summed upper-bound error estimate against the estimate
+    /// of the node collapsed to a leaf. The bound is the exact binomial
+    /// upper confidence limit at confidence factor `cf` (C4.5's default
+    /// is 0.25); smaller `cf` prunes more aggressively.
+    Pessimistic {
+        /// Confidence factor in `(0, 1)`; C4.5 default 0.25.
+        cf: f64,
+    },
+}
+
+/// Exact binomial upper confidence limit, as used by C4.5: the largest
+/// error probability `p` such that observing `errors` or fewer errors in
+/// `n` cases still has probability ≥ `cf`. Solved by bisection on the
+/// binomial CDF. Returns the *expected error count* `n · p`.
+fn ucb_errors(errors: usize, n: usize, cf: f64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    if errors >= n {
+        return n as f64;
+    }
+    // CDF P(X <= errors; n, p), computed with incremental log terms.
+    let cdf = |p: f64| -> f64 {
+        if p <= 0.0 {
+            return 1.0;
+        }
+        if p >= 1.0 {
+            return if errors == n { 1.0 } else { 0.0 };
+        }
+        let (lp, lq) = (p.ln(), (1.0 - p).ln());
+        // log C(n, 0) = 0.
+        let mut log_binom = 0.0f64;
+        let mut total = 0.0f64;
+        for i in 0..=errors {
+            if i > 0 {
+                log_binom += ((n - i + 1) as f64).ln() - (i as f64).ln();
+            }
+            total += (log_binom + i as f64 * lp + (n - i) as f64 * lq).exp();
+        }
+        total.min(1.0)
+    };
+    // p is in [errors/n, 1]; CDF is decreasing in p.
+    let (mut lo, mut hi) = (errors as f64 / n as f64, 1.0f64);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if cdf(mid) > cf {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    n as f64 * 0.5 * (lo + hi)
+}
+
+/// Applies pessimistic pruning in place.
+pub fn pessimistic(tree: &mut DecisionTree, cf: f64) {
+    prune_pessimistic(tree, tree.root, cf);
+}
+
+/// Returns the subtree's estimated error count after (possible) pruning.
+fn prune_pessimistic(tree: &mut DecisionTree, id: usize, cf: f64) -> f64 {
+    let (children, majority, counts) = match &tree.nodes[id] {
+        Node::Leaf { counts, .. } => {
+            let n: usize = counts.iter().sum();
+            let errors = n - counts.iter().max().copied().unwrap_or(0);
+            return ucb_errors(errors, n, cf);
+        }
+        Node::Split {
+            children,
+            majority,
+            counts,
+            ..
+        } => (children.clone(), *majority, counts.clone()),
+    };
+    let subtree_est: f64 = children
+        .iter()
+        .map(|&c| prune_pessimistic(tree, c, cf))
+        .sum();
+    let n: usize = counts.iter().sum();
+    let errors = n - counts.iter().max().copied().unwrap_or(0);
+    let leaf_est = ucb_errors(errors, n, cf);
+    if leaf_est <= subtree_est {
+        tree.nodes[id] = Node::Leaf {
+            class: majority,
+            counts,
+        };
+        leaf_est
+    } else {
+        subtree_est
+    }
+}
+
+/// Applies reduced-error pruning in place using the holdout rows.
+pub fn reduced_error(tree: &mut DecisionTree, data: &Dataset, codes: &[u32], holdout: &[usize]) {
+    prune_reduced(tree, tree.root, data, codes, holdout);
+}
+
+/// Returns the subtree's holdout error count after (possible) pruning.
+fn prune_reduced(
+    tree: &mut DecisionTree,
+    id: usize,
+    data: &Dataset,
+    codes: &[u32],
+    rows: &[usize],
+) -> usize {
+    let (attr, spec, children, default_child, majority, counts) = match &tree.nodes[id] {
+        Node::Leaf { class, .. } => {
+            return rows.iter().filter(|&&i| codes[i] != *class).count();
+        }
+        Node::Split {
+            attr,
+            spec,
+            children,
+            default_child,
+            majority,
+            counts,
+        } => (
+            *attr,
+            spec.clone(),
+            children.clone(),
+            *default_child,
+            *majority,
+            counts.clone(),
+        ),
+    };
+    // Route the holdout rows down the split.
+    let mut child_rows: Vec<Vec<usize>> = vec![Vec::new(); spec.arity()];
+    let col = data.column(attr);
+    for &i in rows {
+        let child = spec
+            .route(col.get(i).expect("row in range"))
+            .unwrap_or(default_child);
+        child_rows[child].push(i);
+    }
+    let subtree_errors: usize = children
+        .iter()
+        .zip(&child_rows)
+        .map(|(&c, rows)| prune_reduced(tree, c, data, codes, rows))
+        .sum();
+    let leaf_errors = rows.iter().filter(|&&i| codes[i] != majority).count();
+    if leaf_errors <= subtree_errors {
+        tree.nodes[id] = Node::Leaf {
+            class: majority,
+            counts,
+        };
+        leaf_errors
+    } else {
+        subtree_errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DecisionTreeLearner;
+    use dm_synth::{flip_labels, AgrawalFunction, AgrawalGenerator};
+
+    #[test]
+    fn ucb_is_pessimistic_and_shrinks_with_n() {
+        // Zero observed errors still estimate positive error mass.
+        assert!(ucb_errors(0, 10, 0.25) > 0.0);
+        // The bound exceeds the observed errors.
+        assert!(ucb_errors(3, 10, 0.25) > 3.0);
+        // Rate bound tightens as n grows (per-case estimate falls).
+        let small = ucb_errors(1, 10, 0.25) / 10.0;
+        let large = ucb_errors(10, 100, 0.25) / 100.0;
+        assert!(large < small);
+        // Degenerate cases.
+        assert_eq!(ucb_errors(0, 0, 0.25), 0.0);
+        assert_eq!(ucb_errors(5, 5, 0.25), 5.0);
+    }
+
+    #[test]
+    fn ucb_matches_c45_closed_form_at_zero_errors() {
+        // For e = 0 the exact bound solves (1-p)^n = cf, i.e.
+        // p = 1 - cf^(1/n) — the closed form quoted by Quinlan.
+        for n in [1usize, 3, 10, 50] {
+            let expected = 1.0 - 0.25f64.powf(1.0 / n as f64);
+            let got = ucb_errors(0, n, 0.25) / n as f64;
+            assert!((got - expected).abs() < 1e-9, "n={n}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn smaller_cf_prunes_more() {
+        let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F5, 500)
+            .unwrap()
+            .generate(13);
+        let noisy = flip_labels(&labels, 0.2, 3).unwrap();
+        let gentle = DecisionTreeLearner::new()
+            .with_pruning(Pruning::Pessimistic { cf: 0.9 })
+            .fit(&data, &noisy)
+            .unwrap();
+        let aggressive = DecisionTreeLearner::new()
+            .with_pruning(Pruning::Pessimistic { cf: 0.01 })
+            .fit(&data, &noisy)
+            .unwrap();
+        assert!(aggressive.n_nodes() <= gentle.n_nodes());
+    }
+
+    #[test]
+    fn reduced_error_prunes_noise_overfit() {
+        let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F1, 600)
+            .unwrap()
+            .generate(17);
+        let noisy = flip_labels(&labels, 0.25, 8).unwrap();
+        let unpruned = DecisionTreeLearner::new().fit(&data, &noisy).unwrap();
+        let pruned = DecisionTreeLearner::new()
+            .with_pruning(Pruning::ReducedError {
+                fraction: 0.33,
+                seed: 2,
+            })
+            .fit(&data, &noisy)
+            .unwrap();
+        assert!(
+            pruned.n_nodes() < unpruned.n_nodes() * 7 / 10,
+            "pruned {} vs unpruned {}",
+            pruned.n_nodes(),
+            unpruned.n_nodes()
+        );
+    }
+
+    #[test]
+    fn pruning_keeps_a_clean_tree_intact() {
+        // Noise-free, strongly learnable data: pessimistic pruning should
+        // not collapse the tree to a stump.
+        let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F1, 500)
+            .unwrap()
+            .generate(19);
+        let pruned = DecisionTreeLearner::new()
+            .with_pruning(Pruning::Pessimistic { cf: 0.25 })
+            .fit(&data, &labels)
+            .unwrap();
+        let acc = pruned
+            .predict(&data)
+            .iter()
+            .zip(labels.codes())
+            .filter(|(p, t)| p == t)
+            .count() as f64
+            / 500.0;
+        assert!(acc > 0.95, "over-pruned: accuracy {acc}");
+        assert!(pruned.n_nodes() > 1);
+    }
+}

@@ -1,0 +1,409 @@
+//! Rule extraction from decision trees, after C4.5rules (Quinlan 1993):
+//! every root-to-leaf path becomes an IF-THEN classification rule, each
+//! rule is greedily generalized by dropping conditions that do not
+//! increase its pessimistic error estimate, and the resulting list is
+//! ordered by estimated accuracy with a majority-class default.
+//!
+//! Rules are the interpretable artifact the decision-tree literature
+//! sells: `credit_scoring`-style applications read them directly.
+
+use crate::tree::{DecisionTree, Node};
+use crate::SplitKind;
+use dm_dataset::{DataError, Dataset, Labels, Value};
+use std::fmt;
+
+/// One atomic test over a single attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// Numeric `attr <= threshold`.
+    NumLe {
+        /// Attribute index.
+        attr: usize,
+        /// Inclusive upper bound.
+        threshold: f64,
+    },
+    /// Numeric `attr > threshold`.
+    NumGt {
+        /// Attribute index.
+        attr: usize,
+        /// Exclusive lower bound.
+        threshold: f64,
+    },
+    /// Categorical `attr == category`.
+    CatEq {
+        /// Attribute index.
+        attr: usize,
+        /// Required category code.
+        category: u32,
+    },
+    /// Categorical `attr != category`.
+    CatNe {
+        /// Attribute index.
+        attr: usize,
+        /// Excluded category code.
+        category: u32,
+    },
+}
+
+impl Condition {
+    /// Whether row `i` of `data` satisfies the condition. Missing values
+    /// satisfy nothing (the conservative reading).
+    pub fn matches(&self, data: &Dataset, i: usize) -> bool {
+        match (self, data.value(i, self.attr())) {
+            (Condition::NumLe { threshold, .. }, Value::Num(x)) => x <= *threshold,
+            (Condition::NumGt { threshold, .. }, Value::Num(x)) => x > *threshold,
+            (Condition::CatEq { category, .. }, Value::Cat(c)) => c == *category,
+            (Condition::CatNe { category, .. }, Value::Cat(c)) => c != *category,
+            _ => false,
+        }
+    }
+
+    /// The tested attribute.
+    pub fn attr(&self) -> usize {
+        match self {
+            Condition::NumLe { attr, .. }
+            | Condition::NumGt { attr, .. }
+            | Condition::CatEq { attr, .. }
+            | Condition::CatNe { attr, .. } => *attr,
+        }
+    }
+}
+
+/// An IF-THEN classification rule with its training statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassificationRule {
+    /// Conjunctive conditions (empty = always fires).
+    pub conditions: Vec<Condition>,
+    /// Predicted class code.
+    pub class: u32,
+    /// Training rows matching the conditions.
+    pub coverage: usize,
+    /// Matching rows whose label equals `class`.
+    pub correct: usize,
+}
+
+impl ClassificationRule {
+    /// Training accuracy of the rule (1.0 when it covers nothing).
+    pub fn accuracy(&self) -> f64 {
+        if self.coverage == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.coverage as f64
+        }
+    }
+
+    /// Whether row `i` satisfies all conditions.
+    pub fn matches(&self, data: &Dataset, i: usize) -> bool {
+        self.conditions.iter().all(|c| c.matches(data, i))
+    }
+}
+
+impl fmt::Display for ClassificationRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.conditions.is_empty() {
+            write!(f, "IF true")?;
+        } else {
+            write!(f, "IF ")?;
+            for (i, c) in self.conditions.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                match c {
+                    Condition::NumLe { attr, threshold } => {
+                        write!(f, "a{attr} <= {threshold:.4}")?
+                    }
+                    Condition::NumGt { attr, threshold } => {
+                        write!(f, "a{attr} > {threshold:.4}")?
+                    }
+                    Condition::CatEq { attr, category } => write!(f, "a{attr} == #{category}")?,
+                    Condition::CatNe { attr, category } => write!(f, "a{attr} != #{category}")?,
+                }
+            }
+        }
+        write!(
+            f,
+            " THEN class {} ({}/{} correct)",
+            self.class, self.correct, self.coverage
+        )
+    }
+}
+
+/// An ordered rule list with a default class.
+#[derive(Debug, Clone)]
+pub struct RuleSet {
+    /// Rules tried in order; the first match predicts.
+    pub rules: Vec<ClassificationRule>,
+    /// Fallback class when no rule fires.
+    pub default_class: u32,
+}
+
+impl RuleSet {
+    /// Predicts row `i`.
+    pub fn predict_row(&self, data: &Dataset, i: usize) -> u32 {
+        for rule in &self.rules {
+            if rule.matches(data, i) {
+                return rule.class;
+            }
+        }
+        self.default_class
+    }
+
+    /// Predicts every row.
+    pub fn predict(&self, data: &Dataset) -> Vec<u32> {
+        (0..data.n_rows()).map(|i| self.predict_row(data, i)).collect()
+    }
+}
+
+/// Extracts the raw path rules of a tree (no simplification).
+pub fn extract_rules(tree: &DecisionTree) -> Vec<ClassificationRule> {
+    let mut out = Vec::new();
+    let mut path: Vec<Condition> = Vec::new();
+    walk(tree, tree.root_id(), &mut path, &mut out);
+    out
+}
+
+fn walk(
+    tree: &DecisionTree,
+    id: usize,
+    path: &mut Vec<Condition>,
+    out: &mut Vec<ClassificationRule>,
+) {
+    match tree.node(id) {
+        Node::Leaf { class, counts } => {
+            let coverage: usize = counts.iter().sum();
+            out.push(ClassificationRule {
+                conditions: path.clone(),
+                class: *class,
+                coverage,
+                correct: counts.get(*class as usize).copied().unwrap_or(0),
+            });
+        }
+        Node::Split {
+            attr,
+            spec,
+            children,
+            ..
+        } => match spec {
+            SplitKind::NumericThreshold { threshold } => {
+                path.push(Condition::NumLe {
+                    attr: *attr,
+                    threshold: *threshold,
+                });
+                walk(tree, children[0], path, out);
+                path.pop();
+                path.push(Condition::NumGt {
+                    attr: *attr,
+                    threshold: *threshold,
+                });
+                walk(tree, children[1], path, out);
+                path.pop();
+            }
+            SplitKind::CategoricalMultiway { categories } => {
+                for (ci, &cat) in categories.iter().enumerate() {
+                    path.push(Condition::CatEq {
+                        attr: *attr,
+                        category: cat,
+                    });
+                    walk(tree, children[ci], path, out);
+                    path.pop();
+                }
+            }
+            SplitKind::CategoricalEquals { category } => {
+                path.push(Condition::CatEq {
+                    attr: *attr,
+                    category: *category,
+                });
+                walk(tree, children[0], path, out);
+                path.pop();
+                path.push(Condition::CatNe {
+                    attr: *attr,
+                    category: *category,
+                });
+                walk(tree, children[1], path, out);
+                path.pop();
+            }
+        },
+    }
+}
+
+/// Builds a simplified, ordered [`RuleSet`] from a tree and its training
+/// data: per rule, conditions whose removal does not reduce training
+/// accuracy on the rows the rule covers are dropped greedily (the
+/// C4.5rules generalization step, using raw accuracy rather than the
+/// pessimistic bound for transparency); rules are then ordered by
+/// (accuracy, coverage) descending.
+pub fn rules_from_tree(
+    tree: &DecisionTree,
+    data: &Dataset,
+    labels: &Labels,
+) -> Result<RuleSet, DataError> {
+    if labels.len() != data.n_rows() {
+        return Err(DataError::LabelLengthMismatch {
+            labels: labels.len(),
+            rows: data.n_rows(),
+        });
+    }
+    let codes = labels.codes();
+    let score = |conditions: &[Condition], class: u32| -> (usize, usize) {
+        let mut coverage = 0usize;
+        let mut correct = 0usize;
+        for i in 0..data.n_rows() {
+            if conditions.iter().all(|c| c.matches(data, i)) {
+                coverage += 1;
+                if codes[i] == class {
+                    correct += 1;
+                }
+            }
+        }
+        (coverage, correct)
+    };
+
+    let mut rules = extract_rules(tree);
+    for rule in &mut rules {
+        let (cov, cor) = score(&rule.conditions, rule.class);
+        rule.coverage = cov;
+        rule.correct = cor;
+        // Greedy condition dropping.
+        let mut improved = true;
+        while improved && !rule.conditions.is_empty() {
+            improved = false;
+            for skip in 0..rule.conditions.len() {
+                let mut trial = rule.conditions.clone();
+                trial.remove(skip);
+                let (cov, cor) = score(&trial, rule.class);
+                let trial_acc = if cov == 0 { 0.0 } else { cor as f64 / cov as f64 };
+                if trial_acc >= rule.accuracy() - 1e-12 {
+                    rule.conditions = trial;
+                    rule.coverage = cov;
+                    rule.correct = cor;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+    }
+    // Deduplicate identical rules produced by the simplification.
+    rules.sort_by(|a, b| {
+        b.accuracy()
+            .partial_cmp(&a.accuracy())
+            .expect("finite")
+            .then(b.coverage.cmp(&a.coverage))
+    });
+    rules.dedup_by(|a, b| a.conditions == b.conditions && a.class == b.class);
+
+    Ok(RuleSet {
+        rules,
+        default_class: labels.majority().unwrap_or(0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DecisionTreeLearner;
+    use dm_dataset::Column;
+    use dm_synth::{AgrawalFunction, AgrawalGenerator};
+
+    fn simple() -> (Dataset, Labels) {
+        let ds = Dataset::from_columns(
+            "t",
+            vec![(
+                "x".into(),
+                Column::from_numeric(vec![1.0, 2.0, 3.0, 10.0, 11.0, 12.0]),
+            )],
+        )
+        .unwrap();
+        (ds, Labels::from_strs(["a", "a", "a", "b", "b", "b"]))
+    }
+
+    #[test]
+    fn one_rule_per_leaf() {
+        let (data, labels) = simple();
+        let tree = DecisionTreeLearner::new().fit(&data, &labels).unwrap();
+        let rules = extract_rules(&tree);
+        assert_eq!(rules.len(), tree.n_leaves());
+        // Both rules are pure on the training data.
+        for r in &rules {
+            assert_eq!(r.correct, r.coverage);
+        }
+    }
+
+    #[test]
+    fn ruleset_predicts_like_the_tree() {
+        let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F2, 600)
+            .unwrap()
+            .generate(7);
+        let tree = DecisionTreeLearner::new().fit(&data, &labels).unwrap();
+        let rules = rules_from_tree(&tree, &data, &labels).unwrap();
+        let rule_pred = rules.predict(&data);
+        let tree_pred = tree.predict(&data);
+        let agree = rule_pred
+            .iter()
+            .zip(&tree_pred)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / 600.0;
+        // Simplification may change a few boundary predictions but the
+        // rule list must stay essentially equivalent on training data.
+        assert!(agree > 0.95, "agreement {agree}");
+        let acc = rule_pred
+            .iter()
+            .zip(labels.codes())
+            .filter(|(p, t)| p == t)
+            .count() as f64
+            / 600.0;
+        assert!(acc > 0.9, "rule accuracy {acc}");
+    }
+
+    #[test]
+    fn simplification_drops_redundant_conditions() {
+        let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F1, 800)
+            .unwrap()
+            .generate(9);
+        let tree = DecisionTreeLearner::new().fit(&data, &labels).unwrap();
+        let raw: usize = extract_rules(&tree).iter().map(|r| r.conditions.len()).sum();
+        let simplified: usize = rules_from_tree(&tree, &data, &labels)
+            .unwrap()
+            .rules
+            .iter()
+            .map(|r| r.conditions.len())
+            .sum();
+        assert!(
+            simplified < raw,
+            "no conditions dropped: {simplified} vs {raw}"
+        );
+    }
+
+    #[test]
+    fn default_class_handles_uncovered_rows() {
+        let (data, labels) = simple();
+        let tree = DecisionTreeLearner::new().fit(&data, &labels).unwrap();
+        let rules = rules_from_tree(&tree, &data, &labels).unwrap();
+        // A row with a missing value satisfies no condition.
+        let test = Dataset::from_columns(
+            "t",
+            vec![("x".into(), Column::from_numeric(vec![f64::NAN]))],
+        )
+        .unwrap();
+        let p = rules.predict(&test);
+        assert_eq!(p[0], rules.default_class);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let (data, labels) = simple();
+        let tree = DecisionTreeLearner::new().fit(&data, &labels).unwrap();
+        let rules = rules_from_tree(&tree, &data, &labels).unwrap();
+        let text = rules.rules[0].to_string();
+        assert!(text.starts_with("IF "));
+        assert!(text.contains("THEN class"));
+    }
+
+    #[test]
+    fn validates_label_length() {
+        let (data, labels) = simple();
+        let tree = DecisionTreeLearner::new().fit(&data, &labels).unwrap();
+        let short = Labels::from_strs(["a"]);
+        assert!(rules_from_tree(&tree, &data, &short).is_err());
+    }
+}

@@ -1,0 +1,423 @@
+//! Split search: finding the best attribute test for a node.
+
+use crate::criterion::SplitCriterion;
+use dm_dataset::{Column, Dataset};
+
+/// A concrete attribute test, before it is wired into tree nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SplitSpec {
+    /// `value <= threshold` goes left, `> threshold` right.
+    NumericThreshold {
+        /// The split threshold (a midpoint between observed values).
+        threshold: f64,
+    },
+    /// One child per listed category code (the codes observed at this
+    /// node, ascending).
+    CategoricalMultiway {
+        /// Category codes with a dedicated child, ascending.
+        categories: Vec<u32>,
+    },
+    /// Binary test `value == category` (CART-style one-vs-rest).
+    CategoricalEquals {
+        /// The singled-out category code.
+        category: u32,
+    },
+}
+
+impl SplitSpec {
+    /// Number of children this split produces.
+    pub fn arity(&self) -> usize {
+        match self {
+            SplitSpec::NumericThreshold { .. } | SplitSpec::CategoricalEquals { .. } => 2,
+            SplitSpec::CategoricalMultiway { categories } => categories.len(),
+        }
+    }
+
+    /// Child index for a non-missing cell value, or `None` when the value
+    /// has no dedicated child (unseen category).
+    pub fn route(&self, value: dm_dataset::Value) -> Option<usize> {
+        match (self, value) {
+            (SplitSpec::NumericThreshold { threshold }, dm_dataset::Value::Num(x)) => {
+                Some(usize::from(x > *threshold))
+            }
+            (SplitSpec::CategoricalMultiway { categories }, dm_dataset::Value::Cat(c)) => {
+                categories.binary_search(&c).ok()
+            }
+            (SplitSpec::CategoricalEquals { category }, dm_dataset::Value::Cat(c)) => {
+                Some(usize::from(c != *category))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The winning split for a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateSplit {
+    /// Attribute (column) index.
+    pub attr: usize,
+    /// The attribute test.
+    pub spec: SplitSpec,
+    /// Criterion score (higher is better, > 0).
+    pub score: f64,
+    /// Raw impurity decrease (information gain for the entropy criteria,
+    /// Gini decrease for CART). Equals `score` except under
+    /// [`SplitCriterion::GainRatio`].
+    pub gain: f64,
+}
+
+/// Searches all attributes for the best split of `rows` under
+/// `criterion`. Returns `None` when no split has positive score or every
+/// candidate would leave an empty child.
+///
+/// Two C4.5 safeguards apply under [`SplitCriterion::GainRatio`]: the
+/// threshold of a numeric attribute is chosen by raw information gain
+/// (only the final cross-attribute comparison uses the ratio), and an
+/// attribute competes only if its raw gain is at least the average
+/// positive gain of all candidate attributes. Without these, gain ratio
+/// famously degenerates into single-row-peeling splits (tiny gain over
+/// even tinier split information).
+pub fn best_split(
+    data: &Dataset,
+    labels: &[u32],
+    rows: &[usize],
+    n_classes: usize,
+    criterion: SplitCriterion,
+) -> Option<CandidateSplit> {
+    let mut candidates: Vec<CandidateSplit> = Vec::new();
+    for attr in 0..data.n_cols() {
+        match data.column(attr) {
+            Column::Numeric(values) => {
+                if let Some(c) = best_numeric_split(values, labels, rows, n_classes, criterion) {
+                    candidates.push(CandidateSplit { attr, ..c });
+                }
+            }
+            Column::Categorical { codes, .. } => {
+                for c in categorical_splits(codes, labels, rows, n_classes, criterion) {
+                    candidates.push(CandidateSplit { attr, ..c });
+                }
+            }
+        }
+    }
+    candidates.retain(|c| c.score > 1e-12 && c.gain > 1e-12);
+    if candidates.is_empty() {
+        return None;
+    }
+    if criterion == SplitCriterion::GainRatio {
+        // "At least average gain" constraint.
+        let mean_gain =
+            candidates.iter().map(|c| c.gain).sum::<f64>() / candidates.len() as f64;
+        let admissible: Vec<&CandidateSplit> = candidates
+            .iter()
+            .filter(|c| c.gain >= mean_gain - 1e-12)
+            .collect();
+        return admissible
+            .into_iter()
+            .max_by(|a, b| a.score.partial_cmp(&b.score).expect("finite"))
+            .cloned();
+    }
+    candidates
+        .into_iter()
+        .max_by(|a, b| a.score.partial_cmp(&b.score).expect("finite"))
+}
+
+fn best_numeric_split(
+    values: &[f64],
+    labels: &[u32],
+    rows: &[usize],
+    n_classes: usize,
+    criterion: SplitCriterion,
+) -> Option<CandidateSplit> {
+    // Collect non-missing (value, class) pairs and sort by value.
+    let mut pairs: Vec<(f64, u32)> = rows
+        .iter()
+        .filter_map(|&i| {
+            let v = values[i];
+            if v.is_nan() {
+                None
+            } else {
+                Some((v, labels[i]))
+            }
+        })
+        .collect();
+    if pairs.len() < 2 {
+        return None;
+    }
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN after filter"));
+
+    let mut total = vec![0usize; n_classes];
+    for &(_, c) in &pairs {
+        total[c as usize] += 1;
+    }
+    // Under GainRatio the *threshold* is picked by raw gain (C4.5's
+    // rule); the ratio only enters the cross-attribute comparison.
+    let pick_by = match criterion {
+        SplitCriterion::GainRatio => SplitCriterion::InfoGain,
+        other => other,
+    };
+    let mut left = vec![0usize; n_classes];
+    let mut best: Option<(f64, f64, Vec<usize>)> = None; // (threshold, pick score, left counts)
+    for w in 0..pairs.len() - 1 {
+        left[pairs[w].1 as usize] += 1;
+        let (v, next) = (pairs[w].0, pairs[w + 1].0);
+        if v == next {
+            continue; // can only split between distinct values
+        }
+        let right: Vec<usize> = total
+            .iter()
+            .zip(&left)
+            .map(|(&t, &l)| t - l)
+            .collect();
+        let score = pick_by.score(&total, &[left.clone(), right]);
+        if score > 1e-12 && best.as_ref().is_none_or(|&(_, s, _)| score > s) {
+            best = Some((v + (next - v) / 2.0, score, left.clone()));
+        }
+    }
+    best.map(|(threshold, pick_score, left)| {
+        let right: Vec<usize> = total.iter().zip(&left).map(|(&t, &l)| t - l).collect();
+        let children = [left, right];
+        let (score, gain) = match criterion {
+            SplitCriterion::GainRatio => (
+                criterion.score(&total, &children),
+                pick_score, // the raw information gain
+            ),
+            _ => (pick_score, pick_score),
+        };
+        CandidateSplit {
+            attr: usize::MAX, // filled by caller
+            spec: SplitSpec::NumericThreshold { threshold },
+            score,
+            gain,
+        }
+    })
+}
+
+fn categorical_splits(
+    codes: &[u32],
+    labels: &[u32],
+    rows: &[usize],
+    n_classes: usize,
+    criterion: SplitCriterion,
+) -> Vec<CandidateSplit> {
+    use std::collections::BTreeMap;
+    // Class counts per observed category (missing excluded).
+    let mut per_cat: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    let mut total = vec![0usize; n_classes];
+    for &i in rows {
+        let code = codes[i];
+        if code == dm_dataset::MISSING_CODE {
+            continue;
+        }
+        per_cat
+            .entry(code)
+            .or_insert_with(|| vec![0; n_classes])[labels[i] as usize] += 1;
+        total[labels[i] as usize] += 1;
+    }
+    if per_cat.len() < 2 {
+        return Vec::new();
+    }
+    let categories: Vec<u32> = per_cat.keys().copied().collect();
+    let children: Vec<Vec<usize>> = per_cat.values().cloned().collect();
+    let mut out = Vec::new();
+    match criterion {
+        SplitCriterion::InfoGain | SplitCriterion::GainRatio => {
+            let score = criterion.score(&total, &children);
+            let gain = SplitCriterion::InfoGain.score(&total, &children);
+            out.push(CandidateSplit {
+                attr: usize::MAX,
+                spec: SplitSpec::CategoricalMultiway { categories },
+                score,
+                gain,
+            });
+        }
+        SplitCriterion::Gini => {
+            // CART: best one-vs-rest binary partition.
+            for (idx, &cat) in categories.iter().enumerate() {
+                let inside = children[idx].clone();
+                let outside: Vec<usize> = total
+                    .iter()
+                    .zip(&inside)
+                    .map(|(&t, &i)| t - i)
+                    .collect();
+                let score = criterion.score(&total, &[inside, outside]);
+                out.push(CandidateSplit {
+                    attr: usize::MAX,
+                    spec: SplitSpec::CategoricalEquals { category: cat },
+                    score,
+                    gain: score,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Partitions `rows` by `spec` on attribute `attr`. Missing values and
+/// unseen categories go to the largest child (the "default child"),
+/// whose index is returned alongside.
+pub fn partition(
+    data: &Dataset,
+    attr: usize,
+    spec: &SplitSpec,
+    rows: &[usize],
+) -> (Vec<Vec<usize>>, usize) {
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spec.arity()];
+    let mut unrouted: Vec<usize> = Vec::new();
+    let col = data.column(attr);
+    for &i in rows {
+        match spec.route(col.get(i).expect("row in range")) {
+            Some(child) => children[child].push(i),
+            None => unrouted.push(i),
+        }
+    }
+    let default_child = children
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, c)| c.len())
+        .map(|(i, _)| i)
+        .expect("arity >= 2");
+    children[default_child].extend(unrouted);
+    (children, default_child)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_dataset::{Column, Dataset};
+
+    fn ds(cols: Vec<(String, Column)>) -> Dataset {
+        Dataset::from_columns("t", cols).unwrap()
+    }
+
+    #[test]
+    fn numeric_split_finds_clean_threshold() {
+        let data = ds(vec![(
+            "x".into(),
+            Column::from_numeric(vec![1.0, 2.0, 3.0, 10.0, 11.0, 12.0]),
+        )]);
+        let labels = [0u32, 0, 0, 1, 1, 1];
+        let rows: Vec<usize> = (0..6).collect();
+        let best = best_split(&data, &labels, &rows, 2, SplitCriterion::InfoGain).unwrap();
+        assert_eq!(best.attr, 0);
+        match best.spec {
+            SplitSpec::NumericThreshold { threshold } => {
+                assert!((threshold - 6.5).abs() < 1e-12)
+            }
+            ref other => panic!("unexpected split {other:?}"),
+        }
+        assert!((best.score - 1.0).abs() < 1e-12); // full bit of information
+    }
+
+    #[test]
+    fn categorical_multiway_split() {
+        let data = ds(vec![(
+            "c".into(),
+            Column::from_strings(["a", "a", "b", "b", "c", "c"]),
+        )]);
+        let labels = [0u32, 0, 1, 1, 0, 1];
+        let rows: Vec<usize> = (0..6).collect();
+        let best = best_split(&data, &labels, &rows, 2, SplitCriterion::InfoGain).unwrap();
+        match &best.spec {
+            SplitSpec::CategoricalMultiway { categories } => {
+                assert_eq!(categories, &vec![0, 1, 2])
+            }
+            other => panic!("unexpected split {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gini_uses_binary_categorical() {
+        let data = ds(vec![(
+            "c".into(),
+            Column::from_strings(["a", "a", "b", "c"]),
+        )]);
+        let labels = [0u32, 0, 1, 1];
+        let rows: Vec<usize> = (0..4).collect();
+        let best = best_split(&data, &labels, &rows, 2, SplitCriterion::Gini).unwrap();
+        match best.spec {
+            SplitSpec::CategoricalEquals { category } => assert_eq!(category, 0),
+            ref other => panic!("unexpected split {other:?}"),
+        }
+        assert!((best.score - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_split_on_pure_or_constant_data() {
+        let data = ds(vec![("x".into(), Column::from_numeric(vec![5.0; 4]))]);
+        let labels = [0u32, 1, 0, 1];
+        let rows: Vec<usize> = (0..4).collect();
+        assert!(best_split(&data, &labels, &rows, 2, SplitCriterion::InfoGain).is_none());
+
+        let data2 = ds(vec![(
+            "x".into(),
+            Column::from_numeric(vec![1.0, 2.0, 3.0]),
+        )]);
+        let pure = [1u32, 1, 1];
+        let rows: Vec<usize> = (0..3).collect();
+        assert!(best_split(&data2, &pure, &rows, 2, SplitCriterion::InfoGain).is_none());
+    }
+
+    #[test]
+    fn missing_values_ignored_in_scoring_and_routed_to_default() {
+        let data = ds(vec![(
+            "x".into(),
+            Column::from_numeric(vec![1.0, 2.0, f64::NAN, 10.0, 11.0]),
+        )]);
+        let labels = [0u32, 0, 0, 1, 1];
+        let rows: Vec<usize> = (0..5).collect();
+        let best = best_split(&data, &labels, &rows, 2, SplitCriterion::InfoGain).unwrap();
+        let (children, default) = partition(&data, best.attr, &best.spec, &rows);
+        assert_eq!(children.len(), 2);
+        // Row 2 (missing) must be in the default child.
+        assert!(children[default].contains(&2));
+        assert_eq!(children.iter().map(Vec::len).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn route_unseen_category_is_none() {
+        let spec = SplitSpec::CategoricalMultiway {
+            categories: vec![0, 2],
+        };
+        assert_eq!(spec.route(dm_dataset::Value::Cat(0)), Some(0));
+        assert_eq!(spec.route(dm_dataset::Value::Cat(2)), Some(1));
+        assert_eq!(spec.route(dm_dataset::Value::Cat(1)), None);
+        assert_eq!(spec.route(dm_dataset::Value::Missing), None);
+    }
+
+    #[test]
+    fn threshold_routing() {
+        let spec = SplitSpec::NumericThreshold { threshold: 5.0 };
+        assert_eq!(spec.route(dm_dataset::Value::Num(5.0)), Some(0));
+        assert_eq!(spec.route(dm_dataset::Value::Num(5.1)), Some(1));
+        assert_eq!(spec.route(dm_dataset::Value::Missing), None);
+    }
+
+    #[test]
+    fn picks_the_informative_attribute() {
+        let data = ds(vec![
+            ("noise".into(), Column::from_numeric(vec![1.0, 2.0, 1.5, 2.5])),
+            ("signal".into(), Column::from_strings(["a", "a", "b", "b"])),
+        ]);
+        let labels = [0u32, 0, 1, 1];
+        let rows: Vec<usize> = (0..4).collect();
+        let best = best_split(&data, &labels, &rows, 2, SplitCriterion::GainRatio).unwrap();
+        assert_eq!(best.attr, 1);
+    }
+
+    #[test]
+    fn ties_and_duplicates_do_not_split_within_equal_values() {
+        let data = ds(vec![(
+            "x".into(),
+            Column::from_numeric(vec![1.0, 1.0, 1.0, 2.0]),
+        )]);
+        let labels = [0u32, 1, 0, 1];
+        let rows: Vec<usize> = (0..4).collect();
+        let best = best_split(&data, &labels, &rows, 2, SplitCriterion::InfoGain).unwrap();
+        match best.spec {
+            SplitSpec::NumericThreshold { threshold } => {
+                assert!((threshold - 1.5).abs() < 1e-12)
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! The decision-tree model and its top-down inducer.
+
+use crate::criterion::SplitCriterion;
+use crate::prune::{self, Pruning};
+use crate::split::{best_split, partition, SplitSpec};
+use dm_dataset::{DataError, Dataset, Labels};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Re-export of the split specification used inside nodes.
+pub use crate::split::SplitSpec as SplitKind;
+
+/// One tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// A terminal node predicting `class`.
+    Leaf {
+        /// Predicted class code.
+        class: u32,
+        /// Training class counts that reached this leaf.
+        counts: Vec<usize>,
+    },
+    /// An internal test node.
+    Split {
+        /// Tested attribute (column index).
+        attr: usize,
+        /// The attribute test.
+        spec: SplitSpec,
+        /// Child node ids, parallel to the spec's arity.
+        children: Vec<usize>,
+        /// Child receiving missing values / unseen categories.
+        default_child: usize,
+        /// Majority class at this node (used when pruning).
+        majority: u32,
+        /// Training class counts at this node.
+        counts: Vec<usize>,
+    },
+}
+
+/// A trained decision tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: usize,
+    n_classes: usize,
+    attr_names: Vec<String>,
+}
+
+impl DecisionTree {
+    /// Root node id, for read-only traversals (rule extraction).
+    pub fn root_id(&self) -> usize {
+        self.root
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    /// Panics when `id` is not a node of this tree.
+    pub fn node(&self, id: usize) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Number of classes the tree predicts over.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Total node count (after any pruning).
+    pub fn n_nodes(&self) -> usize {
+        self.count_reachable(self.root)
+    }
+
+    fn count_reachable(&self, id: usize) -> usize {
+        match &self.nodes[id] {
+            Node::Leaf { .. } => 1,
+            Node::Split { children, .. } => {
+                1 + children.iter().map(|&c| self.count_reachable(c)).sum::<usize>()
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.count_leaves(self.root)
+    }
+
+    fn count_leaves(&self, id: usize) -> usize {
+        match &self.nodes[id] {
+            Node::Leaf { .. } => 1,
+            Node::Split { children, .. } => {
+                children.iter().map(|&c| self.count_leaves(c)).sum()
+            }
+        }
+    }
+
+    /// Maximum root-to-leaf depth (a lone leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        self.depth_of(self.root)
+    }
+
+    fn depth_of(&self, id: usize) -> usize {
+        match &self.nodes[id] {
+            Node::Leaf { .. } => 1,
+            Node::Split { children, .. } => {
+                1 + children
+                    .iter()
+                    .map(|&c| self.depth_of(c))
+                    .max()
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    /// Predicts the class of row `i` of `data`.
+    ///
+    /// # Panics
+    /// Panics when `data`'s schema is narrower than the training schema.
+    pub fn predict_row(&self, data: &Dataset, i: usize) -> u32 {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { class, .. } => return *class,
+                Node::Split {
+                    attr,
+                    spec,
+                    children,
+                    default_child,
+                    ..
+                } => {
+                    let value = data.value(i, *attr);
+                    id = match spec.route(value) {
+                        Some(child) => children[child],
+                        None => children[*default_child],
+                    };
+                }
+            }
+        }
+    }
+
+    /// Predicts every row of `data`.
+    pub fn predict(&self, data: &Dataset) -> Vec<u32> {
+        (0..data.n_rows()).map(|i| self.predict_row(data, i)).collect()
+    }
+
+    /// Renders the tree as indented text with attribute names.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_node(self.root, 0, &mut out);
+        out
+    }
+
+    fn render_node(&self, id: usize, indent: usize, out: &mut String) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(indent);
+        match &self.nodes[id] {
+            Node::Leaf { class, counts } => {
+                let _ = writeln!(out, "{pad}=> class {class} {counts:?}");
+            }
+            Node::Split {
+                attr,
+                spec,
+                children,
+                ..
+            } => {
+                let name = &self.attr_names[*attr];
+                match spec {
+                    SplitSpec::NumericThreshold { threshold } => {
+                        let _ = writeln!(out, "{pad}{name} <= {threshold:.4}:");
+                        self.render_node(children[0], indent + 1, out);
+                        let _ = writeln!(out, "{pad}{name} > {threshold:.4}:");
+                        self.render_node(children[1], indent + 1, out);
+                    }
+                    SplitSpec::CategoricalMultiway { categories } => {
+                        for (ci, cat) in categories.iter().enumerate() {
+                            let _ = writeln!(out, "{pad}{name} == #{cat}:");
+                            self.render_node(children[ci], indent + 1, out);
+                        }
+                    }
+                    SplitSpec::CategoricalEquals { category } => {
+                        let _ = writeln!(out, "{pad}{name} == #{category}:");
+                        self.render_node(children[0], indent + 1, out);
+                        let _ = writeln!(out, "{pad}{name} != #{category}:");
+                        self.render_node(children[1], indent + 1, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Top-down decision-tree inducer.
+#[derive(Debug, Clone)]
+pub struct DecisionTreeLearner {
+    criterion: SplitCriterion,
+    max_depth: Option<usize>,
+    min_samples_split: usize,
+    pruning: Pruning,
+}
+
+impl Default for DecisionTreeLearner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DecisionTreeLearner {
+    /// A gain-ratio learner with no depth limit and no pruning.
+    pub fn new() -> Self {
+        Self {
+            criterion: SplitCriterion::GainRatio,
+            max_depth: None,
+            min_samples_split: 2,
+            pruning: Pruning::None,
+        }
+    }
+
+    /// Sets the split criterion.
+    pub fn with_criterion(mut self, criterion: SplitCriterion) -> Self {
+        self.criterion = criterion;
+        self
+    }
+
+    /// Caps tree depth (1 = a single leaf).
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = Some(max_depth);
+        self
+    }
+
+    /// Minimum rows a node needs to be considered for splitting.
+    pub fn with_min_samples_split(mut self, min: usize) -> Self {
+        self.min_samples_split = min.max(2);
+        self
+    }
+
+    /// Sets the pruning strategy applied after growth.
+    pub fn with_pruning(mut self, pruning: Pruning) -> Self {
+        self.pruning = pruning;
+        self
+    }
+
+    /// Trains a tree on `data` with `labels`.
+    pub fn fit(&self, data: &Dataset, labels: &Labels) -> Result<DecisionTree, DataError> {
+        if labels.len() != data.n_rows() {
+            return Err(DataError::LabelLengthMismatch {
+                labels: labels.len(),
+                rows: data.n_rows(),
+            });
+        }
+        if data.n_rows() == 0 {
+            return Err(DataError::Empty("training set"));
+        }
+        let n_classes = labels.n_classes();
+        let codes = labels.codes();
+
+        // Reduced-error pruning holds out part of the data.
+        let all_rows: Vec<usize> = (0..data.n_rows()).collect();
+        let (grow_rows, holdout_rows) = match self.pruning {
+            Pruning::ReducedError { fraction, seed } => {
+                if !(0.0..1.0).contains(&fraction) {
+                    return Err(DataError::InvalidParameter(format!(
+                        "holdout fraction {fraction} not in [0, 1)"
+                    )));
+                }
+                let mut rows = all_rows.clone();
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                rows.shuffle(&mut rng);
+                let n_holdout = (rows.len() as f64 * fraction).round() as usize;
+                let holdout = rows.split_off(rows.len() - n_holdout.min(rows.len() - 1));
+                (rows, holdout)
+            }
+            _ => (all_rows, Vec::new()),
+        };
+
+        let mut nodes = Vec::new();
+        let root = self.grow(data, codes, &grow_rows, n_classes, 1, &mut nodes);
+        let mut tree = DecisionTree {
+            nodes,
+            root,
+            n_classes,
+            attr_names: data.attrs().iter().map(|a| a.name().to_owned()).collect(),
+        };
+
+        match self.pruning {
+            Pruning::None => {}
+            Pruning::ReducedError { .. } => {
+                prune::reduced_error(&mut tree, data, codes, &holdout_rows);
+            }
+            Pruning::Pessimistic { cf } => {
+                prune::pessimistic(&mut tree, cf);
+            }
+        }
+        Ok(tree)
+    }
+
+    fn grow(
+        &self,
+        data: &Dataset,
+        codes: &[u32],
+        rows: &[usize],
+        n_classes: usize,
+        depth: usize,
+        nodes: &mut Vec<Node>,
+    ) -> usize {
+        let mut counts = vec![0usize; n_classes];
+        for &i in rows {
+            counts[codes[i] as usize] += 1;
+        }
+        let majority = counts
+            .iter()
+            .enumerate()
+            .max_by(|(ia, ca), (ib, cb)| ca.cmp(cb).then(ib.cmp(ia)))
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0);
+        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+        let depth_capped = self.max_depth.is_some_and(|m| depth >= m);
+        let too_small = rows.len() < self.min_samples_split;
+
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            nodes.push(Node::Leaf {
+                class: majority,
+                counts: counts.clone(),
+            });
+            nodes.len() - 1
+        };
+
+        if pure || depth_capped || too_small {
+            return make_leaf(nodes);
+        }
+        let Some(best) = best_split(data, codes, rows, n_classes, self.criterion) else {
+            return make_leaf(nodes);
+        };
+        let (child_rows, default_child) = partition(data, best.attr, &best.spec, rows);
+        if child_rows.iter().any(Vec::is_empty) {
+            // Degenerate partition (can happen when missing-value routing
+            // drains a side); fall back to a leaf.
+            return make_leaf(nodes);
+        }
+        let children: Vec<usize> = child_rows
+            .iter()
+            .map(|rows| self.grow(data, codes, rows, n_classes, depth + 1, nodes))
+            .collect();
+        nodes.push(Node::Split {
+            attr: best.attr,
+            spec: best.spec,
+            children,
+            default_child,
+            majority,
+            counts,
+        });
+        nodes.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_dataset::Column;
+    use dm_synth::{flip_labels, AgrawalFunction, AgrawalGenerator};
+
+    fn xor_data() -> (Dataset, Labels) {
+        // XOR over two categorical attributes: needs depth 3. One cell is
+        // duplicated so single-attribute gains are strictly positive — a
+        // perfectly balanced XOR has zero gain everywhere and greedy
+        // induction (correctly) refuses to split it.
+        let a = ["t", "t", "f", "f", "t", "t", "f", "f", "t"];
+        let b = ["t", "f", "t", "f", "t", "f", "t", "f", "t"];
+        let y = ["n", "y", "y", "n", "n", "y", "y", "n", "n"];
+        let ds = Dataset::from_columns(
+            "xor",
+            vec![
+                ("a".into(), Column::from_strings(a)),
+                ("b".into(), Column::from_strings(b)),
+            ],
+        )
+        .unwrap();
+        (ds, Labels::from_strs(y))
+    }
+
+    #[test]
+    fn learns_xor_exactly() {
+        let (data, labels) = xor_data();
+        for crit in [
+            SplitCriterion::InfoGain,
+            SplitCriterion::GainRatio,
+            SplitCriterion::Gini,
+        ] {
+            let tree = DecisionTreeLearner::new()
+                .with_criterion(crit)
+                .fit(&data, &labels)
+                .unwrap();
+            assert_eq!(tree.predict(&data), labels.codes(), "{crit:?}");
+        }
+    }
+
+    #[test]
+    fn unpruned_tree_is_perfect_on_consistent_data() {
+        let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F2, 400)
+            .unwrap()
+            .generate(3);
+        let tree = DecisionTreeLearner::new().fit(&data, &labels).unwrap();
+        assert_eq!(tree.predict(&data), labels.codes());
+    }
+
+    #[test]
+    fn generalizes_on_agrawal_f1() {
+        let (train, train_l) = AgrawalGenerator::new(AgrawalFunction::F1, 800)
+            .unwrap()
+            .generate(1);
+        let (test, test_l) = AgrawalGenerator::new(AgrawalFunction::F1, 400)
+            .unwrap()
+            .generate(2);
+        let tree = DecisionTreeLearner::new().fit(&train, &train_l).unwrap();
+        let pred = tree.predict(&test);
+        let acc = pred
+            .iter()
+            .zip(test_l.codes())
+            .filter(|(p, t)| p == t)
+            .count() as f64
+            / 400.0;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn max_depth_one_is_a_leaf() {
+        let (data, labels) = xor_data();
+        let tree = DecisionTreeLearner::new()
+            .with_max_depth(1)
+            .fit(&data, &labels)
+            .unwrap();
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.n_leaves(), 1);
+        assert_eq!(tree.depth(), 1);
+    }
+
+    #[test]
+    fn min_samples_split_limits_growth() {
+        let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F2, 300)
+            .unwrap()
+            .generate(7);
+        let full = DecisionTreeLearner::new().fit(&data, &labels).unwrap();
+        let stumped = DecisionTreeLearner::new()
+            .with_min_samples_split(100)
+            .fit(&data, &labels)
+            .unwrap();
+        assert!(stumped.n_nodes() < full.n_nodes());
+    }
+
+    #[test]
+    fn pruned_never_larger_than_unpruned() {
+        let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F5, 600)
+            .unwrap()
+            .generate(11);
+        let noisy = flip_labels(&labels, 0.15, 5).unwrap();
+        let unpruned = DecisionTreeLearner::new().fit(&data, &noisy).unwrap();
+        for pruning in [
+            Pruning::Pessimistic { cf: 0.25 },
+            Pruning::ReducedError {
+                fraction: 0.3,
+                seed: 1,
+            },
+        ] {
+            let pruned = DecisionTreeLearner::new()
+                .with_pruning(pruning)
+                .fit(&data, &noisy)
+                .unwrap();
+            assert!(
+                pruned.n_nodes() < unpruned.n_nodes(),
+                "{pruning:?}: {} !< {}",
+                pruned.n_nodes(),
+                unpruned.n_nodes()
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_helps_under_label_noise() {
+        let (train, labels) = AgrawalGenerator::new(AgrawalFunction::F2, 800)
+            .unwrap()
+            .generate(21);
+        let noisy = flip_labels(&labels, 0.2, 9).unwrap();
+        let (test, test_l) = AgrawalGenerator::new(AgrawalFunction::F2, 500)
+            .unwrap()
+            .generate(22);
+        let acc = |tree: &DecisionTree| {
+            tree.predict(&test)
+                .iter()
+                .zip(test_l.codes())
+                .filter(|(p, t)| p == t)
+                .count() as f64
+                / 500.0
+        };
+        let unpruned = DecisionTreeLearner::new().fit(&train, &noisy).unwrap();
+        let pruned = DecisionTreeLearner::new()
+            .with_pruning(Pruning::Pessimistic { cf: 0.25 })
+            .fit(&train, &noisy)
+            .unwrap();
+        assert!(
+            acc(&pruned) >= acc(&unpruned) - 0.01,
+            "pruned {} vs unpruned {}",
+            acc(&pruned),
+            acc(&unpruned)
+        );
+    }
+
+    #[test]
+    fn handles_missing_values_at_train_and_predict() {
+        let data = Dataset::from_columns(
+            "m",
+            vec![(
+                "x".into(),
+                Column::from_numeric(vec![1.0, 2.0, f64::NAN, 10.0, 11.0, 12.0]),
+            )],
+        )
+        .unwrap();
+        let labels = Labels::from_strs(["a", "a", "a", "b", "b", "b"]);
+        let tree = DecisionTreeLearner::new().fit(&data, &labels).unwrap();
+        let test = Dataset::from_columns(
+            "m",
+            vec![("x".into(), Column::from_numeric(vec![f64::NAN]))],
+        )
+        .unwrap();
+        let p = tree.predict(&test);
+        assert!(p[0] < 2); // routed through the default child, no panic
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (data, labels) = xor_data();
+        let short = Labels::from_strs(["a"]);
+        assert!(DecisionTreeLearner::new().fit(&data, &short).is_err());
+        let empty = Dataset::from_columns("e", vec![("x".into(), Column::from_numeric(vec![]))])
+            .unwrap();
+        let no_labels = Labels::from_strs(Vec::<&str>::new());
+        assert!(DecisionTreeLearner::new().fit(&empty, &no_labels).is_err());
+        assert!(DecisionTreeLearner::new()
+            .with_pruning(Pruning::ReducedError {
+                fraction: 1.5,
+                seed: 0
+            })
+            .fit(&data, &labels)
+            .is_err());
+    }
+
+    #[test]
+    fn render_names_attributes() {
+        let (data, labels) = xor_data();
+        let tree = DecisionTreeLearner::new().fit(&data, &labels).unwrap();
+        let txt = tree.render();
+        assert!(txt.contains('a') || txt.contains('b'));
+        assert!(txt.contains("class"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F3, 300)
+            .unwrap()
+            .generate(4);
+        let a = DecisionTreeLearner::new().fit(&data, &labels).unwrap();
+        let b = DecisionTreeLearner::new().fit(&data, &labels).unwrap();
+        assert_eq!(a.predict(&data), b.predict(&data));
+        assert_eq!(a.n_nodes(), b.n_nodes());
+    }
+
+    #[test]
+    fn single_class_data_is_one_leaf() {
+        let data = Dataset::from_columns(
+            "s",
+            vec![("x".into(), Column::from_numeric(vec![1.0, 2.0, 3.0]))],
+        )
+        .unwrap();
+        let labels = Labels::from_strs(["only", "only", "only"]);
+        let tree = DecisionTreeLearner::new().fit(&data, &labels).unwrap();
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.predict(&data), vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for decision-tree invariants.
+
+use dm_dataset::{Column, Dataset, Labels};
+use dm_tree::{DecisionTreeLearner, Pruning, SplitCriterion};
+use proptest::prelude::*;
+
+/// Strategy: a random mixed-schema dataset with 4–40 rows (one numeric,
+/// one categorical column) and random binary labels.
+fn labelled_data() -> impl Strategy<Value = (Dataset, Labels)> {
+    (4usize..40).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-100.0f64..100.0, n..=n),
+            prop::collection::vec(0u8..4, n..=n),
+            prop::collection::vec(0u8..2, n..=n),
+        )
+            .prop_map(|(nums, cats, labels)| {
+                let ds = Dataset::from_columns(
+                    "prop",
+                    vec![
+                        ("x".into(), Column::from_numeric(nums)),
+                        (
+                            "c".into(),
+                            Column::from_strings(
+                                cats.iter().map(|c| format!("c{c}")).collect::<Vec<_>>(),
+                            ),
+                        ),
+                    ],
+                )
+                .expect("consistent schema");
+                let labels = Labels::from_strs(
+                    labels.iter().map(|l| format!("l{l}")).collect::<Vec<_>>(),
+                );
+                (ds, labels)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn predictions_are_valid_class_codes((data, labels) in labelled_data()) {
+        for crit in [SplitCriterion::InfoGain, SplitCriterion::GainRatio, SplitCriterion::Gini] {
+            let tree = DecisionTreeLearner::new().with_criterion(crit).fit(&data, &labels).unwrap();
+            for p in tree.predict(&data) {
+                prop_assert!((p as usize) < labels.n_classes());
+            }
+        }
+    }
+
+    #[test]
+    fn max_depth_is_respected((data, labels) in labelled_data(), depth in 1usize..5) {
+        let tree = DecisionTreeLearner::new()
+            .with_max_depth(depth)
+            .fit(&data, &labels)
+            .unwrap();
+        prop_assert!(tree.depth() <= depth);
+    }
+
+    #[test]
+    fn pruned_tree_never_larger((data, labels) in labelled_data()) {
+        let unpruned = DecisionTreeLearner::new().fit(&data, &labels).unwrap();
+        let pruned = DecisionTreeLearner::new()
+            .with_pruning(Pruning::Pessimistic { cf: 0.25 })
+            .fit(&data, &labels)
+            .unwrap();
+        prop_assert!(pruned.n_nodes() <= unpruned.n_nodes());
+    }
+
+    #[test]
+    fn training_is_deterministic((data, labels) in labelled_data()) {
+        let a = DecisionTreeLearner::new().fit(&data, &labels).unwrap();
+        let b = DecisionTreeLearner::new().fit(&data, &labels).unwrap();
+        prop_assert_eq!(a.predict(&data), b.predict(&data));
+        prop_assert_eq!(a.n_nodes(), b.n_nodes());
+    }
+
+    #[test]
+    fn unpruned_training_accuracy_at_least_majority((data, labels) in labelled_data()) {
+        let tree = DecisionTreeLearner::new().fit(&data, &labels).unwrap();
+        let correct = tree
+            .predict(&data)
+            .iter()
+            .zip(labels.codes())
+            .filter(|(p, t)| p == t)
+            .count();
+        let majority = labels
+            .class_counts()
+            .into_iter()
+            .max()
+            .unwrap_or(0);
+        prop_assert!(correct >= majority, "tree ({correct}) worse than majority ({majority})");
+    }
+
+    #[test]
+    fn leaves_and_nodes_are_consistent((data, labels) in labelled_data()) {
+        let tree = DecisionTreeLearner::new().fit(&data, &labels).unwrap();
+        prop_assert!(tree.n_leaves() >= 1);
+        prop_assert!(tree.n_leaves() <= tree.n_nodes());
+        prop_assert!(tree.depth() >= 1);
+        // A tree over n rows never needs more than 2n - 1 nodes... but
+        // multiway splits can add an interior node per category; the
+        // loose structural bound still holds:
+        prop_assert!(tree.n_leaves() <= data.n_rows().max(1) * 4);
+    }
+}

@@ -1,0 +1,96 @@
+//! Customer segmentation: cluster a two-dimensional "spend vs visits"
+//! point cloud with every clusterer in the toolkit and compare quality,
+//! robustness to noise, and the dendrogram view.
+//!
+//! ```text
+//! cargo run --release --example customer_segmentation
+//! ```
+
+use datamining_suite::datamining::cluster::Dendrogram;
+use datamining_suite::datamining::dataset::scale::{Scaler, StandardScaler};
+use datamining_suite::datamining::prelude::*;
+
+fn segments() -> GaussianMixture {
+    // Four stylized customer segments (spend, visits), with a spray of
+    // one-off customers as background noise.
+    GaussianMixture::new(vec![
+        ClusterSpec::new(vec![20.0, 2.0], 2.0, 300),  // casual
+        ClusterSpec::new(vec![60.0, 8.0], 3.0, 200),  // regular
+        ClusterSpec::new(vec![120.0, 6.0], 4.0, 80),  // big-basket
+        ClusterSpec::new(vec![90.0, 20.0], 3.0, 40),  // power user
+    ])
+    .expect("valid mixture")
+    .with_noise(30, 140.0)
+}
+
+/// Z-standardizes the features: spend and visits live on very different
+/// scales, and every distance-based method here cares.
+fn standardize(m: &Matrix) -> Matrix {
+    StandardScaler
+        .fit(m)
+        .expect("non-empty")
+        .transform(m)
+        .expect("same width")
+}
+
+fn main() {
+    let mixture = segments();
+    let (raw, truth) = mixture.generate(7);
+    let data = standardize(&raw);
+
+    println!(
+        "segmenting {} customers into {} segments (+noise)\n",
+        data.rows(),
+        mixture.k()
+    );
+
+    println!(
+        "{:>14} {:>7} {:>7} {:>9} {:>7}",
+        "algorithm", "ari", "nmi", "clusters", "noise"
+    );
+    let k = mixture.k();
+    let clusterers: Vec<Box<dyn Clusterer>> = vec![
+        Box::new(KMeans::new(k).with_seed(1)),
+        Box::new(KMeans::new(k).with_init(Init::Random).with_seed(1)),
+        Box::new(Pam::new(k)),
+        Box::new(Agglomerative::new(k).with_linkage(Linkage::Ward)),
+        Box::new(Agglomerative::new(k).with_linkage(Linkage::Single)),
+        Box::new(Birch::new(k).with_threshold(0.3).with_seed(1)),
+        Box::new(Dbscan::new(0.35, 8)),
+    ];
+    for c in clusterers {
+        let result = c.fit(&data).expect("clustering succeeds");
+        let ari = adjusted_rand_index(&truth, &result.assignments).expect("same length");
+        let nmi =
+            normalized_mutual_information(&truth, &result.assignments).expect("same length");
+        println!(
+            "{:>14} {:>7.3} {:>7.3} {:>9} {:>7}",
+            c.name(),
+            ari,
+            nmi,
+            result.n_clusters,
+            result.n_noise()
+        );
+    }
+
+    // The dendrogram view an analyst would eyeball for a natural k.
+    let dendrogram: Dendrogram = Agglomerative::new(1)
+        .with_linkage(Linkage::Ward)
+        .fit_dendrogram(&data)
+        .expect("non-empty data");
+    let heights = dendrogram.heights();
+    println!("\nlast 8 merge heights (look for the jump):");
+    for h in heights.iter().rev().take(8).rev() {
+        println!("  {h:.2}");
+    }
+
+    // Internal validation without ground truth: the elbow.
+    println!("\nk-means elbow (SSE by k):");
+    for k in 1..=8usize {
+        let model = KMeans::new(k)
+            .with_seed(5)
+            .fit_model(&data)
+            .expect("k <= n");
+        println!("  k={k}: SSE {:.0}", model.inertia);
+    }
+}

@@ -1,0 +1,81 @@
+//! Market-basket analysis: the motivating scenario of association-rule
+//! mining. Generates a Quest retail workload, compares the three miners,
+//! and reports the strongest cross-sell rules.
+//!
+//! ```text
+//! cargo run --release --example market_basket
+//! ```
+
+use datamining_suite::datamining::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let config = QuestConfig::standard(10.0, 4.0, 20_000);
+    let name = config.name();
+    let generator = QuestGenerator::new(config, 42).expect("valid config");
+    let db = generator.generate(43);
+    println!(
+        "database {name}: {} transactions over {} items, mean basket {:.1}\n",
+        db.len(),
+        db.n_items(),
+        db.mean_len()
+    );
+
+    // --- Compare the three classic miners at one threshold. -----------
+    let support = MinSupport::Fraction(0.0075);
+    println!("mining at minsup 0.75%:");
+    let mut reference: Option<FrequentItemsets> = None;
+    for miner in [
+        Box::new(Ais::new(support)) as Box<dyn ItemsetMiner>,
+        Box::new(Apriori::new(support)),
+        Box::new(AprioriTid::new(support)),
+    ] {
+        let t0 = Instant::now();
+        let result = miner.mine(&db).expect("mining succeeds");
+        let elapsed = t0.elapsed();
+        println!(
+            "  {:>12}: {:>8.2?}  ({} candidates counted over {} passes)",
+            miner.name(),
+            elapsed,
+            result.stats.total_candidates(),
+            result.stats.n_passes()
+        );
+        // All miners must find the identical frequent itemsets.
+        match &reference {
+            Some(r) => assert_eq!(r, &result.itemsets, "miners disagree!"),
+            None => reference = Some(result.itemsets),
+        }
+    }
+    let itemsets = reference.expect("at least one miner ran");
+    println!(
+        "\n{} frequent itemsets; per-level counts: {:?}",
+        itemsets.len(),
+        (1..=itemsets.max_len())
+            .map(|k| itemsets.level_len(k))
+            .collect::<Vec<_>>()
+    );
+
+    // --- Rules: what drives cross-sells? -------------------------------
+    let rules = RuleGenerator::new(0.6)
+        .generate(&itemsets)
+        .expect("valid threshold");
+    println!("\n{} rules at 60% confidence; ten strongest by lift:", rules.len());
+    let mut by_lift = rules.clone();
+    by_lift.sort_by(|a, b| b.lift.partial_cmp(&a.lift).expect("finite"));
+    for rule in by_lift.iter().take(10) {
+        println!("  {rule}");
+    }
+
+    // --- The threshold sweep every analyst runs. -----------------------
+    println!("\nitemset counts by support threshold:");
+    for pct in [2.0, 1.5, 1.0, 0.75, 0.5f64] {
+        let mined = Apriori::new(MinSupport::Fraction(pct / 100.0))
+            .mine(&db)
+            .expect("mining succeeds");
+        println!(
+            "  minsup {pct:>4}%: {:>6} itemsets, deepest level {}",
+            mined.itemsets.len(),
+            mined.itemsets.max_len()
+        );
+    }
+}

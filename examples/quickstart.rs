@@ -1,0 +1,69 @@
+//! Quickstart: one tour through the three pillars of the toolkit —
+//! association rules, clustering and classification — on synthetic data.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use datamining_suite::datamining::prelude::*;
+
+fn main() {
+    // ----- 1. Association rules (market-basket data) ------------------
+    println!("=== association rules ===");
+    let quest = QuestGenerator::new(QuestConfig::standard(10.0, 4.0, 2_000), 1).expect("config");
+    let db = quest.generate(2);
+    println!(
+        "mined database {} with {} transactions (avg len {:.1})",
+        quest.config().name(),
+        db.len(),
+        db.mean_len()
+    );
+    let mined = Apriori::new(MinSupport::Fraction(0.01))
+        .mine(&db)
+        .expect("mining succeeds");
+    println!(
+        "{} frequent itemsets (largest has {} items) in {} passes",
+        mined.itemsets.len(),
+        mined.itemsets.max_len(),
+        mined.stats.n_passes()
+    );
+    let rules = RuleGenerator::new(0.8)
+        .generate(&mined.itemsets)
+        .expect("valid threshold");
+    println!("top rules at 80% confidence:");
+    for rule in rules.iter().take(5) {
+        println!("  {rule}");
+    }
+
+    // ----- 2. Clustering (customer-like point cloud) ------------------
+    println!("\n=== clustering ===");
+    let (points, truth) = GaussianMixture::well_separated(4, 2, 250, 8.0)
+        .expect("mixture")
+        .generate(3);
+    let clustering = KMeans::new(4).with_seed(4).fit(&points).expect("k <= n");
+    let ari = adjusted_rand_index(&truth, &clustering.assignments).expect("same length");
+    println!(
+        "k-means++ on {} points: ARI {:.3}, sizes {:?}",
+        points.rows(),
+        ari,
+        clustering.cluster_sizes()
+    );
+
+    // ----- 3. Classification (the Agrawal benchmark) ------------------
+    println!("\n=== classification ===");
+    let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F2, 1_500)
+        .expect("rows > 0")
+        .generate(5);
+    for classifier in [
+        Box::new(TreeClassifier::default()) as Box<dyn Classifier>,
+        Box::new(BayesClassifier::default()),
+        Box::new(OneRClassifier::default()),
+    ] {
+        let result =
+            cross_validate(classifier.as_ref(), &data, &labels, 5, 0).expect("cv succeeds");
+        println!(
+            "{:>14}: {:.3} ± {:.3} (5-fold CV)",
+            result.name, result.mean_accuracy, result.std_accuracy
+        );
+    }
+}

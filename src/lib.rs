@@ -1,0 +1,9 @@
+//! `datamining-suite`: the workspace meta-package.
+//!
+//! This crate exists to host the repository's runnable examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`). For
+//! library use, depend on [`dm_core`] (re-exported here as
+//! [`datamining`]) or on the individual subsystem crates.
+
+/// The full toolkit facade (alias of `dm-core`).
+pub use dm_core as datamining;
