@@ -7,7 +7,18 @@ use crate::stats::MiningStats;
 use crate::{ItemsetMiner, MinSupport, MiningResult};
 use dm_dataset::transactions::is_subset_sorted;
 use dm_dataset::{DataError, TransactionDb};
+use dm_par::{par_chunks_map_reduce, Chunking, Parallelism};
 use std::time::Instant;
+
+/// Sums the right-hand count vector into the left one (the merge step
+/// of every Count Distribution pass: per-shard counters add up).
+fn merge_counts<T: Copy + std::ops::AddAssign>(mut a: Vec<T>, b: Vec<T>) -> Vec<T> {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+    a
+}
 
 /// How candidate supports are counted in passes ≥ 3 (pass 2 always
 /// uses the dense triangular pair array, per the paper).
@@ -46,6 +57,7 @@ pub struct Apriori {
     counting: CountingStrategy,
     max_len: Option<usize>,
     pair_array: bool,
+    parallelism: Parallelism,
 }
 
 impl Apriori {
@@ -56,7 +68,17 @@ impl Apriori {
             counting: CountingStrategy::default(),
             max_len: None,
             pair_array: true,
+            parallelism: Parallelism::Sequential,
         }
+    }
+
+    /// Sets how support counting is spread across threads (Count
+    /// Distribution: each thread counts a shard of the database into a
+    /// private counter array; shard counters merge by summation, so the
+    /// result is identical for every [`Parallelism`] setting).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Overrides the counting strategy.
@@ -80,14 +102,30 @@ impl Apriori {
         self
     }
 
-    /// Pass 1: frequent single items via dense counting.
-    fn frequent_items(db: &TransactionDb, min_count: usize) -> Vec<(Itemset, usize)> {
-        let mut counts = vec![0usize; db.n_items() as usize];
-        for txn in db.iter() {
-            for &item in txn {
-                counts[item as usize] += 1;
-            }
-        }
+    /// Pass 1: frequent single items via dense counting, one counter
+    /// array per shard.
+    fn frequent_items(
+        par: Parallelism,
+        db: &TransactionDb,
+        min_count: usize,
+    ) -> Vec<(Itemset, usize)> {
+        let n_items = db.n_items() as usize;
+        let counts = par_chunks_map_reduce(
+            par,
+            Chunking::PerThread,
+            db.transactions(),
+            || vec![0usize; n_items],
+            |shard| {
+                let mut counts = vec![0usize; n_items];
+                for txn in shard {
+                    for &item in txn {
+                        counts[item as usize] += 1;
+                    }
+                }
+                counts
+            },
+            merge_counts,
+        );
         counts
             .iter()
             .enumerate()
@@ -101,6 +139,7 @@ impl Apriori {
     /// where candidate sets are too large for tree structures to pay off.
     /// Returns the frequent pairs and the implicit candidate count.
     fn frequent_pairs(
+        par: Parallelism,
         db: &TransactionDb,
         l1: &[(Itemset, usize)],
         min_count: usize,
@@ -115,24 +154,34 @@ impl Apriori {
             dense[items[0] as usize] = id as u32;
         }
         let n_pairs = m * (m - 1) / 2;
-        let mut counts = vec![0u32; n_pairs];
         // Triangular index for i < j over m items.
         let tri = |i: usize, j: usize| i * m - i * (i + 1) / 2 + (j - i - 1);
-        let mut present: Vec<usize> = Vec::new();
-        for txn in db.iter() {
-            present.clear();
-            present.extend(
-                txn.iter()
-                    .map(|&item| dense[item as usize])
-                    .filter(|&d| d != u32::MAX)
-                    .map(|d| d as usize),
-            );
-            for (a, &i) in present.iter().enumerate() {
-                for &j in &present[a + 1..] {
-                    counts[tri(i, j)] += 1;
+        let counts = par_chunks_map_reduce(
+            par,
+            Chunking::PerThread,
+            db.transactions(),
+            || vec![0u32; n_pairs],
+            |shard| {
+                let mut counts = vec![0u32; n_pairs];
+                let mut present: Vec<usize> = Vec::new();
+                for txn in shard {
+                    present.clear();
+                    present.extend(
+                        txn.iter()
+                            .map(|&item| dense[item as usize])
+                            .filter(|&d| d != u32::MAX)
+                            .map(|d| d as usize),
+                    );
+                    for (a, &i) in present.iter().enumerate() {
+                        for &j in &present[a + 1..] {
+                            counts[tri(i, j)] += 1;
+                        }
+                    }
                 }
-            }
-        }
+                counts
+            },
+            merge_counts,
+        );
         let mut out = Vec::new();
         for i in 0..m {
             for j in (i + 1)..m {
@@ -158,26 +207,56 @@ impl Apriori {
                 fanout,
                 leaf_capacity,
             } => {
-                let mut tree = HashTree::build(candidates, k, fanout, leaf_capacity);
-                for txn in db.iter() {
-                    tree.count_transaction(txn);
-                }
-                tree.into_frequent(min_count)
+                // Build the tree once, then count shards into private
+                // `CountState`s against the now-immutable tree and merge
+                // by summation.
+                let tree = HashTree::build(candidates, k, fanout, leaf_capacity);
+                let state = par_chunks_map_reduce(
+                    self.parallelism,
+                    Chunking::PerThread,
+                    db.transactions(),
+                    || tree.new_count_state(),
+                    |shard| {
+                        let mut state = tree.new_count_state();
+                        for txn in shard {
+                            tree.count_transaction_into(txn, &mut state);
+                        }
+                        state
+                    },
+                    |mut a, b| {
+                        a.absorb(&b);
+                        a
+                    },
+                );
+                tree.into_frequent_with(state.counts(), min_count)
             }
             CountingStrategy::Linear => {
-                let mut counted: Vec<(Itemset, usize)> =
-                    candidates.into_iter().map(|c| (c, 0)).collect();
-                for txn in db.iter() {
-                    if txn.len() < k {
-                        continue;
-                    }
-                    for (cand, count) in &mut counted {
-                        if is_subset_sorted(cand, txn) {
-                            *count += 1;
+                let counts = par_chunks_map_reduce(
+                    self.parallelism,
+                    Chunking::PerThread,
+                    db.transactions(),
+                    || vec![0usize; candidates.len()],
+                    |shard| {
+                        let mut counts = vec![0usize; candidates.len()];
+                        for txn in shard {
+                            if txn.len() < k {
+                                continue;
+                            }
+                            for (cand, count) in candidates.iter().zip(&mut counts) {
+                                if is_subset_sorted(cand, txn) {
+                                    *count += 1;
+                                }
+                            }
                         }
-                    }
-                }
-                counted.retain(|&(_, c)| c >= min_count);
+                        counts
+                    },
+                    merge_counts,
+                );
+                let mut counted: Vec<(Itemset, usize)> = candidates
+                    .into_iter()
+                    .zip(counts)
+                    .filter(|&(_, c)| c >= min_count)
+                    .collect();
                 counted.sort();
                 counted
             }
@@ -200,7 +279,7 @@ impl ItemsetMiner for Apriori {
 
         // Pass 1.
         let t0 = Instant::now();
-        let l1 = Self::frequent_items(db, min_count);
+        let l1 = Self::frequent_items(self.parallelism, db, min_count);
         stats.push(1, db.n_items() as usize, l1.len(), t0.elapsed());
         levels.push(l1);
 
@@ -215,14 +294,11 @@ impl ItemsetMiner for Apriori {
             let t0 = Instant::now();
             let (frequent, n_candidates) = if k == 1 && self.pair_array {
                 // Dense triangular-array counting for the pair pass.
-                Self::frequent_pairs(db, &levels[0], min_count)
+                Self::frequent_pairs(self.parallelism, db, &levels[0], min_count)
             } else {
-                let prev: Vec<Itemset> =
-                    levels[k - 1].iter().map(|(i, _)| i.clone()).collect();
+                let prev: Vec<Itemset> = levels[k - 1].iter().map(|(i, _)| i.clone()).collect();
                 let candidates = if k == 1 {
-                    crate::candidate::gen_pairs(
-                        &prev.iter().map(|i| i[0]).collect::<Vec<_>>(),
-                    )
+                    crate::candidate::gen_pairs(&prev.iter().map(|i| i[0]).collect::<Vec<_>>())
                 } else {
                     apriori_gen(&prev)
                 };
@@ -263,7 +339,9 @@ mod tests {
 
     #[test]
     fn mines_the_paper_example() {
-        let result = Apriori::new(MinSupport::Count(2)).mine(&paper_db()).unwrap();
+        let result = Apriori::new(MinSupport::Count(2))
+            .mine(&paper_db())
+            .unwrap();
         let f = &result.itemsets;
         // L1 = {1},{2},{3},{5}; item 4 infrequent.
         assert_eq!(f.level_len(1), 4);
@@ -282,7 +360,9 @@ mod tests {
 
     #[test]
     fn stats_track_candidates_per_pass() {
-        let result = Apriori::new(MinSupport::Count(2)).mine(&paper_db()).unwrap();
+        let result = Apriori::new(MinSupport::Count(2))
+            .mine(&paper_db())
+            .unwrap();
         let s = &result.stats;
         assert!(s.n_passes() >= 3);
         // Pass 2 candidates: C(4,2) = 6 pairs.
@@ -315,7 +395,9 @@ mod tests {
 
     #[test]
     fn high_threshold_yields_nothing() {
-        let result = Apriori::new(MinSupport::Count(5)).mine(&paper_db()).unwrap();
+        let result = Apriori::new(MinSupport::Count(5))
+            .mine(&paper_db())
+            .unwrap();
         assert!(result.itemsets.is_empty());
     }
 

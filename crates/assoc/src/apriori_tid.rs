@@ -255,7 +255,9 @@ mod tests {
             .itemsets
             .is_empty());
         let singles = TransactionDb::new(vec![vec![0], vec![1]]);
-        let r = AprioriTid::new(MinSupport::Count(1)).mine(&singles).unwrap();
+        let r = AprioriTid::new(MinSupport::Count(1))
+            .mine(&singles)
+            .unwrap();
         assert_eq!(r.itemsets.max_len(), 1);
     }
 

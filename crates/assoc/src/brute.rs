@@ -122,7 +122,10 @@ mod tests {
     #[test]
     fn empty_db() {
         let db = TransactionDb::new(vec![]);
-        let f = BruteForce::new(MinSupport::Count(1)).mine(&db).unwrap().itemsets;
+        let f = BruteForce::new(MinSupport::Count(1))
+            .mine(&db)
+            .unwrap()
+            .itemsets;
         assert!(f.is_empty());
     }
 }

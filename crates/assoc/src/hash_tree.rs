@@ -15,15 +15,45 @@ use dm_dataset::transactions::is_subset_sorted;
 enum Node {
     /// Child node ids, one per hash bucket.
     Interior(Vec<usize>),
-    /// Candidates with counts, plus the generation stamp of the last
-    /// transaction that visited this leaf.
-    Leaf {
-        candidates: Vec<(Itemset, usize)>,
-        last_visit: u64,
-    },
+    /// Candidates, each carrying its dense candidate id (the index of
+    /// its slot in a [`CountState`]).
+    Leaf { candidates: Vec<(Itemset, u32)> },
+}
+
+/// Per-scan counting state, separate from the tree structure so several
+/// shards can count over one shared tree concurrently (the Count
+/// Distribution scheme): each shard owns a `CountState`, and shard
+/// counts merge by summation with [`CountState::absorb`].
+#[derive(Debug, Clone)]
+pub struct CountState {
+    /// Support count per candidate id.
+    counts: Vec<usize>,
+    /// Generation stamp of the last transaction that visited each leaf
+    /// (prevents double counting when hash paths collide).
+    visited: Vec<u64>,
+    generation: u64,
+}
+
+impl CountState {
+    /// Adds another shard's counts into this one.
+    pub fn absorb(&mut self, other: &CountState) {
+        debug_assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// The accumulated per-candidate counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
 }
 
 /// A hash tree over size-`k` candidate itemsets.
+///
+/// The structure is immutable once built; all counting goes through an
+/// external [`CountState`] so shards can scan disjoint database
+/// partitions in parallel against the same tree.
 #[derive(Debug, Clone)]
 pub struct HashTree {
     nodes: Vec<Node>,
@@ -31,7 +61,9 @@ pub struct HashTree {
     fanout: usize,
     leaf_capacity: usize,
     n_candidates: usize,
-    generation: u64,
+    /// The built-in state used by the single-threaded convenience API
+    /// ([`HashTree::count_transaction`] / [`HashTree::into_frequent`]).
+    state: CountState,
 }
 
 impl HashTree {
@@ -46,13 +78,16 @@ impl HashTree {
         Self {
             nodes: vec![Node::Leaf {
                 candidates: Vec::new(),
-                last_visit: 0,
             }],
             k,
             fanout,
             leaf_capacity,
             n_candidates: 0,
-            generation: 0,
+            state: CountState {
+                counts: Vec::new(),
+                visited: Vec::new(),
+                generation: 0,
+            },
         }
     }
 
@@ -75,7 +110,8 @@ impl HashTree {
         self.n_candidates == 0
     }
 
-    /// Inserts a sorted size-`k` candidate with count 0.
+    /// Inserts a sorted size-`k` candidate, assigning it the next dense
+    /// candidate id.
     pub fn insert(&mut self, candidate: Itemset) {
         debug_assert_eq!(candidate.len(), self.k);
         debug_assert!(candidate.windows(2).all(|w| w[0] < w[1]));
@@ -87,8 +123,8 @@ impl HashTree {
                     node = children[candidate[depth] as usize % self.fanout];
                     depth += 1;
                 }
-                Node::Leaf { candidates, .. } => {
-                    candidates.push((candidate, 0));
+                Node::Leaf { candidates } => {
+                    candidates.push((candidate, self.n_candidates as u32));
                     self.n_candidates += 1;
                     if candidates.len() > self.leaf_capacity && depth < self.k {
                         self.split_leaf(node, depth);
@@ -99,15 +135,23 @@ impl HashTree {
         }
     }
 
+    /// A fresh, zeroed counting state sized for this tree. One per
+    /// shard when counting in parallel.
+    pub fn new_count_state(&self) -> CountState {
+        CountState {
+            counts: vec![0; self.n_candidates],
+            visited: vec![0; self.nodes.len()],
+            generation: 0,
+        }
+    }
+
     /// Splits the leaf at `node` (which sits at `depth`) into an interior
     /// node, redistributing its candidates by the hash of their item at
     /// `depth`.
     fn split_leaf(&mut self, node: usize, depth: usize) {
-        let candidates = match std::mem::replace(
-            &mut self.nodes[node],
-            Node::Interior(Vec::new()),
-        ) {
-            Node::Leaf { candidates, .. } => candidates,
+        let candidates = match std::mem::replace(&mut self.nodes[node], Node::Interior(Vec::new()))
+        {
+            Node::Leaf { candidates } => candidates,
             Node::Interior(_) => unreachable!("split target is a leaf"),
         };
         let mut children = Vec::with_capacity(self.fanout);
@@ -115,13 +159,12 @@ impl HashTree {
             children.push(self.nodes.len());
             self.nodes.push(Node::Leaf {
                 candidates: Vec::new(),
-                last_visit: 0,
             });
         }
-        for (cand, count) in candidates {
+        for (cand, id) in candidates {
             let child = children[cand[depth] as usize % self.fanout];
             match &mut self.nodes[child] {
-                Node::Leaf { candidates, .. } => candidates.push((cand, count)),
+                Node::Leaf { candidates } => candidates.push((cand, id)),
                 Node::Interior(_) => unreachable!("fresh children are leaves"),
             }
         }
@@ -131,14 +174,16 @@ impl HashTree {
         // lands in it; at depth == k it is allowed to overflow.
     }
 
-    /// Counts this tree's candidates contained in `txn` (sorted item ids),
-    /// incrementing their counts.
-    pub fn count_transaction(&mut self, txn: &[u32]) {
+    /// Counts this tree's candidates contained in `txn` (sorted item
+    /// ids) into `state`. The tree itself is read-only, so disjoint
+    /// database shards can count concurrently, each into its own state.
+    pub fn count_transaction_into(&self, txn: &[u32], state: &mut CountState) {
         if txn.len() < self.k || self.is_empty() {
             return;
         }
-        self.generation += 1;
-        let generation = self.generation;
+        debug_assert_eq!(state.visited.len(), self.nodes.len());
+        state.generation += 1;
+        let generation = state.generation;
         let fanout = self.fanout;
         let k = self.k;
         // Explicit DFS stack of (node id, next transaction position,
@@ -146,18 +191,15 @@ impl HashTree {
         let mut stack: Vec<(usize, usize, usize)> = Vec::with_capacity(txn.len() + 4);
         stack.push((0, 0, 0));
         while let Some((node, start, depth)) = stack.pop() {
-            match &mut self.nodes[node] {
-                Node::Leaf {
-                    candidates,
-                    last_visit,
-                } => {
-                    if *last_visit == generation {
+            match &self.nodes[node] {
+                Node::Leaf { candidates } => {
+                    if state.visited[node] == generation {
                         continue; // already counted for this transaction
                     }
-                    *last_visit = generation;
-                    for (cand, count) in candidates {
+                    state.visited[node] = generation;
+                    for (cand, id) in candidates {
                         if is_subset_sorted(cand, txn) {
-                            *count += 1;
+                            state.counts[*id as usize] += 1;
                         }
                     }
                 }
@@ -173,21 +215,51 @@ impl HashTree {
         }
     }
 
-    /// Drains the tree, returning every `(candidate, count)` pair with
+    /// Single-threaded convenience: counts `txn` into the tree's own
+    /// built-in state.
+    pub fn count_transaction(&mut self, txn: &[u32]) {
+        if self.state.counts.len() != self.n_candidates {
+            self.state = self.new_count_state();
+        }
+        let mut state = std::mem::replace(
+            &mut self.state,
+            CountState {
+                counts: Vec::new(),
+                visited: Vec::new(),
+                generation: 0,
+            },
+        );
+        self.count_transaction_into(txn, &mut state);
+        self.state = state;
+    }
+
+    /// Drains the tree against an explicit (e.g. shard-merged) count
+    /// vector, returning every `(candidate, count)` pair with
     /// `count >= min_count`, lexicographically sorted.
-    pub fn into_frequent(self, min_count: usize) -> Vec<(Itemset, usize)> {
+    pub fn into_frequent_with(self, counts: &[usize], min_count: usize) -> Vec<(Itemset, usize)> {
+        debug_assert_eq!(counts.len(), self.n_candidates);
         let mut out = Vec::new();
         for node in self.nodes {
-            if let Node::Leaf { candidates, .. } = node {
-                out.extend(
-                    candidates
-                        .into_iter()
-                        .filter(|&(_, count)| count >= min_count),
-                );
+            if let Node::Leaf { candidates } = node {
+                out.extend(candidates.into_iter().filter_map(|(cand, id)| {
+                    let count = counts[id as usize];
+                    (count >= min_count).then_some((cand, count))
+                }));
             }
         }
         out.sort();
         out
+    }
+
+    /// Drains the tree against its built-in counting state (the
+    /// single-threaded convenience path).
+    pub fn into_frequent(self, min_count: usize) -> Vec<(Itemset, usize)> {
+        let counts = if self.state.counts.len() == self.n_candidates {
+            self.state.counts.clone()
+        } else {
+            vec![0; self.n_candidates]
+        };
+        self.into_frequent_with(&counts, min_count)
     }
 
     /// All `(candidate, count)` pairs regardless of count, sorted.

@@ -18,6 +18,7 @@ use crate::stats::MiningStats;
 use crate::{Apriori, ItemsetMiner, MinSupport, MiningResult};
 use dm_dataset::transactions::is_subset_sorted;
 use dm_dataset::{DataError, TransactionDb};
+use dm_par::{par_chunks_map_reduce, Chunking, Parallelism};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -29,6 +30,7 @@ pub struct AprioriHybrid {
     /// Switch to the TID representation once the estimated number of
     /// `(transaction, candidate)` entries falls below this budget.
     tid_budget: usize,
+    parallelism: Parallelism,
 }
 
 impl AprioriHybrid {
@@ -39,12 +41,22 @@ impl AprioriHybrid {
             min_support,
             max_len: None,
             tid_budget: 1_000_000,
+            parallelism: Parallelism::Sequential,
         }
     }
 
     /// Overrides the `C̄` entry budget that triggers the switch.
     pub fn with_tid_budget(mut self, tid_budget: usize) -> Self {
         self.tid_budget = tid_budget;
+        self
+    }
+
+    /// Sets how the Apriori-phase support counting is spread across
+    /// threads (Count Distribution over database shards; the TID-join
+    /// phase is inherently sequential and unaffected). Results are
+    /// identical for every [`Parallelism`] setting.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 
@@ -63,7 +75,7 @@ impl ItemsetMiner for AprioriHybrid {
     fn mine(&self, db: &TransactionDb) -> Result<MiningResult, DataError> {
         let min_count = self.min_support.resolve(db)?;
         // Phase 1: plain Apriori, pass by pass, watching the estimate.
-        let apriori = Apriori::new(MinSupport::Count(min_count));
+        let apriori = Apriori::new(MinSupport::Count(min_count)).with_parallelism(self.parallelism);
         let mut stats = MiningStats::default();
         let mut levels: Vec<Vec<(Itemset, usize)>> = Vec::new();
 
@@ -98,7 +110,8 @@ impl ItemsetMiner for AprioriHybrid {
             let n_candidates = candidates.len();
 
             // Estimate C̄_{k+1} volume: support mass of L_k.
-            let support_mass: usize = levels[k - 1].iter().map(|(_, c)| c).sum::<usize>() + db.len();
+            let support_mass: usize =
+                levels[k - 1].iter().map(|(_, c)| c).sum::<usize>() + db.len();
             if tidlists.is_none() && support_mass <= self.tid_budget {
                 // Switch: materialize C̄_k (ids into L_k) with one scan.
                 switched_at = Some(k);
@@ -119,11 +132,10 @@ impl ItemsetMiner for AprioriHybrid {
 
             let frequent: Vec<(Itemset, usize)> = match &mut tidlists {
                 // Apriori-style counting against the raw database.
-                None => apriori_count(db, &candidates, k + 1, min_count),
+                None => apriori_count(self.parallelism, db, &candidates, k + 1, min_count),
                 Some(lists) => {
                     // AprioriTid-style join over C̄_k.
-                    let (lk, next_lists) =
-                        tid_pass(&prev, &candidates, lists, min_count);
+                    let (lk, next_lists) = tid_pass(&prev, &candidates, lists, min_count);
                     *lists = next_lists;
                     lk
                 }
@@ -145,18 +157,34 @@ impl ItemsetMiner for AprioriHybrid {
     }
 }
 
-/// Hash-tree counting of `candidates` (size `k`) against the database.
+/// Hash-tree counting of `candidates` (size `k`) against the database,
+/// sharded Count Distribution-style when `par` allows.
 fn apriori_count(
+    par: Parallelism,
     db: &TransactionDb,
     candidates: &[Itemset],
     k: usize,
     min_count: usize,
 ) -> Vec<(Itemset, usize)> {
-    let mut tree = crate::hash_tree::HashTree::build(candidates.to_vec(), k, 8, 16);
-    for txn in db.iter() {
-        tree.count_transaction(txn);
-    }
-    tree.into_frequent(min_count)
+    let tree = crate::hash_tree::HashTree::build(candidates.to_vec(), k, 8, 16);
+    let state = par_chunks_map_reduce(
+        par,
+        Chunking::PerThread,
+        db.transactions(),
+        || tree.new_count_state(),
+        |shard| {
+            let mut state = tree.new_count_state();
+            for txn in shard {
+                tree.count_transaction_into(txn, &mut state);
+            }
+            state
+        },
+        |mut a, b| {
+            a.absorb(&b);
+            a
+        },
+    );
+    tree.into_frequent_with(state.counts(), min_count)
 }
 
 /// One AprioriTid join pass: counts `candidates` (generated from `prev`)
@@ -294,7 +322,9 @@ mod tests {
         let hybrid = AprioriHybrid::new(MinSupport::Fraction(0.01))
             .mine(&db)
             .unwrap();
-        let reference = AprioriTid::new(MinSupport::Fraction(0.01)).mine(&db).unwrap();
+        let reference = AprioriTid::new(MinSupport::Fraction(0.01))
+            .mine(&db)
+            .unwrap();
         assert_eq!(hybrid.itemsets, reference.itemsets);
     }
 }

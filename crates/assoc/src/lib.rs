@@ -44,7 +44,6 @@
 //! assert!(rules.iter().all(|r| r.confidence >= 0.9));
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod ais;
 pub mod apriori;

@@ -143,7 +143,10 @@ mod tests {
             vec![1, 2, 3, 5],
             vec![2, 5],
         ]);
-        Apriori::new(MinSupport::Count(2)).mine(&db).unwrap().itemsets
+        Apriori::new(MinSupport::Count(2))
+            .mine(&db)
+            .unwrap()
+            .itemsets
     }
 
     #[test]
@@ -206,12 +209,7 @@ mod tests {
         for r in &rules {
             assert!(!r.antecedent.is_empty());
             assert!(!r.consequent.is_empty());
-            let mut union: Itemset = r
-                .antecedent
-                .iter()
-                .chain(&r.consequent)
-                .copied()
-                .collect();
+            let mut union: Itemset = r.antecedent.iter().chain(&r.consequent).copied().collect();
             union.sort_unstable();
             let dup_free = union.windows(2).all(|w| w[0] < w[1]);
             assert!(dup_free, "antecedent and consequent overlap: {r}");

@@ -57,7 +57,11 @@ impl MiningStats {
 
 impl fmt::Display for MiningStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:>4} {:>12} {:>10} {:>12}", "pass", "candidates", "frequent", "time")?;
+        writeln!(
+            f,
+            "{:>4} {:>12} {:>10} {:>12}",
+            "pass", "candidates", "frequent", "time"
+        )?;
         for p in &self.passes {
             writeln!(
                 f,

@@ -11,8 +11,7 @@ use proptest::prelude::*;
 
 /// Strategy: a database of up to 24 transactions over up to 10 items.
 fn small_db() -> impl Strategy<Value = TransactionDb> {
-    prop::collection::vec(prop::collection::vec(0u32..10, 0..6), 1..24)
-        .prop_map(TransactionDb::new)
+    prop::collection::vec(prop::collection::vec(0u32..10, 0..6), 1..24).prop_map(TransactionDb::new)
 }
 
 proptest! {

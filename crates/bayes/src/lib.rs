@@ -25,7 +25,6 @@
 //! assert!(acc > 0.7);
 //! ```
 
-
 #![warn(missing_docs)]
 use dm_dataset::{Column, DataError, Dataset, Labels, MISSING_CODE};
 
@@ -129,7 +128,10 @@ impl NaiveBayes {
                     }
                     attrs.push(AttrModel::Gaussian { mean, var });
                 }
-                Column::Categorical { codes: cat_codes, dict } => {
+                Column::Categorical {
+                    codes: cat_codes,
+                    dict,
+                } => {
                     let n_cats = dict.len();
                     let mut counts = vec![vec![0usize; n_cats]; n_classes];
                     let mut totals = vec![0usize; n_classes];
@@ -218,7 +220,9 @@ impl NaiveBayesModel {
 
     /// Predicts every row of `data`.
     pub fn predict(&self, data: &Dataset) -> Vec<u32> {
-        (0..data.n_rows()).map(|i| self.predict_row(data, i)).collect()
+        (0..data.n_rows())
+            .map(|i| self.predict_row(data, i))
+            .collect()
     }
 }
 
@@ -242,8 +246,8 @@ mod tests {
             "f", "t", "f", "f", "f", "t", "t", "f", "f", "f", "t", "t", "f", "t",
         ];
         let play = [
-            "no", "no", "yes", "yes", "yes", "no", "yes", "no", "yes", "yes", "yes", "yes",
-            "yes", "no",
+            "no", "no", "yes", "yes", "yes", "no", "yes", "no", "yes", "yes", "yes", "yes", "yes",
+            "no",
         ];
         let ds = Dataset::from_columns(
             "weather",

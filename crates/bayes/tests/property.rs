@@ -27,9 +27,8 @@ fn labelled_data() -> impl Strategy<Value = (Dataset, Labels)> {
                     ],
                 )
                 .expect("consistent schema");
-                let labels = Labels::from_strs(
-                    labels.iter().map(|l| format!("l{l}")).collect::<Vec<_>>(),
-                );
+                let labels =
+                    Labels::from_strs(labels.iter().map(|l| format!("l{l}")).collect::<Vec<_>>());
                 (ds, labels)
             })
     })

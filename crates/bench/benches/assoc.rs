@@ -51,7 +51,11 @@ fn e3_scaleup(c: &mut Criterion) {
     for d in [1_000usize, 2_000, 4_000] {
         let db = quest(10.0, 4.0, d);
         group.bench_with_input(BenchmarkId::from_parameter(d), &db, |b, db| {
-            b.iter(|| Apriori::new(MinSupport::Fraction(0.01)).mine(black_box(db)).unwrap())
+            b.iter(|| {
+                Apriori::new(MinSupport::Fraction(0.01))
+                    .mine(black_box(db))
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -64,7 +68,11 @@ fn e4_width(c: &mut Criterion) {
     for t in [5usize, 10, 20] {
         let db = quest(t as f64, 4.0, 20_000 / t);
         group.bench_with_input(BenchmarkId::from_parameter(t), &db, |b, db| {
-            b.iter(|| Apriori::new(MinSupport::Count(20)).mine(black_box(db)).unwrap())
+            b.iter(|| {
+                Apriori::new(MinSupport::Count(20))
+                    .mine(black_box(db))
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -73,7 +81,9 @@ fn e4_width(c: &mut Criterion) {
 /// E5 kernel: rule generation from a mined itemset collection.
 fn e5_rules(c: &mut Criterion) {
     let db = quest(10.0, 4.0, 2_000);
-    let mined = Apriori::new(MinSupport::Fraction(0.0075)).mine(&db).unwrap();
+    let mined = Apriori::new(MinSupport::Fraction(0.0075))
+        .mine(&db)
+        .unwrap();
     let mut group = c.benchmark_group("e05_rule_generation");
     for conf in [0.9f64, 0.5] {
         group.bench_with_input(
@@ -111,5 +121,37 @@ fn a1_counting(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, e1_miners, e2_pass_stats, e3_scaleup, e4_width, e5_rules, a1_counting);
+/// P1 kernel: Count Distribution scaling — the same Apriori mine at 1,
+/// 2, and 4 counting threads (plus the no-layer sequential baseline).
+fn p1_parallel_apriori(c: &mut Criterion) {
+    let db = quest(10.0, 4.0, 4_000);
+    let support = MinSupport::Fraction(0.01);
+    let mut group = c.benchmark_group("p1_apriori_threads");
+    group.sample_size(10);
+    group.bench_function("seq", |b| {
+        b.iter(|| Apriori::new(support).mine(black_box(&db)).unwrap())
+    });
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                Apriori::new(support)
+                    .with_parallelism(Parallelism::Threads(t))
+                    .mine(black_box(&db))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    e1_miners,
+    e2_pass_stats,
+    e3_scaleup,
+    e4_width,
+    e5_rules,
+    a1_counting,
+    p1_parallel_apriori
+);
 criterion_main!(benches);

@@ -5,7 +5,9 @@ use dm_core::prelude::*;
 use std::hint::black_box;
 
 fn data(f: AgrawalFunction, n: usize, seed: u64) -> (Dataset, Labels) {
-    AgrawalGenerator::new(f, n).expect("rows > 0").generate(seed)
+    AgrawalGenerator::new(f, n)
+        .expect("rows > 0")
+        .generate(seed)
 }
 
 /// E9 kernel: fit+predict of each classifier on one function.
@@ -56,7 +58,11 @@ fn e11_fit_time(c: &mut Criterion) {
     let mut group = c.benchmark_group("e11_fit_n4000");
     group.sample_size(10);
     group.bench_function("tree", |b| {
-        b.iter(|| DecisionTreeLearner::new().fit(black_box(&train), &labels).unwrap())
+        b.iter(|| {
+            DecisionTreeLearner::new()
+                .fit(black_box(&train), &labels)
+                .unwrap()
+        })
     });
     group.bench_function("naive_bayes", |b| {
         b.iter(|| NaiveBayes::new().fit(black_box(&train), &labels).unwrap())
@@ -74,7 +80,11 @@ fn e12_pruning(c: &mut Criterion) {
     let mut group = c.benchmark_group("e12_pruning_noisy");
     group.sample_size(10);
     group.bench_function("unpruned", |b| {
-        b.iter(|| DecisionTreeLearner::new().fit(black_box(&train), &noisy).unwrap())
+        b.iter(|| {
+            DecisionTreeLearner::new()
+                .fit(black_box(&train), &noisy)
+                .unwrap()
+        })
     });
     group.bench_function("pessimistic", |b| {
         b.iter(|| {

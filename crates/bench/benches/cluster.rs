@@ -106,5 +106,40 @@ fn a2_birch_threshold(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, e6_kmeans_init, e7_algorithms, e8_scaling, a2_birch_threshold);
+/// P2 kernel: parallel Lloyd iterations — the same k-means fit at 1, 2,
+/// and 4 assignment threads (plus the no-layer sequential baseline).
+fn p2_parallel_kmeans(c: &mut Criterion) {
+    let data = blobs(4_000);
+    let mut group = c.benchmark_group("p2_kmeans_threads");
+    group.sample_size(10);
+    group.bench_function("seq", |b| {
+        b.iter(|| {
+            KMeans::new(5)
+                .with_seed(1)
+                .fit_model(black_box(&data))
+                .unwrap()
+        })
+    });
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                KMeans::new(5)
+                    .with_seed(1)
+                    .with_parallelism(Parallelism::Threads(t))
+                    .fit_model(black_box(&data))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    e6_kmeans_init,
+    e7_algorithms,
+    e8_scaling,
+    a2_birch_threshold,
+    p2_parallel_kmeans
+);
 criterion_main!(benches);

@@ -14,9 +14,7 @@ fn e13_apriori_all(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("minsup{pct}")),
             &pct,
-            |b, &pct| {
-                b.iter(|| AprioriAll::new(pct / 100.0).mine(black_box(&db)).unwrap())
-            },
+            |b, &pct| b.iter(|| AprioriAll::new(pct / 100.0).mine(black_box(&db)).unwrap()),
         );
     }
     group.finish();

@@ -38,7 +38,15 @@ pub fn e1_miner_times() -> String {
         let (name, db) = quest_db(t, i, 10_000);
         let mut table = Table::new(
             format!("{name}: time by minsup"),
-            &["minsup %", "ais", "setm", "apriori", "apriori-tid", "hybrid", "frequent sets"],
+            &[
+                "minsup %",
+                "ais",
+                "setm",
+                "apriori",
+                "apriori-tid",
+                "hybrid",
+                "frequent sets",
+            ],
         );
         for minsup in [2.0, 1.5, 1.0, 0.75, 0.5f64] {
             let support = MinSupport::Fraction(minsup / 100.0);
@@ -202,7 +210,11 @@ pub fn a1_hashtree_ablation() -> String {
             "linear",
             Apriori::new(support).with_counting(CountingStrategy::Linear),
         ),
-        ("no", "hash tree", Apriori::new(support).with_pair_array(false)),
+        (
+            "no",
+            "hash tree",
+            Apriori::new(support).with_pair_array(false),
+        ),
         (
             "no",
             "linear",

@@ -62,7 +62,9 @@ pub fn e9_accuracy_table() -> String {
 /// vs training-set size, pruned vs unpruned).
 pub fn e10_learning_curve() -> String {
     let mut out = String::new();
-    out.push_str("# E10: learning curve on F2 with 10% label noise (test = 2000 clean records)\n\n");
+    out.push_str(
+        "# E10: learning curve on F2 with 10% label noise (test = 2000 clean records)\n\n",
+    );
     let (test, test_labels) = AgrawalGenerator::new(AgrawalFunction::F2, 2000)
         .expect("valid")
         .generate(999);
@@ -81,7 +83,9 @@ pub fn e10_learning_curve() -> String {
             .expect("valid")
             .generate(n as u64);
         let noisy = flip_labels(&labels, 0.10, 7).expect("two classes");
-        let unpruned = DecisionTreeLearner::new().fit(&train, &noisy).expect("fits");
+        let unpruned = DecisionTreeLearner::new()
+            .fit(&train, &noisy)
+            .expect("fits");
         let pruned = DecisionTreeLearner::new()
             .with_pruning(Pruning::Pessimistic { cf: 0.25 })
             .fit(&train, &noisy)
@@ -164,7 +168,9 @@ pub fn e12_noise_sensitivity() -> String {
     );
     for noise in [0.0, 0.05, 0.10, 0.20f64] {
         let labels = flip_labels(&clean_labels, noise, 55).expect("two classes");
-        let unpruned = DecisionTreeLearner::new().fit(&train, &labels).expect("fits");
+        let unpruned = DecisionTreeLearner::new()
+            .fit(&train, &labels)
+            .expect("fits");
         let pruned = DecisionTreeLearner::new()
             .with_pruning(Pruning::Pessimistic { cf: 0.25 })
             .fit(&train, &labels)

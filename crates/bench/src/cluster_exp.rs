@@ -12,7 +12,10 @@ pub fn e6_elbow_and_init() -> String {
     let mut out = String::new();
     out.push_str("# E6: k-means elbow and initialization comparison (true k = 5)\n\n");
 
-    let mut elbow = Table::new("SSE vs k (kmeans++, best of 3 seeds)", &["k", "sse", "iterations"]);
+    let mut elbow = Table::new(
+        "SSE vs k (kmeans++, best of 3 seeds)",
+        &["k", "sse", "iterations"],
+    );
     for k in 1..=10usize {
         let best = (0..3)
             .map(|seed| {
@@ -47,10 +50,7 @@ pub fn e6_elbow_and_init() -> String {
             })
             .collect();
         let mean_sse = models.iter().map(|m| m.inertia).sum::<f64>() / models.len() as f64;
-        let worst = models
-            .iter()
-            .map(|m| m.inertia)
-            .fold(0.0f64, f64::max);
+        let worst = models.iter().map(|m| m.inertia).fold(0.0f64, f64::max);
         let mean_iter =
             models.iter().map(|m| m.iterations).sum::<usize>() as f64 / models.len() as f64;
         init.row(vec![
@@ -165,7 +165,15 @@ pub fn e8_scaling() -> String {
     out.push_str("# E8: clustering time vs dataset size (d = 2, k = 5)\n\n");
     let mut table = Table::new(
         "time (and ARI) by n",
-        &["n", "kmeans++", "birch", "hierarchical", "ari kmeans", "ari birch", "ari hier"],
+        &[
+            "n",
+            "kmeans++",
+            "birch",
+            "hierarchical",
+            "ari kmeans",
+            "ari birch",
+            "ari hier",
+        ],
     );
     for n_per in [100usize, 200, 400, 800, 1600] {
         let mixture = GaussianMixture::well_separated(5, 2, n_per, 8.0).expect("valid");
@@ -196,9 +204,18 @@ pub fn e8_scaling() -> String {
             fmt_duration(t_km),
             fmt_duration(t_bi),
             fmt_duration(t_hi),
-            format!("{:.3}", adjusted_rand_index(&truth, &km.assignments).expect("valid")),
-            format!("{:.3}", adjusted_rand_index(&truth, &bi.assignments).expect("valid")),
-            format!("{:.3}", adjusted_rand_index(&truth, &hi.assignments).expect("valid")),
+            format!(
+                "{:.3}",
+                adjusted_rand_index(&truth, &km.assignments).expect("valid")
+            ),
+            format!(
+                "{:.3}",
+                adjusted_rand_index(&truth, &bi.assignments).expect("valid")
+            ),
+            format!(
+                "{:.3}",
+                adjusted_rand_index(&truth, &hi.assignments).expect("valid")
+            ),
         ]);
     }
     out.push_str(&table.render());

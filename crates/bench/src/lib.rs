@@ -15,7 +15,6 @@
 //!
 //! or a single experiment by id (`e1` … `e13`, `a1`, `a2`).
 
-
 #![warn(missing_docs)]
 pub mod assoc_exp;
 pub mod classify_exp;

@@ -32,15 +32,14 @@ pub fn e13_sequential_patterns() -> String {
         ],
     );
     for pct in [4.0, 2.0, 1.0f64] {
-        let result = AprioriAll::new(pct / 100.0).mine(&db).expect("mining succeeds");
+        let result = AprioriAll::new(pct / 100.0)
+            .mine(&db)
+            .expect("mining succeeds");
         table.row(vec![
             format!("{pct}"),
             result.n_litemsets.to_string(),
             result.patterns.len().to_string(),
-            result
-                .frequent_per_length
-                .len()
-                .to_string(),
+            result.frequent_per_length.len().to_string(),
             format!("{:?}", result.frequent_per_length),
             fmt_duration(result.duration),
         ]);

@@ -151,23 +151,20 @@ impl Agglomerative {
         // Nearest-neighbour cache per active slot.
         let mut nn: Vec<usize> = vec![0; n];
         let mut nn_dist: Vec<f64> = vec![f64::INFINITY; n];
-        let recompute_nn = |slot: usize,
-                            dist: &[f64],
-                            active: &[bool],
-                            nn: &mut [usize],
-                            nn_dist: &mut [f64]| {
-            let mut best = (usize::MAX, f64::INFINITY);
-            for j in 0..n {
-                if j != slot && active[j] {
-                    let d = dist[slot * n + j];
-                    if d < best.1 {
-                        best = (j, d);
+        let recompute_nn =
+            |slot: usize, dist: &[f64], active: &[bool], nn: &mut [usize], nn_dist: &mut [f64]| {
+                let mut best = (usize::MAX, f64::INFINITY);
+                for j in 0..n {
+                    if j != slot && active[j] {
+                        let d = dist[slot * n + j];
+                        if d < best.1 {
+                            best = (j, d);
+                        }
                     }
                 }
-            }
-            nn[slot] = best.0;
-            nn_dist[slot] = best.1;
-        };
+                nn[slot] = best.0;
+                nn_dist[slot] = best.1;
+            };
         for slot in 0..n {
             recompute_nn(slot, &dist, &active, &mut nn, &mut nn_dist);
         }

@@ -156,14 +156,11 @@ impl CfNode {
     ) -> Option<(ClusteringFeature, Box<CfNode>)> {
         match self {
             CfNode::Leaf { entries } => {
-                if let Some(best) = entries
-                    .iter_mut()
-                    .min_by(|a, b| {
-                        a.centroid_dist_sq(p)
-                            .partial_cmp(&b.centroid_dist_sq(p))
-                            .expect("finite")
-                    })
-                {
+                if let Some(best) = entries.iter_mut().min_by(|a, b| {
+                    a.centroid_dist_sq(p)
+                        .partial_cmp(&b.centroid_dist_sq(p))
+                        .expect("finite")
+                }) {
                     // Tentatively absorb; undo if the radius bound breaks.
                     let mut candidate = best.clone();
                     candidate.add_point(p);
@@ -212,10 +209,7 @@ struct SplitOut<E> {
 }
 
 impl<E> SplitOut<E> {
-    fn map_node(
-        self,
-        make: impl FnOnce(Vec<E>) -> CfNode,
-    ) -> (ClusteringFeature, Box<CfNode>)
+    fn map_node(self, make: impl FnOnce(Vec<E>) -> CfNode) -> (ClusteringFeature, Box<CfNode>)
     where
         E: HasCf,
     {
@@ -301,8 +295,7 @@ fn cf_of_node(node: &CfNode) -> ClusteringFeature {
             cf
         }
         CfNode::Interior { entries } => {
-            let mut cf =
-                ClusteringFeature::empty(entries.first().map_or(0, |(c, _)| c.ls.len()));
+            let mut cf = ClusteringFeature::empty(entries.first().map_or(0, |(c, _)| c.ls.len()));
             for (c, _) in entries {
                 cf.merge(c);
             }
@@ -418,11 +411,7 @@ impl Birch {
             .map(|c| euclidean_sq(c, &centers[0]))
             .collect();
         while centers.len() < self.k {
-            let scores: Vec<f64> = dist2
-                .iter()
-                .zip(&weights)
-                .map(|(&d, &w)| d * w)
-                .collect();
+            let scores: Vec<f64> = dist2.iter().zip(&weights).map(|(&d, &w)| d * w).collect();
             let total: f64 = scores.iter().sum();
             let pick = if total <= 0.0 {
                 rng.gen_range(0..centroids_of.len())
@@ -586,10 +575,7 @@ mod tests {
         let (data, _) = GaussianMixture::well_separated(4, 2, 200, 10.0)
             .unwrap()
             .generate(1);
-        let stats = Birch::new(4)
-            .with_threshold(1.0)
-            .tree_stats(&data)
-            .unwrap();
+        let stats = Birch::new(4).with_threshold(1.0).tree_stats(&data).unwrap();
         assert!(stats.leaf_entries > 0);
         assert!(
             stats.leaf_entries < data.rows() / 4,
@@ -628,13 +614,7 @@ mod tests {
     fn fallback_when_overcondensed() {
         // Huge threshold: everything lands in one CF entry, but k=2 must
         // still come back with 2 clusters via the raw-data fallback.
-        let data = Matrix::from_rows(&[
-            vec![0.0],
-            vec![0.1],
-            vec![10.0],
-            vec![10.1],
-        ])
-        .unwrap();
+        let data = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![10.0], vec![10.1]]).unwrap();
         let c = Birch::new(2).with_threshold(1e9).fit(&data).unwrap();
         assert_eq!(c.n_clusters, 2);
         assert_ne!(c.assignments[0], c.assignments[2]);

@@ -68,10 +68,7 @@ impl Clara {
         if self.n_samples == 0 {
             return Err(DataError::InvalidParameter("n_samples must be >= 1".into()));
         }
-        let sample_size = self
-            .sample_size
-            .unwrap_or(40 + 2 * self.k)
-            .clamp(self.k, n);
+        let sample_size = self.sample_size.unwrap_or(40 + 2 * self.k).clamp(self.k, n);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut best: Option<(Vec<usize>, f64)> = None;
 

@@ -89,9 +89,9 @@ impl Clarans {
         if self.num_local == 0 {
             return Err(DataError::InvalidParameter("num_local must be >= 1".into()));
         }
-        let max_neighbor = self.max_neighbor.unwrap_or_else(|| {
-            (((self.k * (n - self.k)) as f64 * 0.0125) as usize).max(250)
-        });
+        let max_neighbor = self
+            .max_neighbor
+            .unwrap_or_else(|| (((self.k * (n - self.k)) as f64 * 0.0125) as usize).max(250));
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut best: Option<(Vec<usize>, f64)> = None;
 

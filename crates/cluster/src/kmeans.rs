@@ -1,15 +1,22 @@
 //! Lloyd's k-means with pluggable initialization.
 
-
 // Numeric kernels below co-index several parallel arrays; indexed loops
 // are clearer than zipped iterator chains there.
 #![allow(clippy::needless_range_loop)]
 use crate::{Clusterer, Clustering};
 use dm_dataset::matrix::euclidean_sq;
 use dm_dataset::{DataError, Matrix};
+use dm_par::{
+    par_chunks_for_each_mut, par_chunks_map_reduce, par_range_map_reduce, Chunking, Parallelism,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+
+/// Rows per parallel chunk. Fixed (thread-count-independent) boundaries
+/// keep every floating-point reduction bit-identical across
+/// [`Parallelism`] settings; see `dm_par`'s module docs.
+const ROW_CHUNK: usize = 1024;
 
 /// Centroid initialization strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +41,7 @@ pub struct KMeans {
     max_iter: usize,
     init: Init,
     seed: u64,
+    parallelism: Parallelism,
 }
 
 /// A fitted k-means model.
@@ -87,7 +95,17 @@ impl KMeans {
             max_iter: 100,
             init: Init::KMeansPlusPlus,
             seed: 0,
+            parallelism: Parallelism::Sequential,
         }
+    }
+
+    /// Sets how the assignment and seeding passes are spread across
+    /// threads. Chunk boundaries are fixed (never thread-dependent), so
+    /// assignments, centroids, and inertia are bit-identical for every
+    /// [`Parallelism`] setting.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Sets the initialization strategy.
@@ -121,14 +139,32 @@ impl KMeans {
                 }
             }
             Init::KMeansPlusPlus => {
+                let par = self.parallelism;
                 let first = rng.gen_range(0..n);
                 centroids.row_mut(0).copy_from_slice(data.row(first));
                 // dist2[i] = squared distance to the nearest chosen centroid.
-                let mut dist2: Vec<f64> = (0..n)
-                    .map(|i| euclidean_sq(data.row(i), data.row(first)))
-                    .collect();
+                let mut dist2: Vec<f64> = vec![0.0; n];
+                par_chunks_for_each_mut(
+                    par,
+                    Chunking::Fixed(ROW_CHUNK),
+                    &mut dist2,
+                    |start, chunk| {
+                        for (j, d) in chunk.iter_mut().enumerate() {
+                            *d = euclidean_sq(data.row(start + j), data.row(first));
+                        }
+                    },
+                );
                 for c in 1..self.k {
-                    let total: f64 = dist2.iter().sum();
+                    // Fixed chunks: the chunked sum is the same f64 for
+                    // every Parallelism setting.
+                    let total: f64 = par_chunks_map_reduce(
+                        par,
+                        Chunking::Fixed(ROW_CHUNK),
+                        &dist2,
+                        || 0.0f64,
+                        |chunk| chunk.iter().sum::<f64>(),
+                        |a, b| a + b,
+                    );
                     let chosen = if total <= 0.0 {
                         // All points coincide with chosen centroids.
                         rng.gen_range(0..n)
@@ -145,12 +181,19 @@ impl KMeans {
                         pick
                     };
                     centroids.row_mut(c).copy_from_slice(data.row(chosen));
-                    for i in 0..n {
-                        let d = euclidean_sq(data.row(i), data.row(chosen));
-                        if d < dist2[i] {
-                            dist2[i] = d;
-                        }
-                    }
+                    par_chunks_for_each_mut(
+                        par,
+                        Chunking::Fixed(ROW_CHUNK),
+                        &mut dist2,
+                        |start, chunk| {
+                            for (j, slot) in chunk.iter_mut().enumerate() {
+                                let d = euclidean_sq(data.row(start + j), data.row(chosen));
+                                if d < *slot {
+                                    *slot = d;
+                                }
+                            }
+                        },
+                    );
                 }
             }
         }
@@ -176,47 +219,86 @@ impl KMeans {
         let mut iterations = 0usize;
         let mut converged = false;
 
+        // One fused pass per iteration: each shard assigns its rows to
+        // the nearest centroid and accumulates partial centroid sums and
+        // counts; shards merge in fixed chunk order, so assignments,
+        // sums, and counts are bit-identical for every Parallelism
+        // setting.
+        struct AssignPass {
+            assign: Vec<u32>,
+            changed: bool,
+            sums: Vec<f64>, // k x d, row-major
+            counts: Vec<usize>,
+        }
+        let k = self.k;
         while iterations < self.max_iter {
             iterations += 1;
-            // Assignment step.
-            let mut changed = false;
-            for i in 0..n {
-                let (c, _) = nearest(centroids.iter_rows(), data.row(i));
-                if assignments[i] != c as u32 {
-                    assignments[i] = c as u32;
-                    changed = true;
-                }
-            }
-            if !changed {
+            let old = &assignments;
+            let centroids_ref = &centroids;
+            let pass = par_range_map_reduce(
+                self.parallelism,
+                Chunking::Fixed(ROW_CHUNK),
+                n,
+                || AssignPass {
+                    assign: Vec::new(),
+                    changed: false,
+                    sums: vec![0.0; k * d],
+                    counts: vec![0usize; k],
+                },
+                |range| {
+                    let mut shard = AssignPass {
+                        assign: Vec::with_capacity(range.len()),
+                        changed: false,
+                        sums: vec![0.0; k * d],
+                        counts: vec![0usize; k],
+                    };
+                    for i in range {
+                        let (c, _) = nearest(centroids_ref.iter_rows(), data.row(i));
+                        shard.changed |= old[i] != c as u32;
+                        shard.assign.push(c as u32);
+                        shard.counts[c] += 1;
+                        for (s, &x) in shard.sums[c * d..(c + 1) * d].iter_mut().zip(data.row(i)) {
+                            *s += x;
+                        }
+                    }
+                    shard
+                },
+                |mut a, mut b| {
+                    a.assign.append(&mut b.assign);
+                    a.changed |= b.changed;
+                    for (s, x) in a.sums.iter_mut().zip(b.sums) {
+                        *s += x;
+                    }
+                    for (s, x) in a.counts.iter_mut().zip(b.counts) {
+                        *s += x;
+                    }
+                    a
+                },
+            );
+            if !pass.changed {
                 converged = true;
                 iterations -= 1; // final pass did no work
                 break;
             }
-            // Update step.
-            let mut sums = Matrix::zeros(self.k, d);
-            let mut counts = vec![0usize; self.k];
-            for i in 0..n {
-                let c = assignments[i] as usize;
-                counts[c] += 1;
-                let row = sums.row_mut(c);
-                for (s, &x) in row.iter_mut().zip(data.row(i)) {
-                    *s += x;
-                }
-            }
+            assignments = pass.assign;
+            let mut sums = pass.sums;
+            let counts = pass.counts;
             for c in 0..self.k {
                 if counts[c] > 0 {
-                    let row = sums.row_mut(c);
+                    let row = &mut sums[c * d..(c + 1) * d];
                     for s in row.iter_mut() {
                         *s /= counts[c] as f64;
                     }
-                    centroids.row_mut(c).copy_from_slice(sums.row(c));
+                    centroids.row_mut(c).copy_from_slice(row);
                 } else {
                     // Re-seed an empty cluster with the point farthest
                     // from its current centroid.
                     let far = (0..n)
                         .max_by(|&a, &b| {
-                            let da = euclidean_sq(data.row(a), centroids.row(assignments[a] as usize));
-                            let db = euclidean_sq(data.row(b), centroids.row(assignments[b] as usize));
+                            let da =
+                                euclidean_sq(data.row(a), centroids.row(assignments[a] as usize));
+                            let db =
+                                euclidean_sq(data.row(b), centroids.row(assignments[b] as usize));
                             da.partial_cmp(&db).expect("finite distances")
                         })
                         .expect("n >= 1");
@@ -229,14 +311,34 @@ impl KMeans {
             // The loop ended on max_iter right after a centroid update:
             // refresh assignments so the nearest-centroid invariant holds
             // for the returned model.
-            for i in 0..n {
-                let (c, _) = nearest(centroids.iter_rows(), data.row(i));
-                assignments[i] = c as u32;
-            }
+            let centroids_ref = &centroids;
+            par_chunks_for_each_mut(
+                self.parallelism,
+                Chunking::Fixed(ROW_CHUNK),
+                &mut assignments,
+                |start, chunk| {
+                    for (j, a) in chunk.iter_mut().enumerate() {
+                        *a = nearest(centroids_ref.iter_rows(), data.row(start + j)).0 as u32;
+                    }
+                },
+            );
         }
-        let inertia = (0..n)
-            .map(|i| euclidean_sq(data.row(i), centroids.row(assignments[i] as usize)))
-            .sum();
+        let assignments_ref = &assignments;
+        let centroids_ref = &centroids;
+        let inertia = par_range_map_reduce(
+            self.parallelism,
+            Chunking::Fixed(ROW_CHUNK),
+            n,
+            || 0.0f64,
+            |range| {
+                range
+                    .map(|i| {
+                        euclidean_sq(data.row(i), centroids_ref.row(assignments_ref[i] as usize))
+                    })
+                    .sum::<f64>()
+            },
+            |a, b| a + b,
+        );
         Ok(KMeansModel {
             centroids,
             assignments,

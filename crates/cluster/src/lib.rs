@@ -21,7 +21,6 @@
 //! produce a [`Clustering`]. Noise points (DBSCAN only) are labelled
 //! [`NOISE`].
 
-
 #![warn(missing_docs)]
 pub mod agglomerative;
 pub mod birch;

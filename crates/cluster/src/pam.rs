@@ -7,7 +7,6 @@
 //! iteration — the trade-off the clustering-comparison experiment
 //! surfaces.
 
-
 // Numeric kernels below co-index several parallel arrays; indexed loops
 // are clearer than zipped iterator chains there.
 #![allow(clippy::needless_range_loop)]
@@ -79,9 +78,7 @@ impl Pam {
                 if medoids.contains(&cand) {
                     continue;
                 }
-                let gain: f64 = (0..n)
-                    .map(|j| (nearest[j] - d(cand, j)).max(0.0))
-                    .sum();
+                let gain: f64 = (0..n).map(|j| (nearest[j] - d(cand, j)).max(0.0)).sum();
                 if best.is_none_or(|(_, g)| gain > g) {
                     best = Some((cand, gain));
                 }
@@ -187,13 +184,7 @@ mod tests {
 
     #[test]
     fn medoids_are_data_points() {
-        let data = Matrix::from_rows(&[
-            vec![0.0],
-            vec![1.0],
-            vec![10.0],
-            vec![11.0],
-        ])
-        .unwrap();
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0], vec![11.0]]).unwrap();
         let (c, medoids) = Pam::new(2).fit_medoids(&data).unwrap();
         assert_eq!(medoids.len(), 2);
         for (cluster, &m) in medoids.iter().enumerate() {
@@ -239,7 +230,10 @@ mod tests {
         assert!(medoids.contains(&3), "medoids {medoids:?}");
         let outlier_cluster = c.assignments[3];
         assert_eq!(
-            c.assignments.iter().filter(|&&a| a == outlier_cluster).count(),
+            c.assignments
+                .iter()
+                .filter(|&&a| a == outlier_cluster)
+                .count(),
             1
         );
     }

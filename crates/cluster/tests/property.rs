@@ -8,11 +8,8 @@ use proptest::prelude::*;
 /// Strategy: 4–40 random points in up to 3 dimensions.
 fn points() -> impl Strategy<Value = Matrix> {
     (4usize..40, 1usize..4).prop_flat_map(|(n, d)| {
-        prop::collection::vec(
-            prop::collection::vec(-50.0f64..50.0, d..=d),
-            n..=n,
-        )
-        .prop_map(|rows| Matrix::from_rows(&rows).expect("rectangular"))
+        prop::collection::vec(prop::collection::vec(-50.0f64..50.0, d..=d), n..=n)
+            .prop_map(|rows| Matrix::from_rows(&rows).expect("rectangular"))
     })
 }
 

@@ -14,8 +14,7 @@ pub trait Classifier {
     fn name(&self) -> String;
 
     /// Trains on `data`/`labels`, returning a prediction model.
-    fn fit(&self, data: &Dataset, labels: &Labels)
-        -> Result<Box<dyn ClassifierModel>, DataError>;
+    fn fit(&self, data: &Dataset, labels: &Labels) -> Result<Box<dyn ClassifierModel>, DataError>;
 }
 
 /// A trained classification model.
@@ -47,11 +46,7 @@ impl Classifier for TreeClassifier {
         "decision-tree".into()
     }
 
-    fn fit(
-        &self,
-        data: &Dataset,
-        labels: &Labels,
-    ) -> Result<Box<dyn ClassifierModel>, DataError> {
+    fn fit(&self, data: &Dataset, labels: &Labels) -> Result<Box<dyn ClassifierModel>, DataError> {
         Ok(Box::new(self.learner.fit(data, labels)?))
     }
 }
@@ -93,11 +88,7 @@ impl Classifier for BaggedClassifier {
         "bagged-trees".into()
     }
 
-    fn fit(
-        &self,
-        data: &Dataset,
-        labels: &Labels,
-    ) -> Result<Box<dyn ClassifierModel>, DataError> {
+    fn fit(&self, data: &Dataset, labels: &Labels) -> Result<Box<dyn ClassifierModel>, DataError> {
         Ok(Box::new(self.learner.fit(data, labels)?))
     }
 }
@@ -131,11 +122,7 @@ impl Classifier for BayesClassifier {
         "naive-bayes".into()
     }
 
-    fn fit(
-        &self,
-        data: &Dataset,
-        labels: &Labels,
-    ) -> Result<Box<dyn ClassifierModel>, DataError> {
+    fn fit(&self, data: &Dataset, labels: &Labels) -> Result<Box<dyn ClassifierModel>, DataError> {
         Ok(Box::new(self.learner.fit(data, labels)?))
     }
 }
@@ -169,11 +156,7 @@ impl Classifier for OneRClassifier {
         "one-r".into()
     }
 
-    fn fit(
-        &self,
-        data: &Dataset,
-        labels: &Labels,
-    ) -> Result<Box<dyn ClassifierModel>, DataError> {
+    fn fit(&self, data: &Dataset, labels: &Labels) -> Result<Box<dyn ClassifierModel>, DataError> {
         Ok(Box::new(self.learner.fit(data, labels)?))
     }
 }
@@ -243,11 +226,7 @@ impl Classifier for KnnClassifier {
         "knn".into()
     }
 
-    fn fit(
-        &self,
-        data: &Dataset,
-        labels: &Labels,
-    ) -> Result<Box<dyn ClassifierModel>, DataError> {
+    fn fit(&self, data: &Dataset, labels: &Labels) -> Result<Box<dyn ClassifierModel>, DataError> {
         let m = data.to_matrix(MatrixEncoding::OneHot);
         let scaler = StandardScaler.fit(&m)?;
         let m = scaler.transform(&m)?;

@@ -29,33 +29,35 @@
 //! assert!(result.mean_accuracy > 0.9);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod classify;
 pub mod model_selection;
 
-/// The data substrate (re-export of `dm-dataset`).
-pub use dm_dataset as dataset;
-/// Synthetic workload generators (re-export of `dm-synth`).
-pub use dm_synth as synth;
-/// Evaluation metrics (re-export of `dm-eval`).
-pub use dm_eval as eval;
 /// Association-rule mining (re-export of `dm-assoc`).
 pub use dm_assoc as assoc;
-/// Clustering (re-export of `dm-cluster`).
-pub use dm_cluster as cluster;
-/// Decision trees (re-export of `dm-tree`).
-pub use dm_tree as tree;
 /// Naive Bayes (re-export of `dm-bayes`).
 pub use dm_bayes as bayes;
+/// Clustering (re-export of `dm-cluster`).
+pub use dm_cluster as cluster;
+/// The data substrate (re-export of `dm-dataset`).
+pub use dm_dataset as dataset;
+/// Evaluation metrics (re-export of `dm-eval`).
+pub use dm_eval as eval;
 /// k-nearest neighbours (re-export of `dm-knn`).
 pub use dm_knn as knn;
+/// Data-parallel execution (re-export of `dm-par`): chunked map-reduce
+/// with a determinism guarantee; see its module docs for the model.
+pub use dm_par as par;
 /// Sequential-pattern mining (re-export of `dm-seq`).
 pub use dm_seq as seq;
+/// Synthetic workload generators (re-export of `dm-synth`).
+pub use dm_synth as synth;
+/// Decision trees (re-export of `dm-tree`).
+pub use dm_tree as tree;
 
 pub use classify::{
-    BaggedClassifier, BayesClassifier, Classifier, ClassifierModel, KnnClassifier,
-    OneRClassifier, TreeClassifier,
+    BaggedClassifier, BayesClassifier, Classifier, ClassifierModel, KnnClassifier, OneRClassifier,
+    TreeClassifier,
 };
 pub use model_selection::{cross_validate, train_test_evaluate, CvResult};
 
@@ -73,8 +75,7 @@ pub mod prelude {
     pub use dm_bayes::NaiveBayes;
     pub use dm_cluster::{
         Agglomerative, Birch, Clara, Clarans, Clusterer, Clustering, Dbscan, Init, KMeans, Linkage,
-        Pam,
-        NOISE,
+        Pam, NOISE,
     };
     pub use dm_dataset::{
         Column, DataError, Dataset, Dict, KFold, Labels, Matrix, StratifiedKFold, TransactionDb,
@@ -85,7 +86,10 @@ pub mod prelude {
         ConfusionMatrix,
     };
     pub use dm_knn::{CondensedNn, Distance, Knn, Search, Weighting};
-    pub use dm_seq::{AprioriAll, SequenceConfig, SequenceDb, SequenceGenerator, SequentialPattern};
+    pub use dm_par::Parallelism;
+    pub use dm_seq::{
+        AprioriAll, SequenceConfig, SequenceDb, SequenceGenerator, SequentialPattern,
+    };
     pub use dm_synth::{
         flip_labels, AgrawalFunction, AgrawalGenerator, ClusterSpec, GaussianMixture, QuestConfig,
         QuestGenerator,

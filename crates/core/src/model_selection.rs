@@ -70,7 +70,9 @@ pub fn cross_validate(
             rows: data.n_rows(),
         });
     }
-    let folds = StratifiedKFold::new(k)?.shuffled(seed).split(labels.codes())?;
+    let folds = StratifiedKFold::new(k)?
+        .shuffled(seed)
+        .split(labels.codes())?;
     let n_classes = labels.n_classes();
     let mut confusion = ConfusionMatrix::from_labels(n_classes, &[], &[])?;
     let mut fold_accuracies = Vec::with_capacity(k);
@@ -166,9 +168,8 @@ mod tests {
         let (test, test_l) = AgrawalGenerator::new(AgrawalFunction::F1, 200)
             .unwrap()
             .generate(4);
-        let r =
-            train_test_evaluate(&OneRClassifier::default(), &train, &train_l, &test, &test_l)
-                .unwrap();
+        let r = train_test_evaluate(&OneRClassifier::default(), &train, &train_l, &test, &test_l)
+            .unwrap();
         assert_eq!(r.confusion.total(), 200);
         assert!(r.mean_accuracy > 0.8, "accuracy {}", r.mean_accuracy);
     }

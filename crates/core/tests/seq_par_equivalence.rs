@@ -1,0 +1,165 @@
+//! Sequential/parallel equivalence: for every wired kernel, mining or
+//! fitting under `Threads(4)` must produce output identical — bit for
+//! bit where floats are involved — to `Sequential`. This is the
+//! contract `dm_par` promises (fixed chunk boundaries, in-order
+//! merges); these tests enforce it end to end on seeded synthetic
+//! workloads.
+
+use dm_core::par::Parallelism;
+use dm_core::prelude::*;
+
+fn settings() -> [Parallelism; 3] {
+    [
+        Parallelism::Threads(1),
+        Parallelism::Threads(4),
+        Parallelism::Auto,
+    ]
+}
+
+#[test]
+fn apriori_counts_match_sequential() {
+    let db = QuestGenerator::new(QuestConfig::standard(10.0, 4.0, 1_500), 9)
+        .unwrap()
+        .generate(41);
+    let reference = Apriori::new(MinSupport::Fraction(0.01)).mine(&db).unwrap();
+    for par in settings() {
+        let got = Apriori::new(MinSupport::Fraction(0.01))
+            .with_parallelism(par)
+            .mine(&db)
+            .unwrap();
+        assert_eq!(got.itemsets, reference.itemsets, "{par:?}");
+    }
+}
+
+#[test]
+fn apriori_linear_counts_match_sequential() {
+    let db = QuestGenerator::new(QuestConfig::standard(8.0, 3.0, 600), 7)
+        .unwrap()
+        .generate(42);
+    let reference = Apriori::new(MinSupport::Fraction(0.02))
+        .with_counting(CountingStrategy::Linear)
+        .with_pair_array(false)
+        .mine(&db)
+        .unwrap();
+    let got = Apriori::new(MinSupport::Fraction(0.02))
+        .with_counting(CountingStrategy::Linear)
+        .with_pair_array(false)
+        .with_parallelism(Parallelism::Threads(4))
+        .mine(&db)
+        .unwrap();
+    assert_eq!(got.itemsets, reference.itemsets);
+}
+
+#[test]
+fn apriori_hybrid_matches_sequential() {
+    let db = QuestGenerator::new(QuestConfig::standard(10.0, 4.0, 1_200), 8)
+        .unwrap()
+        .generate(43);
+    for budget in [0usize, 20_000, 1_000_000] {
+        let reference = AprioriHybrid::new(MinSupport::Fraction(0.01))
+            .with_tid_budget(budget)
+            .mine(&db)
+            .unwrap();
+        let got = AprioriHybrid::new(MinSupport::Fraction(0.01))
+            .with_tid_budget(budget)
+            .with_parallelism(Parallelism::Threads(4))
+            .mine(&db)
+            .unwrap();
+        assert_eq!(got.itemsets, reference.itemsets, "budget {budget}");
+    }
+}
+
+#[test]
+fn kmeans_model_is_bit_identical() {
+    let (data, _) = GaussianMixture::new(vec![
+        ClusterSpec::new(vec![0.0, 0.0, 0.0], 1.0, 700),
+        ClusterSpec::new(vec![6.0, 1.0, -3.0], 1.2, 900),
+        ClusterSpec::new(vec![-4.0, 5.0, 2.0], 0.8, 800),
+    ])
+    .unwrap()
+    .generate(17);
+    for init in [Init::KMeansPlusPlus, Init::Random] {
+        let reference = KMeans::new(3)
+            .with_init(init)
+            .with_seed(5)
+            .fit_model(&data)
+            .unwrap();
+        for par in settings() {
+            let got = KMeans::new(3)
+                .with_init(init)
+                .with_seed(5)
+                .with_parallelism(par)
+                .fit_model(&data)
+                .unwrap();
+            assert_eq!(got.assignments, reference.assignments, "{init:?} {par:?}");
+            assert_eq!(got.iterations, reference.iterations, "{init:?} {par:?}");
+            assert_eq!(
+                got.inertia.to_bits(),
+                reference.inertia.to_bits(),
+                "{init:?} {par:?}: {} vs {}",
+                got.inertia,
+                reference.inertia
+            );
+            for c in 0..3 {
+                assert_eq!(
+                    got.centroids.row(c),
+                    reference.centroids.row(c),
+                    "{init:?} {par:?} centroid {c}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn decision_tree_is_identical() {
+    let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F7, 1_500)
+        .unwrap()
+        .generate(23);
+    for criterion in [
+        SplitCriterion::GainRatio,
+        SplitCriterion::InfoGain,
+        SplitCriterion::Gini,
+    ] {
+        let reference = DecisionTreeLearner::new()
+            .with_criterion(criterion)
+            .fit(&data, &labels)
+            .unwrap();
+        for par in settings() {
+            let got = DecisionTreeLearner::new()
+                .with_criterion(criterion)
+                .with_parallelism(par)
+                .fit(&data, &labels)
+                .unwrap();
+            assert_eq!(got, reference, "{criterion:?} {par:?}");
+        }
+    }
+}
+
+#[test]
+fn knn_batch_predictions_match_sequential() {
+    let (train, labels) = GaussianMixture::well_separated(4, 3, 120, 8.0)
+        .unwrap()
+        .generate(3);
+    let (test, _) = GaussianMixture::well_separated(4, 3, 200, 8.0)
+        .unwrap()
+        .generate(4);
+    for search in [Search::KdTree, Search::Brute] {
+        let reference = Knn::new(5)
+            .with_search(search)
+            .fit(&train, &labels)
+            .unwrap()
+            .predict(&test)
+            .unwrap();
+        for par in settings() {
+            let got = Knn::new(5)
+                .with_search(search)
+                .with_parallelism(par)
+                .fit(&train, &labels)
+                .unwrap()
+                .predict(&test)
+                .unwrap();
+            assert_eq!(got, reference, "{search:?} {par:?}");
+        }
+    }
+}

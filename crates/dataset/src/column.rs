@@ -34,8 +34,14 @@ impl PartialEq for Column {
                         .all(|(x, y)| x == y || (x.is_nan() && y.is_nan()))
             }
             (
-                Column::Categorical { codes: ca, dict: da },
-                Column::Categorical { codes: cb, dict: db },
+                Column::Categorical {
+                    codes: ca,
+                    dict: da,
+                },
+                Column::Categorical {
+                    codes: cb,
+                    dict: db,
+                },
             ) => ca == cb && da == db,
             _ => false,
         }

@@ -115,10 +115,12 @@ impl Dataset {
     /// # Panics
     /// Panics if either index is out of range.
     pub fn value(&self, row: usize, col: usize) -> Value {
-        let column = self
-            .columns
-            .get(col)
-            .unwrap_or_else(|| panic!("column index {col} out of range for {} columns", self.columns.len()));
+        let column = self.columns.get(col).unwrap_or_else(|| {
+            panic!(
+                "column index {col} out of range for {} columns",
+                self.columns.len()
+            )
+        });
         column
             .get(row)
             .unwrap_or_else(|| panic!("row index {row} out of range for {} rows", self.n_rows))
@@ -411,7 +413,10 @@ mod tests {
             "m",
             vec![
                 ("x".into(), Column::from_numeric(vec![f64::NAN, 1.0])),
-                ("c".into(), Column::from_strings_opt([None::<&str>, Some("a")])),
+                (
+                    "c".into(),
+                    Column::from_strings_opt([None::<&str>, Some("a")]),
+                ),
             ],
         )
         .unwrap();

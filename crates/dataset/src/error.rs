@@ -87,7 +87,9 @@ impl fmt::Display for DataError {
             DataError::LabelLengthMismatch { labels, rows } => {
                 write!(f, "{labels} labels supplied for a dataset with {rows} rows")
             }
-            DataError::Csv { line, message } => write!(f, "csv parse error on line {line}: {message}"),
+            DataError::Csv { line, message } => {
+                write!(f, "csv parse error on line {line}: {message}")
+            }
             DataError::Io(msg) => write!(f, "i/o error: {msg}"),
             DataError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             DataError::Empty(what) => write!(f, "operation requires a non-empty {what}"),

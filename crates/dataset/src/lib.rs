@@ -38,7 +38,6 @@
 //! assert_eq!(ds.n_cols(), 2);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod attribute;
 pub mod column;

@@ -51,7 +51,9 @@ impl KFold {
     /// Creates a k-fold splitter; `k >= 2`.
     pub fn new(k: usize) -> Result<Self, DataError> {
         if k < 2 {
-            return Err(DataError::InvalidParameter(format!("k-fold needs k >= 2, got {k}")));
+            return Err(DataError::InvalidParameter(format!(
+                "k-fold needs k >= 2, got {k}"
+            )));
         }
         Ok(Self {
             k,

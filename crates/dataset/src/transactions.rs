@@ -75,6 +75,12 @@ impl TransactionDb {
         self.txns.iter().map(Vec::as_slice)
     }
 
+    /// The transactions as a contiguous slice, for chunked (parallel)
+    /// scans over the database.
+    pub fn transactions(&self) -> &[Vec<u32>] {
+        &self.txns
+    }
+
     /// Mean transaction length.
     pub fn mean_len(&self) -> f64 {
         if self.txns.is_empty() {
@@ -89,9 +95,7 @@ impl TransactionDb {
     /// brute-force miner; the real miners count during their passes.
     pub fn support_count(&self, itemset: &[u32]) -> usize {
         debug_assert!(itemset.windows(2).all(|w| w[0] < w[1]));
-        self.iter()
-            .filter(|t| is_subset_sorted(itemset, t))
-            .count()
+        self.iter().filter(|t| is_subset_sorted(itemset, t)).count()
     }
 
     /// Relative support of `itemset` in `[0, 1]`.

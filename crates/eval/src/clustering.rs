@@ -6,7 +6,6 @@
 //! [`silhouette`]) score a clustering from the data alone. Cluster ids in
 //! the input slices are arbitrary `u32` values (they need not be dense).
 
-
 // Numeric kernels below co-index several parallel arrays; indexed loops
 // are clearer than zipped iterator chains there.
 #![allow(clippy::needless_range_loop)]
@@ -140,7 +139,10 @@ pub fn purity(truth: &[u32], pred: &[u32]) -> Result<f64, DataError> {
         return Err(DataError::Empty("label slice"));
     }
     let (table, _, _) = contingency(pred, truth);
-    let matched: usize = table.iter().map(|r| r.iter().copied().max().unwrap_or(0)).sum();
+    let matched: usize = table
+        .iter()
+        .map(|r| r.iter().copied().max().unwrap_or(0))
+        .sum();
     Ok(matched as f64 / truth.len() as f64)
 }
 
@@ -219,8 +221,7 @@ pub fn silhouette(data: &Matrix, assignments: &[u32]) -> Result<f64, DataError> 
             if i == j {
                 continue;
             }
-            *dist_sum.entry(assignments[j]).or_insert(0.0) +=
-                euclidean(data.row(i), data.row(j));
+            *dist_sum.entry(assignments[j]).or_insert(0.0) += euclidean(data.row(i), data.row(j));
         }
         let a = dist_sum.get(&ci).copied().unwrap_or(0.0) / (cluster_sizes[&ci] - 1) as f64;
         let b = dist_sum
@@ -326,13 +327,7 @@ mod tests {
 
     #[test]
     fn silhouette_separated_vs_mixed() {
-        let m = Matrix::from_rows(&[
-            vec![0.0],
-            vec![0.1],
-            vec![10.0],
-            vec![10.1],
-        ])
-        .unwrap();
+        let m = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![10.0], vec![10.1]]).unwrap();
         let good = silhouette(&m, &[0, 0, 1, 1]).unwrap();
         let bad = silhouette(&m, &[0, 1, 0, 1]).unwrap();
         assert!(good > 0.9, "good {good}");

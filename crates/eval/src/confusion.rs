@@ -187,7 +187,11 @@ impl ConfusionMatrix {
 
 impl fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "true\\pred {}", (0..self.k).map(|p| format!("{p:>7}")).collect::<String>())?;
+        writeln!(
+            f,
+            "true\\pred {}",
+            (0..self.k).map(|p| format!("{p:>7}")).collect::<String>()
+        )?;
         for t in 0..self.k {
             write!(f, "{t:>9} ")?;
             for p in 0..self.k {

@@ -13,7 +13,6 @@
 //! All metrics are plain functions over label slices / matrices so they
 //! work with any model in the workspace.
 
-
 #![warn(missing_docs)]
 pub mod clustering;
 pub mod confusion;

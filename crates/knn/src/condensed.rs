@@ -77,11 +77,11 @@ impl CondensedNn {
         };
         for _ in 0..self.max_passes {
             let mut added = false;
-            for i in 0..train.rows() {
+            for (i, &label) in labels.iter().enumerate() {
                 if prototypes.contains(&i) {
                     continue;
                 }
-                if nearest_label(&prototypes, train.row(i)) != labels[i] {
+                if nearest_label(&prototypes, train.row(i)) != label {
                     prototypes.push(i);
                     added = true;
                 }
@@ -189,7 +189,9 @@ mod tests {
     #[test]
     fn single_class_needs_one_prototype() {
         let data = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
-        let protos = CondensedNn::new().select_prototypes(&data, &[0, 0, 0]).unwrap();
+        let protos = CondensedNn::new()
+            .select_prototypes(&data, &[0, 0, 0])
+            .unwrap();
         assert_eq!(protos, vec![0]);
     }
 }

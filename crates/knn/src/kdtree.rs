@@ -112,8 +112,7 @@ impl KdTree {
         let node = &self.nodes[node_id];
         let dist = metric.eval(data.row(node.point), query);
         // Insert in (distance, index) order; cap at k.
-        let pos = best
-            .partition_point(|&(i, d)| d < dist || (d == dist && i < node.point));
+        let pos = best.partition_point(|&(i, d)| d < dist || (d == dist && i < node.point));
         if pos < k {
             best.insert(pos, (node.point, dist));
             best.truncate(k);
@@ -214,6 +213,8 @@ mod tests {
     fn k_zero_returns_nothing() {
         let data = Matrix::from_rows(&[vec![0.0]]).unwrap();
         let tree = KdTree::build(&data);
-        assert!(tree.nearest(&data, &[0.0], 0, Distance::Euclidean).is_empty());
+        assert!(tree
+            .nearest(&data, &[0.0], 0, Distance::Euclidean)
+            .is_empty());
     }
 }

@@ -22,7 +22,6 @@
 //! assert_eq!(model.predict(&test).unwrap(), vec![0, 1]);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod condensed;
 pub mod kdtree;
@@ -32,6 +31,7 @@ pub use kdtree::KdTree;
 
 use dm_dataset::matrix::{chebyshev, euclidean, manhattan, minkowski};
 use dm_dataset::{DataError, Matrix};
+use dm_par::{par_range_map_reduce, Chunking, Parallelism};
 
 /// Distance metric for neighbour search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,6 +84,7 @@ pub struct Knn {
     distance: Distance,
     weighting: Weighting,
     search: Search,
+    parallelism: Parallelism,
 }
 
 impl Knn {
@@ -94,7 +95,16 @@ impl Knn {
             distance: Distance::Euclidean,
             weighting: Weighting::Uniform,
             search: Search::KdTree,
+            parallelism: Parallelism::Sequential,
         }
+    }
+
+    /// Sets how batch prediction spreads queries across threads. Each
+    /// query is searched independently, so predictions are identical
+    /// for every [`Parallelism`] setting.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Sets the distance metric.
@@ -207,7 +217,24 @@ impl KnnModel {
 
     /// Predicts every row of `data`.
     pub fn predict(&self, data: &Matrix) -> Result<Vec<u32>, DataError> {
-        (0..data.rows()).map(|i| self.predict_one(data.row(i))).collect()
+        // Queries are independent; chunks of them run across threads and
+        // concatenate in order (the first error in query order wins).
+        par_range_map_reduce(
+            self.config.parallelism,
+            Chunking::Fixed(256),
+            data.rows(),
+            || Ok(Vec::new()),
+            |range| {
+                range
+                    .map(|i| self.predict_one(data.row(i)))
+                    .collect::<Result<Vec<u32>, DataError>>()
+            },
+            |a, b| {
+                let (mut a, mut b) = (a?, b?);
+                a.append(&mut b);
+                Ok(a)
+            },
+        )
     }
 }
 
@@ -291,12 +318,7 @@ mod tests {
     fn inverse_distance_breaks_majority() {
         // Query next to a single class-1 point, with two class-0 points
         // farther away: uniform 3-NN says 0, weighted says 1.
-        let data = Matrix::from_rows(&[
-            vec![0.0],
-            vec![10.0],
-            vec![10.4],
-        ])
-        .unwrap();
+        let data = Matrix::from_rows(&[vec![0.0], vec![10.0], vec![10.4]]).unwrap();
         let labels = vec![1, 0, 0];
         let uniform = Knn::new(3).fit(&data, &labels).unwrap();
         let weighted = Knn::new(3)

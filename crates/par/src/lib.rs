@@ -1,0 +1,482 @@
+//! # dm-par
+//!
+//! Dependency-free data parallelism for the workspace's hot kernels,
+//! built entirely on [`std::thread::scope`] (re-exported by the facade
+//! as `dm_core::par`).
+//!
+//! ## Execution model
+//!
+//! Work is expressed as *chunked map-reduce*: the input slice is cut
+//! into chunks, each chunk is mapped to a partial accumulator, and the
+//! partials are merged **in chunk order** (a left fold starting from
+//! `identity()`). Threads claim contiguous blocks of chunks, so the
+//! only effect of the thread count is *where* chunks execute — never
+//! which chunks exist or the order their results merge in.
+//!
+//! ## Determinism guarantee
+//!
+//! Two complementary regimes, selected by [`Chunking`]:
+//!
+//! * [`Chunking::Fixed`] — chunk boundaries are a pure function of the
+//!   input length (never of the thread count). Because the map is pure
+//!   per chunk and the merge runs in chunk order on one thread, the
+//!   result is **bit-identical for every [`Parallelism`] setting, for
+//!   any merge function** — including non-associative floating-point
+//!   accumulation. This is the regime the k-means kernels use.
+//! * [`Chunking::PerThread`] — one chunk per effective thread (the
+//!   classic *Count Distribution* partitioning from parallel Apriori).
+//!   Chunk boundaries then depend on the thread count, so results are
+//!   thread-count-invariant **iff the merge is exactly associative and
+//!   insensitive to chunk boundaries** — true for the integer support
+//!   counters of the frequent-itemset miners, where per-shard counts
+//!   merge by integer summation. Cheaper than `Fixed` when the
+//!   accumulator is large (one merge per thread instead of per chunk).
+//!
+//! Equivalence tests in `dm-core` assert `Threads(4)` output equals
+//! `Sequential` output exactly for Apriori, k-means, decision trees,
+//! and kNN; a property test in `dm-core` checks the fold/merge algebra
+//! over random chunk sizes.
+//!
+//! ## Choosing a [`Parallelism`]
+//!
+//! * [`Parallelism::Sequential`] (the default everywhere) — no threads,
+//!   no overhead; algorithms behave exactly as before this module
+//!   existed.
+//! * [`Parallelism::Threads`]`(n)` — exactly `n` worker threads;
+//!   `Threads(1)` runs the same code path as `Sequential`.
+//! * [`Parallelism::Auto`] — [`std::thread::available_parallelism`]
+//!   threads; right for dedicated batch runs.
+//!
+//! Scoped threads borrow the inputs directly, so nothing is cloned or
+//! `Arc`-wrapped; each call spawns and joins its threads (no pool),
+//! which costs tens of microseconds — negligible for the database-scan
+//! and assignment passes this layer targets, but worth skipping for
+//! tiny inputs, which is why every kernel keeps a sequential guard for
+//! small `n`.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// How many worker threads a parallel kernel may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Use [`std::thread::available_parallelism`].
+    Auto,
+    /// Use exactly this many threads (`0` is treated as `1`).
+    Threads(usize),
+    /// Single-threaded: run everything on the calling thread.
+    #[default]
+    Sequential,
+}
+
+impl Parallelism {
+    /// The concrete worker count this setting resolves to (`>= 1`).
+    pub fn effective_threads(self) -> usize {
+        match self {
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Sequential => 1,
+        }
+    }
+}
+
+/// How the input slice is cut into chunks (see the module docs for the
+/// determinism trade-off between the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Chunking {
+    /// Chunks of exactly this size (last chunk may be short).
+    /// Boundaries depend only on the input length, making results
+    /// bit-identical across thread counts for *any* merge.
+    Fixed(usize),
+    /// One balanced chunk per effective thread (Count Distribution).
+    /// Results are thread-count-invariant only for exactly associative
+    /// merges (integer counters).
+    PerThread,
+}
+
+/// The chunk boundaries for `len` items: `(chunk_size, n_chunks)`.
+fn layout(len: usize, chunking: Chunking, threads: usize) -> (usize, usize) {
+    let chunk = match chunking {
+        Chunking::Fixed(size) => size.max(1),
+        Chunking::PerThread => len.div_ceil(threads.max(1)).max(1),
+    };
+    (chunk, len.div_ceil(chunk))
+}
+
+/// Chunked map-reduce over `items`.
+///
+/// Cuts `items` into chunks per `chunking`, maps every chunk with
+/// `map`, and left-folds the partial results **in chunk order** with
+/// `merge`, starting from `identity()`. With `Parallelism::Sequential`
+/// (or one effective thread, or a single chunk) everything runs on the
+/// calling thread through the *same* chunk structure, which is what
+/// makes the parallel and sequential results comparable bit-for-bit
+/// under [`Chunking::Fixed`].
+///
+/// Empty input returns `identity()` without calling `map`.
+pub fn par_chunks_map_reduce<T, A>(
+    par: Parallelism,
+    chunking: Chunking,
+    items: &[T],
+    identity: impl Fn() -> A,
+    map: impl Fn(&[T]) -> A + Sync,
+    merge: impl Fn(A, A) -> A,
+) -> A
+where
+    T: Sync,
+    A: Send,
+{
+    let len = items.len();
+    if len == 0 {
+        return identity();
+    }
+    let threads = par.effective_threads();
+    let (chunk, n_chunks) = layout(len, chunking, threads);
+    if threads == 1 || n_chunks == 1 {
+        return items
+            .chunks(chunk)
+            .fold(identity(), |acc, c| merge(acc, map(c)));
+    }
+
+    // Each worker fills a contiguous block of per-chunk result slots, so
+    // the slot vector can be handed out with `chunks_mut` — no locks.
+    let mut slots: Vec<Option<A>> = (0..n_chunks).map(|_| None).collect();
+    let per_worker = n_chunks.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (w, block) in slots.chunks_mut(per_worker).enumerate() {
+            let map = &map;
+            s.spawn(move || {
+                for (j, slot) in block.iter_mut().enumerate() {
+                    let ci = w * per_worker + j;
+                    let lo = ci * chunk;
+                    let hi = (lo + chunk).min(len);
+                    *slot = Some(map(&items[lo..hi]));
+                }
+            });
+        }
+    });
+    slots.into_iter().fold(identity(), |acc, r| {
+        merge(acc, r.expect("worker filled every slot"))
+    })
+}
+
+/// Chunked map-reduce over the index range `0..len`.
+///
+/// The range analogue of [`par_chunks_map_reduce`], for kernels whose
+/// input is indexed rather than sliced (matrix rows, query ids): the
+/// range is cut into sub-ranges per `chunking`, `map` receives each
+/// sub-range, and partials merge **in range order** from `identity()`.
+/// The same determinism regimes apply ([`Chunking::Fixed`] is
+/// bit-identical across every [`Parallelism`] setting for any merge).
+pub fn par_range_map_reduce<A>(
+    par: Parallelism,
+    chunking: Chunking,
+    len: usize,
+    identity: impl Fn() -> A,
+    map: impl Fn(std::ops::Range<usize>) -> A + Sync,
+    merge: impl Fn(A, A) -> A,
+) -> A
+where
+    A: Send,
+{
+    if len == 0 {
+        return identity();
+    }
+    let threads = par.effective_threads();
+    let (chunk, n_chunks) = layout(len, chunking, threads);
+    if threads == 1 || n_chunks == 1 {
+        return (0..n_chunks).fold(identity(), |acc, ci| {
+            let lo = ci * chunk;
+            merge(acc, map(lo..(lo + chunk).min(len)))
+        });
+    }
+    let mut slots: Vec<Option<A>> = (0..n_chunks).map(|_| None).collect();
+    let per_worker = n_chunks.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (w, block) in slots.chunks_mut(per_worker).enumerate() {
+            let map = &map;
+            s.spawn(move || {
+                for (j, slot) in block.iter_mut().enumerate() {
+                    let ci = w * per_worker + j;
+                    let lo = ci * chunk;
+                    *slot = Some(map(lo..(lo + chunk).min(len)));
+                }
+            });
+        }
+    });
+    slots.into_iter().fold(identity(), |acc, r| {
+        merge(acc, r.expect("worker filled every slot"))
+    })
+}
+
+/// Parallel index-preserving map: returns `f(0, &items[0]), f(1, ..) ..`
+/// in input order.
+///
+/// Every element is mapped independently, so the result is identical
+/// for every [`Parallelism`] setting by construction.
+pub fn par_map_indexed<T, U>(
+    par: Parallelism,
+    items: &[T],
+    f: impl Fn(usize, &T) -> U + Sync,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+{
+    let len = items.len();
+    let threads = par.effective_threads();
+    if threads == 1 || len < 2 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let mut out: Vec<Option<U>> = (0..len).map(|_| None).collect();
+    let per_worker = len.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (w, block) in out.chunks_mut(per_worker).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                for (j, slot) in block.iter_mut().enumerate() {
+                    let i = w * per_worker + j;
+                    *slot = Some(f(i, &items[i]));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Parallel in-place transform over disjoint mutable chunks: `f`
+/// receives each chunk and the index of its first element.
+///
+/// Chunk boundaries follow `chunking` exactly as in
+/// [`par_chunks_map_reduce`]; since every element belongs to one chunk
+/// and `f` only sees disjoint `&mut` slices, the result is identical
+/// for every [`Parallelism`] setting whenever `f` writes each element
+/// as a pure function of its pre-call state.
+pub fn par_chunks_for_each_mut<T>(
+    par: Parallelism,
+    chunking: Chunking,
+    items: &mut [T],
+    f: impl Fn(usize, &mut [T]) + Sync,
+) where
+    T: Send,
+{
+    let len = items.len();
+    if len == 0 {
+        return;
+    }
+    let threads = par.effective_threads();
+    let (chunk, n_chunks) = layout(len, chunking, threads);
+    if threads == 1 || n_chunks == 1 {
+        for (ci, c) in items.chunks_mut(chunk).enumerate() {
+            f(ci * chunk, c);
+        }
+        return;
+    }
+    // Hand each worker a contiguous run of chunks.
+    let per_worker = n_chunks.div_ceil(threads);
+    let elems_per_worker = per_worker * chunk;
+    std::thread::scope(|s| {
+        for (w, block) in items.chunks_mut(elems_per_worker).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                for (j, c) in block.chunks_mut(chunk).enumerate() {
+                    f(w * elems_per_worker + j * chunk, c);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settings() -> [Parallelism; 5] {
+        [
+            Parallelism::Sequential,
+            Parallelism::Threads(1),
+            Parallelism::Threads(2),
+            Parallelism::Threads(4),
+            Parallelism::Auto,
+        ]
+    }
+
+    #[test]
+    fn effective_threads_floors_at_one() {
+        assert_eq!(Parallelism::Sequential.effective_threads(), 1);
+        assert_eq!(Parallelism::Threads(0).effective_threads(), 1);
+        assert_eq!(Parallelism::Threads(3).effective_threads(), 3);
+        assert!(Parallelism::Auto.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn map_reduce_sums_match_sequential_fold() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let expected: u64 = items.iter().sum();
+        for par in settings() {
+            for chunking in [Chunking::Fixed(1), Chunking::Fixed(97), Chunking::PerThread] {
+                let got = par_chunks_map_reduce(
+                    par,
+                    chunking,
+                    &items,
+                    || 0u64,
+                    |chunk| chunk.iter().sum::<u64>(),
+                    |a, b| a + b,
+                );
+                assert_eq!(got, expected, "{par:?} {chunking:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_chunking_is_bit_identical_even_for_floats() {
+        // A deliberately association-sensitive reduction: alternating
+        // magnitudes so float rounding depends on grouping.
+        let items: Vec<f64> = (0..5_000)
+            .map(|i| if i % 2 == 0 { 1e16 } else { 1.0 })
+            .collect();
+        let reference = par_chunks_map_reduce(
+            Parallelism::Sequential,
+            Chunking::Fixed(61),
+            &items,
+            || 0.0f64,
+            |chunk| chunk.iter().sum::<f64>(),
+            |a, b| a + b,
+        );
+        for par in settings() {
+            let got = par_chunks_map_reduce(
+                par,
+                Chunking::Fixed(61),
+                &items,
+                || 0.0f64,
+                |chunk| chunk.iter().sum::<f64>(),
+                |a, b| a + b,
+            );
+            assert_eq!(got.to_bits(), reference.to_bits(), "{par:?}");
+        }
+    }
+
+    #[test]
+    fn merge_runs_in_chunk_order() {
+        // Concatenation is associative but not commutative: order of
+        // merges is observable.
+        let items: Vec<u32> = (0..1_000).collect();
+        let expected: Vec<u32> = items.clone();
+        for par in settings() {
+            let got = par_chunks_map_reduce(
+                par,
+                Chunking::Fixed(37),
+                &items,
+                Vec::new,
+                |chunk| chunk.to_vec(),
+                |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            );
+            assert_eq!(got, expected, "{par:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input_returns_identity() {
+        let items: [u64; 0] = [];
+        for par in settings() {
+            let got = par_chunks_map_reduce(
+                par,
+                Chunking::PerThread,
+                &items,
+                || 41u64,
+                |_| panic!("map must not run on empty input"),
+                |_, _| panic!("merge must not run on empty input"),
+            );
+            assert_eq!(got, 41);
+        }
+    }
+
+    #[test]
+    fn range_map_reduce_matches_slice_version() {
+        let items: Vec<u64> = (0..9_973).map(|i| i * 7 + 1).collect();
+        let expected: u64 = items.iter().sum();
+        for par in settings() {
+            for chunking in [Chunking::Fixed(101), Chunking::PerThread] {
+                let got = par_range_map_reduce(
+                    par,
+                    chunking,
+                    items.len(),
+                    || 0u64,
+                    |range| range.map(|i| items[i]).sum::<u64>(),
+                    |a, b| a + b,
+                );
+                assert_eq!(got, expected, "{par:?} {chunking:?}");
+            }
+        }
+        // Order-sensitive merge: concatenated ranges must cover 0..len
+        // in order for every setting.
+        for par in settings() {
+            let got = par_range_map_reduce(
+                par,
+                Chunking::Fixed(37),
+                1_000,
+                Vec::new,
+                |range| range.collect::<Vec<usize>>(),
+                |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            );
+            assert_eq!(got, (0..1_000).collect::<Vec<_>>(), "{par:?}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        let items: Vec<i64> = (0..997).map(|i| i * 3).collect();
+        let expected: Vec<i64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x - i as i64)
+            .collect();
+        for par in settings() {
+            let got = par_map_indexed(par, &items, |i, &x| x - i as i64);
+            assert_eq!(got, expected, "{par:?}");
+        }
+    }
+
+    #[test]
+    fn for_each_mut_covers_every_element_once() {
+        for par in settings() {
+            for chunking in [Chunking::Fixed(13), Chunking::PerThread] {
+                let mut items = vec![0u32; 1_001];
+                par_chunks_for_each_mut(par, chunking, &mut items, |start, chunk| {
+                    for (j, x) in chunk.iter_mut().enumerate() {
+                        *x += (start + j) as u32 + 1;
+                    }
+                });
+                let ok = items.iter().enumerate().all(|(i, &x)| x == i as u32 + 1);
+                assert!(ok, "{par:?} {chunking:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn threads_beyond_chunks_are_harmless() {
+        let items: Vec<u64> = (0..10).collect();
+        let got = par_chunks_map_reduce(
+            Parallelism::Threads(64),
+            Chunking::Fixed(3),
+            &items,
+            || 0u64,
+            |c| c.iter().sum(),
+            |a, b| a + b,
+        );
+        assert_eq!(got, 45);
+        let mapped = par_map_indexed(Parallelism::Threads(64), &items, |_, &x| x * 2);
+        assert_eq!(mapped, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

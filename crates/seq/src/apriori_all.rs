@@ -362,9 +362,11 @@ mod tests {
         // With minsup 25% (2 of 5 customers) the paper reports the
         // maximal sequential patterns <(30)(90)> and <(30)(40 70)>.
         let result = AprioriAll::new(0.25).mine(&paper_db()).unwrap();
-        let patterns: Vec<&Vec<Vec<u32>>> =
-            result.patterns.iter().map(|p| &p.elements).collect();
-        assert!(patterns.contains(&&vec![vec![30], vec![90]]), "{patterns:?}");
+        let patterns: Vec<&Vec<Vec<u32>>> = result.patterns.iter().map(|p| &p.elements).collect();
+        assert!(
+            patterns.contains(&&vec![vec![30], vec![90]]),
+            "{patterns:?}"
+        );
         assert!(
             patterns.contains(&&vec![vec![30], vec![40, 70]]),
             "{patterns:?}"
@@ -389,8 +391,7 @@ mod tests {
             .keep_non_maximal()
             .mine(&paper_db())
             .unwrap();
-        let patterns: Vec<&Vec<Vec<u32>>> =
-            result.patterns.iter().map(|p| &p.elements).collect();
+        let patterns: Vec<&Vec<Vec<u32>>> = result.patterns.iter().map(|p| &p.elements).collect();
         assert!(patterns.contains(&&vec![vec![30]]));
         assert!(patterns.contains(&&vec![vec![90]]));
         assert!(patterns.contains(&&vec![vec![30], vec![90]]));
@@ -399,10 +400,7 @@ mod tests {
     #[test]
     fn litemset_support_counts_customers_not_transactions() {
         // Item 7 occurs twice inside one customer: support must be 1.
-        let db = SequenceDb::new(vec![
-            vec![vec![7], vec![7], vec![7]],
-            vec![vec![1]],
-        ]);
+        let db = SequenceDb::new(vec![vec![vec![7], vec![7], vec![7]], vec![vec![1]]]);
         let lits = mine_litemsets(&db, 1);
         assert!(lits.contains(&vec![7]));
         let result = AprioriAll::new(0.9).mine(&db).unwrap();
@@ -438,8 +436,7 @@ mod tests {
             vec![vec![1]],
         ]);
         let result = AprioriAll::new(0.6).mine(&db).unwrap();
-        let patterns: Vec<&Vec<Vec<u32>>> =
-            result.patterns.iter().map(|p| &p.elements).collect();
+        let patterns: Vec<&Vec<Vec<u32>>> = result.patterns.iter().map(|p| &p.elements).collect();
         assert!(patterns.contains(&&vec![vec![1], vec![1]]), "{patterns:?}");
     }
 
@@ -450,7 +447,10 @@ mod tests {
             &[vec![30], vec![40]],
             &[vec![30], vec![40, 70]]
         ));
-        assert!(!pattern_contained(&[vec![40], vec![30]], &[vec![30], vec![40, 70]]));
+        assert!(!pattern_contained(
+            &[vec![40], vec![30]],
+            &[vec![30], vec![40, 70]]
+        ));
         let same = [vec![1u32], vec![2]];
         assert!(!pattern_contained(&same, &same), "identity excluded");
         assert!(contains_id_sequence(&[vec![0, 1], vec![2]], &[1, 2]));
@@ -462,8 +462,7 @@ mod tests {
         // <(40 70)> (one element) is contained in <(30)(40 70)> and must
         // not be reported as maximal.
         let result = AprioriAll::new(0.25).mine(&paper_db()).unwrap();
-        let patterns: Vec<&Vec<Vec<u32>>> =
-            result.patterns.iter().map(|p| &p.elements).collect();
+        let patterns: Vec<&Vec<Vec<u32>>> = result.patterns.iter().map(|p| &p.elements).collect();
         assert!(!patterns.contains(&&vec![vec![40, 70]]), "{patterns:?}");
         assert!(!patterns.contains(&&vec![vec![40]]), "{patterns:?}");
     }

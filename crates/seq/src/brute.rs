@@ -48,8 +48,7 @@ impl BruteForceSeq {
         }
         // DFS extension.
         let mut patterns: Vec<SequentialPattern> = Vec::new();
-        let mut stack: Vec<Vec<Vec<u32>>> =
-            elements.iter().map(|e| vec![e.clone()]).collect();
+        let mut stack: Vec<Vec<Vec<u32>>> = elements.iter().map(|e| vec![e.clone()]).collect();
         while let Some(pattern) = stack.pop() {
             let count = db.support_count(&pattern);
             if count < min_count {
@@ -151,10 +150,7 @@ mod tests {
 
     #[test]
     fn oracle_counts_by_customer() {
-        let db = SequenceDb::new(vec![
-            vec![vec![0], vec![0], vec![0]],
-            vec![vec![1]],
-        ]);
+        let db = SequenceDb::new(vec![vec![vec![0], vec![0], vec![0]], vec![vec![1]]]);
         let r = BruteForceSeq::new(0.5, 2).mine(&db).unwrap();
         // <0> supported by one customer (50%): present.
         assert!(r

@@ -95,8 +95,8 @@ impl SequenceGenerator {
         let mut weights = Vec::with_capacity(config.n_patterns);
         let mut total = 0.0f64;
         for _ in 0..config.n_patterns {
-            let n_elements = (poisson(&mut rng, config.avg_pattern_elements).max(1) as usize)
-                .min(8);
+            let n_elements =
+                (poisson(&mut rng, config.avg_pattern_elements).max(1) as usize).min(8);
             let mut pattern = Vec::with_capacity(n_elements);
             for _ in 0..n_elements {
                 let len = (poisson(&mut rng, config.avg_element_len).max(1) as usize)

@@ -31,7 +31,6 @@
 //!     .any(|p| p.elements == vec![vec![1], vec![2, 3]]));
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod apriori_all;
 pub mod brute;
@@ -132,7 +131,9 @@ impl SequenceDb {
 
     /// Number of customers whose sequence contains `pattern`.
     pub fn support_count(&self, pattern: &[Vec<u32>]) -> usize {
-        self.iter().filter(|seq| Self::contains(seq, pattern)).count()
+        self.iter()
+            .filter(|seq| Self::contains(seq, pattern))
+            .count()
     }
 
     /// Resolves a fractional support to an absolute customer count.
@@ -180,7 +181,7 @@ mod tests {
         assert!(!SequenceDb::contains(&seq, &[vec![4], vec![4]]));
         // ...but can map to distinct ones holding the same item.
         assert!(SequenceDb::contains(&seq, &[vec![2], vec![2]])); // txns 0 and 2
-        // Empty pattern is contained everywhere.
+                                                                  // Empty pattern is contained everywhere.
         assert!(SequenceDb::contains(&seq, &[]));
     }
 

@@ -169,8 +169,7 @@ impl AgrawalFunction {
                 0.67 * (salary + commission) - 5_000.0 * elevel as f64 - 20_000.0 > 0.0
             }
             AgrawalFunction::F9 => {
-                0.67 * (salary + commission) - 5_000.0 * elevel as f64 - 0.2 * loan - 10_000.0
-                    > 0.0
+                0.67 * (salary + commission) - 5_000.0 * elevel as f64 - 0.2 * loan - 10_000.0 > 0.0
             }
             AgrawalFunction::F10 => {
                 let equity = if hyears < 20.0 {
@@ -266,7 +265,10 @@ impl AgrawalGenerator {
                 ("commission".into(), Column::from_numeric(commission)),
                 ("age".into(), Column::from_numeric(age)),
                 ("elevel".into(), Column::from_codes(elevel, elevel_dict)),
-                ("car".into(), Column::from_codes(car.iter().map(|&c| c - 1).collect(), car_dict)),
+                (
+                    "car".into(),
+                    Column::from_codes(car.iter().map(|&c| c - 1).collect(), car_dict),
+                ),
                 ("zipcode".into(), Column::from_codes(zipcode, zip_dict)),
                 ("hvalue".into(), Column::from_numeric(hvalue)),
                 ("hyears".into(), Column::from_numeric(hyears)),

@@ -1,6 +1,5 @@
 //! Seeded Gaussian-mixture generator for clustering experiments.
 
-
 // Numeric kernels below co-index several parallel arrays; indexed loops
 // are clearer than zipped iterator chains there.
 #![allow(clippy::needless_range_loop)]
@@ -75,7 +74,12 @@ impl GaussianMixture {
     /// in `d` dimensions, centers placed on a scaled simplex-like lattice
     /// so that neighbouring centers are `separation` standard deviations
     /// apart (σ = 1).
-    pub fn well_separated(k: usize, d: usize, count: usize, separation: f64) -> Result<Self, DataError> {
+    pub fn well_separated(
+        k: usize,
+        d: usize,
+        count: usize,
+        separation: f64,
+    ) -> Result<Self, DataError> {
         if k == 0 || d == 0 {
             return Err(DataError::InvalidParameter(
                 "k and d must be positive".into(),

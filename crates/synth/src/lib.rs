@@ -17,7 +17,6 @@
 //!
 //! Every generator takes an explicit seed and is fully deterministic.
 
-
 #![warn(missing_docs)]
 pub mod agrawal;
 pub mod distributions;

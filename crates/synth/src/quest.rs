@@ -226,7 +226,10 @@ mod tests {
 
     #[test]
     fn config_name() {
-        assert_eq!(QuestConfig::standard(10.0, 4.0, 100_000).name(), "T10.I4.D100K");
+        assert_eq!(
+            QuestConfig::standard(10.0, 4.0, 100_000).name(),
+            "T10.I4.D100K"
+        );
         assert_eq!(QuestConfig::standard(5.0, 2.0, 1234).name(), "T5.I2.D1234");
     }
 

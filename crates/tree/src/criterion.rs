@@ -120,10 +120,7 @@ mod tests {
     fn info_gain_tennis_outlook() {
         // Quinlan's weather data: splitting 9+/5- on Outlook gives
         // children (2+,3-), (4+,0-), (3+,2-) -> gain ≈ 0.2467.
-        let gain = SplitCriterion::InfoGain.score(
-            &[9, 5],
-            &[vec![2, 3], vec![4, 0], vec![3, 2]],
-        );
+        let gain = SplitCriterion::InfoGain.score(&[9, 5], &[vec![2, 3], vec![4, 0], vec![3, 2]]);
         assert!((gain - 0.24674981977443933).abs() < 1e-9, "gain {gain}");
     }
 

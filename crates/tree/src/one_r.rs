@@ -69,9 +69,7 @@ impl OneR {
                     let n = fitted.n_bins();
                     (buckets, Some(fitted), n)
                 }
-                Column::Categorical { codes, dict } => {
-                    (codes.clone(), None, dict.len())
-                }
+                Column::Categorical { codes, dict } => (codes.clone(), None, dict.len()),
             };
             if n_buckets == 0 {
                 continue;
@@ -168,7 +166,9 @@ impl OneRModel {
 
     /// Predicts every row of `data`.
     pub fn predict(&self, data: &Dataset) -> Vec<u32> {
-        (0..data.n_rows()).map(|i| self.predict_row(data, i)).collect()
+        (0..data.n_rows())
+            .map(|i| self.predict_row(data, i))
+            .collect()
     }
 }
 
@@ -250,10 +250,7 @@ mod tests {
         let model = OneR::new().fit(&data, &labels).unwrap();
         let test = Dataset::from_columns(
             "t",
-            vec![(
-                "c".into(),
-                Column::from_strings_opt([Some("zzz"), None]),
-            )],
+            vec![("c".into(), Column::from_strings_opt([Some("zzz"), None]))],
         )
         .unwrap();
         let p = model.predict(&test);
@@ -262,11 +259,8 @@ mod tests {
 
     #[test]
     fn validates_inputs() {
-        let data = Dataset::from_columns(
-            "t",
-            vec![("x".into(), Column::from_numeric(vec![1.0]))],
-        )
-        .unwrap();
+        let data = Dataset::from_columns("t", vec![("x".into(), Column::from_numeric(vec![1.0]))])
+            .unwrap();
         let short = Labels::from_strs(["a", "b"]);
         assert!(OneR::new().fit(&data, &short).is_err());
     }

@@ -109,12 +109,8 @@ impl fmt::Display for ClassificationRule {
                     write!(f, " AND ")?;
                 }
                 match c {
-                    Condition::NumLe { attr, threshold } => {
-                        write!(f, "a{attr} <= {threshold:.4}")?
-                    }
-                    Condition::NumGt { attr, threshold } => {
-                        write!(f, "a{attr} > {threshold:.4}")?
-                    }
+                    Condition::NumLe { attr, threshold } => write!(f, "a{attr} <= {threshold:.4}")?,
+                    Condition::NumGt { attr, threshold } => write!(f, "a{attr} > {threshold:.4}")?,
                     Condition::CatEq { attr, category } => write!(f, "a{attr} == #{category}")?,
                     Condition::CatNe { attr, category } => write!(f, "a{attr} != #{category}")?,
                 }
@@ -150,7 +146,9 @@ impl RuleSet {
 
     /// Predicts every row.
     pub fn predict(&self, data: &Dataset) -> Vec<u32> {
-        (0..data.n_rows()).map(|i| self.predict_row(data, i)).collect()
+        (0..data.n_rows())
+            .map(|i| self.predict_row(data, i))
+            .collect()
     }
 }
 
@@ -247,10 +245,10 @@ pub fn rules_from_tree(
     let score = |conditions: &[Condition], class: u32| -> (usize, usize) {
         let mut coverage = 0usize;
         let mut correct = 0usize;
-        for i in 0..data.n_rows() {
+        for (i, &code) in codes.iter().enumerate() {
             if conditions.iter().all(|c| c.matches(data, i)) {
                 coverage += 1;
-                if codes[i] == class {
+                if code == class {
                     correct += 1;
                 }
             }
@@ -271,7 +269,11 @@ pub fn rules_from_tree(
                 let mut trial = rule.conditions.clone();
                 trial.remove(skip);
                 let (cov, cor) = score(&trial, rule.class);
-                let trial_acc = if cov == 0 { 0.0 } else { cor as f64 / cov as f64 };
+                let trial_acc = if cov == 0 {
+                    0.0
+                } else {
+                    cor as f64 / cov as f64
+                };
                 if trial_acc >= rule.accuracy() - 1e-12 {
                     rule.conditions = trial;
                     rule.coverage = cov;
@@ -361,7 +363,10 @@ mod tests {
             .unwrap()
             .generate(9);
         let tree = DecisionTreeLearner::new().fit(&data, &labels).unwrap();
-        let raw: usize = extract_rules(&tree).iter().map(|r| r.conditions.len()).sum();
+        let raw: usize = extract_rules(&tree)
+            .iter()
+            .map(|r| r.conditions.len())
+            .sum();
         let simplified: usize = rules_from_tree(&tree, &data, &labels)
             .unwrap()
             .rules

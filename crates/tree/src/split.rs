@@ -2,6 +2,7 @@
 
 use crate::criterion::SplitCriterion;
 use dm_dataset::{Column, Dataset};
+use dm_par::{par_range_map_reduce, Chunking, Parallelism};
 
 /// A concrete attribute test, before it is wired into tree nodes.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,29 +85,65 @@ pub fn best_split(
     n_classes: usize,
     criterion: SplitCriterion,
 ) -> Option<CandidateSplit> {
-    let mut candidates: Vec<CandidateSplit> = Vec::new();
-    for attr in 0..data.n_cols() {
-        match data.column(attr) {
-            Column::Numeric(values) => {
-                if let Some(c) = best_numeric_split(values, labels, rows, n_classes, criterion) {
-                    candidates.push(CandidateSplit { attr, ..c });
+    best_split_par(
+        data,
+        labels,
+        rows,
+        n_classes,
+        criterion,
+        Parallelism::Sequential,
+    )
+}
+
+/// [`best_split`] with the candidate attributes evaluated across
+/// threads. Per-attribute candidate lists concatenate in attribute
+/// order, so the candidate vector — and therefore tie-breaking between
+/// equal scores — is identical for every [`Parallelism`] setting.
+pub fn best_split_par(
+    data: &Dataset,
+    labels: &[u32],
+    rows: &[usize],
+    n_classes: usize,
+    criterion: SplitCriterion,
+    par: Parallelism,
+) -> Option<CandidateSplit> {
+    let mut candidates: Vec<CandidateSplit> = par_range_map_reduce(
+        par,
+        Chunking::Fixed(1), // one attribute per chunk: per-attr work dominates
+        data.n_cols(),
+        Vec::new,
+        |attrs| {
+            let mut local: Vec<CandidateSplit> = Vec::new();
+            for attr in attrs {
+                match data.column(attr) {
+                    Column::Numeric(values) => {
+                        if let Some(c) =
+                            best_numeric_split(values, labels, rows, n_classes, criterion)
+                        {
+                            local.push(CandidateSplit { attr, ..c });
+                        }
+                    }
+                    Column::Categorical { codes, .. } => {
+                        for c in categorical_splits(codes, labels, rows, n_classes, criterion) {
+                            local.push(CandidateSplit { attr, ..c });
+                        }
+                    }
                 }
             }
-            Column::Categorical { codes, .. } => {
-                for c in categorical_splits(codes, labels, rows, n_classes, criterion) {
-                    candidates.push(CandidateSplit { attr, ..c });
-                }
-            }
-        }
-    }
+            local
+        },
+        |mut a, mut b| {
+            a.append(&mut b);
+            a
+        },
+    );
     candidates.retain(|c| c.score > 1e-12 && c.gain > 1e-12);
     if candidates.is_empty() {
         return None;
     }
     if criterion == SplitCriterion::GainRatio {
         // "At least average gain" constraint.
-        let mean_gain =
-            candidates.iter().map(|c| c.gain).sum::<f64>() / candidates.len() as f64;
+        let mean_gain = candidates.iter().map(|c| c.gain).sum::<f64>() / candidates.len() as f64;
         let admissible: Vec<&CandidateSplit> = candidates
             .iter()
             .filter(|c| c.gain >= mean_gain - 1e-12)
@@ -163,11 +200,7 @@ fn best_numeric_split(
         if v == next {
             continue; // can only split between distinct values
         }
-        let right: Vec<usize> = total
-            .iter()
-            .zip(&left)
-            .map(|(&t, &l)| t - l)
-            .collect();
+        let right: Vec<usize> = total.iter().zip(&left).map(|(&t, &l)| t - l).collect();
         let score = pick_by.score(&total, &[left.clone(), right]);
         if score > 1e-12 && best.as_ref().is_none_or(|&(_, s, _)| score > s) {
             best = Some((v + (next - v) / 2.0, score, left.clone()));
@@ -208,9 +241,7 @@ fn categorical_splits(
         if code == dm_dataset::MISSING_CODE {
             continue;
         }
-        per_cat
-            .entry(code)
-            .or_insert_with(|| vec![0; n_classes])[labels[i] as usize] += 1;
+        per_cat.entry(code).or_insert_with(|| vec![0; n_classes])[labels[i] as usize] += 1;
         total[labels[i] as usize] += 1;
     }
     if per_cat.len() < 2 {
@@ -234,11 +265,7 @@ fn categorical_splits(
             // CART: best one-vs-rest binary partition.
             for (idx, &cat) in categories.iter().enumerate() {
                 let inside = children[idx].clone();
-                let outside: Vec<usize> = total
-                    .iter()
-                    .zip(&inside)
-                    .map(|(&t, &i)| t - i)
-                    .collect();
+                let outside: Vec<usize> = total.iter().zip(&inside).map(|(&t, &i)| t - i).collect();
                 let score = criterion.score(&total, &[inside, outside]);
                 out.push(CandidateSplit {
                     attr: usize::MAX,
@@ -395,7 +422,10 @@ mod tests {
     #[test]
     fn picks_the_informative_attribute() {
         let data = ds(vec![
-            ("noise".into(), Column::from_numeric(vec![1.0, 2.0, 1.5, 2.5])),
+            (
+                "noise".into(),
+                Column::from_numeric(vec![1.0, 2.0, 1.5, 2.5]),
+            ),
             ("signal".into(), Column::from_strings(["a", "a", "b", "b"])),
         ]);
         let labels = [0u32, 0, 1, 1];

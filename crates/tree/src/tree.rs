@@ -2,8 +2,9 @@
 
 use crate::criterion::SplitCriterion;
 use crate::prune::{self, Pruning};
-use crate::split::{best_split, partition, SplitSpec};
+use crate::split::{best_split_par, partition, SplitSpec};
 use dm_dataset::{DataError, Dataset, Labels};
+use dm_par::Parallelism;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
@@ -74,7 +75,10 @@ impl DecisionTree {
         match &self.nodes[id] {
             Node::Leaf { .. } => 1,
             Node::Split { children, .. } => {
-                1 + children.iter().map(|&c| self.count_reachable(c)).sum::<usize>()
+                1 + children
+                    .iter()
+                    .map(|&c| self.count_reachable(c))
+                    .sum::<usize>()
             }
         }
     }
@@ -87,9 +91,7 @@ impl DecisionTree {
     fn count_leaves(&self, id: usize) -> usize {
         match &self.nodes[id] {
             Node::Leaf { .. } => 1,
-            Node::Split { children, .. } => {
-                children.iter().map(|&c| self.count_leaves(c)).sum()
-            }
+            Node::Split { children, .. } => children.iter().map(|&c| self.count_leaves(c)).sum(),
         }
     }
 
@@ -139,7 +141,9 @@ impl DecisionTree {
 
     /// Predicts every row of `data`.
     pub fn predict(&self, data: &Dataset) -> Vec<u32> {
-        (0..data.n_rows()).map(|i| self.predict_row(data, i)).collect()
+        (0..data.n_rows())
+            .map(|i| self.predict_row(data, i))
+            .collect()
     }
 
     /// Renders the tree as indented text with attribute names.
@@ -195,6 +199,7 @@ pub struct DecisionTreeLearner {
     max_depth: Option<usize>,
     min_samples_split: usize,
     pruning: Pruning,
+    parallelism: Parallelism,
 }
 
 impl Default for DecisionTreeLearner {
@@ -211,7 +216,17 @@ impl DecisionTreeLearner {
             max_depth: None,
             min_samples_split: 2,
             pruning: Pruning::None,
+            parallelism: Parallelism::Sequential,
         }
+    }
+
+    /// Sets how candidate split attributes are evaluated across threads
+    /// at each node. Candidates keep attribute order regardless of the
+    /// thread count, so the grown tree is identical for every
+    /// [`Parallelism`] setting.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Sets the split criterion.
@@ -326,7 +341,14 @@ impl DecisionTreeLearner {
         if pure || depth_capped || too_small {
             return make_leaf(nodes);
         }
-        let Some(best) = best_split(data, codes, rows, n_classes, self.criterion) else {
+        let Some(best) = best_split_par(
+            data,
+            codes,
+            rows,
+            n_classes,
+            self.criterion,
+            self.parallelism,
+        ) else {
             return make_leaf(nodes);
         };
         let (child_rows, default_child) = partition(data, best.attr, &best.spec, rows);
@@ -528,8 +550,8 @@ mod tests {
         let (data, labels) = xor_data();
         let short = Labels::from_strs(["a"]);
         assert!(DecisionTreeLearner::new().fit(&data, &short).is_err());
-        let empty = Dataset::from_columns("e", vec![("x".into(), Column::from_numeric(vec![]))])
-            .unwrap();
+        let empty =
+            Dataset::from_columns("e", vec![("x".into(), Column::from_numeric(vec![]))]).unwrap();
         let no_labels = Labels::from_strs(Vec::<&str>::new());
         assert!(DecisionTreeLearner::new().fit(&empty, &no_labels).is_err());
         assert!(DecisionTreeLearner::new()

@@ -34,10 +34,15 @@ fn main() {
             DecisionTreeLearner::new().with_criterion(SplitCriterion::Gini),
         )),
         Box::new(BayesClassifier::default()),
-        Box::new(KnnClassifier::new(Knn::new(7).with_weighting(Weighting::InverseDistance))),
+        Box::new(KnnClassifier::new(
+            Knn::new(7).with_weighting(Weighting::InverseDistance),
+        )),
         Box::new(OneRClassifier::default()),
     ];
-    println!("{:>15} {:>9} {:>9} {:>10} {:>9}", "classifier", "accuracy", "std", "fit", "predict");
+    println!(
+        "{:>15} {:>9} {:>9} {:>10} {:>9}",
+        "classifier", "accuracy", "std", "fit", "predict"
+    );
     for c in &classifiers {
         let r = cross_validate(c.as_ref(), &data, &labels, 5, 0).expect("cv succeeds");
         println!(

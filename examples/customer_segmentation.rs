@@ -14,10 +14,10 @@ fn segments() -> GaussianMixture {
     // Four stylized customer segments (spend, visits), with a spray of
     // one-off customers as background noise.
     GaussianMixture::new(vec![
-        ClusterSpec::new(vec![20.0, 2.0], 2.0, 300),  // casual
-        ClusterSpec::new(vec![60.0, 8.0], 3.0, 200),  // regular
-        ClusterSpec::new(vec![120.0, 6.0], 4.0, 80),  // big-basket
-        ClusterSpec::new(vec![90.0, 20.0], 3.0, 40),  // power user
+        ClusterSpec::new(vec![20.0, 2.0], 2.0, 300), // casual
+        ClusterSpec::new(vec![60.0, 8.0], 3.0, 200), // regular
+        ClusterSpec::new(vec![120.0, 6.0], 4.0, 80), // big-basket
+        ClusterSpec::new(vec![90.0, 20.0], 3.0, 40), // power user
     ])
     .expect("valid mixture")
     .with_noise(30, 140.0)
@@ -61,8 +61,7 @@ fn main() {
     for c in clusterers {
         let result = c.fit(&data).expect("clustering succeeds");
         let ari = adjusted_rand_index(&truth, &result.assignments).expect("same length");
-        let nmi =
-            normalized_mutual_information(&truth, &result.assignments).expect("same length");
+        let nmi = normalized_mutual_information(&truth, &result.assignments).expect("same length");
         println!(
             "{:>14} {:>7.3} {:>7.3} {:>9} {:>7}",
             c.name(),

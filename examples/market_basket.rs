@@ -59,7 +59,10 @@ fn main() {
     let rules = RuleGenerator::new(0.6)
         .generate(&itemsets)
         .expect("valid threshold");
-    println!("\n{} rules at 60% confidence; ten strongest by lift:", rules.len());
+    println!(
+        "\n{} rules at 60% confidence; ten strongest by lift:",
+        rules.len()
+    );
     let mut by_lift = rules.clone();
     by_lift.sort_by(|a, b| b.lift.partial_cmp(&a.lift).expect("finite"));
     for rule in by_lift.iter().take(10) {

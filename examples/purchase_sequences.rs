@@ -10,8 +10,8 @@
 use datamining_suite::datamining::prelude::*;
 
 fn main() {
-    let generator = SequenceGenerator::new(SequenceConfig::standard(800), 21)
-        .expect("valid config");
+    let generator =
+        SequenceGenerator::new(SequenceConfig::standard(800), 21).expect("valid config");
     let db = generator.generate(22);
     println!(
         "customer histories: {} customers, avg {:.1} transactions each\n",
@@ -46,17 +46,15 @@ fn main() {
     println!("\nstrongest multi-step patterns (then -> then ...):");
     for p in multi.iter().take(10) {
         let steps: Vec<String> = p.elements.iter().map(|e| format!("{e:?}")).collect();
-        println!(
-            "  {:>4} customers: {}",
-            p.support_count,
-            steps.join(" -> ")
-        );
+        println!("  {:>4} customers: {}", p.support_count, steps.join(" -> "));
     }
 
     // Support sweep: patterns emerge as the bar drops.
     println!("\npattern counts by support threshold:");
     for pct in [10.0, 5.0, 3.0, 2.0f64] {
-        let r = AprioriAll::new(pct / 100.0).mine(&db).expect("mining succeeds");
+        let r = AprioriAll::new(pct / 100.0)
+            .mine(&db)
+            .expect("mining succeeds");
         println!(
             "  minsup {pct:>4}%: {:>5} maximal patterns, longest {}",
             r.patterns.len(),

@@ -18,7 +18,10 @@ fn market_basket_pipeline_end_to_end() {
     let ais = Ais::new(support).mine(&db).unwrap();
     assert_eq!(apriori.itemsets, tid.itemsets);
     assert_eq!(apriori.itemsets, ais.itemsets);
-    assert!(apriori.itemsets.len() > 50, "workload too sparse to be interesting");
+    assert!(
+        apriori.itemsets.len() > 50,
+        "workload too sparse to be interesting"
+    );
     assert!(apriori.itemsets.verify_downward_closure());
 
     let rules = RuleGenerator::new(0.7).generate(&apriori.itemsets).unwrap();
@@ -32,8 +35,7 @@ fn market_basket_pipeline_end_to_end() {
             .copied()
             .collect();
         union.sort_unstable();
-        let expected =
-            db.support_count(&union) as f64 / db.support_count(&rule.antecedent) as f64;
+        let expected = db.support_count(&union) as f64 / db.support_count(&rule.antecedent) as f64;
         assert!((rule.confidence - expected).abs() < 1e-12);
     }
 }
@@ -80,7 +82,11 @@ fn classification_pipeline_with_cv_and_metrics() {
             .with_pruning(Pruning::Pessimistic { cf: 0.25 }),
     );
     let result = cross_validate(&tree, &data, &labels, 5, 1).unwrap();
-    assert!(result.mean_accuracy > 0.9, "accuracy {}", result.mean_accuracy);
+    assert!(
+        result.mean_accuracy > 0.9,
+        "accuracy {}",
+        result.mean_accuracy
+    );
     assert_eq!(result.confusion.total(), 1_200);
     // Macro-F1 coherent with accuracy on a balanced problem.
     assert!((result.confusion.macro_f1() - result.mean_accuracy).abs() < 0.1);
@@ -102,7 +108,9 @@ fn discretization_bridges_numeric_data_to_categorical_learners() {
             .with_column(idx, fitted.transform_column(&values))
             .expect("same length");
     }
-    let tree = DecisionTreeLearner::new().fit(&discretized, &labels).unwrap();
+    let tree = DecisionTreeLearner::new()
+        .fit(&discretized, &labels)
+        .unwrap();
     let acc = tree
         .predict(&discretized)
         .iter()
@@ -154,8 +162,8 @@ fn transaction_db_text_roundtrip_preserves_mining() {
 
 #[test]
 fn sequential_pattern_pipeline() {
-    let generator = SequenceGenerator::new(SequenceConfig::standard(300), 13)
-        .expect("valid config");
+    let generator =
+        SequenceGenerator::new(SequenceConfig::standard(300), 13).expect("valid config");
     let db = generator.generate(14);
     let result = AprioriAll::new(0.05).mine(&db).unwrap();
     assert!(result.n_litemsets > 0);
@@ -212,5 +220,8 @@ fn dbscan_flags_the_planted_noise() {
         .enumerate()
         .filter(|&(i, &t)| t == 3 && clustering.assignments[i] == NOISE)
         .count();
-    assert!(flagged_noise >= 20, "only {flagged_noise}/25 noise points flagged");
+    assert!(
+        flagged_noise >= 20,
+        "only {flagged_noise}/25 noise points flagged"
+    );
 }
