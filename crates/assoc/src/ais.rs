@@ -9,11 +9,13 @@
 //! from `L_{k-1} ⋈ L_{k-1}`, AIS counts far more distinct candidates
 //! than Apriori — the effect experiments E1–E2 reproduce.
 
+use crate::apriori::POLL_STRIDE;
 use crate::itemsets::{FrequentItemsets, Itemset};
 use crate::stats::MiningStats;
 use crate::{ItemsetMiner, MinSupport, MiningResult};
 use dm_dataset::transactions::is_subset_sorted;
 use dm_dataset::{DataError, TransactionDb};
+use dm_guard::{Guard, Outcome};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -45,81 +47,113 @@ impl ItemsetMiner for Ais {
         "ais"
     }
 
-    fn mine(&self, db: &TransactionDb) -> Result<MiningResult, DataError> {
+    fn mine_governed(
+        &self,
+        db: &TransactionDb,
+        guard: &Guard,
+    ) -> Result<Outcome<MiningResult>, DataError> {
         let min_count = self.min_support.resolve(db)?;
         let mut stats = MiningStats::default();
         let mut levels: Vec<Vec<(Itemset, usize)>> = Vec::new();
 
-        // Pass 1: dense item counting (identical to Apriori's pass 1).
-        let t0 = Instant::now();
-        let mut counts = vec![0usize; db.n_items() as usize];
-        for txn in db.iter() {
-            for &item in txn {
-                counts[item as usize] += 1;
-            }
-        }
-        let l1: Vec<(Itemset, usize)> = counts
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c >= min_count)
-            .map(|(item, &c)| (vec![item as u32], c))
-            .collect();
-        stats.push(1, db.n_items() as usize, l1.len(), t0.elapsed());
-        levels.push(l1);
-
-        let mut k = 1usize;
-        loop {
-            if self.max_len.is_some_and(|m| m <= k) {
-                break;
-            }
-            let prev = &levels[k - 1];
-            if prev.is_empty() {
-                break;
-            }
+        // A trip anywhere inside a pass discards that pass (see the
+        // trait docs); only fully counted passes reach `levels`.
+        'mine: {
+            // Pass 1: dense item counting (identical to Apriori's pass 1).
             let t0 = Instant::now();
-            // Extend every frequent (k-1)-itemset found in each
-            // transaction with each later transaction item.
-            let mut candidate_counts: HashMap<Itemset, usize> = HashMap::new();
-            for txn in db.iter() {
-                if txn.len() < k + 1 {
-                    continue;
+            if guard.try_work(u64::from(db.n_items())).is_err() {
+                break 'mine;
+            }
+            let mut counts = vec![0usize; db.n_items() as usize];
+            for (t, txn) in db.iter().enumerate() {
+                if t.is_multiple_of(POLL_STRIDE) && guard.should_stop() {
+                    break 'mine;
                 }
-                for (seed, _) in prev.iter() {
-                    if !is_subset_sorted(seed, txn) {
+                for &item in txn {
+                    counts[item as usize] += 1;
+                }
+            }
+            let l1: Vec<(Itemset, usize)> = counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c >= min_count)
+                .map(|(item, &c)| (vec![item as u32], c))
+                .collect();
+            stats.push(1, db.n_items() as usize, l1.len(), t0.elapsed());
+            levels.push(l1);
+
+            let mut k = 1usize;
+            loop {
+                if self.max_len.is_some_and(|m| m <= k) {
+                    break;
+                }
+                let prev = &levels[k - 1];
+                if prev.is_empty() {
+                    break;
+                }
+                let t0 = Instant::now();
+                // Extend every frequent (k-1)-itemset found in each
+                // transaction with each later transaction item. AIS only
+                // discovers its candidates *during* the scan, so work is
+                // charged incrementally: after each transaction, the
+                // candidates it introduced are admitted against the
+                // budget, bounding the overshoot of a work cap by one
+                // transaction's extensions.
+                let mut candidate_counts: HashMap<Itemset, usize> = HashMap::new();
+                let mut charged = 0u64;
+                for (t, txn) in db.iter().enumerate() {
+                    if t.is_multiple_of(POLL_STRIDE) && guard.should_stop() {
+                        break 'mine;
+                    }
+                    if txn.len() < k + 1 {
                         continue;
                     }
-                    let max_item = *seed.last().expect("non-empty seed");
-                    let from = txn.partition_point(|&i| i <= max_item);
-                    for &ext in &txn[from..] {
-                        let mut cand: Itemset = Vec::with_capacity(seed.len() + 1);
-                        cand.extend_from_slice(seed);
-                        cand.push(ext);
-                        *candidate_counts.entry(cand).or_insert(0) += 1;
+                    for (seed, _) in prev.iter() {
+                        if !is_subset_sorted(seed, txn) {
+                            continue;
+                        }
+                        let Some(&max_item) = seed.last() else {
+                            continue;
+                        };
+                        let from = txn.partition_point(|&i| i <= max_item);
+                        for &ext in &txn[from..] {
+                            let mut cand: Itemset = Vec::with_capacity(seed.len() + 1);
+                            cand.extend_from_slice(seed);
+                            cand.push(ext);
+                            *candidate_counts.entry(cand).or_insert(0) += 1;
+                        }
+                    }
+                    let delta = candidate_counts.len() as u64 - charged;
+                    if delta > 0 {
+                        if guard.try_work(delta).is_err() {
+                            break 'mine;
+                        }
+                        charged += delta;
                     }
                 }
-            }
-            let n_candidates = candidate_counts.len();
-            if n_candidates == 0 {
-                break;
-            }
-            let mut lk: Vec<(Itemset, usize)> = candidate_counts
-                .into_iter()
-                .filter(|&(_, c)| c >= min_count)
-                .collect();
-            lk.sort();
-            stats.push(k + 1, n_candidates, lk.len(), t0.elapsed());
-            let done = lk.is_empty();
-            levels.push(lk);
-            k += 1;
-            if done {
-                break;
+                let n_candidates = candidate_counts.len();
+                if n_candidates == 0 {
+                    break;
+                }
+                let mut lk: Vec<(Itemset, usize)> = candidate_counts
+                    .into_iter()
+                    .filter(|&(_, c)| c >= min_count)
+                    .collect();
+                lk.sort();
+                stats.push(k + 1, n_candidates, lk.len(), t0.elapsed());
+                let done = lk.is_empty();
+                levels.push(lk);
+                k += 1;
+                if done {
+                    break;
+                }
             }
         }
 
-        Ok(MiningResult {
+        Ok(guard.outcome(MiningResult {
             itemsets: FrequentItemsets::from_levels(levels, db.len()),
             stats,
-        })
+        }))
     }
 }
 

@@ -7,8 +7,13 @@ use crate::stats::MiningStats;
 use crate::{ItemsetMiner, MinSupport, MiningResult};
 use dm_dataset::transactions::is_subset_sorted;
 use dm_dataset::{DataError, TransactionDb};
-use dm_par::{par_chunks_map_reduce, Chunking, Parallelism};
+use dm_guard::{Guard, Outcome, TruncationReason};
+use dm_par::{par_chunks_map_reduce_governed, Chunking, Parallelism};
 use std::time::Instant;
+
+/// How many transactions a counting shard processes between guard polls;
+/// bounds cancellation latency inside a database scan.
+pub(crate) const POLL_STRIDE: usize = 256;
 
 /// Sums the right-hand count vector into the left one (the merge step
 /// of every Count Distribution pass: per-shard counters add up).
@@ -103,21 +108,27 @@ impl Apriori {
     }
 
     /// Pass 1: frequent single items via dense counting, one counter
-    /// array per shard.
+    /// array per shard. Shards poll `guard` every [`POLL_STRIDE`]
+    /// transactions; a trip voids the pass.
     fn frequent_items(
         par: Parallelism,
         db: &TransactionDb,
         min_count: usize,
-    ) -> Vec<(Itemset, usize)> {
+        guard: &Guard,
+    ) -> Result<Vec<(Itemset, usize)>, TruncationReason> {
         let n_items = db.n_items() as usize;
-        let counts = par_chunks_map_reduce(
+        let counts = par_chunks_map_reduce_governed(
             par,
             Chunking::PerThread,
             db.transactions(),
+            guard,
             || vec![0usize; n_items],
             |shard| {
                 let mut counts = vec![0usize; n_items];
-                for txn in shard {
+                for (t, txn) in shard.iter().enumerate() {
+                    if t.is_multiple_of(POLL_STRIDE) && guard.should_stop() {
+                        break;
+                    }
                     for &item in txn {
                         counts[item as usize] += 1;
                     }
@@ -125,13 +136,13 @@ impl Apriori {
                 counts
             },
             merge_counts,
-        );
-        counts
+        )?;
+        Ok(counts
             .iter()
             .enumerate()
             .filter(|&(_, &c)| c >= min_count)
             .map(|(item, &c)| (vec![item as u32], c))
-            .collect()
+            .collect())
     }
 
     /// Pass 2: counts all pairs of frequent items with a dense
@@ -143,10 +154,11 @@ impl Apriori {
         db: &TransactionDb,
         l1: &[(Itemset, usize)],
         min_count: usize,
-    ) -> (Vec<(Itemset, usize)>, usize) {
+        guard: &Guard,
+    ) -> Result<(Vec<(Itemset, usize)>, usize), TruncationReason> {
         let m = l1.len();
         if m < 2 {
-            return (Vec::new(), 0);
+            return Ok((Vec::new(), 0));
         }
         // Dense id per frequent item.
         let mut dense = vec![u32::MAX; db.n_items() as usize];
@@ -156,15 +168,19 @@ impl Apriori {
         let n_pairs = m * (m - 1) / 2;
         // Triangular index for i < j over m items.
         let tri = |i: usize, j: usize| i * m - i * (i + 1) / 2 + (j - i - 1);
-        let counts = par_chunks_map_reduce(
+        let counts = par_chunks_map_reduce_governed(
             par,
             Chunking::PerThread,
             db.transactions(),
+            guard,
             || vec![0u32; n_pairs],
             |shard| {
                 let mut counts = vec![0u32; n_pairs];
                 let mut present: Vec<usize> = Vec::new();
-                for txn in shard {
+                for (t, txn) in shard.iter().enumerate() {
+                    if t.is_multiple_of(POLL_STRIDE) && guard.should_stop() {
+                        break;
+                    }
                     present.clear();
                     present.extend(
                         txn.iter()
@@ -181,7 +197,7 @@ impl Apriori {
                 counts
             },
             merge_counts,
-        );
+        )?;
         let mut out = Vec::new();
         for i in 0..m {
             for j in (i + 1)..m {
@@ -191,7 +207,7 @@ impl Apriori {
                 }
             }
         }
-        (out, n_pairs)
+        Ok((out, n_pairs))
     }
 
     /// Counts `candidates` over the database with the configured strategy.
@@ -201,7 +217,8 @@ impl Apriori {
         candidates: Vec<Itemset>,
         k: usize,
         min_count: usize,
-    ) -> Vec<(Itemset, usize)> {
+        guard: &Guard,
+    ) -> Result<Vec<(Itemset, usize)>, TruncationReason> {
         match self.counting {
             CountingStrategy::HashTree {
                 fanout,
@@ -211,14 +228,18 @@ impl Apriori {
                 // `CountState`s against the now-immutable tree and merge
                 // by summation.
                 let tree = HashTree::build(candidates, k, fanout, leaf_capacity);
-                let state = par_chunks_map_reduce(
+                let state = par_chunks_map_reduce_governed(
                     self.parallelism,
                     Chunking::PerThread,
                     db.transactions(),
+                    guard,
                     || tree.new_count_state(),
                     |shard| {
                         let mut state = tree.new_count_state();
-                        for txn in shard {
+                        for (t, txn) in shard.iter().enumerate() {
+                            if t.is_multiple_of(POLL_STRIDE) && guard.should_stop() {
+                                break;
+                            }
                             tree.count_transaction_into(txn, &mut state);
                         }
                         state
@@ -227,18 +248,22 @@ impl Apriori {
                         a.absorb(&b);
                         a
                     },
-                );
-                tree.into_frequent_with(state.counts(), min_count)
+                )?;
+                Ok(tree.into_frequent_with(state.counts(), min_count))
             }
             CountingStrategy::Linear => {
-                let counts = par_chunks_map_reduce(
+                let counts = par_chunks_map_reduce_governed(
                     self.parallelism,
                     Chunking::PerThread,
                     db.transactions(),
+                    guard,
                     || vec![0usize; candidates.len()],
                     |shard| {
                         let mut counts = vec![0usize; candidates.len()];
-                        for txn in shard {
+                        for (t, txn) in shard.iter().enumerate() {
+                            if t.is_multiple_of(POLL_STRIDE) && guard.should_stop() {
+                                break;
+                            }
                             if txn.len() < k {
                                 continue;
                             }
@@ -251,14 +276,14 @@ impl Apriori {
                         counts
                     },
                     merge_counts,
-                );
+                )?;
                 let mut counted: Vec<(Itemset, usize)> = candidates
                     .into_iter()
                     .zip(counts)
                     .filter(|&(_, c)| c >= min_count)
                     .collect();
                 counted.sort();
-                counted
+                Ok(counted)
             }
         }
     }
@@ -272,55 +297,88 @@ impl ItemsetMiner for Apriori {
         }
     }
 
-    fn mine(&self, db: &TransactionDb) -> Result<MiningResult, DataError> {
+    fn mine_governed(
+        &self,
+        db: &TransactionDb,
+        guard: &Guard,
+    ) -> Result<Outcome<MiningResult>, DataError> {
         let min_count = self.min_support.resolve(db)?;
         let mut stats = MiningStats::default();
         let mut levels: Vec<Vec<(Itemset, usize)>> = Vec::new();
 
-        // Pass 1.
-        let t0 = Instant::now();
-        let l1 = Self::frequent_items(self.parallelism, db, min_count);
-        stats.push(1, db.n_items() as usize, l1.len(), t0.elapsed());
-        levels.push(l1);
-
-        let mut k = 1usize;
-        loop {
-            if self.max_len.is_some_and(|m| k >= m) {
-                break;
-            }
-            if levels[k - 1].len() < 2 {
-                break;
-            }
+        // Each pass is all-or-nothing under the guard: work units
+        // (candidates) are admitted before counting starts, and a trip
+        // mid-pass discards that pass entirely, so `levels` only ever
+        // holds fully counted passes — keeping truncated results
+        // downward closed and a subset of the ungoverned run.
+        'mine: {
+            // Pass 1: every item is a candidate.
             let t0 = Instant::now();
-            let (frequent, n_candidates) = if k == 1 && self.pair_array {
-                // Dense triangular-array counting for the pair pass.
-                Self::frequent_pairs(self.parallelism, db, &levels[0], min_count)
-            } else {
-                let prev: Vec<Itemset> = levels[k - 1].iter().map(|(i, _)| i.clone()).collect();
-                let candidates = if k == 1 {
-                    crate::candidate::gen_pairs(&prev.iter().map(|i| i[0]).collect::<Vec<_>>())
-                } else {
-                    apriori_gen(&prev)
-                };
-                let n = candidates.len();
-                (self.count_candidates(db, candidates, k + 1, min_count), n)
-            };
-            if n_candidates == 0 {
-                break;
+            if guard.try_work(u64::from(db.n_items())).is_err() {
+                break 'mine;
             }
-            stats.push(k + 1, n_candidates, frequent.len(), t0.elapsed());
-            let done = frequent.is_empty();
-            levels.push(frequent);
-            k += 1;
-            if done {
-                break;
+            let Ok(l1) = Self::frequent_items(self.parallelism, db, min_count, guard) else {
+                break 'mine;
+            };
+            stats.push(1, db.n_items() as usize, l1.len(), t0.elapsed());
+            levels.push(l1);
+
+            let mut k = 1usize;
+            loop {
+                if self.max_len.is_some_and(|m| k >= m) {
+                    break;
+                }
+                if levels[k - 1].len() < 2 {
+                    break;
+                }
+                let t0 = Instant::now();
+                let pass: Result<(Vec<(Itemset, usize)>, usize), TruncationReason> = if k == 1
+                    && self.pair_array
+                {
+                    // Dense triangular-array counting for the pair
+                    // pass. The candidate count is known analytically,
+                    // so the work is admitted *before* the array of
+                    // all pairs is even allocated.
+                    let m = levels[0].len();
+                    let n_pairs = m * (m - 1) / 2;
+                    guard.try_work(n_pairs as u64).and_then(|()| {
+                        Self::frequent_pairs(self.parallelism, db, &levels[0], min_count, guard)
+                    })
+                } else {
+                    let prev: Vec<Itemset> = levels[k - 1].iter().map(|(i, _)| i.clone()).collect();
+                    let candidates = if k == 1 {
+                        crate::candidate::gen_pairs(&prev.iter().map(|i| i[0]).collect::<Vec<_>>())
+                    } else {
+                        apriori_gen(&prev)
+                    };
+                    let n = candidates.len();
+                    guard
+                        .try_work(n as u64)
+                        .and_then(|()| {
+                            self.count_candidates(db, candidates, k + 1, min_count, guard)
+                        })
+                        .map(|frequent| (frequent, n))
+                };
+                let Ok((frequent, n_candidates)) = pass else {
+                    break 'mine;
+                };
+                if n_candidates == 0 {
+                    break;
+                }
+                stats.push(k + 1, n_candidates, frequent.len(), t0.elapsed());
+                let done = frequent.is_empty();
+                levels.push(frequent);
+                k += 1;
+                if done {
+                    break;
+                }
             }
         }
 
-        Ok(MiningResult {
+        Ok(guard.outcome(MiningResult {
             itemsets: FrequentItemsets::from_levels(levels, db.len()),
             stats,
-        })
+        }))
     }
 }
 

@@ -9,11 +9,13 @@
 //! lists empty out are dropped entirely — the behaviour that makes the
 //! algorithm fast in late passes and memory-hungry in pass 2.
 
+use crate::apriori::POLL_STRIDE;
 use crate::candidate::{apriori_gen, gen_pairs};
 use crate::itemsets::{FrequentItemsets, Itemset};
 use crate::stats::MiningStats;
 use crate::{ItemsetMiner, MinSupport, MiningResult};
 use dm_dataset::{DataError, TransactionDb};
+use dm_guard::{Guard, Outcome};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -45,154 +47,174 @@ impl ItemsetMiner for AprioriTid {
         "apriori-tid"
     }
 
-    fn mine(&self, db: &TransactionDb) -> Result<MiningResult, DataError> {
+    fn mine_governed(
+        &self,
+        db: &TransactionDb,
+        guard: &Guard,
+    ) -> Result<Outcome<MiningResult>, DataError> {
         let min_count = self.min_support.resolve(db)?;
         let mut stats = MiningStats::default();
         let mut levels: Vec<Vec<(Itemset, usize)>> = Vec::new();
 
-        // ---- Pass 1: dense item counting + initial C̄_1. ----
-        let t0 = Instant::now();
-        let mut counts = vec![0usize; db.n_items() as usize];
-        for txn in db.iter() {
-            for &item in txn {
-                counts[item as usize] += 1;
-            }
-        }
-        let l1: Vec<(Itemset, usize)> = counts
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c >= min_count)
-            .map(|(item, &c)| (vec![item as u32], c))
-            .collect();
-        // Dense id per frequent item.
-        let mut item_id = vec![u32::MAX; db.n_items() as usize];
-        for (id, (items, _)) in l1.iter().enumerate() {
-            item_id[items[0] as usize] = id as u32;
-        }
-        // C̄_1: per transaction, the (sorted) ids of its frequent items.
-        let mut tidlists: Vec<Vec<u32>> = db
-            .iter()
-            .map(|txn| {
-                txn.iter()
-                    .map(|&i| item_id[i as usize])
-                    .filter(|&id| id != u32::MAX)
-                    .collect::<Vec<u32>>()
-            })
-            .filter(|ids: &Vec<u32>| !ids.is_empty())
-            .collect();
-        stats.push(1, db.n_items() as usize, l1.len(), t0.elapsed());
-        levels.push(l1);
-
-        // ---- Passes k ≥ 2 over the C̄ representation. ----
-        let mut k = 1usize;
-        // Stamp array marking which previous-level ids the current
-        // transaction contains (generation-stamped to avoid clearing).
-        let mut stamp: Vec<u32> = Vec::new();
-        loop {
-            if self.max_len.is_some_and(|m| k >= m) {
-                break;
-            }
-            let prev = &levels[k - 1];
-            if prev.len() < 2 {
-                break;
-            }
+        // A trip anywhere inside a pass discards that pass; `levels`
+        // only ever holds fully joined passes (see the trait docs).
+        'mine: {
+            // ---- Pass 1: dense item counting + initial C̄_1. ----
             let t0 = Instant::now();
-            let prev_sets: Vec<Itemset> = prev.iter().map(|(i, _)| i.clone()).collect();
-            let candidates = if k == 1 {
-                gen_pairs(&prev_sets.iter().map(|i| i[0]).collect::<Vec<_>>())
-            } else {
-                apriori_gen(&prev_sets)
-            };
-            if candidates.is_empty() {
-                break;
+            if guard.try_work(u64::from(db.n_items())).is_err() {
+                break 'mine;
             }
-            let n_candidates = candidates.len();
-
-            // Each candidate's two generators as dense prev-level ids.
-            let prev_id: HashMap<&[u32], u32> = prev_sets
+            let mut counts = vec![0usize; db.n_items() as usize];
+            for (t, txn) in db.iter().enumerate() {
+                if t.is_multiple_of(POLL_STRIDE) && guard.should_stop() {
+                    break 'mine;
+                }
+                for &item in txn {
+                    counts[item as usize] += 1;
+                }
+            }
+            let l1: Vec<(Itemset, usize)> = counts
                 .iter()
                 .enumerate()
-                .map(|(i, s)| (s.as_slice(), i as u32))
+                .filter(|&(_, &c)| c >= min_count)
+                .map(|(item, &c)| (vec![item as u32], c))
                 .collect();
-            let mut generators: Vec<(u32, u32)> = Vec::with_capacity(candidates.len());
-            // Candidates grouped by first generator for the per-txn probe.
-            let mut by_g1: Vec<Vec<u32>> = vec![Vec::new(); prev_sets.len()];
-            for (cid, cand) in candidates.iter().enumerate() {
-                let n = cand.len();
-                let mut g1: Itemset = cand.clone();
-                g1.remove(n - 1); // drop last item
-                let mut g2: Itemset = cand.clone();
-                g2.remove(n - 2); // drop second-to-last item
-                let id1 = prev_id[g1.as_slice()];
-                let id2 = prev_id[g2.as_slice()];
-                generators.push((id1, id2));
-                by_g1[id1 as usize].push(cid as u32);
+            // Dense id per frequent item.
+            let mut item_id = vec![u32::MAX; db.n_items() as usize];
+            for (id, (items, _)) in l1.iter().enumerate() {
+                item_id[items[0] as usize] = id as u32;
             }
+            // C̄_1: per transaction, the (sorted) ids of its frequent items.
+            let mut tidlists: Vec<Vec<u32>> = db
+                .iter()
+                .map(|txn| {
+                    txn.iter()
+                        .map(|&i| item_id[i as usize])
+                        .filter(|&id| id != u32::MAX)
+                        .collect::<Vec<u32>>()
+                })
+                .filter(|ids: &Vec<u32>| !ids.is_empty())
+                .collect();
+            stats.push(1, db.n_items() as usize, l1.len(), t0.elapsed());
+            levels.push(l1);
 
-            // Join pass over C̄_{k-1}.
-            stamp.clear();
-            stamp.resize(prev_sets.len(), u32::MAX);
-            let mut cand_counts = vec![0usize; candidates.len()];
-            let mut next_tidlists: Vec<Vec<u32>> = Vec::with_capacity(tidlists.len());
-            for (gen, ids) in tidlists.iter().enumerate() {
-                let gen = gen as u32;
-                for &id in ids {
-                    stamp[id as usize] = gen;
+            // ---- Passes k ≥ 2 over the C̄ representation. ----
+            let mut k = 1usize;
+            // Stamp array marking which previous-level ids the current
+            // transaction contains (generation-stamped to avoid clearing).
+            let mut stamp: Vec<u32> = Vec::new();
+            loop {
+                if self.max_len.is_some_and(|m| k >= m) {
+                    break;
                 }
-                let mut present: Vec<u32> = Vec::new();
-                for &id in ids {
-                    for &cid in &by_g1[id as usize] {
-                        let (_, g2) = generators[cid as usize];
-                        if stamp[g2 as usize] == gen {
-                            cand_counts[cid as usize] += 1;
-                            present.push(cid);
+                let prev = &levels[k - 1];
+                if prev.len() < 2 {
+                    break;
+                }
+                let t0 = Instant::now();
+                let prev_sets: Vec<Itemset> = prev.iter().map(|(i, _)| i.clone()).collect();
+                let candidates = if k == 1 {
+                    gen_pairs(&prev_sets.iter().map(|i| i[0]).collect::<Vec<_>>())
+                } else {
+                    apriori_gen(&prev_sets)
+                };
+                if candidates.is_empty() {
+                    break;
+                }
+                let n_candidates = candidates.len();
+                if guard.try_work(n_candidates as u64).is_err() {
+                    break 'mine;
+                }
+
+                // Each candidate's two generators as dense prev-level ids.
+                let prev_id: HashMap<&[u32], u32> = prev_sets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.as_slice(), i as u32))
+                    .collect();
+                let mut generators: Vec<(u32, u32)> = Vec::with_capacity(candidates.len());
+                // Candidates grouped by first generator for the per-txn probe.
+                let mut by_g1: Vec<Vec<u32>> = vec![Vec::new(); prev_sets.len()];
+                for (cid, cand) in candidates.iter().enumerate() {
+                    let n = cand.len();
+                    let mut g1: Itemset = cand.clone();
+                    g1.remove(n - 1); // drop last item
+                    let mut g2: Itemset = cand.clone();
+                    g2.remove(n - 2); // drop second-to-last item
+                    let id1 = prev_id[g1.as_slice()];
+                    let id2 = prev_id[g2.as_slice()];
+                    generators.push((id1, id2));
+                    by_g1[id1 as usize].push(cid as u32);
+                }
+
+                // Join pass over C̄_{k-1}.
+                stamp.clear();
+                stamp.resize(prev_sets.len(), u32::MAX);
+                let mut cand_counts = vec![0usize; candidates.len()];
+                let mut next_tidlists: Vec<Vec<u32>> = Vec::with_capacity(tidlists.len());
+                for (gen, ids) in tidlists.iter().enumerate() {
+                    if gen.is_multiple_of(POLL_STRIDE) && guard.should_stop() {
+                        break 'mine;
+                    }
+                    let gen = gen as u32;
+                    for &id in ids {
+                        stamp[id as usize] = gen;
+                    }
+                    let mut present: Vec<u32> = Vec::new();
+                    for &id in ids {
+                        for &cid in &by_g1[id as usize] {
+                            let (_, g2) = generators[cid as usize];
+                            if stamp[g2 as usize] == gen {
+                                cand_counts[cid as usize] += 1;
+                                present.push(cid);
+                            }
                         }
                     }
-                }
-                if !present.is_empty() {
-                    present.sort_unstable();
-                    next_tidlists.push(present);
-                }
-            }
-
-            // Filter to the frequent candidates and remap ids densely.
-            let mut keep: Vec<u32> = Vec::new();
-            let mut new_id = vec![u32::MAX; candidates.len()];
-            let mut lk: Vec<(Itemset, usize)> = Vec::new();
-            for (cid, cand) in candidates.into_iter().enumerate() {
-                if cand_counts[cid] >= min_count {
-                    new_id[cid] = keep.len() as u32;
-                    keep.push(cid as u32);
-                    lk.push((cand, cand_counts[cid]));
-                }
-            }
-            for ids in &mut next_tidlists {
-                ids.retain_mut(|cid| {
-                    let mapped = new_id[*cid as usize];
-                    if mapped == u32::MAX {
-                        false
-                    } else {
-                        *cid = mapped;
-                        true
+                    if !present.is_empty() {
+                        present.sort_unstable();
+                        next_tidlists.push(present);
                     }
-                });
-            }
-            next_tidlists.retain(|ids| !ids.is_empty());
-            tidlists = next_tidlists;
+                }
 
-            stats.push(k + 1, n_candidates, lk.len(), t0.elapsed());
-            let done = lk.is_empty();
-            levels.push(lk);
-            k += 1;
-            if done || tidlists.is_empty() {
-                break;
+                // Filter to the frequent candidates and remap ids densely.
+                let mut keep: Vec<u32> = Vec::new();
+                let mut new_id = vec![u32::MAX; candidates.len()];
+                let mut lk: Vec<(Itemset, usize)> = Vec::new();
+                for (cid, cand) in candidates.into_iter().enumerate() {
+                    if cand_counts[cid] >= min_count {
+                        new_id[cid] = keep.len() as u32;
+                        keep.push(cid as u32);
+                        lk.push((cand, cand_counts[cid]));
+                    }
+                }
+                for ids in &mut next_tidlists {
+                    ids.retain_mut(|cid| {
+                        let mapped = new_id[*cid as usize];
+                        if mapped == u32::MAX {
+                            false
+                        } else {
+                            *cid = mapped;
+                            true
+                        }
+                    });
+                }
+                next_tidlists.retain(|ids| !ids.is_empty());
+                tidlists = next_tidlists;
+
+                stats.push(k + 1, n_candidates, lk.len(), t0.elapsed());
+                let done = lk.is_empty();
+                levels.push(lk);
+                k += 1;
+                if done || tidlists.is_empty() {
+                    break;
+                }
             }
         }
 
-        Ok(MiningResult {
+        Ok(guard.outcome(MiningResult {
             itemsets: FrequentItemsets::from_levels(levels, db.len()),
             stats,
-        })
+        }))
     }
 }
 

@@ -1,9 +1,11 @@
 //! Exhaustive reference miner used as the correctness oracle.
 
+use crate::apriori::POLL_STRIDE;
 use crate::itemsets::{FrequentItemsets, Itemset};
 use crate::stats::MiningStats;
 use crate::{ItemsetMiner, MinSupport, MiningResult};
 use dm_dataset::{DataError, TransactionDb};
+use dm_guard::{Guard, Outcome};
 use std::time::Instant;
 
 /// Upper bound on the item universe accepted by [`BruteForce`]; beyond
@@ -42,7 +44,11 @@ impl ItemsetMiner for BruteForce {
         "brute-force"
     }
 
-    fn mine(&self, db: &TransactionDb) -> Result<MiningResult, DataError> {
+    fn mine_governed(
+        &self,
+        db: &TransactionDb,
+        guard: &Guard,
+    ) -> Result<Outcome<MiningResult>, DataError> {
         let min_count = self.min_support.resolve(db)?;
         let n = db.n_items();
         if n > MAX_BRUTE_ITEMS {
@@ -52,30 +58,64 @@ impl ItemsetMiner for BruteForce {
             )));
         }
         let t0 = Instant::now();
-        let max_len = self.max_len.unwrap_or(n as usize);
+        let max_len = self.max_len.unwrap_or(n as usize).min(n as usize);
         let mut levels: Vec<Vec<(Itemset, usize)>> = Vec::new();
         let mut candidates_total = 0usize;
-        // Enumerate subsets as bitmasks, bucketed by popcount.
-        for mask in 1u32..(1u32 << n) {
-            let size = mask.count_ones() as usize;
-            if size > max_len {
-                continue;
+        // Enumerate subsets size-major (Gosper's hack walks the masks of
+        // each popcount in order) so a budget trip discards at most the
+        // level in flight and the surviving levels stay downward closed.
+        'mine: for size in 1..=max_len {
+            let level_candidates = binomial(n as u64, size as u64);
+            if guard.try_work(level_candidates).is_err() {
+                break 'mine;
             }
-            candidates_total += 1;
-            let itemset: Itemset = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
-            let count = db.support_count(&itemset);
-            if count >= min_count {
-                while levels.len() < size {
-                    levels.push(Vec::new());
+            let mut level: Vec<(Itemset, usize)> = Vec::new();
+            let mut mask: u32 = (1u32 << size) - 1;
+            let limit: u32 = 1u32 << n;
+            let mut visited = 0usize;
+            while mask < limit {
+                if visited.is_multiple_of(POLL_STRIDE) && guard.should_stop() {
+                    break 'mine;
                 }
-                levels[size - 1].push((itemset, count));
+                visited += 1;
+                candidates_total += 1;
+                let itemset: Itemset = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+                let count = db.support_count(&itemset);
+                if count >= min_count {
+                    level.push((itemset, count));
+                }
+                // Gosper's hack: next mask with the same popcount.
+                let c = mask & mask.wrapping_neg();
+                let r = mask + c;
+                if r >= limit || c == 0 {
+                    break;
+                }
+                mask = (((r ^ mask) >> 2) / c) | r;
+            }
+            let done = level.is_empty();
+            levels.push(level);
+            if done {
+                break;
             }
         }
         let itemsets = FrequentItemsets::from_levels(levels, db.len());
         let mut stats = MiningStats::default();
         stats.push(1, candidates_total, itemsets.len(), t0.elapsed());
-        Ok(MiningResult { itemsets, stats })
+        Ok(guard.outcome(MiningResult { itemsets, stats }))
     }
+}
+
+/// `C(n, k)` without overflow for the tiny universes brute force allows.
+fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1u64;
+    for i in 0..k {
+        acc = acc * (n - i) / (i + 1);
+    }
+    acc
 }
 
 #[cfg(test)]

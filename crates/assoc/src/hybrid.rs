@@ -12,13 +12,15 @@
 //! pays off when at least one more pass follows (the caveat the paper
 //! itself notes).
 
+use crate::apriori::POLL_STRIDE;
 use crate::candidate::apriori_gen;
 use crate::itemsets::{FrequentItemsets, Itemset};
 use crate::stats::MiningStats;
 use crate::{Apriori, ItemsetMiner, MinSupport, MiningResult};
 use dm_dataset::transactions::is_subset_sorted;
 use dm_dataset::{DataError, TransactionDb};
-use dm_par::{par_chunks_map_reduce, Chunking, Parallelism};
+use dm_guard::{Guard, Outcome, TruncationReason};
+use dm_par::{par_chunks_map_reduce_governed, Chunking, Parallelism};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -72,7 +74,11 @@ impl ItemsetMiner for AprioriHybrid {
         "apriori-hybrid"
     }
 
-    fn mine(&self, db: &TransactionDb) -> Result<MiningResult, DataError> {
+    fn mine_governed(
+        &self,
+        db: &TransactionDb,
+        guard: &Guard,
+    ) -> Result<Outcome<MiningResult>, DataError> {
         let min_count = self.min_support.resolve(db)?;
         // Phase 1: plain Apriori, pass by pass, watching the estimate.
         let apriori = Apriori::new(MinSupport::Count(min_count)).with_parallelism(self.parallelism);
@@ -81,100 +87,126 @@ impl ItemsetMiner for AprioriHybrid {
 
         let mut switched_at: Option<usize> = None;
 
-        // Passes 1 and 2 always run under Apriori's dense counters (a
-        // C̄ over pairs would dwarf the database), delegated to the
-        // public miner; later passes run below so the representation can
-        // switch mid-run.
-        let full = apriori.clone().with_max_len(2).mine(db)?;
-        for p in &full.stats.passes {
-            stats.passes.push(p.clone());
-        }
-        for k in 1..=full.itemsets.max_len() {
-            levels.push(full.itemsets.level(k).to_vec());
-        }
-
-        let mut k = levels.len();
-        // TID-phase state (populated at the switch).
-        let mut tidlists: Option<Vec<Vec<u32>>> = None;
-
-        while k >= 2 && !levels[k - 1].is_empty() && self.max_len.is_none_or(|m| k < m) {
-            let prev: Vec<Itemset> = levels[k - 1].iter().map(|(i, _)| i.clone()).collect();
-            if prev.len() < 2 {
-                break;
+        'mine: {
+            // Passes 1 and 2 always run under Apriori's dense counters (a
+            // C̄ over pairs would dwarf the database), delegated to the
+            // public miner — under the *same* guard, so its budget and
+            // cancellation flow through.
+            let full = apriori.clone().with_max_len(2).mine_governed(db, guard)?;
+            for p in &full.result.stats.passes {
+                stats.passes.push(p.clone());
             }
-            let t0 = Instant::now();
-            let candidates = apriori_gen(&prev);
-            if candidates.is_empty() {
-                break;
+            for k in 1..=full.result.itemsets.max_len() {
+                levels.push(full.result.itemsets.level(k).to_vec());
             }
-            let n_candidates = candidates.len();
+            if !full.is_complete() {
+                break 'mine;
+            }
 
-            // Estimate C̄_{k+1} volume: support mass of L_k.
-            let support_mass: usize =
-                levels[k - 1].iter().map(|(_, c)| c).sum::<usize>() + db.len();
-            if tidlists.is_none() && support_mass <= self.tid_budget {
-                // Switch: materialize C̄_k (ids into L_k) with one scan.
-                switched_at = Some(k);
-                let mut lists: Vec<Vec<u32>> = Vec::with_capacity(db.len());
-                for txn in db.iter() {
-                    let ids: Vec<u32> = prev
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, items)| is_subset_sorted(items, txn))
-                        .map(|(id, _)| id as u32)
-                        .collect();
-                    if !ids.is_empty() {
-                        lists.push(ids);
+            let mut k = levels.len();
+            // TID-phase state (populated at the switch).
+            let mut tidlists: Option<Vec<Vec<u32>>> = None;
+
+            while k >= 2 && !levels[k - 1].is_empty() && self.max_len.is_none_or(|m| k < m) {
+                let prev: Vec<Itemset> = levels[k - 1].iter().map(|(i, _)| i.clone()).collect();
+                if prev.len() < 2 {
+                    break;
+                }
+                let t0 = Instant::now();
+                let candidates = apriori_gen(&prev);
+                if candidates.is_empty() {
+                    break;
+                }
+                let n_candidates = candidates.len();
+                if guard.try_work(n_candidates as u64).is_err() {
+                    break 'mine;
+                }
+
+                // Estimate C̄_{k+1} volume: support mass of L_k.
+                let support_mass: usize =
+                    levels[k - 1].iter().map(|(_, c)| c).sum::<usize>() + db.len();
+                if tidlists.is_none() && support_mass <= self.tid_budget {
+                    // Switch: materialize C̄_k (ids into L_k) with one scan.
+                    switched_at = Some(k);
+                    let mut lists: Vec<Vec<u32>> = Vec::with_capacity(db.len());
+                    for (t, txn) in db.iter().enumerate() {
+                        if t.is_multiple_of(POLL_STRIDE) && guard.should_stop() {
+                            break 'mine;
+                        }
+                        let ids: Vec<u32> = prev
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, items)| is_subset_sorted(items, txn))
+                            .map(|(id, _)| id as u32)
+                            .collect();
+                        if !ids.is_empty() {
+                            lists.push(ids);
+                        }
                     }
+                    tidlists = Some(lists);
                 }
-                tidlists = Some(lists);
-            }
 
-            let frequent: Vec<(Itemset, usize)> = match &mut tidlists {
-                // Apriori-style counting against the raw database.
-                None => apriori_count(self.parallelism, db, &candidates, k + 1, min_count),
-                Some(lists) => {
-                    // AprioriTid-style join over C̄_k.
-                    let (lk, next_lists) = tid_pass(&prev, &candidates, lists, min_count);
-                    *lists = next_lists;
-                    lk
+                let counted: Result<Vec<(Itemset, usize)>, TruncationReason> = match &mut tidlists {
+                    // Apriori-style counting against the raw database.
+                    None => {
+                        apriori_count(self.parallelism, db, &candidates, k + 1, min_count, guard)
+                    }
+                    Some(lists) => {
+                        // AprioriTid-style join over C̄_k.
+                        tid_pass(&prev, &candidates, lists, min_count, guard).map(
+                            |(lk, next_lists)| {
+                                *lists = next_lists;
+                                lk
+                            },
+                        )
+                    }
+                };
+                let Ok(frequent) = counted else {
+                    break 'mine;
+                };
+                stats.push(k + 1, n_candidates, frequent.len(), t0.elapsed());
+                let done = frequent.is_empty();
+                levels.push(frequent);
+                k += 1;
+                if done {
+                    break;
                 }
-            };
-            stats.push(k + 1, n_candidates, frequent.len(), t0.elapsed());
-            let done = frequent.is_empty();
-            levels.push(frequent);
-            k += 1;
-            if done {
-                break;
             }
         }
 
         let _ = switched_at; // recorded for future introspection
-        Ok(MiningResult {
+        Ok(guard.outcome(MiningResult {
             itemsets: FrequentItemsets::from_levels(levels, db.len()),
             stats,
-        })
+        }))
     }
 }
 
 /// Hash-tree counting of `candidates` (size `k`) against the database,
-/// sharded Count Distribution-style when `par` allows.
+/// sharded Count Distribution-style when `par` allows. The guard is
+/// polled inside each shard (bounded cancellation latency) and checked
+/// once more after the merge.
 fn apriori_count(
     par: Parallelism,
     db: &TransactionDb,
     candidates: &[Itemset],
     k: usize,
     min_count: usize,
-) -> Vec<(Itemset, usize)> {
+    guard: &Guard,
+) -> Result<Vec<(Itemset, usize)>, TruncationReason> {
     let tree = crate::hash_tree::HashTree::build(candidates.to_vec(), k, 8, 16);
-    let state = par_chunks_map_reduce(
+    let state = par_chunks_map_reduce_governed(
         par,
         Chunking::PerThread,
         db.transactions(),
+        guard,
         || tree.new_count_state(),
         |shard| {
             let mut state = tree.new_count_state();
-            for txn in shard {
+            for (t, txn) in shard.iter().enumerate() {
+                if t.is_multiple_of(POLL_STRIDE) && guard.should_stop() {
+                    break;
+                }
                 tree.count_transaction_into(txn, &mut state);
             }
             state
@@ -183,9 +215,12 @@ fn apriori_count(
             a.absorb(&b);
             a
         },
-    );
-    tree.into_frequent_with(state.counts(), min_count)
+    )?;
+    Ok(tree.into_frequent_with(state.counts(), min_count))
 }
+
+/// Frequent `(itemset, count)` pairs plus the next pass's `C̄` tid-lists.
+type TidPassOutput = (Vec<(Itemset, usize)>, Vec<Vec<u32>>);
 
 /// One AprioriTid join pass: counts `candidates` (generated from `prev`)
 /// via the candidate-id lists, returning the frequent sets and the next
@@ -195,7 +230,8 @@ fn tid_pass(
     candidates: &[Itemset],
     tidlists: &[Vec<u32>],
     min_count: usize,
-) -> (Vec<(Itemset, usize)>, Vec<Vec<u32>>) {
+    guard: &Guard,
+) -> Result<TidPassOutput, TruncationReason> {
     let prev_id: HashMap<&[u32], u32> = prev
         .iter()
         .enumerate()
@@ -218,6 +254,9 @@ fn tid_pass(
     let mut counts = vec![0usize; candidates.len()];
     let mut next: Vec<Vec<u32>> = Vec::with_capacity(tidlists.len());
     for (gen, ids) in tidlists.iter().enumerate() {
+        if gen.is_multiple_of(POLL_STRIDE) {
+            guard.check()?;
+        }
         let gen = gen as u32;
         for &id in ids {
             stamp[id as usize] = gen;
@@ -257,7 +296,7 @@ fn tid_pass(
         });
     }
     next.retain(|ids| !ids.is_empty());
-    (lk, next)
+    Ok((lk, next))
 }
 
 #[cfg(test)]

@@ -45,6 +45,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 pub mod ais;
 pub mod apriori;
 pub mod apriori_tid;
@@ -69,6 +70,7 @@ pub use setm::Setm;
 pub use stats::{MiningStats, PassStats};
 
 use dm_dataset::{DataError, TransactionDb};
+use dm_guard::{Guard, Outcome};
 
 /// Minimum-support threshold, either relative or absolute.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -114,12 +116,34 @@ pub struct MiningResult {
 }
 
 /// A frequent-itemset mining algorithm.
+///
+/// Every miner is *governed*: [`ItemsetMiner::mine_governed`] runs under a
+/// [`Guard`] and degrades gracefully when a budget trips or the run is
+/// cancelled, returning everything confirmed through the last completed
+/// pass. The guard's work unit for all miners is **one candidate itemset
+/// admitted to counting**, so `Budget::with_max_work(10_000)` caps the
+/// candidate explosion at 10k candidates regardless of algorithm.
+/// [`ItemsetMiner::mine`] is the ungoverned entry point: it delegates to
+/// `mine_governed` with [`Guard::unlimited`], whose result is bit-identical
+/// (the equivalence tests enforce this).
 pub trait ItemsetMiner {
     /// A short human-readable algorithm name (for experiment tables).
     fn name(&self) -> &'static str;
 
     /// Mines all frequent itemsets of `db` under the miner's threshold.
-    fn mine(&self, db: &TransactionDb) -> Result<MiningResult, DataError>;
+    fn mine(&self, db: &TransactionDb) -> Result<MiningResult, DataError> {
+        Ok(self.mine_governed(db, &Guard::unlimited())?.result)
+    }
+
+    /// Mines under `guard`, returning the best valid partial result when
+    /// truncated: all itemsets confirmed through the last *completed*
+    /// pass, which keeps the result downward closed and a subset of the
+    /// ungoverned run's.
+    fn mine_governed(
+        &self,
+        db: &TransactionDb,
+        guard: &Guard,
+    ) -> Result<Outcome<MiningResult>, DataError>;
 }
 
 #[cfg(test)]

@@ -69,13 +69,8 @@ impl RuleGenerator {
         }
         rules.sort_by(|a, b| {
             b.confidence
-                .partial_cmp(&a.confidence)
-                .expect("confidence is finite")
-                .then(
-                    b.support
-                        .partial_cmp(&a.support)
-                        .expect("support is finite"),
-                )
+                .total_cmp(&a.confidence)
+                .then(b.support.total_cmp(&a.support))
                 .then(a.antecedent.cmp(&b.antecedent))
                 .then(a.consequent.cmp(&b.consequent))
         });
@@ -106,14 +101,17 @@ impl RuleGenerator {
                     .copied()
                     .filter(|i| !consequent.contains(i))
                     .collect();
-                let ante_count = itemsets
-                    .support_count(&antecedent)
-                    .expect("subset of a frequent itemset is frequent");
+                // Downward closure guarantees both lookups succeed on a
+                // complete mining result; a truncated one may lack the
+                // subset, in which case the rule is simply not emitted.
+                let Some(ante_count) = itemsets.support_count(&antecedent) else {
+                    continue;
+                };
                 let confidence = count as f64 / ante_count as f64;
                 if confidence >= self.min_confidence {
-                    let cons_count = itemsets
-                        .support_count(&consequent)
-                        .expect("subset of a frequent itemset is frequent");
+                    let Some(cons_count) = itemsets.support_count(&consequent) else {
+                        continue;
+                    };
                     out.push(Rule {
                         antecedent,
                         consequent: consequent.clone(),

@@ -11,10 +11,12 @@
 //! database at low supports, which is exactly the failure mode the
 //! paper's comparison (and experiment E1) exhibits.
 
+use crate::apriori::POLL_STRIDE;
 use crate::itemsets::{FrequentItemsets, Itemset};
 use crate::stats::MiningStats;
 use crate::{ItemsetMiner, MinSupport, MiningResult};
 use dm_dataset::{DataError, TransactionDb};
+use dm_guard::{Guard, Outcome};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -46,98 +48,130 @@ impl ItemsetMiner for Setm {
         "setm"
     }
 
-    fn mine(&self, db: &TransactionDb) -> Result<MiningResult, DataError> {
+    fn mine_governed(
+        &self,
+        db: &TransactionDb,
+        guard: &Guard,
+    ) -> Result<Outcome<MiningResult>, DataError> {
         let min_count = self.min_support.resolve(db)?;
         let mut stats = MiningStats::default();
         let mut levels: Vec<Vec<(Itemset, usize)>> = Vec::new();
 
-        // Pass 1: count items; bar_1 = frequent item occurrences.
-        let t0 = Instant::now();
-        let mut counts = vec![0usize; db.n_items() as usize];
-        for txn in db.iter() {
-            for &item in txn {
-                counts[item as usize] += 1;
-            }
-        }
-        let l1: Vec<(Itemset, usize)> = counts
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c >= min_count)
-            .map(|(item, &c)| (vec![item as u32], c))
-            .collect();
-        let frequent_item = {
-            let mut f = vec![false; db.n_items() as usize];
-            for (items, _) in &l1 {
-                f[items[0] as usize] = true;
-            }
-            f
-        };
-        // Occurrence relation: (tid, itemset).
-        let mut bar: Vec<(u32, Itemset)> = Vec::new();
-        for (tid, txn) in db.iter().enumerate() {
-            for &item in txn {
-                if frequent_item[item as usize] {
-                    bar.push((tid as u32, vec![item]));
-                }
-            }
-        }
-        stats.push(1, db.n_items() as usize, l1.len(), t0.elapsed());
-        levels.push(l1);
-
-        let mut k = 1usize;
-        while !levels[k - 1].is_empty() && self.max_len.is_none_or(|m| k < m) {
+        // SETM's occurrence relation is the workspace's worst blow-up
+        // mode (no candidate pruning at all), so governance matters most
+        // here: a trip inside a pass discards it, keeping only fully
+        // aggregated passes.
+        'mine: {
+            // Pass 1: count items; bar_1 = frequent item occurrences.
             let t0 = Instant::now();
-            // Join: extend each occurrence with every larger item of its
-            // transaction (relational semantics — no candidate pruning).
-            let mut extended: Vec<(u32, Itemset)> = Vec::new();
-            for (tid, itemset) in &bar {
-                let txn = db.transaction(*tid as usize);
-                let max_item = *itemset.last().expect("non-empty");
-                let from = txn.partition_point(|&i| i <= max_item);
-                for &item in &txn[from..] {
-                    let mut cand = itemset.clone();
-                    cand.push(item);
-                    extended.push((*tid, cand));
+            if guard.try_work(u64::from(db.n_items())).is_err() {
+                break 'mine;
+            }
+            let mut counts = vec![0usize; db.n_items() as usize];
+            for (t, txn) in db.iter().enumerate() {
+                if t.is_multiple_of(POLL_STRIDE) && guard.should_stop() {
+                    break 'mine;
+                }
+                for &item in txn {
+                    counts[item as usize] += 1;
                 }
             }
-            if extended.is_empty() {
-                break;
-            }
-            // Aggregate occurrences by itemset ("GROUP BY / HAVING").
-            let mut support: HashMap<&[u32], usize> = HashMap::new();
-            for (_, itemset) in &extended {
-                *support.entry(itemset.as_slice()).or_insert(0) += 1;
-            }
-            let n_candidates = support.len();
-            let mut lk: Vec<(Itemset, usize)> = support
+            let l1: Vec<(Itemset, usize)> = counts
                 .iter()
+                .enumerate()
                 .filter(|&(_, &c)| c >= min_count)
-                .map(|(items, &c)| (items.to_vec(), c))
+                .map(|(item, &c)| (vec![item as u32], c))
                 .collect();
-            lk.sort();
-            // Filter the occurrence relation down to frequent itemsets.
-            let keep: std::collections::HashSet<&[u32]> =
-                lk.iter().map(|(i, _)| i.as_slice()).collect();
-            let bar_next: Vec<(u32, Itemset)> = extended
-                .iter()
-                .filter(|(_, itemset)| keep.contains(itemset.as_slice()))
-                .cloned()
-                .collect();
-            drop(extended);
-            bar = bar_next;
-            stats.push(k + 1, n_candidates, lk.len(), t0.elapsed());
-            let done = lk.is_empty();
-            levels.push(lk);
-            k += 1;
-            if done {
-                break;
+            let frequent_item = {
+                let mut f = vec![false; db.n_items() as usize];
+                for (items, _) in &l1 {
+                    f[items[0] as usize] = true;
+                }
+                f
+            };
+            // Occurrence relation: (tid, itemset).
+            let mut bar: Vec<(u32, Itemset)> = Vec::new();
+            for (tid, txn) in db.iter().enumerate() {
+                for &item in txn {
+                    if frequent_item[item as usize] {
+                        bar.push((tid as u32, vec![item]));
+                    }
+                }
+            }
+            stats.push(1, db.n_items() as usize, l1.len(), t0.elapsed());
+            levels.push(l1);
+
+            let mut k = 1usize;
+            while !levels[k - 1].is_empty() && self.max_len.is_none_or(|m| k < m) {
+                let t0 = Instant::now();
+                // Join + aggregate fused: extend each occurrence with
+                // every larger item of its transaction (relational
+                // semantics — no candidate pruning) while counting
+                // supports, so each *distinct* candidate is admitted
+                // against the budget the moment it first appears — before
+                // the occurrence relation can run away.
+                let mut extended: Vec<(u32, Itemset)> = Vec::new();
+                let mut support: HashMap<Itemset, usize> = HashMap::new();
+                for (r, (tid, itemset)) in bar.iter().enumerate() {
+                    if r.is_multiple_of(POLL_STRIDE) && guard.should_stop() {
+                        break 'mine;
+                    }
+                    let txn = db.transaction(*tid as usize);
+                    let Some(&max_item) = itemset.last() else {
+                        continue;
+                    };
+                    let from = txn.partition_point(|&i| i <= max_item);
+                    for &item in &txn[from..] {
+                        let mut cand = itemset.clone();
+                        cand.push(item);
+                        match support.entry(cand.clone()) {
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                if guard.try_work(1).is_err() {
+                                    break 'mine;
+                                }
+                                e.insert(1);
+                            }
+                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                *e.get_mut() += 1;
+                            }
+                        }
+                        extended.push((*tid, cand));
+                    }
+                }
+                if extended.is_empty() {
+                    break;
+                }
+                let n_candidates = support.len();
+                let mut lk: Vec<(Itemset, usize)> = support
+                    .iter()
+                    .filter(|&(_, &c)| c >= min_count)
+                    .map(|(items, &c)| (items.clone(), c))
+                    .collect();
+                lk.sort();
+                // Filter the occurrence relation down to frequent itemsets.
+                let keep: std::collections::HashSet<&[u32]> =
+                    lk.iter().map(|(i, _)| i.as_slice()).collect();
+                let bar_next: Vec<(u32, Itemset)> = extended
+                    .iter()
+                    .filter(|(_, itemset)| keep.contains(itemset.as_slice()))
+                    .cloned()
+                    .collect();
+                drop(extended);
+                bar = bar_next;
+                stats.push(k + 1, n_candidates, lk.len(), t0.elapsed());
+                let done = lk.is_empty();
+                levels.push(lk);
+                k += 1;
+                if done {
+                    break;
+                }
             }
         }
 
-        Ok(MiningResult {
+        Ok(guard.outcome(MiningResult {
             itemsets: FrequentItemsets::from_levels(levels, db.len()),
             stats,
-        })
+        }))
     }
 }
 

@@ -2,6 +2,8 @@
 //! oracle on arbitrary small databases, and the structural invariants of
 //! frequent-itemset mining must hold.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dm_assoc::{
     Ais, Apriori, AprioriHybrid, AprioriTid, BruteForce, CountingStrategy, ItemsetMiner,
     MinSupport, RuleGenerator, Setm,

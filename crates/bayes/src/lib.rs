@@ -26,6 +26,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 use dm_dataset::{Column, DataError, Dataset, Labels, MISSING_CODE};
 
 /// Per-attribute likelihood model.
@@ -213,7 +214,7 @@ impl NaiveBayesModel {
         self.log_posterior(data, i)
             .iter()
             .enumerate()
-            .max_by(|(ia, a), (ib, b)| a.partial_cmp(b).expect("finite").then(ib.cmp(ia)))
+            .max_by(|(ia, a), (ib, b)| a.total_cmp(b).then(ib.cmp(ia)))
             .map(|(c, _)| c as u32)
             .unwrap_or(0)
     }

@@ -1,5 +1,7 @@
 //! Property tests for naive Bayes.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dm_bayes::NaiveBayes;
 use dm_dataset::{Column, Dataset, Labels};
 use proptest::prelude::*;

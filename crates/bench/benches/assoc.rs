@@ -3,6 +3,9 @@
 //! These time the hot kernels on reduced instances; the full tables come
 //! from the `experiments` binary.
 
+// Bench harness code: panicking on setup failure is the correct behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dm_core::prelude::*;
 use std::hint::black_box;

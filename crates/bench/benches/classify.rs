@@ -1,5 +1,8 @@
 //! Criterion benches for the classification experiments (E9–E12).
 
+// Bench harness code: panicking on setup failure is the correct behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dm_core::prelude::*;
 use std::hint::black_box;

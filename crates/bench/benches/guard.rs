@@ -1,0 +1,39 @@
+//! Governance-overhead bench: Apriori with an unlimited [`Guard`] vs the
+//! ungoverned entry point on the VLDB'94-style synthetic workload. The
+//! recorded numbers live in `BENCH_guard.json` (target: ≤2% overhead).
+
+// Bench harness code: panicking on setup failure is the correct behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dm_core::prelude::*;
+use std::hint::black_box;
+
+fn quest(t: f64, i: f64, d: usize) -> TransactionDb {
+    QuestGenerator::new(QuestConfig::standard(t, i, d), 101)
+        .expect("valid config")
+        .generate(202)
+}
+
+/// The guard tax: identical mining work, with and without the governed
+/// wrapper and its stride-polled check sites.
+fn guard_overhead(c: &mut Criterion) {
+    let db = quest(10.0, 4.0, 5_000);
+    let support = MinSupport::Fraction(0.0075);
+    let mut group = c.benchmark_group("guard_overhead_t10i4d5k");
+    group.sample_size(10);
+    group.bench_function("apriori_ungoverned", |b| {
+        b.iter(|| Apriori::new(support).mine(black_box(&db)).unwrap())
+    });
+    group.bench_function("apriori_governed_unlimited", |b| {
+        b.iter(|| {
+            Apriori::new(support)
+                .mine_governed(black_box(&db), &Guard::unlimited())
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, guard_overhead);
+criterion_main!(benches);

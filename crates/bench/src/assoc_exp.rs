@@ -14,28 +14,31 @@ const PATTERN_SEED: u64 = 101;
 /// Database seed.
 const DB_SEED: u64 = 202;
 
-fn quest_db(t: f64, i: f64, d: usize) -> (String, TransactionDb) {
+fn quest_db(t: f64, i: f64, d: usize) -> Result<(String, TransactionDb), DataError> {
     let config = QuestConfig::standard(t, i, d);
     let name = config.name();
-    let gen = QuestGenerator::new(config, PATTERN_SEED).expect("valid config");
-    (name, gen.generate(DB_SEED))
+    let gen = QuestGenerator::new(config, PATTERN_SEED)?;
+    Ok((name, gen.generate(DB_SEED)))
 }
 
-fn time_miner(miner: &dyn ItemsetMiner, db: &TransactionDb) -> (Duration, MiningResult) {
+fn time_miner(
+    miner: &dyn ItemsetMiner,
+    db: &TransactionDb,
+) -> Result<(Duration, MiningResult), DataError> {
     let t0 = Instant::now();
-    let result = miner.mine(db).expect("mining succeeds");
-    (t0.elapsed(), result)
+    let result = miner.mine(db)?;
+    Ok((t0.elapsed(), result))
 }
 
 /// E1 — relative execution time of AIS / Apriori / AprioriTid across
 /// minimum supports on three Quest databases (VLDB'94 Table/Fig. of
 /// per-minsup execution times).
-pub fn e1_miner_times() -> String {
+pub fn e1_miner_times() -> Result<String, DataError> {
     let mut out = String::new();
     out.push_str("# E1: miner execution time vs minimum support\n");
     out.push_str("(reconstruction of Agrawal–Srikant VLDB'94 execution-time figures)\n\n");
     for (t, i) in [(5.0, 2.0), (10.0, 4.0), (20.0, 6.0)] {
-        let (name, db) = quest_db(t, i, 10_000);
+        let (name, db) = quest_db(t, i, 10_000)?;
         let mut table = Table::new(
             format!("{name}: time by minsup"),
             &[
@@ -50,11 +53,11 @@ pub fn e1_miner_times() -> String {
         );
         for minsup in [2.0, 1.5, 1.0, 0.75, 0.5f64] {
             let support = MinSupport::Fraction(minsup / 100.0);
-            let (t_ais, _) = time_miner(&Ais::new(support), &db);
-            let (t_setm, _) = time_miner(&Setm::new(support), &db);
-            let (t_ap, r_ap) = time_miner(&Apriori::new(support), &db);
-            let (t_tid, _) = time_miner(&AprioriTid::new(support), &db);
-            let (t_hy, _) = time_miner(&AprioriHybrid::new(support), &db);
+            let (t_ais, _) = time_miner(&Ais::new(support), &db)?;
+            let (t_setm, _) = time_miner(&Setm::new(support), &db)?;
+            let (t_ap, r_ap) = time_miner(&Apriori::new(support), &db)?;
+            let (t_tid, _) = time_miner(&AprioriTid::new(support), &db)?;
+            let (t_hy, _) = time_miner(&AprioriHybrid::new(support), &db)?;
             table.row(vec![
                 format!("{minsup}"),
                 fmt_duration(t_ais),
@@ -68,13 +71,13 @@ pub fn e1_miner_times() -> String {
         out.push_str(&table.render());
         out.push('\n');
     }
-    out
+    Ok(out)
 }
 
 /// E2 — per-pass candidate and frequent-set counts (the VLDB'94
 /// candidates-per-pass figure explaining Apriori's advantage).
-pub fn e2_per_pass() -> String {
-    let (name, db) = quest_db(10.0, 4.0, 10_000);
+pub fn e2_per_pass() -> Result<String, DataError> {
+    let (name, db) = quest_db(10.0, 4.0, 10_000)?;
     let support = MinSupport::Fraction(0.0075);
     let mut out = String::new();
     out.push_str("# E2: per-pass candidates (T10.I4, minsup 0.75%)\n");
@@ -85,7 +88,7 @@ pub fn e2_per_pass() -> String {
         &Apriori::new(support),
         &AprioriTid::new(support),
     ] {
-        let (_, result) = time_miner(miner, &db);
+        let (_, result) = time_miner(miner, &db)?;
         let mut table = Table::new(
             format!("{} on {name}", miner.name()),
             &["pass", "candidates", "frequent", "time"],
@@ -101,12 +104,12 @@ pub fn e2_per_pass() -> String {
         out.push_str(&table.render());
         out.push('\n');
     }
-    out
+    Ok(out)
 }
 
 /// E3 — Apriori scale-up with the number of transactions (VLDB'94
 /// transaction scale-up figure; expect near-linear growth).
-pub fn e3_scaleup_transactions() -> String {
+pub fn e3_scaleup_transactions() -> Result<String, DataError> {
     let mut out = String::new();
     out.push_str("# E3: Apriori scale-up with |D| (T10.I4, minsup 1%)\n\n");
     let mut table = Table::new(
@@ -114,8 +117,8 @@ pub fn e3_scaleup_transactions() -> String {
         &["transactions", "time", "time per 1K txns", "frequent sets"],
     );
     for d in [2_500usize, 5_000, 10_000, 20_000, 40_000] {
-        let (_, db) = quest_db(10.0, 4.0, d);
-        let (time, result) = time_miner(&Apriori::new(MinSupport::Fraction(0.01)), &db);
+        let (_, db) = quest_db(10.0, 4.0, d)?;
+        let (time, result) = time_miner(&Apriori::new(MinSupport::Fraction(0.01)), &db)?;
         table.row(vec![
             d.to_string(),
             fmt_duration(time),
@@ -124,13 +127,13 @@ pub fn e3_scaleup_transactions() -> String {
         ]);
     }
     out.push_str(&table.render());
-    out
+    Ok(out)
 }
 
 /// E4 — Apriori scale-up with transaction width at fixed |D| and fixed
 /// fractional support (VLDB'94 transaction-size scale-up figure; expect
 /// superlinear but bounded growth with width).
-pub fn e4_scaleup_width() -> String {
+pub fn e4_scaleup_width() -> Result<String, DataError> {
     let mut out = String::new();
     out.push_str("# E4: Apriori scale-up with |T| (|D| = 10K, minsup 1%)\n\n");
     let mut table = Table::new(
@@ -138,8 +141,8 @@ pub fn e4_scaleup_width() -> String {
         &["|T|", "time", "frequent sets"],
     );
     for t in [5usize, 10, 20, 30] {
-        let (_, db) = quest_db(t as f64, 4.0, 10_000);
-        let (time, result) = time_miner(&Apriori::new(MinSupport::Fraction(0.01)), &db);
+        let (_, db) = quest_db(t as f64, 4.0, 10_000)?;
+        let (time, result) = time_miner(&Apriori::new(MinSupport::Fraction(0.01)), &db)?;
         table.row(vec![
             t.to_string(),
             fmt_duration(time),
@@ -147,16 +150,14 @@ pub fn e4_scaleup_width() -> String {
         ]);
     }
     out.push_str(&table.render());
-    out
+    Ok(out)
 }
 
 /// E5 — rule counts at varying minimum confidence (the rule-generation
 /// table; the count grows as minconf falls and every rule meets the bar).
-pub fn e5_rule_counts() -> String {
-    let (name, db) = quest_db(10.0, 4.0, 10_000);
-    let mined = Apriori::new(MinSupport::Fraction(0.005))
-        .mine(&db)
-        .expect("mining succeeds");
+pub fn e5_rule_counts() -> Result<String, DataError> {
+    let (name, db) = quest_db(10.0, 4.0, 10_000)?;
+    let mined = Apriori::new(MinSupport::Fraction(0.005)).mine(&db)?;
     let mut out = String::new();
     out.push_str(&format!(
         "# E5: rule generation on {name} (minsup 0.5%, {} frequent itemsets)\n\n",
@@ -167,9 +168,7 @@ pub fn e5_rule_counts() -> String {
         &["minconf %", "rules", "mean lift", "top rule confidence"],
     );
     for conf in [90.0, 70.0, 50.0, 30.0f64] {
-        let rules = RuleGenerator::new(conf / 100.0)
-            .generate(&mined.itemsets)
-            .expect("valid threshold");
+        let rules = RuleGenerator::new(conf / 100.0).generate(&mined.itemsets)?;
         let mean_lift = if rules.is_empty() {
             0.0
         } else {
@@ -186,7 +185,7 @@ pub fn e5_rule_counts() -> String {
         ]);
     }
     out.push_str(&table.render());
-    out
+    Ok(out)
 }
 
 /// A1 — ablation: counting-structure choices inside Apriori. The grid
@@ -194,10 +193,10 @@ pub fn e5_rule_counts() -> String {
 /// pair array is the dominant effect (pass 2 carries ~|L1|²/2
 /// candidates), and the hash tree is what keeps the array-less variant
 /// from collapsing — the original paper's configuration.
-pub fn a1_hashtree_ablation() -> String {
+pub fn a1_hashtree_ablation() -> Result<String, DataError> {
     let mut out = String::new();
     out.push_str("# A1: Apriori counting-structure ablation\n\n");
-    let (name, db) = quest_db(10.0, 4.0, 2_000);
+    let (name, db) = quest_db(10.0, 4.0, 2_000)?;
     let support = MinSupport::Fraction(0.01);
     let mut table = Table::new(
         format!("total mining time on {name} (minsup 1%)"),
@@ -224,13 +223,11 @@ pub fn a1_hashtree_ablation() -> String {
         ),
     ];
     let mut reference: Option<&FrequentItemsets> = None;
-    let mined: Vec<_> = variants
-        .iter()
-        .map(|(a, s, m)| {
-            let (time, result) = time_miner(m, &db);
-            (*a, *s, time, result)
-        })
-        .collect();
+    let mut mined = Vec::with_capacity(variants.len());
+    for (a, s, m) in &variants {
+        let (time, result) = time_miner(m, &db)?;
+        mined.push((*a, *s, time, result));
+    }
     for (_, _, _, r) in &mined {
         match reference {
             Some(first) => assert_eq!(first, &r.itemsets, "variants must agree"),
@@ -241,7 +238,7 @@ pub fn a1_hashtree_ablation() -> String {
         .iter()
         .map(|(_, _, t, _)| *t)
         .min()
-        .expect("non-empty grid");
+        .unwrap_or(Duration::from_secs(1));
     for (array, structure, time, _) in &mined {
         table.row(vec![
             array.to_string(),
@@ -251,7 +248,7 @@ pub fn a1_hashtree_ablation() -> String {
         ]);
     }
     out.push_str(&table.render());
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -260,8 +257,8 @@ mod tests {
 
     #[test]
     fn quest_db_is_deterministic() {
-        let (na, a) = quest_db(5.0, 2.0, 500);
-        let (nb, b) = quest_db(5.0, 2.0, 500);
+        let (na, a) = quest_db(5.0, 2.0, 500).unwrap();
+        let (nb, b) = quest_db(5.0, 2.0, 500).unwrap();
         assert_eq!(a, b);
         assert_eq!(na, nb);
         assert_eq!(na, "T5.I2.D500");
@@ -270,7 +267,7 @@ mod tests {
     #[test]
     fn e5_report_is_well_formed() {
         // Uses a small inline variant to stay fast in CI.
-        let (_, db) = quest_db(5.0, 2.0, 800);
+        let (_, db) = quest_db(5.0, 2.0, 800).unwrap();
         let mined = Apriori::new(MinSupport::Fraction(0.02)).mine(&db).unwrap();
         let high = RuleGenerator::new(0.9).generate(&mined.itemsets).unwrap();
         let low = RuleGenerator::new(0.5).generate(&mined.itemsets).unwrap();

@@ -1,44 +1,104 @@
 //! Regenerates the tables and figures of `DESIGN.md`'s experiment index.
 //!
 //! ```text
-//! experiments all          # run everything (E1..E12, A1, A2)
-//! experiments e1 e9        # run a subset
-//! experiments --list       # show available ids
+//! experiments all                    # run everything (E1..E13, A1, A2)
+//! experiments e1 e9                  # run a subset
+//! experiments --deadline-ms 5000 all # stop gracefully after ~5 s
+//! experiments --list                 # show available ids
 //! ```
+//!
+//! Errors never panic: a data error prints a readable message and exits
+//! with a nonzero code. `--deadline-ms` builds a wall-clock [`Budget`];
+//! once it expires the remaining experiments are skipped (reported to
+//! stderr) rather than cut off mid-table.
 
+use dm_core::prelude::{Budget, Guard};
 use std::io::Write;
 use std::time::Instant;
 
+const USAGE: &str = "usage: experiments [--list] [--deadline-ms N] <all | e1..e13 a1 a2 ...>";
+
 fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: experiments [--list] <all | e1..e12 a1 a2 ...>");
-        std::process::exit(2);
+        eprintln!("{USAGE}");
+        return 2;
     }
     if args.iter().any(|a| a == "--list") {
         for id in dm_bench::ALL_EXPERIMENTS {
             println!("{id}");
         }
-        return;
+        return 0;
     }
-    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+
+    // Flag parsing: --deadline-ms N (everything else is an experiment id).
+    let mut deadline_ms: Option<u64> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--deadline-ms" {
+            let Some(value) = it.next() else {
+                eprintln!("--deadline-ms needs a value\n{USAGE}");
+                return 2;
+            };
+            match value.parse::<u64>() {
+                Ok(ms) => deadline_ms = Some(ms),
+                Err(_) => {
+                    eprintln!(
+                        "--deadline-ms expects a whole number of milliseconds, got `{value}`"
+                    );
+                    return 2;
+                }
+            }
+        } else {
+            ids.push(arg);
+        }
+    }
+    let ids: Vec<&str> = if ids.iter().any(|a| a == "all") {
         dm_bench::ALL_EXPERIMENTS.to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
+        ids.iter().map(String::as_str).collect()
+    };
+    if ids.is_empty() {
+        eprintln!("{USAGE}");
+        return 2;
+    }
+
+    let guard = match deadline_ms {
+        Some(ms) => Guard::new(Budget::unlimited().with_deadline_ms(ms)),
+        None => Guard::unlimited(),
     };
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    for id in ids {
+    for (pos, id) in ids.iter().enumerate() {
+        if guard.should_stop() {
+            let skipped = ids[pos..].join(", ");
+            eprintln!("[deadline exceeded; skipping remaining experiments: {skipped}]");
+            return 0;
+        }
         let t0 = Instant::now();
         match dm_bench::run(id) {
-            Some(report) => {
-                writeln!(out, "{report}").expect("stdout writable");
-                writeln!(out, "[{id} completed in {:?}]\n", t0.elapsed()).expect("stdout writable");
+            Some(Ok(report)) => {
+                if writeln!(out, "{report}").is_err()
+                    || writeln!(out, "[{id} completed in {:?}]\n", t0.elapsed()).is_err()
+                {
+                    // Broken pipe (e.g. `| head`): stop quietly.
+                    return 0;
+                }
+            }
+            Some(Err(e)) => {
+                eprintln!("experiment {id} failed: {e}");
+                return 1;
             }
             None => {
                 eprintln!("unknown experiment id `{id}` (try --list)");
-                std::process::exit(2);
+                return 2;
             }
         }
     }
+    0
 }

@@ -37,37 +37,33 @@ fn suite_names() -> Vec<&'static str> {
 
 /// E9 — 5-fold cross-validated accuracy over functions F1–F10 (the
 /// per-function accuracy table).
-pub fn e9_accuracy_table() -> String {
+pub fn e9_accuracy_table() -> Result<String, DataError> {
     let mut out = String::new();
     out.push_str("# E9: 5-fold CV accuracy on Agrawal functions F1-F10 (2000 records)\n\n");
     let mut header = vec!["function"];
     header.extend(suite_names());
     let mut table = Table::new("accuracy by classifier", &header);
     for f in AgrawalFunction::ALL {
-        let (data, labels) = AgrawalGenerator::new(f, 2000)
-            .expect("valid")
-            .generate(1000 + f.number() as u64);
+        let (data, labels) = AgrawalGenerator::new(f, 2000)?.generate(1000 + f.number() as u64);
         let mut cells = vec![format!("F{}", f.number())];
         for c in classifier_suite() {
-            let r = cross_validate(c.as_ref(), &data, &labels, 5, 0).expect("cv succeeds");
+            let r = cross_validate(c.as_ref(), &data, &labels, 5, 0)?;
             cells.push(format!("{:.3}", r.mean_accuracy));
         }
         table.row(cells);
     }
     out.push_str(&table.render());
-    out
+    Ok(out)
 }
 
 /// E10 — learning curve and pruning effect on F2 (accuracy and tree size
 /// vs training-set size, pruned vs unpruned).
-pub fn e10_learning_curve() -> String {
+pub fn e10_learning_curve() -> Result<String, DataError> {
     let mut out = String::new();
     out.push_str(
         "# E10: learning curve on F2 with 10% label noise (test = 2000 clean records)\n\n",
     );
-    let (test, test_labels) = AgrawalGenerator::new(AgrawalFunction::F2, 2000)
-        .expect("valid")
-        .generate(999);
+    let (test, test_labels) = AgrawalGenerator::new(AgrawalFunction::F2, 2000)?.generate(999);
     let mut table = Table::new(
         "accuracy / size vs training size",
         &[
@@ -79,17 +75,12 @@ pub fn e10_learning_curve() -> String {
         ],
     );
     for n in [100usize, 200, 400, 800, 1600, 3200] {
-        let (train, labels) = AgrawalGenerator::new(AgrawalFunction::F2, n)
-            .expect("valid")
-            .generate(n as u64);
-        let noisy = flip_labels(&labels, 0.10, 7).expect("two classes");
-        let unpruned = DecisionTreeLearner::new()
-            .fit(&train, &noisy)
-            .expect("fits");
+        let (train, labels) = AgrawalGenerator::new(AgrawalFunction::F2, n)?.generate(n as u64);
+        let noisy = flip_labels(&labels, 0.10, 7)?;
+        let unpruned = DecisionTreeLearner::new().fit(&train, &noisy)?;
         let pruned = DecisionTreeLearner::new()
             .with_pruning(Pruning::Pessimistic { cf: 0.25 })
-            .fit(&train, &noisy)
-            .expect("fits");
+            .fit(&train, &noisy)?;
         let acc = |t: &dm_core::tree::DecisionTree| {
             t.predict(&test)
                 .iter()
@@ -107,30 +98,26 @@ pub fn e10_learning_curve() -> String {
         ]);
     }
     out.push_str(&table.render());
-    out
+    Ok(out)
 }
 
 /// E11 — training-time scale-up with record count (the SLIQ-style
 /// classifier scale-up figure).
-pub fn e11_train_time_scaleup() -> String {
+pub fn e11_train_time_scaleup() -> Result<String, DataError> {
     let mut out = String::new();
     out.push_str("# E11: train/predict time vs records (F5; predict on 1000 rows)\n\n");
-    let (test, _) = AgrawalGenerator::new(AgrawalFunction::F5, 1000)
-        .expect("valid")
-        .generate(500);
+    let (test, _) = AgrawalGenerator::new(AgrawalFunction::F5, 1000)?.generate(500);
     let mut header = vec!["records"];
     for n in suite_names() {
         header.push(n);
     }
     let mut table = Table::new("fit time (predict time)", &header);
     for n in [1000usize, 2000, 4000, 8000, 16000] {
-        let (train, labels) = AgrawalGenerator::new(AgrawalFunction::F5, n)
-            .expect("valid")
-            .generate(n as u64 + 1);
+        let (train, labels) = AgrawalGenerator::new(AgrawalFunction::F5, n)?.generate(n as u64 + 1);
         let mut cells = vec![n.to_string()];
         for c in classifier_suite() {
             let t0 = Instant::now();
-            let model = c.fit(&train, &labels).expect("fits");
+            let model = c.fit(&train, &labels)?;
             let fit = t0.elapsed();
             let t0 = Instant::now();
             let _ = model.predict(&test);
@@ -140,21 +127,17 @@ pub fn e11_train_time_scaleup() -> String {
         table.row(cells);
     }
     out.push_str(&table.render());
-    out
+    Ok(out)
 }
 
 /// E12 — noise sensitivity (Quinlan-style): accuracy on clean test data
 /// as training label noise rises; pruning should degrade more
 /// gracefully.
-pub fn e12_noise_sensitivity() -> String {
+pub fn e12_noise_sensitivity() -> Result<String, DataError> {
     let mut out = String::new();
     out.push_str("# E12: label-noise sensitivity on F5 (train 2000, clean test 1000)\n\n");
-    let (test, test_labels) = AgrawalGenerator::new(AgrawalFunction::F5, 1000)
-        .expect("valid")
-        .generate(321);
-    let (train, clean_labels) = AgrawalGenerator::new(AgrawalFunction::F5, 2000)
-        .expect("valid")
-        .generate(322);
+    let (test, test_labels) = AgrawalGenerator::new(AgrawalFunction::F5, 1000)?.generate(321);
+    let (train, clean_labels) = AgrawalGenerator::new(AgrawalFunction::F5, 2000)?.generate(322);
     let mut table = Table::new(
         "accuracy vs training label noise",
         &[
@@ -167,15 +150,12 @@ pub fn e12_noise_sensitivity() -> String {
         ],
     );
     for noise in [0.0, 0.05, 0.10, 0.20f64] {
-        let labels = flip_labels(&clean_labels, noise, 55).expect("two classes");
-        let unpruned = DecisionTreeLearner::new()
-            .fit(&train, &labels)
-            .expect("fits");
+        let labels = flip_labels(&clean_labels, noise, 55)?;
+        let unpruned = DecisionTreeLearner::new().fit(&train, &labels)?;
         let pruned = DecisionTreeLearner::new()
             .with_pruning(Pruning::Pessimistic { cf: 0.25 })
-            .fit(&train, &labels)
-            .expect("fits");
-        let nb = NaiveBayes::new().fit(&train, &labels).expect("fits");
+            .fit(&train, &labels)?;
+        let nb = NaiveBayes::new().fit(&train, &labels)?;
         let acc = |pred: Vec<u32>| {
             pred.iter()
                 .zip(test_labels.codes())
@@ -193,7 +173,7 @@ pub fn e12_noise_sensitivity() -> String {
         ]);
     }
     out.push_str(&table.render());
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

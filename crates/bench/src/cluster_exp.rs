@@ -6,8 +6,8 @@ use std::time::Instant;
 
 /// E6 — the k-means elbow curve at the true k, plus the k-means++ vs
 /// random-init comparison (shape of the k-means++ evaluation).
-pub fn e6_elbow_and_init() -> String {
-    let mixture = GaussianMixture::well_separated(5, 2, 300, 7.0).expect("valid mixture");
+pub fn e6_elbow_and_init() -> Result<String, DataError> {
+    let mixture = GaussianMixture::well_separated(5, 2, 300, 7.0)?;
     let (data, _) = mixture.generate(31);
     let mut out = String::new();
     out.push_str("# E6: k-means elbow and initialization comparison (true k = 5)\n\n");
@@ -17,15 +17,13 @@ pub fn e6_elbow_and_init() -> String {
         &["k", "sse", "iterations"],
     );
     for k in 1..=10usize {
-        let best = (0..3)
-            .map(|seed| {
-                KMeans::new(k)
-                    .with_seed(seed)
-                    .fit_model(&data)
-                    .expect("valid k")
-            })
-            .min_by(|a, b| a.inertia.partial_cmp(&b.inertia).expect("finite"))
-            .expect("three runs");
+        let mut best = KMeans::new(k).with_seed(0).fit_model(&data)?;
+        for seed in 1..3 {
+            let m = KMeans::new(k).with_seed(seed).fit_model(&data)?;
+            if m.inertia < best.inertia {
+                best = m;
+            }
+        }
         elbow.row(vec![
             k.to_string(),
             format!("{:.0}", best.inertia),
@@ -40,15 +38,14 @@ pub fn e6_elbow_and_init() -> String {
         &["init", "mean sse", "worst sse", "mean iterations"],
     );
     for (label, strategy) in [("random", Init::Random), ("kmeans++", Init::KMeansPlusPlus)] {
-        let models: Vec<_> = (0..10)
+        let models = (0..10)
             .map(|seed| {
                 KMeans::new(5)
                     .with_init(strategy)
                     .with_seed(seed)
                     .fit_model(&data)
-                    .expect("valid k")
             })
-            .collect();
+            .collect::<Result<Vec<_>, _>>()?;
         let mean_sse = models.iter().map(|m| m.inertia).sum::<f64>() / models.len() as f64;
         let worst = models.iter().map(|m| m.inertia).fold(0.0f64, f64::max);
         let mean_iter =
@@ -61,7 +58,7 @@ pub fn e6_elbow_and_init() -> String {
         ]);
     }
     out.push_str(&init.render());
-    out
+    Ok(out)
 }
 
 /// k-means with the conventional multiple-restart protocol: the restart
@@ -76,35 +73,49 @@ impl Clusterer for BestOfKMeans {
         "kmeans++ (x5)"
     }
 
-    fn fit(&self, data: &Matrix) -> Result<Clustering, dm_core::dataset::DataError> {
-        let best = (0..self.restarts)
-            .map(|seed| KMeans::new(self.k).with_seed(seed).fit_model(data))
-            .collect::<Result<Vec<_>, _>>()?
-            .into_iter()
-            .min_by(|a, b| a.inertia.partial_cmp(&b.inertia).expect("finite"))
-            .expect("restarts >= 1");
-        Ok(Clustering {
+    fn fit_governed(
+        &self,
+        data: &Matrix,
+        guard: &Guard,
+    ) -> Result<Outcome<Clustering>, dm_core::dataset::DataError> {
+        let mut best = KMeans::new(self.k)
+            .with_seed(0)
+            .fit_model_governed(data, guard)?
+            .result;
+        for seed in 1..self.restarts {
+            if guard.should_stop() {
+                break;
+            }
+            let m = KMeans::new(self.k)
+                .with_seed(seed)
+                .fit_model_governed(data, guard)?
+                .result;
+            if m.inertia < best.inertia {
+                best = m;
+            }
+        }
+        Ok(guard.outcome(Clustering {
             assignments: best.assignments,
             n_clusters: self.k,
             centroids: Some(best.centroids),
-        })
+        }))
     }
 }
 
 /// E7 — clustering quality across data regimes (the algorithm-comparison
 /// table of the BIRCH/CLARANS era evaluations).
-pub fn e7_quality_comparison() -> String {
+pub fn e7_quality_comparison() -> Result<String, DataError> {
     let mut out = String::new();
     out.push_str("# E7: clustering quality (ARI / NMI) across data regimes\n\n");
 
     let regimes: Vec<(&str, GaussianMixture)> = vec![
         (
             "well-separated",
-            GaussianMixture::well_separated(4, 2, 150, 8.0).expect("valid"),
+            GaussianMixture::well_separated(4, 2, 150, 8.0)?,
         ),
         (
             "overlapping",
-            GaussianMixture::well_separated(4, 2, 150, 2.5).expect("valid"),
+            GaussianMixture::well_separated(4, 2, 150, 2.5)?,
         ),
         (
             "imbalanced",
@@ -112,14 +123,11 @@ pub fn e7_quality_comparison() -> String {
                 ClusterSpec::new(vec![0.0, 0.0], 1.0, 450),
                 ClusterSpec::new(vec![8.0, 0.0], 1.0, 100),
                 ClusterSpec::new(vec![4.0, 7.0], 1.0, 50),
-            ])
-            .expect("valid"),
+            ])?,
         ),
         (
             "noisy",
-            GaussianMixture::well_separated(4, 2, 140, 8.0)
-                .expect("valid")
-                .with_noise(60, 15.0),
+            GaussianMixture::well_separated(4, 2, 140, 8.0)?.with_noise(60, 15.0),
         ),
     ];
 
@@ -139,10 +147,10 @@ pub fn e7_quality_comparison() -> String {
             Box::new(Dbscan::new(1.2, 5)),
         ];
         for c in clusterers {
-            let result = c.fit(&data).expect("clustering succeeds");
+            let result = c.fit(&data)?;
             // Noise labels participate as their own "cluster" for scoring.
-            let ari = adjusted_rand_index(&truth, &result.assignments).expect("valid");
-            let nmi = normalized_mutual_information(&truth, &result.assignments).expect("valid");
+            let ari = adjusted_rand_index(&truth, &result.assignments)?;
+            let nmi = normalized_mutual_information(&truth, &result.assignments)?;
             table.row(vec![
                 c.name().into(),
                 format!("{ari:.3}"),
@@ -154,13 +162,13 @@ pub fn e7_quality_comparison() -> String {
         out.push_str(&table.render());
         out.push('\n');
     }
-    out
+    Ok(out)
 }
 
 /// E8 — wall-clock scaling of BIRCH vs hierarchical vs k-means (the
 /// BIRCH SIGMOD'96 scaling figure: hierarchical blows up quadratically,
 /// BIRCH stays near-linear).
-pub fn e8_scaling() -> String {
+pub fn e8_scaling() -> Result<String, DataError> {
     let mut out = String::new();
     out.push_str("# E8: clustering time vs dataset size (d = 2, k = 5)\n\n");
     let mut table = Table::new(
@@ -176,27 +184,22 @@ pub fn e8_scaling() -> String {
         ],
     );
     for n_per in [100usize, 200, 400, 800, 1600] {
-        let mixture = GaussianMixture::well_separated(5, 2, n_per, 8.0).expect("valid");
+        let mixture = GaussianMixture::well_separated(5, 2, n_per, 8.0)?;
         let (data, truth) = mixture.generate(13);
         let n = data.rows();
 
         let t0 = Instant::now();
-        let km = KMeans::new(5).with_seed(3).fit(&data).expect("valid");
+        let km = KMeans::new(5).with_seed(3).fit(&data)?;
         let t_km = t0.elapsed();
 
         let t0 = Instant::now();
-        let bi = Birch::new(5)
-            .with_threshold(1.0)
-            .with_seed(3)
-            .fit(&data)
-            .expect("valid");
+        let bi = Birch::new(5).with_threshold(1.0).with_seed(3).fit(&data)?;
         let t_bi = t0.elapsed();
 
         let t0 = Instant::now();
         let hi = Agglomerative::new(5)
             .with_linkage(Linkage::Average)
-            .fit(&data)
-            .expect("valid");
+            .fit(&data)?;
         let t_hi = t0.elapsed();
 
         table.row(vec![
@@ -204,27 +207,18 @@ pub fn e8_scaling() -> String {
             fmt_duration(t_km),
             fmt_duration(t_bi),
             fmt_duration(t_hi),
-            format!(
-                "{:.3}",
-                adjusted_rand_index(&truth, &km.assignments).expect("valid")
-            ),
-            format!(
-                "{:.3}",
-                adjusted_rand_index(&truth, &bi.assignments).expect("valid")
-            ),
-            format!(
-                "{:.3}",
-                adjusted_rand_index(&truth, &hi.assignments).expect("valid")
-            ),
+            format!("{:.3}", adjusted_rand_index(&truth, &km.assignments)?),
+            format!("{:.3}", adjusted_rand_index(&truth, &bi.assignments)?),
+            format!("{:.3}", adjusted_rand_index(&truth, &hi.assignments)?),
         ]);
     }
     out.push_str(&table.render());
-    out
+    Ok(out)
 }
 
 /// A2 — BIRCH sensitivity to its CF-tree parameters.
-pub fn a2_birch_ablation() -> String {
-    let mixture = GaussianMixture::well_separated(5, 2, 600, 8.0).expect("valid");
+pub fn a2_birch_ablation() -> Result<String, DataError> {
+    let mixture = GaussianMixture::well_separated(5, 2, 600, 8.0)?;
     let (data, truth) = mixture.generate(5);
     let mut out = String::new();
     out.push_str("# A2: BIRCH threshold / branching ablation (n = 3000, k = 5)\n\n");
@@ -238,11 +232,11 @@ pub fn a2_birch_ablation() -> String {
                 .with_threshold(threshold)
                 .with_branching(branching)
                 .with_seed(7);
-            let stats = birch.tree_stats(&data).expect("valid");
+            let stats = birch.tree_stats(&data)?;
             let t0 = Instant::now();
-            let result = birch.fit(&data).expect("valid");
+            let result = birch.fit(&data)?;
             let time = t0.elapsed();
-            let ari = adjusted_rand_index(&truth, &result.assignments).expect("valid");
+            let ari = adjusted_rand_index(&truth, &result.assignments)?;
             table.row(vec![
                 format!("{threshold}"),
                 branching.to_string(),
@@ -253,7 +247,7 @@ pub fn a2_birch_ablation() -> String {
         }
     }
     out.push_str(&table.render());
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@
 //! or a single experiment by id (`e1` … `e13`, `a1`, `a2`).
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 pub mod assoc_exp;
 pub mod classify_exp;
 pub mod cluster_exp;
@@ -27,9 +28,9 @@ pub const ALL_EXPERIMENTS: [&str; 15] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "a1", "a2",
 ];
 
-/// Runs one experiment by id, returning its report. `None` for unknown
-/// ids.
-pub fn run(id: &str) -> Option<String> {
+/// Runs one experiment by id, returning its report (or the data error
+/// that stopped it). `None` for unknown ids.
+pub fn run(id: &str) -> Option<Result<String, dm_core::dataset::DataError>> {
     Some(match id {
         "e1" => assoc_exp::e1_miner_times(),
         "e2" => assoc_exp::e2_per_pass(),

@@ -10,9 +10,9 @@ use dm_core::prelude::*;
 /// E13 — AprioriAll across minimum supports: pattern counts per length
 /// and total time (time grows and longer patterns appear as minsup
 /// falls).
-pub fn e13_sequential_patterns() -> String {
+pub fn e13_sequential_patterns() -> Result<String, DataError> {
     let config = SequenceConfig::standard(1_000);
-    let generator = SequenceGenerator::new(config, 77).expect("valid config");
+    let generator = SequenceGenerator::new(config, 77)?;
     let db = generator.generate(78);
     let mut out = String::new();
     out.push_str(&format!(
@@ -32,9 +32,7 @@ pub fn e13_sequential_patterns() -> String {
         ],
     );
     for pct in [4.0, 2.0, 1.0f64] {
-        let result = AprioriAll::new(pct / 100.0)
-            .mine(&db)
-            .expect("mining succeeds");
+        let result = AprioriAll::new(pct / 100.0).mine(&db)?;
         table.row(vec![
             format!("{pct}"),
             result.n_litemsets.to_string(),
@@ -45,7 +43,7 @@ pub fn e13_sequential_patterns() -> String {
         ]);
     }
     out.push_str(&table.render());
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

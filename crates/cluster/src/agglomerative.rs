@@ -1,8 +1,9 @@
 //! Agglomerative hierarchical clustering with Lance–Williams updates.
 
-use crate::{Clusterer, Clustering};
+use crate::{Clusterer, Clustering, POLL_STRIDE};
 use dm_dataset::matrix::{euclidean, euclidean_sq};
 use dm_dataset::{DataError, Matrix};
+use dm_guard::{Guard, Outcome};
 
 /// Inter-cluster distance definition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,20 +121,40 @@ impl Agglomerative {
 
     /// Builds the full dendrogram for `data`.
     pub fn fit_dendrogram(&self, data: &Matrix) -> Result<Dendrogram, DataError> {
+        let out = self.fit_dendrogram_governed(data, &Guard::unlimited())?;
+        Ok(out.result)
+    }
+
+    /// Builds the dendrogram under a resource [`Guard`].
+    ///
+    /// Each merge charges one work unit. On a trip the merge loop stops
+    /// and the partial dendrogram (a prefix of the full merge history,
+    /// hence still internally consistent) is returned; cutting it yields
+    /// more clusters than a full run would at the same `k`.
+    pub fn fit_dendrogram_governed(
+        &self,
+        data: &Matrix,
+        guard: &Guard,
+    ) -> Result<Outcome<Dendrogram>, DataError> {
         let n = data.rows();
         if n == 0 {
             return Err(DataError::Empty("matrix"));
         }
         if n == 1 {
-            return Ok(Dendrogram {
+            return Ok(guard.outcome(Dendrogram {
                 n_leaves: 1,
                 merges: vec![],
-            });
+            }));
         }
         // Ward works on squared Euclidean distances.
         let squared = self.linkage == Linkage::Ward;
         let mut dist = vec![0.0f64; n * n];
         for i in 0..n {
+            if i.is_multiple_of(POLL_STRIDE) {
+                // The matrix must be complete before merging can start;
+                // a trip here only latches the reason.
+                let _ = guard.check();
+            }
             for j in (i + 1)..n {
                 let d = if squared {
                     euclidean_sq(data.row(i), data.row(j))
@@ -171,11 +192,16 @@ impl Agglomerative {
 
         let mut merges: Vec<Merge> = Vec::with_capacity(n - 1);
         for step in 0..(n - 1) {
+            if guard.try_work(1).is_err() {
+                break;
+            }
             // Global minimum over the NN cache.
-            let a = (0..n)
+            let Some(a) = (0..n)
                 .filter(|&s| active[s])
-                .min_by(|&x, &y| nn_dist[x].partial_cmp(&nn_dist[y]).expect("finite"))
-                .expect("at least two active slots");
+                .min_by(|&x, &y| nn_dist[x].total_cmp(&nn_dist[y]))
+            else {
+                break;
+            };
             let b = nn[a];
             let d_ab = nn_dist[a];
             debug_assert!(active[b]);
@@ -231,10 +257,10 @@ impl Agglomerative {
                 }
             }
         }
-        Ok(Dendrogram {
+        Ok(guard.outcome(Dendrogram {
             n_leaves: n,
             merges,
-        })
+        }))
     }
 }
 
@@ -248,7 +274,7 @@ impl Clusterer for Agglomerative {
         }
     }
 
-    fn fit(&self, data: &Matrix) -> Result<Clustering, DataError> {
+    fn fit_governed(&self, data: &Matrix, guard: &Guard) -> Result<Outcome<Clustering>, DataError> {
         if self.k == 0 || self.k > data.rows() {
             return Err(DataError::InvalidParameter(format!(
                 "cannot form {} clusters from {} points",
@@ -256,13 +282,20 @@ impl Clusterer for Agglomerative {
                 data.rows()
             )));
         }
-        let dendrogram = self.fit_dendrogram(data)?;
-        let assignments = dendrogram.cut(self.k)?;
-        Ok(Clustering {
+        let dendrogram = self.fit_dendrogram_governed(data, guard)?;
+        // With a partial merge history, cut(k) applies every merge it has
+        // and leaves more than k components — report the actual count.
+        let assignments = dendrogram.result.cut(self.k)?;
+        let n_clusters = assignments
+            .iter()
+            .map(|&l| l as usize + 1)
+            .max()
+            .unwrap_or(0);
+        Ok(guard.outcome(Clustering {
             assignments,
-            n_clusters: self.k,
+            n_clusters,
             centroids: None,
-        })
+        }))
     }
 }
 

@@ -14,6 +14,7 @@
 use crate::{Clusterer, Clustering};
 use dm_dataset::matrix::euclidean_sq;
 use dm_dataset::{DataError, Matrix};
+use dm_guard::{Guard, Outcome};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -156,11 +157,10 @@ impl CfNode {
     ) -> Option<(ClusteringFeature, Box<CfNode>)> {
         match self {
             CfNode::Leaf { entries } => {
-                if let Some(best) = entries.iter_mut().min_by(|a, b| {
-                    a.centroid_dist_sq(p)
-                        .partial_cmp(&b.centroid_dist_sq(p))
-                        .expect("finite")
-                }) {
+                if let Some(best) = entries
+                    .iter_mut()
+                    .min_by(|a, b| a.centroid_dist_sq(p).total_cmp(&b.centroid_dist_sq(p)))
+                {
                     // Tentatively absorb; undo if the radius bound breaks.
                     let mut candidate = best.clone();
                     candidate.add_point(p);
@@ -181,12 +181,10 @@ impl CfNode {
                     .iter()
                     .enumerate()
                     .min_by(|(_, (a, _)), (_, (b, _))| {
-                        a.centroid_dist_sq(p)
-                            .partial_cmp(&b.centroid_dist_sq(p))
-                            .expect("finite")
+                        a.centroid_dist_sq(p).total_cmp(&b.centroid_dist_sq(p))
                     })
                     .map(|(i, _)| i)
-                    .expect("interior nodes are non-empty");
+                    .unwrap_or(0);
                 entries[idx].0.add_point(p);
                 if let Some((sib_cf, sib_node)) = entries[idx].1.insert(p, threshold, branching) {
                     // Child split: recompute the child's CF and add the sibling.
@@ -343,11 +341,16 @@ impl Birch {
         self
     }
 
-    fn build_tree(&self, data: &Matrix) -> CfNode {
+    fn build_tree(&self, data: &Matrix, guard: &Guard) -> CfNode {
         let mut root = CfNode::Leaf {
             entries: Vec::new(),
         };
+        // One work unit per inserted row; a trip stops condensation and
+        // leaves a valid CF-tree over the prefix of rows absorbed so far.
         for i in 0..data.rows() {
+            if guard.try_work(1).is_err() {
+                break;
+            }
             if let Some((sib_cf, sib_node)) =
                 root.insert(data.row(i), self.threshold, self.branching)
             {
@@ -376,7 +379,7 @@ impl Birch {
         if self.branching < 2 {
             return Err(DataError::InvalidParameter("branching must be >= 2".into()));
         }
-        let tree = self.build_tree(data);
+        let tree = self.build_tree(data, &Guard::unlimited());
         let mut stats = CfNodeStats {
             leaves: 0,
             leaf_entries: 0,
@@ -387,7 +390,11 @@ impl Birch {
     }
 
     /// Weighted k-means++ over leaf-entry centroids.
-    fn global_kmeans(&self, entries: &[&ClusteringFeature]) -> Matrix {
+    fn global_kmeans(
+        &self,
+        entries: &[&ClusteringFeature],
+        guard: &Guard,
+    ) -> Result<Matrix, DataError> {
         let dims = entries[0].ls.len();
         let mut rng = StdRng::seed_from_u64(self.seed);
         let centroids_of: Vec<Vec<f64>> = entries.iter().map(|e| e.centroid()).collect();
@@ -427,30 +434,31 @@ impl Birch {
                 }
                 pick
             };
-            centers.push(centroids_of[pick].clone());
+            let new_center = centroids_of[pick].clone();
             for (i, c) in centroids_of.iter().enumerate() {
-                let d = euclidean_sq(c, centers.last().expect("just pushed"));
+                let d = euclidean_sq(c, &new_center);
                 if d < dist2[i] {
                     dist2[i] = d;
                 }
             }
+            centers.push(new_center);
         }
 
-        // Weighted Lloyd iterations over the entries.
+        // Weighted Lloyd iterations over the entries. A trip stops the
+        // refinement at the current (valid) centers.
         for _ in 0..50 {
+            if guard.next_iteration().is_err() || guard.try_work(entries.len() as u64).is_err() {
+                break;
+            }
             let mut sums = vec![vec![0.0f64; dims]; self.k];
             let mut counts = vec![0.0f64; self.k];
             for (e, c) in entries.iter().zip(&centroids_of) {
                 let best = centers
                     .iter()
                     .enumerate()
-                    .min_by(|(_, a), (_, b)| {
-                        euclidean_sq(a, c)
-                            .partial_cmp(&euclidean_sq(b, c))
-                            .expect("finite")
-                    })
+                    .min_by(|(_, a), (_, b)| euclidean_sq(a, c).total_cmp(&euclidean_sq(b, c)))
                     .map(|(i, _)| i)
-                    .expect("k >= 1");
+                    .unwrap_or(0);
                 for (s, &x) in sums[best].iter_mut().zip(&e.ls) {
                     *s += x;
                 }
@@ -472,7 +480,7 @@ impl Birch {
                 break;
             }
         }
-        Matrix::from_rows(&centers).expect("consistent dims")
+        Matrix::from_rows(&centers)
     }
 }
 
@@ -481,7 +489,7 @@ impl Clusterer for Birch {
         "birch"
     }
 
-    fn fit(&self, data: &Matrix) -> Result<Clustering, DataError> {
+    fn fit_governed(&self, data: &Matrix, guard: &Guard) -> Result<Outcome<Clustering>, DataError> {
         let n = data.rows();
         if self.k == 0 {
             return Err(DataError::InvalidParameter("k must be >= 1".into()));
@@ -500,39 +508,42 @@ impl Clusterer for Birch {
                 "threshold must be non-negative".into(),
             ));
         }
-        // Phase 1: condense.
-        let tree = self.build_tree(data);
+        // Phase 1: condense (a trip keeps the tree built so far).
+        let tree = self.build_tree(data, guard);
         let mut entries: Vec<&ClusteringFeature> = Vec::new();
         tree.collect_leaf_entries(&mut entries);
 
         // Phase 3: global clustering. If condensation was too aggressive
-        // for k, fall back to clustering the raw points.
+        // (or cut short) for k, fall back to clustering the raw points —
+        // under the same guard, so a tripped run degrades to the
+        // initial-centroid labelling of plain k-means.
         let centroids = if entries.len() >= self.k {
-            self.global_kmeans(&entries)
+            self.global_kmeans(&entries, guard)?
         } else {
             crate::kmeans::KMeans::new(self.k)
                 .with_seed(self.seed)
-                .fit_model(data)?
+                .fit_model_governed(data, guard)?
+                .result
                 .centroids
         };
 
-        // Phase 4: relabel original points.
+        // Phase 4: relabel original points (always runs: the model must
+        // label every row even when truncated).
         let assignments: Vec<u32> = (0..n)
             .map(|i| {
                 (0..self.k)
                     .min_by(|&a, &b| {
                         euclidean_sq(centroids.row(a), data.row(i))
-                            .partial_cmp(&euclidean_sq(centroids.row(b), data.row(i)))
-                            .expect("finite")
+                            .total_cmp(&euclidean_sq(centroids.row(b), data.row(i)))
                     })
-                    .expect("k >= 1") as u32
+                    .unwrap_or(0) as u32
             })
             .collect();
-        Ok(Clustering {
+        Ok(guard.outcome(Clustering {
             assignments,
             n_clusters: self.k,
             centroids: Some(centroids),
-        })
+        }))
     }
 }
 

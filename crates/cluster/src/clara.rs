@@ -10,6 +10,7 @@
 use crate::{Clusterer, Clustering, Pam};
 use dm_dataset::matrix::euclidean;
 use dm_dataset::{DataError, Matrix};
+use dm_guard::{Guard, Outcome};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -55,6 +56,22 @@ impl Clara {
 
     /// Runs CLARA, returning `(clustering, medoid rows, total cost)`.
     pub fn fit_medoids(&self, data: &Matrix) -> Result<(Clustering, Vec<usize>, f64), DataError> {
+        let out = self.fit_medoids_governed(data, &Guard::unlimited())?;
+        Ok(out.result)
+    }
+
+    /// Runs CLARA under a resource [`Guard`].
+    ///
+    /// The guard is shared with the inner PAM solves; each whole-database
+    /// scoring pass charges `n` work units. On a trip CLARA keeps the
+    /// best (lowest whole-database cost) medoid set found so far; if the
+    /// guard trips before any sample finishes, the first `k` rows serve
+    /// as fallback medoids so the clustering remains structurally valid.
+    pub fn fit_medoids_governed(
+        &self,
+        data: &Matrix,
+        guard: &Guard,
+    ) -> Result<Outcome<(Clustering, Vec<usize>, f64)>, DataError> {
         let n = data.rows();
         if self.k == 0 {
             return Err(DataError::InvalidParameter("k must be >= 1".into()));
@@ -73,14 +90,21 @@ impl Clara {
         let mut best: Option<(Vec<usize>, f64)> = None;
 
         for _ in 0..self.n_samples {
+            if guard.should_stop() {
+                break;
+            }
             // Draw a sample (without replacement) and solve it with PAM.
             let mut pool: Vec<usize> = (0..n).collect();
             pool.shuffle(&mut rng);
             let sample: Vec<usize> = pool[..sample_size].to_vec();
             let sub = data.select_rows(&sample);
-            let (_, sub_medoids) = Pam::new(self.k).fit_medoids(&sub)?;
+            let pam_out = Pam::new(self.k).fit_medoids_governed(&sub, guard)?;
+            let (_, sub_medoids) = pam_out.result;
             // Map sample-local medoids back to database rows.
             let medoids: Vec<usize> = sub_medoids.iter().map(|&m| sample[m]).collect();
+            if guard.try_work(n as u64).is_err() {
+                break;
+            }
             // Score on the WHOLE database — the step that makes CLARA
             // honest about sample quality.
             let cost: f64 = (0..n)
@@ -96,7 +120,23 @@ impl Clara {
             }
         }
 
-        let (medoids, cost) = best.expect("n_samples >= 1");
+        // Degraded run: if the guard tripped before any sample was
+        // scored, fall back to the first k rows as medoids.
+        let (medoids, cost) = match best {
+            Some(b) => b,
+            None => {
+                let medoids: Vec<usize> = (0..self.k).collect();
+                let cost: f64 = (0..n)
+                    .map(|i| {
+                        medoids
+                            .iter()
+                            .map(|&m| euclidean(data.row(i), data.row(m)))
+                            .fold(f64::INFINITY, f64::min)
+                    })
+                    .sum();
+                (medoids, cost)
+            }
+        };
         let assignments: Vec<u32> = (0..n)
             .map(|i| {
                 medoids
@@ -104,18 +144,17 @@ impl Clara {
                     .enumerate()
                     .min_by(|(_, &a), (_, &b)| {
                         euclidean(data.row(i), data.row(a))
-                            .partial_cmp(&euclidean(data.row(i), data.row(b)))
-                            .expect("finite")
+                            .total_cmp(&euclidean(data.row(i), data.row(b)))
                     })
                     .map(|(c, _)| c as u32)
-                    .expect("k >= 1")
+                    .unwrap_or(0)
             })
             .collect();
         let mut centroids = Matrix::zeros(self.k, data.cols());
         for (c, &m) in medoids.iter().enumerate() {
             centroids.row_mut(c).copy_from_slice(data.row(m));
         }
-        Ok((
+        Ok(guard.outcome((
             Clustering {
                 assignments,
                 n_clusters: self.k,
@@ -123,7 +162,7 @@ impl Clara {
             },
             medoids,
             cost,
-        ))
+        )))
     }
 }
 
@@ -132,8 +171,8 @@ impl Clusterer for Clara {
         "clara"
     }
 
-    fn fit(&self, data: &Matrix) -> Result<Clustering, DataError> {
-        Ok(self.fit_medoids(data)?.0)
+    fn fit_governed(&self, data: &Matrix, guard: &Guard) -> Result<Outcome<Clustering>, DataError> {
+        Ok(self.fit_medoids_governed(data, guard)?.map(|(c, _, _)| c))
     }
 }
 

@@ -14,6 +14,7 @@
 use crate::{Clusterer, Clustering};
 use dm_dataset::matrix::euclidean;
 use dm_dataset::{DataError, Matrix};
+use dm_guard::{Guard, Outcome};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -76,6 +77,22 @@ impl Clarans {
 
     /// Runs the search, returning `(clustering, medoids, cost)`.
     pub fn fit_medoids(&self, data: &Matrix) -> Result<(Clustering, Vec<usize>, f64), DataError> {
+        let out = self.fit_medoids_governed(data, &Guard::unlimited())?;
+        Ok(out.result)
+    }
+
+    /// Runs the randomized search under a resource [`Guard`].
+    ///
+    /// Every cost evaluation (a full pass over the database) charges `n`
+    /// work units. On a trip the search stops and the best medoid set
+    /// examined so far — including the current node, if it beats the
+    /// recorded local minima — is returned, so the clustering is always
+    /// built from the cheapest state actually evaluated.
+    pub fn fit_medoids_governed(
+        &self,
+        data: &Matrix,
+        guard: &Guard,
+    ) -> Result<Outcome<(Clustering, Vec<usize>, f64)>, DataError> {
         let n = data.rows();
         if self.k == 0 {
             return Err(DataError::InvalidParameter("k must be >= 1".into()));
@@ -95,7 +112,10 @@ impl Clarans {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut best: Option<(Vec<usize>, f64)> = None;
 
-        for _ in 0..self.num_local {
+        'search: for _ in 0..self.num_local {
+            if guard.try_work(n as u64).is_err() {
+                break;
+            }
             // Random starting node.
             let mut pool: Vec<usize> = (0..n).collect();
             pool.shuffle(&mut rng);
@@ -104,6 +124,14 @@ impl Clarans {
 
             let mut failures = 0usize;
             while failures < max_neighbor {
+                if guard.try_work(n as u64).is_err() {
+                    // Tripped mid-descent: the current node is a valid
+                    // (evaluated) medoid set — keep it if it is the best.
+                    if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                        best = Some((medoids, cost));
+                    }
+                    break 'search;
+                }
                 // Random neighbour: swap one medoid for one non-medoid.
                 let mi = rng.gen_range(0..self.k);
                 let candidate = loop {
@@ -128,7 +156,15 @@ impl Clarans {
             }
         }
 
-        let (medoids, cost) = best.expect("num_local >= 1");
+        // Degraded run: tripped before the first node was evaluated.
+        let (medoids, cost) = match best {
+            Some(b) => b,
+            None => {
+                let medoids: Vec<usize> = (0..self.k).collect();
+                let cost = Self::cost(data, &medoids);
+                (medoids, cost)
+            }
+        };
         let assignments: Vec<u32> = (0..n)
             .map(|i| {
                 medoids
@@ -136,18 +172,17 @@ impl Clarans {
                     .enumerate()
                     .min_by(|(_, &a), (_, &b)| {
                         euclidean(data.row(i), data.row(a))
-                            .partial_cmp(&euclidean(data.row(i), data.row(b)))
-                            .expect("finite")
+                            .total_cmp(&euclidean(data.row(i), data.row(b)))
                     })
                     .map(|(c, _)| c as u32)
-                    .expect("k >= 1")
+                    .unwrap_or(0)
             })
             .collect();
         let mut centroids = Matrix::zeros(self.k, data.cols());
         for (c, &m) in medoids.iter().enumerate() {
             centroids.row_mut(c).copy_from_slice(data.row(m));
         }
-        Ok((
+        Ok(guard.outcome((
             Clustering {
                 assignments,
                 n_clusters: self.k,
@@ -155,7 +190,7 @@ impl Clarans {
             },
             medoids,
             cost,
-        ))
+        )))
     }
 }
 
@@ -164,8 +199,8 @@ impl Clusterer for Clarans {
         "clarans"
     }
 
-    fn fit(&self, data: &Matrix) -> Result<Clustering, DataError> {
-        Ok(self.fit_medoids(data)?.0)
+    fn fit_governed(&self, data: &Matrix, guard: &Guard) -> Result<Outcome<Clustering>, DataError> {
+        Ok(self.fit_medoids_governed(data, guard)?.map(|(c, _, _)| c))
     }
 }
 

@@ -1,9 +1,10 @@
 //! DBSCAN: density-based spatial clustering of applications with noise
 //! (Ester, Kriegel, Sander & Xu, KDD 1996).
 
-use crate::{Clusterer, Clustering, NOISE};
+use crate::{Clusterer, Clustering, NOISE, POLL_STRIDE};
 use dm_dataset::matrix::euclidean_sq;
 use dm_dataset::{DataError, Matrix};
+use dm_guard::{Guard, Outcome};
 
 /// Density-based clusterer: clusters are maximal sets of density-
 /// connected points; low-density points become [`NOISE`].
@@ -30,7 +31,7 @@ impl Clusterer for Dbscan {
         "dbscan"
     }
 
-    fn fit(&self, data: &Matrix) -> Result<Clustering, DataError> {
+    fn fit_governed(&self, data: &Matrix, guard: &Guard) -> Result<Outcome<Clustering>, DataError> {
         if self.eps <= 0.0 {
             return Err(DataError::InvalidParameter("eps must be positive".into()));
         }
@@ -48,9 +49,16 @@ impl Clusterer for Dbscan {
         const UNVISITED: u32 = u32::MAX - 1;
         let mut labels = vec![UNVISITED; n];
         let mut cluster = 0u32;
-        for i in 0..n {
+        // Each region query is a full scan, so it is the work unit. On a
+        // trip the sweep stops; points never reached stay UNVISITED and
+        // are mapped to NOISE below — a valid (conservatively sparse)
+        // density clustering of the prefix actually explored.
+        'sweep: for i in 0..n {
             if labels[i] != UNVISITED {
                 continue;
+            }
+            if guard.try_work(1).is_err() {
+                break;
             }
             let seed_neighbors = neighbors(i);
             if seed_neighbors.len() < self.min_pts {
@@ -64,11 +72,20 @@ impl Clusterer for Dbscan {
             while qi < queue.len() {
                 let j = queue[qi];
                 qi += 1;
+                if qi.is_multiple_of(POLL_STRIDE) && guard.should_stop() {
+                    cluster += 1;
+                    break 'sweep;
+                }
                 if labels[j] == NOISE {
                     labels[j] = cluster; // border point adopted
                 }
                 if labels[j] != UNVISITED {
                     continue;
+                }
+                if guard.try_work(1).is_err() {
+                    labels[j] = cluster;
+                    cluster += 1;
+                    break 'sweep;
                 }
                 labels[j] = cluster;
                 let j_neighbors = neighbors(j);
@@ -78,12 +95,19 @@ impl Clusterer for Dbscan {
             }
             cluster += 1;
         }
-        debug_assert!(labels.iter().all(|&l| l != UNVISITED));
-        Ok(Clustering {
+        if guard.status().is_complete() {
+            debug_assert!(labels.iter().all(|&l| l != UNVISITED));
+        }
+        for l in &mut labels {
+            if *l == UNVISITED {
+                *l = NOISE;
+            }
+        }
+        Ok(guard.outcome(Clustering {
             assignments: labels,
             n_clusters: cluster as usize,
             centroids: None,
-        })
+        }))
     }
 }
 

@@ -6,6 +6,7 @@
 use crate::{Clusterer, Clustering};
 use dm_dataset::matrix::euclidean_sq;
 use dm_dataset::{DataError, Matrix};
+use dm_guard::{Guard, Outcome};
 use dm_par::{
     par_chunks_for_each_mut, par_chunks_map_reduce, par_range_map_reduce, Chunking, Parallelism,
 };
@@ -202,6 +203,21 @@ impl KMeans {
 
     /// Runs Lloyd's algorithm, returning the full model.
     pub fn fit_model(&self, data: &Matrix) -> Result<KMeansModel, DataError> {
+        Ok(self.fit_model_governed(data, &Guard::unlimited())?.result)
+    }
+
+    /// Runs Lloyd's algorithm under a resource [`Guard`].
+    ///
+    /// The guard is consulted once per Lloyd iteration (charging `n`
+    /// work units and one guard iteration per pass). On a trip the loop
+    /// stops where it is; the final labeling and inertia passes still
+    /// run so the returned model always satisfies the nearest-centroid
+    /// invariant for its centroids.
+    pub fn fit_model_governed(
+        &self,
+        data: &Matrix,
+        guard: &Guard,
+    ) -> Result<Outcome<KMeansModel>, DataError> {
         let n = data.rows();
         let d = data.cols();
         if self.k == 0 {
@@ -232,6 +248,9 @@ impl KMeans {
         }
         let k = self.k;
         while iterations < self.max_iter {
+            if guard.next_iteration().is_err() || guard.try_work(n as u64).is_err() {
+                break;
+            }
             iterations += 1;
             let old = &assignments;
             let centroids_ref = &centroids;
@@ -299,9 +318,9 @@ impl KMeans {
                                 euclidean_sq(data.row(a), centroids.row(assignments[a] as usize));
                             let db =
                                 euclidean_sq(data.row(b), centroids.row(assignments[b] as usize));
-                            da.partial_cmp(&db).expect("finite distances")
+                            da.total_cmp(&db)
                         })
-                        .expect("n >= 1");
+                        .unwrap_or(0);
                     centroids.row_mut(c).copy_from_slice(data.row(far));
                 }
             }
@@ -339,13 +358,13 @@ impl KMeans {
             },
             |a, b| a + b,
         );
-        Ok(KMeansModel {
+        Ok(guard.outcome(KMeansModel {
             centroids,
             assignments,
             inertia,
             iterations,
             converged,
-        })
+        }))
     }
 }
 
@@ -357,13 +376,13 @@ impl Clusterer for KMeans {
         }
     }
 
-    fn fit(&self, data: &Matrix) -> Result<Clustering, DataError> {
-        let model = self.fit_model(data)?;
-        Ok(Clustering {
+    fn fit_governed(&self, data: &Matrix, guard: &Guard) -> Result<Outcome<Clustering>, DataError> {
+        let out = self.fit_model_governed(data, guard)?;
+        Ok(out.map(|model| Clustering {
             assignments: model.assignments,
             n_clusters: self.k,
             centroids: Some(model.centroids),
-        })
+        }))
     }
 }
 

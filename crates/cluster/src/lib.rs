@@ -22,6 +22,7 @@
 //! [`NOISE`].
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 pub mod agglomerative;
 pub mod birch;
 pub mod clara;
@@ -39,9 +40,13 @@ pub use kmeans::{Init, KMeans, KMeansModel};
 pub use pam::Pam;
 
 use dm_dataset::{DataError, Matrix};
+use dm_guard::{Guard, Outcome};
 
 /// Label assigned to noise points by density-based algorithms.
 pub const NOISE: u32 = u32::MAX;
+
+/// Rows / queue pops scanned between guard polls inside tight loops.
+pub(crate) const POLL_STRIDE: usize = 256;
 
 /// The result of a clustering run.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,8 +82,25 @@ pub trait Clusterer {
     /// A short human-readable algorithm name (for experiment tables).
     fn name(&self) -> &'static str;
 
-    /// Clusters the rows of `data`.
-    fn fit(&self, data: &Matrix) -> Result<Clustering, DataError>;
+    /// Clusters the rows of `data` to completion — equivalent to
+    /// [`Clusterer::fit_governed`] under an unlimited [`Guard`], so
+    /// governed runs with no limits are bit-identical by construction.
+    fn fit(&self, data: &Matrix) -> Result<Clustering, DataError> {
+        Ok(self.fit_governed(data, &Guard::unlimited())?.result)
+    }
+
+    /// Clusters the rows of `data` under a resource [`Guard`].
+    ///
+    /// Implementations poll the guard at iteration/batch boundaries and
+    /// degrade gracefully on a trip: the returned [`Clustering`] is
+    /// always structurally valid (every point labelled, `n_clusters`
+    /// consistent with the labels), built from the best state reached —
+    /// e.g. the current centroids for iterative algorithms, the
+    /// best-so-far medoids for sampling searches, or a partial
+    /// dendrogram cut for hierarchical clustering. The accompanying
+    /// [`dm_guard::RunStatus`] says whether the run completed or why it
+    /// stopped.
+    fn fit_governed(&self, data: &Matrix, guard: &Guard) -> Result<Outcome<Clustering>, DataError>;
 }
 
 #[cfg(test)]

@@ -10,9 +10,10 @@
 // Numeric kernels below co-index several parallel arrays; indexed loops
 // are clearer than zipped iterator chains there.
 #![allow(clippy::needless_range_loop)]
-use crate::{Clusterer, Clustering};
+use crate::{Clusterer, Clustering, POLL_STRIDE};
 use dm_dataset::matrix::euclidean;
 use dm_dataset::{DataError, Matrix};
+use dm_guard::{Guard, Outcome};
 
 /// k-medoids clusterer with the BUILD + SWAP procedure.
 #[derive(Debug, Clone)]
@@ -35,6 +36,23 @@ impl Pam {
 
     /// Runs PAM and also returns the medoid row indices.
     pub fn fit_medoids(&self, data: &Matrix) -> Result<(Clustering, Vec<usize>), DataError> {
+        let out = self.fit_medoids_governed(data, &Guard::unlimited())?;
+        Ok(out.result)
+    }
+
+    /// Runs PAM under a resource [`Guard`].
+    ///
+    /// Each BUILD selection and each SWAP iteration charges `n` work
+    /// units; SWAP iterations also count against the guard's iteration
+    /// budget. A trip during BUILD fills the remaining medoid slots with
+    /// the points farthest from the medoids chosen so far (cheap, valid,
+    /// documented degradation); a trip during SWAP keeps the best
+    /// medoids reached. The final assignment pass always runs.
+    pub fn fit_medoids_governed(
+        &self,
+        data: &Matrix,
+        guard: &Guard,
+    ) -> Result<Outcome<(Clustering, Vec<usize>)>, DataError> {
         let n = data.rows();
         if self.k == 0 {
             return Err(DataError::InvalidParameter("k must be >= 1".into()));
@@ -50,6 +68,12 @@ impl Pam {
         // algorithm by design).
         let mut dist = vec![0.0f64; n * n];
         for i in 0..n {
+            if i.is_multiple_of(POLL_STRIDE) {
+                // The matrix must be complete before anything else can
+                // run, so a trip here only latches the reason; the fill
+                // continues (it is the cheapest valid "partial" state).
+                let _ = guard.check();
+            }
             for j in (i + 1)..n {
                 let d = euclidean(data.row(i), data.row(j));
                 dist[i * n + j] = d;
@@ -65,13 +89,16 @@ impl Pam {
             .min_by(|&a, &b| {
                 let sa: f64 = (0..n).map(|j| d(a, j)).sum();
                 let sb: f64 = (0..n).map(|j| d(b, j)).sum();
-                sa.partial_cmp(&sb).expect("finite")
+                sa.total_cmp(&sb)
             })
-            .expect("n >= 1");
+            .unwrap_or(0);
         medoids.push(first);
         // nearest[i] = distance from i to its nearest medoid.
         let mut nearest: Vec<f64> = (0..n).map(|i| d(i, first)).collect();
         while medoids.len() < self.k {
+            if guard.try_work(n as u64).is_err() {
+                break;
+            }
             // Choose the candidate with the largest total gain.
             let mut best: Option<(usize, f64)> = None;
             for cand in 0..n {
@@ -83,10 +110,22 @@ impl Pam {
                     best = Some((cand, gain));
                 }
             }
-            let (chosen, _) = best.expect("k <= n guarantees a candidate");
+            let Some((chosen, _)) = best else { break };
             medoids.push(chosen);
             for j in 0..n {
                 nearest[j] = nearest[j].min(d(chosen, j));
+            }
+        }
+        // Degraded BUILD: fill remaining slots with the points farthest
+        // from the chosen medoids so the clustering still has k medoids.
+        while medoids.len() < self.k {
+            let far = (0..n)
+                .filter(|i| !medoids.contains(i))
+                .max_by(|&a, &b| nearest[a].total_cmp(&nearest[b]))
+                .unwrap_or(0);
+            medoids.push(far);
+            for j in 0..n {
+                nearest[j] = nearest[j].min(d(far, j));
             }
         }
 
@@ -103,6 +142,9 @@ impl Pam {
         };
         let mut cost = total_cost(&medoids);
         for _ in 0..self.max_swaps {
+            if guard.next_iteration().is_err() || guard.try_work(n as u64).is_err() {
+                break;
+            }
             let mut best: Option<(usize, usize, f64)> = None; // (medoid idx, candidate, new cost)
             for mi in 0..medoids.len() {
                 for cand in 0..n {
@@ -133,23 +175,23 @@ impl Pam {
                 medoids
                     .iter()
                     .enumerate()
-                    .min_by(|(_, &a), (_, &b)| d(i, a).partial_cmp(&d(i, b)).expect("finite"))
+                    .min_by(|(_, &a), (_, &b)| d(i, a).total_cmp(&d(i, b)))
                     .map(|(c, _)| c as u32)
-                    .expect("k >= 1")
+                    .unwrap_or(0)
             })
             .collect();
         let mut centroids = Matrix::zeros(self.k, data.cols());
         for (c, &m) in medoids.iter().enumerate() {
             centroids.row_mut(c).copy_from_slice(data.row(m));
         }
-        Ok((
+        Ok(guard.outcome((
             Clustering {
                 assignments,
                 n_clusters: self.k,
                 centroids: Some(centroids),
             },
             medoids,
-        ))
+        )))
     }
 }
 
@@ -158,8 +200,8 @@ impl Clusterer for Pam {
         "pam"
     }
 
-    fn fit(&self, data: &Matrix) -> Result<Clustering, DataError> {
-        Ok(self.fit_medoids(data)?.0)
+    fn fit_governed(&self, data: &Matrix, guard: &Guard) -> Result<Outcome<Clustering>, DataError> {
+        Ok(self.fit_medoids_governed(data, guard)?.map(|(c, _)| c))
     }
 }
 

@@ -1,0 +1,140 @@
+//! Guard integration tests for every clusterer: truncated runs must stay
+//! structurally valid, cancelled runs stop, and unlimited guards are
+//! bit-identical to the ungoverned entry points.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dm_cluster::{
+    Agglomerative, Birch, Clara, Clarans, Clusterer, Clustering, Dbscan, KMeans, Pam, NOISE,
+};
+use dm_guard::{Budget, CancelToken, Guard, TruncationReason};
+use dm_synth::GaussianMixture;
+
+fn blobs() -> dm_dataset::Matrix {
+    let (data, _) = GaussianMixture::well_separated(3, 2, 60, 8.0)
+        .unwrap()
+        .generate(17);
+    data
+}
+
+fn all_clusterers() -> Vec<Box<dyn Clusterer>> {
+    vec![
+        Box::new(KMeans::new(3).with_seed(7)),
+        Box::new(Pam::new(3)),
+        Box::new(Clara::new(3).with_seed(7)),
+        Box::new(Clarans::new(3).with_seed(7)),
+        Box::new(Birch::new(3).with_threshold(1.0).with_seed(7)),
+        Box::new(Agglomerative::new(3)),
+        Box::new(Dbscan::new(1.5, 4)),
+    ]
+}
+
+/// Every point labelled, labels consistent with `n_clusters`.
+fn assert_valid(c: &Clustering, n: usize, ctx: &str) {
+    assert_eq!(c.assignments.len(), n, "{ctx}: every point labelled");
+    for &a in &c.assignments {
+        assert!(
+            a == NOISE || (a as usize) < c.n_clusters,
+            "{ctx}: label {a} out of range (n_clusters {})",
+            c.n_clusters
+        );
+    }
+    if let Some(centroids) = &c.centroids {
+        for i in 0..centroids.rows() {
+            assert!(
+                centroids.row(i).iter().all(|v| v.is_finite()),
+                "{ctx}: centroid {i} not finite"
+            );
+        }
+    }
+}
+
+#[test]
+fn work_budget_truncates_but_stays_structurally_valid() {
+    let data = blobs();
+    let n = data.rows();
+    for clusterer in all_clusterers() {
+        let full = clusterer.fit(&data).unwrap();
+        for max_work in [0u64, 1, 16, 256, 4096] {
+            let guard = Guard::new(Budget::unlimited().with_max_work(max_work));
+            let out = clusterer.fit_governed(&data, &guard).unwrap();
+            let ctx = format!("{} max_work={max_work}", clusterer.name());
+            assert_valid(&out.result, n, &ctx);
+            if out.is_complete() {
+                assert_eq!(out.result, full, "{ctx}: complete run must equal fit()");
+            } else {
+                assert_eq!(
+                    out.truncation(),
+                    Some(TruncationReason::WorkLimitExceeded),
+                    "{ctx}"
+                );
+                assert!(guard.work_done() <= max_work, "{ctx}: cap exceeded");
+            }
+        }
+    }
+}
+
+#[test]
+fn pre_cancelled_token_stops_every_clusterer() {
+    let data = blobs();
+    let n = data.rows();
+    for clusterer in all_clusterers() {
+        let token = CancelToken::new();
+        token.cancel();
+        let guard = Guard::with_token(Budget::unlimited(), token);
+        let out = clusterer.fit_governed(&data, &guard).unwrap();
+        assert_eq!(
+            out.truncation(),
+            Some(TruncationReason::Cancelled),
+            "{}",
+            clusterer.name()
+        );
+        assert_valid(&out.result, n, clusterer.name());
+    }
+}
+
+#[test]
+fn expired_deadline_truncates_every_clusterer() {
+    let data = blobs();
+    let n = data.rows();
+    for clusterer in all_clusterers() {
+        let guard = Guard::new(Budget::unlimited().with_deadline_ms(0));
+        let out = clusterer.fit_governed(&data, &guard).unwrap();
+        assert_eq!(
+            out.truncation(),
+            Some(TruncationReason::DeadlineExceeded),
+            "{}",
+            clusterer.name()
+        );
+        assert_valid(&out.result, n, clusterer.name());
+    }
+}
+
+#[test]
+fn unlimited_guard_matches_ungoverned_fit_exactly() {
+    let data = blobs();
+    for clusterer in all_clusterers() {
+        let out = clusterer.fit_governed(&data, &Guard::unlimited()).unwrap();
+        assert!(out.is_complete(), "{}", clusterer.name());
+        let plain = clusterer.fit(&data).unwrap();
+        assert_eq!(out.result, plain, "{}", clusterer.name());
+    }
+}
+
+#[test]
+fn iteration_budget_caps_kmeans() {
+    let data = blobs();
+    let full = KMeans::new(3).with_seed(7).fit_model(&data).unwrap();
+    let guard = Guard::new(Budget::unlimited().with_max_iterations(1));
+    let out = KMeans::new(3)
+        .with_seed(7)
+        .fit_model_governed(&data, &guard)
+        .unwrap();
+    assert!(out.result.iterations <= 1);
+    if full.iterations > 1 {
+        assert_eq!(
+            out.truncation(),
+            Some(TruncationReason::IterationLimitReached)
+        );
+    }
+}

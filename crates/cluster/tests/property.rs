@@ -1,5 +1,7 @@
 //! Property tests for the clustering invariants.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dm_cluster::{Agglomerative, Birch, Clusterer, Dbscan, KMeans, Linkage, NOISE};
 use dm_dataset::matrix::euclidean_sq;
 use dm_dataset::Matrix;

@@ -214,10 +214,10 @@ impl ClassifierModel for KnnBridgeModel {
         let m = self
             .scaler
             .transform(&m)
-            .expect("schema mismatch between train and test data");
+            .unwrap_or_else(|e| panic!("schema mismatch between train and test data: {e}"));
         self.model
             .predict(&m)
-            .expect("dimensions validated by the scaler")
+            .unwrap_or_else(|e| panic!("dimensions validated by the scaler: {e}"))
     }
 }
 

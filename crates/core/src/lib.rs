@@ -30,6 +30,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 pub mod classify;
 pub mod model_selection;
 
@@ -43,6 +44,9 @@ pub use dm_cluster as cluster;
 pub use dm_dataset as dataset;
 /// Evaluation metrics (re-export of `dm-eval`).
 pub use dm_eval as eval;
+/// Resource governance (re-export of `dm-guard`): budgets, cooperative
+/// cancellation, and graceful truncation for every long-running miner.
+pub use dm_guard as guard;
 /// k-nearest neighbours (re-export of `dm-knn`).
 pub use dm_knn as knn;
 /// Data-parallel execution (re-export of `dm-par`): chunked map-reduce
@@ -85,6 +89,7 @@ pub mod prelude {
         adjusted_rand_index, normalized_mutual_information, purity, silhouette, sse,
         ConfusionMatrix,
     };
+    pub use dm_guard::{Budget, CancelToken, Guard, Outcome, RunStatus, TruncationReason};
     pub use dm_knn::{CondensedNn, Distance, Knn, Search, Weighting};
     pub use dm_par::Parallelism;
     pub use dm_seq::{

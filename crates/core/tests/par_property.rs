@@ -3,6 +3,8 @@
 //! hashes), `par_chunks_map_reduce` must equal the plain sequential
 //! fold for *any* chunk size, thread count, and input.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dm_core::par::{par_chunks_map_reduce, par_range_map_reduce, Chunking, Parallelism};
 use proptest::prelude::*;
 

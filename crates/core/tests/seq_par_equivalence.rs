@@ -5,6 +5,8 @@
 //! merges); these tests enforce it end to end on seeded synthetic
 //! workloads.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dm_core::par::Parallelism;
 use dm_core::prelude::*;
 
@@ -132,6 +134,103 @@ fn decision_tree_is_identical() {
                 .fit(&data, &labels)
                 .unwrap();
             assert_eq!(got, reference, "{criterion:?} {par:?}");
+        }
+    }
+}
+
+#[test]
+fn cancelled_apriori_upholds_invariants_in_parallel() {
+    // A cancelled governed run must stop in both execution modes and the
+    // surviving partial result must obey the same subset/closure
+    // contract as the sequential path — parallelism must not smuggle in
+    // partially counted candidates.
+    let db = QuestGenerator::new(QuestConfig::standard(8.0, 3.0, 600), 7)
+        .unwrap()
+        .generate(44);
+    let full = Apriori::new(MinSupport::Fraction(0.01)).mine(&db).unwrap();
+    for par in settings() {
+        let token = CancelToken::new();
+        token.cancel();
+        let guard = Guard::with_token(Budget::unlimited(), token);
+        let out = Apriori::new(MinSupport::Fraction(0.01))
+            .with_parallelism(par)
+            .mine_governed(&db, &guard)
+            .unwrap();
+        assert_eq!(
+            out.status,
+            RunStatus::Truncated(TruncationReason::Cancelled),
+            "{par:?}"
+        );
+        assert!(out.result.itemsets.verify_downward_closure(), "{par:?}");
+        for (itemset, count) in out.result.itemsets.iter() {
+            assert_eq!(
+                full.itemsets.support_count(itemset),
+                Some(count),
+                "{par:?}: {itemset:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cancelled_mid_run_parallel_apriori_stays_a_valid_prefix() {
+    let db = QuestGenerator::new(QuestConfig::standard(8.0, 3.0, 600), 7)
+        .unwrap()
+        .generate(45);
+    let full = Apriori::new(MinSupport::Fraction(0.01)).mine(&db).unwrap();
+    let token = CancelToken::new();
+    let guard = Guard::with_token(Budget::unlimited(), token.clone());
+    let out = std::thread::scope(|scope| {
+        let canceller = scope.spawn(move || token.cancel());
+        let out = Apriori::new(MinSupport::Fraction(0.01))
+            .with_parallelism(Parallelism::Threads(4))
+            .mine_governed(&db, &guard)
+            .unwrap();
+        canceller.join().unwrap();
+        out
+    });
+    // The cancel races the mine; either way the result must be valid.
+    assert!(out.result.itemsets.verify_downward_closure());
+    for (itemset, count) in out.result.itemsets.iter() {
+        assert_eq!(full.itemsets.support_count(itemset), Some(count));
+    }
+    match out.status {
+        RunStatus::Complete => assert_eq!(out.result.itemsets, full.itemsets),
+        RunStatus::Truncated(reason) => assert_eq!(reason, TruncationReason::Cancelled),
+    }
+}
+
+#[test]
+fn cancelled_kmeans_parallel_matches_sequential_partial_state() {
+    // With the same budget, the governed k-means must truncate at the
+    // same iteration and produce bit-identical partial models in every
+    // execution mode.
+    let (data, _) = GaussianMixture::well_separated(4, 3, 300, 6.0)
+        .unwrap()
+        .generate(19);
+    for max_iters in [0u64, 1, 3] {
+        let seq_guard = Guard::new(Budget::unlimited().with_max_iterations(max_iters));
+        let reference = KMeans::new(4)
+            .with_seed(2)
+            .fit_model_governed(&data, &seq_guard)
+            .unwrap();
+        for par in settings() {
+            let par_guard = Guard::new(Budget::unlimited().with_max_iterations(max_iters));
+            let got = KMeans::new(4)
+                .with_seed(2)
+                .with_parallelism(par)
+                .fit_model_governed(&data, &par_guard)
+                .unwrap();
+            assert_eq!(got.status, reference.status, "{par:?} iters {max_iters}");
+            assert_eq!(
+                got.result.assignments, reference.result.assignments,
+                "{par:?} iters {max_iters}"
+            );
+            assert_eq!(
+                got.result.inertia.to_bits(),
+                reference.result.inertia.to_bits(),
+                "{par:?} iters {max_iters}"
+            );
         }
     }
 }

@@ -84,19 +84,39 @@ pub fn read_csv<R: BufRead>(name: &str, reader: R) -> Result<Dataset, DataError>
 
     let mut columns = Vec::with_capacity(n_cols);
     for (hname, col_cells) in header.into_iter().zip(cells) {
-        let all_numeric = col_cells
-            .iter()
-            .filter(|f| !is_missing(f))
-            .all(|f| f.trim().parse::<f64>().is_ok());
+        // Parse the column as f64 up front; a single unparsable field
+        // demotes it to categorical.
+        let mut parsed: Vec<Option<f64>> = Vec::with_capacity(col_cells.len());
+        let mut all_numeric = true;
+        for f in &col_cells {
+            if is_missing(f) {
+                parsed.push(None);
+                continue;
+            }
+            match f.trim().parse::<f64>() {
+                Ok(v) => parsed.push(Some(v)),
+                Err(_) => {
+                    all_numeric = false;
+                    break;
+                }
+            }
+        }
         let has_values = col_cells.iter().any(|f| !is_missing(f));
         let col = if all_numeric && has_values {
-            Column::from_numeric_opt(col_cells.iter().map(|f| {
-                if is_missing(f) {
-                    None
-                } else {
-                    Some(f.trim().parse::<f64>().expect("checked above"))
-                }
-            }))
+            // `NaN`, `inf`, and overflowing literals like `1e999` parse
+            // as f64 but have no place in a numeric column: NaN would be
+            // silently conflated with the `?` missing marker and ±inf
+            // poisons downstream arithmetic. Reject with a typed error.
+            if let Some(row) = parsed
+                .iter()
+                .position(|v| v.is_some_and(|v| !v.is_finite()))
+            {
+                return Err(DataError::NonFinite {
+                    location: format!("column `{hname}` row {row}"),
+                    value: parsed[row].unwrap_or(f64::NAN).to_string(),
+                });
+            }
+            Column::from_numeric_opt(parsed)
         } else {
             Column::from_strings_opt(col_cells.iter().map(|f| {
                 if is_missing(f) {
@@ -130,10 +150,16 @@ pub fn write_csv<W: Write>(ds: &Dataset, writer: W) -> Result<(), DataError> {
         for j in 0..ds.n_cols() {
             let field = match ds.value(i, j) {
                 crate::Value::Num(x) => x.to_string(),
-                crate::Value::Cat(c) => {
-                    let (_, dict) = ds.column(j).as_categorical().expect("cat column");
-                    quote(dict.name(c).expect("code in range"))
-                }
+                // `Cat` values always come from categorical columns with
+                // in-range codes; fall back to the missing marker rather
+                // than panicking if that invariant ever breaks.
+                crate::Value::Cat(c) => match ds.column(j).as_categorical() {
+                    Some((_, dict)) => match dict.name(c) {
+                        Some(s) => quote(s),
+                        None => "?".to_owned(),
+                    },
+                    None => "?".to_owned(),
+                },
                 crate::Value::Missing => "?".to_owned(),
             };
             fields.push(field);
@@ -194,6 +220,20 @@ mod tests {
         let ds = read_csv("t", doc.as_bytes()).unwrap();
         assert!(ds.attr(1).is_categorical());
         assert_eq!(ds.column(1).n_missing(), 2);
+    }
+
+    #[test]
+    fn non_finite_numeric_fields_are_typed_errors() {
+        for bad in ["NaN", "nan", "inf", "-inf", "1e999"] {
+            let doc = format!("a\n1\n{bad}\n");
+            let err = read_csv("t", doc.as_bytes()).unwrap_err();
+            assert!(matches!(err, DataError::NonFinite { .. }), "{bad}: {err:?}");
+        }
+        // In a categorical column the same tokens are ordinary strings.
+        let doc = "a\nhello\nNaN\n";
+        let ds = read_csv("t", doc.as_bytes()).unwrap();
+        assert!(ds.attr(0).is_categorical());
+        assert_eq!(ds.n_rows(), 2);
     }
 
     #[test]

@@ -56,6 +56,17 @@ impl Dataset {
                     expected: n_rows,
                 });
             }
+            // NaN is the documented missing-value marker for numeric
+            // columns, but ±inf has no meaning here and would poison
+            // means, scalers, and split evaluation downstream.
+            if let Some(values) = col.as_numeric() {
+                if let Some(row) = values.iter().position(|v| v.is_infinite()) {
+                    return Err(DataError::NonFinite {
+                        location: format!("column `{cname}` row {row}"),
+                        value: values[row].to_string(),
+                    });
+                }
+            }
             let kind = if col.is_numeric() {
                 AttrKind::Numeric
             } else {
@@ -127,8 +138,14 @@ impl Dataset {
     }
 
     /// Iterates the values of row `i` in column order.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
     pub fn row(&self, i: usize) -> impl Iterator<Item = Value> + '_ {
-        self.columns.iter().map(move |c| c.get(i).unwrap())
+        self.columns.iter().map(move |c| {
+            c.get(i)
+                .unwrap_or_else(|| panic!("row index {i} out of range"))
+        })
     }
 
     /// A new dataset containing only the rows at `indices` (in order,
@@ -249,7 +266,8 @@ impl Dataset {
                 },
             }
         }
-        Matrix::from_vec(data, self.n_rows, width).expect("internal dimension bug")
+        Matrix::from_vec(data, self.n_rows, width)
+            .unwrap_or_else(|e| panic!("internal dimension bug: {e}"))
     }
 }
 

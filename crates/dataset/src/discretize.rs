@@ -134,7 +134,7 @@ impl Discretizer for EqualFrequency {
         if sorted.is_empty() {
             return Err(DataError::Empty("numeric column"));
         }
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         let mut cuts = Vec::new();
         for b in 1..self.bins {

@@ -56,6 +56,15 @@ pub enum DataError {
     },
     /// An I/O failure while reading or writing data files.
     Io(String),
+    /// A non-finite value (NaN or ±inf) reached a numeric container that
+    /// requires finite data (e.g. a [`crate::Matrix`] feeding distance
+    /// kernels).
+    NonFinite {
+        /// Where the value was found (column name, "row i col j", ...).
+        location: String,
+        /// The offending value, rendered (`NaN`, `inf`, `-inf`).
+        value: String,
+    },
     /// A parameter was outside its valid domain (e.g. zero bins).
     InvalidParameter(String),
     /// The operation needs at least one row/element and got none.
@@ -89,6 +98,9 @@ impl fmt::Display for DataError {
             }
             DataError::Csv { line, message } => {
                 write!(f, "csv parse error on line {line}: {message}")
+            }
+            DataError::NonFinite { location, value } => {
+                write!(f, "non-finite value {value} at {location}")
             }
             DataError::Io(msg) => write!(f, "i/o error: {msg}"),
             DataError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),

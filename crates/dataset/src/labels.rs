@@ -72,8 +72,13 @@ impl Labels {
     }
 
     /// The label name at row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
     pub fn name(&self, i: usize) -> &str {
-        self.dict.name(self.codes[i]).expect("code in range")
+        self.dict
+            .name(self.codes[i])
+            .unwrap_or_else(|| panic!("label code at row {i} missing from dictionary"))
     }
 
     /// Per-class counts, indexed by code.

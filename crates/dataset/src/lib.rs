@@ -39,6 +39,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 pub mod attribute;
 pub mod column;
 pub mod csv;

@@ -14,10 +14,28 @@ pub struct Matrix {
     cols: usize,
 }
 
+/// Rejects NaN / ±inf in a row-major buffer: the distance kernels and
+/// every comparison-based algorithm downstream assume finite input (a
+/// single NaN silently poisons `partial_cmp`-style comparisons).
+fn check_finite(data: &[f64], cols: usize) -> Result<(), DataError> {
+    if let Some(pos) = data.iter().position(|v| !v.is_finite()) {
+        let (i, j) = match pos.checked_div(cols) {
+            Some(row) => (row, pos % cols),
+            None => (pos, 0),
+        };
+        return Err(DataError::NonFinite {
+            location: format!("matrix row {i} col {j}"),
+            value: data[pos].to_string(),
+        });
+    }
+    Ok(())
+}
+
 impl Matrix {
     /// Builds a matrix from a flat row-major buffer. Zero-width matrices
     /// with rows are rejected (they would make `iter_rows` inconsistent
-    /// with `rows()`).
+    /// with `rows()`), as are non-finite values (NaN / ±inf), which would
+    /// poison the distance kernels.
     pub fn from_vec(data: Vec<f64>, rows: usize, cols: usize) -> Result<Self, DataError> {
         if data.len() != rows * cols {
             return Err(DataError::InvalidParameter(format!(
@@ -30,6 +48,7 @@ impl Matrix {
                 "a matrix with {rows} rows must have at least one column"
             )));
         }
+        check_finite(&data, cols)?;
         Ok(Self { data, rows, cols })
     }
 
@@ -59,6 +78,7 @@ impl Matrix {
             }
             data.extend_from_slice(r);
         }
+        check_finite(&data, cols)?;
         Ok(Self {
             data,
             rows: rows.len(),
@@ -216,6 +236,20 @@ mod tests {
         assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
         let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
         assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn non_finite_values_are_rejected_with_location() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Matrix::from_vec(vec![1.0, 2.0, bad, 4.0], 2, 2).unwrap_err();
+            match err {
+                DataError::NonFinite { location, .. } => {
+                    assert!(location.contains("row 1 col 0"), "{location}");
+                }
+                other => panic!("expected NonFinite, got {other:?}"),
+            }
+            assert!(Matrix::from_rows(&[vec![0.0], vec![bad]]).is_err());
+        }
     }
 
     #[test]

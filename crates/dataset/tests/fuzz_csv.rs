@@ -1,0 +1,43 @@
+//! Fuzz-style robustness tests: `read_csv` over arbitrary byte soup must
+//! never panic — every input yields `Ok` or a typed [`DataError`].
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dm_dataset::csv::read_csv;
+use proptest::prelude::*;
+
+/// Characters weighted toward the CSV dialect's tricky corners: quotes,
+/// separators, the missing marker, and non-finite numeric literals.
+const CSVISH: &[char] = &[
+    ',', '"', '\n', '\r', '?', ' ', '.', '-', '+', 'e', '0', '1', '9', 'N', 'a', 'n', 'i', 'f',
+    'x', '\t',
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn read_csv_total_on_arbitrary_bytes(bytes in prop::collection::vec(0u8..=255u8, 0..512)) {
+        // Must return Ok or a typed error — never panic. Invalid UTF-8
+        // surfaces as DataError::Io through the BufRead::lines path.
+        match read_csv("fuzz", &bytes[..]) {
+            Ok(ds) => {
+                // Basic sanity on the accepted shape.
+                prop_assert!(ds.n_cols() >= 1);
+            }
+            Err(e) => {
+                // The error must render without panicking either.
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn read_csv_total_on_csvish_text(picks in prop::collection::vec(0usize..CSVISH.len(), 0..256)) {
+        let doc: String = picks.iter().map(|&i| CSVISH[i]).collect();
+        match read_csv("fuzz", doc.as_bytes()) {
+            Ok(ds) => prop_assert!(ds.n_cols() >= 1),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+}

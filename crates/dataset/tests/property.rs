@@ -1,5 +1,7 @@
 //! Property tests for the data substrate.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dm_dataset::csv::{read_csv, write_csv};
 use dm_dataset::{
     Column, Dataset, Discretizer, EqualFrequency, EqualWidth, KFold, Matrix, Scaler,

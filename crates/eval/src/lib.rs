@@ -14,6 +14,7 @@
 //! work with any model in the workspace.
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 pub mod clustering;
 pub mod confusion;
 

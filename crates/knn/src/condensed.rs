@@ -69,11 +69,11 @@ impl CondensedNn {
                 .min_by(|&&a, &&b| {
                     self.distance
                         .eval(train.row(a), q)
-                        .partial_cmp(&self.distance.eval(train.row(b), q))
-                        .expect("finite")
+                        .total_cmp(&self.distance.eval(train.row(b), q))
                 })
-                .expect("non-empty prototype set");
-            labels[*best]
+                .copied()
+                .unwrap_or(0);
+            labels[best]
         };
         for _ in 0..self.max_passes {
             let mut added = false;

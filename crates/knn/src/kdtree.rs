@@ -53,8 +53,7 @@ impl KdTree {
         let mid = indices.len() / 2;
         indices.select_nth_unstable_by(mid, |&a, &b| {
             data.get(a, axis)
-                .partial_cmp(&data.get(b, axis))
-                .expect("finite coordinates")
+                .total_cmp(&data.get(b, axis))
                 .then(a.cmp(&b))
         });
         let point = indices[mid];

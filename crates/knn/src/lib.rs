@@ -23,6 +23,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 pub mod condensed;
 pub mod kdtree;
 
@@ -31,6 +32,7 @@ pub use kdtree::KdTree;
 
 use dm_dataset::matrix::{chebyshev, euclidean, manhattan, minkowski};
 use dm_dataset::{DataError, Matrix};
+use dm_guard::{Guard, Outcome};
 use dm_par::{par_range_map_reduce, Chunking, Parallelism};
 
 /// Distance metric for neighbour search.
@@ -189,7 +191,7 @@ impl KnnModel {
                 let mut dists: Vec<(usize, f64)> = (0..self.train.rows())
                     .map(|i| (i, self.config.distance.eval(self.train.row(i), query)))
                     .collect();
-                dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+                dists.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
                 dists.truncate(k);
                 Ok(dists)
             }
@@ -210,7 +212,7 @@ impl KnnModel {
         Ok(votes
             .iter()
             .enumerate()
-            .max_by(|(ia, a), (ib, b)| a.partial_cmp(b).expect("finite").then(ib.cmp(ia)))
+            .max_by(|(ia, a), (ib, b)| a.total_cmp(b).then(ib.cmp(ia)))
             .map(|(c, _)| c as u32)
             .unwrap_or(0))
     }
@@ -235,6 +237,28 @@ impl KnnModel {
                 Ok(a)
             },
         )
+    }
+
+    /// Predicts rows of `data` under a resource [`Guard`].
+    ///
+    /// Queries are answered in row order, one work unit each; when the
+    /// guard trips, the predictions made so far are returned (a prefix
+    /// of the full batch — each answered query is exact, never
+    /// approximated). An unlimited guard returns exactly what
+    /// [`KnnModel::predict`] would.
+    pub fn predict_governed(
+        &self,
+        data: &Matrix,
+        guard: &Guard,
+    ) -> Result<Outcome<Vec<u32>>, DataError> {
+        let mut out = Vec::with_capacity(data.rows());
+        for i in 0..data.rows() {
+            if guard.try_work(1).is_err() {
+                break;
+            }
+            out.push(self.predict_one(data.row(i))?);
+        }
+        Ok(guard.outcome(out))
     }
 }
 
@@ -350,6 +374,33 @@ mod tests {
         assert!(Knn::new(1).fit(&empty, &[]).is_err());
         let model = Knn::new(1).fit(&data, &[0]).unwrap();
         assert!(model.predict_one(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn governed_prediction_answers_a_prefix() {
+        use dm_guard::{Budget, CancelToken, Guard, TruncationReason};
+        let (data, labels) = blobs();
+        let model = Knn::new(5).fit(&data, &labels).unwrap();
+        let full = model.predict(&data).unwrap();
+
+        // A work budget of m answers exactly the first m queries.
+        let guard = Guard::new(Budget::unlimited().with_max_work(10));
+        let out = model.predict_governed(&data, &guard).unwrap();
+        assert_eq!(out.truncation(), Some(TruncationReason::WorkLimitExceeded));
+        assert_eq!(out.result, full[..10]);
+
+        // Pre-cancelled: nothing answered, status says why.
+        let token = CancelToken::new();
+        token.cancel();
+        let guard = Guard::with_token(Budget::unlimited(), token);
+        let out = model.predict_governed(&data, &guard).unwrap();
+        assert_eq!(out.truncation(), Some(TruncationReason::Cancelled));
+        assert!(out.result.is_empty());
+
+        // Unlimited guard matches the parallel batch path exactly.
+        let out = model.predict_governed(&data, &Guard::unlimited()).unwrap();
+        assert!(out.is_complete());
+        assert_eq!(out.result, full);
     }
 
     #[test]

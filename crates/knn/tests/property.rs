@@ -1,6 +1,8 @@
 //! Property tests: the k-d tree backend must be exactly equivalent to
 //! brute force for every metric, k, and query.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dm_dataset::Matrix;
 use dm_knn::{Distance, Knn, Search};
 use proptest::prelude::*;

@@ -55,7 +55,9 @@
 //! small `n`.
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+use dm_guard::{Guard, TruncationReason};
 use std::num::NonZeroUsize;
 
 /// How many worker threads a parallel kernel may use.
@@ -158,9 +160,11 @@ where
             });
         }
     });
-    slots.into_iter().fold(identity(), |acc, r| {
-        merge(acc, r.expect("worker filled every slot"))
-    })
+    // Every slot is Some: the worker loops above fill their whole block
+    // unconditionally, so `flatten` drops nothing and keeps the fold
+    // panic-free.
+    debug_assert!(slots.iter().all(Option::is_some));
+    slots.into_iter().flatten().fold(identity(), merge)
 }
 
 /// Chunked map-reduce over the index range `0..len`.
@@ -207,9 +211,130 @@ where
             });
         }
     });
-    slots.into_iter().fold(identity(), |acc, r| {
-        merge(acc, r.expect("worker filled every slot"))
-    })
+    // Every slot is Some: the worker loops above fill their whole block
+    // unconditionally, so `flatten` drops nothing and keeps the fold
+    // panic-free.
+    debug_assert!(slots.iter().all(Option::is_some));
+    slots.into_iter().flatten().fold(identity(), merge)
+}
+
+/// Governed chunked map-reduce: [`par_chunks_map_reduce`] under a
+/// [`Guard`].
+///
+/// Every worker polls the guard before each chunk, so a cross-thread
+/// cancel (or a deadline / armed fail point) stops all shards within one
+/// chunk of work. If the guard trips at any point — including between the
+/// last chunk and the final merge — the whole pass is abandoned and the
+/// trip reason returned; partial per-chunk results are never merged, so a
+/// caller either gets the exact ungoverned result of the pass or a clean
+/// trip it can translate into its own partial result. With an unlimited,
+/// untripped guard the result is bit-identical to the ungoverned
+/// function's (same chunk structure, same in-order merge).
+pub fn par_chunks_map_reduce_governed<T, A>(
+    par: Parallelism,
+    chunking: Chunking,
+    items: &[T],
+    guard: &Guard,
+    identity: impl Fn() -> A,
+    map: impl Fn(&[T]) -> A + Sync,
+    merge: impl Fn(A, A) -> A,
+) -> Result<A, TruncationReason>
+where
+    T: Sync,
+    A: Send,
+{
+    let len = items.len();
+    guard.check()?;
+    if len == 0 {
+        return Ok(identity());
+    }
+    let threads = par.effective_threads();
+    let (chunk, n_chunks) = layout(len, chunking, threads);
+    if threads == 1 || n_chunks == 1 {
+        let mut acc = identity();
+        for c in items.chunks(chunk) {
+            guard.check()?;
+            acc = merge(acc, map(c));
+        }
+        return Ok(acc);
+    }
+    let mut slots: Vec<Option<A>> = (0..n_chunks).map(|_| None).collect();
+    let per_worker = n_chunks.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (w, block) in slots.chunks_mut(per_worker).enumerate() {
+            let map = &map;
+            s.spawn(move || {
+                for (j, slot) in block.iter_mut().enumerate() {
+                    if guard.should_stop() {
+                        return;
+                    }
+                    let ci = w * per_worker + j;
+                    let lo = ci * chunk;
+                    let hi = (lo + chunk).min(len);
+                    *slot = Some(map(&items[lo..hi]));
+                }
+            });
+        }
+    });
+    // A final check catches trips that raced with the last chunks: if it
+    // fails, some slots may be empty and the pass is void; if it
+    // succeeds, no worker ever observed a trip and every slot is filled.
+    guard.check()?;
+    debug_assert!(slots.iter().all(Option::is_some));
+    Ok(slots.into_iter().flatten().fold(identity(), merge))
+}
+
+/// Governed range map-reduce: [`par_range_map_reduce`] under a
+/// [`Guard`], with the same per-chunk polling, all-or-nothing pass
+/// semantics, and unlimited-guard bit-identity as
+/// [`par_chunks_map_reduce_governed`].
+pub fn par_range_map_reduce_governed<A>(
+    par: Parallelism,
+    chunking: Chunking,
+    len: usize,
+    guard: &Guard,
+    identity: impl Fn() -> A,
+    map: impl Fn(std::ops::Range<usize>) -> A + Sync,
+    merge: impl Fn(A, A) -> A,
+) -> Result<A, TruncationReason>
+where
+    A: Send,
+{
+    guard.check()?;
+    if len == 0 {
+        return Ok(identity());
+    }
+    let threads = par.effective_threads();
+    let (chunk, n_chunks) = layout(len, chunking, threads);
+    if threads == 1 || n_chunks == 1 {
+        let mut acc = identity();
+        for ci in 0..n_chunks {
+            guard.check()?;
+            let lo = ci * chunk;
+            acc = merge(acc, map(lo..(lo + chunk).min(len)));
+        }
+        return Ok(acc);
+    }
+    let mut slots: Vec<Option<A>> = (0..n_chunks).map(|_| None).collect();
+    let per_worker = n_chunks.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (w, block) in slots.chunks_mut(per_worker).enumerate() {
+            let map = &map;
+            s.spawn(move || {
+                for (j, slot) in block.iter_mut().enumerate() {
+                    if guard.should_stop() {
+                        return;
+                    }
+                    let ci = w * per_worker + j;
+                    let lo = ci * chunk;
+                    *slot = Some(map(lo..(lo + chunk).min(len)));
+                }
+            });
+        }
+    });
+    guard.check()?;
+    debug_assert!(slots.iter().all(Option::is_some));
+    Ok(slots.into_iter().flatten().fold(identity(), merge))
 }
 
 /// Parallel index-preserving map: returns `f(0, &items[0]), f(1, ..) ..`
@@ -244,9 +369,8 @@ where
             });
         }
     });
-    out.into_iter()
-        .map(|v| v.expect("worker filled every slot"))
-        .collect()
+    debug_assert!(out.iter().all(Option::is_some));
+    out.into_iter().flatten().collect()
 }
 
 /// Parallel in-place transform over disjoint mutable chunks: `f`
@@ -461,6 +585,91 @@ mod tests {
                 let ok = items.iter().enumerate().all(|(i, &x)| x == i as u32 + 1);
                 assert!(ok, "{par:?} {chunking:?}");
             }
+        }
+    }
+
+    #[test]
+    fn governed_unlimited_is_bit_identical_to_ungoverned() {
+        let items: Vec<f64> = (0..5_000)
+            .map(|i| if i % 2 == 0 { 1e16 } else { 1.0 })
+            .collect();
+        let reference = par_chunks_map_reduce(
+            Parallelism::Sequential,
+            Chunking::Fixed(61),
+            &items,
+            || 0.0f64,
+            |chunk| chunk.iter().sum::<f64>(),
+            |a, b| a + b,
+        );
+        for par in settings() {
+            let guard = Guard::unlimited();
+            let got = par_chunks_map_reduce_governed(
+                par,
+                Chunking::Fixed(61),
+                &items,
+                &guard,
+                || 0.0f64,
+                |chunk| chunk.iter().sum::<f64>(),
+                |a, b| a + b,
+            )
+            .unwrap();
+            assert_eq!(got.to_bits(), reference.to_bits(), "{par:?}");
+            let got = par_range_map_reduce_governed(
+                par,
+                Chunking::Fixed(61),
+                items.len(),
+                &guard,
+                || 0.0f64,
+                |r| r.map(|i| items[i]).sum::<f64>(),
+                |a, b| a + b,
+            )
+            .unwrap();
+            assert_eq!(got.to_bits(), reference.to_bits(), "{par:?} (range)");
+        }
+    }
+
+    #[test]
+    fn governed_pass_aborts_on_pre_cancelled_guard() {
+        let items: Vec<u64> = (0..100).collect();
+        for par in settings() {
+            let guard = Guard::unlimited();
+            guard.cancel_token().cancel();
+            let got = par_chunks_map_reduce_governed(
+                par,
+                Chunking::Fixed(7),
+                &items,
+                &guard,
+                || 0u64,
+                |c| c.iter().sum(),
+                |a, b| a + b,
+            );
+            assert_eq!(got, Err(dm_guard::TruncationReason::Cancelled), "{par:?}");
+        }
+    }
+
+    #[test]
+    fn governed_workers_observe_mid_run_cancel() {
+        // Cancel from inside the map closure: later chunks must be
+        // skipped without panicking, and the pass must report the trip.
+        let items: Vec<u64> = (0..10_000).collect();
+        for par in settings() {
+            let guard = Guard::unlimited();
+            let token = guard.cancel_token();
+            let got = par_chunks_map_reduce_governed(
+                par,
+                Chunking::Fixed(64),
+                &items,
+                &guard,
+                || 0u64,
+                |c| {
+                    if c[0] >= 1_024 {
+                        token.cancel();
+                    }
+                    c.iter().sum()
+                },
+                |a, b| a + b,
+            );
+            assert_eq!(got, Err(dm_guard::TruncationReason::Cancelled), "{par:?}");
         }
     }
 

@@ -20,8 +20,12 @@
 use crate::SequenceDb;
 use dm_dataset::transactions::is_subset_sorted;
 use dm_dataset::DataError;
+use dm_guard::{Guard, Outcome, TruncationReason};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
+
+/// Customers / candidates scanned between guard polls.
+const POLL_STRIDE: usize = 256;
 
 /// A mined sequential pattern with its customer support.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,29 +81,52 @@ impl AprioriAll {
         self
     }
 
-    /// Mines `db`.
+    /// Mines `db` to completion (an unlimited [`Guard`]).
     pub fn mine(&self, db: &SequenceDb) -> Result<SeqMiningResult, DataError> {
+        Ok(self.mine_governed(db, &Guard::unlimited())?.result)
+    }
+
+    /// Mines `db` under a resource [`Guard`].
+    ///
+    /// A work unit is one candidate (litemset or sequence) admitted to
+    /// support counting. A trip inside the litemset or transformation
+    /// phase yields an empty (but valid) result; a trip inside the
+    /// sequence phase discards the level in flight, so the reported
+    /// patterns come from fully counted levels only. Because a maximal
+    /// pattern of a *partial* run need not be maximal in the full run,
+    /// truncated results skip the maximal filter: they are a subset of
+    /// the ungoverned [`AprioriAll::keep_non_maximal`] pattern set.
+    pub fn mine_governed(
+        &self,
+        db: &SequenceDb,
+        guard: &Guard,
+    ) -> Result<Outcome<SeqMiningResult>, DataError> {
         let t0 = Instant::now();
         let min_count = db.min_support_count(self.min_support)?;
 
-        // ---- Phase 2: litemsets under customer support. ----
-        let litemsets = mine_litemsets(db, min_count);
-        let n_litemsets = litemsets.len();
-        if n_litemsets == 0 {
-            return Ok(SeqMiningResult {
-                patterns: Vec::new(),
-                n_litemsets: 0,
-                frequent_per_length: Vec::new(),
-                duration: t0.elapsed(),
-            });
-        }
-        // ---- Phase 3: transform customers to litemset-id sequences. ----
-        // Each transaction becomes the sorted set of litemset ids it
-        // contains (note: a transaction can contain several litemsets).
-        let transformed: Vec<Vec<Vec<u32>>> = db
-            .iter()
-            .map(|seq| {
-                seq.iter()
+        let mut n_litemsets = 0usize;
+        let mut frequent: Vec<Vec<(Vec<u32>, usize)>> = Vec::new();
+        let mut litemsets: Vec<Vec<u32>> = Vec::new();
+        'mine: {
+            // ---- Phase 2: litemsets under customer support. ----
+            let Ok(lits) = mine_litemsets(db, min_count, guard) else {
+                break 'mine;
+            };
+            litemsets = lits;
+            n_litemsets = litemsets.len();
+            if n_litemsets == 0 {
+                break 'mine;
+            }
+            // ---- Phase 3: transform customers to litemset-id sequences. ----
+            // Each transaction becomes the sorted set of litemset ids it
+            // contains (note: a transaction can contain several litemsets).
+            let mut transformed: Vec<Vec<Vec<u32>>> = Vec::new();
+            for (ci, seq) in db.iter().enumerate() {
+                if ci.is_multiple_of(POLL_STRIDE) && guard.should_stop() {
+                    break 'mine;
+                }
+                let ids_seq: Vec<Vec<u32>> = seq
+                    .iter()
                     .map(|txn| {
                         litemsets
                             .iter()
@@ -109,66 +136,76 @@ impl AprioriAll {
                             .collect::<Vec<u32>>()
                     })
                     .filter(|ids| !ids.is_empty())
-                    .collect()
-            })
-            .filter(|seq: &Vec<Vec<u32>>| !seq.is_empty())
-            .collect();
+                    .collect();
+                if !ids_seq.is_empty() {
+                    transformed.push(ids_seq);
+                }
+            }
 
-        // ---- Phase 4: level-wise sequence mining over litemset ids. ----
-        // L1: every litemset is frequent by construction.
-        let mut frequent: Vec<Vec<(Vec<u32>, usize)>> = Vec::new();
-        let l1: Vec<(Vec<u32>, usize)> = (0..n_litemsets as u32)
-            .map(|id| {
-                let count = transformed
-                    .iter()
-                    .filter(|seq| seq.iter().any(|txn| txn.binary_search(&id).is_ok()))
-                    .count();
-                (vec![id], count)
-            })
-            .filter(|&(_, c)| c >= min_count)
-            .collect();
-        frequent.push(l1);
+            // ---- Phase 4: level-wise sequence mining over litemset ids. ----
+            // L1: every litemset is frequent by construction.
+            if guard.try_work(n_litemsets as u64).is_err() {
+                break 'mine;
+            }
+            let l1: Vec<(Vec<u32>, usize)> = (0..n_litemsets as u32)
+                .map(|id| {
+                    let count = transformed
+                        .iter()
+                        .filter(|seq| seq.iter().any(|txn| txn.binary_search(&id).is_ok()))
+                        .count();
+                    (vec![id], count)
+                })
+                .filter(|&(_, c)| c >= min_count)
+                .collect();
+            frequent.push(l1);
 
-        let mut k = 1usize;
-        while !frequent[k - 1].is_empty() && self.max_len.is_none_or(|m| k < m) {
-            let prev: Vec<&[u32]> = frequent[k - 1].iter().map(|(s, _)| s.as_slice()).collect();
-            let prev_set: HashSet<&[u32]> = prev.iter().copied().collect();
-            // Join: s1 (drop first) == s2 (drop last) -> s1 + last(s2).
-            // For k == 1 this degenerates to all ordered pairs (including
-            // repeats), per the paper.
-            let mut candidates: Vec<Vec<u32>> = Vec::new();
-            for s1 in &prev {
-                for s2 in &prev {
-                    if s1[1..] == s2[..k - 1] {
-                        let mut cand = s1.to_vec();
-                        cand.push(s2[k - 1]);
-                        // Prune: all k-subsequences frequent.
-                        if subsequences_frequent(&cand, &prev_set) {
-                            candidates.push(cand);
+            let mut k = 1usize;
+            while !frequent[k - 1].is_empty() && self.max_len.is_none_or(|m| k < m) {
+                let prev: Vec<&[u32]> = frequent[k - 1].iter().map(|(s, _)| s.as_slice()).collect();
+                let prev_set: HashSet<&[u32]> = prev.iter().copied().collect();
+                // Join: s1 (drop first) == s2 (drop last) -> s1 + last(s2).
+                // For k == 1 this degenerates to all ordered pairs (including
+                // repeats), per the paper.
+                let mut candidates: Vec<Vec<u32>> = Vec::new();
+                for s1 in &prev {
+                    for s2 in &prev {
+                        if s1[1..] == s2[..k - 1] {
+                            let mut cand = s1.to_vec();
+                            cand.push(s2[k - 1]);
+                            // Prune: all k-subsequences frequent.
+                            if subsequences_frequent(&cand, &prev_set) {
+                                candidates.push(cand);
+                            }
                         }
                     }
                 }
-            }
-            if candidates.is_empty() {
-                break;
-            }
-            // Count candidate sequences against the transformed database.
-            let mut lk: Vec<(Vec<u32>, usize)> = Vec::new();
-            for cand in candidates {
-                let count = transformed
-                    .iter()
-                    .filter(|seq| contains_id_sequence(seq, &cand))
-                    .count();
-                if count >= min_count {
-                    lk.push((cand, count));
+                if candidates.is_empty() {
+                    break;
                 }
-            }
-            lk.sort();
-            let done = lk.is_empty();
-            frequent.push(lk);
-            k += 1;
-            if done {
-                break;
+                if guard.try_work(candidates.len() as u64).is_err() {
+                    break 'mine;
+                }
+                // Count candidate sequences against the transformed database.
+                let mut lk: Vec<(Vec<u32>, usize)> = Vec::new();
+                for (c, cand) in candidates.into_iter().enumerate() {
+                    if c.is_multiple_of(POLL_STRIDE) && guard.should_stop() {
+                        break 'mine;
+                    }
+                    let count = transformed
+                        .iter()
+                        .filter(|seq| contains_id_sequence(seq, &cand))
+                        .count();
+                    if count >= min_count {
+                        lk.push((cand, count));
+                    }
+                }
+                lk.sort();
+                let done = lk.is_empty();
+                frequent.push(lk);
+                k += 1;
+                if done {
+                    break;
+                }
             }
         }
         while frequent.last().is_some_and(Vec::is_empty) {
@@ -203,9 +240,13 @@ impl AprioriAll {
                 .then(item_count(&b.0).cmp(&item_count(&a.0)))
                 .then(a.0.cmp(&b.0))
         });
+        // A truncated run keeps every frequent pattern: filtering for
+        // maximality against an incomplete pattern set would report
+        // "maximal" patterns the full run subsumes.
+        let filter_maximal = self.maximal_only && guard.status().is_complete();
         let mut kept: Vec<(Vec<Vec<u32>>, usize)> = Vec::new();
         for (elements, count) in materialized {
-            let is_max = !self.maximal_only
+            let is_max = !filter_maximal
                 || !kept
                     .iter()
                     .any(|(longer, _)| pattern_contained(&elements, longer));
@@ -222,24 +263,32 @@ impl AprioriAll {
             })
             .collect();
 
-        Ok(SeqMiningResult {
+        Ok(guard.outcome(SeqMiningResult {
             patterns,
             n_litemsets,
             frequent_per_length,
             duration: t0.elapsed(),
-        })
+        }))
     }
 }
 
 /// Litemset phase: frequent itemsets where support counts *customers*
 /// containing the itemset in any single transaction. Level-wise with
 /// `apriori-gen`, counting each customer at most once per itemset.
-fn mine_litemsets(db: &SequenceDb, min_count: usize) -> Vec<Vec<u32>> {
+fn mine_litemsets(
+    db: &SequenceDb,
+    min_count: usize,
+    guard: &Guard,
+) -> Result<Vec<Vec<u32>>, TruncationReason> {
     // Pass 1: customer-deduplicated item counts.
     let n_items = db.n_items() as usize;
+    guard.try_work(n_items as u64)?;
     let mut counts = vec![0usize; n_items];
     let mut seen = vec![u32::MAX; n_items];
     for (ci, seq) in db.iter().enumerate() {
+        if ci.is_multiple_of(POLL_STRIDE) {
+            guard.check()?;
+        }
         for txn in seq {
             for &item in txn {
                 if seen[item as usize] != ci as u32 {
@@ -262,8 +311,12 @@ fn mine_litemsets(db: &SequenceDb, min_count: usize) -> Vec<Vec<u32>> {
         if candidates.is_empty() {
             break;
         }
+        guard.try_work(candidates.len() as u64)?;
         let mut next = Vec::new();
-        for cand in candidates {
+        for (c, cand) in candidates.into_iter().enumerate() {
+            if c.is_multiple_of(POLL_STRIDE) {
+                guard.check()?;
+            }
             let count = db
                 .iter()
                 .filter(|seq| seq.iter().any(|txn| is_subset_sorted(&cand, txn)))
@@ -280,7 +333,7 @@ fn mine_litemsets(db: &SequenceDb, min_count: usize) -> Vec<Vec<u32>> {
         level = next;
     }
     all.sort();
-    all
+    Ok(all)
 }
 
 /// Whether each of the ids of `pattern` appears, in order, in distinct
@@ -401,7 +454,7 @@ mod tests {
     fn litemset_support_counts_customers_not_transactions() {
         // Item 7 occurs twice inside one customer: support must be 1.
         let db = SequenceDb::new(vec![vec![vec![7], vec![7], vec![7]], vec![vec![1]]]);
-        let lits = mine_litemsets(&db, 1);
+        let lits = mine_litemsets(&db, 1, &Guard::unlimited()).unwrap();
         assert!(lits.contains(&vec![7]));
         let result = AprioriAll::new(0.9).mine(&db).unwrap();
         // At 90% support (2 customers) nothing survives.
@@ -455,6 +508,55 @@ mod tests {
         assert!(!pattern_contained(&same, &same), "identity excluded");
         assert!(contains_id_sequence(&[vec![0, 1], vec![2]], &[1, 2]));
         assert!(!contains_id_sequence(&[vec![0, 1]], &[1, 1]));
+    }
+
+    #[test]
+    fn governed_budget_yields_subset_of_non_maximal_run() {
+        use dm_guard::{Budget, RunStatus};
+        let db = paper_db();
+        let full = AprioriAll::new(0.25).keep_non_maximal().mine(&db).unwrap();
+        for max_work in [0u64, 50, 100, 150, 10_000] {
+            let guard = Guard::new(Budget::unlimited().with_max_work(max_work));
+            let out = AprioriAll::new(0.25).mine_governed(&db, &guard).unwrap();
+            assert!(guard.work_done() <= max_work, "max_work {max_work}");
+            match out.status {
+                RunStatus::Complete => {
+                    let plain = AprioriAll::new(0.25).mine(&db).unwrap();
+                    assert_eq!(out.result.patterns, plain.patterns);
+                }
+                RunStatus::Truncated(_) => {
+                    for p in &out.result.patterns {
+                        assert!(
+                            full.patterns.contains(p),
+                            "truncated pattern {:?} absent from ungoverned run",
+                            p.elements
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn governed_cancellation_and_unlimited_identity() {
+        use dm_guard::{Budget, CancelToken, RunStatus, TruncationReason};
+        let db = paper_db();
+        let token = CancelToken::new();
+        token.cancel();
+        let guard = Guard::with_token(Budget::unlimited(), token);
+        let out = AprioriAll::new(0.25).mine_governed(&db, &guard).unwrap();
+        assert_eq!(
+            out.status,
+            RunStatus::Truncated(TruncationReason::Cancelled)
+        );
+        assert!(out.result.patterns.is_empty());
+
+        let plain = AprioriAll::new(0.25).mine(&db).unwrap();
+        let governed = AprioriAll::new(0.25)
+            .mine_governed(&db, &Guard::unlimited())
+            .unwrap();
+        assert!(governed.is_complete());
+        assert_eq!(governed.result.patterns, plain.patterns);
     }
 
     #[test]

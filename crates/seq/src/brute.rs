@@ -93,12 +93,12 @@ impl BruteForceSeq {
 pub fn assert_matches_oracle(db: &SequenceDb, min_support: f64, max_len: usize) {
     let oracle = BruteForceSeq::new(min_support, max_len)
         .mine(db)
-        .expect("oracle limits respected");
+        .unwrap_or_else(|e| panic!("oracle limits respected: {e}"));
     let mined = AprioriAll::new(min_support)
         .with_max_len(max_len)
         .keep_non_maximal()
         .mine(db)
-        .expect("mining succeeds");
+        .unwrap_or_else(|e| panic!("mining succeeds: {e}"));
     // Oracle counts every pattern made of frequent *elements*; AprioriAll
     // reports patterns whose elements are litemsets. These coincide: an
     // element of a frequent pattern is itself frequent.

@@ -139,7 +139,9 @@ impl SequenceGenerator {
                 return p;
             }
         }
-        self.patterns.last().expect("pool non-empty")
+        // The constructor rejects an empty pattern pool, so the rounding
+        // fall-through always has a last pattern to return.
+        self.patterns.last().map_or(&[], Vec::as_slice)
     }
 
     /// Generates the customer-sequence database.

@@ -32,6 +32,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 pub mod apriori_all;
 pub mod brute;
 pub mod generator;

@@ -1,6 +1,8 @@
 //! Property tests: AprioriAll must agree with the exhaustive oracle on
 //! arbitrary small sequence databases.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dm_seq::{brute::assert_matches_oracle, AprioriAll, SequenceDb};
 use proptest::prelude::*;
 

@@ -275,10 +275,11 @@ impl AgrawalGenerator {
                 ("loan".into(), Column::from_numeric(loan)),
             ],
         )
-        .expect("schema is consistent by construction");
+        .unwrap_or_else(|e| panic!("schema is consistent by construction: {e}"));
 
         let dict = Dict::from_names(["A", "B"]);
-        let labels = Labels::from_codes(label_codes, dict).expect("codes in range");
+        let labels =
+            Labels::from_codes(label_codes, dict).unwrap_or_else(|e| panic!("codes in range: {e}"));
         (ds, labels)
     }
 }

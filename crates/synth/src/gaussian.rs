@@ -147,7 +147,8 @@ impl GaussianMixture {
             labels.push(noise_label);
         }
         (
-            Matrix::from_vec(data, n, d).expect("shape correct by construction"),
+            Matrix::from_vec(data, n, d)
+                .unwrap_or_else(|e| panic!("shape correct by construction: {e}")),
             labels,
         )
     }

@@ -18,6 +18,7 @@
 //! Every generator takes an explicit seed and is fully deterministic.
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 pub mod agrawal;
 pub mod distributions;
 pub mod gaussian;

@@ -203,7 +203,7 @@ impl QuestGenerator {
             txns.push(txn);
         }
         TransactionDb::with_universe(txns, self.config.n_items)
-            .expect("generator never emits out-of-universe items")
+            .unwrap_or_else(|e| panic!("generator never emits out-of-universe items: {e}"))
     }
 }
 

@@ -34,6 +34,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 pub mod criterion;
 pub mod ensemble;
 pub mod one_r;

@@ -147,8 +147,9 @@ fn prune_reduced(
     let mut child_rows: Vec<Vec<usize>> = vec![Vec::new(); spec.arity()];
     let col = data.column(attr);
     for &i in rows {
-        let child = spec
-            .route(col.get(i).expect("row in range"))
+        let child = col
+            .get(i)
+            .and_then(|v| spec.route(v))
             .unwrap_or(default_child);
         child_rows[child].push(i);
     }

@@ -287,8 +287,7 @@ pub fn rules_from_tree(
     // Deduplicate identical rules produced by the simplification.
     rules.sort_by(|a, b| {
         b.accuracy()
-            .partial_cmp(&a.accuracy())
-            .expect("finite")
+            .total_cmp(&a.accuracy())
             .then(b.coverage.cmp(&a.coverage))
     });
     rules.dedup_by(|a, b| a.conditions == b.conditions && a.class == b.class);

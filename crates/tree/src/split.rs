@@ -150,12 +150,12 @@ pub fn best_split_par(
             .collect();
         return admissible
             .into_iter()
-            .max_by(|a, b| a.score.partial_cmp(&b.score).expect("finite"))
+            .max_by(|a, b| a.score.total_cmp(&b.score))
             .cloned();
     }
     candidates
         .into_iter()
-        .max_by(|a, b| a.score.partial_cmp(&b.score).expect("finite"))
+        .max_by(|a, b| a.score.total_cmp(&b.score))
 }
 
 fn best_numeric_split(
@@ -180,7 +180,7 @@ fn best_numeric_split(
     if pairs.len() < 2 {
         return None;
     }
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN after filter"));
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let mut total = vec![0usize; n_classes];
     for &(_, c) in &pairs {
@@ -292,7 +292,7 @@ pub fn partition(
     let mut unrouted: Vec<usize> = Vec::new();
     let col = data.column(attr);
     for &i in rows {
-        match spec.route(col.get(i).expect("row in range")) {
+        match col.get(i).and_then(|v| spec.route(v)) {
             Some(child) => children[child].push(i),
             None => unrouted.push(i),
         }
@@ -302,7 +302,7 @@ pub fn partition(
         .enumerate()
         .max_by_key(|(_, c)| c.len())
         .map(|(i, _)| i)
-        .expect("arity >= 2");
+        .unwrap_or(0);
     children[default_child].extend(unrouted);
     (children, default_child)
 }

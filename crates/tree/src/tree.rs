@@ -4,6 +4,7 @@ use crate::criterion::SplitCriterion;
 use crate::prune::{self, Pruning};
 use crate::split::{best_split_par, partition, SplitSpec};
 use dm_dataset::{DataError, Dataset, Labels};
+use dm_guard::{Guard, Outcome};
 use dm_par::Parallelism;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -255,6 +256,22 @@ impl DecisionTreeLearner {
 
     /// Trains a tree on `data` with `labels`.
     pub fn fit(&self, data: &Dataset, labels: &Labels) -> Result<DecisionTree, DataError> {
+        Ok(self.fit_governed(data, labels, &Guard::unlimited())?.result)
+    }
+
+    /// Trains a tree under a resource [`Guard`].
+    ///
+    /// Every expanded node charges one work unit, so `max_work` acts as
+    /// a node budget. When the guard trips, the subtree under expansion
+    /// collapses to a majority-class leaf — the tree stays a complete
+    /// classifier over the training schema, just shallower than an
+    /// ungoverned run. Pruning still runs on the truncated tree.
+    pub fn fit_governed(
+        &self,
+        data: &Dataset,
+        labels: &Labels,
+        guard: &Guard,
+    ) -> Result<Outcome<DecisionTree>, DataError> {
         if labels.len() != data.n_rows() {
             return Err(DataError::LabelLengthMismatch {
                 labels: labels.len(),
@@ -287,7 +304,7 @@ impl DecisionTreeLearner {
         };
 
         let mut nodes = Vec::new();
-        let root = self.grow(data, codes, &grow_rows, n_classes, 1, &mut nodes);
+        let root = self.grow(data, codes, &grow_rows, n_classes, 1, &mut nodes, guard);
         let mut tree = DecisionTree {
             nodes,
             root,
@@ -304,9 +321,10 @@ impl DecisionTreeLearner {
                 prune::pessimistic(&mut tree, cf);
             }
         }
-        Ok(tree)
+        Ok(guard.outcome(tree))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn grow(
         &self,
         data: &Dataset,
@@ -315,6 +333,7 @@ impl DecisionTreeLearner {
         n_classes: usize,
         depth: usize,
         nodes: &mut Vec<Node>,
+        guard: &Guard,
     ) -> usize {
         let mut counts = vec![0usize; n_classes];
         for &i in rows {
@@ -341,6 +360,11 @@ impl DecisionTreeLearner {
         if pure || depth_capped || too_small {
             return make_leaf(nodes);
         }
+        // Node budget: expanding this node costs one work unit; on a trip
+        // the subtree collapses to a majority leaf.
+        if guard.try_work(1).is_err() {
+            return make_leaf(nodes);
+        }
         let Some(best) = best_split_par(
             data,
             codes,
@@ -359,7 +383,7 @@ impl DecisionTreeLearner {
         }
         let children: Vec<usize> = child_rows
             .iter()
-            .map(|rows| self.grow(data, codes, rows, n_classes, depth + 1, nodes))
+            .map(|rows| self.grow(data, codes, rows, n_classes, depth + 1, nodes, guard))
             .collect();
         nodes.push(Node::Split {
             attr: best.attr,
@@ -581,6 +605,45 @@ mod tests {
         let b = DecisionTreeLearner::new().fit(&data, &labels).unwrap();
         assert_eq!(a.predict(&data), b.predict(&data));
         assert_eq!(a.n_nodes(), b.n_nodes());
+    }
+
+    #[test]
+    fn node_budget_truncates_growth_gracefully() {
+        use dm_guard::{Budget, CancelToken, TruncationReason};
+        let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F2, 400)
+            .unwrap()
+            .generate(3);
+        let full = DecisionTreeLearner::new().fit(&data, &labels).unwrap();
+
+        // A tight node budget yields a smaller but complete classifier.
+        let guard = Guard::new(Budget::unlimited().with_max_work(3));
+        let out = DecisionTreeLearner::new()
+            .fit_governed(&data, &labels, &guard)
+            .unwrap();
+        assert_eq!(out.truncation(), Some(TruncationReason::WorkLimitExceeded));
+        assert!(guard.work_done() <= 3);
+        assert!(out.result.n_nodes() < full.n_nodes());
+        // Every row still gets a prediction in range.
+        for p in out.result.predict(&data) {
+            assert!((p as usize) < out.result.n_classes());
+        }
+
+        // A pre-cancelled token collapses the whole tree to one leaf.
+        let token = CancelToken::new();
+        token.cancel();
+        let guard = Guard::with_token(Budget::unlimited(), token);
+        let out = DecisionTreeLearner::new()
+            .fit_governed(&data, &labels, &guard)
+            .unwrap();
+        assert_eq!(out.truncation(), Some(TruncationReason::Cancelled));
+        assert_eq!(out.result.n_nodes(), 1);
+
+        // An unlimited guard is bit-identical to the ungoverned fit.
+        let out = DecisionTreeLearner::new()
+            .fit_governed(&data, &labels, &Guard::unlimited())
+            .unwrap();
+        assert!(out.is_complete());
+        assert_eq!(out.result, full);
     }
 
     #[test]

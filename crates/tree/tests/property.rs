@@ -1,5 +1,7 @@
 //! Property tests for decision-tree invariants.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dm_dataset::{Column, Dataset, Labels};
 use dm_tree::{DecisionTreeLearner, Pruning, SplitCriterion};
 use proptest::prelude::*;

@@ -7,6 +7,9 @@
 //! cargo run --release --example credit_scoring
 //! ```
 
+// Example code: panicking with a clear message on failure is fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datamining_suite::datamining::prelude::*;
 
 fn main() {

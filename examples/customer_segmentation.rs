@@ -6,6 +6,9 @@
 //! cargo run --release --example customer_segmentation
 //! ```
 
+// Example code: panicking with a clear message on failure is fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datamining_suite::datamining::cluster::Dendrogram;
 use datamining_suite::datamining::dataset::scale::{Scaler, StandardScaler};
 use datamining_suite::datamining::prelude::*;

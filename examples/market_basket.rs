@@ -6,6 +6,9 @@
 //! cargo run --release --example market_basket
 //! ```
 
+// Example code: panicking with a clear message on failure is fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datamining_suite::datamining::prelude::*;
 use std::time::Instant;
 

@@ -2,6 +2,8 @@
 //! generation through mining/learning to evaluation, exercising the
 //! public API exactly the way the examples do.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use datamining_suite::datamining::prelude::*;
 
 #[test]

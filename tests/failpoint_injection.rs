@@ -1,0 +1,137 @@
+//! Fail-point robustness properties (`cargo test --features failpoints`).
+//!
+//! A [`Guard`] armed with a deterministic fail point injects budget
+//! exhaustion or cancellation at an arbitrary check site. Sweeping the
+//! trip site across randomized workloads must uphold the governance
+//! contract everywhere:
+//!
+//! 1. no governed entry point panics, wherever the trip lands;
+//! 2. a truncated frequent-itemset result is a downward-closed subset of
+//!    the ungoverned run, with identical support counts;
+//! 3. an unlimited, unarmed guard is bit-identical to the ungoverned
+//!    run even with the fail-point machinery compiled in.
+
+#![cfg(feature = "failpoints")]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use datamining_suite::datamining::assoc::{
+    Ais, Apriori, AprioriHybrid, AprioriTid, FrequentItemsets, ItemsetMiner, Setm,
+};
+use datamining_suite::datamining::prelude::*;
+use proptest::prelude::*;
+
+fn small_db() -> impl Strategy<Value = TransactionDb> {
+    prop::collection::vec(prop::collection::vec(0u32..10, 0..6), 1..20).prop_map(TransactionDb::new)
+}
+
+fn any_reason() -> impl Strategy<Value = TruncationReason> {
+    (0u8..4).prop_map(|v| match v {
+        0 => TruncationReason::DeadlineExceeded,
+        1 => TruncationReason::WorkLimitExceeded,
+        2 => TruncationReason::IterationLimitReached,
+        _ => TruncationReason::Cancelled,
+    })
+}
+
+fn all_miners(min: MinSupport) -> Vec<Box<dyn ItemsetMiner>> {
+    vec![
+        Box::new(Apriori::new(min)),
+        Box::new(AprioriTid::new(min)),
+        Box::new(AprioriHybrid::new(min)),
+        Box::new(Ais::new(min)),
+        Box::new(Setm::new(min)),
+    ]
+}
+
+fn assert_subset(governed: &FrequentItemsets, full: &FrequentItemsets) {
+    for (itemset, count) in governed.iter() {
+        assert_eq!(
+            full.support_count(itemset),
+            Some(count),
+            "governed itemset {itemset:?} missing or miscounted in the full run"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property 1 + 2: wherever the fail point fires, no miner panics and
+    /// every truncated result is a correctly-counted, downward-closed
+    /// subset of the ungoverned run.
+    #[test]
+    fn injected_trips_never_panic_and_preserve_subset(
+        db in small_db(),
+        trip_at in 0u64..120,
+        reason in any_reason(),
+        min in 1usize..4,
+    ) {
+        for miner in all_miners(MinSupport::Count(min)) {
+            let full = miner.mine(&db).unwrap();
+            let guard = Guard::unlimited().with_failpoint(trip_at, reason);
+            let out = miner.mine_governed(&db, &guard).unwrap();
+            prop_assert!(out.result.itemsets.verify_downward_closure());
+            assert_subset(&out.result.itemsets, &full.itemsets);
+            match out.status {
+                RunStatus::Complete => {
+                    prop_assert_eq!(&out.result.itemsets, &full.itemsets)
+                }
+                RunStatus::Truncated(r) => prop_assert_eq!(r, reason),
+            }
+        }
+    }
+
+    /// Property 3: with failpoints compiled in but no fail point armed,
+    /// an unlimited guard stays bit-identical to the ungoverned run.
+    #[test]
+    fn unarmed_unlimited_guard_is_bit_identical(db in small_db(), min in 1usize..4) {
+        for miner in all_miners(MinSupport::Count(min)) {
+            let plain = miner.mine(&db).unwrap();
+            let out = miner.mine_governed(&db, &Guard::unlimited()).unwrap();
+            prop_assert!(out.is_complete());
+            prop_assert_eq!(&out.result.itemsets, &plain.itemsets);
+        }
+    }
+
+    /// The clustering side of property 1: injected trips leave k-means
+    /// with a structurally valid model (every point labelled, finite
+    /// centroids), never a panic.
+    #[test]
+    fn kmeans_survives_injected_trips(trip_at in 0u64..60, reason in any_reason(), seed in 0u64..4) {
+        let (data, _) = GaussianMixture::well_separated(3, 2, 40, 8.0)
+            .unwrap()
+            .generate(seed);
+        let guard = Guard::unlimited().with_failpoint(trip_at, reason);
+        let out = KMeans::new(3).with_seed(seed).fit_model_governed(&data, &guard).unwrap();
+        prop_assert_eq!(out.result.assignments.len(), data.rows());
+        prop_assert!(out.result.assignments.iter().all(|&l| l < 3));
+        prop_assert!(out.result.centroids.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// The sequence side of property 1 + 2: AprioriAll under injection
+    /// returns a subset of the ungoverned maximal patterns' support-true
+    /// universe and never panics.
+    #[test]
+    fn apriori_all_survives_injected_trips(trip_at in 0u64..60, reason in any_reason()) {
+        let db = SequenceGenerator::new(SequenceConfig::standard(60), 5)
+            .unwrap()
+            .generate(6);
+        let full = AprioriAll::new(0.05).keep_non_maximal().mine(&db).unwrap();
+        let guard = Guard::unlimited().with_failpoint(trip_at, reason);
+        let out = AprioriAll::new(0.05)
+            .keep_non_maximal()
+            .mine_governed(&db, &guard)
+            .unwrap();
+        for p in &out.result.patterns {
+            prop_assert!(
+                full.patterns.iter().any(|q| q.elements == p.elements
+                    && q.support_count == p.support_count),
+                "pattern {:?} not in the ungoverned run",
+                p.elements
+            );
+        }
+        if out.is_complete() {
+            prop_assert_eq!(out.result.patterns.len(), full.patterns.len());
+        }
+    }
+}
