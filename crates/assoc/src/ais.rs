@@ -150,6 +150,7 @@ impl ItemsetMiner for Ais {
             }
         }
 
+        stats.record_to(guard.obs(), "ais");
         Ok(guard.outcome(MiningResult {
             itemsets: FrequentItemsets::from_levels(levels, db.len()),
             stats,

@@ -249,6 +249,10 @@ impl Apriori {
                         a
                     },
                 )?;
+                guard.obs().counter_fmt(
+                    format_args!("assoc.apriori.pass{k}.hashtree_visits"),
+                    state.node_visits(),
+                );
                 Ok(tree.into_frequent_with(state.counts(), min_count))
             }
             CountingStrategy::Linear => {
@@ -375,6 +379,7 @@ impl ItemsetMiner for Apriori {
             }
         }
 
+        stats.record_to(guard.obs(), "apriori");
         Ok(guard.outcome(MiningResult {
             itemsets: FrequentItemsets::from_levels(levels, db.len()),
             stats,

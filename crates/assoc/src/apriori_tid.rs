@@ -211,6 +211,7 @@ impl ItemsetMiner for AprioriTid {
             }
         }
 
+        stats.record_to(guard.obs(), "apriori_tid");
         Ok(guard.outcome(MiningResult {
             itemsets: FrequentItemsets::from_levels(levels, db.len()),
             stats,

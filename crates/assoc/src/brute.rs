@@ -101,6 +101,7 @@ impl ItemsetMiner for BruteForce {
         let itemsets = FrequentItemsets::from_levels(levels, db.len());
         let mut stats = MiningStats::default();
         stats.push(1, candidates_total, itemsets.len(), t0.elapsed());
+        stats.record_to(guard.obs(), "brute");
         Ok(guard.outcome(MiningResult { itemsets, stats }))
     }
 }

@@ -32,6 +32,10 @@ pub struct CountState {
     /// (prevents double counting when hash paths collide).
     visited: Vec<u64>,
     generation: u64,
+    /// Tree nodes touched while counting (interior hops + leaf checks),
+    /// the `assoc.apriori.pass<k>.hashtree_visits` metric. Pure telemetry:
+    /// never read back by the algorithm.
+    node_visits: u64,
 }
 
 impl CountState {
@@ -41,11 +45,17 @@ impl CountState {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
+        self.node_visits += other.node_visits;
     }
 
     /// The accumulated per-candidate counts.
     pub fn counts(&self) -> &[usize] {
         &self.counts
+    }
+
+    /// Tree nodes touched while counting (see the field docs).
+    pub fn node_visits(&self) -> u64 {
+        self.node_visits
     }
 }
 
@@ -87,6 +97,7 @@ impl HashTree {
                 counts: Vec::new(),
                 visited: Vec::new(),
                 generation: 0,
+                node_visits: 0,
             },
         }
     }
@@ -142,6 +153,7 @@ impl HashTree {
             counts: vec![0; self.n_candidates],
             visited: vec![0; self.nodes.len()],
             generation: 0,
+            node_visits: 0,
         }
     }
 
@@ -191,6 +203,7 @@ impl HashTree {
         let mut stack: Vec<(usize, usize, usize)> = Vec::with_capacity(txn.len() + 4);
         stack.push((0, 0, 0));
         while let Some((node, start, depth)) = stack.pop() {
+            state.node_visits += 1;
             match &self.nodes[node] {
                 Node::Leaf { candidates } => {
                     if state.visited[node] == generation {
@@ -227,6 +240,7 @@ impl HashTree {
                 counts: Vec::new(),
                 visited: Vec::new(),
                 generation: 0,
+                node_visits: 0,
             },
         );
         self.count_transaction_into(txn, &mut state);
@@ -363,6 +377,20 @@ mod tests {
     #[should_panic(expected = "fanout")]
     fn rejects_tiny_fanout() {
         HashTree::new(2, 1, 4);
+    }
+
+    #[test]
+    fn node_visits_accumulate_and_absorb() {
+        let tree = HashTree::build(vec![vec![1, 2], vec![2, 3]], 2, 2, 1);
+        let mut a = tree.new_count_state();
+        let mut b = tree.new_count_state();
+        tree.count_transaction_into(&[1, 2, 3], &mut a);
+        tree.count_transaction_into(&[2, 3], &mut b);
+        assert!(a.node_visits() > 0);
+        assert!(b.node_visits() > 0);
+        let before = a.node_visits();
+        a.absorb(&b);
+        assert_eq!(a.node_visits(), before + b.node_visits());
     }
 
     #[test]

@@ -174,7 +174,12 @@ impl ItemsetMiner for AprioriHybrid {
             }
         }
 
-        let _ = switched_at; // recorded for future introspection
+        stats.record_to(guard.obs(), "apriori_hybrid");
+        if let Some(pass) = switched_at {
+            guard
+                .obs()
+                .gauge("assoc.apriori_hybrid.switched_at_pass", pass as f64);
+        }
         Ok(guard.outcome(MiningResult {
             itemsets: FrequentItemsets::from_levels(levels, db.len()),
             stats,
@@ -216,6 +221,10 @@ fn apriori_count(
             a
         },
     )?;
+    guard.obs().counter_fmt(
+        format_args!("assoc.apriori_hybrid.pass{k}.hashtree_visits"),
+        state.node_visits(),
+    );
     Ok(tree.into_frequent_with(state.counts(), min_count))
 }
 

@@ -168,6 +168,7 @@ impl ItemsetMiner for Setm {
             }
         }
 
+        stats.record_to(guard.obs(), "setm");
         Ok(guard.outcome(MiningResult {
             itemsets: FrequentItemsets::from_levels(levels, db.len()),
             stats,

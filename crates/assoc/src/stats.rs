@@ -53,6 +53,43 @@ impl MiningStats {
     pub fn total_duration(&self) -> Duration {
         self.passes.iter().map(|p| p.duration).sum()
     }
+
+    /// Emits this run's per-pass work into a recorder under the names
+    /// `assoc.<algo>.pass<k>.{candidates,frequent,pruned}` plus a
+    /// `assoc.<algo>.pass<k>` span per pass and an `assoc.<algo>.passes`
+    /// counter for the run (see the metric registry in `DESIGN.md`).
+    ///
+    /// `pruned` is the candidates that failed the support threshold —
+    /// derived, but recorded explicitly so shape tests can assert on it
+    /// without re-deriving.
+    pub fn record_to(&self, obs: dm_obs::Obs<'_>, algo: &str) {
+        if !obs.enabled() {
+            return;
+        }
+        for p in &self.passes {
+            let k = p.pass;
+            obs.counter_fmt(
+                format_args!("assoc.{algo}.pass{k}.candidates"),
+                p.candidates as u64,
+            );
+            obs.counter_fmt(
+                format_args!("assoc.{algo}.pass{k}.frequent"),
+                p.frequent as u64,
+            );
+            obs.counter_fmt(
+                format_args!("assoc.{algo}.pass{k}.pruned"),
+                p.candidates.saturating_sub(p.frequent) as u64,
+            );
+            obs.span_ns_fmt(
+                format_args!("assoc.{algo}.pass{k}"),
+                p.duration.as_nanos().min(u64::MAX as u128) as u64,
+            );
+        }
+        obs.counter_fmt(
+            format_args!("assoc.{algo}.passes"),
+            self.passes.len() as u64,
+        );
+    }
 }
 
 impl fmt::Display for MiningStats {

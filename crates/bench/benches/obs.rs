@@ -1,0 +1,61 @@
+//! Observability-overhead bench: Apriori on the VLDB'94-style synthetic
+//! workload with (a) no recorder, (b) an explicit [`NoopRecorder`], and
+//! (c) a live [`InMemoryRecorder`]. The recorded numbers live in
+//! `BENCH_obs.json` (target: ≤2% overhead for the Noop path vs the
+//! unrecorded governed run).
+
+// Bench harness code: panicking on setup failure is the correct behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dm_core::prelude::*;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn quest(t: f64, i: f64, d: usize) -> TransactionDb {
+    QuestGenerator::new(QuestConfig::standard(t, i, d), 101)
+        .expect("valid config")
+        .generate(202)
+}
+
+/// The observability tax: identical mining work under an unlimited
+/// guard, varying only the attached recorder. `unrecorded` is the
+/// baseline every miner ran at before this layer existed; `noop` shows
+/// the cost of the `enabled()` gates; `in_memory` shows what live
+/// metric capture actually costs.
+fn obs_overhead(c: &mut Criterion) {
+    let db = quest(10.0, 4.0, 5_000);
+    let support = MinSupport::Fraction(0.0075);
+    let mut group = c.benchmark_group("obs_overhead_t10i4d5k");
+    group.sample_size(10);
+    group.bench_function("apriori_unrecorded", |b| {
+        b.iter(|| {
+            Apriori::new(support)
+                .mine_governed(black_box(&db), &Guard::unlimited())
+                .unwrap()
+        })
+    });
+    group.bench_function("apriori_noop_recorder", |b| {
+        b.iter(|| {
+            let guard = Guard::unlimited().with_recorder(Arc::new(NoopRecorder));
+            Apriori::new(support)
+                .mine_governed(black_box(&db), &guard)
+                .unwrap()
+        })
+    });
+    group.bench_function("apriori_in_memory_recorder", |b| {
+        b.iter(|| {
+            let rec = Arc::new(InMemoryRecorder::new());
+            let guard = Guard::unlimited().with_recorder(rec.clone());
+            let out = Apriori::new(support)
+                .mine_governed(black_box(&db), &guard)
+                .unwrap();
+            black_box(rec.snapshot());
+            out
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

@@ -24,16 +24,17 @@ fn quest_db(t: f64, i: f64, d: usize) -> Result<(String, TransactionDb), DataErr
 fn time_miner(
     miner: &dyn ItemsetMiner,
     db: &TransactionDb,
+    guard: &Guard,
 ) -> Result<(Duration, MiningResult), DataError> {
     let t0 = Instant::now();
-    let result = miner.mine(db)?;
+    let result = miner.mine_governed(db, guard)?.result;
     Ok((t0.elapsed(), result))
 }
 
 /// E1 — relative execution time of AIS / Apriori / AprioriTid across
 /// minimum supports on three Quest databases (VLDB'94 Table/Fig. of
 /// per-minsup execution times).
-pub fn e1_miner_times() -> Result<String, DataError> {
+pub fn e1_miner_times(guard: &Guard) -> Result<String, DataError> {
     let mut out = String::new();
     out.push_str("# E1: miner execution time vs minimum support\n");
     out.push_str("(reconstruction of Agrawal–Srikant VLDB'94 execution-time figures)\n\n");
@@ -53,11 +54,11 @@ pub fn e1_miner_times() -> Result<String, DataError> {
         );
         for minsup in [2.0, 1.5, 1.0, 0.75, 0.5f64] {
             let support = MinSupport::Fraction(minsup / 100.0);
-            let (t_ais, _) = time_miner(&Ais::new(support), &db)?;
-            let (t_setm, _) = time_miner(&Setm::new(support), &db)?;
-            let (t_ap, r_ap) = time_miner(&Apriori::new(support), &db)?;
-            let (t_tid, _) = time_miner(&AprioriTid::new(support), &db)?;
-            let (t_hy, _) = time_miner(&AprioriHybrid::new(support), &db)?;
+            let (t_ais, _) = time_miner(&Ais::new(support), &db, guard)?;
+            let (t_setm, _) = time_miner(&Setm::new(support), &db, guard)?;
+            let (t_ap, r_ap) = time_miner(&Apriori::new(support), &db, guard)?;
+            let (t_tid, _) = time_miner(&AprioriTid::new(support), &db, guard)?;
+            let (t_hy, _) = time_miner(&AprioriHybrid::new(support), &db, guard)?;
             table.row(vec![
                 format!("{minsup}"),
                 fmt_duration(t_ais),
@@ -76,7 +77,7 @@ pub fn e1_miner_times() -> Result<String, DataError> {
 
 /// E2 — per-pass candidate and frequent-set counts (the VLDB'94
 /// candidates-per-pass figure explaining Apriori's advantage).
-pub fn e2_per_pass() -> Result<String, DataError> {
+pub fn e2_per_pass(guard: &Guard) -> Result<String, DataError> {
     let (name, db) = quest_db(10.0, 4.0, 10_000)?;
     let support = MinSupport::Fraction(0.0075);
     let mut out = String::new();
@@ -88,7 +89,7 @@ pub fn e2_per_pass() -> Result<String, DataError> {
         &Apriori::new(support),
         &AprioriTid::new(support),
     ] {
-        let (_, result) = time_miner(miner, &db)?;
+        let (_, result) = time_miner(miner, &db, guard)?;
         let mut table = Table::new(
             format!("{} on {name}", miner.name()),
             &["pass", "candidates", "frequent", "time"],
@@ -109,7 +110,7 @@ pub fn e2_per_pass() -> Result<String, DataError> {
 
 /// E3 — Apriori scale-up with the number of transactions (VLDB'94
 /// transaction scale-up figure; expect near-linear growth).
-pub fn e3_scaleup_transactions() -> Result<String, DataError> {
+pub fn e3_scaleup_transactions(guard: &Guard) -> Result<String, DataError> {
     let mut out = String::new();
     out.push_str("# E3: Apriori scale-up with |D| (T10.I4, minsup 1%)\n\n");
     let mut table = Table::new(
@@ -118,7 +119,7 @@ pub fn e3_scaleup_transactions() -> Result<String, DataError> {
     );
     for d in [2_500usize, 5_000, 10_000, 20_000, 40_000] {
         let (_, db) = quest_db(10.0, 4.0, d)?;
-        let (time, result) = time_miner(&Apriori::new(MinSupport::Fraction(0.01)), &db)?;
+        let (time, result) = time_miner(&Apriori::new(MinSupport::Fraction(0.01)), &db, guard)?;
         table.row(vec![
             d.to_string(),
             fmt_duration(time),
@@ -133,7 +134,7 @@ pub fn e3_scaleup_transactions() -> Result<String, DataError> {
 /// E4 — Apriori scale-up with transaction width at fixed |D| and fixed
 /// fractional support (VLDB'94 transaction-size scale-up figure; expect
 /// superlinear but bounded growth with width).
-pub fn e4_scaleup_width() -> Result<String, DataError> {
+pub fn e4_scaleup_width(guard: &Guard) -> Result<String, DataError> {
     let mut out = String::new();
     out.push_str("# E4: Apriori scale-up with |T| (|D| = 10K, minsup 1%)\n\n");
     let mut table = Table::new(
@@ -142,7 +143,7 @@ pub fn e4_scaleup_width() -> Result<String, DataError> {
     );
     for t in [5usize, 10, 20, 30] {
         let (_, db) = quest_db(t as f64, 4.0, 10_000)?;
-        let (time, result) = time_miner(&Apriori::new(MinSupport::Fraction(0.01)), &db)?;
+        let (time, result) = time_miner(&Apriori::new(MinSupport::Fraction(0.01)), &db, guard)?;
         table.row(vec![
             t.to_string(),
             fmt_duration(time),
@@ -155,9 +156,11 @@ pub fn e4_scaleup_width() -> Result<String, DataError> {
 
 /// E5 — rule counts at varying minimum confidence (the rule-generation
 /// table; the count grows as minconf falls and every rule meets the bar).
-pub fn e5_rule_counts() -> Result<String, DataError> {
+pub fn e5_rule_counts(guard: &Guard) -> Result<String, DataError> {
     let (name, db) = quest_db(10.0, 4.0, 10_000)?;
-    let mined = Apriori::new(MinSupport::Fraction(0.005)).mine(&db)?;
+    let mined = Apriori::new(MinSupport::Fraction(0.005))
+        .mine_governed(&db, guard)?
+        .result;
     let mut out = String::new();
     out.push_str(&format!(
         "# E5: rule generation on {name} (minsup 0.5%, {} frequent itemsets)\n\n",
@@ -193,7 +196,7 @@ pub fn e5_rule_counts() -> Result<String, DataError> {
 /// pair array is the dominant effect (pass 2 carries ~|L1|²/2
 /// candidates), and the hash tree is what keeps the array-less variant
 /// from collapsing — the original paper's configuration.
-pub fn a1_hashtree_ablation() -> Result<String, DataError> {
+pub fn a1_hashtree_ablation(guard: &Guard) -> Result<String, DataError> {
     let mut out = String::new();
     out.push_str("# A1: Apriori counting-structure ablation\n\n");
     let (name, db) = quest_db(10.0, 4.0, 2_000)?;
@@ -225,7 +228,7 @@ pub fn a1_hashtree_ablation() -> Result<String, DataError> {
     let mut reference: Option<&FrequentItemsets> = None;
     let mut mined = Vec::with_capacity(variants.len());
     for (a, s, m) in &variants {
-        let (time, result) = time_miner(m, &db)?;
+        let (time, result) = time_miner(m, &db, guard)?;
         mined.push((*a, *s, time, result));
     }
     for (_, _, _, r) in &mined {

@@ -4,6 +4,7 @@
 //! experiments all                    # run everything (E1..E13, A1, A2)
 //! experiments e1 e9                  # run a subset
 //! experiments --deadline-ms 5000 all # stop gracefully after ~5 s
+//! experiments --metrics out.json e1  # also dump recorded metric snapshots
 //! experiments --list                 # show available ids
 //! ```
 //!
@@ -11,15 +12,35 @@
 //! with a nonzero code. `--deadline-ms` builds a wall-clock [`Budget`];
 //! once it expires the remaining experiments are skipped (reported to
 //! stderr) rather than cut off mid-table.
+//!
+//! `--metrics FILE` attaches a fresh in-memory recorder to each
+//! experiment's guard and writes one JSON object to `FILE`, keyed by
+//! experiment id, each value a metrics snapshot in the schema documented
+//! in `DESIGN.md` ("Metrics snapshot schema"). Experiments that were
+//! skipped by the deadline do not appear in the file.
 
-use dm_core::prelude::{Budget, Guard};
+use dm_core::prelude::{Budget, Guard, InMemoryRecorder};
 use std::io::Write;
+use std::sync::Arc;
 use std::time::Instant;
 
-const USAGE: &str = "usage: experiments [--list] [--deadline-ms N] <all | e1..e13 a1 a2 ...>";
+const USAGE: &str =
+    "usage: experiments [--list] [--deadline-ms N] [--metrics FILE] <all | e1..e13 a1 a2 ...>";
 
 fn main() {
     std::process::exit(real_main());
+}
+
+/// Builds the guard for one experiment: whatever is left of the global
+/// deadline, so a recorded run still honours `--deadline-ms` end to end.
+fn experiment_guard(deadline_ms: Option<u64>, t_start: Instant) -> Guard {
+    match deadline_ms {
+        Some(ms) => {
+            let elapsed = u64::try_from(t_start.elapsed().as_millis()).unwrap_or(u64::MAX);
+            Guard::new(Budget::unlimited().with_deadline_ms(ms.saturating_sub(elapsed)))
+        }
+        None => Guard::unlimited(),
+    }
 }
 
 fn real_main() -> i32 {
@@ -35,8 +56,10 @@ fn real_main() -> i32 {
         return 0;
     }
 
-    // Flag parsing: --deadline-ms N (everything else is an experiment id).
+    // Flag parsing: --deadline-ms N and --metrics FILE (everything else
+    // is an experiment id).
     let mut deadline_ms: Option<u64> = None;
+    let mut metrics_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -54,6 +77,12 @@ fn real_main() -> i32 {
                     return 2;
                 }
             }
+        } else if arg == "--metrics" {
+            let Some(value) = it.next() else {
+                eprintln!("--metrics needs a file path\n{USAGE}");
+                return 2;
+            };
+            metrics_path = Some(value);
         } else {
             ids.push(arg);
         }
@@ -68,26 +97,39 @@ fn real_main() -> i32 {
         return 2;
     }
 
-    let guard = match deadline_ms {
-        Some(ms) => Guard::new(Budget::unlimited().with_deadline_ms(ms)),
-        None => Guard::unlimited(),
-    };
+    let t_start = Instant::now();
+    let outer = experiment_guard(deadline_ms, t_start);
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
+    // (id, snapshot json) per completed experiment, in run order.
+    let mut snapshots: Vec<(String, String)> = Vec::new();
     for (pos, id) in ids.iter().enumerate() {
-        if guard.should_stop() {
+        if outer.should_stop() {
             let skipped = ids[pos..].join(", ");
             eprintln!("[deadline exceeded; skipping remaining experiments: {skipped}]");
-            return 0;
+            break;
         }
         let t0 = Instant::now();
-        match dm_bench::run(id) {
+        let recorder = metrics_path
+            .as_ref()
+            .map(|_| Arc::new(InMemoryRecorder::new()));
+        let result = match &recorder {
+            Some(rec) => {
+                let inner = experiment_guard(deadline_ms, t_start).with_recorder(rec.clone());
+                dm_bench::run_governed(id, &inner)
+            }
+            None => dm_bench::run_governed(id, &outer),
+        };
+        match result {
             Some(Ok(report)) => {
                 if writeln!(out, "{report}").is_err()
                     || writeln!(out, "[{id} completed in {:?}]\n", t0.elapsed()).is_err()
                 {
                     // Broken pipe (e.g. `| head`): stop quietly.
                     return 0;
+                }
+                if let Some(rec) = &recorder {
+                    snapshots.push((id.to_string(), rec.snapshot().to_json()));
                 }
             }
             Some(Err(e)) => {
@@ -99,6 +141,26 @@ fn real_main() -> i32 {
                 return 2;
             }
         }
+    }
+    if let Some(path) = &metrics_path {
+        let mut json = String::from("{");
+        for (i, (id, snap)) in snapshots.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            // Known experiment ids are plain ASCII identifiers; no
+            // escaping needed inside the key.
+            json.push_str(&format!("\"{id}\": {snap}"));
+        }
+        json.push_str("}\n");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write metrics file {path}: {e}");
+            return 1;
+        }
+        eprintln!(
+            "[metrics for {} experiment(s) written to {path}]",
+            snapshots.len()
+        );
     }
     0
 }

@@ -37,13 +37,19 @@ fn suite_names() -> Vec<&'static str> {
 
 /// E9 — 5-fold cross-validated accuracy over functions F1–F10 (the
 /// per-function accuracy table).
-pub fn e9_accuracy_table() -> Result<String, DataError> {
+///
+/// The [`Classifier`] suite trait is ungoverned, so the guard only
+/// gates progress between functions (cooperative truncation).
+pub fn e9_accuracy_table(guard: &Guard) -> Result<String, DataError> {
     let mut out = String::new();
     out.push_str("# E9: 5-fold CV accuracy on Agrawal functions F1-F10 (2000 records)\n\n");
     let mut header = vec!["function"];
     header.extend(suite_names());
     let mut table = Table::new("accuracy by classifier", &header);
     for f in AgrawalFunction::ALL {
+        if guard.should_stop() {
+            break;
+        }
         let (data, labels) = AgrawalGenerator::new(f, 2000)?.generate(1000 + f.number() as u64);
         let mut cells = vec![format!("F{}", f.number())];
         for c in classifier_suite() {
@@ -58,7 +64,7 @@ pub fn e9_accuracy_table() -> Result<String, DataError> {
 
 /// E10 — learning curve and pruning effect on F2 (accuracy and tree size
 /// vs training-set size, pruned vs unpruned).
-pub fn e10_learning_curve() -> Result<String, DataError> {
+pub fn e10_learning_curve(guard: &Guard) -> Result<String, DataError> {
     let mut out = String::new();
     out.push_str(
         "# E10: learning curve on F2 with 10% label noise (test = 2000 clean records)\n\n",
@@ -77,10 +83,13 @@ pub fn e10_learning_curve() -> Result<String, DataError> {
     for n in [100usize, 200, 400, 800, 1600, 3200] {
         let (train, labels) = AgrawalGenerator::new(AgrawalFunction::F2, n)?.generate(n as u64);
         let noisy = flip_labels(&labels, 0.10, 7)?;
-        let unpruned = DecisionTreeLearner::new().fit(&train, &noisy)?;
+        let unpruned = DecisionTreeLearner::new()
+            .fit_governed(&train, &noisy, guard)?
+            .result;
         let pruned = DecisionTreeLearner::new()
             .with_pruning(Pruning::Pessimistic { cf: 0.25 })
-            .fit(&train, &noisy)?;
+            .fit_governed(&train, &noisy, guard)?
+            .result;
         let acc = |t: &dm_core::tree::DecisionTree| {
             t.predict(&test)
                 .iter()
@@ -103,7 +112,7 @@ pub fn e10_learning_curve() -> Result<String, DataError> {
 
 /// E11 — training-time scale-up with record count (the SLIQ-style
 /// classifier scale-up figure).
-pub fn e11_train_time_scaleup() -> Result<String, DataError> {
+pub fn e11_train_time_scaleup(guard: &Guard) -> Result<String, DataError> {
     let mut out = String::new();
     out.push_str("# E11: train/predict time vs records (F5; predict on 1000 rows)\n\n");
     let (test, _) = AgrawalGenerator::new(AgrawalFunction::F5, 1000)?.generate(500);
@@ -113,6 +122,9 @@ pub fn e11_train_time_scaleup() -> Result<String, DataError> {
     }
     let mut table = Table::new("fit time (predict time)", &header);
     for n in [1000usize, 2000, 4000, 8000, 16000] {
+        if guard.should_stop() {
+            break;
+        }
         let (train, labels) = AgrawalGenerator::new(AgrawalFunction::F5, n)?.generate(n as u64 + 1);
         let mut cells = vec![n.to_string()];
         for c in classifier_suite() {
@@ -133,7 +145,7 @@ pub fn e11_train_time_scaleup() -> Result<String, DataError> {
 /// E12 — noise sensitivity (Quinlan-style): accuracy on clean test data
 /// as training label noise rises; pruning should degrade more
 /// gracefully.
-pub fn e12_noise_sensitivity() -> Result<String, DataError> {
+pub fn e12_noise_sensitivity(guard: &Guard) -> Result<String, DataError> {
     let mut out = String::new();
     out.push_str("# E12: label-noise sensitivity on F5 (train 2000, clean test 1000)\n\n");
     let (test, test_labels) = AgrawalGenerator::new(AgrawalFunction::F5, 1000)?.generate(321);
@@ -151,10 +163,13 @@ pub fn e12_noise_sensitivity() -> Result<String, DataError> {
     );
     for noise in [0.0, 0.05, 0.10, 0.20f64] {
         let labels = flip_labels(&clean_labels, noise, 55)?;
-        let unpruned = DecisionTreeLearner::new().fit(&train, &labels)?;
+        let unpruned = DecisionTreeLearner::new()
+            .fit_governed(&train, &labels, guard)?
+            .result;
         let pruned = DecisionTreeLearner::new()
             .with_pruning(Pruning::Pessimistic { cf: 0.25 })
-            .fit(&train, &labels)?;
+            .fit_governed(&train, &labels, guard)?
+            .result;
         let nb = NaiveBayes::new().fit(&train, &labels)?;
         let acc = |pred: Vec<u32>| {
             pred.iter()

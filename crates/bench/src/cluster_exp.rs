@@ -6,7 +6,7 @@ use std::time::Instant;
 
 /// E6 — the k-means elbow curve at the true k, plus the k-means++ vs
 /// random-init comparison (shape of the k-means++ evaluation).
-pub fn e6_elbow_and_init() -> Result<String, DataError> {
+pub fn e6_elbow_and_init(guard: &Guard) -> Result<String, DataError> {
     let mixture = GaussianMixture::well_separated(5, 2, 300, 7.0)?;
     let (data, _) = mixture.generate(31);
     let mut out = String::new();
@@ -17,9 +17,15 @@ pub fn e6_elbow_and_init() -> Result<String, DataError> {
         &["k", "sse", "iterations"],
     );
     for k in 1..=10usize {
-        let mut best = KMeans::new(k).with_seed(0).fit_model(&data)?;
+        let mut best = KMeans::new(k)
+            .with_seed(0)
+            .fit_model_governed(&data, guard)?
+            .result;
         for seed in 1..3 {
-            let m = KMeans::new(k).with_seed(seed).fit_model(&data)?;
+            let m = KMeans::new(k)
+                .with_seed(seed)
+                .fit_model_governed(&data, guard)?
+                .result;
             if m.inertia < best.inertia {
                 best = m;
             }
@@ -43,7 +49,8 @@ pub fn e6_elbow_and_init() -> Result<String, DataError> {
                 KMeans::new(5)
                     .with_init(strategy)
                     .with_seed(seed)
-                    .fit_model(&data)
+                    .fit_model_governed(&data, guard)
+                    .map(|o| o.result)
             })
             .collect::<Result<Vec<_>, _>>()?;
         let mean_sse = models.iter().map(|m| m.inertia).sum::<f64>() / models.len() as f64;
@@ -104,7 +111,7 @@ impl Clusterer for BestOfKMeans {
 
 /// E7 — clustering quality across data regimes (the algorithm-comparison
 /// table of the BIRCH/CLARANS era evaluations).
-pub fn e7_quality_comparison() -> Result<String, DataError> {
+pub fn e7_quality_comparison(guard: &Guard) -> Result<String, DataError> {
     let mut out = String::new();
     out.push_str("# E7: clustering quality (ARI / NMI) across data regimes\n\n");
 
@@ -147,7 +154,7 @@ pub fn e7_quality_comparison() -> Result<String, DataError> {
             Box::new(Dbscan::new(1.2, 5)),
         ];
         for c in clusterers {
-            let result = c.fit(&data)?;
+            let result = c.fit_governed(&data, guard)?.result;
             // Noise labels participate as their own "cluster" for scoring.
             let ari = adjusted_rand_index(&truth, &result.assignments)?;
             let nmi = normalized_mutual_information(&truth, &result.assignments)?;
@@ -168,7 +175,7 @@ pub fn e7_quality_comparison() -> Result<String, DataError> {
 /// E8 — wall-clock scaling of BIRCH vs hierarchical vs k-means (the
 /// BIRCH SIGMOD'96 scaling figure: hierarchical blows up quadratically,
 /// BIRCH stays near-linear).
-pub fn e8_scaling() -> Result<String, DataError> {
+pub fn e8_scaling(guard: &Guard) -> Result<String, DataError> {
     let mut out = String::new();
     out.push_str("# E8: clustering time vs dataset size (d = 2, k = 5)\n\n");
     let mut table = Table::new(
@@ -189,17 +196,25 @@ pub fn e8_scaling() -> Result<String, DataError> {
         let n = data.rows();
 
         let t0 = Instant::now();
-        let km = KMeans::new(5).with_seed(3).fit(&data)?;
+        let km = KMeans::new(5)
+            .with_seed(3)
+            .fit_governed(&data, guard)?
+            .result;
         let t_km = t0.elapsed();
 
         let t0 = Instant::now();
-        let bi = Birch::new(5).with_threshold(1.0).with_seed(3).fit(&data)?;
+        let bi = Birch::new(5)
+            .with_threshold(1.0)
+            .with_seed(3)
+            .fit_governed(&data, guard)?
+            .result;
         let t_bi = t0.elapsed();
 
         let t0 = Instant::now();
         let hi = Agglomerative::new(5)
             .with_linkage(Linkage::Average)
-            .fit(&data)?;
+            .fit_governed(&data, guard)?
+            .result;
         let t_hi = t0.elapsed();
 
         table.row(vec![
@@ -217,7 +232,7 @@ pub fn e8_scaling() -> Result<String, DataError> {
 }
 
 /// A2 — BIRCH sensitivity to its CF-tree parameters.
-pub fn a2_birch_ablation() -> Result<String, DataError> {
+pub fn a2_birch_ablation(guard: &Guard) -> Result<String, DataError> {
     let mixture = GaussianMixture::well_separated(5, 2, 600, 8.0)?;
     let (data, truth) = mixture.generate(5);
     let mut out = String::new();
@@ -234,7 +249,7 @@ pub fn a2_birch_ablation() -> Result<String, DataError> {
                 .with_seed(7);
             let stats = birch.tree_stats(&data)?;
             let t0 = Instant::now();
-            let result = birch.fit(&data)?;
+            let result = birch.fit_governed(&data, guard)?.result;
             let time = t0.elapsed();
             let ari = adjusted_rand_index(&truth, &result.assignments)?;
             table.row(vec![

@@ -30,23 +30,40 @@ pub const ALL_EXPERIMENTS: [&str; 15] = [
 
 /// Runs one experiment by id, returning its report (or the data error
 /// that stopped it). `None` for unknown ids.
+///
+/// Equivalent to [`run_governed`] with an unlimited, unrecorded guard.
 pub fn run(id: &str) -> Option<Result<String, dm_core::dataset::DataError>> {
+    run_governed(id, &dm_core::guard::Guard::unlimited())
+}
+
+/// Runs one experiment by id under a resource [`Guard`](dm_core::guard::Guard).
+///
+/// The guard serves two roles: its budgets/deadline bound the work each
+/// experiment admits (reports reflect whatever completed before a
+/// trip), and a recorder attached via
+/// [`Guard::with_recorder`](dm_core::guard::Guard::with_recorder)
+/// captures the per-algorithm metrics every governed kernel emits —
+/// this is how `experiments --metrics` collects its snapshots.
+pub fn run_governed(
+    id: &str,
+    guard: &dm_core::guard::Guard,
+) -> Option<Result<String, dm_core::dataset::DataError>> {
     Some(match id {
-        "e1" => assoc_exp::e1_miner_times(),
-        "e2" => assoc_exp::e2_per_pass(),
-        "e3" => assoc_exp::e3_scaleup_transactions(),
-        "e4" => assoc_exp::e4_scaleup_width(),
-        "e5" => assoc_exp::e5_rule_counts(),
-        "e6" => cluster_exp::e6_elbow_and_init(),
-        "e7" => cluster_exp::e7_quality_comparison(),
-        "e8" => cluster_exp::e8_scaling(),
-        "e9" => classify_exp::e9_accuracy_table(),
-        "e10" => classify_exp::e10_learning_curve(),
-        "e11" => classify_exp::e11_train_time_scaleup(),
-        "e12" => classify_exp::e12_noise_sensitivity(),
-        "e13" => seq_exp::e13_sequential_patterns(),
-        "a1" => assoc_exp::a1_hashtree_ablation(),
-        "a2" => cluster_exp::a2_birch_ablation(),
+        "e1" => assoc_exp::e1_miner_times(guard),
+        "e2" => assoc_exp::e2_per_pass(guard),
+        "e3" => assoc_exp::e3_scaleup_transactions(guard),
+        "e4" => assoc_exp::e4_scaleup_width(guard),
+        "e5" => assoc_exp::e5_rule_counts(guard),
+        "e6" => cluster_exp::e6_elbow_and_init(guard),
+        "e7" => cluster_exp::e7_quality_comparison(guard),
+        "e8" => cluster_exp::e8_scaling(guard),
+        "e9" => classify_exp::e9_accuracy_table(guard),
+        "e10" => classify_exp::e10_learning_curve(guard),
+        "e11" => classify_exp::e11_train_time_scaleup(guard),
+        "e12" => classify_exp::e12_noise_sensitivity(guard),
+        "e13" => seq_exp::e13_sequential_patterns(guard),
+        "a1" => assoc_exp::a1_hashtree_ablation(guard),
+        "a2" => cluster_exp::a2_birch_ablation(guard),
         _ => return None,
     })
 }

@@ -10,7 +10,7 @@ use dm_core::prelude::*;
 /// E13 — AprioriAll across minimum supports: pattern counts per length
 /// and total time (time grows and longer patterns appear as minsup
 /// falls).
-pub fn e13_sequential_patterns() -> Result<String, DataError> {
+pub fn e13_sequential_patterns(guard: &Guard) -> Result<String, DataError> {
     let config = SequenceConfig::standard(1_000);
     let generator = SequenceGenerator::new(config, 77)?;
     let db = generator.generate(78);
@@ -32,7 +32,9 @@ pub fn e13_sequential_patterns() -> Result<String, DataError> {
         ],
     );
     for pct in [4.0, 2.0, 1.0f64] {
-        let result = AprioriAll::new(pct / 100.0).mine(&db)?;
+        let result = AprioriAll::new(pct / 100.0)
+            .mine_governed(&db, guard)?
+            .result;
         table.row(vec![
             format!("{pct}"),
             result.n_litemsets.to_string(),

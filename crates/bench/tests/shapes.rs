@@ -1,0 +1,231 @@
+//! Shape-regression harness for the EXPERIMENTS.md ordering claims.
+//!
+//! Each experiment report in `EXPERIMENTS.md` rests on a *shape* — who
+//! generates more candidates, which pass dominates, where the hybrid
+//! switches — rather than on wall-clock numbers. Wall-clock is noisy
+//! under CI; per-pass work counters are not. These tests re-run
+//! scaled-down E1/E2 configurations with an [`InMemoryRecorder`]
+//! attached and assert the claimed orderings from the recorded metrics,
+//! so a regression that changes the *work done* (not merely the speed)
+//! fails loudly.
+//!
+//! The workload is the Quest generator with the same seeds the
+//! experiment harness uses (pattern 101 / db 202), scaled to
+//! T10.I4.D2000 at minsup 1% so the whole file runs in well under a
+//! second.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dm_core::prelude::*;
+use std::sync::Arc;
+
+fn quest_small() -> TransactionDb {
+    QuestGenerator::new(QuestConfig::standard(10.0, 4.0, 2_000), 101)
+        .expect("valid config")
+        .generate(202)
+}
+
+const MINSUP: MinSupport = MinSupport::Fraction(0.01);
+
+/// Mines with a fresh recorder attached; returns the result and the
+/// metric snapshot.
+fn mine_with_metrics(miner: &dyn ItemsetMiner, db: &TransactionDb) -> (MiningResult, Snapshot) {
+    let rec = Arc::new(InMemoryRecorder::new());
+    let guard = Guard::unlimited().with_recorder(rec.clone());
+    let result = miner
+        .mine_governed(db, &guard)
+        .expect("mining succeeds")
+        .result;
+    (result, rec.snapshot())
+}
+
+/// Per-pass counter values for `algo`, in pass order (metric names are
+/// 1-based; the returned vec is 0-based).
+fn per_pass(snap: &Snapshot, algo: &str, what: &str) -> Vec<u64> {
+    let n = snap
+        .counter(&format!("assoc.{algo}.passes"))
+        .expect("passes counter present") as usize;
+    (1..=n)
+        .map(|k| {
+            snap.counter(&format!("assoc.{algo}.pass{k}.{what}"))
+                .expect("per-pass counter present")
+        })
+        .collect()
+}
+
+fn all_miners() -> Vec<(&'static str, Box<dyn ItemsetMiner>)> {
+    vec![
+        ("ais", Box::new(Ais::new(MINSUP)) as Box<dyn ItemsetMiner>),
+        ("setm", Box::new(Setm::new(MINSUP))),
+        ("apriori", Box::new(Apriori::new(MINSUP))),
+        ("apriori_tid", Box::new(AprioriTid::new(MINSUP))),
+        ("apriori_hybrid", Box::new(AprioriHybrid::new(MINSUP))),
+    ]
+}
+
+/// Golden per-pass counts for the reference miner (E2 shape, scaled).
+/// These are deterministic: fixed Quest seeds, sequential counting.
+/// If this fails, the *work profile* of the miners changed — either a
+/// generator change (every count moves) or an algorithmic change
+/// (one miner's counts move). Update the goldens only after confirming
+/// the new profile is intended and EXPERIMENTS.md still holds.
+#[test]
+fn golden_per_pass_counts_for_apriori() {
+    let db = quest_small();
+    let (result, snap) = mine_with_metrics(&Apriori::new(MINSUP), &db);
+    assert_eq!(per_pass(&snap, "apriori", "candidates"), [1000, 148_240, 6]);
+    assert_eq!(per_pass(&snap, "apriori", "frequent"), [545, 20, 4]);
+    assert_eq!(result.itemsets.len(), 569);
+}
+
+/// The recorded counters must agree with the `MiningStats` the result
+/// itself carries — the metrics layer is a second witness, not a second
+/// source of truth.
+#[test]
+fn recorded_counters_match_mining_stats() {
+    let db = quest_small();
+    for (algo, miner) in all_miners() {
+        let (result, snap) = mine_with_metrics(miner.as_ref(), &db);
+        let stats_candidates: Vec<u64> = result
+            .stats
+            .passes
+            .iter()
+            .map(|p| p.candidates as u64)
+            .collect();
+        let stats_frequent: Vec<u64> = result
+            .stats
+            .passes
+            .iter()
+            .map(|p| p.frequent as u64)
+            .collect();
+        assert_eq!(
+            per_pass(&snap, algo, "candidates"),
+            stats_candidates,
+            "{algo}: recorded candidates diverge from MiningStats"
+        );
+        assert_eq!(
+            per_pass(&snap, algo, "frequent"),
+            stats_frequent,
+            "{algo}: recorded frequent counts diverge from MiningStats"
+        );
+        assert_eq!(
+            snap.counter(&format!("assoc.{algo}.passes")),
+            Some(result.stats.passes.len() as u64),
+            "{algo}: pass count"
+        );
+    }
+}
+
+/// E1/E2 ordering claim: every miner finds the same frequent sets; the
+/// difference is how many candidates they count to get there. All five
+/// miners must agree on the per-pass frequent counts (prefix-wise: AIS
+/// and SETM run one more, empty, pass).
+#[test]
+fn all_miners_agree_on_frequent_sets() {
+    let db = quest_small();
+    let mut reference: Option<Vec<u64>> = None;
+    for (algo, miner) in all_miners() {
+        let (result, snap) = mine_with_metrics(miner.as_ref(), &db);
+        assert_eq!(
+            result.itemsets.len(),
+            569,
+            "{algo}: total frequent itemsets"
+        );
+        let mut frequent = per_pass(&snap, algo, "frequent");
+        while frequent.last() == Some(&0) {
+            frequent.pop();
+        }
+        match &reference {
+            Some(first) => assert_eq!(first, &frequent, "{algo}: per-pass frequent counts"),
+            None => reference = Some(frequent),
+        }
+    }
+}
+
+/// E2's central claim (the VLDB'94 per-pass candidate figure): from
+/// pass 3 on, AIS and SETM — which generate candidates by extending
+/// frequent sets with *every* item seen in each transaction — count
+/// orders of magnitude more candidates than the Apriori family, whose
+/// candidates come from the L(k-1) self-join. This is why they are the
+/// slowest miners in E1.
+#[test]
+fn ais_and_setm_blow_up_after_pass_two() {
+    let db = quest_small();
+    let late = |algo: &str, snap: &Snapshot| -> u64 {
+        per_pass(snap, algo, "candidates").iter().skip(2).sum()
+    };
+    let (_, snap) = mine_with_metrics(&Apriori::new(MINSUP), &db);
+    let apriori_late = late("apriori", &snap);
+    let (_, snap) = mine_with_metrics(&Ais::new(MINSUP), &db);
+    let ais_late = late("ais", &snap);
+    let (_, snap) = mine_with_metrics(&Setm::new(MINSUP), &db);
+    let setm_late = late("setm", &snap);
+    assert!(
+        ais_late >= 100 * apriori_late.max(1),
+        "AIS pass>=3 candidates ({ais_late}) should dwarf Apriori's ({apriori_late})"
+    );
+    assert!(
+        setm_late >= 100 * apriori_late.max(1),
+        "SETM pass>=3 candidates ({setm_late}) should dwarf Apriori's ({apriori_late})"
+    );
+}
+
+/// E1's hybrid claim, restated in counters: AprioriHybrid must be
+/// best-or-tied on candidate work — per pass, it counts no more
+/// candidates than either Apriori or AprioriTid (it runs the same
+/// candidate generation, switching only the counting representation).
+#[test]
+fn hybrid_candidate_work_is_best_or_tied() {
+    let db = quest_small();
+    let (_, snap_hy) = mine_with_metrics(&AprioriHybrid::new(MINSUP), &db);
+    let (_, snap_ap) = mine_with_metrics(&Apriori::new(MINSUP), &db);
+    let (_, snap_tid) = mine_with_metrics(&AprioriTid::new(MINSUP), &db);
+    let hy = per_pass(&snap_hy, "apriori_hybrid", "candidates");
+    let ap = per_pass(&snap_ap, "apriori", "candidates");
+    let tid = per_pass(&snap_tid, "apriori_tid", "candidates");
+    assert_eq!(hy.len(), ap.len(), "hybrid runs the same passes as apriori");
+    for (k, ((h, a), t)) in hy.iter().zip(&ap).zip(&tid).enumerate() {
+        assert!(
+            h <= a && h <= t,
+            "pass {}: hybrid candidates {h} exceed apriori {a} or tid {t}",
+            k + 1
+        );
+    }
+}
+
+/// After the pass-2 peak (the |L1| self-join), candidate counts fall
+/// monotonically for every miner on this workload — the long tail that
+/// makes later passes cheap. A non-monotone profile means candidate
+/// generation regressed.
+#[test]
+fn candidates_monotone_after_pass_two() {
+    let db = quest_small();
+    for (algo, miner) in all_miners() {
+        let (_, snap) = mine_with_metrics(miner.as_ref(), &db);
+        let candidates = per_pass(&snap, algo, "candidates");
+        for w in candidates[1..].windows(2) {
+            assert!(
+                w[1] <= w[0],
+                "{algo}: candidates rose {} -> {} after pass 2 (profile {candidates:?})",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+/// The hash-tree visit counter (A1's ablation currency) must be live:
+/// recorded for Apriori whenever a pass at k >= 3 actually counted
+/// candidates through the tree.
+#[test]
+fn hashtree_visits_are_recorded_for_late_passes() {
+    let db = quest_small();
+    let (_, snap) = mine_with_metrics(&Apriori::new(MINSUP), &db);
+    let visits: u64 = snap
+        .counters_with_prefix("assoc.apriori.pass")
+        .into_iter()
+        .filter(|(k, _)| k.ends_with("hashtree_visits"))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(visits > 0, "pass-3 counting should traverse the hash tree");
+}

@@ -257,6 +257,9 @@ impl Agglomerative {
                 }
             }
         }
+        guard
+            .obs()
+            .counter("cluster.agglomerative.merges", merges.len() as u64);
         Ok(guard.outcome(Dendrogram {
             n_leaves: n,
             merges,

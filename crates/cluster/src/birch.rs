@@ -450,6 +450,7 @@ impl Birch {
             if guard.next_iteration().is_err() || guard.try_work(entries.len() as u64).is_err() {
                 break;
             }
+            guard.obs().counter("cluster.birch.iterations", 1);
             let mut sums = vec![vec![0.0f64; dims]; self.k];
             let mut counts = vec![0.0f64; self.k];
             for (e, c) in entries.iter().zip(&centroids_of) {
@@ -512,6 +513,9 @@ impl Clusterer for Birch {
         let tree = self.build_tree(data, guard);
         let mut entries: Vec<&ClusteringFeature> = Vec::new();
         tree.collect_leaf_entries(&mut entries);
+        guard
+            .obs()
+            .counter("cluster.birch.leaf_entries", entries.len() as u64);
 
         // Phase 3: global clustering. If condensation was too aggressive
         // (or cut short) for k, fall back to clustering the raw points —

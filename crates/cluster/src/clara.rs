@@ -88,6 +88,7 @@ impl Clara {
         let sample_size = self.sample_size.unwrap_or(40 + 2 * self.k).clamp(self.k, n);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut best: Option<(Vec<usize>, f64)> = None;
+        let mut samples_scored = 0u64;
 
         for _ in 0..self.n_samples {
             if guard.should_stop() {
@@ -115,6 +116,7 @@ impl Clara {
                         .fold(f64::INFINITY, f64::min)
                 })
                 .sum();
+            samples_scored += 1;
             if best.as_ref().is_none_or(|(_, c)| cost < *c) {
                 best = Some((medoids, cost));
             }
@@ -153,6 +155,11 @@ impl Clara {
         let mut centroids = Matrix::zeros(self.k, data.cols());
         for (c, &m) in medoids.iter().enumerate() {
             centroids.row_mut(c).copy_from_slice(data.row(m));
+        }
+        let obs = guard.obs();
+        if obs.enabled() {
+            obs.counter("cluster.clara.iterations", samples_scored);
+            obs.gauge("cluster.clara.cost", cost);
         }
         Ok(guard.outcome((
             Clustering {

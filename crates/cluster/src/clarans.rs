@@ -111,11 +111,14 @@ impl Clarans {
             .unwrap_or_else(|| (((self.k * (n - self.k)) as f64 * 0.0125) as usize).max(250));
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut best: Option<(Vec<usize>, f64)> = None;
+        let mut neighbors_evaluated = 0u64;
+        let mut local_searches = 0u64;
 
         'search: for _ in 0..self.num_local {
             if guard.try_work(n as u64).is_err() {
                 break;
             }
+            local_searches += 1;
             // Random starting node.
             let mut pool: Vec<usize> = (0..n).collect();
             pool.shuffle(&mut rng);
@@ -142,6 +145,7 @@ impl Clarans {
                 };
                 let old = medoids[mi];
                 medoids[mi] = candidate;
+                neighbors_evaluated += 1;
                 let new_cost = Self::cost(data, &medoids);
                 if new_cost + 1e-12 < cost {
                     cost = new_cost;
@@ -181,6 +185,12 @@ impl Clarans {
         let mut centroids = Matrix::zeros(self.k, data.cols());
         for (c, &m) in medoids.iter().enumerate() {
             centroids.row_mut(c).copy_from_slice(data.row(m));
+        }
+        let obs = guard.obs();
+        if obs.enabled() {
+            obs.counter("cluster.clarans.iterations", local_searches);
+            obs.counter("cluster.clarans.neighbors_evaluated", neighbors_evaluated);
+            obs.gauge("cluster.clarans.cost", cost);
         }
         Ok(guard.outcome((
             Clustering {

@@ -49,6 +49,7 @@ impl Clusterer for Dbscan {
         const UNVISITED: u32 = u32::MAX - 1;
         let mut labels = vec![UNVISITED; n];
         let mut cluster = 0u32;
+        let mut region_queries = 0u64;
         // Each region query is a full scan, so it is the work unit. On a
         // trip the sweep stops; points never reached stay UNVISITED and
         // are mapped to NOISE below — a valid (conservatively sparse)
@@ -60,6 +61,7 @@ impl Clusterer for Dbscan {
             if guard.try_work(1).is_err() {
                 break;
             }
+            region_queries += 1;
             let seed_neighbors = neighbors(i);
             if seed_neighbors.len() < self.min_pts {
                 labels[i] = NOISE;
@@ -88,6 +90,7 @@ impl Clusterer for Dbscan {
                     break 'sweep;
                 }
                 labels[j] = cluster;
+                region_queries += 1;
                 let j_neighbors = neighbors(j);
                 if j_neighbors.len() >= self.min_pts {
                     queue.extend(j_neighbors);
@@ -102,6 +105,15 @@ impl Clusterer for Dbscan {
             if *l == UNVISITED {
                 *l = NOISE;
             }
+        }
+        let obs = guard.obs();
+        if obs.enabled() {
+            obs.counter("cluster.dbscan.region_queries", region_queries);
+            obs.counter("cluster.dbscan.clusters", cluster as u64);
+            obs.counter(
+                "cluster.dbscan.noise_points",
+                labels.iter().filter(|&&l| l == NOISE).count() as u64,
+            );
         }
         Ok(guard.outcome(Clustering {
             assignments: labels,

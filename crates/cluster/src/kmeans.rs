@@ -242,11 +242,18 @@ impl KMeans {
         // setting.
         struct AssignPass {
             assign: Vec<u32>,
-            changed: bool,
+            /// Points whose assignment differs from the previous pass
+            /// (0 ⇒ converged; also the `cluster.kmeans.iter.churn` metric).
+            churn: usize,
+            /// Sum of squared distances to the assigning centroid (the
+            /// `cluster.kmeans.iter.inertia` metric; telemetry only —
+            /// never read back by the algorithm).
+            inertia: f64,
             sums: Vec<f64>, // k x d, row-major
             counts: Vec<usize>,
         }
         let k = self.k;
+        let obs = guard.obs();
         while iterations < self.max_iter {
             if guard.next_iteration().is_err() || guard.try_work(n as u64).is_err() {
                 break;
@@ -260,20 +267,23 @@ impl KMeans {
                 n,
                 || AssignPass {
                     assign: Vec::new(),
-                    changed: false,
+                    churn: 0,
+                    inertia: 0.0,
                     sums: vec![0.0; k * d],
                     counts: vec![0usize; k],
                 },
                 |range| {
                     let mut shard = AssignPass {
                         assign: Vec::with_capacity(range.len()),
-                        changed: false,
+                        churn: 0,
+                        inertia: 0.0,
                         sums: vec![0.0; k * d],
                         counts: vec![0usize; k],
                     };
                     for i in range {
-                        let (c, _) = nearest(centroids_ref.iter_rows(), data.row(i));
-                        shard.changed |= old[i] != c as u32;
+                        let (c, dist) = nearest(centroids_ref.iter_rows(), data.row(i));
+                        shard.churn += usize::from(old[i] != c as u32);
+                        shard.inertia += dist;
                         shard.assign.push(c as u32);
                         shard.counts[c] += 1;
                         for (s, &x) in shard.sums[c * d..(c + 1) * d].iter_mut().zip(data.row(i)) {
@@ -284,7 +294,8 @@ impl KMeans {
                 },
                 |mut a, mut b| {
                     a.assign.append(&mut b.assign);
-                    a.changed |= b.changed;
+                    a.churn += b.churn;
+                    a.inertia += b.inertia;
                     for (s, x) in a.sums.iter_mut().zip(b.sums) {
                         *s += x;
                     }
@@ -294,7 +305,14 @@ impl KMeans {
                     a
                 },
             );
-            if !pass.changed {
+            if obs.enabled() {
+                // Inertia is measured against the centroids that did the
+                // assigning (the standard per-iteration Lloyd objective);
+                // churn accumulates total reassignments across the run.
+                obs.gauge("cluster.kmeans.iter.inertia", pass.inertia);
+                obs.counter("cluster.kmeans.iter.churn", pass.churn as u64);
+            }
+            if pass.churn == 0 {
                 converged = true;
                 iterations -= 1; // final pass did no work
                 break;
@@ -358,6 +376,10 @@ impl KMeans {
             },
             |a, b| a + b,
         );
+        if obs.enabled() {
+            obs.counter("cluster.kmeans.iterations", iterations as u64);
+            obs.gauge("cluster.kmeans.inertia", inertia);
+        }
         Ok(guard.outcome(KMeansModel {
             centroids,
             assignments,

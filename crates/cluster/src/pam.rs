@@ -141,10 +141,12 @@ impl Pam {
                 .sum()
         };
         let mut cost = total_cost(&medoids);
+        let mut swap_passes = 0u64;
         for _ in 0..self.max_swaps {
             if guard.next_iteration().is_err() || guard.try_work(n as u64).is_err() {
                 break;
             }
+            swap_passes += 1;
             let mut best: Option<(usize, usize, f64)> = None; // (medoid idx, candidate, new cost)
             for mi in 0..medoids.len() {
                 for cand in 0..n {
@@ -183,6 +185,11 @@ impl Pam {
         let mut centroids = Matrix::zeros(self.k, data.cols());
         for (c, &m) in medoids.iter().enumerate() {
             centroids.row_mut(c).copy_from_slice(data.row(m));
+        }
+        let obs = guard.obs();
+        if obs.enabled() {
+            obs.counter("cluster.pam.iterations", swap_passes);
+            obs.gauge("cluster.pam.cost", cost);
         }
         Ok(guard.outcome((
             Clustering {

@@ -49,6 +49,9 @@ pub use dm_eval as eval;
 pub use dm_guard as guard;
 /// k-nearest neighbours (re-export of `dm-knn`).
 pub use dm_knn as knn;
+/// Observability (re-export of `dm-obs`): metric recorders, timed spans
+/// and JSON snapshots, attached to runs via `Guard::with_recorder`.
+pub use dm_obs as obs;
 /// Data-parallel execution (re-export of `dm-par`): chunked map-reduce
 /// with a determinism guarantee; see its module docs for the model.
 pub use dm_par as par;
@@ -91,6 +94,7 @@ pub mod prelude {
     };
     pub use dm_guard::{Budget, CancelToken, Guard, Outcome, RunStatus, TruncationReason};
     pub use dm_knn::{CondensedNn, Distance, Knn, Search, Weighting};
+    pub use dm_obs::{InMemoryRecorder, NoopRecorder, Obs, Recorder, Snapshot};
     pub use dm_par::Parallelism;
     pub use dm_seq::{
         AprioriAll, SequenceConfig, SequenceDb, SequenceGenerator, SequentialPattern,

@@ -1,0 +1,252 @@
+//! Metric-registry coverage: every governed algorithm must emit the
+//! metric names its documentation (DESIGN.md, "Metric name registry")
+//! promises. A rename, a dropped emission site, or a new algorithm that
+//! forgets to wire the recorder fails here — this file is the executable
+//! half of the registry table.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dm_core::par::Parallelism;
+use dm_core::prelude::*;
+use std::sync::Arc;
+
+/// Runs `f` with a fresh recorder-carrying guard and returns the
+/// snapshot of everything it emitted.
+fn record<F: FnOnce(&Guard)>(f: F) -> Snapshot {
+    let rec = Arc::new(InMemoryRecorder::new());
+    let guard = Guard::unlimited().with_recorder(rec.clone());
+    f(&guard);
+    rec.snapshot()
+}
+
+fn assert_counters(snap: &Snapshot, names: &[&str]) {
+    for name in names {
+        assert!(
+            snap.counter(name).is_some(),
+            "missing counter `{name}`; recorded: {:?}",
+            snap.counters.keys().collect::<Vec<_>>()
+        );
+    }
+}
+
+fn small_quest() -> TransactionDb {
+    QuestGenerator::new(QuestConfig::standard(10.0, 4.0, 500), 101)
+        .unwrap()
+        .generate(202)
+}
+
+#[test]
+fn every_assoc_miner_emits_per_pass_counters_and_spans() {
+    let db = small_quest();
+    let support = MinSupport::Fraction(0.02);
+    let miners: Vec<(&str, Box<dyn ItemsetMiner>)> = vec![
+        ("ais", Box::new(Ais::new(support))),
+        ("setm", Box::new(Setm::new(support))),
+        ("apriori", Box::new(Apriori::new(support))),
+        ("apriori_tid", Box::new(AprioriTid::new(support))),
+        ("apriori_hybrid", Box::new(AprioriHybrid::new(support))),
+        ("brute", Box::new(BruteForce::new(support))),
+    ];
+    // Brute force enumerates the powerset, so it gets a 10-item toy db.
+    let tiny = TransactionDb::new(vec![
+        vec![0, 1, 2],
+        vec![1, 2, 3],
+        vec![0, 2, 4],
+        vec![2, 3, 4],
+    ]);
+    for (algo, miner) in miners {
+        let target = if algo == "brute" { &tiny } else { &db };
+        let snap = record(|g| {
+            miner.mine_governed(target, g).unwrap();
+        });
+        let expected = [
+            format!("assoc.{algo}.pass1.candidates"),
+            format!("assoc.{algo}.pass1.frequent"),
+            format!("assoc.{algo}.pass1.pruned"),
+            format!("assoc.{algo}.passes"),
+        ];
+        let expected: Vec<&str> = expected.iter().map(String::as_str).collect();
+        assert_counters(&snap, &expected);
+        assert!(
+            snap.spans.contains_key(&format!("assoc.{algo}.pass1")),
+            "{algo}: missing pass-1 span"
+        );
+    }
+}
+
+#[test]
+fn apriori_emits_hashtree_visits_and_hybrid_reports_switch() {
+    let db = small_quest();
+    // Low enough support to reach pass 3, where counting goes through
+    // the hash tree.
+    let snap = record(|g| {
+        Apriori::new(MinSupport::Fraction(0.01))
+            .mine_governed(&db, g)
+            .unwrap();
+    });
+    let visits: u64 = snap
+        .counters_with_prefix("assoc.apriori.pass")
+        .into_iter()
+        .filter(|(k, _)| k.ends_with("hashtree_visits"))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(visits > 0, "no hash-tree visits recorded");
+
+    let snap = record(|g| {
+        AprioriHybrid::new(MinSupport::Fraction(0.01))
+            .with_tid_budget(usize::MAX)
+            .mine_governed(&db, g)
+            .unwrap();
+    });
+    let switched = snap.gauge("assoc.apriori_hybrid.switched_at_pass");
+    assert!(
+        switched.is_some_and(|p| p >= 2.0),
+        "hybrid with an unbounded tid budget must switch and say when (got {switched:?})"
+    );
+}
+
+#[test]
+fn apriori_all_emits_sequence_metrics() {
+    let db = SequenceGenerator::new(SequenceConfig::standard(120), 5)
+        .unwrap()
+        .generate(6);
+    let snap = record(|g| {
+        AprioriAll::new(0.05).mine_governed(&db, g).unwrap();
+    });
+    assert_counters(
+        &snap,
+        &["seq.apriori_all.litemsets", "seq.apriori_all.len1.frequent"],
+    );
+    assert!(snap.spans.contains_key("seq.apriori_all.mine"));
+}
+
+#[test]
+fn every_clusterer_emits_its_documented_counters() {
+    let (data, _) = GaussianMixture::well_separated(3, 2, 60, 8.0)
+        .unwrap()
+        .generate(9);
+    let cases: Vec<(Box<dyn Clusterer>, Vec<&str>)> = vec![
+        (
+            Box::new(KMeans::new(3).with_seed(1)),
+            vec!["cluster.kmeans.iterations", "cluster.kmeans.iter.churn"],
+        ),
+        (Box::new(Pam::new(3)), vec!["cluster.pam.iterations"]),
+        (
+            Box::new(Clara::new(3).with_seed(1)),
+            vec!["cluster.clara.iterations"],
+        ),
+        (
+            Box::new(Clarans::new(3).with_seed(1)),
+            vec![
+                "cluster.clarans.iterations",
+                "cluster.clarans.neighbors_evaluated",
+            ],
+        ),
+        (
+            Box::new(Dbscan::new(1.5, 4)),
+            vec![
+                "cluster.dbscan.region_queries",
+                "cluster.dbscan.clusters",
+                "cluster.dbscan.noise_points",
+            ],
+        ),
+        (
+            Box::new(Birch::new(3).with_threshold(1.0).with_seed(1)),
+            vec!["cluster.birch.leaf_entries", "cluster.birch.iterations"],
+        ),
+        (
+            Box::new(Agglomerative::new(3)),
+            vec!["cluster.agglomerative.merges"],
+        ),
+    ];
+    for (clusterer, names) in cases {
+        let snap = record(|g| {
+            clusterer.fit_governed(&data, g).unwrap();
+        });
+        assert_counters(&snap, &names);
+    }
+    // Gauges ride along for the objective-value algorithms.
+    let snap = record(|g| {
+        KMeans::new(3).with_seed(1).fit_governed(&data, g).unwrap();
+    });
+    assert!(snap.gauge("cluster.kmeans.inertia").is_some());
+    assert!(snap.gauge("cluster.kmeans.iter.inertia").is_some());
+    let snap = record(|g| {
+        Pam::new(3).fit_governed(&data, g).unwrap();
+    });
+    assert!(snap.gauge("cluster.pam.cost").is_some());
+}
+
+#[test]
+fn tree_and_knn_emit_their_counters() {
+    let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F2, 300)
+        .unwrap()
+        .generate(11);
+    let snap = record(|g| {
+        DecisionTreeLearner::new()
+            .fit_governed(&data, &labels, g)
+            .unwrap();
+    });
+    assert_counters(
+        &snap,
+        &["tree.grow.nodes_expanded", "tree.grow.split_evals"],
+    );
+
+    let (train, train_labels) = GaussianMixture::well_separated(3, 2, 40, 9.0)
+        .unwrap()
+        .generate(3);
+    let (test, _) = GaussianMixture::well_separated(3, 2, 30, 9.0)
+        .unwrap()
+        .generate(4);
+    let model = Knn::new(3).fit(&train, &train_labels).unwrap();
+    let snap = record(|g| {
+        model.predict_governed(&test, g).unwrap();
+    });
+    assert_eq!(
+        snap.counter("knn.predict.queries"),
+        Some(test.rows() as u64)
+    );
+    assert!(snap.spans.contains_key("knn.predict"));
+}
+
+#[test]
+fn parallel_kernels_emit_per_shard_telemetry() {
+    let db = small_quest();
+    let snap = record(|g| {
+        // The recorder travels on the guard into the dm_par workers.
+        Apriori::new(MinSupport::Fraction(0.02))
+            .with_parallelism(Parallelism::Threads(2))
+            .mine_governed(&db, g)
+            .unwrap();
+    });
+    let shards = snap.counters_with_prefix("par.shard");
+    assert!(
+        shards.iter().any(|(k, _)| k.ends_with(".items")),
+        "no per-shard item counters recorded: {shards:?}"
+    );
+    assert!(
+        shards.iter().any(|(k, _)| k.ends_with(".busy_ns")),
+        "no per-shard busy-time counters recorded: {shards:?}"
+    );
+}
+
+#[test]
+fn guard_trip_is_observable() {
+    let rec = Arc::new(InMemoryRecorder::new());
+    let guard = Guard::new(Budget::unlimited().with_max_work(3)).with_recorder(rec.clone());
+    let db = small_quest();
+    let out = Apriori::new(MinSupport::Fraction(0.02))
+        .mine_governed(&db, &guard)
+        .unwrap();
+    assert!(matches!(out.status, RunStatus::Truncated(_)));
+    let snap = rec.snapshot();
+    assert_eq!(
+        snap.events
+            .iter()
+            .filter(|e| e.name == "guard.trip")
+            .count(),
+        1,
+        "exactly one trip event"
+    );
+    assert!(snap.gauge("guard.work_admitted").is_some());
+}

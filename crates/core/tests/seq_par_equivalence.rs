@@ -236,6 +236,64 @@ fn cancelled_kmeans_parallel_matches_sequential_partial_state() {
 }
 
 #[test]
+fn recording_never_changes_results() {
+    // Attaching a recorder is pure observation: the governed run with a
+    // live InMemoryRecorder must produce output bit-identical to the
+    // unrecorded run, sequentially and under threads.
+    use std::sync::Arc;
+
+    let db = QuestGenerator::new(QuestConfig::standard(10.0, 4.0, 1_000), 9)
+        .unwrap()
+        .generate(41);
+    let reference = Apriori::new(MinSupport::Fraction(0.01)).mine(&db).unwrap();
+    for par in settings() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        let guard = Guard::unlimited().with_recorder(rec.clone());
+        let got = Apriori::new(MinSupport::Fraction(0.01))
+            .with_parallelism(par)
+            .mine_governed(&db, &guard)
+            .unwrap();
+        assert_eq!(got.result.itemsets, reference.itemsets, "{par:?}");
+        assert!(!rec.snapshot().is_empty(), "{par:?}: recorder saw nothing");
+    }
+
+    let (data, _) = GaussianMixture::well_separated(4, 3, 250, 7.0)
+        .unwrap()
+        .generate(19);
+    let reference = KMeans::new(4).with_seed(2).fit_model(&data).unwrap();
+    for par in settings() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        let guard = Guard::unlimited().with_recorder(rec.clone());
+        let got = KMeans::new(4)
+            .with_seed(2)
+            .with_parallelism(par)
+            .fit_model_governed(&data, &guard)
+            .unwrap()
+            .result;
+        assert_eq!(got.assignments, reference.assignments, "{par:?}");
+        assert_eq!(
+            got.inertia.to_bits(),
+            reference.inertia.to_bits(),
+            "{par:?}: inertia must be bit-identical under recording"
+        );
+        assert_eq!(got.iterations, reference.iterations, "{par:?}");
+    }
+
+    let (train, labels) = AgrawalGenerator::new(AgrawalFunction::F7, 800)
+        .unwrap()
+        .generate(23);
+    let reference = DecisionTreeLearner::new().fit(&train, &labels).unwrap();
+    let rec = Arc::new(InMemoryRecorder::new());
+    let guard = Guard::unlimited().with_recorder(rec.clone());
+    let got = DecisionTreeLearner::new()
+        .fit_governed(&train, &labels, &guard)
+        .unwrap()
+        .result;
+    assert_eq!(got, reference, "recorded tree must be identical");
+    assert!(rec.snapshot().counter("tree.grow.nodes_expanded").is_some());
+}
+
+#[test]
 fn knn_batch_predictions_match_sequential() {
     let (train, labels) = GaussianMixture::well_separated(4, 3, 120, 8.0)
         .unwrap()

@@ -44,8 +44,21 @@
 //! points and assert: no panic, truncated results uphold their invariants,
 //! and an unarmed unlimited guard is bit-identical to an ungoverned run.
 
+//! # Observability
+//!
+//! A guard can carry a [`dm_obs::Recorder`] ([`Guard::with_recorder`]);
+//! instrumented algorithms reach it through [`Guard::obs`]. Because the
+//! guard already flows through every governed entry point and every
+//! `dm_par` worker, attaching a recorder needs no signature changes
+//! anywhere. Without one, [`Guard::obs`] hands out the no-op recorder,
+//! whose emissions compile to a predictable branch — the measured
+//! overhead is within noise (`BENCH_obs.json`). The guard itself emits a
+//! `guard.trip` event (with the reason) and a `guard.work_admitted`
+//! watermark gauge the moment its first limit latches.
+
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+use dm_obs::{Obs, Recorder};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -220,7 +233,6 @@ struct FailPoint {
 /// A `Guard` is `Sync`; share it by reference with parallel workers. The
 /// first limit to trip is latched — every later check reports the same
 /// [`TruncationReason`], so the run's final status is unambiguous.
-#[derive(Debug)]
 pub struct Guard {
     budget: Budget,
     token: CancelToken,
@@ -229,8 +241,23 @@ pub struct Guard {
     iterations: AtomicU64,
     /// 0 = not tripped; otherwise `encode(reason)`.
     tripped: AtomicU8,
+    /// Metrics sink shared with every instrumentation site this guard
+    /// reaches; `None` means the no-op recorder.
+    recorder: Option<Arc<dyn Recorder>>,
     #[cfg(feature = "failpoints")]
     failpoint: Option<FailPoint>,
+}
+
+impl std::fmt::Debug for Guard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Guard")
+            .field("budget", &self.budget)
+            .field("work", &self.work)
+            .field("iterations", &self.iterations)
+            .field("tripped", &self.tripped)
+            .field("recorded", &self.recorder.is_some())
+            .finish()
+    }
 }
 
 const fn encode(reason: TruncationReason) -> u8 {
@@ -273,8 +300,25 @@ impl Guard {
             work: AtomicU64::new(0),
             iterations: AtomicU64::new(0),
             tripped: AtomicU8::new(0),
+            recorder: None,
             #[cfg(feature = "failpoints")]
             failpoint: None,
+        }
+    }
+
+    /// Attaches a metrics recorder; instrumentation sites reached by this
+    /// guard emit into it via [`Guard::obs`].
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The observability handle for this guard: the attached recorder, or
+    /// the no-op recorder (whose emissions are a dead branch) if none.
+    pub fn obs(&self) -> Obs<'_> {
+        match self.recorder.as_deref() {
+            Some(rec) => Obs::new(rec),
+            None => Obs::noop(),
         }
     }
 
@@ -312,7 +356,17 @@ impl Guard {
             .tripped
             .compare_exchange(0, encode(reason), Ordering::AcqRel, Ordering::Acquire)
         {
-            Ok(_) => reason,
+            Ok(_) => {
+                let obs = self.obs();
+                if obs.enabled() {
+                    obs.event("guard.trip", &reason.to_string());
+                    obs.gauge(
+                        "guard.work_admitted",
+                        self.work.load(Ordering::Relaxed) as f64,
+                    );
+                }
+                reason
+            }
             Err(prev) => decode(prev).unwrap_or(reason),
         }
     }
@@ -500,6 +554,42 @@ mod tests {
         let o = g.outcome(());
         assert!(!o.is_complete());
         assert_eq!(o.truncation(), Some(TruncationReason::WorkLimitExceeded));
+    }
+
+    #[test]
+    fn guard_without_recorder_hands_out_noop_obs() {
+        let g = Guard::unlimited();
+        assert!(!g.obs().enabled());
+        // Emissions into the noop handle are silently dropped.
+        g.obs().counter("x", 1);
+        g.obs().gauge("y", 2.0);
+    }
+
+    #[test]
+    fn trip_emits_event_and_work_watermark() {
+        let rec = Arc::new(dm_obs::InMemoryRecorder::new());
+        let g = Guard::new(Budget::unlimited().with_max_work(10)).with_recorder(rec.clone());
+        assert!(g.obs().enabled());
+        assert!(g.try_work(7).is_ok());
+        assert_eq!(g.try_work(7), Err(TruncationReason::WorkLimitExceeded));
+        // A later, different trip must not re-emit: first reason is latched.
+        g.cancel_token().cancel();
+        assert_eq!(g.check(), Err(TruncationReason::WorkLimitExceeded));
+
+        let snap = rec.snapshot();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].name, "guard.trip");
+        assert_eq!(snap.events[0].detail, "work-unit budget exhausted");
+        assert_eq!(snap.gauge("guard.work_admitted"), Some(7.0));
+    }
+
+    #[test]
+    fn untripped_guard_emits_nothing() {
+        let rec = Arc::new(dm_obs::InMemoryRecorder::new());
+        let g = Guard::unlimited().with_recorder(rec.clone());
+        assert!(g.check().is_ok());
+        assert!(g.try_work(5).is_ok());
+        assert!(rec.snapshot().is_empty());
     }
 
     #[cfg(feature = "failpoints")]

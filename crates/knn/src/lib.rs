@@ -252,12 +252,15 @@ impl KnnModel {
         guard: &Guard,
     ) -> Result<Outcome<Vec<u32>>, DataError> {
         let mut out = Vec::with_capacity(data.rows());
+        let span = guard.obs().span("knn.predict");
         for i in 0..data.rows() {
             if guard.try_work(1).is_err() {
                 break;
             }
             out.push(self.predict_one(data.row(i))?);
         }
+        drop(span);
+        guard.obs().counter("knn.predict.queries", out.len() as u64);
         Ok(guard.outcome(out))
     }
 }

@@ -1,0 +1,591 @@
+//! # dm-obs
+//!
+//! Zero-cost observability for the workspace's long-running miners
+//! (re-exported by the facade as `dm_core::obs`).
+//!
+//! The canonical evaluations this repo reconstructs — Apriori's per-pass
+//! candidate tables, k-means inertia curves, shard-imbalance ratios —
+//! are defined in terms of *internal counters*, not wall-clock time.
+//! This crate is the substrate that surfaces them: a dependency-free
+//! [`Recorder`] trait with
+//!
+//! * [`NoopRecorder`] — the default on every ungoverned path; every
+//!   method is an empty body and [`Recorder::enabled`] returns `false`,
+//!   so instrumentation sites skip even the metric-name formatting
+//!   (measured ≤2% overhead on the assoc/cluster benches, see
+//!   `BENCH_obs.json`);
+//! * [`InMemoryRecorder`] — thread-safe aggregation into counters,
+//!   gauges, span timings and an ordered event log, snapshot as a
+//!   stable, sorted JSON document ([`Snapshot::to_json`]).
+//!
+//! ## Metric naming
+//!
+//! Names are hierarchical, dot-separated, lowercase:
+//! `<subsystem>.<algorithm>.<scope>.<metric>` — e.g.
+//! `assoc.apriori.pass3.candidates`, `cluster.kmeans.iter.inertia`,
+//! `par.shard2.busy_ns`, `guard.trip`. The full registry (name, unit,
+//! emitting algorithm) lives in `DESIGN.md`.
+//!
+//! ## Wiring
+//!
+//! Recorders ride on `dm_guard::Guard`, which already flows through
+//! every governed entry point and every `dm_par` worker: attach one
+//! with `Guard::with_recorder`, and instrumentation sites reach it via
+//! `Guard::obs()` → [`Obs`]. Ungoverned entry points construct
+//! `Guard::unlimited()` (no recorder), so they pay only an
+//! `Option`-is-`None` check per emission site.
+//!
+//! ```
+//! use dm_obs::{InMemoryRecorder, Obs, Recorder};
+//! use std::sync::Arc;
+//!
+//! let rec = Arc::new(InMemoryRecorder::new());
+//! let obs = Obs::new(rec.as_ref());
+//! obs.counter("assoc.apriori.pass3.candidates", 44);
+//! obs.gauge("cluster.kmeans.iter.inertia", 3038.5);
+//! let snap = rec.snapshot();
+//! assert_eq!(snap.counter("assoc.apriori.pass3.candidates"), Some(44));
+//! assert!(snap.to_json().contains("\"counters\""));
+//! ```
+
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A metrics sink. Implementations must be cheap and thread-safe: the
+/// same recorder is shared by reference across parallel shards.
+///
+/// All methods take `&self`; implementations use interior mutability
+/// (or, like [`NoopRecorder`], no state at all).
+pub trait Recorder: Send + Sync {
+    /// Whether this recorder keeps anything. Instrumentation sites check
+    /// this before formatting dynamic metric names, so a disabled
+    /// recorder costs neither allocation nor clock reads.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    fn counter(&self, name: &str, delta: u64);
+
+    /// Sets the named gauge to `value` (last write wins).
+    fn gauge(&self, name: &str, value: f64);
+
+    /// Records one completed timed span of `elapsed_ns` nanoseconds
+    /// under `name` (aggregated as count + total).
+    fn span_ns(&self, name: &str, elapsed_ns: u64);
+
+    /// Appends an entry to the ordered event log.
+    fn event(&self, name: &str, detail: &str);
+}
+
+/// The do-nothing recorder: every method compiles to an empty body and
+/// [`Recorder::enabled`] is `false`, so callers skip name formatting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+    #[inline]
+    fn counter(&self, _name: &str, _delta: u64) {}
+    #[inline]
+    fn gauge(&self, _name: &str, _value: f64) {}
+    #[inline]
+    fn span_ns(&self, _name: &str, _elapsed_ns: u64) {}
+    #[inline]
+    fn event(&self, _name: &str, _detail: &str) {}
+}
+
+/// The process-wide noop instance [`Obs::noop`] hands out.
+pub static NOOP: NoopRecorder = NoopRecorder;
+
+/// Aggregated timings of one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total nanoseconds across all spans.
+    pub total_ns: u64,
+}
+
+/// One entry of the ordered event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// 0-based sequence number (emission order).
+    pub seq: u64,
+    /// Event name (same hierarchical scheme as metrics).
+    pub name: String,
+    /// Free-form detail string.
+    pub detail: String,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    spans: BTreeMap<String, SpanStat>,
+    events: Vec<Event>,
+}
+
+/// A thread-safe recorder that aggregates everything in memory.
+///
+/// Counters sum, gauges keep the last written value, spans aggregate to
+/// `(count, total_ns)`, events append in order. [`InMemoryRecorder::snapshot`]
+/// returns a point-in-time copy; [`Snapshot::to_json`] serializes it in a
+/// stable format (keys sorted, schema documented in `DESIGN.md`).
+#[derive(Debug, Default)]
+pub struct InMemoryRecorder {
+    state: Mutex<State>,
+}
+
+impl InMemoryRecorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with_state<T>(&self, f: impl FnOnce(&mut State) -> T) -> T {
+        // Mutex poisoning can only happen if a panic escaped mid-record;
+        // metrics are best-effort, so keep recording into the inner state.
+        let mut state = match self.state.lock() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        f(&mut state)
+    }
+
+    /// A point-in-time copy of everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        self.with_state(|s| Snapshot {
+            counters: s.counters.clone(),
+            gauges: s.gauges.clone(),
+            spans: s.spans.clone(),
+            events: s.events.clone(),
+        })
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    fn counter(&self, name: &str, delta: u64) {
+        self.with_state(|s| {
+            *s.counters.entry(name.to_owned()).or_insert(0) += delta;
+        });
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.with_state(|s| {
+            s.gauges.insert(name.to_owned(), value);
+        });
+    }
+
+    fn span_ns(&self, name: &str, elapsed_ns: u64) {
+        self.with_state(|s| {
+            let stat = s.spans.entry(name.to_owned()).or_default();
+            stat.count += 1;
+            stat.total_ns += elapsed_ns;
+        });
+    }
+
+    fn event(&self, name: &str, detail: &str) {
+        self.with_state(|s| {
+            let seq = s.events.len() as u64;
+            s.events.push(Event {
+                seq,
+                name: name.to_owned(),
+                detail: detail.to_owned(),
+            });
+        });
+    }
+}
+
+/// A point-in-time copy of an [`InMemoryRecorder`]'s contents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name (last written value).
+    pub gauges: BTreeMap<String, f64>,
+    /// Span aggregates by name.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// The ordered event log.
+    pub events: Vec<Event>,
+}
+
+impl Snapshot {
+    /// The value of a counter, if it was ever incremented.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The last written value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Whether nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.spans.is_empty()
+            && self.events.is_empty()
+    }
+
+    /// All counters whose name starts with `prefix`, in name order.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(&str, u64)> {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, &v)| (k.as_str(), v))
+            .collect()
+    }
+
+    /// Serializes the snapshot as a JSON document.
+    ///
+    /// The format is stable: one object with `counters`, `gauges`,
+    /// `spans` and `events` keys; map keys sorted lexicographically;
+    /// non-finite gauge values serialize as `null`. See `DESIGN.md`
+    /// ("Metrics snapshot schema") for the full schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    {}: {v}", json_string(k));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    {}: {}", json_string(k), json_f64(*v));
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"spans\": {");
+        for (i, (k, v)) in self.spans.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {}: {{\"count\": {}, \"total_ns\": {}}}",
+                json_string(k),
+                v.count,
+                v.total_ns
+            );
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"seq\": {}, \"name\": {}, \"detail\": {}}}",
+                e.seq,
+                json_string(&e.name),
+                json_string(&e.detail)
+            );
+        }
+        if !self.events.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON value (`null` for non-finite values).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` keeps enough digits to round-trip and always includes
+        // a decimal point or exponent, which every JSON parser accepts.
+        format!("{v:?}")
+    } else {
+        "null".into()
+    }
+}
+
+/// A borrowed handle to a recorder — the type instrumentation sites work
+/// with. `Copy`, two words wide, and cheap to pass around.
+///
+/// All emission helpers check [`Recorder::enabled`] first, so with the
+/// [`NoopRecorder`] behind it every call reduces to a predictable branch.
+#[derive(Clone, Copy)]
+pub struct Obs<'a> {
+    rec: &'a dyn Recorder,
+}
+
+impl std::fmt::Debug for Obs<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.rec.enabled())
+            .finish()
+    }
+}
+
+impl<'a> Obs<'a> {
+    /// Wraps a recorder reference.
+    pub fn new(rec: &'a dyn Recorder) -> Self {
+        Self { rec }
+    }
+
+    /// A handle to the process-wide [`NoopRecorder`].
+    pub fn noop() -> Obs<'static> {
+        Obs { rec: &NOOP }
+    }
+
+    /// Whether emissions are kept (see [`Recorder::enabled`]).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.rec.enabled()
+    }
+
+    /// Adds `delta` to the named counter.
+    #[inline]
+    pub fn counter(&self, name: &str, delta: u64) {
+        if self.rec.enabled() {
+            self.rec.counter(name, delta);
+        }
+    }
+
+    /// Adds `delta` to a counter whose name is built lazily — the
+    /// `format_args!` is only rendered when the recorder is enabled.
+    #[inline]
+    pub fn counter_fmt(&self, name: std::fmt::Arguments<'_>, delta: u64) {
+        if self.rec.enabled() {
+            self.rec.counter(&name.to_string(), delta);
+        }
+    }
+
+    /// Sets the named gauge.
+    #[inline]
+    pub fn gauge(&self, name: &str, value: f64) {
+        if self.rec.enabled() {
+            self.rec.gauge(name, value);
+        }
+    }
+
+    /// Sets a gauge with a lazily formatted name.
+    #[inline]
+    pub fn gauge_fmt(&self, name: std::fmt::Arguments<'_>, value: f64) {
+        if self.rec.enabled() {
+            self.rec.gauge(&name.to_string(), value);
+        }
+    }
+
+    /// Appends an event to the log.
+    #[inline]
+    pub fn event(&self, name: &str, detail: &str) {
+        if self.rec.enabled() {
+            self.rec.event(name, detail);
+        }
+    }
+
+    /// Starts a timed span that records on drop. With a disabled
+    /// recorder, no clock is read and nothing is recorded.
+    #[inline]
+    pub fn span(&self, name: &str) -> Span<'a> {
+        if self.rec.enabled() {
+            Span {
+                active: Some(ActiveSpan {
+                    rec: self.rec,
+                    name: name.to_owned(),
+                    start: Instant::now(),
+                }),
+            }
+        } else {
+            Span { active: None }
+        }
+    }
+
+    /// Records an already-measured span duration.
+    #[inline]
+    pub fn span_ns(&self, name: &str, elapsed_ns: u64) {
+        if self.rec.enabled() {
+            self.rec.span_ns(name, elapsed_ns);
+        }
+    }
+
+    /// Records a span with a lazily formatted name.
+    #[inline]
+    pub fn span_ns_fmt(&self, name: std::fmt::Arguments<'_>, elapsed_ns: u64) {
+        if self.rec.enabled() {
+            self.rec.span_ns(&name.to_string(), elapsed_ns);
+        }
+    }
+}
+
+struct ActiveSpan<'a> {
+    rec: &'a dyn Recorder,
+    name: String,
+    start: Instant,
+}
+
+/// A guard for a timed span: records elapsed time to the recorder when
+/// dropped. Obtained from [`Obs::span`].
+pub struct Span<'a> {
+    active: Option<ActiveSpan<'a>>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(span) = self.active.take() {
+            let ns = span.start.elapsed().as_nanos();
+            span.rec
+                .span_ns(&span.name, u64::try_from(ns).unwrap_or(u64::MAX));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn noop_is_disabled_and_silent() {
+        let obs = Obs::noop();
+        assert!(!obs.enabled());
+        obs.counter("a.b", 1);
+        obs.gauge("a.g", 1.0);
+        obs.event("a.e", "x");
+        obs.counter_fmt(format_args!("a.{}", 3), 1);
+        drop(obs.span("a.s"));
+    }
+
+    #[test]
+    fn counters_sum_and_gauges_overwrite() {
+        let rec = InMemoryRecorder::new();
+        let obs = Obs::new(&rec);
+        obs.counter("assoc.apriori.pass1.candidates", 10);
+        obs.counter("assoc.apriori.pass1.candidates", 5);
+        obs.gauge("cluster.kmeans.iter.inertia", 10.0);
+        obs.gauge("cluster.kmeans.iter.inertia", 3.5);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("assoc.apriori.pass1.candidates"), Some(15));
+        assert_eq!(snap.gauge("cluster.kmeans.iter.inertia"), Some(3.5));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn spans_aggregate_count_and_total() {
+        let rec = InMemoryRecorder::new();
+        let obs = Obs::new(&rec);
+        obs.span_ns("knn.predict.batch", 100);
+        obs.span_ns("knn.predict.batch", 50);
+        {
+            let _s = obs.span("knn.predict.batch");
+        }
+        let snap = rec.snapshot();
+        let stat = snap.spans["knn.predict.batch"];
+        assert_eq!(stat.count, 3);
+        assert!(stat.total_ns >= 150);
+    }
+
+    #[test]
+    fn events_keep_order() {
+        let rec = InMemoryRecorder::new();
+        let obs = Obs::new(&rec);
+        obs.event("guard.trip", "work-unit budget exhausted");
+        obs.event("guard.trip", "cancelled");
+        let snap = rec.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[0].seq, 0);
+        assert_eq!(snap.events[0].detail, "work-unit budget exhausted");
+        assert_eq!(snap.events[1].seq, 1);
+    }
+
+    #[test]
+    fn prefix_query_returns_sorted_matches() {
+        let rec = InMemoryRecorder::new();
+        let obs = Obs::new(&rec);
+        obs.counter("assoc.apriori.pass2.candidates", 6);
+        obs.counter("assoc.apriori.pass1.candidates", 5);
+        obs.counter("assoc.ais.pass1.candidates", 5);
+        let snap = rec.snapshot();
+        let got = snap.counters_with_prefix("assoc.apriori.");
+        assert_eq!(
+            got,
+            vec![
+                ("assoc.apriori.pass1.candidates", 5),
+                ("assoc.apriori.pass2.candidates", 6)
+            ]
+        );
+    }
+
+    #[test]
+    fn json_snapshot_is_stable_and_escaped() {
+        let rec = InMemoryRecorder::new();
+        let obs = Obs::new(&rec);
+        obs.counter("b", 2);
+        obs.counter("a", 1);
+        obs.gauge("g.nan", f64::NAN);
+        obs.gauge("g.v", 1.5);
+        obs.span_ns("s", 42);
+        obs.event("e", "line1\n\"quoted\"");
+        let json = rec.snapshot().to_json();
+        // Keys sorted: "a" before "b".
+        assert!(json.find("\"a\": 1").unwrap() < json.find("\"b\": 2").unwrap());
+        assert!(json.contains("\"g.nan\": null"));
+        assert!(json.contains("\"g.v\": 1.5"));
+        assert!(json.contains("{\"count\": 1, \"total_ns\": 42}"));
+        assert!(json.contains("\\n\\\"quoted\\\""));
+        // Same content -> same serialization.
+        assert_eq!(json, rec.snapshot().to_json());
+    }
+
+    #[test]
+    fn empty_snapshot_serializes_cleanly() {
+        let snap = InMemoryRecorder::new().snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"events\": []"));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rec = Arc::clone(&rec);
+                s.spawn(move || {
+                    let obs = Obs::new(rec.as_ref());
+                    for _ in 0..1000 {
+                        obs.counter("par.shard0.items", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.snapshot().counter("par.shard0.items"), Some(4000));
+    }
+}

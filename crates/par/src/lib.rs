@@ -99,6 +99,11 @@ pub enum Chunking {
     PerThread,
 }
 
+/// Nanoseconds since `t0`, saturating at `u64::MAX`.
+fn elapsed_ns(t0: std::time::Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
 /// The chunk boundaries for `len` items: `(chunk_size, n_chunks)`.
 fn layout(len: usize, chunking: Chunking, threads: usize) -> (usize, usize) {
     let chunk = match chunking {
@@ -250,11 +255,21 @@ where
     }
     let threads = par.effective_threads();
     let (chunk, n_chunks) = layout(len, chunking, threads);
+    // Per-shard telemetry (`par.shard<w>.{busy_ns,items}`) is collected
+    // only when the guard carries a recorder, so the ungoverned/noop
+    // path never reads the clock.
+    let obs = guard.obs();
+    let recorded = obs.enabled();
     if threads == 1 || n_chunks == 1 {
+        let t0 = recorded.then(std::time::Instant::now);
         let mut acc = identity();
         for c in items.chunks(chunk) {
             guard.check()?;
             acc = merge(acc, map(c));
+        }
+        if let Some(t0) = t0 {
+            obs.counter("par.shard0.items", len as u64);
+            obs.counter("par.shard0.busy_ns", elapsed_ns(t0));
         }
         return Ok(acc);
     }
@@ -264,14 +279,21 @@ where
         for (w, block) in slots.chunks_mut(per_worker).enumerate() {
             let map = &map;
             s.spawn(move || {
+                let t0 = recorded.then(std::time::Instant::now);
+                let mut items_done = 0u64;
                 for (j, slot) in block.iter_mut().enumerate() {
                     if guard.should_stop() {
-                        return;
+                        break;
                     }
                     let ci = w * per_worker + j;
                     let lo = ci * chunk;
                     let hi = (lo + chunk).min(len);
+                    items_done += (hi - lo) as u64;
                     *slot = Some(map(&items[lo..hi]));
+                }
+                if let Some(t0) = t0 {
+                    obs.counter_fmt(format_args!("par.shard{w}.items"), items_done);
+                    obs.counter_fmt(format_args!("par.shard{w}.busy_ns"), elapsed_ns(t0));
                 }
             });
         }
@@ -306,12 +328,19 @@ where
     }
     let threads = par.effective_threads();
     let (chunk, n_chunks) = layout(len, chunking, threads);
+    let obs = guard.obs();
+    let recorded = obs.enabled();
     if threads == 1 || n_chunks == 1 {
+        let t0 = recorded.then(std::time::Instant::now);
         let mut acc = identity();
         for ci in 0..n_chunks {
             guard.check()?;
             let lo = ci * chunk;
             acc = merge(acc, map(lo..(lo + chunk).min(len)));
+        }
+        if let Some(t0) = t0 {
+            obs.counter("par.shard0.items", len as u64);
+            obs.counter("par.shard0.busy_ns", elapsed_ns(t0));
         }
         return Ok(acc);
     }
@@ -321,13 +350,21 @@ where
         for (w, block) in slots.chunks_mut(per_worker).enumerate() {
             let map = &map;
             s.spawn(move || {
+                let t0 = recorded.then(std::time::Instant::now);
+                let mut items_done = 0u64;
                 for (j, slot) in block.iter_mut().enumerate() {
                     if guard.should_stop() {
-                        return;
+                        break;
                     }
                     let ci = w * per_worker + j;
                     let lo = ci * chunk;
-                    *slot = Some(map(lo..(lo + chunk).min(len)));
+                    let hi = (lo + chunk).min(len);
+                    items_done += (hi - lo) as u64;
+                    *slot = Some(map(lo..hi));
+                }
+                if let Some(t0) = t0 {
+                    obs.counter_fmt(format_args!("par.shard{w}.items"), items_done);
+                    obs.counter_fmt(format_args!("par.shard{w}.busy_ns"), elapsed_ns(t0));
                 }
             });
         }

@@ -263,6 +263,20 @@ impl AprioriAll {
             })
             .collect();
 
+        let obs = guard.obs();
+        if obs.enabled() {
+            obs.counter("seq.apriori_all.litemsets", n_litemsets as u64);
+            for (i, &n) in frequent_per_length.iter().enumerate() {
+                obs.counter_fmt(
+                    format_args!("seq.apriori_all.len{}.frequent", i + 1),
+                    n as u64,
+                );
+            }
+            obs.span_ns(
+                "seq.apriori_all.mine",
+                t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            );
+        }
         Ok(guard.outcome(SeqMiningResult {
             patterns,
             n_litemsets,

@@ -365,6 +365,12 @@ impl DecisionTreeLearner {
         if guard.try_work(1).is_err() {
             return make_leaf(nodes);
         }
+        let obs = guard.obs();
+        if obs.enabled() {
+            // One split evaluation per attribute column scanned below.
+            obs.counter("tree.grow.nodes_expanded", 1);
+            obs.counter("tree.grow.split_evals", data.n_cols() as u64);
+        }
         let Some(best) = best_split_par(
             data,
             codes,
