@@ -56,10 +56,12 @@ impl ItemsetMiner for Ais {
         let mut stats = MiningStats::default();
         let mut levels: Vec<Vec<(Itemset, usize)>> = Vec::new();
 
+        let obs = guard.obs();
         // A trip anywhere inside a pass discards that pass (see the
         // trait docs); only fully counted passes reach `levels`.
         'mine: {
             // Pass 1: dense item counting (identical to Apriori's pass 1).
+            let pass1_span = obs.span("assoc.ais.pass1");
             let t0 = Instant::now();
             if guard.try_work(u64::from(db.n_items())).is_err() {
                 break 'mine;
@@ -79,6 +81,7 @@ impl ItemsetMiner for Ais {
                 .filter(|&(_, &c)| c >= min_count)
                 .map(|(item, &c)| (vec![item as u32], c))
                 .collect();
+            drop(pass1_span);
             stats.push(1, db.n_items() as usize, l1.len(), t0.elapsed());
             levels.push(l1);
 
@@ -92,6 +95,7 @@ impl ItemsetMiner for Ais {
                     break;
                 }
                 let t0 = Instant::now();
+                let pass_span = obs.span_fmt(format_args!("assoc.ais.pass{}", k + 1));
                 // Extend every frequent (k-1)-itemset found in each
                 // transaction with each later transaction item. AIS only
                 // discovers its candidates *during* the scan, so work is
@@ -140,6 +144,7 @@ impl ItemsetMiner for Ais {
                     .filter(|&(_, c)| c >= min_count)
                     .collect();
                 lk.sort();
+                drop(pass_span);
                 stats.push(k + 1, n_candidates, lk.len(), t0.elapsed());
                 let done = lk.is_empty();
                 levels.push(lk);

@@ -8,6 +8,7 @@ use crate::{ItemsetMiner, MinSupport, MiningResult};
 use dm_dataset::transactions::is_subset_sorted;
 use dm_dataset::{DataError, TransactionDb};
 use dm_guard::{Guard, Outcome, TruncationReason};
+use dm_obs::HeapSize;
 use dm_par::{par_chunks_map_reduce_governed, Chunking, Parallelism};
 use std::time::Instant;
 
@@ -228,6 +229,18 @@ impl Apriori {
                 // `CountState`s against the now-immutable tree and merge
                 // by summation.
                 let tree = HashTree::build(candidates, k, fanout, leaf_capacity);
+                let obs = guard.obs();
+                if obs.enabled() {
+                    // The paper's memory claim for Apriori: the hash
+                    // tree is the pass's big intermediate, and it stays
+                    // small relative to the database in late passes.
+                    let bytes = tree.heap_bytes() as f64;
+                    obs.gauge_max_fmt(
+                        format_args!("assoc.apriori.pass{k}.hashtree_mem_bytes"),
+                        bytes,
+                    );
+                    obs.gauge_max("assoc.hashtree_mem_bytes", bytes);
+                }
                 let state = par_chunks_map_reduce_governed(
                     self.parallelism,
                     Chunking::PerThread,
@@ -249,7 +262,7 @@ impl Apriori {
                         a
                     },
                 )?;
-                guard.obs().counter_fmt(
+                obs.counter_fmt(
                     format_args!("assoc.apriori.pass{k}.hashtree_visits"),
                     state.node_visits(),
                 );
@@ -309,6 +322,12 @@ impl ItemsetMiner for Apriori {
         let min_count = self.min_support.resolve(db)?;
         let mut stats = MiningStats::default();
         let mut levels: Vec<Vec<(Itemset, usize)>> = Vec::new();
+        let obs = guard.obs();
+        if obs.enabled() {
+            // Reference point for every *_mem_bytes comparison: the raw
+            // transaction buffers (the paper's "size of the database").
+            obs.gauge_max("assoc.db_mem_bytes", db.transactions().heap_bytes() as f64);
+        }
 
         // Each pass is all-or-nothing under the guard: work units
         // (candidates) are admitted before counting starts, and a trip
@@ -321,7 +340,11 @@ impl ItemsetMiner for Apriori {
             if guard.try_work(u64::from(db.n_items())).is_err() {
                 break 'mine;
             }
-            let Ok(l1) = Self::frequent_items(self.parallelism, db, min_count, guard) else {
+            let l1 = {
+                let _pass = obs.span("assoc.apriori.pass1");
+                Self::frequent_items(self.parallelism, db, min_count, guard)
+            };
+            let Ok(l1) = l1 else {
                 break 'mine;
             };
             stats.push(1, db.n_items() as usize, l1.len(), t0.elapsed());
@@ -336,6 +359,7 @@ impl ItemsetMiner for Apriori {
                     break;
                 }
                 let t0 = Instant::now();
+                let pass_span = obs.span_fmt(format_args!("assoc.apriori.pass{}", k + 1));
                 let pass: Result<(Vec<(Itemset, usize)>, usize), TruncationReason> = if k == 1
                     && self.pair_array
                 {
@@ -363,6 +387,7 @@ impl ItemsetMiner for Apriori {
                         })
                         .map(|frequent| (frequent, n))
                 };
+                drop(pass_span);
                 let Ok((frequent, n_candidates)) = pass else {
                     break 'mine;
                 };

@@ -16,6 +16,7 @@ use crate::stats::MiningStats;
 use crate::{ItemsetMiner, MinSupport, MiningResult};
 use dm_dataset::{DataError, TransactionDb};
 use dm_guard::{Guard, Outcome};
+use dm_obs::HeapSize;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -55,11 +56,18 @@ impl ItemsetMiner for AprioriTid {
         let min_count = self.min_support.resolve(db)?;
         let mut stats = MiningStats::default();
         let mut levels: Vec<Vec<(Itemset, usize)>> = Vec::new();
+        let obs = guard.obs();
+        if obs.enabled() {
+            // The VLDB'94 comparison point: C̄_k is "large" or "small"
+            // relative to the raw transaction buffers.
+            obs.gauge_max("assoc.db_mem_bytes", db.transactions().heap_bytes() as f64);
+        }
 
         // A trip anywhere inside a pass discards that pass; `levels`
         // only ever holds fully joined passes (see the trait docs).
         'mine: {
             // ---- Pass 1: dense item counting + initial C̄_1. ----
+            let pass1_span = obs.span("assoc.apriori_tid.pass1");
             let t0 = Instant::now();
             if guard.try_work(u64::from(db.n_items())).is_err() {
                 break 'mine;
@@ -95,6 +103,12 @@ impl ItemsetMiner for AprioriTid {
                 })
                 .filter(|ids: &Vec<u32>| !ids.is_empty())
                 .collect();
+            if obs.enabled() {
+                let ck = tidlists.heap_bytes() as f64;
+                obs.gauge_max("assoc.apriori_tid.pass1.ck_mem_bytes", ck);
+                obs.gauge_max("assoc.ck_mem_bytes", ck);
+            }
+            drop(pass1_span);
             stats.push(1, db.n_items() as usize, l1.len(), t0.elapsed());
             levels.push(l1);
 
@@ -112,6 +126,7 @@ impl ItemsetMiner for AprioriTid {
                     break;
                 }
                 let t0 = Instant::now();
+                let pass_span = obs.span_fmt(format_args!("assoc.apriori_tid.pass{}", k + 1));
                 let prev_sets: Vec<Itemset> = prev.iter().map(|(i, _)| i.clone()).collect();
                 let candidates = if k == 1 {
                     gen_pairs(&prev_sets.iter().map(|i| i[0]).collect::<Vec<_>>())
@@ -176,6 +191,18 @@ impl ItemsetMiner for AprioriTid {
                     }
                 }
 
+                if obs.enabled() {
+                    // Measure C̄_{k+1} at its peak: after the join, before
+                    // infrequent candidates are filtered out — this is the
+                    // structure the paper's pass-2 memory blow-up is about.
+                    let ck = next_tidlists.heap_bytes() as f64;
+                    obs.gauge_max_fmt(
+                        format_args!("assoc.apriori_tid.pass{}.ck_mem_bytes", k + 1),
+                        ck,
+                    );
+                    obs.gauge_max("assoc.ck_mem_bytes", ck);
+                }
+
                 // Filter to the frequent candidates and remap ids densely.
                 let mut keep: Vec<u32> = Vec::new();
                 let mut new_id = vec![u32::MAX; candidates.len()];
@@ -201,6 +228,7 @@ impl ItemsetMiner for AprioriTid {
                 next_tidlists.retain(|ids| !ids.is_empty());
                 tidlists = next_tidlists;
 
+                drop(pass_span);
                 stats.push(k + 1, n_candidates, lk.len(), t0.elapsed());
                 let done = lk.is_empty();
                 levels.push(lk);

@@ -58,6 +58,8 @@ impl ItemsetMiner for BruteForce {
             )));
         }
         let t0 = Instant::now();
+        // Brute force is a single enumeration "pass" over all sizes.
+        let pass_span = guard.obs().span("assoc.brute.pass1");
         let max_len = self.max_len.unwrap_or(n as usize).min(n as usize);
         let mut levels: Vec<Vec<(Itemset, usize)>> = Vec::new();
         let mut candidates_total = 0usize;
@@ -98,6 +100,7 @@ impl ItemsetMiner for BruteForce {
                 break;
             }
         }
+        drop(pass_span);
         let itemsets = FrequentItemsets::from_levels(levels, db.len());
         let mut stats = MiningStats::default();
         stats.push(1, candidates_total, itemsets.len(), t0.elapsed());

@@ -10,6 +10,7 @@
 
 use crate::itemsets::Itemset;
 use dm_dataset::transactions::is_subset_sorted;
+use dm_obs::HeapSize;
 
 #[derive(Debug, Clone)]
 enum Node {
@@ -282,6 +283,27 @@ impl HashTree {
     }
 }
 
+impl HeapSize for Node {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Node::Interior(children) => children.heap_bytes(),
+            Node::Leaf { candidates } => candidates.heap_bytes(),
+        }
+    }
+}
+
+impl HeapSize for CountState {
+    fn heap_bytes(&self) -> usize {
+        self.counts.heap_bytes() + self.visited.heap_bytes()
+    }
+}
+
+impl HeapSize for HashTree {
+    fn heap_bytes(&self) -> usize {
+        self.nodes.heap_bytes() + self.state.heap_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,6 +413,19 @@ mod tests {
         let before = a.node_visits();
         a.absorb(&b);
         assert_eq!(a.node_visits(), before + b.node_visits());
+    }
+
+    #[test]
+    fn heap_size_counts_nodes_and_candidates() {
+        let small = HashTree::build(vec![vec![1, 2]], 2, 4, 4);
+        let big = HashTree::build((0..64u32).map(|i| vec![i, i + 64]).collect(), 2, 4, 4);
+        assert!(small.heap_bytes() > 0);
+        assert!(
+            big.heap_bytes() > small.heap_bytes() + 64 * 2 * 4,
+            "64 two-item candidates dominate: {} vs {}",
+            big.heap_bytes(),
+            small.heap_bytes()
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::{Apriori, ItemsetMiner, MinSupport, MiningResult};
 use dm_dataset::transactions::is_subset_sorted;
 use dm_dataset::{DataError, TransactionDb};
 use dm_guard::{Guard, Outcome, TruncationReason};
+use dm_obs::HeapSize;
 use dm_par::{par_chunks_map_reduce_governed, Chunking, Parallelism};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -87,6 +88,7 @@ impl ItemsetMiner for AprioriHybrid {
 
         let mut switched_at: Option<usize> = None;
 
+        let obs = guard.obs();
         'mine: {
             // Passes 1 and 2 always run under Apriori's dense counters (a
             // C̄ over pairs would dwarf the database), delegated to the
@@ -94,6 +96,14 @@ impl ItemsetMiner for AprioriHybrid {
             // cancellation flow through.
             let full = apriori.clone().with_max_len(2).mine_governed(db, guard)?;
             for p in &full.result.stats.passes {
+                // The delegated passes ran under `assoc.apriori.pass<k>`
+                // live spans; mirror their durations into this miner's
+                // own histogram names (no tree node — the tree already
+                // shows them as apriori spans).
+                obs.span_ns_fmt(
+                    format_args!("assoc.apriori_hybrid.pass{}", p.pass),
+                    p.duration.as_nanos().min(u64::MAX as u128) as u64,
+                );
                 stats.passes.push(p.clone());
             }
             for k in 1..=full.result.itemsets.max_len() {
@@ -113,6 +123,7 @@ impl ItemsetMiner for AprioriHybrid {
                     break;
                 }
                 let t0 = Instant::now();
+                let pass_span = obs.span_fmt(format_args!("assoc.apriori_hybrid.pass{}", k + 1));
                 let candidates = apriori_gen(&prev);
                 if candidates.is_empty() {
                     break;
@@ -122,9 +133,15 @@ impl ItemsetMiner for AprioriHybrid {
                     break 'mine;
                 }
 
-                // Estimate C̄_{k+1} volume: support mass of L_k.
+                // Estimate C̄_{k+1} volume: support mass of L_k. Recorded
+                // verbatim — the gauge holds the exact number the switch
+                // heuristic compares against `tid_budget`.
                 let support_mass: usize =
                     levels[k - 1].iter().map(|(_, c)| c).sum::<usize>() + db.len();
+                obs.gauge_max_fmt(
+                    format_args!("assoc.apriori_hybrid.pass{}.ck_est_entries", k + 1),
+                    support_mass as f64,
+                );
                 if tidlists.is_none() && support_mass <= self.tid_budget {
                     // Switch: materialize C̄_k (ids into L_k) with one scan.
                     switched_at = Some(k);
@@ -164,6 +181,17 @@ impl ItemsetMiner for AprioriHybrid {
                 let Ok(frequent) = counted else {
                     break 'mine;
                 };
+                if obs.enabled() {
+                    if let Some(lists) = &tidlists {
+                        let ck = lists.heap_bytes() as f64;
+                        obs.gauge_max_fmt(
+                            format_args!("assoc.apriori_hybrid.pass{}.ck_mem_bytes", k + 1),
+                            ck,
+                        );
+                        obs.gauge_max("assoc.ck_mem_bytes", ck);
+                    }
+                }
+                drop(pass_span);
                 stats.push(k + 1, n_candidates, frequent.len(), t0.elapsed());
                 let done = frequent.is_empty();
                 levels.push(frequent);
@@ -200,6 +228,15 @@ fn apriori_count(
     guard: &Guard,
 ) -> Result<Vec<(Itemset, usize)>, TruncationReason> {
     let tree = crate::hash_tree::HashTree::build(candidates.to_vec(), k, 8, 16);
+    let obs = guard.obs();
+    if obs.enabled() {
+        let bytes = tree.heap_bytes() as f64;
+        obs.gauge_max_fmt(
+            format_args!("assoc.apriori_hybrid.pass{k}.hashtree_mem_bytes"),
+            bytes,
+        );
+        obs.gauge_max("assoc.hashtree_mem_bytes", bytes);
+    }
     let state = par_chunks_map_reduce_governed(
         par,
         Chunking::PerThread,

@@ -61,8 +61,10 @@ impl ItemsetMiner for Setm {
         // mode (no candidate pruning at all), so governance matters most
         // here: a trip inside a pass discards it, keeping only fully
         // aggregated passes.
+        let obs = guard.obs();
         'mine: {
             // Pass 1: count items; bar_1 = frequent item occurrences.
+            let pass1_span = obs.span("assoc.setm.pass1");
             let t0 = Instant::now();
             if guard.try_work(u64::from(db.n_items())).is_err() {
                 break 'mine;
@@ -98,12 +100,14 @@ impl ItemsetMiner for Setm {
                     }
                 }
             }
+            drop(pass1_span);
             stats.push(1, db.n_items() as usize, l1.len(), t0.elapsed());
             levels.push(l1);
 
             let mut k = 1usize;
             while !levels[k - 1].is_empty() && self.max_len.is_none_or(|m| k < m) {
                 let t0 = Instant::now();
+                let pass_span = obs.span_fmt(format_args!("assoc.setm.pass{}", k + 1));
                 // Join + aggregate fused: extend each occurrence with
                 // every larger item of its transaction (relational
                 // semantics — no candidate pruning) while counting
@@ -158,6 +162,7 @@ impl ItemsetMiner for Setm {
                     .collect();
                 drop(extended);
                 bar = bar_next;
+                drop(pass_span);
                 stats.push(k + 1, n_candidates, lk.len(), t0.elapsed());
                 let done = lk.is_empty();
                 levels.push(lk);

@@ -55,9 +55,13 @@ impl MiningStats {
     }
 
     /// Emits this run's per-pass work into a recorder under the names
-    /// `assoc.<algo>.pass<k>.{candidates,frequent,pruned}` plus a
-    /// `assoc.<algo>.pass<k>` span per pass and an `assoc.<algo>.passes`
-    /// counter for the run (see the metric registry in `DESIGN.md`).
+    /// `assoc.<algo>.pass<k>.{candidates,frequent,pruned}` plus an
+    /// `assoc.<algo>.passes` counter for the run (see the metric
+    /// registry in `DESIGN.md`). Pass *timings* are not emitted here:
+    /// the miners open live `assoc.<algo>.pass<k>` spans around each
+    /// pass, which both populate the duration histograms and nest in
+    /// the span tree — re-emitting the stored durations would double
+    /// every pass in the histogram.
     ///
     /// `pruned` is the candidates that failed the support threshold —
     /// derived, but recorded explicitly so shape tests can assert on it
@@ -79,10 +83,6 @@ impl MiningStats {
             obs.counter_fmt(
                 format_args!("assoc.{algo}.pass{k}.pruned"),
                 p.candidates.saturating_sub(p.frequent) as u64,
-            );
-            obs.span_ns_fmt(
-                format_args!("assoc.{algo}.pass{k}"),
-                p.duration.as_nanos().min(u64::MAX as u128) as u64,
             );
         }
         obs.counter_fmt(

@@ -5,6 +5,10 @@
 //! experiments e1 e9                  # run a subset
 //! experiments --deadline-ms 5000 all # stop gracefully after ~5 s
 //! experiments --metrics out.json e1  # also dump recorded metric snapshots
+//! experiments --trace out.trace.json e1   # chrome://tracing timeline
+//! experiments --folded out.folded e1      # flame-graph folded stacks
+//! experiments --prom out.prom e1          # Prometheus text exposition
+//! experiments --progress e1          # narrate passes/memory to stderr
 //! experiments --list                 # show available ids
 //! ```
 //!
@@ -18,14 +22,24 @@
 //! experiment id, each value a metrics snapshot in the schema documented
 //! in `DESIGN.md` ("Metrics snapshot schema"). Experiments that were
 //! skipped by the deadline do not appear in the file.
+//!
+//! `--trace`, `--folded` and `--prom` share one recorder across the
+//! whole invocation so every experiment lands on a common timeline; each
+//! experiment runs under a top-level `experiment.<id>` span, so the
+//! trace nests experiment → pass → shard. When `--metrics` is also
+//! given, a [`TeeRecorder`] feeds both: the shared recorder keeps the
+//! span tree, the per-experiment recorder keeps its flat snapshot.
 
-use dm_core::prelude::{Budget, Guard, InMemoryRecorder};
+use dm_core::prelude::{
+    chrome_trace, folded_stacks, prometheus, Budget, Guard, InMemoryRecorder, NoopRecorder,
+    ProgressRecorder, Recorder, TeeRecorder,
+};
 use std::io::Write;
 use std::sync::Arc;
 use std::time::Instant;
 
-const USAGE: &str =
-    "usage: experiments [--list] [--deadline-ms N] [--metrics FILE] <all | e1..e13 a1 a2 ...>";
+const USAGE: &str = "usage: experiments [--list] [--deadline-ms N] [--metrics FILE] \
+     [--trace FILE] [--folded FILE] [--prom FILE] [--progress] <all | e1..e13 a1 a2 ...>";
 
 fn main() {
     std::process::exit(real_main());
@@ -56,13 +70,29 @@ fn real_main() -> i32 {
         return 0;
     }
 
-    // Flag parsing: --deadline-ms N and --metrics FILE (everything else
-    // is an experiment id).
+    // Flag parsing; everything that is not a flag is an experiment id.
     let mut deadline_ms: Option<u64> = None;
     let mut metrics_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut folded_path: Option<String> = None;
+    let mut prom_path: Option<String> = None;
+    let mut progress = false;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
+        let path_flag =
+            |name: &str, slot: &mut Option<String>, it: &mut dyn Iterator<Item = String>| -> bool {
+                match it.next() {
+                    Some(value) => {
+                        *slot = Some(value);
+                        true
+                    }
+                    None => {
+                        eprintln!("{name} needs a file path\n{USAGE}");
+                        false
+                    }
+                }
+            };
         if arg == "--deadline-ms" {
             let Some(value) = it.next() else {
                 eprintln!("--deadline-ms needs a value\n{USAGE}");
@@ -78,11 +108,23 @@ fn real_main() -> i32 {
                 }
             }
         } else if arg == "--metrics" {
-            let Some(value) = it.next() else {
-                eprintln!("--metrics needs a file path\n{USAGE}");
+            if !path_flag("--metrics", &mut metrics_path, &mut it) {
                 return 2;
-            };
-            metrics_path = Some(value);
+            }
+        } else if arg == "--trace" {
+            if !path_flag("--trace", &mut trace_path, &mut it) {
+                return 2;
+            }
+        } else if arg == "--folded" {
+            if !path_flag("--folded", &mut folded_path, &mut it) {
+                return 2;
+            }
+        } else if arg == "--prom" {
+            if !path_flag("--prom", &mut prom_path, &mut it) {
+                return 2;
+            }
+        } else if arg == "--progress" {
+            progress = true;
         } else {
             ids.push(arg);
         }
@@ -97,6 +139,11 @@ fn real_main() -> i32 {
         return 2;
     }
 
+    // The tracing exports share one recorder so all experiments land on
+    // a single timeline with consistent thread lanes.
+    let want_export = trace_path.is_some() || folded_path.is_some() || prom_path.is_some();
+    let export_rec = want_export.then(|| Arc::new(InMemoryRecorder::new()));
+
     let t_start = Instant::now();
     let outer = experiment_guard(deadline_ms, t_start);
     let stdout = std::io::stdout();
@@ -110,13 +157,32 @@ fn real_main() -> i32 {
             break;
         }
         let t0 = Instant::now();
-        let recorder = metrics_path
+        let metrics_rec = metrics_path
             .as_ref()
             .map(|_| Arc::new(InMemoryRecorder::new()));
-        let result = match &recorder {
+        // Compose the recorder stack for this experiment: the export
+        // recorder is primary (it owns the span tree); a per-experiment
+        // metrics recorder rides along as the tee's secondary; progress
+        // narration wraps the outside.
+        let base: Option<Arc<dyn Recorder>> = match (&export_rec, &metrics_rec) {
+            (Some(e), Some(m)) => Some(Arc::new(TeeRecorder::new(e.clone(), m.clone()))),
+            (Some(e), None) => Some(e.clone()),
+            (None, Some(m)) => Some(m.clone()),
+            (None, None) => None,
+        };
+        let recorder: Option<Arc<dyn Recorder>> = if progress {
+            let inner = base.unwrap_or_else(|| Arc::new(NoopRecorder));
+            Some(Arc::new(ProgressRecorder::stderr(inner)))
+        } else {
+            base
+        };
+        let result = match recorder {
             Some(rec) => {
-                let inner = experiment_guard(deadline_ms, t_start).with_recorder(rec.clone());
-                dm_bench::run_governed(id, &inner)
+                let inner = experiment_guard(deadline_ms, t_start).with_recorder(rec);
+                let exp_span = inner.obs().span_fmt(format_args!("experiment.{id}"));
+                let result = dm_bench::run_governed(id, &inner);
+                drop(exp_span);
+                result
             }
             None => dm_bench::run_governed(id, &outer),
         };
@@ -128,7 +194,7 @@ fn real_main() -> i32 {
                     // Broken pipe (e.g. `| head`): stop quietly.
                     return 0;
                 }
-                if let Some(rec) = &recorder {
+                if let Some(rec) = &metrics_rec {
                     snapshots.push((id.to_string(), rec.snapshot().to_json()));
                 }
             }
@@ -161,6 +227,24 @@ fn real_main() -> i32 {
             "[metrics for {} experiment(s) written to {path}]",
             snapshots.len()
         );
+    }
+    if let Some(rec) = &export_rec {
+        let snap = rec.snapshot();
+        type Render = fn(&dm_core::prelude::Snapshot) -> String;
+        let exports: [(&Option<String>, Render, &str); 3] = [
+            (&trace_path, chrome_trace, "trace"),
+            (&folded_path, folded_stacks, "folded stacks"),
+            (&prom_path, prometheus, "prometheus"),
+        ];
+        for (path, render, kind) in exports {
+            if let Some(path) = path {
+                if let Err(e) = std::fs::write(path, render(&snap)) {
+                    eprintln!("failed to write {kind} file {path}: {e}");
+                    return 1;
+                }
+                eprintln!("[{kind} written to {path}]");
+            }
+        }
     }
     0
 }

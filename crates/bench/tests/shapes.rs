@@ -214,6 +214,52 @@ fn candidates_monotone_after_pass_two() {
     }
 }
 
+/// The VLDB'94 memory story, restated in gauges: AprioriTid's candidate
+/// tid-list relation C̄_k must outgrow the raw database in at least one
+/// pass on this T10.I4-style workload (the reason AprioriTid loses the
+/// early passes and the hybrid switches late), while Apriori's
+/// hash-tree high-water mark stays below the database (its pair pass
+/// uses the dense triangular array; trees are built only for the tiny
+/// late-pass candidate sets).
+#[test]
+fn apriori_tid_ck_outgrows_database_but_hashtree_does_not() {
+    let db = quest_small();
+    let (_, snap) = mine_with_metrics(&AprioriTid::new(MINSUP), &db);
+    let db_bytes = snap
+        .gauge("assoc.db_mem_bytes")
+        .expect("database footprint recorded");
+    assert!(db_bytes > 0.0);
+    let ck_peak = snap
+        .gauge("assoc.ck_mem_bytes")
+        .expect("tid-list footprint recorded");
+    assert!(
+        ck_peak > db_bytes,
+        "C-bar peak {ck_peak} should exceed the database's {db_bytes} bytes"
+    );
+    let crossover_passes: Vec<String> = snap
+        .gauges_with_prefix("assoc.apriori_tid.pass")
+        .into_iter()
+        .filter(|(name, v)| name.ends_with("ck_mem_bytes") && *v > db_bytes)
+        .map(|(name, _)| name.to_owned())
+        .collect();
+    assert!(
+        !crossover_passes.is_empty(),
+        "at least one pass's C-bar must exceed the database"
+    );
+
+    let (_, snap) = mine_with_metrics(&Apriori::new(MINSUP), &db);
+    let db_bytes = snap
+        .gauge("assoc.db_mem_bytes")
+        .expect("database footprint recorded");
+    let tree_peak = snap
+        .gauge("assoc.hashtree_mem_bytes")
+        .expect("hash-tree footprint recorded");
+    assert!(
+        tree_peak < db_bytes,
+        "Apriori's hash-tree peak {tree_peak} should stay below the database's {db_bytes} bytes"
+    );
+}
+
 /// The hash-tree visit counter (A1's ablation currency) must be live:
 /// recorded for Apriori whenever a pass at k >= 3 actually counted
 /// candidates through the tree.

@@ -15,6 +15,7 @@ use crate::{Clusterer, Clustering};
 use dm_dataset::matrix::euclidean_sq;
 use dm_dataset::{DataError, Matrix};
 use dm_guard::{Guard, Outcome};
+use dm_obs::HeapSize;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -118,6 +119,21 @@ enum CfNode {
     Interior {
         entries: Vec<(ClusteringFeature, Box<CfNode>)>,
     },
+}
+
+impl HeapSize for ClusteringFeature {
+    fn heap_bytes(&self) -> usize {
+        self.ls.heap_bytes()
+    }
+}
+
+impl HeapSize for CfNode {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            CfNode::Leaf { entries } => entries.heap_bytes(),
+            CfNode::Interior { entries } => entries.heap_bytes(),
+        }
+    }
 }
 
 impl CfNode {
@@ -516,6 +532,11 @@ impl Clusterer for Birch {
         guard
             .obs()
             .counter("cluster.birch.leaf_entries", entries.len() as u64);
+        // The condensed tree *is* BIRCH's memory footprint — the whole
+        // point of Phase 1 is that this number undercuts the raw data.
+        guard
+            .obs()
+            .gauge_max("cluster.birch.cf_tree_mem_bytes", tree.heap_bytes() as f64);
 
         // Phase 3: global clustering. If condensation was too aggressive
         // (or cut short) for k, fall back to clustering the raw points —

@@ -259,6 +259,10 @@ impl KMeans {
                 break;
             }
             iterations += 1;
+            // One span *name* across iterations: the histogram then holds
+            // the per-iteration duration distribution (p50/p99), while
+            // the tree keeps each iteration as its own node.
+            let _iter_span = obs.span("cluster.kmeans.iter");
             let old = &assignments;
             let centroids_ref = &centroids;
             let pass = par_range_map_reduce(

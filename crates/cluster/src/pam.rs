@@ -14,6 +14,7 @@ use crate::{Clusterer, Clustering, POLL_STRIDE};
 use dm_dataset::matrix::euclidean;
 use dm_dataset::{DataError, Matrix};
 use dm_guard::{Guard, Outcome};
+use dm_obs::HeapSize;
 
 /// k-medoids clusterer with the BUILD + SWAP procedure.
 #[derive(Debug, Clone)]
@@ -81,6 +82,11 @@ impl Pam {
             }
         }
         let d = |a: usize, b: usize| dist[a * n + b];
+        // The n² cache *is* PAM's memory story (and through CLARA's
+        // sub-samples, the reason CLARA exists) — record its footprint.
+        guard
+            .obs()
+            .gauge_max("cluster.pam.dist_cache_mem_bytes", dist.heap_bytes() as f64);
 
         // ---- BUILD: greedy medoid selection. ----
         let mut medoids: Vec<usize> = Vec::with_capacity(self.k);

@@ -94,7 +94,11 @@ pub mod prelude {
     };
     pub use dm_guard::{Budget, CancelToken, Guard, Outcome, RunStatus, TruncationReason};
     pub use dm_knn::{CondensedNn, Distance, Knn, Search, Weighting};
-    pub use dm_obs::{InMemoryRecorder, NoopRecorder, Obs, Recorder, Snapshot};
+    pub use dm_obs::{
+        export::{chrome_trace, folded_stacks, prometheus},
+        HeapSize, Histogram, InMemoryRecorder, NoopRecorder, Obs, ProgressRecorder, Recorder,
+        Snapshot, SpanId, StderrSink, TeeRecorder, SNAPSHOT_SCHEMA,
+    };
     pub use dm_par::Parallelism;
     pub use dm_seq::{
         AprioriAll, SequenceConfig, SequenceDb, SequenceGenerator, SequentialPattern,

@@ -231,6 +231,97 @@ fn parallel_kernels_emit_per_shard_telemetry() {
 }
 
 #[test]
+fn span_tree_nests_experiment_pass_and_shard() {
+    let db = small_quest();
+    let rec = Arc::new(InMemoryRecorder::new());
+    let guard = Guard::unlimited().with_recorder(rec.clone());
+    {
+        let _exp = guard.obs().span("experiment.test");
+        Apriori::new(MinSupport::Fraction(0.02))
+            .with_parallelism(Parallelism::Threads(2))
+            .mine_governed(&db, &guard)
+            .unwrap();
+    }
+    let snap = rec.snapshot();
+    let node = |name: &str| snap.tree.iter().find(|n| n.name == name);
+    let exp = node("experiment.test").expect("experiment span reaches the tree");
+    assert_eq!(exp.parent, 0, "experiment span is top-level");
+    assert!(exp.dur_ns.is_some(), "experiment span closed");
+    let pass1 = node("assoc.apriori.pass1").expect("pass span reaches the tree");
+    assert_eq!(pass1.parent, exp.id, "pass nests under the experiment");
+    // Worker shard spans carry the explicit parent handoff across
+    // thread boundaries: they must nest under a mining pass.
+    let shard = snap
+        .tree
+        .iter()
+        .find(|n| n.name.starts_with("par.shard"))
+        .expect("shard span reaches the tree");
+    let shard_parent = snap
+        .tree
+        .iter()
+        .find(|n| n.id == shard.parent)
+        .expect("shard span has an in-tree parent");
+    assert!(
+        shard_parent.name.contains(".pass"),
+        "shard should nest under a pass, got parent `{}`",
+        shard_parent.name
+    );
+    // Durations also land in histograms (exact count/sum aggregates)...
+    assert!(snap.histogram("assoc.apriori.pass1").is_some());
+    // ...and per-shard work-item sizes feed a value histogram.
+    let items = snap
+        .histogram("par.shard.items")
+        .expect("per-shard item-count histogram");
+    assert!(items.count > 0 && items.sum > 0);
+}
+
+#[test]
+fn memory_gauges_cover_the_paper_structures() {
+    let db = small_quest();
+    let snap = record(|g| {
+        AprioriTid::new(MinSupport::Fraction(0.02))
+            .mine_governed(&db, g)
+            .unwrap();
+    });
+    assert!(snap.gauge("assoc.db_mem_bytes").is_some_and(|v| v > 0.0));
+    assert!(snap.gauge("assoc.ck_mem_bytes").is_some_and(|v| v > 0.0));
+    let snap = record(|g| {
+        Apriori::new(MinSupport::Fraction(0.01))
+            .mine_governed(&db, g)
+            .unwrap();
+    });
+    assert!(
+        snap.gauge("assoc.hashtree_mem_bytes")
+            .is_some_and(|v| v > 0.0),
+        "hash-tree footprint missing (support low enough for pass 3?)"
+    );
+
+    let (data, _) = GaussianMixture::well_separated(3, 2, 60, 8.0)
+        .unwrap()
+        .generate(9);
+    let snap = record(|g| {
+        Pam::new(3).fit_governed(&data, g).unwrap();
+    });
+    assert!(
+        snap.gauge("cluster.pam.dist_cache_mem_bytes")
+            .is_some_and(|v| v > 0.0),
+        "PAM distance-cache footprint missing"
+    );
+    let snap = record(|g| {
+        Birch::new(3)
+            .with_threshold(1.0)
+            .with_seed(1)
+            .fit_governed(&data, g)
+            .unwrap();
+    });
+    assert!(
+        snap.gauge("cluster.birch.cf_tree_mem_bytes")
+            .is_some_and(|v| v > 0.0),
+        "BIRCH CF-tree footprint missing"
+    );
+}
+
+#[test]
 fn guard_trip_is_observable() {
     let rec = Arc::new(InMemoryRecorder::new());
     let guard = Guard::new(Budget::unlimited().with_max_work(3)).with_recorder(rec.clone());

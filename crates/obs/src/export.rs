@@ -1,0 +1,444 @@
+//! Exporters: render a [`Snapshot`] for standard tooling, with no
+//! dependencies beyond `std`.
+//!
+//! * [`chrome_trace`] — the chrome://tracing / Perfetto "trace event"
+//!   JSON format (duration `B`/`E` pairs), built from the span tree.
+//! * [`folded_stacks`] — Brendan Gregg's folded-stack text, one
+//!   `root;child;leaf self_ns` line per distinct stack, ready for
+//!   `flamegraph.pl` / inferno.
+//! * [`prometheus`] — the Prometheus text exposition format for
+//!   counters, gauges and histograms (cumulative `le` buckets).
+
+use crate::hist::bucket_max;
+use crate::{Snapshot, SpanNode};
+use std::collections::{BTreeMap, HashSet};
+use std::fmt::Write as _;
+
+/// Resolved view of one span for export: the node plus its effective
+/// (closed) parent and clamped interval.
+struct Closed<'a> {
+    node: &'a SpanNode,
+    start_ns: u64,
+    end_ns: u64,
+}
+
+/// Effective parent of `node`: nearest ancestor that is *closed*, so
+/// children of a leaked/open span re-attach instead of vanishing.
+/// Returns 0 for top-level. `closed` maps id → index into `tree`.
+fn effective_parent(tree: &[SpanNode], closed: &BTreeMap<u64, usize>, node: &SpanNode) -> u64 {
+    let mut p = node.parent;
+    let mut hops = 0;
+    while p != 0 && !closed.contains_key(&p) {
+        let Some(parent) = tree.get(p as usize - 1) else {
+            return 0;
+        };
+        p = parent.parent;
+        hops += 1;
+        if hops > tree.len() {
+            return 0; // defensive: a malformed cycle
+        }
+    }
+    p
+}
+
+/// Closed spans with intervals clamped into their effective parent's
+/// interval (chrome requires child B/E strictly inside the parent's),
+/// plus a parent→children index. Children are visited in
+/// `(start_ns, id)` order.
+fn resolve(snap: &Snapshot) -> (Vec<Closed<'_>>, BTreeMap<u64, Vec<usize>>) {
+    let closed_ids: BTreeMap<u64, usize> = snap
+        .tree
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.dur_ns.is_some())
+        .map(|(i, n)| (n.id, i))
+        .collect();
+    let mut spans: Vec<Closed<'_>> = Vec::with_capacity(closed_ids.len());
+    let mut index_of: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    // Tree is in open order, so parents precede children and their
+    // clamped intervals are available when the child is resolved.
+    for (i, node) in snap.tree.iter().enumerate() {
+        let Some(dur) = node.dur_ns else { continue };
+        let _ = i;
+        let parent = effective_parent(&snap.tree, &closed_ids, node);
+        let (mut start, mut end) = (node.start_ns, node.start_ns.saturating_add(dur));
+        if let Some(&pi) = index_of.get(&parent) {
+            let p = &spans[pi];
+            start = start.clamp(p.start_ns, p.end_ns);
+            end = end.clamp(start, p.end_ns);
+        }
+        let slot = spans.len();
+        spans.push(Closed {
+            node,
+            start_ns: start,
+            end_ns: end,
+        });
+        index_of.insert(node.id, slot);
+        children.entry(parent).or_default().push(slot);
+    }
+    for kids in children.values_mut() {
+        kids.sort_by_key(|&i| (spans[i].start_ns, spans[i].node.id));
+    }
+    (spans, children)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the span tree as chrome://tracing "trace event" JSON.
+///
+/// Every closed span becomes a `B`/`E` pair with `ts` in microseconds
+/// since the recorder's epoch. Pairs are emitted by recursing over the
+/// tree (begin, children, end) so nesting is well-formed by
+/// construction; child intervals are clamped into their parent's.
+/// Open (unclosed) spans are skipped, with their closed descendants
+/// re-parented to the nearest closed ancestor. Load the file directly
+/// in `chrome://tracing` or [ui.perfetto.dev](https://ui.perfetto.dev).
+pub fn chrome_trace(snap: &Snapshot) -> String {
+    let (spans, children) = resolve(snap);
+    let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+    let mut first = true;
+    // Depth-first over roots; an explicit stack of (slot, next-child)
+    // keeps B/E strictly balanced per thread lane.
+    let roots = children.get(&0).cloned().unwrap_or_default();
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    let emit = |out: &mut String, first: &mut bool, s: &Closed<'_>, ph: char, ts_ns: u64| {
+        let sep = if *first { "" } else { "," };
+        *first = false;
+        let _ = write!(
+            out,
+            "{sep}\n  {{\"name\": \"{}\", \"cat\": \"dm\", \"ph\": \"{ph}\", \"ts\": {:.3}, \"pid\": 1, \"tid\": {}}}",
+            json_escape(&s.node.name),
+            ts_ns as f64 / 1e3,
+            s.node.tid
+        );
+    };
+    for root in roots {
+        stack.push((root, 0));
+        emit(
+            &mut out,
+            &mut first,
+            &spans[root],
+            'B',
+            spans[root].start_ns,
+        );
+        while let Some(&mut (slot, ref mut next)) = stack.last_mut() {
+            let kids = children
+                .get(&spans[slot].node.id)
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            if *next < kids.len() {
+                let child = kids[*next];
+                *next += 1;
+                stack.push((child, 0));
+                emit(
+                    &mut out,
+                    &mut first,
+                    &spans[child],
+                    'B',
+                    spans[child].start_ns,
+                );
+            } else {
+                emit(&mut out, &mut first, &spans[slot], 'E', spans[slot].end_ns);
+                stack.pop();
+            }
+        }
+    }
+    if !first {
+        out.push('\n');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the span tree as folded-stack lines for flamegraph tools:
+/// one `root;child;leaf <self_ns>` line per distinct stack, aggregated,
+/// in lexicographic stack order. Self time is the span's duration minus
+/// its closed children's (clamped) durations.
+pub fn folded_stacks(snap: &Snapshot) -> String {
+    let (spans, children) = resolve(snap);
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    // (slot, path-so-far)
+    let mut stack: Vec<(usize, String)> = children
+        .get(&0)
+        .map(Vec::as_slice)
+        .unwrap_or(&[])
+        .iter()
+        .map(|&slot| (slot, spans[slot].node.name.clone()))
+        .collect();
+    while let Some((slot, path)) = stack.pop() {
+        let s = &spans[slot];
+        let total = s.end_ns - s.start_ns;
+        let mut child_ns = 0u64;
+        for &c in children.get(&s.node.id).map(Vec::as_slice).unwrap_or(&[]) {
+            child_ns = child_ns.saturating_add(spans[c].end_ns - spans[c].start_ns);
+            stack.push((c, format!("{path};{}", spans[c].node.name)));
+        }
+        let self_ns = total.saturating_sub(child_ns);
+        if self_ns > 0 {
+            *folded.entry(path).or_insert(0) += self_ns;
+        }
+    }
+    let mut out = String::new();
+    for (path, ns) in folded {
+        let _ = writeln!(out, "{path} {ns}");
+    }
+    out
+}
+
+/// Sanitizes a metric name for Prometheus: `[a-zA-Z0-9_]` kept,
+/// everything else becomes `_`, and a leading digit gets a `_` prefix.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+/// Renders counters, gauges and histograms in the Prometheus text
+/// exposition format (version 0.0.4).
+///
+/// Histograms use cumulative `le` buckets with bounds `2^i - 1` — the
+/// inclusive upper edge of each power-of-two bucket, so integer
+/// semantics are exact — plus `+Inf`, `_sum` and `_count` series.
+/// Distinct dotted names that sanitize to the same Prometheus name are
+/// emitted once (first in sorted order wins).
+pub fn prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    for (name, &v) in &snap.counters {
+        let n = prom_name(name);
+        if !seen.insert(n.clone()) {
+            continue;
+        }
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, &v) in &snap.gauges {
+        let n = prom_name(name);
+        if !seen.insert(n.clone()) {
+            continue;
+        }
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {}", prom_f64(v));
+    }
+    for (name, h) in &snap.histograms {
+        let n = prom_name(name);
+        if !seen.insert(n.clone()) {
+            continue;
+        }
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cum = 0u64;
+        for (bucket, count) in h.nonzero_buckets() {
+            cum += count;
+            let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", bucket_max(bucket));
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InMemoryRecorder, Obs, Recorder, SpanId};
+
+    fn sample() -> Snapshot {
+        let rec = InMemoryRecorder::new();
+        let obs = Obs::new(&rec);
+        {
+            let _e = obs.span("experiment.e1");
+            {
+                let _p = obs.span("assoc.apriori.pass1");
+                let _s = obs.span("par.shard0");
+            }
+            let _p2 = obs.span("assoc.apriori.pass2");
+        }
+        obs.counter("assoc.apriori.passes", 2);
+        obs.gauge("assoc.db_mem_bytes", 1024.0);
+        obs.value("par.shard.items", 100);
+        obs.value("par.shard.items", 900);
+        rec.snapshot()
+    }
+
+    #[test]
+    fn chrome_trace_has_balanced_nested_pairs() {
+        let json = chrome_trace(&sample());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        let b = json.matches("\"ph\": \"B\"").count();
+        let e = json.matches("\"ph\": \"E\"").count();
+        assert_eq!(b, 4);
+        assert_eq!(b, e);
+        // Recursion order: experiment B, pass1 B, shard B/E, pass1 E,
+        // pass2 B/E, experiment E.
+        let pos = |pat: &str| json.find(pat).unwrap();
+        assert!(pos("experiment.e1") < pos("assoc.apriori.pass1"));
+        assert!(pos("assoc.apriori.pass1") < pos("par.shard0"));
+    }
+
+    #[test]
+    fn chrome_trace_skips_open_spans_and_reparents() {
+        let rec = InMemoryRecorder::new();
+        // Open a parent, close only the child: the child must survive
+        // as a top-level pair.
+        let parent = rec.span_begin("leaked", SpanId::ROOT);
+        let child = rec.span_begin("kept", parent);
+        rec.span_end(child, "kept", 500);
+        let json = chrome_trace(&rec.snapshot());
+        assert!(!json.contains("leaked"));
+        assert_eq!(json.matches("kept").count(), 2, "B and E for the child");
+    }
+
+    /// The trace-event contract, checked structurally: every `E` event
+    /// closes the most recent unclosed `B` *of the same name on the
+    /// same tid* — including when worker spans land on their own thread
+    /// lanes via the explicit parent handoff.
+    #[test]
+    fn chrome_trace_every_end_matches_an_earlier_begin() {
+        let rec = std::sync::Arc::new(InMemoryRecorder::new());
+        let parent = rec.span_begin("experiment.e1", SpanId::ROOT);
+        let pass = rec.span_begin("assoc.apriori.pass2", parent);
+        let workers: Vec<_> = (0..2)
+            .map(|w| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    let name = format!("par.shard{w}");
+                    let id = rec.span_begin(&name, pass);
+                    rec.span_end(id, &name, 1_000 + w);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        rec.span_end(pass, "assoc.apriori.pass2", 5_000);
+        rec.span_end(parent, "experiment.e1", 9_000);
+
+        let json = chrome_trace(&rec.snapshot());
+        let mut stacks: std::collections::HashMap<String, Vec<String>> =
+            std::collections::HashMap::new();
+        let field = |line: &str, key: &str| -> String {
+            let (_, rest) = line.split_once(&format!("\"{key}\": ")).unwrap();
+            rest.trim_start_matches('"')
+                .split(['"', ',', '}'])
+                .next()
+                .unwrap()
+                .to_owned()
+        };
+        let mut events = 0;
+        for line in json.lines().filter(|l| l.contains("\"ph\"")) {
+            events += 1;
+            let (name, ph, tid) = (field(line, "name"), field(line, "ph"), field(line, "tid"));
+            match ph.as_str() {
+                "B" => stacks.entry(tid).or_default().push(name),
+                "E" => {
+                    let top = stacks.get_mut(&tid).and_then(Vec::pop);
+                    assert_eq!(top.as_deref(), Some(name.as_str()), "E without matching B");
+                }
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+        assert_eq!(events, 8, "4 spans, one B/E pair each");
+        assert!(
+            stacks.values().all(Vec::is_empty),
+            "unclosed B events remain: {stacks:?}"
+        );
+    }
+
+    #[test]
+    fn folded_stacks_aggregate_self_time() {
+        let out = folded_stacks(&sample());
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines.iter().all(|l| l.rsplit_once(' ').is_some()));
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.starts_with("experiment.e1;assoc.apriori.pass1;par.shard0 ")),
+            "full stack path present: {out}"
+        );
+        // Values parse as integers.
+        for l in &lines {
+            let (_, v) = l.rsplit_once(' ').unwrap();
+            v.parse::<u64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn prometheus_emits_all_series_types() {
+        let out = prometheus(&sample());
+        assert!(out.contains("# TYPE assoc_apriori_passes counter\nassoc_apriori_passes 2\n"));
+        assert!(out.contains("# TYPE assoc_db_mem_bytes gauge\nassoc_db_mem_bytes 1024.0\n"));
+        assert!(out.contains("# TYPE par_shard_items histogram"));
+        // 100 lands in bucket 7 (le 127), 900 in bucket 10 (le 1023).
+        assert!(out.contains("par_shard_items_bucket{le=\"127\"} 1\n"));
+        assert!(out.contains("par_shard_items_bucket{le=\"1023\"} 2\n"));
+        assert!(out.contains("par_shard_items_bucket{le=\"+Inf\"} 2\n"));
+        assert!(out.contains("par_shard_items_sum 1000\n"));
+        assert!(out.contains("par_shard_items_count 2\n"));
+    }
+
+    #[test]
+    fn prometheus_lint_every_line_well_formed() {
+        for line in prometheus(&sample()).lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().unwrap();
+                assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+                assert!(matches!(
+                    parts.next(),
+                    Some("counter" | "gauge" | "histogram")
+                ));
+            } else {
+                let (series, value) = line.rsplit_once(' ').unwrap();
+                assert!(
+                    value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+                    "bad value in {line}"
+                );
+                let name = series.split('{').next().unwrap();
+                assert!(
+                    name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                    "bad series name in {line}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Log-bucketed histograms: the aggregation behind every span-duration
+//! and value distribution in the recorder.
+//!
+//! Buckets are powers of two — bucket `0` holds the value `0`, bucket
+//! `i >= 1` holds values in `[2^(i-1), 2^i)` — so recording is two
+//! instructions (`leading_zeros` + increment), merging is elementwise
+//! addition (exactly associative and commutative), and the exact
+//! `count`/`sum` ride alongside so nothing the old `(count, total_ns)`
+//! aggregate offered is lost. Quantiles are recovered from the bucket
+//! counts to within one power of two, which is what the p50/p99 span
+//! tables need.
+
+use std::fmt;
+
+/// Number of buckets: one for zero plus one per power of two of `u64`.
+pub const N_BUCKETS: usize = 65;
+
+/// A mergeable power-of-two histogram with exact count and sum.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact sum of recorded values (saturating).
+    pub sum: u64,
+    /// `buckets[0]` counts zeros; `buckets[i]` counts values in
+    /// `[2^(i-1), 2^i)`.
+    pub buckets: [u64; N_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            buckets: [0; N_BUCKETS],
+        }
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+/// The bucket index a value lands in.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// The largest value bucket `i` can hold (its inclusive upper bound).
+#[inline]
+pub fn bucket_max(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// The smallest value bucket `i` can hold.
+#[inline]
+pub fn bucket_min(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Merges another histogram in (elementwise; exactly associative).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The mean of the recorded values (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) as the inclusive upper bound
+    /// of the bucket holding the rank-⌈q·count⌉ value — an upper
+    /// estimate within a factor of two of the true order statistic.
+    /// `None` when empty; `q` outside `[0, 1]` is clamped.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target order statistic, 1-based; q=0 maps to the
+        // minimum (rank 1).
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_max(i));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)` pairs in index order
+    /// (the sparse form the snapshot serializes).
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        for i in 1..64usize {
+            let lo = 1u64 << (i - 1);
+            assert_eq!(bucket_index(lo), i, "2^{} lower edge", i - 1);
+            assert_eq!(bucket_index(lo + lo / 2), i, "mid-bucket");
+            let hi = bucket_max(i);
+            assert_eq!(bucket_index(hi), i, "upper edge");
+            if i < 64 {
+                assert_eq!(bucket_index(hi + 1), i + 1, "next bucket");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn count_and_sum_are_exact() {
+        let mut h = Histogram::new();
+        let values = [0u64, 1, 2, 3, 1000, 65_535, 65_536, u64::MAX / 2];
+        for &v in &values {
+            h.record(v);
+        }
+        assert_eq!(h.count, values.len() as u64);
+        assert_eq!(h.sum, values.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        // True median 500; bucket upper bound within [500, 1023].
+        assert!((500..=1023).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((990..=1023).contains(&p99), "p99 {p99}");
+        assert_eq!(h.quantile(0.0), Some(bucket_max(bucket_index(1))));
+        assert_eq!(h.quantile(1.0), Some(bucket_max(bucket_index(1000))));
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in 0..100u64 {
+            a.record(v * 17);
+            all.record(v * 17);
+        }
+        for v in 0..37u64 {
+            b.record(v * v);
+            all.record(v * v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+}

@@ -4,10 +4,11 @@
 //! (re-exported by the facade as `dm_core::obs`).
 //!
 //! The canonical evaluations this repo reconstructs — Apriori's per-pass
-//! candidate tables, k-means inertia curves, shard-imbalance ratios —
-//! are defined in terms of *internal counters*, not wall-clock time.
-//! This crate is the substrate that surfaces them: a dependency-free
-//! [`Recorder`] trait with
+//! candidate tables, the AprioriTid `C̄_k`-vs-database memory crossover,
+//! k-means inertia curves, shard-imbalance ratios — are defined in terms
+//! of *internal counters and sizes*, not wall-clock time. This crate is
+//! the substrate that surfaces them: a dependency-free [`Recorder`]
+//! trait with
 //!
 //! * [`NoopRecorder`] — the default on every ungoverned path; every
 //!   method is an empty body and [`Recorder::enabled`] returns `false`,
@@ -15,8 +16,39 @@
 //!   (measured ≤2% overhead on the assoc/cluster benches, see
 //!   `BENCH_obs.json`);
 //! * [`InMemoryRecorder`] — thread-safe aggregation into counters,
-//!   gauges, span timings and an ordered event log, snapshot as a
-//!   stable, sorted JSON document ([`Snapshot::to_json`]).
+//!   gauges, log-bucketed duration/value [`Histogram`]s, a hierarchical
+//!   span *tree*, and an ordered event log, snapshot as a stable,
+//!   sorted JSON document ([`Snapshot::to_json`], schema version
+//!   [`SNAPSHOT_SCHEMA`]).
+//!
+//! ## Hierarchical spans
+//!
+//! [`Obs::span`] returns an RAII guard; guards nest through a
+//! thread-local parent stack, so `experiment → pass → shard` trees fall
+//! out of ordinary lexical scoping. Crossing a thread boundary (the
+//! `dm_par` workers) is explicit: capture [`Obs::current_span`] on the
+//! spawning thread and open the child with [`Obs::span_child`]. The
+//! flat per-name aggregates (`Snapshot::spans`) are retained alongside
+//! the tree, now derived from full histograms so p50/p99 are
+//! recoverable. With a disabled recorder no clock is read, no name is
+//! formatted and the thread-local stack is never touched.
+//!
+//! ## Memory accounting
+//!
+//! The [`HeapSize`] trait estimates the heap bytes of the big
+//! intermediate structures (hash-trees, `C̄_k` tid-lists, CF-tree
+//! leaves, distance caches); algorithms publish them once per pass as
+//! `*.mem_bytes` gauges, with [`Obs::gauge_max`] keeping family-level
+//! high-water marks.
+//!
+//! ## Exporters
+//!
+//! [`export`] renders a [`Snapshot`] for standard tools with no new
+//! dependencies: chrome://tracing trace-event JSON
+//! ([`export::chrome_trace`]), folded stacks for flamegraph
+//! ([`export::folded_stacks`]), and Prometheus text exposition
+//! ([`export::prometheus`]). The `experiments` binary exposes them as
+//! `--trace`, `--folded` and `--prom`.
 //!
 //! ## Metric naming
 //!
@@ -42,25 +74,63 @@
 //! let rec = Arc::new(InMemoryRecorder::new());
 //! let obs = Obs::new(rec.as_ref());
 //! obs.counter("assoc.apriori.pass3.candidates", 44);
-//! obs.gauge("cluster.kmeans.iter.inertia", 3038.5);
+//! {
+//!     let _pass = obs.span("assoc.apriori.pass3"); // nests via TLS
+//!     obs.value("par.shard.items", 1000);
+//! }
 //! let snap = rec.snapshot();
 //! assert_eq!(snap.counter("assoc.apriori.pass3.candidates"), Some(44));
-//! assert!(snap.to_json().contains("\"counters\""));
+//! assert_eq!(snap.tree.len(), 1);
+//! assert!(snap.to_json().contains("\"schema\": 2"));
 //! ```
 
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod compose;
+pub mod export;
+pub mod heap;
+pub mod hist;
+
+pub use compose::{ProgressRecorder, ProgressSink, StderrSink, TeeRecorder};
+pub use heap::HeapSize;
+pub use hist::Histogram;
+
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Mutex;
+use std::thread::ThreadId;
 use std::time::Instant;
+
+/// Version of the [`Snapshot`] JSON schema (the `"schema"` key). Bump
+/// it whenever a key is added, removed or its meaning changes, and
+/// record the change in `DESIGN.md` ("Metrics snapshot schema").
+pub const SNAPSHOT_SCHEMA: u32 = 2;
+
+/// Identifier of one node in a recorder's span tree. `SpanId::ROOT`
+/// (zero) is "no parent": a top-level span, or a recorder that does not
+/// keep a tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The absent/top-level parent id.
+    pub const ROOT: SpanId = SpanId(0);
+
+    /// Whether this id names a real span (non-root).
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
 
 /// A metrics sink. Implementations must be cheap and thread-safe: the
 /// same recorder is shared by reference across parallel shards.
 ///
 /// All methods take `&self`; implementations use interior mutability
-/// (or, like [`NoopRecorder`], no state at all).
+/// (or, like [`NoopRecorder`], no state at all). The span-tree and
+/// histogram methods have defaults that degrade gracefully, so a
+/// minimal recorder only implements the four flat primitives.
 pub trait Recorder: Send + Sync {
     /// Whether this recorder keeps anything. Instrumentation sites check
     /// this before formatting dynamic metric names, so a disabled
@@ -76,11 +146,41 @@ pub trait Recorder: Send + Sync {
     fn gauge(&self, name: &str, value: f64);
 
     /// Records one completed timed span of `elapsed_ns` nanoseconds
-    /// under `name` (aggregated as count + total).
+    /// under `name` (aggregated into the name's duration histogram).
     fn span_ns(&self, name: &str, elapsed_ns: u64);
 
     /// Appends an entry to the ordered event log.
     fn event(&self, name: &str, detail: &str);
+
+    /// Raises the named gauge to `value` if it is below it (high-water
+    /// mark). Defaults to a plain overwrite for recorders without
+    /// max-merge support.
+    fn gauge_max(&self, name: &str, value: f64) {
+        self.gauge(name, value);
+    }
+
+    /// Records one sample into the named value histogram. Defaults to
+    /// dropping the sample.
+    fn value(&self, name: &str, v: u64) {
+        let _ = (name, v);
+    }
+
+    /// Opens a span in the hierarchical span tree under `parent`
+    /// (`SpanId::ROOT` for a top-level span), returning its id.
+    /// Recorders without a tree return `SpanId::ROOT`, which callers
+    /// treat as "no tree node was created".
+    fn span_begin(&self, name: &str, parent: SpanId) -> SpanId {
+        let _ = (name, parent);
+        SpanId::ROOT
+    }
+
+    /// Closes span `id` after `elapsed_ns`, also feeding the name's
+    /// duration histogram. The default forwards to [`Recorder::span_ns`]
+    /// so tree-less recorders still aggregate durations.
+    fn span_end(&self, id: SpanId, name: &str, elapsed_ns: u64) {
+        let _ = id;
+        self.span_ns(name, elapsed_ns);
+    }
 }
 
 /// The do-nothing recorder: every method compiles to an empty body and
@@ -106,7 +206,8 @@ impl Recorder for NoopRecorder {
 /// The process-wide noop instance [`Obs::noop`] hands out.
 pub static NOOP: NoopRecorder = NoopRecorder;
 
-/// Aggregated timings of one span name.
+/// Aggregated timings of one span name — the schema-1 view, derived
+/// from the name's full [`Histogram`] (count and sum are exact).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpanStat {
     /// Number of completed spans.
@@ -126,23 +227,76 @@ pub struct Event {
     pub detail: String,
 }
 
+/// One node of the hierarchical span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// This span's id (1-based; ids are assigned in open order).
+    pub id: u64,
+    /// Parent span id, `0` for top-level spans.
+    pub parent: u64,
+    /// Span name (same hierarchical scheme as metrics).
+    pub name: String,
+    /// Dense index of the opening thread (0-based, in first-seen order).
+    pub tid: u32,
+    /// Open timestamp, nanoseconds since the recorder was created.
+    pub start_ns: u64,
+    /// Span duration; `None` while the span is still open (or was
+    /// leaked without closing).
+    pub dur_ns: Option<u64>,
+}
+
 #[derive(Debug, Default)]
 struct State {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
-    spans: BTreeMap<String, SpanStat>,
+    hists: BTreeMap<String, Histogram>,
     events: Vec<Event>,
+    nodes: Vec<SpanNode>,
+    /// Dense thread-id table: `threads[i]` opened spans with `tid = i`.
+    threads: Vec<ThreadId>,
+}
+
+impl State {
+    fn dense_tid(&mut self, t: ThreadId) -> u32 {
+        match self.threads.iter().position(|&x| x == t) {
+            Some(i) => i as u32,
+            None => {
+                self.threads.push(t);
+                (self.threads.len() - 1) as u32
+            }
+        }
+    }
 }
 
 /// A thread-safe recorder that aggregates everything in memory.
 ///
-/// Counters sum, gauges keep the last written value, spans aggregate to
-/// `(count, total_ns)`, events append in order. [`InMemoryRecorder::snapshot`]
-/// returns a point-in-time copy; [`Snapshot::to_json`] serializes it in a
-/// stable format (keys sorted, schema documented in `DESIGN.md`).
-#[derive(Debug, Default)]
+/// Counters sum, gauges keep the last written value (high-water via
+/// [`Recorder::gauge_max`]), span durations and explicit values
+/// aggregate into power-of-two [`Histogram`]s, the span tree keeps
+/// every opened span with its parent and timestamps, events append in
+/// order. Every mutation takes the internal lock exactly once.
+/// [`InMemoryRecorder::snapshot`] returns a point-in-time copy;
+/// [`Snapshot::to_json`] serializes it in a stable format (keys sorted,
+/// schema versioned — see `DESIGN.md`).
+#[derive(Debug)]
 pub struct InMemoryRecorder {
     state: Mutex<State>,
+    /// Time origin of `SpanNode::start_ns`.
+    epoch: Instant,
+}
+
+impl Default for InMemoryRecorder {
+    fn default() -> Self {
+        Self {
+            state: Mutex::new(State::default()),
+            epoch: Instant::now(),
+        }
+    }
+}
+
+/// Nanoseconds since `t0`, saturating at `u64::MAX`.
+fn ns_since(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 impl InMemoryRecorder {
@@ -166,8 +320,22 @@ impl InMemoryRecorder {
         self.with_state(|s| Snapshot {
             counters: s.counters.clone(),
             gauges: s.gauges.clone(),
-            spans: s.spans.clone(),
+            spans: s
+                .hists
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        SpanStat {
+                            count: h.count,
+                            total_ns: h.sum,
+                        },
+                    )
+                })
+                .collect(),
+            histograms: s.hists.clone(),
             events: s.events.clone(),
+            tree: s.nodes.clone(),
         })
     }
 }
@@ -185,15 +353,34 @@ impl Recorder for InMemoryRecorder {
         });
     }
 
+    fn gauge_max(&self, name: &str, value: f64) {
+        self.with_state(|s| {
+            s.gauges
+                .entry(name.to_owned())
+                .and_modify(|g| *g = g.max(value))
+                .or_insert(value);
+        });
+    }
+
     fn span_ns(&self, name: &str, elapsed_ns: u64) {
         self.with_state(|s| {
-            let stat = s.spans.entry(name.to_owned()).or_default();
-            stat.count += 1;
-            stat.total_ns += elapsed_ns;
+            s.hists
+                .entry(name.to_owned())
+                .or_default()
+                .record(elapsed_ns);
+        });
+    }
+
+    fn value(&self, name: &str, v: u64) {
+        self.with_state(|s| {
+            s.hists.entry(name.to_owned()).or_default().record(v);
         });
     }
 
     fn event(&self, name: &str, detail: &str) {
+        // Single lock acquisition covers both the sequence-number read
+        // and the append, so concurrent writers can neither duplicate
+        // nor skip a `seq`.
         self.with_state(|s| {
             let seq = s.events.len() as u64;
             s.events.push(Event {
@@ -201,6 +388,47 @@ impl Recorder for InMemoryRecorder {
                 name: name.to_owned(),
                 detail: detail.to_owned(),
             });
+        });
+    }
+
+    fn span_begin(&self, name: &str, parent: SpanId) -> SpanId {
+        let start_ns = ns_since(self.epoch);
+        let thread = std::thread::current().id();
+        self.with_state(|s| {
+            let id = s.nodes.len() as u64 + 1;
+            // A parent id from a different recorder (or a stale one)
+            // cannot be resolved; fall back to top-level.
+            let parent = if parent.0 <= s.nodes.len() as u64 {
+                parent.0
+            } else {
+                0
+            };
+            let tid = s.dense_tid(thread);
+            s.nodes.push(SpanNode {
+                id,
+                parent,
+                name: name.to_owned(),
+                tid,
+                start_ns,
+                dur_ns: None,
+            });
+            SpanId(id)
+        })
+    }
+
+    fn span_end(&self, id: SpanId, name: &str, elapsed_ns: u64) {
+        self.with_state(|s| {
+            s.hists
+                .entry(name.to_owned())
+                .or_default()
+                .record(elapsed_ns);
+            if id.is_some() {
+                if let Some(node) = s.nodes.get_mut(id.0 as usize - 1) {
+                    if node.dur_ns.is_none() {
+                        node.dur_ns = Some(elapsed_ns);
+                    }
+                }
+            }
         });
     }
 }
@@ -212,10 +440,15 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// Gauges by name (last written value).
     pub gauges: BTreeMap<String, f64>,
-    /// Span aggregates by name.
+    /// Span aggregates by name (schema-1 view, derived from
+    /// [`Snapshot::histograms`]; count/sum are exact).
     pub spans: BTreeMap<String, SpanStat>,
+    /// Full duration/value histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
     /// The ordered event log.
     pub events: Vec<Event>,
+    /// The hierarchical span tree, in open order (`id` = index + 1).
+    pub tree: Vec<SpanNode>,
 }
 
 impl Snapshot {
@@ -229,12 +462,18 @@ impl Snapshot {
         self.gauges.get(name).copied()
     }
 
+    /// The duration/value histogram recorded under `name`.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
     /// Whether nothing at all was recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty()
             && self.gauges.is_empty()
-            && self.spans.is_empty()
+            && self.histograms.is_empty()
             && self.events.is_empty()
+            && self.tree.is_empty()
     }
 
     /// All counters whose name starts with `prefix`, in name order.
@@ -246,15 +485,29 @@ impl Snapshot {
             .collect()
     }
 
+    /// All gauges whose name starts with `prefix`, in name order.
+    pub fn gauges_with_prefix(&self, prefix: &str) -> Vec<(&str, f64)> {
+        self.gauges
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, &v)| (k.as_str(), v))
+            .collect()
+    }
+
     /// Serializes the snapshot as a JSON document.
     ///
-    /// The format is stable: one object with `counters`, `gauges`,
-    /// `spans` and `events` keys; map keys sorted lexicographically;
+    /// The format is stable and versioned (`"schema"`, currently
+    /// [`SNAPSHOT_SCHEMA`]): one object whose schema-1 keys
+    /// (`counters`, `gauges`, `spans`, `events`) are unchanged from
+    /// version 1, plus `histograms` (sparse power-of-two buckets) and
+    /// `tree` (the span hierarchy). Map keys sorted lexicographically;
     /// non-finite gauge values serialize as `null`. See `DESIGN.md`
-    /// ("Metrics snapshot schema") for the full schema.
+    /// ("Metrics snapshot schema") for the full schema and the bump
+    /// rule.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256);
-        out.push_str("{\n  \"counters\": {");
+        let _ = write!(out, "{{\n  \"schema\": {SNAPSHOT_SCHEMA},");
+        out.push_str("\n  \"counters\": {");
         for (i, (k, v)) in self.counters.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
             let _ = write!(out, "{sep}\n    {}: {v}", json_string(k));
@@ -298,6 +551,45 @@ impl Snapshot {
         if !self.events.is_empty() {
             out.push_str("\n  ");
         }
+        out.push_str("],\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {}: {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                json_string(k),
+                h.count,
+                h.sum
+            );
+            for (j, (bucket, count)) in h.nonzero_buckets().into_iter().enumerate() {
+                let sep = if j == 0 { "" } else { ", " };
+                let _ = write!(out, "{sep}[{bucket}, {count}]");
+            }
+            out.push_str("]}");
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"tree\": [");
+        for (i, n) in self.tree.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let dur = match n.dur_ns {
+                Some(d) => d.to_string(),
+                None => "null".into(),
+            };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"id\": {}, \"parent\": {}, \"name\": {}, \"tid\": {}, \"start_ns\": {}, \"dur_ns\": {dur}}}",
+                n.id,
+                n.parent,
+                json_string(&n.name),
+                n.tid,
+                n.start_ns
+            );
+        }
+        if !self.tree.is_empty() {
+            out.push_str("\n  ");
+        }
         out.push_str("]\n}");
         out
     }
@@ -335,6 +627,13 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+thread_local! {
+    /// Per-thread span stack: `(recorder address, span id)` pairs. The
+    /// address disambiguates recorders when two are live on one thread,
+    /// so a span can only parent under its own recorder's spans.
+    static SPAN_STACK: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
 /// A borrowed handle to a recorder — the type instrumentation sites work
 /// with. `Copy`, two words wide, and cheap to pass around.
 ///
@@ -362,6 +661,12 @@ impl<'a> Obs<'a> {
     /// A handle to the process-wide [`NoopRecorder`].
     pub fn noop() -> Obs<'static> {
         Obs { rec: &NOOP }
+    }
+
+    /// The address of the underlying recorder, used to key the
+    /// thread-local span stack.
+    fn addr(&self) -> usize {
+        self.rec as *const dyn Recorder as *const () as usize
     }
 
     /// Whether emissions are kept (see [`Recorder::enabled`]).
@@ -403,6 +708,38 @@ impl<'a> Obs<'a> {
         }
     }
 
+    /// Raises the named high-water gauge to `value` if it is below it.
+    #[inline]
+    pub fn gauge_max(&self, name: &str, value: f64) {
+        if self.rec.enabled() {
+            self.rec.gauge_max(name, value);
+        }
+    }
+
+    /// High-water gauge with a lazily formatted name.
+    #[inline]
+    pub fn gauge_max_fmt(&self, name: std::fmt::Arguments<'_>, value: f64) {
+        if self.rec.enabled() {
+            self.rec.gauge_max(&name.to_string(), value);
+        }
+    }
+
+    /// Records one sample into the named value histogram.
+    #[inline]
+    pub fn value(&self, name: &str, v: u64) {
+        if self.rec.enabled() {
+            self.rec.value(name, v);
+        }
+    }
+
+    /// Value-histogram sample with a lazily formatted name.
+    #[inline]
+    pub fn value_fmt(&self, name: std::fmt::Arguments<'_>, v: u64) {
+        if self.rec.enabled() {
+            self.rec.value(&name.to_string(), v);
+        }
+    }
+
     /// Appends an event to the log.
     #[inline]
     pub fn event(&self, name: &str, detail: &str) {
@@ -411,24 +748,89 @@ impl<'a> Obs<'a> {
         }
     }
 
-    /// Starts a timed span that records on drop. With a disabled
-    /// recorder, no clock is read and nothing is recorded.
+    /// The innermost span this recorder has open on the current thread
+    /// (`SpanId::ROOT` if none) — capture it before spawning workers
+    /// and hand it to [`Obs::span_child`] so cross-thread spans parent
+    /// correctly.
+    pub fn current_span(&self) -> SpanId {
+        if !self.rec.enabled() {
+            return SpanId::ROOT;
+        }
+        let addr = self.addr();
+        SPAN_STACK.with(|stack| {
+            stack
+                .borrow()
+                .iter()
+                .rev()
+                .find(|(a, _)| *a == addr)
+                .map_or(SpanId::ROOT, |&(_, id)| SpanId(id))
+        })
+    }
+
+    /// Starts a timed span that records on drop, parented under the
+    /// current thread's innermost open span. With a disabled recorder,
+    /// no clock is read, nothing is allocated and the thread-local
+    /// stack is untouched.
     #[inline]
     pub fn span(&self, name: &str) -> Span<'a> {
         if self.rec.enabled() {
-            Span {
-                active: Some(ActiveSpan {
-                    rec: self.rec,
-                    name: name.to_owned(),
-                    start: Instant::now(),
-                }),
-            }
+            self.begin_span(name.to_owned(), self.current_span())
         } else {
             Span { active: None }
         }
     }
 
-    /// Records an already-measured span duration.
+    /// [`Obs::span`] with a lazily formatted name.
+    #[inline]
+    pub fn span_fmt(&self, name: std::fmt::Arguments<'_>) -> Span<'a> {
+        if self.rec.enabled() {
+            self.begin_span(name.to_string(), self.current_span())
+        } else {
+            Span { active: None }
+        }
+    }
+
+    /// Starts a timed span under an explicit parent — the cross-thread
+    /// variant: capture [`Obs::current_span`] on the spawning thread,
+    /// then open the worker's span with it.
+    #[inline]
+    pub fn span_child(&self, name: &str, parent: SpanId) -> Span<'a> {
+        if self.rec.enabled() {
+            self.begin_span(name.to_owned(), parent)
+        } else {
+            Span { active: None }
+        }
+    }
+
+    /// [`Obs::span_child`] with a lazily formatted name.
+    #[inline]
+    pub fn span_child_fmt(&self, name: std::fmt::Arguments<'_>, parent: SpanId) -> Span<'a> {
+        if self.rec.enabled() {
+            self.begin_span(name.to_string(), parent)
+        } else {
+            Span { active: None }
+        }
+    }
+
+    fn begin_span(&self, name: String, parent: SpanId) -> Span<'a> {
+        let id = self.rec.span_begin(&name, parent);
+        let addr = self.addr();
+        if id.is_some() {
+            SPAN_STACK.with(|stack| stack.borrow_mut().push((addr, id.0)));
+        }
+        Span {
+            active: Some(ActiveSpan {
+                rec: self.rec,
+                name,
+                start: Instant::now(),
+                id,
+                addr,
+            }),
+        }
+    }
+
+    /// Records an already-measured span duration (histogram only; no
+    /// tree node).
     #[inline]
     pub fn span_ns(&self, name: &str, elapsed_ns: u64) {
         if self.rec.enabled() {
@@ -449,20 +851,45 @@ struct ActiveSpan<'a> {
     rec: &'a dyn Recorder,
     name: String,
     start: Instant,
+    id: SpanId,
+    addr: usize,
 }
 
-/// A guard for a timed span: records elapsed time to the recorder when
-/// dropped. Obtained from [`Obs::span`].
+/// A guard for a timed span: closes the span (tree node + duration
+/// histogram) when dropped. Obtained from [`Obs::span`] /
+/// [`Obs::span_child`].
 pub struct Span<'a> {
     active: Option<ActiveSpan<'a>>,
+}
+
+impl Span<'_> {
+    /// The tree id of this span (`SpanId::ROOT` when the recorder is
+    /// disabled or keeps no tree). Hand it to [`Obs::span_child`] to
+    /// parent work on another thread under this span.
+    pub fn id(&self) -> SpanId {
+        self.active.as_ref().map_or(SpanId::ROOT, |a| a.id)
+    }
 }
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
         if let Some(span) = self.active.take() {
-            let ns = span.start.elapsed().as_nanos();
-            span.rec
-                .span_ns(&span.name, u64::try_from(ns).unwrap_or(u64::MAX));
+            let ns = ns_since(span.start);
+            if span.id.is_some() {
+                SPAN_STACK.with(|stack| {
+                    let mut stack = stack.borrow_mut();
+                    // Strict nesting makes this the top entry; search
+                    // defensively in case a guard was dropped out of
+                    // order.
+                    if let Some(pos) = stack
+                        .iter()
+                        .rposition(|&(a, id)| a == span.addr && id == span.id.0)
+                    {
+                        stack.remove(pos);
+                    }
+                });
+            }
+            span.rec.span_end(span.id, &span.name, ns);
         }
     }
 }
@@ -478,8 +905,11 @@ mod tests {
         assert!(!obs.enabled());
         obs.counter("a.b", 1);
         obs.gauge("a.g", 1.0);
+        obs.gauge_max("a.hw", 2.0);
+        obs.value("a.v", 3);
         obs.event("a.e", "x");
         obs.counter_fmt(format_args!("a.{}", 3), 1);
+        assert_eq!(obs.current_span(), SpanId::ROOT);
         drop(obs.span("a.s"));
     }
 
@@ -498,6 +928,16 @@ mod tests {
     }
 
     #[test]
+    fn gauge_max_keeps_high_water() {
+        let rec = InMemoryRecorder::new();
+        let obs = Obs::new(&rec);
+        obs.gauge_max("assoc.ck_mem_bytes", 100.0);
+        obs.gauge_max("assoc.ck_mem_bytes", 400.0);
+        obs.gauge_max("assoc.ck_mem_bytes", 250.0);
+        assert_eq!(rec.snapshot().gauge("assoc.ck_mem_bytes"), Some(400.0));
+    }
+
+    #[test]
     fn spans_aggregate_count_and_total() {
         let rec = InMemoryRecorder::new();
         let obs = Obs::new(&rec);
@@ -510,6 +950,74 @@ mod tests {
         let stat = snap.spans["knn.predict.batch"];
         assert_eq!(stat.count, 3);
         assert!(stat.total_ns >= 150);
+        // The histogram behind the flat view has the same exact count/sum.
+        let hist = snap.histogram("knn.predict.batch").unwrap();
+        assert_eq!(hist.count, stat.count);
+        assert_eq!(hist.sum, stat.total_ns);
+    }
+
+    #[test]
+    fn span_tree_nests_lexically() {
+        let rec = InMemoryRecorder::new();
+        let obs = Obs::new(&rec);
+        {
+            let outer = obs.span("experiment.e1");
+            assert_eq!(obs.current_span(), outer.id());
+            {
+                let _pass = obs.span("assoc.apriori.pass1");
+                let _inner = obs.span("assoc.apriori.pass1.count");
+            }
+            let _pass2 = obs.span("assoc.apriori.pass2");
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.tree.len(), 4);
+        let by_name = |n: &str| snap.tree.iter().find(|s| s.name == n).unwrap();
+        let outer = by_name("experiment.e1");
+        assert_eq!(outer.parent, 0);
+        assert_eq!(by_name("assoc.apriori.pass1").parent, outer.id);
+        assert_eq!(by_name("assoc.apriori.pass2").parent, outer.id);
+        assert_eq!(
+            by_name("assoc.apriori.pass1.count").parent,
+            by_name("assoc.apriori.pass1").id
+        );
+        assert!(snap.tree.iter().all(|s| s.dur_ns.is_some()));
+        // The stack fully unwinds.
+        assert_eq!(obs.current_span(), SpanId::ROOT);
+    }
+
+    #[test]
+    fn span_child_parents_across_threads() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        let obs = Obs::new(rec.as_ref());
+        {
+            let _pass = obs.span("assoc.apriori.pass2");
+            let parent = obs.current_span();
+            std::thread::scope(|s| {
+                for w in 0..2 {
+                    let rec = Arc::clone(&rec);
+                    s.spawn(move || {
+                        let obs = Obs::new(rec.as_ref());
+                        let _shard = obs.span_child_fmt(format_args!("par.shard{w}"), parent);
+                    });
+                }
+            });
+        }
+        let snap = rec.snapshot();
+        let pass = snap
+            .tree
+            .iter()
+            .find(|s| s.name == "assoc.apriori.pass2")
+            .unwrap();
+        let shards: Vec<_> = snap
+            .tree
+            .iter()
+            .filter(|s| s.name.starts_with("par.shard"))
+            .collect();
+        assert_eq!(shards.len(), 2);
+        for s in shards {
+            assert_eq!(s.parent, pass.id, "shard span parents under the pass");
+            assert_ne!(s.tid, pass.tid, "shard ran on a worker thread");
+        }
     }
 
     #[test]
@@ -523,6 +1031,27 @@ mod tests {
         assert_eq!(snap.events[0].seq, 0);
         assert_eq!(snap.events[0].detail, "work-unit budget exhausted");
         assert_eq!(snap.events[1].seq, 1);
+    }
+
+    #[test]
+    fn concurrent_event_appends_keep_dense_unique_seqs() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let rec = Arc::clone(&rec);
+                s.spawn(move || {
+                    let obs = Obs::new(rec.as_ref());
+                    for i in 0..250 {
+                        obs.event("e", &format!("{t}:{i}"));
+                    }
+                });
+            }
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.events.len(), 1000);
+        for (i, e) in snap.events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "seqs are dense and unique");
+        }
     }
 
     #[test]
@@ -568,8 +1097,11 @@ mod tests {
     fn empty_snapshot_serializes_cleanly() {
         let snap = InMemoryRecorder::new().snapshot();
         let json = snap.to_json();
+        assert!(json.contains("\"schema\": 2"));
         assert!(json.contains("\"counters\": {}"));
         assert!(json.contains("\"events\": []"));
+        assert!(json.contains("\"histograms\": {}"));
+        assert!(json.contains("\"tree\": []"));
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Property tests for the duration histogram: the aggregate invariants
+//! the exporters and the bench harness lean on (exact count/sum,
+//! order-insensitive merging, monotone quantiles) hold for *arbitrary*
+//! inputs, not just the hand-picked unit-test values.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dm_obs::Histogram;
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// `count` and `sum` are exact regardless of bucketing.
+    #[test]
+    fn count_and_sum_are_exact(values in prop::collection::vec(0u64..(1u64 << 52), 0..300)) {
+        let h = hist_of(&values);
+        prop_assert_eq!(h.count, values.len() as u64);
+        prop_assert_eq!(h.sum, values.iter().sum::<u64>());
+    }
+
+    /// Merging is associative and agrees with recording everything into
+    /// a single histogram, in any grouping.
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(0u64..(1u64 << 52), 0..100),
+        b in prop::collection::vec(0u64..(1u64 << 52), 0..100),
+        c in prop::collection::vec(0u64..(1u64 << 52), 0..100),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // Both equal the one-histogram recording.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &hist_of(&all));
+    }
+
+    /// Quantiles are monotone in `q` and bracketed by the recorded
+    /// extremes' bucket upper bounds.
+    #[test]
+    fn quantiles_are_monotone(
+        values in prop::collection::vec(0u64..(1u64 << 52), 1..300),
+        qs in prop::collection::vec(0.0f64..1.0, 2..20),
+    ) {
+        let h = hist_of(&values);
+        let mut sorted_qs = qs;
+        sorted_qs.sort_by(f64::total_cmp);
+        let quantiles: Vec<u64> = sorted_qs
+            .iter()
+            .map(|&q| h.quantile(q).expect("non-empty histogram"))
+            .collect();
+        for w in quantiles.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles must be monotone: {:?}", quantiles);
+        }
+        let lo = h.quantile(0.0).unwrap();
+        let hi = h.quantile(1.0).unwrap();
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        // A bucketed quantile reports the bucket's upper bound, so it
+        // can only round *up*, and by strictly less than 2x.
+        prop_assert!(lo >= min, "p0 {lo} below the minimum {min}");
+        prop_assert!(hi >= max, "p100 {hi} below the maximum {max}");
+        prop_assert!(lo <= min.saturating_mul(2).max(1), "p0 {lo} overshoots min {min}");
+        prop_assert!(hi <= max.saturating_mul(2).max(1), "p100 {hi} overshoots max {max}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Snapshot-schema compatibility: schema 2 is a strict superset of
+//! schema 1. Consumers keyed on the v1 fields (`schema`, `counters`,
+//! `gauges`, `spans`, `events`) must keep working unchanged; the v2
+//! additions (`histograms`, `tree`) only append. A bump to `schema`
+//! (see DESIGN.md, "Metrics snapshot schema") is required whenever an
+//! existing key changes shape — this test is the tripwire.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dm_obs::{InMemoryRecorder, Obs, SNAPSHOT_SCHEMA};
+
+#[test]
+fn v1_keys_and_shapes_are_unchanged() {
+    let rec = InMemoryRecorder::new();
+    let obs = Obs::new(&rec);
+    obs.counter("assoc.apriori.passes", 3);
+    obs.gauge("assoc.ck_mem_bytes", 4096.0);
+    {
+        let _outer = obs.span("experiment.e1");
+        let _inner = obs.span("assoc.apriori.pass1");
+    }
+    obs.event("guard.trip", "deadline");
+    let json = rec.snapshot().to_json();
+
+    // The v1 field set, in the v1 order, with the v1 value shapes.
+    assert!(json.starts_with(&format!("{{\n  \"schema\": {SNAPSHOT_SCHEMA},")));
+    assert_eq!(
+        SNAPSHOT_SCHEMA, 2,
+        "bumping the schema? update DESIGN.md and this test"
+    );
+    assert!(json.contains("\"counters\": {"));
+    assert!(json.contains("\"assoc.apriori.passes\": 3"));
+    assert!(json.contains("\"gauges\": {"));
+    assert!(json.contains("\"assoc.ck_mem_bytes\": 4096"));
+    assert!(json.contains("\"spans\": {"));
+    // Span aggregates keep their v1 per-name object shape.
+    assert!(json.contains("\"count\": 1, \"total_ns\": "));
+    assert!(json.contains("\"events\": ["));
+    assert!(json.contains("\"name\": \"guard.trip\", \"detail\": \"deadline\""));
+
+    // v2 only appends new keys, after the v1 ones.
+    let order: Vec<usize> = [
+        "\"schema\"",
+        "\"counters\"",
+        "\"gauges\"",
+        "\"spans\"",
+        "\"events\"",
+        "\"histograms\"",
+        "\"tree\"",
+    ]
+    .iter()
+    .map(|k| {
+        json.find(k)
+            .unwrap_or_else(|| panic!("missing top-level key {k}"))
+    })
+    .collect();
+    assert!(
+        order.windows(2).all(|w| w[0] < w[1]),
+        "top-level key order changed: {json}"
+    );
+}
+
+#[test]
+fn empty_snapshot_keeps_every_top_level_key() {
+    let rec = InMemoryRecorder::new();
+    let json = rec.snapshot().to_json();
+    for key in [
+        "schema",
+        "counters",
+        "gauges",
+        "spans",
+        "events",
+        "histograms",
+        "tree",
+    ] {
+        assert!(
+            json.contains(&format!("\"{key}\"")),
+            "empty snapshot must still carry \"{key}\": {json}"
+        );
+    }
+}

@@ -262,6 +262,7 @@ where
     let recorded = obs.enabled();
     if threads == 1 || n_chunks == 1 {
         let t0 = recorded.then(std::time::Instant::now);
+        let _shard_span = obs.span("par.shard0");
         let mut acc = identity();
         for c in items.chunks(chunk) {
             guard.check()?;
@@ -270,9 +271,13 @@ where
         if let Some(t0) = t0 {
             obs.counter("par.shard0.items", len as u64);
             obs.counter("par.shard0.busy_ns", elapsed_ns(t0));
+            obs.value("par.shard.items", len as u64);
         }
         return Ok(acc);
     }
+    // Shard spans cannot inherit the caller's span through the worker
+    // threads' (empty) span stacks — hand the parent over explicitly.
+    let parent = obs.current_span();
     let mut slots: Vec<Option<A>> = (0..n_chunks).map(|_| None).collect();
     let per_worker = n_chunks.div_ceil(threads);
     std::thread::scope(|s| {
@@ -280,6 +285,7 @@ where
             let map = &map;
             s.spawn(move || {
                 let t0 = recorded.then(std::time::Instant::now);
+                let _shard_span = obs.span_child_fmt(format_args!("par.shard{w}"), parent);
                 let mut items_done = 0u64;
                 for (j, slot) in block.iter_mut().enumerate() {
                     if guard.should_stop() {
@@ -294,6 +300,7 @@ where
                 if let Some(t0) = t0 {
                     obs.counter_fmt(format_args!("par.shard{w}.items"), items_done);
                     obs.counter_fmt(format_args!("par.shard{w}.busy_ns"), elapsed_ns(t0));
+                    obs.value("par.shard.items", items_done);
                 }
             });
         }
@@ -332,6 +339,7 @@ where
     let recorded = obs.enabled();
     if threads == 1 || n_chunks == 1 {
         let t0 = recorded.then(std::time::Instant::now);
+        let _shard_span = obs.span("par.shard0");
         let mut acc = identity();
         for ci in 0..n_chunks {
             guard.check()?;
@@ -341,9 +349,11 @@ where
         if let Some(t0) = t0 {
             obs.counter("par.shard0.items", len as u64);
             obs.counter("par.shard0.busy_ns", elapsed_ns(t0));
+            obs.value("par.shard.items", len as u64);
         }
         return Ok(acc);
     }
+    let parent = obs.current_span();
     let mut slots: Vec<Option<A>> = (0..n_chunks).map(|_| None).collect();
     let per_worker = n_chunks.div_ceil(threads);
     std::thread::scope(|s| {
@@ -351,6 +361,7 @@ where
             let map = &map;
             s.spawn(move || {
                 let t0 = recorded.then(std::time::Instant::now);
+                let _shard_span = obs.span_child_fmt(format_args!("par.shard{w}"), parent);
                 let mut items_done = 0u64;
                 for (j, slot) in block.iter_mut().enumerate() {
                     if guard.should_stop() {
@@ -365,6 +376,7 @@ where
                 if let Some(t0) = t0 {
                     obs.counter_fmt(format_args!("par.shard{w}.items"), items_done);
                     obs.counter_fmt(format_args!("par.shard{w}.busy_ns"), elapsed_ns(t0));
+                    obs.value("par.shard.items", items_done);
                 }
             });
         }

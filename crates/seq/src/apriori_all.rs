@@ -103,15 +103,21 @@ impl AprioriAll {
     ) -> Result<Outcome<SeqMiningResult>, DataError> {
         let t0 = Instant::now();
         let min_count = db.min_support_count(self.min_support)?;
+        let obs = guard.obs();
+        // Live span over the whole mine; the phase spans below nest
+        // under it, so a trace shows litemset → transform → level time.
+        let mine_span = obs.span("seq.apriori_all.mine");
 
         let mut n_litemsets = 0usize;
         let mut frequent: Vec<Vec<(Vec<u32>, usize)>> = Vec::new();
         let mut litemsets: Vec<Vec<u32>> = Vec::new();
         'mine: {
             // ---- Phase 2: litemsets under customer support. ----
+            let lit_span = obs.span("seq.apriori_all.litemset_phase");
             let Ok(lits) = mine_litemsets(db, min_count, guard) else {
                 break 'mine;
             };
+            drop(lit_span);
             litemsets = lits;
             n_litemsets = litemsets.len();
             if n_litemsets == 0 {
@@ -120,6 +126,7 @@ impl AprioriAll {
             // ---- Phase 3: transform customers to litemset-id sequences. ----
             // Each transaction becomes the sorted set of litemset ids it
             // contains (note: a transaction can contain several litemsets).
+            let transform_span = obs.span("seq.apriori_all.transform_phase");
             let mut transformed: Vec<Vec<Vec<u32>>> = Vec::new();
             for (ci, seq) in db.iter().enumerate() {
                 if ci.is_multiple_of(POLL_STRIDE) && guard.should_stop() {
@@ -142,6 +149,8 @@ impl AprioriAll {
                 }
             }
 
+            drop(transform_span);
+
             // ---- Phase 4: level-wise sequence mining over litemset ids. ----
             // L1: every litemset is frequent by construction.
             if guard.try_work(n_litemsets as u64).is_err() {
@@ -161,6 +170,7 @@ impl AprioriAll {
 
             let mut k = 1usize;
             while !frequent[k - 1].is_empty() && self.max_len.is_none_or(|m| k < m) {
+                let _pass_span = obs.span_fmt(format_args!("seq.apriori_all.pass{}", k + 1));
                 let prev: Vec<&[u32]> = frequent[k - 1].iter().map(|(s, _)| s.as_slice()).collect();
                 let prev_set: HashSet<&[u32]> = prev.iter().copied().collect();
                 // Join: s1 (drop first) == s2 (drop last) -> s1 + last(s2).
@@ -263,7 +273,6 @@ impl AprioriAll {
             })
             .collect();
 
-        let obs = guard.obs();
         if obs.enabled() {
             obs.counter("seq.apriori_all.litemsets", n_litemsets as u64);
             for (i, &n) in frequent_per_length.iter().enumerate() {
@@ -272,11 +281,8 @@ impl AprioriAll {
                     n as u64,
                 );
             }
-            obs.span_ns(
-                "seq.apriori_all.mine",
-                t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
-            );
         }
+        drop(mine_span);
         Ok(guard.outcome(SeqMiningResult {
             patterns,
             n_litemsets,

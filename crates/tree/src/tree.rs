@@ -304,7 +304,9 @@ impl DecisionTreeLearner {
         };
 
         let mut nodes = Vec::new();
+        let grow_span = guard.obs().span("tree.grow");
         let root = self.grow(data, codes, &grow_rows, n_classes, 1, &mut nodes, guard);
+        drop(grow_span);
         let mut tree = DecisionTree {
             nodes,
             root,
