@@ -239,7 +239,7 @@ impl Apriori {
                         format_args!("assoc.apriori.pass{k}.hashtree_mem_bytes"),
                         bytes,
                     );
-                    obs.gauge_max("assoc.hashtree_mem_bytes", bytes);
+                    obs.gauge_max("assoc.mem.hashtree_bytes", bytes);
                 }
                 let state = par_chunks_map_reduce_governed(
                     self.parallelism,
@@ -326,7 +326,7 @@ impl ItemsetMiner for Apriori {
         if obs.enabled() {
             // Reference point for every *_mem_bytes comparison: the raw
             // transaction buffers (the paper's "size of the database").
-            obs.gauge_max("assoc.db_mem_bytes", db.transactions().heap_bytes() as f64);
+            obs.gauge_max("assoc.mem.db_bytes", db.transactions().heap_bytes() as f64);
         }
 
         // Each pass is all-or-nothing under the guard: work units

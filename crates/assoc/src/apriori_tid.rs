@@ -60,7 +60,7 @@ impl ItemsetMiner for AprioriTid {
         if obs.enabled() {
             // The VLDB'94 comparison point: C̄_k is "large" or "small"
             // relative to the raw transaction buffers.
-            obs.gauge_max("assoc.db_mem_bytes", db.transactions().heap_bytes() as f64);
+            obs.gauge_max("assoc.mem.db_bytes", db.transactions().heap_bytes() as f64);
         }
 
         // A trip anywhere inside a pass discards that pass; `levels`
@@ -106,7 +106,7 @@ impl ItemsetMiner for AprioriTid {
             if obs.enabled() {
                 let ck = tidlists.heap_bytes() as f64;
                 obs.gauge_max("assoc.apriori_tid.pass1.ck_mem_bytes", ck);
-                obs.gauge_max("assoc.ck_mem_bytes", ck);
+                obs.gauge_max("assoc.mem.ck_bytes", ck);
             }
             drop(pass1_span);
             stats.push(1, db.n_items() as usize, l1.len(), t0.elapsed());
@@ -200,7 +200,7 @@ impl ItemsetMiner for AprioriTid {
                         format_args!("assoc.apriori_tid.pass{}.ck_mem_bytes", k + 1),
                         ck,
                     );
-                    obs.gauge_max("assoc.ck_mem_bytes", ck);
+                    obs.gauge_max("assoc.mem.ck_bytes", ck);
                 }
 
                 // Filter to the frequent candidates and remap ids densely.

@@ -188,7 +188,7 @@ impl ItemsetMiner for AprioriHybrid {
                             format_args!("assoc.apriori_hybrid.pass{}.ck_mem_bytes", k + 1),
                             ck,
                         );
-                        obs.gauge_max("assoc.ck_mem_bytes", ck);
+                        obs.gauge_max("assoc.mem.ck_bytes", ck);
                     }
                 }
                 drop(pass_span);
@@ -235,7 +235,7 @@ fn apriori_count(
             format_args!("assoc.apriori_hybrid.pass{k}.hashtree_mem_bytes"),
             bytes,
         );
-        obs.gauge_max("assoc.hashtree_mem_bytes", bytes);
+        obs.gauge_max("assoc.mem.hashtree_bytes", bytes);
     }
     let state = par_chunks_map_reduce_governed(
         par,

@@ -1,6 +1,6 @@
 //! Governance-overhead bench: Apriori with an unlimited [`Guard`] vs the
 //! ungoverned entry point on the VLDB'94-style synthetic workload. The
-//! recorded numbers live in `BENCH_guard.json` (target: ≤2% overhead).
+//! recorded numbers live in `ledger/bench-guard.json` (target: ≤2% overhead).
 
 // Bench harness code: panicking on setup failure is the correct behavior.
 #![allow(clippy::unwrap_used, clippy::expect_used)]

@@ -1,7 +1,7 @@
 //! Observability-overhead bench: Apriori on the VLDB'94-style synthetic
 //! workload with (a) no recorder, (b) an explicit [`NoopRecorder`], and
 //! (c) a live [`InMemoryRecorder`]. The recorded numbers live in
-//! `BENCH_obs.json` (target: ≤2% overhead for the Noop path vs the
+//! `ledger/bench-obs.json` (target: ≤2% overhead for the Noop path vs the
 //! unrecorded governed run).
 
 // Bench harness code: panicking on setup failure is the correct behavior.

@@ -1,0 +1,246 @@
+//! `dm` — the workspace's operational command surface. Currently one
+//! subcommand family, `dm ledger`, which operates on run-ledger
+//! records produced by `experiments --ledger FILE` (see
+//! `dm_obs::ledger` and `DESIGN.md` "Run ledger").
+//!
+//! ```text
+//! dm ledger show RECORD                # one-line-per-experiment summary
+//! dm ledger diff A B [--json]          # per-metric delta report
+//! dm ledger check --baseline B CURRENT # CI regression gate
+//!     [--band N]                       #   noisy-metric ratio band (default 16)
+//!     [--no-noisy]                     #   gate exact metrics only
+//!     [--subset]                       #   tolerate experiments missing from CURRENT
+//!     [--json-report FILE]             #   machine-readable diff alongside the verdict
+//!     [--update-baseline]              #   accept CURRENT as the new baseline
+//! ```
+//!
+//! Exit codes: 0 = pass / no error, 1 = gate violations, 2 = usage or
+//! I/O error. `check` prints the human report to stdout; with
+//! `--update-baseline` it *rewrites the baseline file* with the current
+//! record instead of failing, which is the documented way to land an
+//! intentional counter change (commit the refreshed baseline together
+//! with the code that moved it).
+
+use dm_core::obs::ledger::{check, diff, CheckPolicy, RunRecord};
+use std::fmt::Write as _;
+
+/// Writes to stdout, swallowing broken-pipe errors (`dm ledger diff |
+/// head` must not panic mid-report).
+fn emit(s: &str) {
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(s.as_bytes());
+}
+
+const USAGE: &str = "usage: dm ledger <show RECORD | diff A B [--json] | \
+check --baseline BASE CURRENT [--band N] [--no-noisy] [--subset] \
+[--json-report FILE] [--update-baseline]>";
+
+fn main() {
+    std::process::exit(real_main());
+}
+
+/// Reads and parses one ledger record, mapping failures to a readable
+/// message and exit code 2.
+fn load(path: &str) -> Result<RunRecord, i32> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("cannot read ledger record `{path}`: {e}");
+        2
+    })?;
+    RunRecord::from_json(&text).map_err(|e| {
+        eprintln!("cannot parse ledger record `{path}`: {e}");
+        2
+    })
+}
+
+fn cmd_show(path: &str) -> i32 {
+    let record = match load(path) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "record:   {path}");
+    let _ = writeln!(out, "git_rev:  {}", record.git_rev);
+    let _ = writeln!(out, "label:    {}", record.label);
+    let _ = writeln!(out, "created:  {} (unix ms)", record.created_unix_ms);
+    for (k, v) in &record.config {
+        let _ = writeln!(out, "config:   {k} = {v}");
+    }
+    for (id, run) in &record.experiments {
+        let m = &run.metrics;
+        let status = run.truncated.as_deref().unwrap_or("complete");
+        let _ = writeln!(
+            out,
+            "{id:>4}  {:>10.1} ms  {:>4} counters  {:>3} gauges  {:>3} histograms  {:>4} tree paths  [{status}]",
+            run.wall_ms,
+            m.counters.len(),
+            m.gauges.len(),
+            m.histograms.len(),
+            m.tree.len(),
+        );
+    }
+    emit(&out);
+    0
+}
+
+fn cmd_diff(a_path: &str, b_path: &str, json: bool) -> i32 {
+    let (a, b) = match (load(a_path), load(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let d = diff(&a, &b);
+    if json {
+        emit(&d.render_json());
+    } else {
+        emit(&d.render_table());
+    }
+    0
+}
+
+struct CheckArgs {
+    baseline: String,
+    current: String,
+    policy: CheckPolicy,
+    json_report: Option<String>,
+    update_baseline: bool,
+}
+
+fn parse_check_args(args: &[String]) -> Result<CheckArgs, String> {
+    let mut baseline: Option<String> = None;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut policy = CheckPolicy::default();
+    let mut json_report: Option<String> = None;
+    let mut update_baseline = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline = Some(
+                    it.next()
+                        .ok_or("--baseline needs a record path")?
+                        .to_owned(),
+                );
+            }
+            "--band" => {
+                let v = it.next().ok_or("--band needs a ratio")?;
+                policy.noisy_band = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|b| *b >= 1.0)
+                    .ok_or_else(|| format!("--band expects a ratio >= 1, got `{v}`"))?;
+            }
+            "--no-noisy" => policy.gate_noisy = false,
+            "--subset" => policy.require_all = false,
+            "--json-report" => {
+                json_report = Some(
+                    it.next()
+                        .ok_or("--json-report needs a file path")?
+                        .to_owned(),
+                );
+            }
+            "--update-baseline" => update_baseline = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}` for dm ledger check"));
+            }
+            other => positional.push(other),
+        }
+    }
+    let baseline = baseline.ok_or("dm ledger check needs --baseline BASE")?;
+    let [current] = positional.as_slice() else {
+        return Err("dm ledger check needs exactly one CURRENT record".into());
+    };
+    Ok(CheckArgs {
+        baseline,
+        current: (*current).to_owned(),
+        policy,
+        json_report,
+        update_baseline,
+    })
+}
+
+fn cmd_check(args: &[String]) -> i32 {
+    let parsed = match parse_check_args(args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}\n{USAGE}");
+            return 2;
+        }
+    };
+    let (base, current) = match (load(&parsed.baseline), load(&parsed.current)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let d = diff(&base, &current);
+    if let Some(path) = &parsed.json_report {
+        if let Err(e) = std::fs::write(path, d.render_json()) {
+            eprintln!("cannot write diff report `{path}`: {e}");
+            return 2;
+        }
+        eprintln!("[diff report written to {path}]");
+    }
+    if parsed.update_baseline {
+        // Accepting the current record as the new truth: rewrite the
+        // baseline (deterministic re-serialization, not a byte copy,
+        // so the file is canonical regardless of its producer).
+        if let Err(e) = std::fs::write(&parsed.baseline, current.to_json()) {
+            eprintln!("cannot update baseline `{}`: {e}", parsed.baseline);
+            return 2;
+        }
+        emit(&format!(
+            "baseline `{}` updated from `{}` ({} differing metric(s) accepted)\n",
+            parsed.baseline,
+            parsed.current,
+            d.entries.len()
+        ));
+        return 0;
+    }
+    let report = check(&base, &current, &parsed.policy);
+    emit(&report.render());
+    if report.passed() {
+        0
+    } else {
+        eprintln!(
+            "ledger check failed against `{}`; if this drift is intentional, refresh the \
+             baseline in the same commit: dm ledger check --baseline {} {} --update-baseline",
+            parsed.baseline, parsed.baseline, parsed.current
+        );
+        1
+    }
+}
+
+fn real_main() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        eprintln!("{USAGE}");
+        return 2;
+    }
+    if args[0] != "ledger" {
+        eprintln!("unknown subcommand `{}`\n{USAGE}", args[0]);
+        return 2;
+    }
+    match args.get(1).map(String::as_str) {
+        Some("show") => match args.get(2) {
+            Some(path) if args.len() == 3 => cmd_show(path),
+            _ => {
+                eprintln!("dm ledger show needs exactly one record path\n{USAGE}");
+                2
+            }
+        },
+        Some("diff") => {
+            let rest: Vec<&String> = args[2..].iter().collect();
+            let json = rest.iter().any(|a| *a == "--json");
+            let paths: Vec<&String> = rest.into_iter().filter(|a| *a != "--json").collect();
+            match paths.as_slice() {
+                [a, b] => cmd_diff(a, b, json),
+                _ => {
+                    eprintln!("dm ledger diff needs exactly two record paths\n{USAGE}");
+                    2
+                }
+            }
+        }
+        Some("check") => cmd_check(&args[2..]),
+        _ => {
+            eprintln!("{USAGE}");
+            2
+        }
+    }
+}

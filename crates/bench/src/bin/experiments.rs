@@ -5,6 +5,7 @@
 //! experiments e1 e9                  # run a subset
 //! experiments --deadline-ms 5000 all # stop gracefully after ~5 s
 //! experiments --metrics out.json e1  # also dump recorded metric snapshots
+//! experiments --ledger run.json all  # write a run-ledger record (dm ledger ...)
 //! experiments --trace out.trace.json e1   # chrome://tracing timeline
 //! experiments --folded out.folded e1      # flame-graph folded stacks
 //! experiments --prom out.prom e1          # Prometheus text exposition
@@ -21,7 +22,16 @@
 //! experiment's guard and writes one JSON object to `FILE`, keyed by
 //! experiment id, each value a metrics snapshot in the schema documented
 //! in `DESIGN.md` ("Metrics snapshot schema"). Experiments that were
-//! skipped by the deadline do not appear in the file.
+//! skipped by the deadline do not appear in the file; an experiment the
+//! guard truncated mid-run (or that failed with a data error) *does*
+//! appear, as its partial snapshot tagged `"truncated": "<reason>"` —
+//! a cut-short run is evidence, not a non-event.
+//!
+//! `--ledger FILE` additionally writes the whole invocation as one run
+//! ledger record (`dm_obs::ledger`, see `DESIGN.md` "Run ledger"): git
+//! revision, configuration, and a per-experiment wall-clock +
+//! truncation marker + collapsed metric document. That record is what
+//! `dm ledger diff`/`dm ledger check` consume and what CI gates on.
 //!
 //! `--trace`, `--folded` and `--prom` share one recorder across the
 //! whole invocation so every experiment lands on a common timeline; each
@@ -30,16 +40,32 @@
 //! given, a [`TeeRecorder`] feeds both: the shared recorder keeps the
 //! span tree, the per-experiment recorder keeps its flat snapshot.
 
+use dm_core::obs::ledger::{snapshot_json_tagged, ExperimentRun, MetricDoc, RunRecord};
 use dm_core::prelude::{
     chrome_trace, folded_stacks, prometheus, Budget, Guard, InMemoryRecorder, NoopRecorder,
-    ProgressRecorder, Recorder, TeeRecorder,
+    ProgressRecorder, Recorder, RunStatus, TeeRecorder,
 };
 use std::io::Write;
 use std::sync::Arc;
 use std::time::Instant;
 
 const USAGE: &str = "usage: experiments [--list] [--deadline-ms N] [--metrics FILE] \
-     [--trace FILE] [--folded FILE] [--prom FILE] [--progress] <all | e1..e13 a1 a2 ...>";
+     [--ledger FILE] [--trace FILE] [--folded FILE] [--prom FILE] [--progress] \
+     <all | e1..e13 a1 a2 ...>";
+
+/// The current git revision, for ledger provenance. Best effort: a
+/// missing `git` binary or a non-repo checkout degrades to "unknown".
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
 
 fn main() {
     std::process::exit(real_main());
@@ -73,6 +99,7 @@ fn real_main() -> i32 {
     // Flag parsing; everything that is not a flag is an experiment id.
     let mut deadline_ms: Option<u64> = None;
     let mut metrics_path: Option<String> = None;
+    let mut ledger_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut folded_path: Option<String> = None;
     let mut prom_path: Option<String> = None;
@@ -111,6 +138,10 @@ fn real_main() -> i32 {
             if !path_flag("--metrics", &mut metrics_path, &mut it) {
                 return 2;
             }
+        } else if arg == "--ledger" {
+            if !path_flag("--ledger", &mut ledger_path, &mut it) {
+                return 2;
+            }
         } else if arg == "--trace" {
             if !path_flag("--trace", &mut trace_path, &mut it) {
                 return 2;
@@ -145,11 +176,36 @@ fn real_main() -> i32 {
     let export_rec = want_export.then(|| Arc::new(InMemoryRecorder::new()));
 
     let t_start = Instant::now();
+    let created_unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0);
     let outer = experiment_guard(deadline_ms, t_start);
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    // (id, snapshot json) per completed experiment, in run order.
+    // (id, snapshot json) per attempted experiment, in run order.
     let mut snapshots: Vec<(String, String)> = Vec::new();
+    let mut ledger_record = ledger_path.as_ref().map(|_| RunRecord {
+        created_unix_ms,
+        git_rev: git_rev(),
+        label: ids.join(" "),
+        ..Default::default()
+    });
+    if let Some(record) = &mut ledger_record {
+        record.config.insert(
+            "deadline_ms".into(),
+            deadline_ms.map_or_else(|| "none".into(), |ms| ms.to_string()),
+        );
+        // Experiments run the miners' defaults: sequential, fixed seeds
+        // (the property the exact-counter gate relies on).
+        record
+            .config
+            .insert("parallelism".into(), "sequential".into());
+    }
+    // First failure is remembered but does not abort the run: later
+    // experiments still produce evidence, and the metrics/ledger files
+    // are written regardless.
+    let mut exit_code = 0;
     for (pos, id) in ids.iter().enumerate() {
         if outer.should_stop() {
             let skipped = ids[pos..].join(", ");
@@ -157,9 +213,8 @@ fn real_main() -> i32 {
             break;
         }
         let t0 = Instant::now();
-        let metrics_rec = metrics_path
-            .as_ref()
-            .map(|_| Arc::new(InMemoryRecorder::new()));
+        let metrics_rec = (metrics_path.is_some() || ledger_path.is_some())
+            .then(|| Arc::new(InMemoryRecorder::new()));
         // Compose the recorder stack for this experiment: the export
         // recorder is primary (it owns the span tree); a per-experiment
         // metrics recorder rides along as the tee's secondary; progress
@@ -176,17 +231,27 @@ fn real_main() -> i32 {
         } else {
             base
         };
-        let result = match recorder {
+        let (result, status) = match recorder {
             Some(rec) => {
                 let inner = experiment_guard(deadline_ms, t_start).with_recorder(rec);
                 let exp_span = inner.obs().span_fmt(format_args!("experiment.{id}"));
                 let result = dm_bench::run_governed(id, &inner);
                 drop(exp_span);
-                result
+                let status = inner.status();
+                (result, status)
             }
-            None => dm_bench::run_governed(id, &outer),
+            None => (dm_bench::run_governed(id, &outer), outer.status()),
         };
-        match result {
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // The truncation marker for this experiment's snapshot/ledger
+        // entry: guard trips and data errors both leave partial
+        // metrics, and partial metrics must say so.
+        let truncated: Option<String> = match (&result, &status) {
+            (Some(Err(e)), _) => Some(format!("error: {e}")),
+            (_, RunStatus::Truncated(reason)) => Some(reason.to_string()),
+            _ => None,
+        };
+        match &result {
             Some(Ok(report)) => {
                 if writeln!(out, "{report}").is_err()
                     || writeln!(out, "[{id} completed in {:?}]\n", t0.elapsed()).is_err()
@@ -194,17 +259,33 @@ fn real_main() -> i32 {
                     // Broken pipe (e.g. `| head`): stop quietly.
                     return 0;
                 }
-                if let Some(rec) = &metrics_rec {
-                    snapshots.push((id.to_string(), rec.snapshot().to_json()));
-                }
             }
             Some(Err(e)) => {
                 eprintln!("experiment {id} failed: {e}");
-                return 1;
+                exit_code = 1;
             }
             None => {
                 eprintln!("unknown experiment id `{id}` (try --list)");
                 return 2;
+            }
+        }
+        if let Some(rec) = &metrics_rec {
+            let snap = rec.snapshot();
+            if metrics_path.is_some() {
+                snapshots.push((
+                    id.to_string(),
+                    snapshot_json_tagged(&snap, truncated.as_deref()),
+                ));
+            }
+            if let Some(record) = &mut ledger_record {
+                record.experiments.insert(
+                    id.to_string(),
+                    ExperimentRun {
+                        wall_ms,
+                        truncated,
+                        metrics: MetricDoc::from_snapshot(&snap),
+                    },
+                );
             }
         }
     }
@@ -228,6 +309,16 @@ fn real_main() -> i32 {
             snapshots.len()
         );
     }
+    if let (Some(path), Some(record)) = (&ledger_path, &ledger_record) {
+        if let Err(e) = std::fs::write(path, record.to_json()) {
+            eprintln!("failed to write ledger record {path}: {e}");
+            return 1;
+        }
+        eprintln!(
+            "[ledger record for {} experiment(s) written to {path}]",
+            record.experiments.len()
+        );
+    }
     if let Some(rec) = &export_rec {
         let snap = rec.snapshot();
         type Render = fn(&dm_core::prelude::Snapshot) -> String;
@@ -246,5 +337,5 @@ fn real_main() -> i32 {
             }
         }
     }
-    0
+    exit_code
 }

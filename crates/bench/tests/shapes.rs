@@ -226,11 +226,11 @@ fn apriori_tid_ck_outgrows_database_but_hashtree_does_not() {
     let db = quest_small();
     let (_, snap) = mine_with_metrics(&AprioriTid::new(MINSUP), &db);
     let db_bytes = snap
-        .gauge("assoc.db_mem_bytes")
+        .gauge("assoc.mem.db_bytes")
         .expect("database footprint recorded");
     assert!(db_bytes > 0.0);
     let ck_peak = snap
-        .gauge("assoc.ck_mem_bytes")
+        .gauge("assoc.mem.ck_bytes")
         .expect("tid-list footprint recorded");
     assert!(
         ck_peak > db_bytes,
@@ -249,10 +249,10 @@ fn apriori_tid_ck_outgrows_database_but_hashtree_does_not() {
 
     let (_, snap) = mine_with_metrics(&Apriori::new(MINSUP), &db);
     let db_bytes = snap
-        .gauge("assoc.db_mem_bytes")
+        .gauge("assoc.mem.db_bytes")
         .expect("database footprint recorded");
     let tree_peak = snap
-        .gauge("assoc.hashtree_mem_bytes")
+        .gauge("assoc.mem.hashtree_bytes")
         .expect("hash-tree footprint recorded");
     assert!(
         tree_peak < db_bytes,

@@ -189,7 +189,7 @@ fn tree_and_knn_emit_their_counters() {
     });
     assert_counters(
         &snap,
-        &["tree.grow.nodes_expanded", "tree.grow.split_evals"],
+        &["tree.decision.nodes_expanded", "tree.decision.split_evals"],
     );
 
     let (train, train_labels) = GaussianMixture::well_separated(3, 2, 40, 9.0)
@@ -283,15 +283,15 @@ fn memory_gauges_cover_the_paper_structures() {
             .mine_governed(&db, g)
             .unwrap();
     });
-    assert!(snap.gauge("assoc.db_mem_bytes").is_some_and(|v| v > 0.0));
-    assert!(snap.gauge("assoc.ck_mem_bytes").is_some_and(|v| v > 0.0));
+    assert!(snap.gauge("assoc.mem.db_bytes").is_some_and(|v| v > 0.0));
+    assert!(snap.gauge("assoc.mem.ck_bytes").is_some_and(|v| v > 0.0));
     let snap = record(|g| {
         Apriori::new(MinSupport::Fraction(0.01))
             .mine_governed(&db, g)
             .unwrap();
     });
     assert!(
-        snap.gauge("assoc.hashtree_mem_bytes")
+        snap.gauge("assoc.mem.hashtree_bytes")
             .is_some_and(|v| v > 0.0),
         "hash-tree footprint missing (support low enough for pass 3?)"
     );
@@ -319,6 +319,98 @@ fn memory_gauges_cover_the_paper_structures() {
             .is_some_and(|v| v > 0.0),
         "BIRCH CF-tree footprint missing"
     );
+}
+
+/// The naming convention every ledger key inherits (DESIGN.md, "Metric
+/// naming"): dot-separated lowercase segments, `<subsystem>` first from
+/// the closed set below, at least one more segment after it. Run
+/// ledgers diff and gate on these names across commits, so a rename is
+/// a baseline-breaking event — this test is the executable convention.
+fn assert_well_named(kind: &str, name: &str) {
+    const SUBSYSTEMS: [&str; 8] = [
+        "assoc",
+        "seq",
+        "cluster",
+        "tree",
+        "knn",
+        "par",
+        "guard",
+        "experiment",
+    ];
+    let ok_chars = name
+        .chars()
+        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_');
+    assert!(ok_chars, "{kind} `{name}`: only [a-z0-9_.] allowed");
+    let segments: Vec<&str> = name.split('.').collect();
+    assert!(
+        segments.len() >= 2 && segments.iter().all(|s| !s.is_empty()),
+        "{kind} `{name}`: need >= 2 non-empty dot segments"
+    );
+    assert!(
+        SUBSYSTEMS.contains(&segments[0]),
+        "{kind} `{name}`: unknown subsystem `{}` (registry: {SUBSYSTEMS:?})",
+        segments[0]
+    );
+}
+
+#[test]
+fn every_emitted_metric_name_follows_the_convention() {
+    let db = small_quest();
+    let (tabular, labels) = AgrawalGenerator::new(AgrawalFunction::F2, 200)
+        .unwrap()
+        .generate(11);
+    let (points, _) = GaussianMixture::well_separated(3, 2, 60, 8.0)
+        .unwrap()
+        .generate(9);
+    let snap = record(|g| {
+        // One pass through each instrumented family, parallel shards on.
+        Apriori::new(MinSupport::Fraction(0.02))
+            .with_parallelism(Parallelism::Threads(2))
+            .mine_governed(&db, g)
+            .unwrap();
+        AprioriTid::new(MinSupport::Fraction(0.02))
+            .mine_governed(&db, g)
+            .unwrap();
+        KMeans::new(3)
+            .with_seed(1)
+            .fit_governed(&points, g)
+            .unwrap();
+        DecisionTreeLearner::new()
+            .fit_governed(&tabular, &labels, g)
+            .unwrap();
+    });
+    for name in snap.counters.keys() {
+        assert_well_named("counter", name);
+    }
+    for name in snap.gauges.keys() {
+        assert_well_named("gauge", name);
+    }
+    for name in snap.histograms.keys() {
+        assert_well_named("histogram", name);
+    }
+    for node in &snap.tree {
+        assert_well_named("span", &node.name);
+    }
+    for event in &snap.events {
+        assert_well_named("event", &event.name);
+    }
+    // The pre-ledger stragglers stay gone: family memory high-waters
+    // live under the reserved `mem` scope, tree counters under the
+    // algorithm (`decision`), not the phase.
+    for retired in [
+        "assoc.db_mem_bytes",
+        "assoc.ck_mem_bytes",
+        "assoc.hashtree_mem_bytes",
+        "tree.grow.nodes_expanded",
+        "tree.grow.split_evals",
+    ] {
+        assert!(
+            snap.counter(retired).is_none() && snap.gauge(retired).is_none(),
+            "retired metric name `{retired}` re-emitted"
+        );
+    }
+    assert!(snap.gauge("assoc.mem.db_bytes").is_some());
+    assert!(snap.counter("tree.decision.nodes_expanded").is_some());
 }
 
 #[test]

@@ -290,7 +290,10 @@ fn recording_never_changes_results() {
         .unwrap()
         .result;
     assert_eq!(got, reference, "recorded tree must be identical");
-    assert!(rec.snapshot().counter("tree.grow.nodes_expanded").is_some());
+    assert!(rec
+        .snapshot()
+        .counter("tree.decision.nodes_expanded")
+        .is_some());
 }
 
 #[test]

@@ -52,7 +52,7 @@
 //! `dm_par` worker, attaching a recorder needs no signature changes
 //! anywhere. Without one, [`Guard::obs`] hands out the no-op recorder,
 //! whose emissions compile to a predictable branch — the measured
-//! overhead is within noise (`BENCH_obs.json`). The guard itself emits a
+//! overhead is within noise (`ledger/bench-obs.json`). The guard itself emits a
 //! `guard.trip` event (with the reason) and a `guard.work_admitted`
 //! watermark gauge the moment its first limit latches.
 

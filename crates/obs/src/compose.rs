@@ -71,7 +71,10 @@ impl ProgressRecorder {
     }
 
     fn narrate_gauge(&self, name: &str) -> bool {
-        name.ends_with("mem_bytes") || name.contains(".iter") || name.contains(".pass")
+        name.ends_with("mem_bytes")
+            || name.contains(".mem.")
+            || name.contains(".iter")
+            || name.contains(".pass")
     }
 }
 
@@ -275,7 +278,7 @@ mod tests {
             let _pass = obs.span("assoc.apriori.pass2");
         }
         obs.span_ns("par.shard0.busy", 10);
-        obs.gauge_max("assoc.ck_mem_bytes", 4096.0);
+        obs.gauge_max("assoc.mem.ck_bytes", 4096.0);
         obs.gauge("cluster.kmeans.iter.inertia", 2.5);
         obs.gauge("assoc.apriori.minsup_count", 20.0); // not narrated
         obs.counter("assoc.apriori.pass2.candidates", 148_240); // not narrated
@@ -283,7 +286,7 @@ mod tests {
         let lines = sink.lines();
         assert_eq!(lines.len(), 4, "pass span, 2 gauges, 1 event: {lines:?}");
         assert!(lines[0].contains("assoc.apriori.pass2"));
-        assert!(lines[1].contains("assoc.ck_mem_bytes >= 4096"));
+        assert!(lines[1].contains("assoc.mem.ck_bytes >= 4096"));
         assert!(lines[2].contains("cluster.kmeans.iter.inertia = 2.5"));
         assert!(lines[3].contains("guard.trip: deadline"));
         // Everything still reached the inner recorder.

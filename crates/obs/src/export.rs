@@ -294,7 +294,7 @@ mod tests {
             let _p2 = obs.span("assoc.apriori.pass2");
         }
         obs.counter("assoc.apriori.passes", 2);
-        obs.gauge("assoc.db_mem_bytes", 1024.0);
+        obs.gauge("assoc.mem.db_bytes", 1024.0);
         obs.value("par.shard.items", 100);
         obs.value("par.shard.items", 900);
         rec.snapshot()
@@ -406,7 +406,7 @@ mod tests {
     fn prometheus_emits_all_series_types() {
         let out = prometheus(&sample());
         assert!(out.contains("# TYPE assoc_apriori_passes counter\nassoc_apriori_passes 2\n"));
-        assert!(out.contains("# TYPE assoc_db_mem_bytes gauge\nassoc_db_mem_bytes 1024.0\n"));
+        assert!(out.contains("# TYPE assoc_mem_db_bytes gauge\nassoc_mem_db_bytes 1024.0\n"));
         assert!(out.contains("# TYPE par_shard_items histogram"));
         // 100 lands in bucket 7 (le 127), 900 in bucket 10 (le 1023).
         assert!(out.contains("par_shard_items_bucket{le=\"127\"} 1\n"));

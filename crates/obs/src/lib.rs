@@ -14,7 +14,7 @@
 //!   method is an empty body and [`Recorder::enabled`] returns `false`,
 //!   so instrumentation sites skip even the metric-name formatting
 //!   (measured ≤2% overhead on the assoc/cluster benches, see
-//!   `BENCH_obs.json`);
+//!   `ledger/bench-obs.json`);
 //! * [`InMemoryRecorder`] — thread-safe aggregation into counters,
 //!   gauges, log-bucketed duration/value [`Histogram`]s, a hierarchical
 //!   span *tree*, and an ordered event log, snapshot as a stable,
@@ -91,6 +91,8 @@ pub mod compose;
 pub mod export;
 pub mod heap;
 pub mod hist;
+pub mod json;
+pub mod ledger;
 
 pub use compose::{ProgressRecorder, ProgressSink, StderrSink, TeeRecorder};
 pub use heap::HeapSize;
@@ -596,7 +598,7 @@ impl Snapshot {
 }
 
 /// Escapes `s` as a JSON string literal (quotes included).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -617,7 +619,7 @@ fn json_string(s: &str) -> String {
 }
 
 /// Formats an `f64` as a JSON value (`null` for non-finite values).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         // `{:?}` keeps enough digits to round-trip and always includes
         // a decimal point or exponent, which every JSON parser accepts.
@@ -931,10 +933,10 @@ mod tests {
     fn gauge_max_keeps_high_water() {
         let rec = InMemoryRecorder::new();
         let obs = Obs::new(&rec);
-        obs.gauge_max("assoc.ck_mem_bytes", 100.0);
-        obs.gauge_max("assoc.ck_mem_bytes", 400.0);
-        obs.gauge_max("assoc.ck_mem_bytes", 250.0);
-        assert_eq!(rec.snapshot().gauge("assoc.ck_mem_bytes"), Some(400.0));
+        obs.gauge_max("assoc.mem.ck_bytes", 100.0);
+        obs.gauge_max("assoc.mem.ck_bytes", 400.0);
+        obs.gauge_max("assoc.mem.ck_bytes", 250.0);
+        assert_eq!(rec.snapshot().gauge("assoc.mem.ck_bytes"), Some(400.0));
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Property tests for the run-ledger diff engine: the algebraic
+//! invariants the regression gate's trustworthiness rests on, for
+//! arbitrary records — `diff(A, A)` is empty (no false positives on
+//! identical runs), counter deltas are antisymmetric under argument
+//! swap (the report is a true signed comparison, not direction-biased),
+//! and records survive a JSON round-trip bit-exactly (what the gate
+//! reads is what the runner wrote).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dm_obs::ledger::{diff, DiffKind, ExperimentRun, MetricDoc, RunRecord};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A small closed name table keeps generated records overlapping: two
+/// independent samples share most keys, so diffs exercise the
+/// changed/added/removed paths rather than being all-adds.
+const NAMES: [&str; 6] = [
+    "assoc.apriori.pass1.candidates",
+    "assoc.apriori.pass2.candidates",
+    "assoc.apriori.passes",
+    "cluster.kmeans.iterations",
+    "par.shard0.busy_ns",
+    "knn.predict.queries",
+];
+
+fn counters(pairs: Vec<(usize, u64)>) -> BTreeMap<String, u64> {
+    pairs
+        .into_iter()
+        .map(|(i, v)| (NAMES[i % NAMES.len()].to_owned(), v))
+        .collect()
+}
+
+fn record_strategy() -> impl Strategy<Value = RunRecord> {
+    let exp = prop::collection::vec((0usize..NAMES.len(), 0u64..1_000_000_000_000), 0..8);
+    (exp.clone(), exp, 0.0f64..10_000.0).prop_map(|(c1, c2, wall)| {
+        let mut record = RunRecord {
+            git_rev: "prop".to_owned(),
+            label: "e1 e2".to_owned(),
+            ..Default::default()
+        };
+        for (id, pairs) in [("e1", c1), ("e2", c2)] {
+            record.experiments.insert(
+                id.to_owned(),
+                ExperimentRun {
+                    wall_ms: wall,
+                    truncated: None,
+                    metrics: MetricDoc {
+                        counters: counters(pairs),
+                        ..Default::default()
+                    },
+                },
+            );
+        }
+        record
+    })
+}
+
+/// The (experiment, name) → signed delta map of a diff's counter rows.
+fn counter_deltas(a: &RunRecord, b: &RunRecord) -> BTreeMap<(String, String), Option<f64>> {
+    diff(a, b)
+        .entries
+        .into_iter()
+        .filter(|e| e.kind == DiffKind::Counter)
+        .map(|e| ((e.experiment.clone(), e.name.clone()), e.delta()))
+        .collect()
+}
+
+proptest! {
+    /// A record never differs from itself: the gate cannot trip on a
+    /// bit-identical rerun.
+    #[test]
+    fn diff_of_any_record_with_itself_is_empty(a in record_strategy()) {
+        let d = diff(&a, &a);
+        prop_assert!(d.is_empty(), "self-diff produced entries: {:?}", d.entries);
+    }
+
+    /// Swapping the arguments negates every counter delta and flags
+    /// exactly the same (experiment, counter) set.
+    #[test]
+    fn diff_is_antisymmetric_on_counter_deltas(
+        a in record_strategy(),
+        b in record_strategy(),
+    ) {
+        let ab = counter_deltas(&a, &b);
+        let ba = counter_deltas(&b, &a);
+        prop_assert_eq!(
+            ab.keys().collect::<Vec<_>>(),
+            ba.keys().collect::<Vec<_>>(),
+            "diff(A,B) and diff(B,A) flagged different counters"
+        );
+        for (key, delta_ab) in &ab {
+            let delta_ba = &ba[key];
+            match (delta_ab, delta_ba) {
+                (Some(x), Some(y)) => prop_assert_eq!(
+                    *x, -*y,
+                    "delta not negated under swap for {:?}", key
+                ),
+                // One-sided entries (counter absent in one record) have
+                // no delta in either direction.
+                (None, None) => {}
+                other => prop_assert!(false, "asymmetric sidedness for {:?}: {:?}", key, other),
+            }
+        }
+    }
+
+    /// What the runner writes is what the gate reads: serialization
+    /// round-trips to an equal record, and re-serializes to identical
+    /// bytes (the determinism the committed baseline relies on).
+    #[test]
+    fn record_round_trips_through_json(a in record_strategy()) {
+        let json = a.to_json();
+        let re = RunRecord::from_json(&json).expect("generated record parses back");
+        prop_assert_eq!(&re, &a);
+        prop_assert_eq!(re.to_json(), json);
+    }
+}

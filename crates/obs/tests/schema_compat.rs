@@ -14,7 +14,7 @@ fn v1_keys_and_shapes_are_unchanged() {
     let rec = InMemoryRecorder::new();
     let obs = Obs::new(&rec);
     obs.counter("assoc.apriori.passes", 3);
-    obs.gauge("assoc.ck_mem_bytes", 4096.0);
+    obs.gauge("assoc.mem.ck_bytes", 4096.0);
     {
         let _outer = obs.span("experiment.e1");
         let _inner = obs.span("assoc.apriori.pass1");
@@ -31,7 +31,7 @@ fn v1_keys_and_shapes_are_unchanged() {
     assert!(json.contains("\"counters\": {"));
     assert!(json.contains("\"assoc.apriori.passes\": 3"));
     assert!(json.contains("\"gauges\": {"));
-    assert!(json.contains("\"assoc.ck_mem_bytes\": 4096"));
+    assert!(json.contains("\"assoc.mem.ck_bytes\": 4096"));
     assert!(json.contains("\"spans\": {"));
     // Span aggregates keep their v1 per-name object shape.
     assert!(json.contains("\"count\": 1, \"total_ns\": "));

@@ -304,7 +304,7 @@ impl DecisionTreeLearner {
         };
 
         let mut nodes = Vec::new();
-        let grow_span = guard.obs().span("tree.grow");
+        let grow_span = guard.obs().span("tree.decision.grow");
         let root = self.grow(data, codes, &grow_rows, n_classes, 1, &mut nodes, guard);
         drop(grow_span);
         let mut tree = DecisionTree {
@@ -370,8 +370,8 @@ impl DecisionTreeLearner {
         let obs = guard.obs();
         if obs.enabled() {
             // One split evaluation per attribute column scanned below.
-            obs.counter("tree.grow.nodes_expanded", 1);
-            obs.counter("tree.grow.split_evals", data.n_cols() as u64);
+            obs.counter("tree.decision.nodes_expanded", 1);
+            obs.counter("tree.decision.split_evals", data.n_cols() as u64);
         }
         let Some(best) = best_split_par(
             data,
