@@ -51,9 +51,12 @@ pub mod apriori;
 pub mod apriori_tid;
 pub mod brute;
 pub mod candidate;
+pub mod eclat;
+pub mod fp_growth;
 pub mod hash_tree;
 pub mod hybrid;
 pub mod itemsets;
+pub mod method;
 pub mod rules;
 pub mod setm;
 pub mod stats;
@@ -62,9 +65,12 @@ pub use ais::Ais;
 pub use apriori::{Apriori, CountingStrategy};
 pub use apriori_tid::AprioriTid;
 pub use brute::BruteForce;
+pub use eclat::Eclat;
+pub use fp_growth::FpGrowth;
 pub use hash_tree::HashTree;
 pub use hybrid::AprioriHybrid;
 pub use itemsets::{FrequentItemsets, Itemset};
+pub use method::{mine, mine_governed, Method};
 pub use rules::{Rule, RuleGenerator};
 pub use setm::Setm;
 pub use stats::{MiningStats, PassStats};

@@ -5,8 +5,8 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use dm_assoc::{
-    Ais, Apriori, AprioriHybrid, AprioriTid, BruteForce, FrequentItemsets, ItemsetMiner,
-    MinSupport, Setm,
+    Ais, Apriori, AprioriHybrid, AprioriTid, BruteForce, Eclat, FpGrowth, FrequentItemsets,
+    ItemsetMiner, MinSupport, Setm,
 };
 use dm_dataset::TransactionDb;
 use dm_guard::{Budget, CancelToken, Guard, RunStatus, TruncationReason};
@@ -41,6 +41,9 @@ fn all_miners(min: MinSupport) -> Vec<Box<dyn ItemsetMiner>> {
         Box::new(AprioriHybrid::new(min).with_tid_budget(0)),
         Box::new(Ais::new(min)),
         Box::new(Setm::new(min)),
+        Box::new(FpGrowth::new(min)),
+        Box::new(Eclat::new(min)),
+        Box::new(Apriori::new(min).with_vertical_pass2(true)),
     ]
 }
 

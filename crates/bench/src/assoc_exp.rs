@@ -191,6 +191,68 @@ pub fn e5_rule_counts(guard: &Guard) -> Result<String, DataError> {
     Ok(out)
 }
 
+/// E14 — FP-Growth / Eclat vs Apriori at low minimum support: the
+/// candidate-explosion regime where candidate generation itself becomes
+/// the bottleneck and the no-candidate miners pull a multiple-× lead.
+/// The headline (lowest-support) point's timings land in the run ledger
+/// as `experiment.fp_vs_apriori.*_ns` counters (noisy-banded), next to
+/// the exact frequent-itemset count (0%-gated).
+pub fn e14_fp_vs_apriori_low_support(guard: &Guard) -> Result<String, DataError> {
+    let (name, db) = quest_db(10.0, 4.0, 10_000)?;
+    let mut out = String::new();
+    out.push_str("# E14: FP-Growth and Eclat vs Apriori at low minsup\n");
+    out.push_str("(the SIGMOD 2000 claim: no candidate generation wins where C_k explodes)\n\n");
+    let mut table = Table::new(
+        format!("{name}: time by minsup"),
+        &[
+            "minsup %",
+            "apriori",
+            "fp-growth",
+            "eclat",
+            "fp speedup",
+            "frequent sets",
+        ],
+    );
+    let supports = [1.0, 0.5, 0.33, 0.25f64];
+    let mut headline: Option<(f64, Duration, Duration, Duration, usize)> = None;
+    for minsup in supports {
+        let support = MinSupport::Fraction(minsup / 100.0);
+        let (t_ap, r_ap) = time_miner(&Apriori::new(support), &db, guard)?;
+        let (t_fp, r_fp) = time_miner(&FpGrowth::new(support), &db, guard)?;
+        let (t_ec, r_ec) = time_miner(&Eclat::new(support), &db, guard)?;
+        assert_eq!(r_fp.itemsets, r_ap.itemsets, "fp-growth output contract");
+        assert_eq!(r_ec.itemsets, r_ap.itemsets, "eclat output contract");
+        table.row(vec![
+            format!("{minsup}"),
+            fmt_duration(t_ap),
+            fmt_duration(t_fp),
+            fmt_duration(t_ec),
+            format!("{:.1}x", t_ap.as_secs_f64() / t_fp.as_secs_f64().max(1e-9)),
+            r_ap.itemsets.len().to_string(),
+        ]);
+        headline = Some((minsup, t_ap, t_fp, t_ec, r_ap.itemsets.len()));
+    }
+    out.push_str(&table.render());
+    if let Some((minsup, t_ap, t_fp, t_ec, n)) = headline {
+        let speedup = t_ap.as_secs_f64() / t_fp.as_secs_f64().max(1e-9);
+        out.push_str(&format!(
+            "\nheadline: at minsup {minsup}% FP-Growth is {speedup:.1}x faster than Apriori \
+             ({} vs {}), {n} frequent itemsets\n",
+            fmt_duration(t_fp),
+            fmt_duration(t_ap),
+        ));
+        let obs = guard.obs();
+        if obs.enabled() {
+            let ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+            obs.counter("experiment.fp_vs_apriori.apriori_ns", ns(t_ap));
+            obs.counter("experiment.fp_vs_apriori.fp_ns", ns(t_fp));
+            obs.counter("experiment.fp_vs_apriori.eclat_ns", ns(t_ec));
+            obs.counter("experiment.fp_vs_apriori.frequent_itemsets", n as u64);
+        }
+    }
+    Ok(out)
+}
+
 /// A1 — ablation: counting-structure choices inside Apriori. The grid
 /// crosses {dense pair array on/off} × {hash tree / linear scan}; the
 /// pair array is the dominant effect (pass 2 carries ~|L1|²/2

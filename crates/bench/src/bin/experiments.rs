@@ -51,7 +51,7 @@ use std::time::Instant;
 
 const USAGE: &str = "usage: experiments [--list] [--deadline-ms N] [--metrics FILE] \
      [--ledger FILE] [--trace FILE] [--folded FILE] [--prom FILE] [--progress] \
-     <all | e1..e13 a1 a2 ...>";
+     <all | e1..e14 a1 a2 ...>";
 
 /// The current git revision, for ledger provenance. Best effort: a
 /// missing `git` binary or a non-repo checkout degrades to "unknown".

@@ -13,7 +13,7 @@
 //! cargo run --release -p dm-bench --bin experiments -- all
 //! ```
 //!
-//! or a single experiment by id (`e1` … `e13`, `a1`, `a2`).
+//! or a single experiment by id (`e1` … `e14`, `a1`, `a2`).
 
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
@@ -24,8 +24,9 @@ pub mod seq_exp;
 pub mod table;
 
 /// All experiment ids, in order.
-pub const ALL_EXPERIMENTS: [&str; 15] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "a1", "a2",
+pub const ALL_EXPERIMENTS: [&str; 16] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "a1",
+    "a2",
 ];
 
 /// Runs one experiment by id, returning its report (or the data error
@@ -62,6 +63,7 @@ pub fn run_governed(
         "e11" => classify_exp::e11_train_time_scaleup(guard),
         "e12" => classify_exp::e12_noise_sensitivity(guard),
         "e13" => seq_exp::e13_sequential_patterns(guard),
+        "e14" => assoc_exp::e14_fp_vs_apriori_low_support(guard),
         "a1" => assoc_exp::a1_hashtree_ablation(guard),
         "a2" => cluster_exp::a2_birch_ablation(guard),
         _ => return None,

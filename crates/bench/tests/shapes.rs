@@ -260,6 +260,63 @@ fn apriori_tid_ck_outgrows_database_but_hashtree_does_not() {
     );
 }
 
+/// FP-Growth's headline claim (Han et al., SIGMOD 2000), restated in
+/// counters: it finds the exact same per-pass frequent sets while
+/// generating **zero** candidates — against Apriori's 148k-candidate
+/// pass-2 blow-up on the same workload.
+#[test]
+fn fp_growth_counts_zero_candidates_where_apriori_blows_up() {
+    let db = quest_small();
+    let (result, snap) = mine_with_metrics(&FpGrowth::new(MINSUP), &db);
+    assert_eq!(result.itemsets.len(), 569);
+    let candidates = per_pass(&snap, "fp", "candidates");
+    assert!(
+        candidates.iter().all(|&c| c == 0),
+        "FP-Growth generated candidates: {candidates:?}"
+    );
+    let mut frequent = per_pass(&snap, "fp", "frequent");
+    while frequent.last() == Some(&0) {
+        frequent.pop();
+    }
+    assert_eq!(frequent, [545, 20, 4]);
+    // The same discovery costs Apriori a six-figure candidate pass.
+    let (_, snap_ap) = mine_with_metrics(&Apriori::new(MINSUP), &db);
+    assert_eq!(per_pass(&snap_ap, "apriori", "candidates")[1], 148_240);
+    // Tree instrumentation is live: a materialized tree and at least one
+    // conditional projection.
+    assert!(snap.counter("assoc.fp.tree_nodes").unwrap() > 0);
+    assert!(snap.counter("assoc.fp.cond_trees").unwrap() > 0);
+    assert!(snap.gauge("assoc.mem.fptree_bytes").unwrap() > 0.0);
+}
+
+/// Eclat's projection depth is bounded by the longest frequent itemset:
+/// the DFS never recurses past prefixes that are themselves frequent, so
+/// the recorded max depth sits in `[max_len - 1, max_len]`. A deeper
+/// recursion means the class pruning regressed.
+#[test]
+fn eclat_projection_depth_tracks_longest_itemset() {
+    let db = quest_small();
+    let (result, snap) = mine_with_metrics(&Eclat::new(MINSUP), &db);
+    assert_eq!(result.itemsets.len(), 569);
+    let mut frequent = per_pass(&snap, "eclat", "frequent");
+    while frequent.last() == Some(&0) {
+        frequent.pop();
+    }
+    assert_eq!(frequent, [545, 20, 4]);
+    let max_len = result.itemsets.max_len();
+    let depth = snap.gauge("assoc.eclat.max_depth").unwrap() as usize;
+    assert!(
+        depth + 1 >= max_len && depth <= max_len,
+        "projection depth {depth} out of bounds for max itemset length {max_len}"
+    );
+    // Pass 1 admits every item column; later passes count intersections,
+    // of which there is at least one per frequent extension.
+    assert_eq!(per_pass(&snap, "eclat", "candidates")[0], 1000);
+    let intersections = snap.counter("assoc.eclat.intersections").unwrap();
+    assert!(intersections >= (result.itemsets.len() - frequent[0] as usize) as u64);
+    assert!(snap.gauge("assoc.mem.vertical_bytes").unwrap() > 0.0);
+}
+
 /// The hash-tree visit counter (A1's ablation currency) must be live:
 /// recorded for Apriori whenever a pass at k >= 3 actually counted
 /// candidates through the tree.

@@ -76,8 +76,9 @@ pub mod prelude {
     };
     pub use crate::model_selection::{cross_validate, train_test_evaluate, CvResult};
     pub use dm_assoc::{
-        Ais, Apriori, AprioriHybrid, AprioriTid, BruteForce, CountingStrategy, FrequentItemsets,
-        ItemsetMiner, MinSupport, MiningResult, Rule, RuleGenerator, Setm,
+        mine, mine_governed, Ais, Apriori, AprioriHybrid, AprioriTid, BruteForce, CountingStrategy,
+        Eclat, FpGrowth, FrequentItemsets, ItemsetMiner, Method, MinSupport, MiningResult, Rule,
+        RuleGenerator, Setm,
     };
     pub use dm_bayes::NaiveBayes;
     pub use dm_cluster::{
@@ -85,8 +86,8 @@ pub mod prelude {
         Pam, NOISE,
     };
     pub use dm_dataset::{
-        Column, DataError, Dataset, Dict, KFold, Labels, Matrix, StratifiedKFold, TransactionDb,
-        Value,
+        Column, DataError, Dataset, Dict, KFold, Labels, Matrix, StratifiedKFold, TidSet,
+        TransactionDb, Value, VerticalDb,
     };
     pub use dm_eval::{
         adjusted_rand_index, normalized_mutual_information, purity, silhouette, sse,

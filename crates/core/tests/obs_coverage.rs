@@ -75,6 +75,99 @@ fn every_assoc_miner_emits_per_pass_counters_and_spans() {
 }
 
 #[test]
+fn fp_growth_emits_tree_counters_gauges_and_spans() {
+    let db = small_quest();
+    let snap = record(|g| {
+        FpGrowth::new(MinSupport::Fraction(0.02))
+            .mine_governed(&db, g)
+            .unwrap();
+    });
+    assert_counters(
+        &snap,
+        &[
+            "assoc.fp.pass1.candidates",
+            "assoc.fp.pass1.frequent",
+            "assoc.fp.pass1.pruned",
+            "assoc.fp.passes",
+            "assoc.fp.tree_nodes",
+            "assoc.fp.cond_trees",
+            "assoc.fp.cond_nodes",
+            "assoc.fp.single_path_shortcuts",
+        ],
+    );
+    // Zero candidates on every pass — the algorithm's defining claim.
+    let passes = snap.counter("assoc.fp.passes").unwrap();
+    for k in 1..=passes {
+        assert_eq!(
+            snap.counter(&format!("assoc.fp.pass{k}.candidates")),
+            Some(0),
+            "FP-Growth pass {k} generated candidates"
+        );
+    }
+    for span in ["assoc.fp.scan", "assoc.fp.build", "assoc.fp.mine"] {
+        assert!(snap.spans.contains_key(span), "missing span `{span}`");
+    }
+    assert!(snap
+        .gauge("assoc.mem.fptree_bytes")
+        .is_some_and(|v| v > 0.0));
+    assert!(snap
+        .gauge("assoc.fp.tree_mem_bytes")
+        .is_some_and(|v| v > 0.0));
+    assert!(snap.gauge("assoc.mem.db_bytes").is_some_and(|v| v > 0.0));
+}
+
+#[test]
+fn eclat_emits_vertical_counters_gauges_and_spans() {
+    let db = small_quest();
+    let snap = record(|g| {
+        Eclat::new(MinSupport::Fraction(0.02))
+            .mine_governed(&db, g)
+            .unwrap();
+    });
+    assert_counters(
+        &snap,
+        &[
+            "assoc.eclat.pass1.candidates",
+            "assoc.eclat.pass1.frequent",
+            "assoc.eclat.pass1.pruned",
+            "assoc.eclat.passes",
+            "assoc.eclat.intersections",
+        ],
+    );
+    for span in ["assoc.eclat.build", "assoc.eclat.mine"] {
+        assert!(snap.spans.contains_key(span), "missing span `{span}`");
+    }
+    assert!(snap
+        .gauge("assoc.mem.vertical_bytes")
+        .is_some_and(|v| v > 0.0));
+    assert!(snap
+        .gauge("assoc.eclat.max_depth")
+        .is_some_and(|v| v >= 1.0));
+}
+
+#[test]
+fn auto_front_door_reports_its_resolution() {
+    let db = small_quest();
+    let snap = record(|g| {
+        mine_governed(&db, MinSupport::Fraction(0.02), Method::Auto, g).unwrap();
+    });
+    let resolved: Vec<&str> = snap
+        .events
+        .iter()
+        .filter(|e| e.name == "assoc.auto.resolved")
+        .map(|e| e.detail.as_str())
+        .collect();
+    // small_quest is below the Auto size floor, so Apriori is chosen —
+    // and the decision must be observable.
+    assert_eq!(resolved, ["apriori"]);
+    // A concrete method stays silent: nothing was "resolved".
+    let snap = record(|g| {
+        mine_governed(&db, MinSupport::Fraction(0.02), Method::Eclat, g).unwrap();
+    });
+    assert!(snap.events.iter().all(|e| e.name != "assoc.auto.resolved"));
+}
+
+#[test]
 fn apriori_emits_hashtree_visits_and_hybrid_reports_switch() {
     let db = small_quest();
     // Low enough support to reach pass 3, where counting goes through
@@ -371,6 +464,18 @@ fn every_emitted_metric_name_follows_the_convention() {
         AprioriTid::new(MinSupport::Fraction(0.02))
             .mine_governed(&db, g)
             .unwrap();
+        FpGrowth::new(MinSupport::Fraction(0.02))
+            .mine_governed(&db, g)
+            .unwrap();
+        Eclat::new(MinSupport::Fraction(0.02))
+            .with_parallelism(Parallelism::Threads(2))
+            .mine_governed(&db, g)
+            .unwrap();
+        Apriori::new(MinSupport::Fraction(0.02))
+            .with_vertical_pass2(true)
+            .mine_governed(&db, g)
+            .unwrap();
+        mine_governed(&db, MinSupport::Fraction(0.02), Method::Auto, g).unwrap();
         KMeans::new(3)
             .with_seed(1)
             .fit_governed(&points, g)

@@ -53,6 +53,7 @@ pub mod scale;
 pub mod split;
 pub mod transactions;
 pub mod value;
+pub mod vertical;
 
 pub use attribute::{AttrKind, Attribute};
 pub use column::Column;
@@ -66,6 +67,7 @@ pub use scale::{FittedScaler, MinMaxScaler, Scaler, StandardScaler};
 pub use split::{train_test_split, KFold, StratifiedKFold};
 pub use transactions::TransactionDb;
 pub use value::Value;
+pub use vertical::{TidSet, VerticalDb};
 
 /// Sentinel categorical code representing a missing value.
 pub const MISSING_CODE: u32 = u32::MAX;

@@ -1,0 +1,473 @@
+//! Vertical (columnar) transaction layout for intersection-based mining.
+//!
+//! The horizontal [`TransactionDb`] stores one row per transaction; the
+//! vertical layout stores one **tid column** per item: the set of
+//! transaction ids containing that item. Support counting then becomes
+//! set intersection — the substrate of Eclat-style miners and of
+//! intersection-based pair counting inside Apriori's second pass.
+//!
+//! Each column adapts its representation to its density:
+//!
+//! * **Dense** items ([`TidSet::Bits`]) pack tids into `u64` words; an
+//!   intersection is a word-wise `AND` + `popcount` sweep, and the word
+//!   array doubles as a chunkable layout for `dm_par` range sharding
+//!   (popcount sums are exactly associative, so sharded counts are
+//!   bit-identical to sequential ones).
+//! * **Sparse** items ([`TidSet::Tids`]) keep a sorted tid-list; two
+//!   sparse columns intersect by galloping (exponential probe + binary
+//!   search) from the smaller list into the larger, and a sparse column
+//!   probes a dense one bit by bit.
+//!
+//! The cutover is per column: a set holding more than one tid per
+//! [`DENSE_CUTOVER`] rows becomes a bitset (see [`TidSet::from_tids`]).
+//! All operations are deterministic; materialized intersections re-apply
+//! the cutover so derived sets stay in the cheaper representation.
+
+use crate::transactions::TransactionDb;
+use dm_obs::HeapSize;
+
+/// A column is stored dense (word-packed bitset) when it holds more than
+/// one tid per this many rows. At 16 rows per tid the bitset (1 bit/row)
+/// is at most half the size of the 32-bit tid-list it replaces, so the
+/// cutover only ever shrinks a column while buying O(64)-per-word
+/// intersections.
+pub const DENSE_CUTOVER: usize = 16;
+
+/// The set of transaction ids containing one item, in the representation
+/// its density earns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TidSet {
+    /// Word-packed bitset over `0..n_rows` with its precomputed
+    /// cardinality; tid `t` lives in bit `t % 64` of word `t / 64`.
+    Bits {
+        /// `ceil(n_rows / 64)` packed words.
+        words: Vec<u64>,
+        /// Number of set bits (the item's support count).
+        count: usize,
+    },
+    /// Sorted, duplicate-free tid-list.
+    Tids(Vec<u32>),
+}
+
+impl TidSet {
+    /// Builds the representation `tids` earns under the density cutover.
+    /// `tids` must be sorted and duplicate-free (as produced by a scan of
+    /// a [`TransactionDb`] in tid order).
+    pub fn from_tids(tids: Vec<u32>, n_rows: usize) -> Self {
+        debug_assert!(tids.windows(2).all(|w| w[0] < w[1]), "tids sorted+deduped");
+        if tids.len() * DENSE_CUTOVER > n_rows {
+            let mut words = vec![0u64; n_rows.div_ceil(64)];
+            for &t in &tids {
+                words[t as usize / 64] |= 1u64 << (t % 64);
+            }
+            TidSet::Bits {
+                words,
+                count: tids.len(),
+            }
+        } else {
+            TidSet::Tids(tids)
+        }
+    }
+
+    /// An empty set (always sparse: zero tids never earn words).
+    pub fn empty() -> Self {
+        TidSet::Tids(Vec::new())
+    }
+
+    /// Number of tids in the set — the item(set)'s support count.
+    pub fn support(&self) -> usize {
+        match self {
+            TidSet::Bits { count, .. } => *count,
+            TidSet::Tids(tids) => tids.len(),
+        }
+    }
+
+    /// Whether the set is stored as a word-packed bitset.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, TidSet::Bits { .. })
+    }
+
+    /// The packed words of a dense set (`None` for sparse).
+    pub fn as_words(&self) -> Option<&[u64]> {
+        match self {
+            TidSet::Bits { words, .. } => Some(words),
+            TidSet::Tids(_) => None,
+        }
+    }
+
+    /// The sorted tid-list of a sparse set (`None` for dense).
+    pub fn as_tids(&self) -> Option<&[u32]> {
+        match self {
+            TidSet::Tids(tids) => Some(tids),
+            TidSet::Bits { .. } => None,
+        }
+    }
+
+    /// Whether `tid` is in the set.
+    pub fn contains(&self, tid: u32) -> bool {
+        match self {
+            TidSet::Bits { words, .. } => words
+                .get(tid as usize / 64)
+                .is_some_and(|w| w & (1u64 << (tid % 64)) != 0),
+            TidSet::Tids(tids) => tids.binary_search(&tid).is_ok(),
+        }
+    }
+
+    /// The tids of the set in ascending order.
+    pub fn iter_tids(&self) -> Vec<u32> {
+        match self {
+            TidSet::Tids(tids) => tids.clone(),
+            TidSet::Bits { words, count } => {
+                let mut out = Vec::with_capacity(*count);
+                for (wi, &w) in words.iter().enumerate() {
+                    let mut w = w;
+                    while w != 0 {
+                        let bit = w.trailing_zeros();
+                        out.push(wi as u32 * 64 + bit);
+                        w &= w - 1;
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// `|self ∩ other|` without materializing the intersection:
+    /// AND+popcount for dense/dense, galloping for sparse/sparse, bit
+    /// probing for mixed pairs.
+    pub fn intersect_count(&self, other: &TidSet) -> usize {
+        match (self, other) {
+            (TidSet::Bits { words: a, .. }, TidSet::Bits { words: b, .. }) => {
+                count_and_words(a, b, 0..a.len().min(b.len()))
+            }
+            (TidSet::Tids(a), TidSet::Tids(b)) => galloping_intersect_count(a, b),
+            (TidSet::Tids(tids), dense @ TidSet::Bits { .. })
+            | (dense @ TidSet::Bits { .. }, TidSet::Tids(tids)) => {
+                tids.iter().filter(|&&t| dense.contains(t)).count()
+            }
+        }
+    }
+
+    /// Materializes `self ∩ other`, re-applying the density cutover so
+    /// the result lands in the representation its own cardinality earns.
+    pub fn intersect(&self, other: &TidSet, n_rows: usize) -> TidSet {
+        match (self, other) {
+            (TidSet::Bits { words: a, .. }, TidSet::Bits { words: b, .. }) => {
+                let n = a.len().min(b.len());
+                let mut words: Vec<u64> = Vec::with_capacity(n);
+                let mut count = 0usize;
+                for i in 0..n {
+                    let w = a[i] & b[i];
+                    count += w.count_ones() as usize;
+                    words.push(w);
+                }
+                if count * DENSE_CUTOVER > n_rows {
+                    TidSet::Bits { words, count }
+                } else {
+                    TidSet::from_tids(TidSet::Bits { words, count }.iter_tids(), n_rows)
+                }
+            }
+            (TidSet::Tids(a), TidSet::Tids(b)) => {
+                TidSet::from_tids(galloping_intersect(a, b), n_rows)
+            }
+            (TidSet::Tids(tids), dense @ TidSet::Bits { .. })
+            | (dense @ TidSet::Bits { .. }, TidSet::Tids(tids)) => TidSet::from_tids(
+                tids.iter()
+                    .copied()
+                    .filter(|&t| dense.contains(t))
+                    .collect(),
+                n_rows,
+            ),
+        }
+    }
+}
+
+impl HeapSize for TidSet {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            TidSet::Bits { words, .. } => words.heap_bytes(),
+            TidSet::Tids(tids) => tids.heap_bytes(),
+        }
+    }
+}
+
+/// `popcount(a[i] & b[i])` summed over `range` — the chunkable kernel of
+/// dense/dense intersection. Callers shard `range` across threads
+/// (fixed-boundary chunks) and sum the partial counts; integer addition
+/// is exactly associative, so any sharding yields the sequential count.
+#[inline]
+pub fn count_and_words(a: &[u64], b: &[u64], range: std::ops::Range<usize>) -> usize {
+    a[range.clone()]
+        .iter()
+        .zip(&b[range])
+        .map(|(x, y)| (x & y).count_ones() as usize)
+        .sum()
+}
+
+/// Galloping (exponential-probe) intersection count of two sorted lists.
+/// Probes from the smaller list into the larger, so the cost is
+/// `O(|small| · log(|big| / |small|))`.
+pub fn galloping_intersect_count(a: &[u32], b: &[u32]) -> usize {
+    let (small, big) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut count = 0usize;
+    let mut lo = 0usize;
+    for &s in small {
+        match gallop_to(big, lo, s) {
+            (pos, true) => {
+                count += 1;
+                lo = pos + 1;
+            }
+            (pos, false) => lo = pos,
+        }
+        if lo >= big.len() {
+            break;
+        }
+    }
+    count
+}
+
+/// Galloping intersection materializing the common tids (sorted).
+pub fn galloping_intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (small, big) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::new();
+    let mut lo = 0usize;
+    for &s in small {
+        match gallop_to(big, lo, s) {
+            (pos, true) => {
+                out.push(s);
+                lo = pos + 1;
+            }
+            (pos, false) => lo = pos,
+        }
+        if lo >= big.len() {
+            break;
+        }
+    }
+    out
+}
+
+/// Finds the insertion point of `target` in `sorted[lo..]` by doubling
+/// probes then binary search over the last probed window. Returns
+/// `(index, found)`.
+fn gallop_to(sorted: &[u32], lo: usize, target: u32) -> (usize, bool) {
+    let mut step = 1usize;
+    let mut prev = lo;
+    let mut hi = lo;
+    // After the loop, `sorted[prev] < target` (or prev == lo) and
+    // `sorted[hi] >= target` (or hi == len): target lives in [prev, hi].
+    while hi < sorted.len() && sorted[hi] < target {
+        prev = hi;
+        hi = hi.saturating_add(step).min(sorted.len());
+        step <<= 1;
+    }
+    let end = (hi + 1).min(sorted.len());
+    match sorted[prev..end].binary_search(&target) {
+        Ok(i) => (prev + i, true),
+        Err(i) => (prev + i, false),
+    }
+}
+
+/// The vertical layout of a whole database: one [`TidSet`] per item id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerticalDb {
+    n_rows: usize,
+    columns: Vec<TidSet>,
+}
+
+impl VerticalDb {
+    /// Builds the layout in one scan of `db`, in tid order (columns come
+    /// out sorted for free).
+    pub fn from_db(db: &TransactionDb) -> Self {
+        // `should_stop` never fires, so the build cannot return `None`.
+        match Self::from_db_interruptible(db, usize::MAX, || false) {
+            Some(v) => v,
+            None => VerticalDb {
+                n_rows: db.len(),
+                columns: Vec::new(),
+            },
+        }
+    }
+
+    /// Builds the layout, polling `should_stop` every `poll_stride`
+    /// transactions; returns `None` if a poll asked to stop. This is the
+    /// governed entry point: miners pass a guard poll without this crate
+    /// needing to know about guards.
+    pub fn from_db_interruptible(
+        db: &TransactionDb,
+        poll_stride: usize,
+        mut should_stop: impl FnMut() -> bool,
+    ) -> Option<Self> {
+        let n_rows = db.len();
+        let mut tid_lists: Vec<Vec<u32>> = vec![Vec::new(); db.n_items() as usize];
+        let stride = poll_stride.max(1);
+        for (t, txn) in db.iter().enumerate() {
+            if t % stride == 0 && should_stop() {
+                return None;
+            }
+            for &item in txn {
+                tid_lists[item as usize].push(t as u32);
+            }
+        }
+        let columns = tid_lists
+            .into_iter()
+            .map(|tids| TidSet::from_tids(tids, n_rows))
+            .collect();
+        Some(VerticalDb { n_rows, columns })
+    }
+
+    /// Number of transactions (rows) in the source database.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of item columns.
+    pub fn n_items(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The tid column of `item`.
+    pub fn column(&self, item: u32) -> &TidSet {
+        &self.columns[item as usize]
+    }
+
+    /// Iterates `(item, column)` pairs in item order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &TidSet)> {
+        self.columns.iter().enumerate().map(|(i, c)| (i as u32, c))
+    }
+
+    /// Support count of a single item straight from its column length.
+    pub fn support(&self, item: u32) -> usize {
+        self.columns.get(item as usize).map_or(0, TidSet::support)
+    }
+}
+
+impl HeapSize for VerticalDb {
+    fn heap_bytes(&self) -> usize {
+        self.columns.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TransactionDb {
+        TransactionDb::new(vec![
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+        ])
+    }
+
+    #[test]
+    fn columns_match_supports() {
+        let v = VerticalDb::from_db(&db());
+        assert_eq!(v.n_rows(), 4);
+        assert_eq!(v.support(3), 3);
+        assert_eq!(v.support(0), 0);
+        assert_eq!(v.column(1).iter_tids(), vec![0, 2]);
+        assert_eq!(v.column(5).iter_tids(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn density_cutover_picks_the_smaller_form() {
+        // 4 rows: any column with >0 tids satisfies len*16 > 4 → dense.
+        let v = VerticalDb::from_db(&db());
+        assert!(v.column(3).is_dense());
+        // 1000 rows, 10 tids: 10*16 <= 1000 → sparse.
+        let sparse = TidSet::from_tids((0..10).map(|i| i * 97).collect(), 1000);
+        assert!(!sparse.is_dense());
+        // 1000 rows, 100 tids: 100*16 > 1000 → dense.
+        let dense = TidSet::from_tids((0..100).map(|i| i * 9).collect(), 1000);
+        assert!(dense.is_dense());
+        assert_eq!(dense.support(), 100);
+    }
+
+    #[test]
+    fn intersect_count_agrees_across_representations() {
+        let n = 1024usize;
+        let a_tids: Vec<u32> = (0..n as u32).filter(|t| t % 3 == 0).collect();
+        let b_tids: Vec<u32> = (0..n as u32).filter(|t| t % 5 == 0).collect();
+        let expected = (0..n as u32).filter(|t| t % 15 == 0).count();
+
+        let a_sparse = TidSet::Tids(a_tids.clone());
+        let b_sparse = TidSet::Tids(b_tids.clone());
+        // Dense under the real cutover: ~341 and ~205 tids over 1024 rows.
+        let a_dense = TidSet::from_tids(a_tids, n);
+        let b_dense = TidSet::from_tids(b_tids, n);
+        assert!(a_dense.is_dense() && b_dense.is_dense());
+
+        for (x, y) in [
+            (&a_sparse, &b_sparse),
+            (&a_dense, &b_dense),
+            (&a_sparse, &b_dense),
+            (&a_dense, &b_sparse),
+        ] {
+            assert_eq!(x.intersect_count(y), expected);
+            assert_eq!(x.intersect(y, n).support(), expected);
+            assert_eq!(
+                x.intersect(y, n).iter_tids(),
+                (0..n as u32).filter(|t| t % 15 == 0).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn galloping_handles_skewed_sizes_and_empties() {
+        let small: Vec<u32> = vec![5, 500, 999];
+        let big: Vec<u32> = (0..1000).collect();
+        assert_eq!(galloping_intersect_count(&small, &big), 3);
+        assert_eq!(galloping_intersect(&small, &big), small);
+        assert_eq!(galloping_intersect_count(&[], &big), 0);
+        assert_eq!(galloping_intersect_count(&small, &[]), 0);
+        let disjoint: Vec<u32> = vec![1000, 2000];
+        assert_eq!(galloping_intersect_count(&disjoint, &big), 0);
+    }
+
+    #[test]
+    fn ranged_word_counts_sum_to_the_whole() {
+        let n = 4096usize;
+        let a = TidSet::from_tids((0..n as u32).filter(|t| t % 2 == 0).collect(), n);
+        let b = TidSet::from_tids((0..n as u32).filter(|t| t % 7 == 0).collect(), n);
+        let (aw, bw) = (a.as_words().unwrap(), b.as_words().unwrap());
+        let whole = count_and_words(aw, bw, 0..aw.len());
+        let split: usize = (0..aw.len())
+            .step_by(13)
+            .map(|lo| count_and_words(aw, bw, lo..(lo + 13).min(aw.len())))
+            .sum();
+        assert_eq!(whole, split);
+        assert_eq!(whole, a.intersect_count(&b));
+    }
+
+    #[test]
+    fn interruptible_build_stops_on_poll() {
+        let d = db();
+        let mut polls = 0;
+        let out = VerticalDb::from_db_interruptible(&d, 1, || {
+            polls += 1;
+            polls > 2
+        });
+        assert!(out.is_none());
+        assert!(VerticalDb::from_db_interruptible(&d, 1, || false).is_some());
+    }
+
+    #[test]
+    fn heap_bytes_are_nonzero_and_capacity_based() {
+        let v = VerticalDb::from_db(&db());
+        assert!(v.heap_bytes() > 0);
+        let empty = TidSet::empty();
+        assert_eq!(empty.heap_bytes(), 0);
+        assert_eq!(empty.support(), 0);
+        assert!(!empty.contains(0));
+    }
+
+    #[test]
+    fn contains_probes_both_forms() {
+        let sparse = TidSet::Tids(vec![2, 40, 77]);
+        assert!(sparse.contains(40) && !sparse.contains(41));
+        let dense = TidSet::from_tids((0..78).step_by(2).collect(), 78);
+        assert!(dense.is_dense());
+        assert!(dense.contains(76) && !dense.contains(77) && !dense.contains(10_000));
+    }
+}

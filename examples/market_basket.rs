@@ -1,5 +1,6 @@
 //! Market-basket analysis: the motivating scenario of association-rule
-//! mining. Generates a Quest retail workload, compares the three miners,
+//! mining. Generates a Quest retail workload, compares the miners —
+//! candidate generation vs pattern growth vs vertical intersection —
 //! and reports the strongest cross-sell rules.
 //!
 //! ```text
@@ -24,7 +25,7 @@ fn main() {
         db.mean_len()
     );
 
-    // --- Compare the three classic miners at one threshold. -----------
+    // --- Compare the miners at one threshold. -------------------------
     let support = MinSupport::Fraction(0.0075);
     println!("mining at minsup 0.75%:");
     let mut reference: Option<FrequentItemsets> = None;
@@ -32,6 +33,8 @@ fn main() {
         Box::new(Ais::new(support)) as Box<dyn ItemsetMiner>,
         Box::new(Apriori::new(support)),
         Box::new(AprioriTid::new(support)),
+        Box::new(FpGrowth::new(support)),
+        Box::new(Eclat::new(support)),
     ] {
         let t0 = Instant::now();
         let result = miner.mine(&db).expect("mining succeeds");

@@ -21,9 +21,10 @@ fn main() {
         db.len(),
         db.mean_len()
     );
-    let mined = Apriori::new(MinSupport::Fraction(0.01))
-        .mine(&db)
-        .expect("mining succeeds");
+    // `Method::Auto` picks the miner from the database's shape; pin
+    // `Method::Apriori`, `Method::FpGrowth`, ... to choose explicitly —
+    // every method returns bit-identical itemsets.
+    let mined = mine(&db, MinSupport::Fraction(0.01), Method::Auto).expect("mining succeeds");
     println!(
         "{} frequent itemsets (largest has {} items) in {} passes",
         mined.itemsets.len(),

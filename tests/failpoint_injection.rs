@@ -15,7 +15,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use datamining_suite::datamining::assoc::{
-    Ais, Apriori, AprioriHybrid, AprioriTid, FrequentItemsets, ItemsetMiner, Setm,
+    Ais, Apriori, AprioriHybrid, AprioriTid, Eclat, FpGrowth, FrequentItemsets, ItemsetMiner, Setm,
 };
 use datamining_suite::datamining::prelude::*;
 use proptest::prelude::*;
@@ -40,6 +40,9 @@ fn all_miners(min: MinSupport) -> Vec<Box<dyn ItemsetMiner>> {
         Box::new(AprioriHybrid::new(min)),
         Box::new(Ais::new(min)),
         Box::new(Setm::new(min)),
+        Box::new(FpGrowth::new(min)),
+        Box::new(Eclat::new(min)),
+        Box::new(Apriori::new(min).with_vertical_pass2(true)),
     ]
 }
 
