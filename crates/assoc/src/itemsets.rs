@@ -90,6 +90,19 @@ impl FrequentItemsets {
             .map(|c| c as f64 / self.n_transactions.max(1) as f64)
     }
 
+    /// Frequent single items ordered by descending support (ties by
+    /// ascending item id) — the degraded-recommendation vocabulary a
+    /// server falls back to when rule scanning trips its deadline.
+    pub fn singletons_by_support(&self) -> Vec<(u32, usize)> {
+        let mut out: Vec<(u32, usize)> = self
+            .level(1)
+            .iter()
+            .filter_map(|(items, count)| items.first().map(|&item| (item, *count)))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
     /// Iterates all `(itemset, count)` pairs, smallest itemsets first.
     pub fn iter(&self) -> impl Iterator<Item = (&Itemset, usize)> {
         self.levels

@@ -21,7 +21,7 @@
 //! intentional counter change (commit the refreshed baseline together
 //! with the code that moved it).
 
-use dm_core::obs::ledger::{check, diff, CheckPolicy, RunRecord};
+use dm_core::obs::ledger::{check, diff, write_atomic, CheckPolicy, RunRecord};
 use std::fmt::Write as _;
 
 /// Writes to stdout, swallowing broken-pipe errors (`dm ledger diff |
@@ -180,8 +180,9 @@ fn cmd_check(args: &[String]) -> i32 {
     if parsed.update_baseline {
         // Accepting the current record as the new truth: rewrite the
         // baseline (deterministic re-serialization, not a byte copy,
-        // so the file is canonical regardless of its producer).
-        if let Err(e) = std::fs::write(&parsed.baseline, current.to_json()) {
+        // so the file is canonical regardless of its producer) via
+        // temp-file + rename so an interrupt can't corrupt it.
+        if let Err(e) = write_atomic(std::path::Path::new(&parsed.baseline), &current.to_json()) {
             eprintln!("cannot update baseline `{}`: {e}", parsed.baseline);
             return 2;
         }

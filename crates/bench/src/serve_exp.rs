@@ -1,0 +1,194 @@
+//! Serving experiment E15: throughput and overload behaviour of the
+//! `dm-serve` request loop.
+//!
+//! Three sections, each driven by the bundled seeded load generator so
+//! the *counters* are bit-reproducible run to run (that is what lets
+//! the ledger gate them at 0% tolerance) while the *timings* land in
+//! `_ns`-suffixed counters the ledger bands as noisy:
+//!
+//! 1. **Throughput** — the same closed-loop load against 1, 2 and 4
+//!    workers; QPS and p50/p99 response latency.
+//! 2. **Degradation** — a one-unit work budget per request forces the
+//!    guard to trip mid-handler; every response must still be answered,
+//!    split deterministically between full and degraded tiers.
+//! 3. **Faults** — a zero-worker server with a one-slot queue: sheds
+//!    are typed, the client retry pot bounds amplification, and the
+//!    stalled-client chaos knob proves abandoned tickets cost nothing.
+
+use crate::table::{fmt_duration, Table};
+use dm_core::dataset::DataError;
+use dm_core::guard::Guard;
+use dm_serve::{loadgen, LoadGenConfig, LoadReport, ModelSet, ServeConfig, Server};
+use std::time::Duration;
+
+/// Seed for the served model bundle and the load streams.
+const SEED: u64 = 15;
+
+fn fmt_ns(ns: u64) -> String {
+    fmt_duration(Duration::from_nanos(ns))
+}
+
+/// E15 — model serving under load and under fault injection. The
+/// deterministic outcome counters land in the run ledger as
+/// `serve.e15.*` (0%-gated); wall-clock aggregates as `serve.e15.*_ns`
+/// (noisy-banded).
+pub fn e15_serving(guard: &Guard) -> Result<String, DataError> {
+    let mut out = String::new();
+    out.push_str("# E15: serving throughput, degradation and overload\n");
+    out.push_str(
+        "(dm-serve request loop: admission control, graceful degradation, typed sheds)\n\n",
+    );
+    let obs = guard.obs();
+
+    // -- 1: throughput vs worker count --------------------------------
+    let mut table = Table::new(
+        "closed-loop load (2 clients x 40 requests, no deadline)",
+        &["workers", "answered", "elapsed", "qps", "p50", "p99"],
+    );
+    for workers in [1usize, 2, 4] {
+        if guard.should_stop() {
+            break;
+        }
+        let server = Server::start(
+            ModelSet::demo(SEED)?,
+            ServeConfig {
+                workers,
+                queue_capacity: 64,
+                default_deadline: None,
+            },
+        );
+        let report = loadgen::run(
+            &server,
+            &LoadGenConfig {
+                seed: SEED,
+                clients: 2,
+                requests_per_client: 40,
+                deadline: None,
+                ..LoadGenConfig::default()
+            },
+        );
+        server.shutdown();
+        let p50 = report.latency_quantile_ns(0.50);
+        let p99 = report.latency_quantile_ns(0.99);
+        table.row(vec![
+            workers.to_string(),
+            report.ok.to_string(),
+            fmt_duration(report.elapsed),
+            format!("{:.0}", report.qps()),
+            fmt_ns(p50),
+            fmt_ns(p99),
+        ]);
+        if obs.enabled() {
+            obs.counter_fmt(
+                format_args!("serve.e15.throughput.w{workers}.completed"),
+                report.ok,
+            );
+            obs.counter_fmt(format_args!("serve.e15.throughput.w{workers}.p50_ns"), p50);
+            obs.counter_fmt(format_args!("serve.e15.throughput.w{workers}.p99_ns"), p99);
+            obs.counter_fmt(
+                format_args!("serve.e15.throughput.w{workers}.elapsed_ns"),
+                u64::try_from(report.elapsed.as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+
+    // -- 2: deterministic degradation under a starved work budget -----
+    if !guard.should_stop() {
+        let server = Server::start(
+            ModelSet::demo(SEED)?,
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 64,
+                default_deadline: None,
+            },
+        );
+        let report = loadgen::run(
+            &server,
+            &LoadGenConfig {
+                seed: SEED,
+                clients: 1,
+                requests_per_client: 40,
+                deadline: None,
+                max_work: Some(1),
+                ..LoadGenConfig::default()
+            },
+        );
+        server.shutdown();
+        out.push_str(&degrade_table(&report).render());
+        out.push('\n');
+        if obs.enabled() {
+            obs.counter("serve.e15.degrade.complete", report.ok);
+            obs.counter("serve.e15.degrade.truncated", report.truncated);
+            obs.counter("serve.e15.degrade.degraded", report.degraded);
+        }
+    }
+
+    // -- 3: overload: typed sheds, bounded retries, stalled clients ---
+    if !guard.should_stop() {
+        let server = Server::start(
+            ModelSet::demo(SEED)?,
+            ServeConfig {
+                workers: 0,
+                queue_capacity: 1,
+                default_deadline: None,
+            },
+        );
+        let report = loadgen::run(
+            &server,
+            &LoadGenConfig {
+                seed: SEED,
+                clients: 1,
+                requests_per_client: 5,
+                stall_ratio: 1.0,
+                max_attempts: 3,
+                retry_budget: 2,
+                base_backoff: Duration::from_micros(10),
+                deadline: None,
+                ..LoadGenConfig::default()
+            },
+        );
+        let drained = server.shutdown();
+        let mut table = Table::new(
+            "overload (0 workers, queue of 1, stalling client, retry pot of 2)",
+            &[
+                "attempts",
+                "stalled",
+                "shed",
+                "retries",
+                "drained at shutdown",
+            ],
+        );
+        table.row(vec![
+            report.attempts.to_string(),
+            report.stalled.to_string(),
+            report.shed.to_string(),
+            report.retries.to_string(),
+            drained.to_string(),
+        ]);
+        out.push_str(&table.render());
+        if obs.enabled() {
+            obs.counter("serve.e15.fault.attempts", report.attempts);
+            obs.counter("serve.e15.fault.stalled", report.stalled);
+            obs.counter("serve.e15.fault.shed", report.shed);
+            obs.counter("serve.e15.fault.retries", report.retries);
+            obs.counter("serve.e15.fault.drained", drained as u64);
+        }
+    }
+    Ok(out)
+}
+
+fn degrade_table(report: &LoadReport) -> Table {
+    let mut table = Table::new(
+        "degradation under max_work = 1 (1 client x 40 requests)",
+        &["answered", "complete", "truncated", "degraded tier"],
+    );
+    table.row(vec![
+        (report.ok + report.truncated).to_string(),
+        report.ok.to_string(),
+        report.truncated.to_string(),
+        report.degraded.to_string(),
+    ]);
+    table
+}

@@ -227,6 +227,77 @@ fn malformed_and_missing_records_exit_2() {
     assert_eq!(out.status.code(), Some(2));
 }
 
+/// A malformed *baseline* (or current) record must be a usage error
+/// (exit 2) with a message that names the file and where parsing
+/// stopped — distinct from exit 1, which means "the gate caught a
+/// regression". CI keys off that distinction.
+#[test]
+fn malformed_baseline_or_current_record_is_a_readable_exit_2() {
+    let scratch = Scratch::new("badgate");
+    let good = scratch.path("good.json");
+    let bad = scratch.path("bad.json");
+    std::fs::write(&good, sample_record().to_json()).unwrap();
+    // A mid-file truncation, as a killed writer without atomic rename
+    // would have produced.
+    let full = sample_record().to_json();
+    std::fs::write(&bad, &full[..full.len() / 2]).unwrap();
+
+    for (baseline, current) in [(&bad, &good), (&good, &bad)] {
+        let out = dm(&["ledger", "check", "--baseline", baseline, current]);
+        assert_eq!(out.status.code(), Some(2), "malformed record is exit 2");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("cannot parse ledger record") && err.contains("bad.json"),
+            "error names the offending file: {err}"
+        );
+        assert!(
+            err.contains("byte"),
+            "error locates the parse failure: {err}"
+        );
+    }
+}
+
+/// The satellite fix, end to end: `--update-baseline` must go through
+/// the atomic temp-file + rename path — the refreshed baseline parses,
+/// equals the current record, and no `*.tmp.*` litter survives.
+#[test]
+fn update_baseline_is_atomic_and_leaves_no_temp_files() {
+    let scratch = Scratch::new("atomic");
+    let baseline = scratch.path("baseline.json");
+    let current = scratch.path("current.json");
+    let record = sample_record();
+    let mut drifted = record.clone();
+    drifted
+        .experiments
+        .get_mut("e1")
+        .unwrap()
+        .metrics
+        .counters
+        .insert("assoc.apriori.pass2.candidates".into(), 9_999);
+    std::fs::write(&baseline, record.to_json()).unwrap();
+    std::fs::write(&current, drifted.to_json()).unwrap();
+
+    let out = dm(&[
+        "ledger",
+        "check",
+        "--baseline",
+        &baseline,
+        &current,
+        "--update-baseline",
+    ]);
+    assert!(out.status.success());
+    let refreshed = RunRecord::from_json(&std::fs::read_to_string(&baseline).unwrap())
+        .expect("refreshed baseline parses");
+    assert_eq!(refreshed.to_json(), drifted.to_json());
+    let leftovers: Vec<_> = std::fs::read_dir(&scratch.0)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.contains(".tmp."))
+        .collect();
+    assert!(leftovers.is_empty(), "temp litter: {leftovers:?}");
+}
+
 /// The satellite fix, end to end: an experiment cut off by its guard
 /// deadline must still land in `--metrics` (tagged) and in the ledger
 /// record (with its truncation reason), not vanish.

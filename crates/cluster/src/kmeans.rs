@@ -61,6 +61,37 @@ pub struct KMeansModel {
 }
 
 impl KMeansModel {
+    /// Rebuilds a predict-only model from saved centroids (artifact
+    /// reload). Training-run fields are zeroed: no assignments, zero
+    /// inertia/iterations, `converged` true.
+    pub fn from_centroids(centroids: Matrix) -> Result<Self, DataError> {
+        if centroids.rows() == 0 {
+            return Err(DataError::Empty("centroids"));
+        }
+        Ok(Self {
+            centroids,
+            assignments: Vec::new(),
+            inertia: 0.0,
+            iterations: 0,
+            converged: true,
+        })
+    }
+
+    /// Squared Euclidean distance from each row of `data` to its nearest
+    /// centroid — the anomaly/affinity score `dm-serve` exposes.
+    pub fn score(&self, data: &Matrix) -> Result<Vec<f64>, DataError> {
+        if data.cols() != self.centroids.cols() {
+            return Err(DataError::InvalidParameter(format!(
+                "model fitted on {} dims, got {}",
+                self.centroids.cols(),
+                data.cols()
+            )));
+        }
+        Ok((0..data.rows())
+            .map(|i| nearest(self.centroids.iter_rows(), data.row(i)).1)
+            .collect())
+    }
+
     /// Assigns new points to the nearest learned centroid.
     pub fn predict(&self, data: &Matrix) -> Result<Vec<u32>, DataError> {
         if data.cols() != self.centroids.cols() {

@@ -313,6 +313,13 @@ impl Guard {
         self
     }
 
+    /// The attached recorder, if any. Lets a subsystem that owns its own
+    /// threads (a serving worker pool, say) clone the sink out of a
+    /// request guard and keep emitting after the guard is gone.
+    pub fn recorder(&self) -> Option<Arc<dyn Recorder>> {
+        self.recorder.clone()
+    }
+
     /// The observability handle for this guard: the attached recorder, or
     /// the no-op recorder (whose emissions are a dead branch) if none.
     pub fn obs(&self) -> Obs<'_> {

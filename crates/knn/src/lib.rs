@@ -174,6 +174,26 @@ pub struct KnnModel {
 }
 
 impl KnnModel {
+    /// The stored training matrix (artifact serialization hook).
+    pub fn train(&self) -> &Matrix {
+        &self.train
+    }
+
+    /// The stored training labels, parallel to [`KnnModel::train`] rows.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Number of classes the model votes over.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The configured neighbour count `k`.
+    pub fn k(&self) -> usize {
+        self.config.k
+    }
+
     /// The `(index, distance)` list of the k nearest training points to
     /// `query`, ascending by distance (ties by index).
     pub fn neighbors(&self, query: &[f64]) -> Result<Vec<(usize, f64)>, DataError> {

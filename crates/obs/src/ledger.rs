@@ -1180,6 +1180,35 @@ pub fn quantile_bucket_bound(v: u64) -> u64 {
     bucket_max(bucket_index(v))
 }
 
+/// Crash-safe file write for ledger records and baselines: the
+/// contents go to a sibling temp file (`<name>.tmp.<pid>`) which is
+/// fsynced and atomically renamed over `path`, so an interrupted run
+/// can never leave a truncated or half-written `ledger/baseline.json`
+/// behind — readers see either the old bytes or the new bytes, never
+/// a mix.
+pub fn write_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let file_name = path.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("not a writable file path: {}", path.display()),
+        )
+    })?;
+    let tmp = path.with_file_name(format!("{file_name}.tmp.{}", std::process::id()));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        // Best-effort cleanup; the original error is what matters.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

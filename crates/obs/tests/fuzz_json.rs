@@ -1,0 +1,66 @@
+//! Fuzz-style robustness tests: `dm_obs::json::parse` over arbitrary
+//! byte soup must never panic — every input yields a `Json` value or a
+//! typed [`JsonError`] that renders with a byte offset. The parser
+//! fronts everything the serving and ledger layers load from disk
+//! (artifact bundles, run records, baselines), so totality here is
+//! what turns file corruption into readable exit-2 errors instead of
+//! crashes.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dm_obs::json::parse;
+use proptest::prelude::*;
+
+/// Characters weighted toward JSON's tricky corners: structure, string
+/// escapes, unicode escapes, number edges, and the literal keywords.
+const JSONISH: &[char] = &[
+    '{', '}', '[', ']', ':', ',', '"', '\\', 'u', 'n', 't', 'f', 'a', 'l', 's', 'e', 'r', '0', '1',
+    '9', '-', '+', '.', 'E', ' ', '\n', '\t', 'x', '\u{7f}', 'é',
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_total_on_arbitrary_bytes(bytes in prop::collection::vec(0u8..=255u8, 0..512)) {
+        // Arbitrary bytes are usually not UTF-8; the lossy conversion
+        // keeps the byte soup's shape while giving the parser the &str
+        // it takes.
+        let text = String::from_utf8_lossy(&bytes);
+        match parse(&text) {
+            Ok(value) => {
+                // Whatever parsed must survive its own accessors.
+                let _ = value.as_u64();
+                let _ = value.as_f64();
+                let _ = value.as_str();
+            }
+            Err(e) => {
+                let rendered = e.to_string();
+                prop_assert!(rendered.contains("byte"), "error locates itself: {rendered}");
+                prop_assert!(e.offset <= text.len(), "offset stays in bounds");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_total_on_jsonish_text(picks in prop::collection::vec(0usize..JSONISH.len(), 0..256)) {
+        let doc: String = picks.iter().map(|&i| JSONISH[i]).collect();
+        match parse(&doc) {
+            Ok(value) => {
+                let _ = value.as_arr();
+                let _ = value.as_obj();
+            }
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    #[test]
+    fn parse_accepts_every_valid_number_literal(bits in 0u64..=u64::MAX) {
+        // Round-trippable finite numbers must parse back to themselves.
+        let n = f64::from_bits(bits);
+        prop_assume!(n.is_finite());
+        let doc = format!("{n}");
+        let value = parse(&doc).expect("shortest-round-trip float parses");
+        prop_assert_eq!(value.as_f64(), Some(n));
+    }
+}

@@ -1,0 +1,370 @@
+//! The bundled load-generator client: closed-loop worker threads
+//! driving a [`Server`] with a **seeded RNG stream** (every run with
+//! the same config is bit-reproducible, retry jitter included — that
+//! is what lets experiment E15 gate serving counters at 0% tolerance)
+//! and a retry policy built not to amplify overload:
+//!
+//! * retries apply **only** to [`ServeError::Overloaded`] sheds —
+//!   malformed/unavailable answers are the client's fault and retrying
+//!   them is pure waste;
+//! * per-request attempts are capped (`max_attempts`);
+//! * all clients share one global **retry budget** (a token pot) — once
+//!   spent, further sheds are accepted as final, so a saturated server
+//!   sees load *decrease*, not the classic retry storm;
+//! * backoff is exponential with full jitter
+//!   (`uniform(0 ..= base * 2^attempt)`, capped), drawn from the
+//!   client's own seeded RNG.
+
+use crate::api::{ModelKind, Request, ServeError, Tier};
+use crate::server::Server;
+use dm_core::guard::{Budget, CancelToken, RunStatus};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Relative weights for the three endpoints in the generated stream.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestMix {
+    /// Weight of predict requests (split evenly across model kinds).
+    pub predict: u32,
+    /// Weight of score requests.
+    pub score: u32,
+    /// Weight of recommend requests.
+    pub recommend: u32,
+}
+
+impl Default for RequestMix {
+    fn default() -> Self {
+        Self {
+            predict: 2,
+            score: 1,
+            recommend: 1,
+        }
+    }
+}
+
+/// Load-generator configuration. `Default` is a small smoke load.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Base seed; client `i` derives its own independent stream from
+    /// `seed` and `i`, so reports are reproducible at any thread count.
+    pub seed: u64,
+    /// Concurrent closed-loop client threads.
+    pub clients: usize,
+    /// Requests each client completes (counting a shed request whose
+    /// retries are exhausted as completed).
+    pub requests_per_client: usize,
+    /// Max submit attempts per request (1 = never retry).
+    pub max_attempts: u32,
+    /// Global retry-token pot shared by all clients.
+    pub retry_budget: u64,
+    /// Backoff base; attempt `a` sleeps `uniform(0 ..= base * 2^a)`.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Per-request deadline forwarded as the request's budget.
+    pub deadline: Option<Duration>,
+    /// Per-request work cap (drives deterministic degradation in the
+    /// chaos suite; `None` for throughput runs).
+    pub max_work: Option<u64>,
+    /// How long a client waits on its ticket before giving up.
+    pub wait_timeout: Duration,
+    /// Request mix weights.
+    pub mix: RequestMix,
+    /// Fraction of requests sent deliberately malformed (wrong row
+    /// width), exercising the validation path under load. Drawn from
+    /// the seeded stream, so counts are reproducible.
+    pub malformed_ratio: f64,
+    /// Fraction of requests whose client *stalls*: it submits and then
+    /// abandons the ticket without waiting, like a client that went
+    /// away. The server must not care.
+    pub stall_ratio: f64,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            clients: 2,
+            requests_per_client: 50,
+            max_attempts: 3,
+            retry_budget: 100,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(5),
+            deadline: Some(Duration::from_millis(250)),
+            max_work: None,
+            wait_timeout: Duration::from_secs(5),
+            mix: RequestMix::default(),
+            malformed_ratio: 0.0,
+            stall_ratio: 0.0,
+        }
+    }
+}
+
+/// Aggregated outcome of one load run. All counters are deterministic
+/// for a fixed config against a deterministic server; latencies and
+/// `elapsed` are wall-clock (noisy).
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Submit attempts, including retries.
+    pub attempts: u64,
+    /// Requests answered `Complete` on the full tier.
+    pub ok: u64,
+    /// Requests answered with a `Truncated` status (any tier).
+    pub truncated: u64,
+    /// Requests answered from a degraded tier (subset of `ok` +
+    /// `truncated` by tier, not by status).
+    pub degraded: u64,
+    /// Requests finally shed (`Overloaded` after retries ran out).
+    pub shed: u64,
+    /// Requests refused as malformed.
+    pub malformed: u64,
+    /// Requests answered `WorkerPanicked`.
+    pub panicked: u64,
+    /// Requests answered `ShuttingDown`.
+    pub shutdown: u64,
+    /// Ticket waits that timed out client-side.
+    pub wait_timeouts: u64,
+    /// Tickets deliberately abandoned by the stall chaos knob.
+    pub stalled: u64,
+    /// Retries actually performed (token pot permitting).
+    pub retries: u64,
+    /// Per-response wall latency in nanoseconds, submission order not
+    /// preserved (merged across clients, then sorted).
+    pub latencies_ns: Vec<u64>,
+    /// Wall-clock of the whole run.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// Completed responses per second (everything that got *an*
+    /// answer, including typed errors — the server did its job).
+    pub fn qps(&self) -> f64 {
+        let answered =
+            (self.ok + self.truncated + self.shed + self.malformed + self.panicked + self.shutdown)
+                as f64;
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            answered / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The `q`-quantile (0.0–1.0) of response latency in nanoseconds;
+    /// 0 when nothing was measured.
+    pub fn latency_quantile_ns(&self, q: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let idx = ((self.latencies_ns.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.latencies_ns[idx]
+    }
+
+    fn absorb(&mut self, other: LoadReport) {
+        self.attempts += other.attempts;
+        self.ok += other.ok;
+        self.truncated += other.truncated;
+        self.degraded += other.degraded;
+        self.shed += other.shed;
+        self.malformed += other.malformed;
+        self.panicked += other.panicked;
+        self.shutdown += other.shutdown;
+        self.wait_timeouts += other.wait_timeouts;
+        self.stalled += other.stalled;
+        self.retries += other.retries;
+        self.latencies_ns.extend(other.latencies_ns);
+    }
+}
+
+/// Drives `server` with `config` and blocks until every client
+/// finishes its quota.
+pub fn run(server: &Server, config: &LoadGenConfig) -> LoadReport {
+    let retry_pot = AtomicU64::new(config.retry_budget);
+    let started = Instant::now();
+    let mut report = LoadReport::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients.max(1))
+            .map(|client| {
+                scope.spawn({
+                    let retry_pot = &retry_pot;
+                    move || client_loop(server, config, client as u64, retry_pot)
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Ok(partial) = handle.join() {
+                report.absorb(partial);
+            }
+        }
+    });
+    report.elapsed = started.elapsed();
+    report.latencies_ns.sort_unstable();
+    report
+}
+
+fn client_loop(
+    server: &Server,
+    config: &LoadGenConfig,
+    client: u64,
+    retry_pot: &AtomicU64,
+) -> LoadReport {
+    // splitmix-style stream separation: same base seed, disjoint
+    // per-client streams.
+    let mut rng = StdRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_add(client.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    );
+    let mut report = LoadReport::default();
+    let schema_width = server.models().schema().len();
+    for _ in 0..config.requests_per_client {
+        let malformed = config.malformed_ratio > 0.0 && rng.gen::<f64>() < config.malformed_ratio;
+        let stall = config.stall_ratio > 0.0 && rng.gen::<f64>() < config.stall_ratio;
+        let request = gen_request(&mut rng, config.mix, schema_width, malformed);
+        drive_one(
+            server,
+            config,
+            request,
+            stall,
+            &mut rng,
+            retry_pot,
+            &mut report,
+        );
+    }
+    report
+}
+
+/// Draws one request from the mix. `malformed` appends a bogus extra
+/// feature so validation refuses it.
+fn gen_request(rng: &mut StdRng, mix: RequestMix, width: usize, malformed: bool) -> Request {
+    let total = (mix.predict + mix.score + mix.recommend).max(1);
+    let pick = rng.gen_range(0..total);
+    let row = |rng: &mut StdRng| -> Vec<f64> {
+        let w = if malformed { width + 1 } else { width };
+        (0..w).map(|_| rng.gen::<f64>() * 10.0 - 1.0).collect()
+    };
+    if pick < mix.predict {
+        let kinds = [
+            ModelKind::Knn,
+            ModelKind::Tree,
+            ModelKind::Ensemble,
+            ModelKind::NaiveBayes,
+        ];
+        let kind = kinds[rng.gen_range(0..kinds.len() as u32) as usize];
+        let n = rng.gen_range(1..4u32) as usize;
+        Request::Predict {
+            model: kind,
+            rows: (0..n).map(|_| row(rng)).collect(),
+        }
+    } else if pick < mix.predict + mix.score {
+        let n = rng.gen_range(1..4u32) as usize;
+        Request::Score {
+            rows: (0..n).map(|_| row(rng)).collect(),
+        }
+    } else {
+        let n = rng.gen_range(0..4u32) as usize;
+        let basket = (0..n).map(|_| rng.gen_range(0..100u32)).collect();
+        Request::Recommend {
+            basket,
+            k: if malformed {
+                0
+            } else {
+                rng.gen_range(1..6u32) as usize
+            },
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive_one(
+    server: &Server,
+    config: &LoadGenConfig,
+    request: Request,
+    stall: bool,
+    rng: &mut StdRng,
+    retry_pot: &AtomicU64,
+    report: &mut LoadReport,
+) {
+    let mut attempt = 0u32;
+    loop {
+        let mut budget = Budget::unlimited();
+        if let Some(d) = config.deadline {
+            budget = budget.with_deadline(d);
+        }
+        if let Some(w) = config.max_work {
+            budget = budget.with_max_work(w);
+        }
+        report.attempts += 1;
+        let submit_at = Instant::now();
+        match server.submit_with(request.clone(), budget, CancelToken::new()) {
+            Ok(ticket) => {
+                if stall {
+                    report.stalled += 1;
+                    drop(ticket);
+                    return;
+                }
+                match ticket.wait(config.wait_timeout) {
+                    Ok(response) => {
+                        let latency = submit_at.elapsed().as_nanos() as u64;
+                        report.latencies_ns.push(latency);
+                        match response.status {
+                            RunStatus::Complete => report.ok += 1,
+                            RunStatus::Truncated(_) => report.truncated += 1,
+                        }
+                        if response.tier != Tier::Full {
+                            report.degraded += 1;
+                        }
+                    }
+                    Err(ServeError::ResponseTimeout) => report.wait_timeouts += 1,
+                    Err(ServeError::Malformed(_)) => report.malformed += 1,
+                    Err(ServeError::WorkerPanicked) => report.panicked += 1,
+                    Err(ServeError::ShuttingDown) => report.shutdown += 1,
+                    Err(ServeError::ModelUnavailable(_)) => report.malformed += 1,
+                    Err(ServeError::Overloaded { .. }) => report.shed += 1,
+                }
+                return;
+            }
+            Err(ServeError::Overloaded { .. }) => {
+                attempt += 1;
+                let may_retry = attempt < config.max_attempts
+                    && retry_pot
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |tokens| {
+                            tokens.checked_sub(1)
+                        })
+                        .is_ok();
+                if !may_retry {
+                    report.shed += 1;
+                    return;
+                }
+                report.retries += 1;
+                backoff(rng, config, attempt);
+            }
+            Err(ServeError::ShuttingDown) => {
+                report.shutdown += 1;
+                return;
+            }
+            Err(_) => {
+                // submit_with only sheds or reports shutdown today;
+                // anything else would be answered via the ticket.
+                report.malformed += 1;
+                return;
+            }
+        }
+    }
+}
+
+/// Full-jitter exponential backoff from the client's seeded stream.
+fn backoff(rng: &mut StdRng, config: &LoadGenConfig, attempt: u32) {
+    let exp = config
+        .base_backoff
+        .saturating_mul(1u32 << attempt.min(16))
+        .min(config.max_backoff);
+    let ceil_ns = exp.as_nanos() as u64;
+    if ceil_ns == 0 {
+        return;
+    }
+    let sleep_ns = rng.gen_range(0..ceil_ns.saturating_add(1));
+    std::thread::sleep(Duration::from_nanos(sleep_ns));
+}

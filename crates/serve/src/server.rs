@@ -1,0 +1,379 @@
+//! The request loop: admission, per-request guards, worker threads,
+//! panic isolation, and instrumentation.
+//!
+//! Life of a request: [`Server::submit`] validates nothing heavier
+//! than queue capacity (admission must stay O(1) under overload) and
+//! either sheds with [`ServeError::Overloaded`] or enqueues a job
+//! stamped with its submit time. A worker pops the job, *charges the
+//! queue wait against the request's deadline*, runs the handler under
+//! a per-request [`Guard`] (the request's `CancelToken` is honoured by
+//! every governed entry point it calls), and delivers through the
+//! non-blocking responder. A handler panic is caught at the worker
+//! boundary: the client gets [`ServeError::WorkerPanicked`], the
+//! worker increments `serve.worker.recycled` and returns to the loop —
+//! workers hold no request state, so recycling is exactly that.
+//!
+//! Metrics (all under the `serve.` subsystem, recorded when a recorder
+//! is attached): `serve.req.admitted`, `serve.shed.queue_full`,
+//! `serve.shed.shutdown`, `serve.resp.complete`, `serve.resp.truncated`,
+//! `serve.resp.malformed`, `serve.resp.unavailable`,
+//! `serve.degraded.<tier>`, `serve.worker.recycled`,
+//! `serve.queue.depth_peak` (gauge), and per-endpoint
+//! `serve.latency.<endpoint>_ns` / `serve.queue.wait_ns` histograms.
+
+use crate::api::{Request, ServeError, ServeResult, Tier};
+use crate::models::ModelSet;
+use crate::queue::{AdmissionQueue, Popped, PushError};
+use crate::ticket::{ticket_pair, Responder, Ticket};
+use dm_core::guard::{Budget, CancelToken, Guard, RunStatus};
+use dm_core::obs::{Obs, Recorder};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often an idle worker wakes to poll for shutdown.
+const POP_POLL: Duration = Duration::from_millis(50);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads. `0` is allowed and useful in tests: requests
+    /// are admitted (or shed) but never served until shutdown answers
+    /// them with `ShuttingDown`.
+    pub workers: usize,
+    /// Admission-queue capacity; pushes beyond it shed with
+    /// [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Deadline applied to requests submitted without an explicit
+    /// budget ([`Server::submit`]). `None` = no implicit deadline.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            default_deadline: Some(Duration::from_millis(250)),
+        }
+    }
+}
+
+/// Deterministic fault injection in the request path (the `failpoints`
+/// feature). Knobs compose with dm-guard's own fail points.
+#[cfg(feature = "failpoints")]
+#[derive(Debug, Clone, Default)]
+pub struct ChaosConfig {
+    /// Panic inside the handler on every Nth admitted request
+    /// (1-based sequence; `Some(3)` panics requests 3, 6, 9…). The
+    /// panic is caught by the worker boundary — that is the point.
+    pub panic_every: Option<u64>,
+    /// Arm dm-guard's fail point on every Nth request's guard: the
+    /// first governed check trips `DeadlineExceeded`, forcing the
+    /// request down its degradation tier without any real clock
+    /// pressure. Simulates a mid-request deadline storm.
+    pub trip_every: Option<u64>,
+}
+
+struct Job {
+    request: Request,
+    responder: Responder,
+    budget: Budget,
+    token: CancelToken,
+    submitted: Instant,
+    seq: u64,
+}
+
+struct Shared {
+    queue: AdmissionQueue<Job>,
+    models: ModelSet,
+    recorder: Option<Arc<dyn Recorder>>,
+    seq: AtomicU64,
+    #[cfg(feature = "failpoints")]
+    chaos: ChaosConfig,
+}
+
+impl Shared {
+    fn obs(&self) -> Obs<'_> {
+        match self.recorder.as_deref() {
+            Some(rec) => Obs::new(rec),
+            None => Obs::noop(),
+        }
+    }
+}
+
+/// A running server. Dropping it without [`Server::shutdown`] closes
+/// the queue and detaches the workers; prefer an explicit shutdown.
+pub struct Server {
+    shared: Arc<Shared>,
+    config: ServeConfig,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// What `build` threads through for fault injection: the real knobs
+/// with `failpoints`, nothing without.
+#[cfg(feature = "failpoints")]
+type ChaosParam = ChaosConfig;
+#[cfg(not(feature = "failpoints"))]
+struct ChaosParam;
+
+/// No fault injection — what `start`/`start_recorded` thread through.
+fn quiet_chaos() -> ChaosParam {
+    #[cfg(feature = "failpoints")]
+    {
+        ChaosConfig::default()
+    }
+    #[cfg(not(feature = "failpoints"))]
+    {
+        ChaosParam
+    }
+}
+
+impl Server {
+    /// Starts the worker pool over `models` with no recorder.
+    pub fn start(models: ModelSet, config: ServeConfig) -> Self {
+        Self::build(models, config, None, quiet_chaos())
+    }
+
+    /// Starts the pool with a metrics recorder; every admission, shed,
+    /// degradation and latency lands in it.
+    pub fn start_recorded(
+        models: ModelSet,
+        config: ServeConfig,
+        recorder: Arc<dyn Recorder>,
+    ) -> Self {
+        Self::build(models, config, Some(recorder), quiet_chaos())
+    }
+
+    /// Starts the pool with fault injection armed.
+    #[cfg(feature = "failpoints")]
+    pub fn start_chaos(
+        models: ModelSet,
+        config: ServeConfig,
+        recorder: Option<Arc<dyn Recorder>>,
+        chaos: ChaosConfig,
+    ) -> Self {
+        Self::build(models, config, recorder, chaos)
+    }
+
+    fn build(
+        models: ModelSet,
+        config: ServeConfig,
+        recorder: Option<Arc<dyn Recorder>>,
+        chaos: ChaosParam,
+    ) -> Self {
+        #[cfg(not(feature = "failpoints"))]
+        let ChaosParam = chaos;
+        let shared = Arc::new(Shared {
+            queue: AdmissionQueue::new(config.queue_capacity.max(1)),
+            models,
+            recorder,
+            seq: AtomicU64::new(0),
+            #[cfg(feature = "failpoints")]
+            chaos,
+        });
+        let handles = (0..config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Self {
+            shared,
+            config,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Submits under the configured default deadline and a fresh
+    /// cancel token.
+    pub fn submit(&self, request: Request) -> Result<Ticket, ServeError> {
+        let budget = match self.config.default_deadline {
+            Some(d) => Budget::unlimited().with_deadline(d),
+            None => Budget::unlimited(),
+        };
+        self.submit_with(request, budget, CancelToken::new())
+    }
+
+    /// Submits with an explicit per-request budget and cancel token.
+    /// The budget's deadline is charged from *now* — time spent queued
+    /// counts against it, so an admitted request that waits too long
+    /// degrades instead of serving a stale full answer.
+    pub fn submit_with(
+        &self,
+        request: Request,
+        budget: Budget,
+        token: CancelToken,
+    ) -> Result<Ticket, ServeError> {
+        let obs = self.shared.obs();
+        let (ticket, responder) = ticket_pair();
+        let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let job = Job {
+            request,
+            responder,
+            budget,
+            token,
+            submitted: Instant::now(),
+            seq,
+        };
+        match self.shared.queue.push(job) {
+            Ok(depth) => {
+                obs.counter("serve.req.admitted", 1);
+                obs.gauge_max("serve.queue.depth_peak", depth as f64);
+                Ok(ticket)
+            }
+            Err(PushError::Full(job)) => {
+                obs.counter("serve.shed.queue_full", 1);
+                let depth = self.shared.queue.capacity();
+                job.responder.deliver(Err(ServeError::Overloaded { depth }));
+                Err(ServeError::Overloaded { depth })
+            }
+            Err(PushError::Closed(job)) => {
+                obs.counter("serve.shed.shutdown", 1);
+                job.responder.deliver(Err(ServeError::ShuttingDown));
+                Err(ServeError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// The serving bundle (tests inspect fallback state through it).
+    pub fn models(&self) -> &ModelSet {
+        &self.shared.models
+    }
+
+    /// Graceful shutdown: close admission, join workers (they finish
+    /// the jobs they hold and drain the queue until empty), then
+    /// answer anything still queued with `ShuttingDown`. Returns how
+    /// many queued requests were answered that way.
+    pub fn shutdown(self) -> usize {
+        self.shared.queue.close();
+        let handles =
+            std::mem::take(&mut *self.handles.lock().unwrap_or_else(PoisonError::into_inner));
+        for handle in handles {
+            // A worker that somehow died still lets shutdown proceed.
+            let _ = handle.join();
+        }
+        let leftovers = self.shared.queue.drain();
+        let obs = self.shared.obs();
+        let n = leftovers.len();
+        for job in leftovers {
+            obs.counter("serve.shed.shutdown", 1);
+            job.responder.deliver(Err(ServeError::ShuttingDown));
+        }
+        n
+    }
+}
+
+impl Drop for Server {
+    /// A dropped server closes admission so detached workers drain and
+    /// exit instead of blocking forever. Explicit [`Server::shutdown`]
+    /// (which also joins and answers leftovers) is still preferred.
+    fn drop(&mut self) {
+        self.shared.queue.close();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        match shared.queue.pop(POP_POLL) {
+            Popped::Job(job) => run_job(shared, job),
+            Popped::TimedOut => continue,
+            Popped::Closed => break,
+        }
+    }
+}
+
+fn run_job(shared: &Shared, job: Job) {
+    let Job {
+        request,
+        responder,
+        budget,
+        token,
+        submitted,
+        seq,
+    } = job;
+    let obs = shared.obs();
+    let waited = submitted.elapsed();
+    obs.value("serve.queue.wait_ns", waited.as_nanos() as u64);
+    // Charge the queue wait against the deadline: the guard measures
+    // from its own construction, so shrink the deadline by the wait
+    // (saturating at zero ⇒ the guard trips on its first check and the
+    // request degrades immediately).
+    let mut effective = budget;
+    if let Some(deadline) = effective.deadline {
+        effective.deadline = Some(deadline.saturating_sub(waited));
+    }
+    let endpoint = request.endpoint();
+    let mut guard = Guard::with_token(effective, token);
+    if let Some(rec) = &shared.recorder {
+        guard = guard.with_recorder(Arc::clone(rec));
+    }
+    #[cfg(feature = "failpoints")]
+    if shared.chaos.trip_every.is_some_and(|n| seq % n.max(1) == 0) {
+        // trip_at counts checks that *pass*; 0 trips at the very first
+        // check site the handler reaches.
+        guard = guard.with_failpoint(0, dm_core::guard::TruncationReason::DeadlineExceeded);
+    }
+    let started = Instant::now();
+    #[cfg(feature = "failpoints")]
+    let panic_armed = shared
+        .chaos
+        .panic_every
+        .is_some_and(|n| seq % n.max(1) == 0);
+    #[cfg(not(feature = "failpoints"))]
+    let _ = seq;
+    let models = &shared.models;
+    let outcome: Result<ServeResult, _> = catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(feature = "failpoints")]
+        if panic_armed {
+            panic!("failpoint: injected worker panic");
+        }
+        handle(models, request, &guard)
+    }));
+    let result = match outcome {
+        Ok(result) => result,
+        Err(_) => {
+            obs.counter("serve.worker.recycled", 1);
+            Err(ServeError::WorkerPanicked)
+        }
+    };
+    match &result {
+        Ok(response) => {
+            match response.status {
+                RunStatus::Complete => obs.counter("serve.resp.complete", 1),
+                RunStatus::Truncated(_) => obs.counter("serve.resp.truncated", 1),
+            }
+            if response.tier != Tier::Full {
+                obs.counter_fmt(format_args!("serve.degraded.{}", response.tier.label()), 1);
+            }
+        }
+        Err(ServeError::Malformed(_)) => obs.counter("serve.resp.malformed", 1),
+        Err(ServeError::ModelUnavailable(_)) => obs.counter("serve.resp.unavailable", 1),
+        Err(_) => {}
+    }
+    obs.value_fmt(
+        format_args!("serve.latency.{}_ns", endpoint.label()),
+        started.elapsed().as_nanos() as u64,
+    );
+    responder.deliver(result);
+}
+
+fn handle(models: &ModelSet, request: Request, guard: &Guard) -> ServeResult {
+    let (reply, tier) = match request {
+        Request::Predict { model, rows } => models.predict(model, &rows, guard)?,
+        Request::Score { rows } => models.score(&rows, guard)?,
+        Request::Recommend { basket, k } => models.recommend(&basket, k, guard)?,
+    };
+    Ok(crate::api::ServeResponse {
+        reply,
+        status: guard.status(),
+        tier,
+    })
+}

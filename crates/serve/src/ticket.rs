@@ -1,0 +1,135 @@
+//! The response hand-off: a one-shot slot the worker fills and the
+//! client waits on. Delivery **never blocks** — a slow or stalled
+//! client (one that abandons its [`Ticket`] or never calls
+//! [`Ticket::wait`]) costs the server one `Arc` store and a notify,
+//! nothing more. That property is what makes stalled-client chaos a
+//! non-event in `tests/chaos.rs`.
+
+use crate::api::{ServeError, ServeResult};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+struct Slot {
+    result: Mutex<Option<ServeResult>>,
+    ready: Condvar,
+}
+
+/// The client's half: resolves to the request's [`ServeResult`].
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+/// The server's half: fills the slot exactly once (first write wins).
+pub(crate) struct Responder {
+    slot: Arc<Slot>,
+}
+
+/// Creates a connected client/server pair for one request.
+pub(crate) fn ticket_pair() -> (Ticket, Responder) {
+    let slot = Arc::new(Slot {
+        result: Mutex::new(None),
+        ready: Condvar::new(),
+    });
+    (
+        Ticket {
+            slot: Arc::clone(&slot),
+        },
+        Responder { slot },
+    )
+}
+
+impl Responder {
+    /// Delivers the result. Never blocks; a second delivery (possible
+    /// only through a bug) is ignored so the first answer stands.
+    pub(crate) fn deliver(&self, result: ServeResult) {
+        let mut held = self
+            .slot
+            .result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if held.is_none() {
+            *held = Some(result);
+        }
+        drop(held);
+        self.slot.ready.notify_all();
+    }
+}
+
+impl Ticket {
+    /// Blocks until the response arrives or `timeout` elapses
+    /// ([`ServeError::ResponseTimeout`]). Consuming `self` makes the
+    /// one-shot contract explicit: one ticket, one answer.
+    pub fn wait(self, timeout: Duration) -> ServeResult {
+        let deadline = Instant::now() + timeout;
+        let mut held = self
+            .slot
+            .result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = held.take() {
+                return result;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ServeError::ResponseTimeout);
+            }
+            let (guard, _) = self
+                .slot
+                .ready
+                .wait_timeout(held, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            held = guard;
+        }
+    }
+
+    /// Non-blocking probe; `None` while the request is still in flight.
+    pub fn try_take(&self) -> Option<ServeResult> {
+        self.slot
+            .result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::ServeError;
+
+    #[test]
+    fn wait_times_out_without_delivery() {
+        let (ticket, _responder) = ticket_pair();
+        assert_eq!(
+            ticket.wait(Duration::from_millis(5)),
+            Err(ServeError::ResponseTimeout)
+        );
+    }
+
+    #[test]
+    fn delivery_resolves_a_waiting_ticket() {
+        let (ticket, responder) = ticket_pair();
+        let handle = std::thread::spawn(move || ticket.wait(Duration::from_secs(5)));
+        responder.deliver(Err(ServeError::ShuttingDown));
+        assert_eq!(handle.join().unwrap(), Err(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn first_delivery_wins() {
+        let (ticket, responder) = ticket_pair();
+        responder.deliver(Err(ServeError::WorkerPanicked));
+        responder.deliver(Err(ServeError::ShuttingDown));
+        assert_eq!(
+            ticket.wait(Duration::from_millis(5)),
+            Err(ServeError::WorkerPanicked)
+        );
+    }
+
+    #[test]
+    fn delivery_to_an_abandoned_ticket_does_not_block_or_panic() {
+        let (ticket, responder) = ticket_pair();
+        drop(ticket);
+        responder.deliver(Err(ServeError::ShuttingDown));
+    }
+}

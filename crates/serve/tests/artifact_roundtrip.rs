@@ -1,0 +1,127 @@
+//! Artifact bundle round-trip and corruption behaviour: save → load
+//! preserves serving behaviour bit-for-bit for every serialized model,
+//! save → load → save is byte-stable, and *any* corruption of the
+//! bytes surfaces as a typed, readable `ArtifactError` — never a
+//! panic, hang, or silently different model.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dm_core::guard::Guard;
+use dm_serve::{load_artifacts, save_artifacts, ArtifactError, ModelKind, ModelSet};
+
+fn rows() -> Vec<Vec<f64>> {
+    vec![
+        vec![0.05, -0.2],
+        vec![8.4, 0.2],
+        vec![0.3, 7.7],
+        vec![3.9, 4.1],
+    ]
+}
+
+#[test]
+fn save_load_preserves_serving_behaviour() {
+    let original = ModelSet::demo(23).unwrap();
+    let bytes = save_artifacts(&original);
+    let reloaded = load_artifacts(&bytes).unwrap();
+    let g = Guard::unlimited();
+    // Serialized models answer identically.
+    for kind in [ModelKind::Tree, ModelKind::Knn] {
+        assert_eq!(
+            original.predict(kind, &rows(), &g).unwrap(),
+            reloaded.predict(kind, &rows(), &g).unwrap(),
+            "{kind:?}"
+        );
+    }
+    assert_eq!(
+        original.score(&rows(), &g).unwrap(),
+        reloaded.score(&rows(), &g).unwrap()
+    );
+    assert_eq!(
+        original.recommend(&[1, 2, 3], 5, &g).unwrap(),
+        reloaded.recommend(&[1, 2, 3], 5, &g).unwrap()
+    );
+    // Fallback state reconstructed too.
+    assert_eq!(
+        original.centroid_predict(&rows()).unwrap(),
+        reloaded.centroid_predict(&rows()).unwrap()
+    );
+    assert_eq!(
+        original.top_support_recommend(&[7], 3),
+        reloaded.top_support_recommend(&[7], 3)
+    );
+    // Ensemble/NB are documented as fit-in-process only.
+    assert!(matches!(
+        reloaded.predict(ModelKind::Ensemble, &rows(), &g),
+        Err(dm_serve::ServeError::ModelUnavailable("ensemble"))
+    ));
+}
+
+#[test]
+fn save_load_save_is_byte_stable() {
+    let original = ModelSet::demo(23).unwrap();
+    let first = save_artifacts(&original);
+    let second = save_artifacts(&load_artifacts(&first).unwrap());
+    assert_eq!(first, second);
+}
+
+#[test]
+fn truncated_bytes_are_a_typed_error() {
+    let bytes = save_artifacts(&ModelSet::demo(23).unwrap());
+    for cut in [0, 1, bytes.len() / 2, bytes.len() - 2] {
+        let err = load_artifacts(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(err, ArtifactError::Json(_) | ArtifactError::Shape(_)),
+            "cut at {cut}: {err:?}"
+        );
+        // Readable: the Display impl says what and where.
+        assert!(!err.to_string().is_empty());
+    }
+}
+
+#[test]
+fn bitflip_corruption_never_panics_and_never_loads_silently_wrong_structure() {
+    let bytes = save_artifacts(&ModelSet::demo(23).unwrap());
+    // Flip a spread of bytes; each either still parses to a valid
+    // bundle (flips inside numbers/strings can stay structurally
+    // valid) or errors typed — the test is that nothing panics and
+    // structural damage is caught.
+    let step = (bytes.len() / 64).max(1);
+    for i in (0..bytes.len()).step_by(step) {
+        let mut corrupted = bytes.as_bytes().to_vec();
+        corrupted[i] ^= 0x15;
+        let Ok(text) = String::from_utf8(corrupted) else {
+            continue;
+        };
+        match load_artifacts(&text) {
+            Ok(models) => {
+                // Whatever loaded must actually serve without panicking.
+                let g = Guard::unlimited();
+                let _ = models.predict(ModelKind::Tree, &rows(), &g);
+                let _ = models.recommend(&[1], 3, &g);
+            }
+            Err(err) => assert!(!err.to_string().is_empty()),
+        }
+    }
+}
+
+#[test]
+fn schema_version_from_the_future_is_refused() {
+    let bytes = save_artifacts(&ModelSet::demo(23).unwrap());
+    let bumped = bytes.replacen("\"artifact_schema\": 1", "\"artifact_schema\": 99", 1);
+    assert_eq!(
+        load_artifacts(&bumped).unwrap_err(),
+        ArtifactError::SchemaTooNew(99)
+    );
+}
+
+#[test]
+fn structural_damage_in_the_tree_is_caught_by_validation() {
+    let models = ModelSet::demo(23).unwrap();
+    let bytes = save_artifacts(&models);
+    // Point the root at a missing node.
+    let damaged = bytes.replacen("\"root\": ", "\"root\": 99999, \"unused\": ", 1);
+    match load_artifacts(&damaged) {
+        Err(ArtifactError::Shape(msg)) => assert!(msg.contains("root"), "{msg}"),
+        other => panic!("expected Shape error, got {other:?}"),
+    }
+}

@@ -1,0 +1,282 @@
+//! Chaos harness (requires `--features failpoints`): deterministic
+//! fault injection in the request path. The invariants under every
+//! storm: the server stays live, overload is shed with a *typed*
+//! error, and every delivered response is either `Complete` or
+//! honestly `Truncated` — never silently wrong, never a hang.
+#![cfg(feature = "failpoints")]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dm_core::guard::RunStatus;
+use dm_core::obs::InMemoryRecorder;
+use dm_serve::{
+    ChaosConfig, LoadGenConfig, ModelKind, ModelSet, Request, ServeConfig, ServeError, Server, Tier,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(10);
+
+fn recorded_chaos(
+    workers: usize,
+    capacity: usize,
+    chaos: ChaosConfig,
+) -> (Server, Arc<InMemoryRecorder>) {
+    let rec = Arc::new(InMemoryRecorder::new());
+    let server = Server::start_chaos(
+        ModelSet::demo(7).unwrap(),
+        ServeConfig {
+            workers,
+            queue_capacity: capacity,
+            default_deadline: Some(Duration::from_secs(5)),
+        },
+        Some(rec.clone()),
+        chaos,
+    );
+    (server, rec)
+}
+
+fn tiny_predict() -> Request {
+    Request::Predict {
+        model: ModelKind::Tree,
+        rows: vec![vec![0.5, 0.5]],
+    }
+}
+
+#[test]
+fn injected_worker_panics_are_typed_and_the_worker_recycles() {
+    // One worker, panic on every 3rd admitted request: requests 3, 6
+    // and 9 come back `WorkerPanicked`, everything else serves — on
+    // the *same* worker thread, which is the isolation claim.
+    let (server, rec) = recorded_chaos(
+        1,
+        16,
+        ChaosConfig {
+            panic_every: Some(3),
+            trip_every: None,
+        },
+    );
+    for seq in 1..=9u64 {
+        let got = server.submit(tiny_predict()).unwrap().wait(WAIT);
+        if seq % 3 == 0 {
+            assert!(
+                matches!(got, Err(ServeError::WorkerPanicked)),
+                "seq {seq}: {got:?}"
+            );
+        } else {
+            let response = got.unwrap();
+            assert_eq!(response.status, RunStatus::Complete, "seq {seq}");
+            assert_eq!(response.tier, Tier::Full, "seq {seq}");
+        }
+    }
+    server.shutdown();
+    let snap = rec.snapshot();
+    assert_eq!(snap.counter("serve.worker.recycled"), Some(3));
+    assert_eq!(snap.counter("serve.resp.complete"), Some(6));
+}
+
+#[test]
+fn guard_failpoint_storm_degrades_every_endpoint_honestly() {
+    // Arm dm-guard's fail point on every request: the first governed
+    // check trips, simulating a deadline storm with zero real clock
+    // pressure. Every endpoint must answer Truncated on its fallback
+    // tier — no panics, no hangs, no silently-full answers.
+    let (server, rec) = recorded_chaos(
+        1,
+        16,
+        ChaosConfig {
+            panic_every: None,
+            trip_every: Some(1),
+        },
+    );
+    let knn = server
+        .submit(Request::Predict {
+            model: ModelKind::Knn,
+            rows: vec![vec![0.1, 0.2], vec![7.9, 0.4]],
+        })
+        .unwrap()
+        .wait(WAIT)
+        .unwrap();
+    assert!(matches!(knn.status, RunStatus::Truncated(_)));
+    assert_eq!(knn.tier, Tier::CentroidFallback);
+
+    let tree = server.submit(tiny_predict()).unwrap().wait(WAIT).unwrap();
+    assert!(matches!(tree.status, RunStatus::Truncated(_)));
+    assert_eq!(tree.tier, Tier::MajorityFallback);
+
+    let rec_resp = server
+        .submit(Request::Recommend {
+            basket: vec![1],
+            k: 3,
+        })
+        .unwrap()
+        .wait(WAIT)
+        .unwrap();
+    assert!(matches!(rec_resp.status, RunStatus::Truncated(_)));
+    assert_eq!(rec_resp.tier, Tier::TopSupportFallback);
+
+    server.shutdown();
+    let snap = rec.snapshot();
+    assert_eq!(snap.counter("serve.resp.truncated"), Some(3));
+    assert!(snap.counter("serve.resp.complete").is_none());
+    assert_eq!(snap.counter("serve.degraded.centroid"), Some(1));
+    assert_eq!(snap.counter("serve.degraded.majority"), Some(1));
+    assert_eq!(snap.counter("serve.degraded.top_support"), Some(1));
+}
+
+#[test]
+fn panic_storm_under_load_keeps_serving() {
+    let (server, rec) = recorded_chaos(
+        2,
+        64,
+        ChaosConfig {
+            panic_every: Some(4),
+            trip_every: None,
+        },
+    );
+    let config = LoadGenConfig {
+        clients: 1,
+        requests_per_client: 20,
+        deadline: None,
+        ..LoadGenConfig::default()
+    };
+    let report = dm_serve::loadgen::run(&server, &config);
+    // Single client, roomy queue: admission order == request order, so
+    // exactly requests 4, 8, 12, 16, 20 panic.
+    assert_eq!(report.panicked, 5);
+    assert_eq!(report.ok + report.truncated, 15);
+    assert_eq!(report.shed, 0);
+    // Still alive after the storm.
+    let after = server.submit(tiny_predict()).unwrap().wait(WAIT).unwrap();
+    assert_eq!(after.status, RunStatus::Complete);
+    server.shutdown();
+    assert_eq!(rec.snapshot().counter("serve.worker.recycled"), Some(5));
+}
+
+#[test]
+fn malformed_storm_is_refused_typed_at_full_rate() {
+    let (server, rec) = recorded_chaos(2, 64, ChaosConfig::default());
+    let config = LoadGenConfig {
+        clients: 2,
+        requests_per_client: 15,
+        malformed_ratio: 1.0,
+        deadline: None,
+        ..LoadGenConfig::default()
+    };
+    let report = dm_serve::loadgen::run(&server, &config);
+    assert_eq!(report.malformed, 30, "{report:?}");
+    assert_eq!(report.ok, 0);
+    assert_eq!(report.panicked, 0);
+    // Validation happens inside the worker; the server shrugs it off.
+    let after = server.submit(tiny_predict()).unwrap().wait(WAIT).unwrap();
+    assert_eq!(after.status, RunStatus::Complete);
+    server.shutdown();
+    assert_eq!(rec.snapshot().counter("serve.resp.malformed"), Some(30));
+}
+
+#[test]
+fn stalled_clients_never_wedge_the_server_and_the_queue_stays_bounded() {
+    // Every client submits and walks away without collecting. The
+    // responder must not block on the abandoned tickets and the queue
+    // depth must never exceed its bound.
+    let (server, rec) = recorded_chaos(1, 8, ChaosConfig::default());
+    let config = LoadGenConfig {
+        clients: 2,
+        requests_per_client: 20,
+        stall_ratio: 1.0,
+        max_attempts: 1,
+        deadline: None,
+        ..LoadGenConfig::default()
+    };
+    let report = dm_serve::loadgen::run(&server, &config);
+    assert_eq!(report.stalled + report.shed, 40, "{report:?}");
+    assert!(report.stalled > 0);
+    // The worker is still draining jobs whose clients walked away; give
+    // it a moment so the after-probe isn't shed by their backlog.
+    let settle = std::time::Instant::now();
+    while server.queue_depth() > 0 && settle.elapsed() < WAIT {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let after = server.submit(tiny_predict()).unwrap().wait(WAIT).unwrap();
+    assert_eq!(after.status, RunStatus::Complete);
+    server.shutdown();
+    let snap = rec.snapshot();
+    let peak = snap.gauge("serve.queue.depth_peak").unwrap_or(0.0);
+    assert!(peak <= 8.0, "queue peaked at {peak}, bound is 8");
+}
+
+#[test]
+fn retry_budget_caps_amplification_deterministically() {
+    // No workers, capacity 1, stalling client: request 1 occupies the
+    // queue forever, so every later submit sheds. max_attempts 3 with
+    // a global pot of 2 ⇒ request 2 spends both tokens, requests 3-5
+    // shed on the first attempt. All counters are exact.
+    let server = Server::start(
+        ModelSet::demo(7).unwrap(),
+        ServeConfig {
+            workers: 0,
+            queue_capacity: 1,
+            default_deadline: None,
+        },
+    );
+    let config = LoadGenConfig {
+        clients: 1,
+        requests_per_client: 5,
+        stall_ratio: 1.0,
+        max_attempts: 3,
+        retry_budget: 2,
+        base_backoff: Duration::from_micros(10),
+        deadline: None,
+        ..LoadGenConfig::default()
+    };
+    let report = dm_serve::loadgen::run(&server, &config);
+    assert_eq!(report.stalled, 1, "{report:?}");
+    assert_eq!(report.shed, 4);
+    assert_eq!(report.retries, 2);
+    assert_eq!(report.attempts, 1 + 3 + 1 + 1 + 1);
+    assert_eq!(server.shutdown(), 1);
+}
+
+#[test]
+fn load_generator_is_bit_reproducible_for_a_fixed_seed() {
+    // Two fresh server+loadgen pairs, same seed: every deterministic
+    // counter matches exactly. This is what lets E15 gate serving
+    // counters at 0% tolerance.
+    let run_once = || {
+        let server = Server::start(
+            ModelSet::demo(7).unwrap(),
+            ServeConfig {
+                workers: 2,
+                queue_capacity: 256,
+                default_deadline: None,
+            },
+        );
+        let config = LoadGenConfig {
+            seed: 42,
+            clients: 2,
+            requests_per_client: 25,
+            malformed_ratio: 0.3,
+            deadline: None,
+            ..LoadGenConfig::default()
+        };
+        let report = dm_serve::loadgen::run(&server, &config);
+        server.shutdown();
+        report
+    };
+    let a = run_once();
+    let b = run_once();
+    for (name, x, y) in [
+        ("attempts", a.attempts, b.attempts),
+        ("ok", a.ok, b.ok),
+        ("truncated", a.truncated, b.truncated),
+        ("degraded", a.degraded, b.degraded),
+        ("shed", a.shed, b.shed),
+        ("malformed", a.malformed, b.malformed),
+        ("panicked", a.panicked, b.panicked),
+        ("shutdown", a.shutdown, b.shutdown),
+        ("stalled", a.stalled, b.stalled),
+        ("retries", a.retries, b.retries),
+    ] {
+        assert_eq!(x, y, "counter `{name}` differs across identical runs");
+    }
+    assert!(a.ok > 0 && a.malformed > 0, "{a:?}");
+}

@@ -1,0 +1,139 @@
+//! Satellite: degradation tiers are not "best effort" — each fallback
+//! is a deterministic function, and a degraded *served* response is
+//! bit-identical to invoking the fallback directly. Without this, a
+//! deadline storm would make responses irreproducible and the E15
+//! ledger gate meaningless.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dm_core::guard::{Budget, CancelToken, Guard, RunStatus};
+use dm_serve::{ModelKind, ModelSet, Reply, Request, ServeConfig, Server, Tier};
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(10);
+
+fn rows() -> Vec<Vec<f64>> {
+    vec![
+        vec![0.1, 0.2],
+        vec![8.0, 0.3],
+        vec![0.2, 8.1],
+        vec![7.9, 7.8],
+        vec![-1.0, 3.0],
+    ]
+}
+
+#[test]
+fn centroid_fallback_is_deterministic_and_matches_direct_invocation() {
+    let models = ModelSet::demo(11).unwrap();
+    let direct = models.centroid_predict(&rows()).unwrap().unwrap();
+    let again = models.centroid_predict(&rows()).unwrap().unwrap();
+    assert_eq!(direct, again, "fallback must be deterministic");
+
+    // A served kNN request whose work budget admits nothing must
+    // produce exactly the direct fallback answer.
+    let guard = Guard::new(Budget::unlimited().with_max_work(0));
+    let (reply, tier) = models.predict(ModelKind::Knn, &rows(), &guard).unwrap();
+    assert_eq!(tier, Tier::CentroidFallback);
+    assert_eq!(reply, Reply::Classes(direct.clone()));
+
+    // And under an unlimited guard the fallback path is never taken —
+    // but the fallback itself, run governed, still matches its
+    // ungoverned self (`Guard::unlimited()` changes nothing).
+    let (full_reply, full_tier) = models
+        .predict(ModelKind::Knn, &rows(), &Guard::unlimited())
+        .unwrap();
+    assert_eq!(full_tier, Tier::Full);
+    let knn_direct = models
+        .knn()
+        .unwrap()
+        .predict(&dm_core::dataset::Matrix::from_rows(&rows()).unwrap())
+        .unwrap();
+    assert_eq!(full_reply, Reply::Classes(knn_direct));
+}
+
+#[test]
+fn top_support_fallback_is_deterministic_and_matches_direct_invocation() {
+    let models = ModelSet::demo(11).unwrap();
+    let basket = vec![1, 5, 9];
+    let direct = models.top_support_recommend(&basket, 4);
+    let again = models.top_support_recommend(&basket, 4);
+    assert_eq!(direct, again, "fallback must be deterministic");
+    assert!(!direct.is_empty(), "demo must have frequent singletons");
+    // Scores are support counts, descending.
+    for pair in direct.windows(2) {
+        assert!(pair[0].score >= pair[1].score);
+    }
+    // Zero work budget: the rule scan trips immediately and the served
+    // answer must equal the direct fallback.
+    let guard = Guard::new(Budget::unlimited().with_max_work(0));
+    let (reply, tier) = models.recommend(&basket, 4, &guard).unwrap();
+    assert_eq!(tier, Tier::TopSupportFallback);
+    assert_eq!(reply, Reply::Recommendations(direct));
+}
+
+#[test]
+fn majority_fallback_answers_the_default_class() {
+    let models = ModelSet::demo(11).unwrap();
+    let guard = Guard::new(Budget::unlimited().with_max_work(2));
+    let (reply, tier) = models.predict(ModelKind::Tree, &rows(), &guard).unwrap();
+    assert_eq!(tier, Tier::MajorityFallback);
+    let Reply::Classes(classes) = reply else {
+        panic!("expected classes");
+    };
+    // Two rows answered by the tree, the tail by the majority class.
+    let (full, _) = models
+        .predict(ModelKind::Tree, &rows(), &Guard::unlimited())
+        .unwrap();
+    let Reply::Classes(full_classes) = full else {
+        panic!("expected classes");
+    };
+    assert_eq!(classes[..2], full_classes[..2]);
+    assert!(classes[2..].iter().all(|&c| c == models.default_class()));
+}
+
+#[test]
+fn score_degrades_by_honest_truncation() {
+    let models = ModelSet::demo(11).unwrap();
+    let guard = Guard::new(Budget::unlimited().with_max_work(3));
+    let (reply, tier) = models.score(&rows(), &guard).unwrap();
+    assert_eq!(tier, Tier::Full, "score has no cheaper tier");
+    let Reply::Scores(scores) = reply else {
+        panic!("expected scores");
+    };
+    assert_eq!(scores.len(), 3, "prefix under a 3-unit budget");
+    let (full_reply, _) = models.score(&rows(), &Guard::unlimited()).unwrap();
+    let Reply::Scores(full_scores) = full_reply else {
+        panic!("expected scores");
+    };
+    assert_eq!(scores[..], full_scores[..3], "prefix is bit-identical");
+}
+
+#[test]
+fn served_degraded_response_equals_direct_fallback_end_to_end() {
+    let models = ModelSet::demo(11).unwrap();
+    let direct = models.centroid_predict(&rows()).unwrap().unwrap();
+    let server = Server::start(
+        models,
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            default_deadline: None,
+        },
+    );
+    let response = server
+        .submit_with(
+            Request::Predict {
+                model: ModelKind::Knn,
+                rows: rows(),
+            },
+            Budget::unlimited().with_max_work(0),
+            CancelToken::new(),
+        )
+        .unwrap()
+        .wait(WAIT)
+        .unwrap();
+    assert!(matches!(response.status, RunStatus::Truncated(_)));
+    assert_eq!(response.tier, Tier::CentroidFallback);
+    assert_eq!(response.reply, Reply::Classes(direct));
+    server.shutdown();
+}

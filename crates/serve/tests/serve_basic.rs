@@ -1,0 +1,285 @@
+//! End-to-end serving behaviour under normal operation: every endpoint
+//! answers on the full tier, admission is bounded with typed sheds,
+//! shutdown answers rather than drops, and every metric the server
+//! emits follows the workspace naming convention.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dm_core::guard::{Budget, CancelToken, RunStatus};
+use dm_core::obs::InMemoryRecorder;
+use dm_serve::{ModelKind, ModelSet, Reply, Request, ServeConfig, ServeError, Server, Tier};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(10);
+
+fn demo_server(workers: usize, capacity: usize) -> (Server, Arc<InMemoryRecorder>) {
+    let rec = Arc::new(InMemoryRecorder::new());
+    let server = Server::start_recorded(
+        ModelSet::demo(7).unwrap(),
+        ServeConfig {
+            workers,
+            queue_capacity: capacity,
+            default_deadline: Some(Duration::from_secs(5)),
+        },
+        rec.clone(),
+    );
+    (server, rec)
+}
+
+#[test]
+fn every_endpoint_serves_full_tier_within_budget() {
+    let (server, rec) = demo_server(2, 16);
+    let rows = vec![vec![0.1, 0.2], vec![8.0, 0.1]];
+    for kind in [
+        ModelKind::Tree,
+        ModelKind::Ensemble,
+        ModelKind::NaiveBayes,
+        ModelKind::Knn,
+    ] {
+        let response = server
+            .submit(Request::Predict {
+                model: kind,
+                rows: rows.clone(),
+            })
+            .unwrap()
+            .wait(WAIT)
+            .unwrap();
+        assert_eq!(response.status, RunStatus::Complete, "{kind:?}");
+        assert_eq!(response.tier, Tier::Full, "{kind:?}");
+        match response.reply {
+            Reply::Classes(classes) => assert_eq!(classes.len(), 2, "{kind:?}"),
+            other => panic!("{kind:?}: unexpected reply {other:?}"),
+        }
+    }
+    let response = server
+        .submit(Request::Score { rows: rows.clone() })
+        .unwrap()
+        .wait(WAIT)
+        .unwrap();
+    assert_eq!(response.status, RunStatus::Complete);
+    match response.reply {
+        Reply::Scores(scores) => {
+            assert_eq!(scores.len(), 2);
+            assert!(scores.iter().all(|s| s.is_finite() && *s >= 0.0));
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+    let response = server
+        .submit(Request::Recommend {
+            basket: vec![1, 2, 3],
+            k: 5,
+        })
+        .unwrap()
+        .wait(WAIT)
+        .unwrap();
+    assert_eq!(response.status, RunStatus::Complete);
+    assert_eq!(response.tier, Tier::Full);
+    server.shutdown();
+    let snap = rec.snapshot();
+    assert_eq!(snap.counter("serve.req.admitted"), Some(6));
+    assert_eq!(snap.counter("serve.resp.complete"), Some(6));
+    assert!(snap.counter("serve.resp.truncated").is_none());
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_not_panics() {
+    let (server, rec) = demo_server(1, 16);
+    // Wrong width.
+    let got = server
+        .submit(Request::Predict {
+            model: ModelKind::Tree,
+            rows: vec![vec![1.0, 2.0, 3.0]],
+        })
+        .unwrap()
+        .wait(WAIT);
+    assert!(matches!(got, Err(ServeError::Malformed(_))), "{got:?}");
+    // Non-finite feature.
+    let got = server
+        .submit(Request::Score {
+            rows: vec![vec![f64::INFINITY, 0.0]],
+        })
+        .unwrap()
+        .wait(WAIT);
+    assert!(matches!(got, Err(ServeError::Malformed(_))), "{got:?}");
+    // k = 0.
+    let got = server
+        .submit(Request::Recommend {
+            basket: vec![],
+            k: 0,
+        })
+        .unwrap()
+        .wait(WAIT);
+    assert!(matches!(got, Err(ServeError::Malformed(_))), "{got:?}");
+    // The server is still alive and serving.
+    let ok = server
+        .submit(Request::Recommend {
+            basket: vec![],
+            k: 3,
+        })
+        .unwrap()
+        .wait(WAIT);
+    assert!(ok.is_ok());
+    server.shutdown();
+    assert_eq!(rec.snapshot().counter("serve.resp.malformed"), Some(3));
+}
+
+#[test]
+fn admission_queue_sheds_typed_overload_and_stays_bounded() {
+    // No workers: nothing drains, so capacity + 1 submits must shed
+    // exactly one request — deterministically.
+    let (server, rec) = demo_server(0, 4);
+    let mut tickets = Vec::new();
+    for _ in 0..4 {
+        tickets.push(
+            server
+                .submit(Request::Recommend {
+                    basket: vec![],
+                    k: 1,
+                })
+                .unwrap(),
+        );
+    }
+    let shed = server.submit(Request::Recommend {
+        basket: vec![],
+        k: 1,
+    });
+    assert_eq!(shed.err(), Some(ServeError::Overloaded { depth: 4 }));
+    assert_eq!(server.queue_depth(), 4);
+    let drained = server.shutdown();
+    assert_eq!(drained, 4);
+    for ticket in tickets {
+        assert_eq!(
+            ticket.wait(Duration::from_millis(100)),
+            Err(ServeError::ShuttingDown)
+        );
+    }
+    let snap = rec.snapshot();
+    assert_eq!(snap.counter("serve.req.admitted"), Some(4));
+    assert_eq!(snap.counter("serve.shed.queue_full"), Some(1));
+    assert_eq!(snap.counter("serve.shed.shutdown"), Some(4));
+    assert_eq!(snap.gauge("serve.queue.depth_peak"), Some(4.0));
+}
+
+#[test]
+fn cancelled_token_trips_the_request_to_truncated() {
+    let (server, _rec) = demo_server(1, 8);
+    let token = CancelToken::new();
+    token.cancel();
+    let response = server
+        .submit_with(
+            Request::Predict {
+                model: ModelKind::Knn,
+                rows: vec![vec![0.0, 0.0]],
+            },
+            Budget::unlimited(),
+            token,
+        )
+        .unwrap()
+        .wait(WAIT)
+        .unwrap();
+    assert!(matches!(response.status, RunStatus::Truncated(_)));
+    assert_ne!(response.tier, Tier::Full);
+    server.shutdown();
+}
+
+#[test]
+fn zero_deadline_degrades_instead_of_hanging() {
+    let (server, rec) = demo_server(1, 8);
+    let response = server
+        .submit_with(
+            Request::Recommend {
+                basket: vec![1],
+                k: 3,
+            },
+            Budget::unlimited().with_deadline(Duration::ZERO),
+            CancelToken::new(),
+        )
+        .unwrap()
+        .wait(WAIT)
+        .unwrap();
+    assert!(matches!(response.status, RunStatus::Truncated(_)));
+    assert_eq!(response.tier, Tier::TopSupportFallback);
+    server.shutdown();
+    assert_eq!(
+        rec.snapshot().counter("serve.degraded.top_support"),
+        Some(1)
+    );
+}
+
+/// The workspace metric-naming convention (DESIGN.md "Metric naming"),
+/// extended to the `serve` subsystem. `dm-core`'s registry test cannot
+/// cover serve (core does not depend on it), so the serving layer
+/// carries its own executable convention.
+#[test]
+fn every_serve_metric_follows_the_naming_convention() {
+    let (server, rec) = demo_server(1, 2);
+    // Drive every counter family: full-tier traffic, malformed,
+    // degraded, shed, shutdown.
+    let _ = server
+        .submit(Request::Predict {
+            model: ModelKind::Knn,
+            rows: vec![vec![0.0, 0.0]],
+        })
+        .unwrap()
+        .wait(WAIT);
+    let _ = server
+        .submit(Request::Predict {
+            model: ModelKind::Tree,
+            rows: vec![vec![1.0]],
+        })
+        .unwrap()
+        .wait(WAIT);
+    let _ = server
+        .submit_with(
+            Request::Recommend {
+                basket: vec![],
+                k: 1,
+            },
+            Budget::unlimited().with_max_work(0),
+            CancelToken::new(),
+        )
+        .unwrap()
+        .wait(WAIT);
+    server.shutdown();
+    let snap = rec.snapshot();
+    assert!(!snap.is_empty());
+    // Model code runs under the request guard, so downstream subsystem
+    // metrics (knn.*, tree.*, ...) share this recorder — they are
+    // covered by `dm-core`'s own registry test. Here: every metric
+    // must belong to a known subsystem, and everything the serving
+    // layer itself emits must be a well-formed `serve.*` name.
+    const KNOWN: &[&str] = &[
+        "serve",
+        "assoc",
+        "seq",
+        "cluster",
+        "tree",
+        "knn",
+        "par",
+        "guard",
+        "experiment",
+    ];
+    let well_named = |name: &str| {
+        let segments: Vec<&str> = name.split('.').collect();
+        segments.len() >= 2
+            && segments.iter().all(|s| !s.is_empty())
+            && KNOWN.contains(&segments[0])
+            && name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_')
+    };
+    let mut serve_metrics = 0usize;
+    for (name, _) in snap.counters_with_prefix("") {
+        assert!(well_named(name), "counter `{name}` breaks the convention");
+        serve_metrics += usize::from(name.starts_with("serve."));
+    }
+    for (name, _) in snap.gauges_with_prefix("") {
+        assert!(well_named(name), "gauge `{name}` breaks the convention");
+        serve_metrics += usize::from(name.starts_with("serve."));
+    }
+    assert!(
+        serve_metrics >= 5,
+        "expected the serving layer's own metrics"
+    );
+}

@@ -49,6 +49,131 @@ pub struct DecisionTree {
 }
 
 impl DecisionTree {
+    /// Rebuilds a tree from its stored parts (artifact reload). The
+    /// structure is validated so a corrupt artifact cannot produce a
+    /// tree that panics or loops during prediction: every referenced
+    /// node id must exist, child lists must match the split arity,
+    /// leaf classes must fit `n_classes`, split attributes must fit
+    /// `attr_names`, and the graph reachable from `root` must be
+    /// acyclic.
+    pub fn from_parts(
+        nodes: Vec<Node>,
+        root: usize,
+        n_classes: usize,
+        attr_names: Vec<String>,
+    ) -> Result<Self, DataError> {
+        let bad = |msg: String| Err(DataError::InvalidParameter(msg));
+        if n_classes == 0 {
+            return bad("tree artifact: n_classes must be >= 1".into());
+        }
+        if root >= nodes.len() {
+            return bad(format!(
+                "tree artifact: root {root} out of range ({} nodes)",
+                nodes.len()
+            ));
+        }
+        for (id, node) in nodes.iter().enumerate() {
+            match node {
+                Node::Leaf { class, .. } => {
+                    if *class as usize >= n_classes {
+                        return bad(format!(
+                            "tree artifact: node {id} predicts class {class} >= n_classes {n_classes}"
+                        ));
+                    }
+                }
+                Node::Split {
+                    attr,
+                    spec,
+                    children,
+                    default_child,
+                    majority,
+                    ..
+                } => {
+                    if *attr >= attr_names.len() {
+                        return bad(format!(
+                            "tree artifact: node {id} tests attr {attr} >= {} names",
+                            attr_names.len()
+                        ));
+                    }
+                    let arity = match spec {
+                        SplitSpec::NumericThreshold { .. }
+                        | SplitSpec::CategoricalEquals { .. } => 2,
+                        SplitSpec::CategoricalMultiway { categories } => categories.len(),
+                    };
+                    if children.len() != arity {
+                        return bad(format!(
+                            "tree artifact: node {id} has {} children, split arity {arity}",
+                            children.len()
+                        ));
+                    }
+                    if *default_child >= children.len() {
+                        return bad(format!(
+                            "tree artifact: node {id} default_child {default_child} out of range"
+                        ));
+                    }
+                    if *majority as usize >= n_classes {
+                        return bad(format!(
+                            "tree artifact: node {id} majority {majority} >= n_classes {n_classes}"
+                        ));
+                    }
+                    for &c in children {
+                        if c >= nodes.len() {
+                            return bad(format!(
+                                "tree artifact: node {id} references missing child {c}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Acyclicity over the reachable subgraph: iterative DFS with an
+        // on-stack mark; a back edge means prediction would loop.
+        let mut state = vec![0u8; nodes.len()]; // 0 unseen, 1 on stack, 2 done
+        let mut stack = vec![(root, 0usize)];
+        state[root] = 1;
+        while let Some(&mut (id, next)) = stack.last_mut() {
+            let children: &[usize] = match &nodes[id] {
+                Node::Leaf { .. } => &[],
+                Node::Split { children, .. } => children,
+            };
+            if next < children.len() {
+                if let Some(top) = stack.last_mut() {
+                    top.1 = next + 1;
+                }
+                let c = children[next];
+                match state[c] {
+                    1 => return bad(format!("tree artifact: cycle through node {c}")),
+                    0 => {
+                        state[c] = 1;
+                        stack.push((c, 0));
+                    }
+                    _ => {}
+                }
+            } else {
+                state[id] = 2;
+                stack.pop();
+            }
+        }
+        Ok(Self {
+            nodes,
+            root,
+            n_classes,
+            attr_names,
+        })
+    }
+
+    /// All nodes in id order (artifact serialization hook). Entries may
+    /// include pruned-out nodes; reachability starts at
+    /// [`DecisionTree::root_id`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Attribute names the split attribute indices refer to.
+    pub fn attr_names(&self) -> &[String] {
+        &self.attr_names
+    }
+
     /// Root node id, for read-only traversals (rule extraction).
     pub fn root_id(&self) -> usize {
         self.root
