@@ -13,7 +13,7 @@
 //! cargo run --release -p dm-bench --bin experiments -- all
 //! ```
 //!
-//! or a single experiment by id (`e1` … `e15`, `a1`, `a2`).
+//! or a single experiment by id (`e1` … `e16`, `a1`, `a2`).
 
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
@@ -22,12 +22,13 @@ pub mod classify_exp;
 pub mod cluster_exp;
 pub mod seq_exp;
 pub mod serve_exp;
+pub mod stream_exp;
 pub mod table;
 
 /// All experiment ids, in order.
-pub const ALL_EXPERIMENTS: [&str; 17] = [
+pub const ALL_EXPERIMENTS: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "a1", "a2",
+    "e16", "a1", "a2",
 ];
 
 /// Runs one experiment by id, returning its report (or the data error
@@ -66,6 +67,7 @@ pub fn run_governed(
         "e13" => seq_exp::e13_sequential_patterns(guard),
         "e14" => assoc_exp::e14_fp_vs_apriori_low_support(guard),
         "e15" => serve_exp::e15_serving(guard),
+        "e16" => stream_exp::e16_streaming(guard),
         "a1" => assoc_exp::a1_hashtree_ablation(guard),
         "a2" => cluster_exp::a2_birch_ablation(guard),
         _ => return None,

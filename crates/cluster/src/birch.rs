@@ -112,6 +112,7 @@ pub struct CfNodeStats {
     pub height: usize,
 }
 
+#[derive(Debug)]
 enum CfNode {
     Leaf {
         entries: Vec<ClusteringFeature>,
@@ -164,12 +165,14 @@ impl CfNode {
     }
 
     /// Inserts a point; returns a split sibling (with its CF) when this
-    /// node overflowed.
+    /// node overflowed. Each split performed anywhere in the subtree
+    /// bumps `splits`.
     fn insert(
         &mut self,
         p: &[f64],
         threshold: f64,
         branching: usize,
+        splits: &mut u64,
     ) -> Option<(ClusteringFeature, Box<CfNode>)> {
         match self {
             CfNode::Leaf { entries } => {
@@ -189,6 +192,7 @@ impl CfNode {
                 if entries.len() <= branching {
                     None
                 } else {
+                    *splits += 1;
                     Some(split_entries(entries).map_node(|e| CfNode::Leaf { entries: e }))
                 }
             }
@@ -202,11 +206,14 @@ impl CfNode {
                     .map(|(i, _)| i)
                     .unwrap_or(0);
                 entries[idx].0.add_point(p);
-                if let Some((sib_cf, sib_node)) = entries[idx].1.insert(p, threshold, branching) {
+                if let Some((sib_cf, sib_node)) =
+                    entries[idx].1.insert(p, threshold, branching, splits)
+                {
                     // Child split: recompute the child's CF and add the sibling.
                     entries[idx].0 = cf_of_node(&entries[idx].1);
                     entries.push((sib_cf, sib_node));
                     if entries.len() > branching {
+                        *splits += 1;
                         let split = split_interior(entries);
                         return Some(split);
                     }
@@ -214,6 +221,118 @@ impl CfNode {
                 None
             }
         }
+    }
+}
+
+/// An incrementally built CF-tree: the online half of BIRCH, exposed so
+/// streaming ingestion (`dm-stream`) can share the exact structure that
+/// batch [`Birch`] condenses into.
+///
+/// Points go in one at a time via [`CfTree::insert`]; at any moment the
+/// leaf entries are a valid condensed summary of every point absorbed so
+/// far, and [`Birch::cluster_entries`] can turn them into k global
+/// centroids. Inserting the same point sequence always yields the same
+/// tree bit for bit, which is what the prefix-equivalence suite pins.
+#[derive(Debug)]
+pub struct CfTree {
+    root: CfNode,
+    threshold: f64,
+    branching: usize,
+    points: usize,
+    splits: u64,
+}
+
+impl CfTree {
+    /// An empty tree with the given leaf radius threshold and branching
+    /// factor.
+    pub fn new(threshold: f64, branching: usize) -> Result<Self, DataError> {
+        if branching < 2 {
+            return Err(DataError::InvalidParameter("branching must be >= 2".into()));
+        }
+        if threshold < 0.0 {
+            return Err(DataError::InvalidParameter(
+                "threshold must be non-negative".into(),
+            ));
+        }
+        Ok(Self {
+            root: CfNode::Leaf {
+                entries: Vec::new(),
+            },
+            threshold,
+            branching,
+            points: 0,
+            splits: 0,
+        })
+    }
+
+    /// Inserts one point, splitting nodes (and growing a new root) as
+    /// needed. Returns the number of node splits this insert triggered.
+    pub fn insert(&mut self, p: &[f64]) -> u64 {
+        let before = self.splits;
+        if let Some((sib_cf, sib_node)) =
+            self.root
+                .insert(p, self.threshold, self.branching, &mut self.splits)
+        {
+            // Root split: grow a new root.
+            let old = std::mem::replace(
+                &mut self.root,
+                CfNode::Interior {
+                    entries: Vec::new(),
+                },
+            );
+            let old_cf = cf_of_node(&old);
+            if let CfNode::Interior { entries } = &mut self.root {
+                entries.push((old_cf, Box::new(old)));
+                entries.push((sib_cf, sib_node));
+            }
+        }
+        self.points += 1;
+        self.splits - before
+    }
+
+    /// Number of points absorbed so far.
+    pub fn n_points(&self) -> usize {
+        self.points
+    }
+
+    /// Total node splits performed since construction (root growths
+    /// count through the split that caused them).
+    pub fn n_splits(&self) -> u64 {
+        self.splits
+    }
+
+    /// The leaf radius threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The branching factor.
+    pub fn branching(&self) -> usize {
+        self.branching
+    }
+
+    /// Structural statistics (leaves, entries, height).
+    pub fn stats(&self) -> CfNodeStats {
+        let mut stats = CfNodeStats {
+            leaves: 0,
+            leaf_entries: 0,
+            height: 0,
+        };
+        self.root.stats(1, &mut stats);
+        stats
+    }
+
+    /// All leaf entries, in tree order.
+    pub fn leaf_entries(&self) -> Vec<&ClusteringFeature> {
+        let mut out = Vec::new();
+        self.root.collect_leaf_entries(&mut out);
+        out
+    }
+}
+
+impl HeapSize for CfTree {
+    fn heap_bytes(&self) -> usize {
+        self.root.heap_bytes()
     }
 }
 
@@ -357,34 +476,19 @@ impl Birch {
         self
     }
 
-    fn build_tree(&self, data: &Matrix, guard: &Guard) -> CfNode {
-        let mut root = CfNode::Leaf {
-            entries: Vec::new(),
-        };
+    /// Batch condensation is now literally the streaming insert loop:
+    /// one [`CfTree::insert`] per row under the guard's work budget.
+    fn build_tree(&self, data: &Matrix, guard: &Guard) -> Result<CfTree, DataError> {
+        let mut tree = CfTree::new(self.threshold, self.branching)?;
         // One work unit per inserted row; a trip stops condensation and
         // leaves a valid CF-tree over the prefix of rows absorbed so far.
         for i in 0..data.rows() {
             if guard.try_work(1).is_err() {
                 break;
             }
-            if let Some((sib_cf, sib_node)) =
-                root.insert(data.row(i), self.threshold, self.branching)
-            {
-                // Root split: grow a new root.
-                let old = std::mem::replace(
-                    &mut root,
-                    CfNode::Interior {
-                        entries: Vec::new(),
-                    },
-                );
-                let old_cf = cf_of_node(&old);
-                if let CfNode::Interior { entries } = &mut root {
-                    entries.push((old_cf, Box::new(old)));
-                    entries.push((sib_cf, sib_node));
-                }
-            }
+            tree.insert(data.row(i));
         }
-        root
+        Ok(tree)
     }
 
     /// Builds the CF-tree and reports its shape (for tests/ablations).
@@ -392,17 +496,26 @@ impl Birch {
         if data.rows() == 0 {
             return Err(DataError::Empty("matrix"));
         }
-        if self.branching < 2 {
-            return Err(DataError::InvalidParameter("branching must be >= 2".into()));
+        Ok(self.build_tree(data, &Guard::unlimited())?.stats())
+    }
+
+    /// Weighted k-means++ clustering of condensed CF entries into `k`
+    /// global centroids — BIRCH phase 3, public so a streaming CF-tree
+    /// ([`CfTree`] via `dm-stream`) can be queried for centroids at any
+    /// point in the stream.
+    pub fn cluster_entries(
+        &self,
+        entries: &[&ClusteringFeature],
+        guard: &Guard,
+    ) -> Result<Matrix, DataError> {
+        if entries.len() < self.k {
+            return Err(DataError::InvalidParameter(format!(
+                "cannot form {} clusters from {} CF entries",
+                self.k,
+                entries.len()
+            )));
         }
-        let tree = self.build_tree(data, &Guard::unlimited());
-        let mut stats = CfNodeStats {
-            leaves: 0,
-            leaf_entries: 0,
-            height: 0,
-        };
-        tree.stats(1, &mut stats);
-        Ok(stats)
+        self.global_kmeans(entries, guard)
     }
 
     /// Weighted k-means++ over leaf-entry centroids.
@@ -526,12 +639,12 @@ impl Clusterer for Birch {
             ));
         }
         // Phase 1: condense (a trip keeps the tree built so far).
-        let tree = self.build_tree(data, guard);
-        let mut entries: Vec<&ClusteringFeature> = Vec::new();
-        tree.collect_leaf_entries(&mut entries);
+        let tree = self.build_tree(data, guard)?;
+        let entries: Vec<&ClusteringFeature> = tree.leaf_entries();
         guard
             .obs()
             .counter("cluster.birch.leaf_entries", entries.len() as u64);
+        guard.obs().counter("cluster.birch.splits", tree.n_splits());
         // The condensed tree *is* BIRCH's memory footprint — the whole
         // point of Phase 1 is that this number undercuts the raw data.
         guard
@@ -663,6 +776,83 @@ mod tests {
         assert!(Birch::new(3).fit(&data).is_err());
         assert!(Birch::new(2).with_branching(1).fit(&data).is_err());
         assert!(Birch::new(2).with_threshold(-1.0).fit(&data).is_err());
+    }
+
+    fn fnv(bytes: impl IntoIterator<Item = u8>) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Pins the CfTree refactor to the exact bits the pre-refactor
+    /// batch-only implementation produced (hashes captured from the old
+    /// code on this seeded dataset). Batch `fit` is now a thin wrapper
+    /// over the streaming insert loop; this proves the rewrite changed
+    /// nothing observable.
+    #[test]
+    fn refactor_regression_bit_identity() {
+        let (data, _) = GaussianMixture::well_separated(3, 2, 120, 8.0)
+            .unwrap()
+            .generate(4);
+        let model = Birch::new(3)
+            .with_threshold(1.0)
+            .with_seed(5)
+            .fit(&data)
+            .unwrap();
+        let assign_hash = fnv(model.assignments.iter().flat_map(|a| a.to_le_bytes()));
+        assert_eq!(assign_hash, 0xc7a209bbf96a4565, "assignments drifted");
+        let centroids = model.centroids.as_ref().unwrap();
+        let centroid_hash = fnv((0..centroids.rows())
+            .flat_map(|r| centroids.row(r).iter().map(|v| v.to_bits()))
+            .flat_map(|b| b.to_le_bytes()));
+        assert_eq!(centroid_hash, 0x12792e47205a4bb4, "centroid bits drifted");
+        assert_eq!(centroids.row(0)[0].to_bits(), 0x40201e83a0f5121f);
+        let stats = Birch::new(3).with_threshold(1.0).tree_stats(&data).unwrap();
+        assert_eq!((stats.leaves, stats.leaf_entries, stats.height), (2, 13, 2));
+    }
+
+    #[test]
+    fn cf_tree_incremental_matches_batch_stats() {
+        let (data, _) = GaussianMixture::well_separated(4, 3, 160, 9.0)
+            .unwrap()
+            .generate(11);
+        let mut tree = CfTree::new(0.8, 6).unwrap();
+        for i in 0..data.rows() {
+            tree.insert(data.row(i));
+        }
+        assert_eq!(tree.n_points(), data.rows());
+        let stats = Birch::new(4)
+            .with_threshold(0.8)
+            .with_branching(6)
+            .tree_stats(&data)
+            .unwrap();
+        assert_eq!(tree.stats(), stats);
+        let absorbed: usize = tree.leaf_entries().iter().map(|e| e.n).sum();
+        assert_eq!(absorbed, data.rows());
+    }
+
+    #[test]
+    fn cf_tree_counts_splits() {
+        let (data, _) = GaussianMixture::well_separated(4, 2, 200, 10.0)
+            .unwrap()
+            .generate(1);
+        let mut tree = CfTree::new(0.05, 4).unwrap();
+        let mut total = 0;
+        for i in 0..data.rows() {
+            total += tree.insert(data.row(i));
+        }
+        assert_eq!(total, tree.n_splits());
+        assert!(tree.n_splits() > 0, "tiny threshold must force splits");
+        assert!(tree.stats().height > 1, "splits must have grown the tree");
+    }
+
+    #[test]
+    fn cf_tree_rejects_bad_params() {
+        assert!(CfTree::new(0.5, 1).is_err());
+        assert!(CfTree::new(-0.5, 4).is_err());
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod kmeans;
 pub mod pam;
 
 pub use agglomerative::{Agglomerative, Dendrogram, Linkage, Merge};
-pub use birch::{Birch, CfNodeStats, ClusteringFeature};
+pub use birch::{Birch, CfNodeStats, CfTree, ClusteringFeature};
 pub use clara::Clara;
 pub use clarans::Clarans;
 pub use dbscan::Dbscan;

@@ -57,6 +57,9 @@ pub use dm_obs as obs;
 pub use dm_par as par;
 /// Sequential-pattern mining (re-export of `dm-seq`).
 pub use dm_seq as seq;
+/// Streaming & incremental mining (re-export of `dm-stream`): the
+/// insert/query lifecycle over unbounded record streams.
+pub use dm_stream as stream;
 /// Synthetic workload generators (re-export of `dm-synth`).
 pub use dm_synth as synth;
 /// Decision trees (re-export of `dm-tree`).
@@ -104,9 +107,10 @@ pub mod prelude {
     pub use dm_seq::{
         AprioriAll, SequenceConfig, SequenceDb, SequenceGenerator, SequentialPattern,
     };
+    pub use dm_stream::{StreamBirch, StreamEngine, StreamFrequent, StreamKMeans};
     pub use dm_synth::{
-        flip_labels, AgrawalFunction, AgrawalGenerator, ClusterSpec, GaussianMixture, QuestConfig,
-        QuestGenerator,
+        flip_labels, AgrawalFunction, AgrawalGenerator, ClusterSpec, GaussianMixture, PointStream,
+        QuestConfig, QuestGenerator, Reservoir, TxnStream,
     };
     pub use dm_tree::{BaggedTrees, DecisionTreeLearner, OneR, Pruning, SplitCriterion};
 }

@@ -420,7 +420,7 @@ fn memory_gauges_cover_the_paper_structures() {
 /// ledgers diff and gate on these names across commits, so a rename is
 /// a baseline-breaking event — this test is the executable convention.
 fn assert_well_named(kind: &str, name: &str) {
-    const SUBSYSTEMS: [&str; 8] = [
+    const SUBSYSTEMS: [&str; 9] = [
         "assoc",
         "seq",
         "cluster",
@@ -429,6 +429,7 @@ fn assert_well_named(kind: &str, name: &str) {
         "par",
         "guard",
         "experiment",
+        "stream",
     ];
     let ok_chars = name
         .chars()
@@ -483,7 +484,26 @@ fn every_emitted_metric_name_follows_the_convention() {
         DecisionTreeLearner::new()
             .fit_governed(&tabular, &labels, g)
             .unwrap();
+        // The streaming engines: governed feeds emit the per-engine
+        // insert/work counters, observe() the state gauges.
+        let stream_points: Vec<Vec<f64>> =
+            (0..points.rows()).map(|r| points.row(r).to_vec()).collect();
+        let stream_txns: Vec<Vec<u32>> =
+            (0..db.len()).map(|t| db.transaction(t).to_vec()).collect();
+        let mut skm = StreamKMeans::new(3, 16).unwrap();
+        assert!(skm.insert_governed(&stream_points, g).is_complete());
+        skm.observe(&g.obs());
+        let mut sbi = StreamBirch::new(3, 1.0, 6).unwrap();
+        assert!(sbi.insert_governed(&stream_points, g).is_complete());
+        sbi.observe(&g.obs());
+        let n_items = 1 + stream_txns.iter().flatten().copied().max().unwrap_or(0);
+        let mut sfr = StreamFrequent::new(n_items, 2, Some(50)).unwrap();
+        assert!(sfr.insert_governed(&stream_txns, g).is_complete());
+        sfr.observe(&g.obs());
     });
+    assert!(snap.counter("stream.kmeans.inserts").is_some());
+    assert!(snap.counter("stream.birch.inserts").is_some());
+    assert!(snap.counter("stream.frequent.inserts").is_some());
     for name in snap.counters.keys() {
         assert_well_named("counter", name);
     }

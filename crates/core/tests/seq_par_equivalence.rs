@@ -163,6 +163,54 @@ fn kmeans_model_is_bit_identical() {
 }
 
 #[test]
+fn stream_kmeans_flushes_are_bit_identical() {
+    // The mini-batch streaming engine shares the same determinism
+    // contract as batch k-means: fixed chunk boundaries in the flush
+    // assignment pass, merged in order, so the evolving centroids are
+    // bit-identical under every thread policy — mid-stream and at the
+    // end, pending buffer and decayed weights included.
+    let points: Vec<Vec<f64>> = {
+        let mixture = GaussianMixture::well_separated(3, 2, 200, 8.0).unwrap();
+        PointStream::new(mixture, 11)
+            .take(600)
+            .map(|(p, _)| p)
+            .collect()
+    };
+    let mut reference = StreamKMeans::new(3, 32).unwrap().with_decay(0.7).unwrap();
+    for p in &points {
+        reference.insert(p);
+    }
+    for par in settings() {
+        let mut got = StreamKMeans::new(3, 32)
+            .unwrap()
+            .with_decay(0.7)
+            .unwrap()
+            .with_parallelism(par);
+        let mut mid = None;
+        for (i, p) in points.iter().enumerate() {
+            got.insert(p);
+            if i == points.len() / 2 {
+                mid = Some(got.snapshot());
+            }
+        }
+        let snap = got.snapshot();
+        assert_eq!(snap, reference.snapshot(), "{par:?}");
+        for (a, b) in snap.centroids.iter().zip(reference.centroids()) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{par:?}: centroid bits");
+            }
+        }
+        // The mid-stream state must agree across runs too, not just the
+        // final fixpoint: re-derive it sequentially.
+        let mut seq_mid = StreamKMeans::new(3, 32).unwrap().with_decay(0.7).unwrap();
+        for p in &points[..=points.len() / 2] {
+            seq_mid.insert(p);
+        }
+        assert_eq!(mid.unwrap(), seq_mid.snapshot(), "{par:?}: mid-stream");
+    }
+}
+
+#[test]
 fn decision_tree_is_identical() {
     let (data, labels) = AgrawalGenerator::new(AgrawalFunction::F7, 1_500)
         .unwrap()

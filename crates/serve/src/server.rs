@@ -29,7 +29,7 @@ use dm_core::guard::{Budget, CancelToken, Guard, RunStatus};
 use dm_core::obs::{Obs, Recorder};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -88,7 +88,11 @@ struct Job {
 
 struct Shared {
     queue: AdmissionQueue<Job>,
-    models: ModelSet,
+    /// The served bundle, swappable in place: workers snapshot the
+    /// `Arc` per job, so a [`Server::refresh_artifact`] never blocks
+    /// in-flight requests — they finish on the bundle they started
+    /// with, and the next pop sees the new one.
+    models: RwLock<Arc<ModelSet>>,
     recorder: Option<Arc<dyn Recorder>>,
     seq: AtomicU64,
     #[cfg(feature = "failpoints")]
@@ -101,6 +105,10 @@ impl Shared {
             Some(rec) => Obs::new(rec),
             None => Obs::noop(),
         }
+    }
+
+    fn models(&self) -> Arc<ModelSet> {
+        Arc::clone(&self.models.read().unwrap_or_else(PoisonError::into_inner))
     }
 }
 
@@ -168,7 +176,7 @@ impl Server {
         let ChaosParam = chaos;
         let shared = Arc::new(Shared {
             queue: AdmissionQueue::new(config.queue_capacity.max(1)),
-            models,
+            models: RwLock::new(Arc::new(models)),
             recorder,
             seq: AtomicU64::new(0),
             #[cfg(feature = "failpoints")]
@@ -243,9 +251,32 @@ impl Server {
         self.shared.queue.depth()
     }
 
-    /// The serving bundle (tests inspect fallback state through it).
-    pub fn models(&self) -> &ModelSet {
-        &self.shared.models
+    /// A snapshot of the current serving bundle (tests inspect
+    /// fallback state through it). The snapshot is immutable; a
+    /// concurrent [`Server::refresh_artifact`] does not change it.
+    pub fn models(&self) -> Arc<ModelSet> {
+        self.shared.models()
+    }
+
+    /// Swaps the served bundle in place — the streaming refresh hook.
+    ///
+    /// `update` receives a clone of the current bundle and returns the
+    /// replacement (e.g. `|m| m.with_kmeans(stream.model()?)` to
+    /// install freshly streamed centroids). The swap is atomic from
+    /// the workers' point of view: jobs already running keep the
+    /// bundle they snapshotted, jobs popped afterwards serve the new
+    /// one. No restart, no queue drain. Emits
+    /// `serve.artifact.refreshed`.
+    pub fn refresh_artifact(&self, update: impl FnOnce(ModelSet) -> ModelSet) {
+        let mut slot = self
+            .shared
+            .models
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let next = update((**slot).clone());
+        *slot = Arc::new(next);
+        drop(slot);
+        self.shared.obs().counter("serve.artifact.refreshed", 1);
     }
 
     /// Graceful shutdown: close admission, join workers (they finish
@@ -329,13 +360,13 @@ fn run_job(shared: &Shared, job: Job) {
         .is_some_and(|n| seq % n.max(1) == 0);
     #[cfg(not(feature = "failpoints"))]
     let _ = seq;
-    let models = &shared.models;
+    let models = shared.models();
     let outcome: Result<ServeResult, _> = catch_unwind(AssertUnwindSafe(|| {
         #[cfg(feature = "failpoints")]
         if panic_armed {
             panic!("failpoint: injected worker panic");
         }
-        handle(models, request, &guard)
+        handle(&models, request, &guard)
     }));
     let result = match outcome {
         Ok(result) => result,

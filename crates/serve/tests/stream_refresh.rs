@@ -1,0 +1,96 @@
+//! In-place artifact refresh from a streaming engine: a
+//! [`StreamKMeans`] publishes a fresh model into a *running* server
+//! via [`Server::refresh_artifact`], and served scores change without
+//! a restart, a queue drain, or any downtime — while snapshots taken
+//! before the swap stay immutable.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dm_core::obs::InMemoryRecorder;
+use dm_core::stream::{StreamEngine, StreamKMeans};
+use dm_serve::{ModelSet, Reply, Request, ServeConfig, Server};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(10);
+
+/// Scores `probe` through the running server on the full pipeline
+/// (admission queue → worker → kmeans scorer).
+fn score(server: &Server, probe: &[f64]) -> f64 {
+    let response = server
+        .submit(Request::Score {
+            rows: vec![probe.to_vec()],
+        })
+        .unwrap()
+        .wait(WAIT)
+        .unwrap();
+    match response.reply {
+        Reply::Scores(scores) => scores[0],
+        other => panic!("unexpected reply {other:?}"),
+    }
+}
+
+/// A drifted 2-blob point stream far away from the demo model's
+/// training data, deterministic without RNG.
+fn drifted_points(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            let base = if i % 2 == 0 { 500.0 } else { 800.0 };
+            vec![base + (i % 7) as f64 * 0.1, base - (i % 5) as f64 * 0.1]
+        })
+        .collect()
+}
+
+#[test]
+fn stream_refresh_updates_served_scores_in_place() {
+    let rec = Arc::new(InMemoryRecorder::new());
+    let server = Server::start_recorded(
+        ModelSet::demo(7).unwrap(),
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 16,
+            default_deadline: Some(Duration::from_secs(5)),
+        },
+        rec.clone(),
+    );
+    let probe = [500.0, 500.0];
+
+    // The demo model was fitted near the origin, so the drifted probe
+    // scores terribly...
+    let before = score(&server, &probe);
+    assert!(before > 1_000.0, "stale model should score far: {before}");
+
+    // ...until a streaming engine catches up with the drift and
+    // publishes its centroids into the live server.
+    let mut stream = StreamKMeans::new(2, 8).unwrap();
+    for p in drifted_points(2 + 64) {
+        stream.insert(&p);
+    }
+    let fresh = stream.model().unwrap();
+    let stale_snapshot = server.models();
+    server.refresh_artifact(|m| m.with_kmeans(fresh.clone()));
+
+    let after = score(&server, &probe);
+    assert!(after < 1.0, "refreshed model should score near: {after}");
+
+    // The swap is publish-subscribe, not mutation: the snapshot taken
+    // before the refresh still holds the old centroids, while a new
+    // snapshot serves the streamed ones.
+    let old = stale_snapshot.kmeans().unwrap();
+    let new_snapshot = server.models();
+    let new = new_snapshot.kmeans().unwrap();
+    assert!(old.centroids.row(0)[0].abs() < 100.0);
+    assert!(new.centroids.row(0)[0] > 100.0);
+    assert_eq!(new.centroids.rows(), 2);
+
+    // A second refresh layered on the first composes (the closure sees
+    // the *current* bundle, kmeans already swapped).
+    server.refresh_artifact(|m| {
+        assert!(m.kmeans().unwrap().centroids.row(0)[0] > 100.0);
+        m
+    });
+
+    server.shutdown();
+    let snap = rec.snapshot();
+    assert_eq!(snap.counter("serve.artifact.refreshed"), Some(2));
+}

@@ -1,0 +1,182 @@
+//! Online BIRCH: the CF-tree as a streaming insert/query engine.
+
+use crate::StreamEngine;
+use dm_cluster::{Birch, CfNodeStats, CfTree, ClusteringFeature};
+use dm_dataset::{DataError, Matrix};
+use dm_guard::Guard;
+use dm_obs::{HeapSize, Obs};
+
+/// BIRCH phase 1 running live: every arriving point is absorbed into
+/// the CF-tree immediately (this is the same [`CfTree`] the batch
+/// [`Birch`] condenses into — batch `fit` is a wrapper over this very
+/// insert loop). [`StreamBirch::query`] runs phase 3 (weighted
+/// k-means++ over the leaf entries) on demand, at any point in the
+/// stream, without touching the ingest state.
+#[derive(Debug)]
+pub struct StreamBirch {
+    tree: CfTree,
+    k: usize,
+    seed: u64,
+    seen: u64,
+}
+
+/// The CF-tree state, for equivalence testing: leaf entries in tree
+/// order plus structure counters. `ClusteringFeature` equality is exact
+/// (`n`, `LS`, `SS` compare field-wise).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BirchSnapshot {
+    /// Leaf entries in tree order.
+    pub entries: Vec<ClusteringFeature>,
+    /// Tree shape.
+    pub stats: CfNodeStats,
+    /// Node splits performed.
+    pub splits: u64,
+    /// Records absorbed.
+    pub seen: u64,
+}
+
+impl StreamBirch {
+    /// An online BIRCH targeting `k` clusters, with the CF-tree's leaf
+    /// radius `threshold` and `branching` factor.
+    pub fn new(k: usize, threshold: f64, branching: usize) -> Result<Self, DataError> {
+        if k == 0 {
+            return Err(DataError::InvalidParameter("k must be >= 1".into()));
+        }
+        Ok(Self {
+            tree: CfTree::new(threshold, branching)?,
+            k,
+            seed: 0,
+            seen: 0,
+        })
+    }
+
+    /// Sets the seed of the query-time global clustering phase.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of clusters a query produces.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The live CF-tree.
+    pub fn tree(&self) -> &CfTree {
+        &self.tree
+    }
+
+    /// The engine state (for equivalence testing / checkpointing).
+    pub fn snapshot(&self) -> BirchSnapshot {
+        BirchSnapshot {
+            entries: self.tree.leaf_entries().into_iter().cloned().collect(),
+            stats: self.tree.stats(),
+            splits: self.tree.n_splits(),
+            seen: self.seen,
+        }
+    }
+
+    /// Phase 3 on demand: clusters the current leaf entries into `k`
+    /// global centroids under `guard`. Pure read — ingestion state is
+    /// untouched, so queries can interleave with inserts freely. Errors
+    /// while the stream has produced fewer than `k` leaf entries.
+    ///
+    /// With the same seed this matches batch `Birch::fit` on the stream
+    /// prefix bit for bit (the batch path condenses into the same tree
+    /// and runs the same phase 3).
+    pub fn query(&self, guard: &Guard) -> Result<Matrix, DataError> {
+        let entries = self.tree.leaf_entries();
+        Birch::new(self.k)
+            .with_seed(self.seed)
+            .cluster_entries(&entries, guard)
+    }
+}
+
+impl StreamEngine for StreamBirch {
+    type Record = Vec<f64>;
+
+    fn name(&self) -> &'static str {
+        "birch"
+    }
+
+    fn insert(&mut self, record: &Vec<f64>) -> u64 {
+        self.seen += 1;
+        self.tree.insert(record)
+    }
+
+    fn records_seen(&self) -> u64 {
+        self.seen
+    }
+
+    fn observe(&self, obs: &Obs<'_>) {
+        if !obs.enabled() {
+            return;
+        }
+        let stats = self.tree.stats();
+        obs.counter("stream.birch.splits", self.tree.n_splits());
+        obs.gauge("stream.birch.leaf_entries", stats.leaf_entries as f64);
+        obs.gauge("stream.birch.height", stats.height as f64);
+        obs.gauge_max(
+            "stream.birch.cf_tree_mem_bytes",
+            self.tree.heap_bytes() as f64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_synth::{GaussianMixture, PointStream};
+
+    #[test]
+    fn absorbs_and_condenses() {
+        let gm = GaussianMixture::well_separated(3, 2, 100, 10.0).unwrap();
+        let mut e = StreamBirch::new(3, 1.0, 8).unwrap();
+        for (p, _) in PointStream::new(gm, 1).take(300) {
+            e.insert(&p);
+        }
+        assert_eq!(e.records_seen(), 300);
+        let snap = e.snapshot();
+        assert!(snap.stats.leaf_entries > 0);
+        assert!(
+            snap.stats.leaf_entries < 100,
+            "should condense: {} entries",
+            snap.stats.leaf_entries
+        );
+        let absorbed: usize = snap.entries.iter().map(|e| e.n).sum();
+        assert_eq!(absorbed, 300);
+    }
+
+    #[test]
+    fn query_is_pure_and_deterministic() {
+        let gm = GaussianMixture::well_separated(3, 2, 100, 10.0).unwrap();
+        let mut e = StreamBirch::new(3, 1.0, 8).unwrap().with_seed(7);
+        for (p, _) in PointStream::new(gm, 2).take(200) {
+            e.insert(&p);
+        }
+        let before = e.snapshot();
+        let a = e.query(&Guard::unlimited()).unwrap();
+        let b = e.query(&Guard::unlimited()).unwrap();
+        assert_eq!(e.snapshot(), before, "query must not mutate");
+        for r in 0..a.rows() {
+            for (x, y) in a.row(r).iter().zip(b.row(r)) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn query_errors_before_enough_entries() {
+        let mut e = StreamBirch::new(4, 1e9, 8).unwrap();
+        e.insert(&vec![0.0, 0.0]);
+        e.insert(&vec![0.1, 0.1]);
+        assert!(e.query(&Guard::unlimited()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(StreamBirch::new(0, 1.0, 8).is_err());
+        assert!(StreamBirch::new(2, -1.0, 8).is_err());
+        assert!(StreamBirch::new(2, 1.0, 1).is_err());
+    }
+}

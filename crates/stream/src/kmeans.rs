@@ -1,0 +1,336 @@
+//! Mini-batch k-means over an unbounded point stream.
+
+use crate::StreamEngine;
+use dm_cluster::kmeans::KMeansModel;
+use dm_dataset::matrix::euclidean_sq;
+use dm_dataset::{DataError, Matrix};
+use dm_obs::Obs;
+use dm_par::{par_range_map_reduce, Chunking, Parallelism};
+
+/// Fixed assignment-pass chunk size: boundaries depend only on the batch
+/// length, making threaded flushes bit-identical to sequential ones.
+const ROW_CHUNK: usize = 256;
+
+/// Mini-batch k-means (Sculley, WWW 2010 flavour, deterministic):
+/// points buffer until `batch_size` of them are pending, then one
+/// assignment pass moves each centroid to the decayed weighted mean of
+/// its history and the new batch.
+///
+/// * The first `k` records initialize the centroids verbatim (weight 1)
+///   — no RNG, so the whole engine is seed-free and replayable.
+/// * `decay` in `(0, 1]` down-weights history at each flush: `1.0` is
+///   the running exact weighted mean, smaller values track drift.
+/// * Flush boundaries depend only on the absolute record index, which
+///   is what makes prefix equivalence hold bit for bit regardless of
+///   how the stream was sliced into insert calls.
+#[derive(Debug, Clone)]
+pub struct StreamKMeans {
+    k: usize,
+    batch_size: usize,
+    decay: f64,
+    parallelism: Parallelism,
+    dims: Option<usize>,
+    centroids: Vec<Vec<f64>>,
+    weights: Vec<f64>,
+    pending: Vec<Vec<f64>>,
+    seen: u64,
+    flushes: u64,
+}
+
+/// The complete engine state, for equivalence tests: two engines that
+/// absorbed the same record sequence compare equal (f64 equality here
+/// means bit-identity — the engine never produces NaN or -0.0 surprises
+/// from identical inputs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansSnapshot {
+    /// Current centroids (initialized prefix only).
+    pub centroids: Vec<Vec<f64>>,
+    /// Accumulated (decayed) weight behind each centroid.
+    pub weights: Vec<f64>,
+    /// Buffered points not yet flushed.
+    pub pending: Vec<Vec<f64>>,
+    /// Records absorbed.
+    pub seen: u64,
+    /// Batch flushes performed.
+    pub flushes: u64,
+}
+
+impl StreamKMeans {
+    /// An engine tracking `k` centroids, flushing every `batch_size`
+    /// buffered points, with no decay (exact running weighted mean).
+    pub fn new(k: usize, batch_size: usize) -> Result<Self, DataError> {
+        if k == 0 {
+            return Err(DataError::InvalidParameter("k must be >= 1".into()));
+        }
+        if batch_size == 0 {
+            return Err(DataError::InvalidParameter(
+                "batch_size must be >= 1".into(),
+            ));
+        }
+        Ok(Self {
+            k,
+            batch_size,
+            decay: 1.0,
+            parallelism: Parallelism::Sequential,
+            dims: None,
+            centroids: Vec::with_capacity(k),
+            weights: Vec::with_capacity(k),
+            pending: Vec::new(),
+            seen: 0,
+            flushes: 0,
+        })
+    }
+
+    /// Sets the per-flush history decay factor in `(0, 1]`.
+    pub fn with_decay(mut self, decay: f64) -> Result<Self, DataError> {
+        if !(decay > 0.0 && decay <= 1.0) {
+            return Err(DataError::InvalidParameter(format!(
+                "decay {decay} not in (0, 1]"
+            )));
+        }
+        self.decay = decay;
+        Ok(self)
+    }
+
+    /// Sets the thread policy for batch assignment passes. Results are
+    /// bit-identical across settings (fixed chunk boundaries, in-order
+    /// merge).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Number of centroids requested.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Batch flushes performed so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Current centroids (may be fewer than `k` before the stream has
+    /// delivered `k` records).
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// The engine state (for equivalence testing / checkpointing).
+    pub fn snapshot(&self) -> KMeansSnapshot {
+        KMeansSnapshot {
+            centroids: self.centroids.clone(),
+            weights: self.weights.clone(),
+            pending: self.pending.clone(),
+            seen: self.seen,
+            flushes: self.flushes,
+        }
+    }
+
+    /// Publishes the current centroids as a servable [`KMeansModel`]
+    /// (the `refresh_artifact` payload for `dm-serve`). Errors until at
+    /// least one centroid exists.
+    pub fn model(&self) -> Result<KMeansModel, DataError> {
+        if self.centroids.is_empty() {
+            return Err(DataError::Empty("stream has not initialized centroids"));
+        }
+        KMeansModel::from_centroids(Matrix::from_rows(&self.centroids)?)
+    }
+
+    /// One assignment pass over the pending batch, then the decayed
+    /// centroid update. Returns rows processed (the flush work).
+    fn flush(&mut self) -> u64 {
+        let rows = self.pending.len();
+        let dims = self.centroids.first().map_or(0, Vec::len);
+        let k = self.centroids.len();
+        let (sums, counts) = par_range_map_reduce(
+            self.parallelism,
+            Chunking::Fixed(ROW_CHUNK),
+            rows,
+            || (vec![vec![0.0f64; dims]; k], vec![0u64; k]),
+            |range| {
+                let mut sums = vec![vec![0.0f64; dims]; k];
+                let mut counts = vec![0u64; k];
+                for i in range {
+                    let p = &self.pending[i];
+                    let best = self
+                        .centroids
+                        .iter()
+                        .enumerate()
+                        .min_by(|(_, a), (_, b)| euclidean_sq(a, p).total_cmp(&euclidean_sq(b, p)))
+                        .map(|(c, _)| c)
+                        .unwrap_or(0);
+                    for (s, &x) in sums[best].iter_mut().zip(p) {
+                        *s += x;
+                    }
+                    counts[best] += 1;
+                }
+                (sums, counts)
+            },
+            |(mut asums, mut acounts), (bsums, bcounts)| {
+                for (a, b) in asums.iter_mut().zip(&bsums) {
+                    for (x, &y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                }
+                for (a, &b) in acounts.iter_mut().zip(&bcounts) {
+                    *a += b;
+                }
+                (asums, acounts)
+            },
+        );
+        for c in 0..k {
+            let old_w = self.weights[c] * self.decay;
+            if counts[c] > 0 {
+                let new_w = old_w + counts[c] as f64;
+                for (x, &s) in self.centroids[c].iter_mut().zip(&sums[c]) {
+                    *x = (*x * old_w + s) / new_w;
+                }
+                self.weights[c] = new_w;
+            } else {
+                self.weights[c] = old_w;
+            }
+        }
+        self.pending.clear();
+        self.flushes += 1;
+        rows as u64
+    }
+}
+
+impl StreamEngine for StreamKMeans {
+    type Record = Vec<f64>;
+
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn insert(&mut self, record: &Vec<f64>) -> u64 {
+        let dims = *self.dims.get_or_insert(record.len());
+        debug_assert_eq!(
+            record.len(),
+            dims,
+            "stream points must share one dimensionality"
+        );
+        self.seen += 1;
+        if self.centroids.len() < self.k {
+            self.centroids.push(record.clone());
+            self.weights.push(1.0);
+            return 0;
+        }
+        self.pending.push(record.clone());
+        if self.pending.len() >= self.batch_size {
+            self.flush()
+        } else {
+            0
+        }
+    }
+
+    fn records_seen(&self) -> u64 {
+        self.seen
+    }
+
+    fn observe(&self, obs: &Obs<'_>) {
+        if !obs.enabled() {
+            return;
+        }
+        obs.counter("stream.kmeans.flushes", self.flushes);
+        obs.gauge("stream.kmeans.centroids", self.centroids.len() as f64);
+        obs.gauge("stream.kmeans.pending", self.pending.len() as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points(n: usize) -> Vec<Vec<f64>> {
+        // Two obvious blobs, deterministic without any RNG.
+        (0..n)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0.0 } else { 100.0 };
+                vec![base + (i % 7) as f64 * 0.1, base - (i % 5) as f64 * 0.1]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn initializes_from_first_k_records() {
+        let mut e = StreamKMeans::new(3, 10).unwrap();
+        for p in points(3) {
+            e.insert(&p);
+        }
+        assert_eq!(e.centroids().len(), 3);
+        assert_eq!(e.snapshot().weights, vec![1.0, 1.0, 1.0]);
+        assert_eq!(e.records_seen(), 3);
+        assert_eq!(e.flushes(), 0);
+    }
+
+    #[test]
+    fn flushes_on_batch_boundary_only() {
+        let mut e = StreamKMeans::new(2, 4).unwrap();
+        for p in points(2 + 3) {
+            e.insert(&p);
+        }
+        assert_eq!(e.flushes(), 0);
+        assert_eq!(e.snapshot().pending.len(), 3);
+        e.insert(&vec![1.0, 1.0]);
+        assert_eq!(e.flushes(), 1);
+        assert!(e.snapshot().pending.is_empty());
+    }
+
+    #[test]
+    fn converges_to_blob_means() {
+        let mut e = StreamKMeans::new(2, 8).unwrap();
+        for p in points(2 + 160) {
+            e.insert(&p);
+        }
+        let c = e.centroids();
+        let (lo, hi) = if c[0][0] < c[1][0] { (0, 1) } else { (1, 0) };
+        assert!(c[lo][0].abs() < 2.0, "low blob centroid {:?}", c[lo]);
+        assert!(
+            (c[hi][0] - 100.0).abs() < 2.0,
+            "high blob centroid {:?}",
+            c[hi]
+        );
+    }
+
+    #[test]
+    fn decay_tracks_drift() {
+        // Stream jumps from blob A to blob B; decayed engine must land
+        // near B, no-decay engine stays dragged toward A.
+        let k = 1;
+        let phase_a: Vec<Vec<f64>> = (0..200).map(|_| vec![0.0]).collect();
+        let phase_b: Vec<Vec<f64>> = (0..200).map(|_| vec![50.0]).collect();
+        let mut decayed = StreamKMeans::new(k, 10).unwrap().with_decay(0.2).unwrap();
+        let mut exact = StreamKMeans::new(k, 10).unwrap();
+        for p in phase_a.iter().chain(&phase_b) {
+            decayed.insert(p);
+            exact.insert(p);
+        }
+        assert!(decayed.centroids()[0][0] > 49.0);
+        assert!(exact.centroids()[0][0] < 30.0);
+    }
+
+    #[test]
+    fn model_roundtrip_for_serving() {
+        let mut e = StreamKMeans::new(2, 4).unwrap();
+        assert!(e.model().is_err());
+        for p in points(2 + 8) {
+            e.insert(&p);
+        }
+        let model = e.model().unwrap();
+        assert_eq!(model.centroids.rows(), 2);
+        let labels = model
+            .predict(&Matrix::from_rows(&[vec![0.0, 0.0], vec![100.0, 100.0]]).unwrap())
+            .unwrap();
+        assert_ne!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(StreamKMeans::new(0, 4).is_err());
+        assert!(StreamKMeans::new(2, 0).is_err());
+        assert!(StreamKMeans::new(2, 4).unwrap().with_decay(0.0).is_err());
+        assert!(StreamKMeans::new(2, 4).unwrap().with_decay(1.5).is_err());
+    }
+}

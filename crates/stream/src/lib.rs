@@ -1,0 +1,105 @@
+//! # dm-stream
+//!
+//! Streaming and incremental mining over unbounded record streams — the
+//! "data that arrives" counterpart to the batch miners. Three engines
+//! share one [`StreamEngine`] lifecycle:
+//!
+//! * [`StreamKMeans`] — mini-batch k-means: points buffer into fixed
+//!   batches, each batch moves the centroids once (with optional decay
+//!   of historical weight), so clustering keeps up with the stream at a
+//!   bounded per-point cost.
+//! * [`StreamBirch`] — BIRCH's CF-tree exposed as online insert/query
+//!   (the tree was always an incremental structure; batch `Birch::fit`
+//!   is now literally a wrapper over this insert loop).
+//! * [`StreamFrequent`] — exact sliding-window frequent-itemset
+//!   maintenance: each arriving or expiring transaction adjusts the
+//!   tracked support counts instead of re-mining the window.
+//!
+//! ## Lifecycle and equivalence
+//!
+//! An engine is a state machine: `insert` absorbs one record and is the
+//! *only* state transition; `query`-style methods are pure reads. The
+//! governed entry point [`StreamEngine::insert_governed`] charges the
+//! shared [`Guard`] one work unit per record *before* absorbing it, so a
+//! budget trip or cancellation lands on a record boundary: the engine is
+//! left in exactly the state reached by the records it absorbed, and the
+//! un-absorbed suffix can be replayed later (resume) with no drift.
+//!
+//! That makes the central contract testable: **state after absorbing a
+//! prefix is bit-identical to a fresh engine fed the same prefix**, no
+//! matter how the prefix was sliced into `insert`/`insert_governed`
+//! calls. The `prefix_equivalence` suite property-tests this against the
+//! batch implementations (`KMeans`-style updates, batch `Birch`, batch
+//! Eclat over the window contents).
+//!
+//! Engines record through `dm-obs` under `stream.*` names and feed
+//! `dm-serve` via its `refresh_artifact` hook (e.g. a [`StreamKMeans`]
+//! periodically publishing `KMeansModel::from_centroids`).
+
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod birch;
+pub mod frequent;
+pub mod kmeans;
+
+pub use birch::StreamBirch;
+pub use frequent::StreamFrequent;
+pub use kmeans::StreamKMeans;
+
+use dm_guard::{Guard, Outcome};
+
+/// The insert/query lifecycle shared by every streaming engine.
+///
+/// `insert` is the single state transition; everything else observes.
+/// Implementations must be deterministic: the state after a record
+/// sequence depends only on the sequence, never on call granularity,
+/// thread count, or wall clock.
+pub trait StreamEngine {
+    /// One stream record (a point, a transaction, ...).
+    type Record;
+
+    /// Short name used in `stream.<name>.*` metric keys.
+    fn name(&self) -> &'static str;
+
+    /// Absorbs one record, returning the structural work it caused
+    /// (engine-specific units: batch rows flushed, node splits, support
+    /// updates + intersection steps). Deterministic per state+record.
+    fn insert(&mut self, record: &Self::Record) -> u64;
+
+    /// Total records absorbed since construction.
+    fn records_seen(&self) -> u64;
+
+    /// Absorbs records under a guard: one admitted work unit per record,
+    /// charged *before* the insert, so a trip leaves the engine exactly
+    /// at a record boundary. Returns how many records were absorbed;
+    /// on [`dm_guard::RunStatus::Truncated`] the caller can resume by
+    /// replaying the remaining suffix (here or on a fresh guard).
+    ///
+    /// Emits `stream.<name>.inserts` and `stream.<name>.work` counters.
+    fn insert_governed(&mut self, records: &[Self::Record], guard: &Guard) -> Outcome<usize> {
+        let mut absorbed = 0usize;
+        let mut work = 0u64;
+        for record in records {
+            if guard.try_work(1).is_err() {
+                break;
+            }
+            work += self.insert(record);
+            absorbed += 1;
+        }
+        let obs = guard.obs();
+        if obs.enabled() {
+            obs.counter_fmt(
+                format_args!("stream.{}.inserts", self.name()),
+                absorbed as u64,
+            );
+            obs.counter_fmt(format_args!("stream.{}.work", self.name()), work);
+        }
+        guard.outcome(absorbed)
+    }
+
+    /// Emits the engine's current-state gauges/counters (sizes, splits,
+    /// tracked families) through `obs`. Pure read; used by experiments
+    /// and the metric-registry coverage test.
+    fn observe(&self, obs: &dm_obs::Obs<'_>);
+}

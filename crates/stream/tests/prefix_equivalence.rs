@@ -1,0 +1,222 @@
+//! Prefix equivalence: the streaming engines' central contract,
+//! property-tested.
+//!
+//! For every engine, the incremental state after absorbing the first
+//! `N` records of a stream must be **bit-identical** to a batch run
+//! over that same prefix — at every cut point, for any slicing of the
+//! stream into insert calls:
+//!
+//! * [`StreamKMeans`] — one-by-one inserts vs one governed bulk feed of
+//!   the prefix (flush boundaries depend only on absolute record
+//!   index), compared snapshot-for-snapshot with centroid bits checked
+//!   explicitly.
+//! * [`StreamBirch`] — the streamed CF-tree vs batch condensation, and
+//!   query-time centroids vs full batch `Birch::fit` on the prefix
+//!   matrix (same seed ⇒ same bits).
+//! * [`StreamFrequent`] — the incrementally maintained family vs a
+//!   fresh batch Eclat mine over the window contents, in the canonical
+//!   `FrequentItemsets` container.
+//!
+//! Each property slices the stream at ≥ 3 interior cut points plus the
+//! full prefix.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dm_assoc::{Eclat, ItemsetMiner, MinSupport};
+use dm_cluster::{Birch, CfTree, Clusterer};
+use dm_dataset::{Matrix, TransactionDb};
+use dm_guard::Guard;
+use dm_stream::{StreamBirch, StreamEngine, StreamFrequent, StreamKMeans};
+use dm_synth::{GaussianMixture, PointStream, QuestConfig, QuestGenerator, TxnStream};
+use proptest::prelude::*;
+
+/// Four cut points (three interior + the full prefix), all distinct for
+/// any `len >= 8`.
+fn cuts(len: usize) -> [usize; 4] {
+    [len / 4, len / 2, 3 * len / 4, len]
+}
+
+fn point_stream(seed: u64, n: usize) -> Vec<Vec<f64>> {
+    let gm = GaussianMixture::well_separated(3, 2, 100, 8.0).unwrap();
+    PointStream::new(gm, seed).take(n).map(|(p, _)| p).collect()
+}
+
+fn txn_stream(seed: u64, n: usize) -> Vec<Vec<u32>> {
+    let g = QuestGenerator::new(
+        QuestConfig {
+            n_transactions: 1,
+            avg_txn_len: 6.0,
+            avg_pattern_len: 3.0,
+            n_patterns: 20,
+            n_items: 40,
+            correlation: 0.25,
+            corruption_mean: 0.4,
+            corruption_sd: 0.1,
+        },
+        seed,
+    )
+    .unwrap();
+    TxnStream::new(g, seed.wrapping_add(17)).take(n).collect()
+}
+
+fn assert_centroid_bits_eq(a: &Matrix, b: &Matrix) {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+    for r in 0..a.rows() {
+        for (x, y) in a.row(r).iter().zip(b.row(r)) {
+            assert_eq!(x.to_bits(), y.to_bits(), "centroid bits diverged");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Mini-batch k-means: per-record inserts ≡ one bulk governed feed
+    /// of the same prefix, at every cut point, bit for bit — for any
+    /// batch size, decay and thread policy.
+    #[test]
+    fn stream_kmeans_prefix_equivalence(
+        seed in 0u64..1000,
+        batch in 1usize..12,
+        decay_pct in 10u64..=100,
+        threads in 1usize..4,
+    ) {
+        let records = point_stream(seed, 120);
+        let decay = decay_pct as f64 / 100.0;
+        let mut live = StreamKMeans::new(3, batch).unwrap()
+            .with_decay(decay).unwrap()
+            .with_parallelism(dm_par::Parallelism::Threads(threads));
+        let mut fed = 0usize;
+        for &cut in &cuts(records.len()) {
+            for r in &records[fed..cut] {
+                live.insert(r);
+            }
+            fed = cut;
+            let mut fresh = StreamKMeans::new(3, batch).unwrap().with_decay(decay).unwrap();
+            let out = fresh.insert_governed(&records[..cut], &Guard::unlimited());
+            prop_assert!(out.is_complete());
+            prop_assert_eq!(out.result, cut);
+            let (a, b) = (live.snapshot(), fresh.snapshot());
+            prop_assert_eq!(&a, &b);
+            // PartialEq on f64 admits -0.0 == 0.0; pin the raw bits too.
+            for (ca, cb) in a.centroids.iter().zip(&b.centroids) {
+                for (x, y) in ca.iter().zip(cb) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            for (x, y) in a.weights.iter().zip(&b.weights) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// Online BIRCH: the streamed CF-tree ≡ batch condensation of the
+    /// prefix (entries, shape, split count), and the query-time global
+    /// centroids ≡ full batch `Birch::fit` on the prefix matrix.
+    #[test]
+    fn stream_birch_prefix_equivalence(
+        seed in 0u64..1000,
+        threshold_tenths in 5u64..25,
+        branching in 4usize..10,
+    ) {
+        let records = point_stream(seed, 160);
+        let threshold = threshold_tenths as f64 / 10.0;
+        let k = 3;
+        let mut live = StreamBirch::new(k, threshold, branching).unwrap().with_seed(seed);
+        let mut fed = 0usize;
+        for &cut in &cuts(records.len()) {
+            for r in &records[fed..cut] {
+                live.insert(r);
+            }
+            fed = cut;
+            // Batch oracle 1: direct CF-tree condensation of the prefix.
+            let mut batch_tree = CfTree::new(threshold, branching).unwrap();
+            for r in &records[..cut] {
+                batch_tree.insert(r);
+            }
+            let snap = live.snapshot();
+            prop_assert_eq!(snap.seen as usize, cut);
+            prop_assert_eq!(&snap.stats, &batch_tree.stats());
+            prop_assert_eq!(snap.splits, batch_tree.n_splits());
+            let batch_entries: Vec<_> = batch_tree.leaf_entries().into_iter().cloned().collect();
+            prop_assert_eq!(&snap.entries, &batch_entries);
+
+            // Batch oracle 2: the full batch clusterer on the prefix.
+            if snap.stats.leaf_entries >= k {
+                let prefix = Matrix::from_rows(&records[..cut]).unwrap();
+                let batch_fit = Birch::new(k)
+                    .with_threshold(threshold)
+                    .with_branching(branching)
+                    .with_seed(seed)
+                    .fit(&prefix)
+                    .unwrap();
+                let streamed = live.query(&Guard::unlimited()).unwrap();
+                assert_centroid_bits_eq(&streamed, batch_fit.centroids.as_ref().unwrap());
+            }
+        }
+    }
+
+    /// Sliding-window frequent itemsets: the incrementally maintained
+    /// family ≡ a fresh batch Eclat mine of the window contents, at
+    /// every cut point — with and without eviction in play.
+    #[test]
+    fn stream_frequent_prefix_equivalence(
+        seed in 0u64..1000,
+        minsup in 2usize..6,
+        cap_choice in 0usize..3,
+    ) {
+        let records = txn_stream(seed, 120);
+        let capacity = [None, Some(40), Some(75)][cap_choice];
+        let mut live = StreamFrequent::new(40, minsup, capacity).unwrap();
+        let mut fed = 0usize;
+        for &cut in &cuts(records.len()) {
+            for r in &records[fed..cut] {
+                live.insert(r);
+            }
+            fed = cut;
+            let start = capacity.map_or(0, |c| cut.saturating_sub(c));
+            let db = TransactionDb::with_universe(records[start..cut].to_vec(), 40).unwrap();
+            let batch = Eclat::new(MinSupport::Count(minsup)).mine(&db).unwrap();
+            prop_assert_eq!(live.query(), batch.itemsets, "diverged at cut {}", cut);
+            prop_assert_eq!(live.window_len(), cut - start);
+        }
+    }
+
+    /// Call-granularity invariance: slicing the same stream into
+    /// arbitrary governed chunks leaves every engine in the same state
+    /// as per-record inserts.
+    #[test]
+    fn chunked_feeding_is_equivalent(
+        seed in 0u64..1000,
+        chunk in 1usize..17,
+    ) {
+        let points = point_stream(seed, 80);
+        let txns = txn_stream(seed, 80);
+        let guard = Guard::unlimited();
+
+        let mut km_a = StreamKMeans::new(3, 5).unwrap();
+        let mut km_b = StreamKMeans::new(3, 5).unwrap();
+        let mut bi_a = StreamBirch::new(3, 1.0, 6).unwrap();
+        let mut bi_b = StreamBirch::new(3, 1.0, 6).unwrap();
+        let mut fr_a = StreamFrequent::new(40, 3, Some(30)).unwrap();
+        let mut fr_b = StreamFrequent::new(40, 3, Some(30)).unwrap();
+
+        for p in &points {
+            km_a.insert(p);
+            bi_a.insert(p);
+        }
+        for t in &txns {
+            fr_a.insert(t);
+        }
+        for c in points.chunks(chunk) {
+            prop_assert!(km_b.insert_governed(c, &guard).is_complete());
+            prop_assert!(bi_b.insert_governed(c, &guard).is_complete());
+        }
+        for c in txns.chunks(chunk) {
+            prop_assert!(fr_b.insert_governed(c, &guard).is_complete());
+        }
+        prop_assert_eq!(km_a.snapshot(), km_b.snapshot());
+        prop_assert_eq!(bi_a.snapshot(), bi_b.snapshot());
+        prop_assert_eq!(fr_a.snapshot(), fr_b.snapshot());
+    }
+}

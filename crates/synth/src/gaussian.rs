@@ -114,6 +114,17 @@ impl GaussianMixture {
         self.components.len()
     }
 
+    /// The component specs (for stream generators that interleave
+    /// draws instead of emitting per-component blocks).
+    pub fn components(&self) -> &[ClusterSpec] {
+        &self.components
+    }
+
+    /// Configured noise `(count, extent)`.
+    pub fn noise_config(&self) -> (usize, f64) {
+        (self.noise_count, self.noise_extent)
+    }
+
     /// Dimensionality.
     pub fn dims(&self) -> usize {
         self.components[0].center.len()

@@ -14,6 +14,10 @@
 //!   classification functions F1–F10 of Agrawal, Imielinski & Swami
 //!   (TKDE 1993). Drives the classification experiments.
 //! * [`noise`] — label-noise injection for robustness studies.
+//! * [`stream`] — unbounded seeded record streams (interleaved mixture
+//!   points, Quest transactions) for the streaming engines.
+//! * [`reservoir`] — Vitter's algorithm R: a fixed-capacity uniform
+//!   sample over an unbounded stream.
 //!
 //! Every generator takes an explicit seed and is fully deterministic.
 
@@ -24,8 +28,12 @@ pub mod distributions;
 pub mod gaussian;
 pub mod noise;
 pub mod quest;
+pub mod reservoir;
+pub mod stream;
 
 pub use agrawal::{AgrawalFunction, AgrawalGenerator};
 pub use gaussian::{ClusterSpec, GaussianMixture};
 pub use noise::flip_labels;
 pub use quest::{QuestConfig, QuestGenerator};
+pub use reservoir::Reservoir;
+pub use stream::{PointStream, TxnStream};

@@ -176,34 +176,44 @@ impl QuestGenerator {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut txns = Vec::with_capacity(self.config.n_transactions);
         for _ in 0..self.config.n_transactions {
-            let budget = (poisson(&mut rng, self.config.avg_txn_len).max(1) as usize)
-                .min(self.config.n_items as usize);
-            let mut txn: Vec<u32> = Vec::with_capacity(budget + 4);
-            // Guard against pathological configs where corruption ~ 1.0
-            // could starve progress.
-            let mut attempts = 0usize;
-            while txn.len() < budget && attempts < budget * 8 + 16 {
-                attempts += 1;
-                let pat = &self.patterns[weighted_index(&mut rng, &self.weights)];
-                // Corrupt: drop items while u < corruption level.
-                let mut kept: Vec<u32> = pat.items.clone();
-                while !kept.is_empty() && rng.gen::<f64>() < pat.corruption {
-                    let drop_at = rng.gen_range(0..kept.len());
-                    kept.swap_remove(drop_at);
-                }
-                if kept.is_empty() {
-                    continue;
-                }
-                if txn.len() + kept.len() > budget && rng.gen::<bool>() {
-                    // Overflowing pattern discarded half the time.
-                    continue;
-                }
-                txn.extend_from_slice(&kept);
-            }
-            txns.push(txn);
+            txns.push(self.draw_transaction(&mut rng));
         }
         TransactionDb::with_universe(txns, self.config.n_items)
             .unwrap_or_else(|e| panic!("generator never emits out-of-universe items: {e}"))
+    }
+
+    /// Draws one raw transaction (items unsorted, duplicates possible —
+    /// `TransactionDb` canonicalizes). Shared between batch [`generate`]
+    /// and the unbounded [`crate::stream::TxnStream`], so both consume
+    /// the RNG identically.
+    ///
+    /// [`generate`]: QuestGenerator::generate
+    pub(crate) fn draw_transaction(&self, rng: &mut StdRng) -> Vec<u32> {
+        let budget = (poisson(rng, self.config.avg_txn_len).max(1) as usize)
+            .min(self.config.n_items as usize);
+        let mut txn: Vec<u32> = Vec::with_capacity(budget + 4);
+        // Guard against pathological configs where corruption ~ 1.0
+        // could starve progress.
+        let mut attempts = 0usize;
+        while txn.len() < budget && attempts < budget * 8 + 16 {
+            attempts += 1;
+            let pat = &self.patterns[weighted_index(rng, &self.weights)];
+            // Corrupt: drop items while u < corruption level.
+            let mut kept: Vec<u32> = pat.items.clone();
+            while !kept.is_empty() && rng.gen::<f64>() < pat.corruption {
+                let drop_at = rng.gen_range(0..kept.len());
+                kept.swap_remove(drop_at);
+            }
+            if kept.is_empty() {
+                continue;
+            }
+            if txn.len() + kept.len() > budget && rng.gen::<bool>() {
+                // Overflowing pattern discarded half the time.
+                continue;
+            }
+            txn.extend_from_slice(&kept);
+        }
+        txn
     }
 }
 

@@ -1,0 +1,142 @@
+//! Reservoir sampling (Vitter's algorithm R) for unbounded streams.
+//!
+//! A [`Reservoir`] holds a uniform random sample of fixed capacity over
+//! however many items have been offered so far — the standard way to
+//! bound memory against a stream whose length nobody knows. Like every
+//! generator in this crate it is seeded and fully deterministic: the
+//! same seed and offer sequence always keep the same sample, which is
+//! what lets the streaming experiments gate on its contents.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fixed-capacity uniform sample over an unbounded stream.
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    sample: Vec<T>,
+    capacity: usize,
+    seen: u64,
+    rng: StdRng,
+}
+
+impl<T> Reservoir<T> {
+    /// An empty reservoir keeping at most `capacity` items.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        Self {
+            sample: Vec::with_capacity(capacity),
+            capacity,
+            seen: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Offers one item. Returns `true` when the item entered the sample
+    /// (the first `capacity` items always do; thereafter item `i` enters
+    /// with probability `capacity / i`, evicting a uniform victim).
+    pub fn offer(&mut self, item: T) -> bool {
+        self.seen += 1;
+        if self.sample.len() < self.capacity {
+            self.sample.push(item);
+            return true;
+        }
+        if self.capacity == 0 {
+            return false;
+        }
+        let j = self.rng.gen_range(0..self.seen);
+        if j < self.capacity as u64 {
+            self.sample[j as usize] = item;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Offers every item of an iterator.
+    pub fn extend(&mut self, items: impl IntoIterator<Item = T>) {
+        for item in items {
+            self.offer(item);
+        }
+    }
+
+    /// The current sample (insertion order is not meaningful).
+    pub fn sample(&self) -> &[T] {
+        &self.sample
+    }
+
+    /// Total items offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Consumes the reservoir, returning the sample.
+    pub fn into_sample(self) -> Vec<T> {
+        self.sample
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_everything_under_capacity() {
+        let mut r = Reservoir::new(10, 1);
+        r.extend(0..7u32);
+        assert_eq!(r.sample(), &[0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(r.seen(), 7);
+    }
+
+    #[test]
+    fn bounds_memory_over_capacity() {
+        let mut r = Reservoir::new(16, 2);
+        r.extend(0..10_000u32);
+        assert_eq!(r.sample().len(), 16);
+        assert_eq!(r.seen(), 10_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Reservoir::new(8, 3);
+        let mut b = Reservoir::new(8, 3);
+        a.extend(0..1000u32);
+        b.extend(0..1000u32);
+        assert_eq!(a.sample(), b.sample());
+        let mut c = Reservoir::new(8, 4);
+        c.extend(0..1000u32);
+        assert_ne!(a.sample(), c.sample());
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        // Each of 0..200 should land in a size-50 reservoir with p=0.25;
+        // averaging over many seeds the hit rate must concentrate there.
+        let mut hits = vec![0u32; 200];
+        for seed in 0..400 {
+            let mut r = Reservoir::new(50, seed);
+            r.extend(0..200u32);
+            for &v in r.sample() {
+                hits[v as usize] += 1;
+            }
+        }
+        for (v, &h) in hits.iter().enumerate() {
+            let rate = h as f64 / 400.0;
+            assert!(
+                (0.12..=0.42).contains(&rate),
+                "item {v} kept at rate {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_capacity_keeps_nothing() {
+        let mut r = Reservoir::new(0, 5);
+        r.extend(0..100u32);
+        assert!(r.sample().is_empty());
+        assert_eq!(r.seen(), 100);
+    }
+}

@@ -20,6 +20,42 @@ use datamining_suite::datamining::assoc::{
 use datamining_suite::datamining::prelude::*;
 use proptest::prelude::*;
 
+/// Generic streaming resume check: trip a fail point mid-feed, verify
+/// the Truncated outcome reports exactly the absorbed prefix, then
+/// replay the un-absorbed suffix under a fresh guard and require the
+/// engine to land in the same state as an uninterrupted run.
+fn resume_after_trip<E: StreamEngine>(
+    mut tripped: E,
+    mut straight: E,
+    records: &[E::Record],
+    trip_at: u64,
+    reason: TruncationReason,
+    assert_same_state: impl Fn(&E, &E),
+) {
+    for r in records {
+        straight.insert(r);
+    }
+    let guard = Guard::unlimited().with_failpoint(trip_at, reason);
+    let out = tripped.insert_governed(records, &guard);
+    let absorbed = out.result;
+    match out.status {
+        RunStatus::Complete => assert_eq!(absorbed, records.len()),
+        RunStatus::Truncated(r) => {
+            assert_eq!(r, reason);
+            // The guard is charged *before* each insert, so the trip
+            // lands on a record boundary: exactly `trip_at` records
+            // were absorbed and the partial state is valid.
+            assert_eq!(absorbed as u64, trip_at);
+            assert!(absorbed < records.len());
+        }
+    }
+    assert_eq!(tripped.records_seen() as usize, absorbed);
+    let resumed = tripped.insert_governed(&records[absorbed..], &Guard::unlimited());
+    assert!(resumed.is_complete());
+    assert_eq!(tripped.records_seen(), straight.records_seen());
+    assert_same_state(&tripped, &straight);
+}
+
 fn small_db() -> impl Strategy<Value = TransactionDb> {
     prop::collection::vec(prop::collection::vec(0u32..10, 0..6), 1..20).prop_map(TransactionDb::new)
 }
@@ -136,5 +172,61 @@ proptest! {
         if out.is_complete() {
             prop_assert_eq!(out.result.patterns.len(), full.patterns.len());
         }
+    }
+
+    /// The streaming side of property 1 + resumability: a fail point
+    /// tripping mid-feed leaves every engine in a valid Truncated
+    /// partial state whose un-absorbed suffix, replayed under a fresh
+    /// guard, reaches exactly the uninterrupted state — for k-means,
+    /// BIRCH and sliding-window frequent mining alike.
+    #[test]
+    fn stream_engines_resume_after_injected_trips(
+        trip_at in 0u64..90,
+        reason in any_reason(),
+        seed in 0u64..100,
+    ) {
+        let mixture = GaussianMixture::well_separated(3, 2, 60, 8.0).unwrap();
+        let points: Vec<Vec<f64>> =
+            PointStream::new(mixture, seed).take(80).map(|(p, _)| p).collect();
+        let quest = QuestGenerator::new(
+            QuestConfig {
+                n_transactions: 1,
+                avg_txn_len: 6.0,
+                avg_pattern_len: 3.0,
+                n_patterns: 20,
+                n_items: 40,
+                correlation: 0.25,
+                corruption_mean: 0.4,
+                corruption_sd: 0.1,
+            },
+            seed,
+        )
+        .unwrap();
+        let txns: Vec<Vec<u32>> = TxnStream::new(quest, seed).take(80).collect();
+
+        resume_after_trip(
+            StreamKMeans::new(3, 7).unwrap(),
+            StreamKMeans::new(3, 7).unwrap(),
+            &points,
+            trip_at,
+            reason,
+            |a, b| assert_eq!(a.snapshot(), b.snapshot()),
+        );
+        resume_after_trip(
+            StreamBirch::new(3, 1.0, 6).unwrap(),
+            StreamBirch::new(3, 1.0, 6).unwrap(),
+            &points,
+            trip_at,
+            reason,
+            |a, b| assert_eq!(a.snapshot(), b.snapshot()),
+        );
+        resume_after_trip(
+            StreamFrequent::new(40, 3, Some(30)).unwrap(),
+            StreamFrequent::new(40, 3, Some(30)).unwrap(),
+            &txns,
+            trip_at,
+            reason,
+            |a, b| assert_eq!(a.snapshot(), b.snapshot()),
+        );
     }
 }
