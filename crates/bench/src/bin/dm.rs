@@ -1,7 +1,9 @@
-//! `dm` — the workspace's operational command surface. Currently one
-//! subcommand family, `dm ledger`, which operates on run-ledger
-//! records produced by `experiments --ledger FILE` (see
-//! `dm_obs::ledger` and `DESIGN.md` "Run ledger").
+//! `dm` — the workspace's operational command surface. Two subcommand
+//! families: `dm ledger`, which operates on run-ledger records produced
+//! by `experiments --ledger FILE` (see `dm_obs::ledger` and `DESIGN.md`
+//! "Run ledger"), and `dm watch`, which replays metric snapshots
+//! through an SLO/drift rule file (see `dm_obs::watch` and the README
+//! "Watching & alerting").
 //!
 //! ```text
 //! dm ledger show RECORD                # one-line-per-experiment summary
@@ -12,17 +14,28 @@
 //!     [--subset]                       #   tolerate experiments missing from CURRENT
 //!     [--json-report FILE]             #   machine-readable diff alongside the verdict
 //!     [--update-baseline]              #   accept CURRENT as the new baseline
+//! dm watch RULES SNAPSHOT...           # evaluate rules over snapshots, in order
+//!     [--window MS]                    #   sliding-window length (default 60000)
+//!     [--tick MS]                      #   simulated ms between snapshots (default 1000)
+//!     [--prom FILE]                    #   write the watcher's own metrics as
+//!                                      #   Prometheus text exposition
 //! ```
 //!
-//! Exit codes: 0 = pass / no error, 1 = gate violations, 2 = usage or
-//! I/O error. `check` prints the human report to stdout; with
-//! `--update-baseline` it *rewrites the baseline file* with the current
-//! record instead of failing, which is the documented way to land an
-//! intentional counter change (commit the refreshed baseline together
-//! with the code that moved it).
+//! Exit codes: 0 = pass / no error, 1 = gate violations (`ledger
+//! check`) or at least one alert still firing after the last snapshot
+//! (`watch`), 2 = usage or I/O error. `check` prints the human report
+//! to stdout; with `--update-baseline` it *rewrites the baseline file*
+//! with the current record instead of failing, which is the documented
+//! way to land an intentional counter change (commit the refreshed
+//! baseline together with the code that moved it). `watch` replays the
+//! snapshot files against a `ManualClock` advanced `--tick` per file,
+//! so the same inputs always produce the same transition log.
 
 use dm_core::obs::ledger::{check, diff, write_atomic, CheckPolicy, RunRecord};
+use dm_core::obs::watch::{AlertState, ManualClock, RuleSet, WatchReport, Watcher};
+use dm_core::obs::{export, InMemoryRecorder, Obs, Snapshot};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Writes to stdout, swallowing broken-pipe errors (`dm ledger diff |
 /// head` must not panic mid-report).
@@ -31,9 +44,12 @@ fn emit(s: &str) {
     let _ = std::io::stdout().write_all(s.as_bytes());
 }
 
-const USAGE: &str = "usage: dm ledger <show RECORD | diff A B [--json] | \
-check --baseline BASE CURRENT [--band N] [--no-noisy] [--subset] \
-[--json-report FILE] [--update-baseline]>";
+const USAGE: &str = "usage: dm <ledger | watch> ...\n\
+  dm ledger show RECORD\n\
+  dm ledger diff A B [--json]\n\
+  dm ledger check --baseline BASE CURRENT [--band N] [--no-noisy] [--subset] \
+[--json-report FILE] [--update-baseline]\n\
+  dm watch RULES SNAPSHOT... [--window MS] [--tick MS] [--prom FILE]";
 
 fn main() {
     std::process::exit(real_main());
@@ -208,11 +224,135 @@ fn cmd_check(args: &[String]) -> i32 {
     }
 }
 
+/// Parsed `dm watch` invocation.
+struct WatchArgs {
+    rules: String,
+    snapshots: Vec<String>,
+    window_ms: u64,
+    tick_ms: u64,
+    prom: Option<String>,
+}
+
+fn parse_watch_args(args: &[String]) -> Result<WatchArgs, String> {
+    let mut window_ms = 60_000u64;
+    let mut tick_ms = 1_000u64;
+    let mut prom: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let ms_flag = |name: &str, v: Option<&String>| -> Result<u64, String> {
+            v.ok_or_else(|| format!("{name} needs a millisecond value"))?
+                .parse::<u64>()
+                .ok()
+                .filter(|ms| *ms >= 1)
+                .ok_or_else(|| format!("{name} expects a whole number of milliseconds >= 1"))
+        };
+        match arg.as_str() {
+            "--window" => window_ms = ms_flag("--window", it.next())?,
+            "--tick" => tick_ms = ms_flag("--tick", it.next())?,
+            "--prom" => {
+                prom = Some(it.next().ok_or("--prom needs a file path")?.to_owned());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}` for dm watch"));
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+    if positional.len() < 2 {
+        return Err("dm watch needs a rule file and at least one snapshot".into());
+    }
+    let rules = positional.remove(0);
+    Ok(WatchArgs {
+        rules,
+        snapshots: positional,
+        window_ms,
+        tick_ms,
+        prom,
+    })
+}
+
+/// Replays snapshot files through the rule set on a manual clock and
+/// prints the firing/resolved table plus the transition log. Exit 1
+/// when any rule is still firing after the last snapshot.
+fn cmd_watch(args: &[String]) -> i32 {
+    let parsed = match parse_watch_args(args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}\n{USAGE}");
+            return 2;
+        }
+    };
+    let read = |path: &str| -> Result<String, i32> {
+        std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("cannot read `{path}`: {e}");
+            2
+        })
+    };
+    let rules_text = match read(&parsed.rules) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let rules = match RuleSet::from_json(&rules_text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot parse rule file `{}`: {e}", parsed.rules);
+            return 2;
+        }
+    };
+    let clock = Arc::new(ManualClock::new(0));
+    let mut watcher = Watcher::new(rules, parsed.window_ms, clock.clone());
+    let sink = InMemoryRecorder::new();
+    let obs = Obs::new(&sink);
+    let mut transitions = Vec::new();
+    for path in &parsed.snapshots {
+        let text = match read(path) {
+            Ok(t) => t,
+            Err(code) => return code,
+        };
+        let snap = match Snapshot::from_json(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot parse snapshot `{path}`: {e}");
+                return 2;
+            }
+        };
+        clock.advance(parsed.tick_ms);
+        transitions.extend(watcher.tick(&snap, &obs));
+    }
+    let report = WatchReport {
+        transitions,
+        statuses: watcher.statuses(),
+    };
+    emit(&report.render());
+    if let Some(path) = &parsed.prom {
+        if let Err(e) = std::fs::write(path, export::prometheus(&sink.snapshot())) {
+            eprintln!("cannot write prometheus file `{path}`: {e}");
+            return 2;
+        }
+        eprintln!("[watch metrics written to {path}]");
+    }
+    let firing = report
+        .statuses
+        .iter()
+        .filter(|s| s.state == AlertState::Firing)
+        .count();
+    if firing > 0 {
+        eprintln!("{firing} alert(s) firing");
+        1
+    } else {
+        0
+    }
+}
+
 fn real_main() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
         eprintln!("{USAGE}");
         return 2;
+    }
+    if args[0] == "watch" {
+        return cmd_watch(&args[1..]);
     }
     if args[0] != "ledger" {
         eprintln!("unknown subcommand `{}`\n{USAGE}", args[0]);

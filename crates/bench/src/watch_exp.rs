@@ -1,0 +1,415 @@
+//! Watch experiment E17: live SLO evaluation, alert transitions and
+//! concept-drift reactions, end to end through `dm_obs::watch` and the
+//! `dm-serve` watch hook.
+//!
+//! Three sections, each a scripted scenario on a [`ManualClock`] (no
+//! wall-clock reaches any gated counter, so the alert-transition
+//! sequences are bit-reproducible and the ledger gates them at 0%
+//! tolerance):
+//!
+//! 1. **Overload** — a zero-worker, one-slot server sheds a burst; the
+//!    shed-rate SLO walks Ok → Pending → Firing (engaging the degrade
+//!    work cap) and, once the window slides past the burst, Resolved →
+//!    Ok (releasing it).
+//! 2. **Staleness** — an artifact that is never refreshed ages past its
+//!    SLO; a manual `refresh_artifact` clears the alert.
+//! 3. **Drift** — a streamed mixture shifts distribution mid-stream;
+//!    Page–Hinkley and CUSUM detectors on the per-flush
+//!    `stream.kmeans.inertia` gauge fire, and the watch policy
+//!    republishes the streaming model through the serve refresh hook.
+//!
+//! Each section runs against a private recorder (serve latency
+//! histograms are wall-clock noise); the deterministic `watch.*` /
+//! `serve.watch.*` counters and gauges are re-exported into the
+//! experiment guard's recorder, alongside `watch.e17.*` summaries.
+
+use crate::table::Table;
+use dm_core::dataset::DataError;
+use dm_core::guard::Guard;
+use dm_core::obs::watch::{
+    AlertState, Condition, DetectorSpec, ManualClock, RuleSet, SloRule, Transition, Watcher,
+};
+use dm_core::obs::{InMemoryRecorder, Obs, Recorder, Snapshot};
+use dm_core::stream::{StreamEngine, StreamKMeans};
+use dm_core::synth::{GaussianMixture, PointStream};
+use dm_serve::{ModelKind, ModelSet, Request, ServeConfig, Server, WatchPolicy};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Seed for the served bundle and the drifting point stream.
+const SEED: u64 = 17;
+
+/// Evaluation cadence: one watch tick per 100 simulated milliseconds.
+const TICK_MS: u64 = 100;
+
+/// A cheap request for the overload section's burst.
+fn burst_request() -> Request {
+    Request::Predict {
+        model: ModelKind::Knn,
+        rows: vec![vec![0.0, 0.0]],
+    }
+}
+
+/// Re-emits the deterministic watch-side series from a section's
+/// private recorder into the experiment guard's recorder, where the
+/// ledger gates them at 0%. Counters accumulate across sections (the
+/// per-rule names are distinct; the shared `watch.alert.transitions`
+/// style totals sum deterministically).
+fn export_watch_series(obs: &Obs<'_>, snap: &Snapshot) {
+    for (name, v) in &snap.counters {
+        if name.starts_with("watch.") || name.starts_with("serve.watch.") {
+            obs.counter(name, *v);
+        }
+    }
+    for (name, v) in &snap.gauges {
+        if name.starts_with("watch.") {
+            obs.gauge(name, *v);
+        }
+    }
+}
+
+/// Renders a transition log as table rows.
+fn transition_rows(table: &mut Table, transitions: &[Transition]) {
+    for t in transitions {
+        table.row(vec![
+            format!("{}", t.at_ms),
+            t.rule.clone(),
+            t.kind.label().to_string(),
+            format!("{} -> {}", t.from.label(), t.to.label()),
+        ]);
+    }
+}
+
+/// Counts of fired / resolved transitions in a log.
+fn fired_resolved(transitions: &[Transition]) -> (u64, u64) {
+    let fired = transitions
+        .iter()
+        .filter(|t| t.to == AlertState::Firing)
+        .count() as u64;
+    let resolved = transitions
+        .iter()
+        .filter(|t| t.to == AlertState::Resolved)
+        .count() as u64;
+    (fired, resolved)
+}
+
+/// E17 — SLO alerting and drift reactions over live serving/streaming
+/// metrics. Alert-transition counts land as `watch.e17.*` plus the
+/// re-exported `watch.alert.*` / `watch.drift.*` series (0%-gated).
+pub fn e17_watch(guard: &Guard) -> Result<String, DataError> {
+    let mut out = String::new();
+    out.push_str("# E17: SLO watch, alert state machine and drift reactions\n");
+    out.push_str(
+        "(dm_obs::watch over dm-serve: manual clock, scripted scenarios, deterministic transitions)\n\n",
+    );
+    let obs = guard.obs();
+
+    // -- 1: overload -> degrade cap engages, then releases ------------
+    if !guard.should_stop() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        let server = Server::start_recorded(
+            ModelSet::demo(SEED)?,
+            ServeConfig {
+                workers: 0,
+                queue_capacity: 1,
+                default_deadline: None,
+            },
+            rec.clone() as Arc<dyn Recorder>,
+        );
+        let clock = Arc::new(ManualClock::new(0));
+        let rules = RuleSet::new(vec![SloRule::new(
+            "shed-rate",
+            Condition::RatioAbove {
+                numerator: "serve.shed.queue_full".into(),
+                denominators: vec!["serve.req.admitted".into(), "serve.shed.queue_full".into()],
+                max: 0.5,
+            },
+        )
+        .for_ms(TICK_MS)
+        .clear_for_ms(TICK_MS)]);
+        server.install_watch(
+            rec.clone(),
+            Watcher::new(rules, 3 * TICK_MS, clock.clone()),
+            WatchPolicy {
+                degrade_max_work_while_firing: Some(8),
+                refresh_on_drift: None,
+            },
+        );
+
+        let mut transitions = Vec::new();
+        let mut degraded_ticks = 0u64;
+        server.watch_tick(); // t=0 baseline, before the burst
+        for _ in 0..4 {
+            // One admit then three sheds: shed rate 3/4 over the window.
+            let _ = server.submit(burst_request());
+        }
+        for _ in 0..6 {
+            clock.advance(TICK_MS);
+            if let Some(report) = server.watch_tick() {
+                transitions.extend(report.transitions);
+            }
+            if server.degrade_cap().is_some() {
+                degraded_ticks += 1;
+            }
+        }
+        let drained = server.shutdown();
+
+        let mut table = Table::new(
+            "overload: shed-rate > 0.5 for 100ms (0 workers, queue of 1, 4 submissions)",
+            &["t_ms", "rule", "kind", "transition"],
+        );
+        transition_rows(&mut table, &transitions);
+        out.push_str(&table.render());
+        let _ = {
+            use std::fmt::Write as _;
+            writeln!(
+                out,
+                "degrade cap engaged for {degraded_ticks} tick(s); {drained} request(s) drained at shutdown\n"
+            )
+        };
+        if obs.enabled() {
+            let (fired, resolved) = fired_resolved(&transitions);
+            obs.counter("watch.e17.overload.transitions", transitions.len() as u64);
+            obs.counter("watch.e17.overload.fired", fired);
+            obs.counter("watch.e17.overload.resolved", resolved);
+            obs.counter("watch.e17.overload.degraded_ticks", degraded_ticks);
+            export_watch_series(&obs, &rec.snapshot());
+        }
+    }
+
+    // -- 2: staleness -> manual artifact refresh clears the alert -----
+    if !guard.should_stop() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        let server = Server::start_recorded(
+            ModelSet::demo(SEED)?,
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 16,
+                default_deadline: None,
+            },
+            rec.clone() as Arc<dyn Recorder>,
+        );
+        let clock = Arc::new(ManualClock::new(0));
+        let rules = RuleSet::new(vec![SloRule::new(
+            "artifact-staleness",
+            Condition::StaleFor {
+                metric: "serve.artifact.refreshed".into(),
+                max_age_ms: 250,
+            },
+        )
+        .for_ms(TICK_MS)
+        .clear_for_ms(0)]);
+        server.install_watch(
+            rec.clone(),
+            Watcher::new(rules, 10 * TICK_MS, clock.clone()),
+            WatchPolicy::default(),
+        );
+
+        let mut transitions = Vec::new();
+        server.watch_tick(); // t=0: the staleness baseline (birth)
+        for tick in 1..=8u64 {
+            if tick == 6 {
+                // The operator (or a stream) finally republishes: the
+                // refresh counter moves, staleness resets.
+                server.refresh_artifact(|m| m);
+            }
+            clock.advance(TICK_MS);
+            if let Some(report) = server.watch_tick() {
+                transitions.extend(report.transitions);
+            }
+        }
+        server.shutdown();
+
+        let mut table = Table::new(
+            "staleness: serve.artifact.refreshed older than 250ms (refresh lands at t=600ms)",
+            &["t_ms", "rule", "kind", "transition"],
+        );
+        transition_rows(&mut table, &transitions);
+        out.push_str(&table.render());
+        out.push('\n');
+        if obs.enabled() {
+            let (fired, resolved) = fired_resolved(&transitions);
+            obs.counter("watch.e17.stale.transitions", transitions.len() as u64);
+            obs.counter("watch.e17.stale.fired", fired);
+            obs.counter("watch.e17.stale.resolved", resolved);
+            export_watch_series(&obs, &rec.snapshot());
+        }
+    }
+
+    // -- 3: concept drift -> detectors fire, model is republished -----
+    if !guard.should_stop() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        let feed_guard = Guard::unlimited().with_recorder(rec.clone() as Arc<dyn Recorder>);
+        let server = Server::start_recorded(
+            ModelSet::demo(SEED)?,
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 16,
+                default_deadline: None,
+            },
+            rec.clone() as Arc<dyn Recorder>,
+        );
+        let stream = Arc::new(Mutex::new(StreamKMeans::new(4, 32)?));
+        let clock = Arc::new(ManualClock::new(0));
+        let metric = "stream.kmeans.inertia";
+        let rules = RuleSet::new(vec![
+            SloRule::new(
+                "inertia-ph",
+                Condition::Drift {
+                    metric: metric.into(),
+                    detector: DetectorSpec::PageHinkley {
+                        delta: 10.0,
+                        lambda: 500.0,
+                    },
+                    hold_ms: Some(5 * TICK_MS),
+                },
+            ),
+            SloRule::new(
+                "inertia-cusum",
+                Condition::Drift {
+                    metric: metric.into(),
+                    detector: DetectorSpec::Cusum {
+                        k: 10.0,
+                        h: 500.0,
+                        warmup: 10,
+                    },
+                    hold_ms: Some(5 * TICK_MS),
+                },
+            ),
+        ]);
+        let refresh_source = stream.clone();
+        server.install_watch(
+            rec.clone(),
+            Watcher::new(rules, 20 * TICK_MS, clock.clone()),
+            WatchPolicy {
+                degrade_max_work_while_firing: None,
+                refresh_on_drift: Some(Box::new(move |set| {
+                    let s = refresh_source
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    match s.model() {
+                        Ok(m) => set.with_kmeans(m),
+                        Err(_) => set,
+                    }
+                })),
+            },
+        );
+
+        // 40 mini-batches of 32 points; from batch 25 on, every
+        // coordinate shifts by +6 — an abrupt concept drift that spikes
+        // the per-flush inertia until the centroids re-converge.
+        let mixture = GaussianMixture::well_separated(4, 3, 200, 8.0)?;
+        let points: Vec<Vec<f64>> = PointStream::new(mixture, SEED)
+            .take(40 * 32)
+            .map(|(p, _)| p)
+            .collect();
+        let mut transitions = Vec::new();
+        for (i, chunk) in points.chunks(32).enumerate() {
+            let batch: Vec<Vec<f64>> = if i >= 25 {
+                chunk
+                    .iter()
+                    .map(|p| p.iter().map(|x| x + 6.0).collect())
+                    .collect()
+            } else {
+                chunk.to_vec()
+            };
+            {
+                let mut s = stream.lock().unwrap_or_else(PoisonError::into_inner);
+                let _ = s.insert_governed(&batch, &feed_guard);
+            }
+            clock.advance(TICK_MS);
+            if let Some(report) = server.watch_tick() {
+                transitions.extend(report.transitions);
+            }
+        }
+        let republished = server.models().kmeans().is_some();
+        server.shutdown();
+
+        let snap = rec.snapshot();
+        let detections = snap.counter("watch.drift.detections").unwrap_or(0);
+        let refreshes = snap.counter("serve.watch.refresh.on_drift").unwrap_or(0);
+        let mut table = Table::new(
+            "drift: +6.0/coordinate shift at batch 25 of 40 (PH delta 10 lambda 500; CUSUM k 10 h 500)",
+            &["t_ms", "rule", "kind", "transition"],
+        );
+        transition_rows(&mut table, &transitions);
+        out.push_str(&table.render());
+        let _ = {
+            use std::fmt::Write as _;
+            writeln!(
+                out,
+                "{detections} detection(s), {refreshes} republish(es); served kmeans present: {republished}"
+            )
+        };
+        if obs.enabled() {
+            let (fired, resolved) = fired_resolved(&transitions);
+            obs.counter("watch.e17.drift.transitions", transitions.len() as u64);
+            obs.counter("watch.e17.drift.fired", fired);
+            obs.counter("watch.e17.drift.resolved", resolved);
+            obs.counter("watch.e17.drift.detections", detections);
+            obs.counter("watch.e17.drift.refreshes", refreshes);
+            export_watch_series(&obs, &snap);
+        }
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_core::obs::Recorder;
+
+    /// Deterministic (counter, gauge-bits) series pulled from one run.
+    type GatedSeries = (Vec<(String, u64)>, Vec<(String, u64)>);
+
+    fn gated_metrics() -> GatedSeries {
+        let rec = Arc::new(InMemoryRecorder::new());
+        let guard = Guard::unlimited().with_recorder(rec.clone() as Arc<dyn Recorder>);
+        e17_watch(&guard).unwrap();
+        let snap = rec.snapshot();
+        let counters: Vec<(String, u64)> = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| !k.ends_with("_ns"))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        // Gauges carried as bit patterns so NaN/float identity is exact.
+        let gauges: Vec<(String, u64)> = snap
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_bits()))
+            .collect();
+        (counters, gauges)
+    }
+
+    #[test]
+    fn e17_every_section_fires_and_resolves() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        let guard = Guard::unlimited().with_recorder(rec.clone() as Arc<dyn Recorder>);
+        let report = e17_watch(&guard).unwrap();
+        let snap = rec.snapshot();
+        for section in ["overload", "stale", "drift"] {
+            let fired = snap
+                .counter(&format!("watch.e17.{section}.fired"))
+                .unwrap_or(0);
+            let resolved = snap
+                .counter(&format!("watch.e17.{section}.resolved"))
+                .unwrap_or(0);
+            assert!(fired >= 1, "{section}: no Firing transition\n{report}");
+            assert!(resolved >= 1, "{section}: no Resolved transition\n{report}");
+        }
+        // The drift section's reactions actually happened.
+        assert!(snap.counter("watch.e17.drift.detections").unwrap_or(0) >= 2);
+        assert!(snap.counter("watch.e17.drift.refreshes").unwrap_or(0) >= 1);
+        assert!(
+            snap.counter("watch.e17.overload.degraded_ticks")
+                .unwrap_or(0)
+                >= 1
+        );
+    }
+
+    #[test]
+    fn e17_gated_series_are_deterministic() {
+        assert_eq!(gated_metrics(), gated_metrics());
+    }
+}

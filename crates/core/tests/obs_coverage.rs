@@ -420,7 +420,7 @@ fn memory_gauges_cover_the_paper_structures() {
 /// ledgers diff and gate on these names across commits, so a rename is
 /// a baseline-breaking event — this test is the executable convention.
 fn assert_well_named(kind: &str, name: &str) {
-    const SUBSYSTEMS: [&str; 9] = [
+    const SUBSYSTEMS: [&str; 10] = [
         "assoc",
         "seq",
         "cluster",
@@ -430,6 +430,7 @@ fn assert_well_named(kind: &str, name: &str) {
         "guard",
         "experiment",
         "stream",
+        "watch",
     ];
     let ok_chars = name
         .chars()
@@ -536,6 +537,88 @@ fn every_emitted_metric_name_follows_the_convention() {
     }
     assert!(snap.gauge("assoc.mem.db_bytes").is_some());
     assert!(snap.counter("tree.decision.nodes_expanded").is_some());
+}
+
+/// The watcher is a metric *producer* like any governed algorithm: one
+/// alert lifecycle plus one drift detection must emit every
+/// `watch.alert.*` / `watch.drift.*` name the DESIGN.md registry
+/// documents, and nothing off-convention.
+#[test]
+fn watch_alert_and_drift_metrics_cover_the_registry() {
+    use dm_core::obs::watch::{
+        Clock, Condition, DetectorSpec, ManualClock, RuleSet, SloRule, Watcher,
+    };
+    use dm_core::obs::{Obs, Recorder};
+
+    let rules = RuleSet::new(vec![
+        SloRule::new(
+            "queue-depth",
+            Condition::GaugeAbove {
+                metric: "stream.frequent.entries".into(),
+                max: 5.0,
+            },
+        ),
+        SloRule::new(
+            "inertia-drift",
+            Condition::Drift {
+                metric: "stream.kmeans.inertia".into(),
+                detector: DetectorSpec::PageHinkley {
+                    delta: 0.05,
+                    lambda: 5.0,
+                },
+                hold_ms: Some(200),
+            },
+        ),
+    ]);
+    let clock = Arc::new(ManualClock::new(0));
+    let mut watcher = Watcher::new(rules, 10_000, clock.clone() as Arc<dyn Clock>);
+    let source = InMemoryRecorder::new();
+    let sink = Arc::new(InMemoryRecorder::new());
+    let obs = Obs::new(&*sink);
+    // A full lifecycle on the SLO rule (breach, fire, clear) and a mean
+    // shift big enough to trip the drift detector.
+    let mut series: Vec<(f64, f64)> = Vec::new();
+    series.extend(vec![(9.0, 1.0); 3]);
+    series.extend(vec![(1.0, 1.0); 27]);
+    series.extend(vec![(1.0, 8.0); 20]);
+    for (depth, inertia) in series {
+        source.gauge("stream.frequent.entries", depth);
+        source.gauge("stream.kmeans.inertia", inertia);
+        watcher.tick(&source.snapshot(), &obs);
+        clock.advance(100);
+    }
+    let snap = sink.snapshot();
+    assert_counters(
+        &snap,
+        &[
+            "watch.eval.ticks",
+            "watch.alert.transitions",
+            "watch.alert.queue_depth.pending",
+            "watch.alert.queue_depth.firing",
+            "watch.alert.queue_depth.resolved",
+            "watch.alert.queue_depth.ok",
+            "watch.alert.inertia_drift.firing",
+            "watch.drift.detections",
+            "watch.drift.inertia_drift.detections",
+        ],
+    );
+    assert!(snap.gauge("watch.alert.firing").is_some());
+    assert!(snap.gauge("watch.drift.inertia_drift.stat").is_some());
+    assert!(
+        snap.events
+            .iter()
+            .any(|e| e.name == "watch.alert.transition"),
+        "transition events missing"
+    );
+    for name in snap.counters.keys() {
+        assert_well_named("counter", name);
+    }
+    for name in snap.gauges.keys() {
+        assert_well_named("gauge", name);
+    }
+    for event in &snap.events {
+        assert_well_named("event", &event.name);
+    }
 }
 
 #[test]

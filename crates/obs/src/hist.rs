@@ -103,6 +103,27 @@ impl Histogram {
         }
     }
 
+    /// The histogram of values recorded since `earlier` was snapshot,
+    /// assuming `self` is a later cumulative snapshot of the same
+    /// series — elementwise saturating subtraction, the inverse of
+    /// [`Histogram::merge`]. Saturation (rather than panic) keeps a
+    /// window query safe if the recorder was swapped out underneath
+    /// the caller; in that case the delta degrades to the newer
+    /// snapshot's own contents.
+    pub fn saturating_delta(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        for (o, (a, b)) in out
+            .buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&earlier.buckets))
+        {
+            *o = a.saturating_sub(*b);
+        }
+        out
+    }
+
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.count == 0
@@ -209,6 +230,23 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, all);
+    }
+
+    #[test]
+    fn saturating_delta_inverts_merge() {
+        let mut early = Histogram::new();
+        for v in 0..50u64 {
+            early.record(v * 13);
+        }
+        let mut late = early.clone();
+        let mut window = Histogram::new();
+        for v in 0..31u64 {
+            late.record(v * v + 7);
+            window.record(v * v + 7);
+        }
+        assert_eq!(late.saturating_delta(&early), window);
+        // Degenerate direction (older minus newer) saturates to empty.
+        assert!(early.saturating_delta(&late).is_empty());
     }
 
     #[test]

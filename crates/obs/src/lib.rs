@@ -81,7 +81,7 @@
 //! let snap = rec.snapshot();
 //! assert_eq!(snap.counter("assoc.apriori.pass3.candidates"), Some(44));
 //! assert_eq!(snap.tree.len(), 1);
-//! assert!(snap.to_json().contains("\"schema\": 2"));
+//! assert!(snap.to_json().contains("\"schema\": 3"));
 //! ```
 
 #![warn(missing_docs)]
@@ -93,6 +93,7 @@ pub mod heap;
 pub mod hist;
 pub mod json;
 pub mod ledger;
+pub mod watch;
 
 pub use compose::{ProgressRecorder, ProgressSink, StderrSink, TeeRecorder};
 pub use heap::HeapSize;
@@ -108,7 +109,7 @@ use std::time::Instant;
 /// Version of the [`Snapshot`] JSON schema (the `"schema"` key). Bump
 /// it whenever a key is added, removed or its meaning changes, and
 /// record the change in `DESIGN.md` ("Metrics snapshot schema").
-pub const SNAPSHOT_SCHEMA: u32 = 2;
+pub const SNAPSHOT_SCHEMA: u32 = 3;
 
 /// Identifier of one node in a recorder's span tree. `SpanId::ROOT`
 /// (zero) is "no parent": a top-level span, or a recorder that does not
@@ -251,11 +252,26 @@ pub struct SpanNode {
 struct State {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
+    /// Per-gauge write ordinal: the value of the recorder-wide gauge
+    /// write counter at that gauge's most recent write. Gauges are
+    /// last-write-wins, so without this a reader cannot tell a fresh
+    /// write of the same value from no write at all.
+    gauge_seq: BTreeMap<String, u64>,
+    /// Recorder-wide monotonic gauge write counter (feeds `gauge_seq`).
+    gauge_writes: u64,
     hists: BTreeMap<String, Histogram>,
     events: Vec<Event>,
     nodes: Vec<SpanNode>,
     /// Dense thread-id table: `threads[i]` opened spans with `tid = i`.
     threads: Vec<ThreadId>,
+}
+
+impl State {
+    fn touch_gauge(&mut self, name: &str) {
+        self.gauge_writes += 1;
+        let seq = self.gauge_writes;
+        self.gauge_seq.insert(name.to_owned(), seq);
+    }
 }
 
 impl State {
@@ -338,6 +354,7 @@ impl InMemoryRecorder {
             histograms: s.hists.clone(),
             events: s.events.clone(),
             tree: s.nodes.clone(),
+            gauge_seq: s.gauge_seq.clone(),
         })
     }
 }
@@ -352,6 +369,7 @@ impl Recorder for InMemoryRecorder {
     fn gauge(&self, name: &str, value: f64) {
         self.with_state(|s| {
             s.gauges.insert(name.to_owned(), value);
+            s.touch_gauge(name);
         });
     }
 
@@ -361,6 +379,7 @@ impl Recorder for InMemoryRecorder {
                 .entry(name.to_owned())
                 .and_modify(|g| *g = g.max(value))
                 .or_insert(value);
+            s.touch_gauge(name);
         });
     }
 
@@ -451,6 +470,11 @@ pub struct Snapshot {
     pub events: Vec<Event>,
     /// The hierarchical span tree, in open order (`id` = index + 1).
     pub tree: Vec<SpanNode>,
+    /// Per-gauge write ordinal (schema 3): the recorder-wide gauge
+    /// write counter at each gauge's last write. Strictly increases
+    /// with every write to any gauge, so two snapshots of the same
+    /// recorder order gauge observations even when the value repeats.
+    pub gauge_seq: BTreeMap<String, u64>,
 }
 
 impl Snapshot {
@@ -502,10 +526,11 @@ impl Snapshot {
     /// [`SNAPSHOT_SCHEMA`]): one object whose schema-1 keys
     /// (`counters`, `gauges`, `spans`, `events`) are unchanged from
     /// version 1, plus `histograms` (sparse power-of-two buckets) and
-    /// `tree` (the span hierarchy). Map keys sorted lexicographically;
-    /// non-finite gauge values serialize as `null`. See `DESIGN.md`
-    /// ("Metrics snapshot schema") for the full schema and the bump
-    /// rule.
+    /// `tree` (the span hierarchy) from version 2, plus `gauge_seq`
+    /// (per-gauge write ordinals) from version 3. Map keys sorted
+    /// lexicographically; non-finite gauge values serialize as `null`.
+    /// See `DESIGN.md` ("Metrics snapshot schema") for the full schema
+    /// and the bump rule.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256);
         let _ = write!(out, "{{\n  \"schema\": {SNAPSHOT_SCHEMA},");
@@ -592,8 +617,153 @@ impl Snapshot {
         if !self.tree.is_empty() {
             out.push_str("\n  ");
         }
-        out.push_str("]\n}");
+        out.push_str("],\n  \"gauge_seq\": {");
+        for (i, (k, v)) in self.gauge_seq.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    {}: {v}", json_string(k));
+        }
+        if !self.gauge_seq.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}");
         out
+    }
+
+    /// Parses a snapshot serialized by [`Snapshot::to_json`] — the
+    /// replay path behind `dm watch`, where archived snapshots feed a
+    /// [`watch::MetricView`] exactly as live ones would. Any schema
+    /// version up to [`SNAPSHOT_SCHEMA`] is accepted; keys an older
+    /// version lacks default to empty (a schema-2 document simply has
+    /// no `gauge_seq`, and the view synthesizes ordinals).
+    pub fn from_json(input: &str) -> Result<Snapshot, String> {
+        use crate::json::Json;
+        let doc = json::parse(input).map_err(|e| format!("snapshot: {e}"))?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or("snapshot: missing or non-integer `schema`")?;
+        if schema == 0 || schema > u64::from(SNAPSHOT_SCHEMA) {
+            return Err(format!(
+                "snapshot: unsupported schema {schema} (this build reads <= {SNAPSHOT_SCHEMA})"
+            ));
+        }
+
+        fn obj_entries<'a>(
+            doc: &'a Json,
+            key: &str,
+        ) -> Result<Vec<(&'a String, &'a Json)>, String> {
+            match doc.get(key) {
+                None => Ok(Vec::new()),
+                Some(v) => Ok(v
+                    .as_obj()
+                    .ok_or_else(|| format!("snapshot: `{key}` is not an object"))?
+                    .iter()
+                    .collect()),
+            }
+        }
+        fn arr_entries<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], String> {
+            match doc.get(key) {
+                None => Ok(&[]),
+                Some(v) => v
+                    .as_arr()
+                    .ok_or_else(|| format!("snapshot: `{key}` is not an array")),
+            }
+        }
+        fn field_u64(v: &Json, ctx: &str, key: &str) -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("snapshot: {ctx} missing integer `{key}`"))
+        }
+        fn field_str(v: &Json, ctx: &str, key: &str) -> Result<String, String> {
+            Ok(v.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("snapshot: {ctx} missing string `{key}`"))?
+                .to_owned())
+        }
+
+        let mut snap = Snapshot::default();
+        for (k, v) in obj_entries(&doc, "counters")? {
+            let n = v
+                .as_u64()
+                .ok_or_else(|| format!("snapshot: counter `{k}` is not a u64"))?;
+            snap.counters.insert(k.clone(), n);
+        }
+        for (k, v) in obj_entries(&doc, "gauges")? {
+            // Non-finite gauge values serialize as `null`.
+            let n = match v {
+                Json::Null => f64::NAN,
+                other => other
+                    .as_f64()
+                    .ok_or_else(|| format!("snapshot: gauge `{k}` is not a number"))?,
+            };
+            snap.gauges.insert(k.clone(), n);
+        }
+        for (k, v) in obj_entries(&doc, "spans")? {
+            snap.spans.insert(
+                k.clone(),
+                SpanStat {
+                    count: field_u64(v, "span", "count")?,
+                    total_ns: field_u64(v, "span", "total_ns")?,
+                },
+            );
+        }
+        for e in arr_entries(&doc, "events")? {
+            snap.events.push(Event {
+                seq: field_u64(e, "event", "seq")?,
+                name: field_str(e, "event", "name")?,
+                detail: field_str(e, "event", "detail")?,
+            });
+        }
+        for (k, v) in obj_entries(&doc, "histograms")? {
+            let mut h = Histogram::new();
+            h.count = field_u64(v, "histogram", "count")?;
+            h.sum = field_u64(v, "histogram", "sum")?;
+            for pair in v
+                .get("buckets")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("snapshot: histogram `{k}` missing `buckets`"))?
+            {
+                let [i, c] = pair.as_arr().unwrap_or(&[]) else {
+                    return Err(format!(
+                        "snapshot: histogram `{k}` bucket is not an [index, count] pair"
+                    ));
+                };
+                let (i, c) = i
+                    .as_u64()
+                    .zip(c.as_u64())
+                    .ok_or_else(|| format!("snapshot: histogram `{k}` bucket is not integers"))?;
+                let slot = h
+                    .buckets
+                    .get_mut(i as usize)
+                    .ok_or_else(|| format!("snapshot: histogram `{k}` bucket index {i} >= 65"))?;
+                *slot = c;
+            }
+            snap.histograms.insert(k.clone(), h);
+        }
+        for n in arr_entries(&doc, "tree")? {
+            snap.tree.push(SpanNode {
+                id: field_u64(n, "tree node", "id")?,
+                parent: field_u64(n, "tree node", "parent")?,
+                name: field_str(n, "tree node", "name")?,
+                tid: u32::try_from(field_u64(n, "tree node", "tid")?)
+                    .map_err(|_| "snapshot: tree node `tid` exceeds u32".to_string())?,
+                start_ns: field_u64(n, "tree node", "start_ns")?,
+                dur_ns: match n.get("dur_ns") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(
+                        v.as_u64()
+                            .ok_or("snapshot: tree node `dur_ns` is not a u64")?,
+                    ),
+                },
+            });
+        }
+        for (k, v) in obj_entries(&doc, "gauge_seq")? {
+            let n = v
+                .as_u64()
+                .ok_or_else(|| format!("snapshot: gauge_seq `{k}` is not a u64"))?;
+            snap.gauge_seq.insert(k.clone(), n);
+        }
+        Ok(snap)
     }
 }
 
@@ -1057,6 +1227,68 @@ mod tests {
     }
 
     #[test]
+    fn gauge_seq_orders_writes_even_when_values_repeat() {
+        let rec = InMemoryRecorder::new();
+        let obs = Obs::new(&rec);
+        obs.gauge("stream.kmeans.inertia", 5.0);
+        obs.gauge("serve.queue.depth", 2.0);
+        let first = rec.snapshot();
+        // Rewriting the same value still advances the write ordinal.
+        obs.gauge("stream.kmeans.inertia", 5.0);
+        let second = rec.snapshot();
+        assert_eq!(first.gauge("stream.kmeans.inertia"), Some(5.0));
+        assert_eq!(second.gauge("stream.kmeans.inertia"), Some(5.0));
+        let s1 = first.gauge_seq["stream.kmeans.inertia"];
+        let s2 = second.gauge_seq["stream.kmeans.inertia"];
+        assert!(s2 > s1, "rewrite must advance the ordinal ({s1} -> {s2})");
+        // gauge_max writes advance it too.
+        obs.gauge_max("serve.queue.depth", 1.0); // below the high water
+        let third = rec.snapshot();
+        assert_eq!(third.gauge("serve.queue.depth"), Some(2.0));
+        assert!(third.gauge_seq["serve.queue.depth"] > second.gauge_seq["serve.queue.depth"]);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let rec = InMemoryRecorder::new();
+        let obs = Obs::new(&rec);
+        obs.counter("assoc.apriori.passes", 3);
+        obs.gauge("stream.kmeans.inertia", 41.5);
+        obs.gauge("cluster.kmeans.sse", f64::NAN); // serializes as null
+        obs.value("serve.latency.predict_ns", 1_234);
+        obs.value("serve.latency.predict_ns", 0);
+        obs.event("guard.trip", "deadline");
+        {
+            let _outer = obs.span("experiment.e1");
+            let _inner = obs.span("assoc.apriori.pass");
+        }
+        let snap = rec.snapshot();
+        let parsed = Snapshot::from_json(&snap.to_json()).unwrap();
+        // NaN breaks PartialEq on the whole snapshot; compare around it.
+        assert!(parsed.gauge("cluster.kmeans.sse").unwrap().is_nan());
+        let mut snap = snap;
+        let mut parsed = parsed;
+        snap.gauges.remove("cluster.kmeans.sse");
+        parsed.gauges.remove("cluster.kmeans.sse");
+        assert_eq!(snap, parsed);
+    }
+
+    #[test]
+    fn snapshot_from_json_rejects_unknown_schema_and_garbage() {
+        let err = Snapshot::from_json("{\"schema\": 99}").unwrap_err();
+        assert!(err.contains("unsupported schema 99"), "{err}");
+        assert!(Snapshot::from_json("{}").is_err());
+        assert!(Snapshot::from_json("nonsense").is_err());
+        // A schema-2 document (no gauge_seq) still parses.
+        let old = Snapshot::from_json(
+            "{\"schema\": 2, \"counters\": {\"assoc.rules.emitted\": 4}, \"gauges\": {}}",
+        )
+        .unwrap();
+        assert_eq!(old.counter("assoc.rules.emitted"), Some(4));
+        assert!(old.gauge_seq.is_empty());
+    }
+
+    #[test]
     fn prefix_query_returns_sorted_matches() {
         let rec = InMemoryRecorder::new();
         let obs = Obs::new(&rec);
@@ -1099,11 +1331,12 @@ mod tests {
     fn empty_snapshot_serializes_cleanly() {
         let snap = InMemoryRecorder::new().snapshot();
         let json = snap.to_json();
-        assert!(json.contains("\"schema\": 2"));
+        assert!(json.contains("\"schema\": 3"));
         assert!(json.contains("\"counters\": {}"));
         assert!(json.contains("\"events\": []"));
         assert!(json.contains("\"histograms\": {}"));
         assert!(json.contains("\"tree\": []"));
+        assert!(json.contains("\"gauge_seq\": {}"));
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! Concept-drift detectors over gauge series.
+//!
+//! Both detectors watch a univariate stream (the per-flush
+//! `stream.kmeans.inertia` gauge, a shard-imbalance ratio, ...) and
+//! raise when its level shifts from the history they have absorbed.
+//! They are plain sequential state machines — no RNG, no clock — so
+//! feeding the same sample sequence always produces the same detection
+//! ticks, which is what lets E17 gate drift counts at 0% tolerance.
+
+/// Page–Hinkley test for an upward mean shift.
+///
+/// Maintains the cumulative deviation `m_t = Σ (x_i − x̄_i − δ)` and its
+/// running minimum; drift is declared when `m_t − min(m)` exceeds
+/// `lambda`. `delta` absorbs magnitude noise, `lambda` trades detection
+/// delay against false alarms. The detector resets itself after each
+/// detection so repeated shifts re-arm it.
+#[derive(Debug, Clone)]
+pub struct PageHinkley {
+    delta: f64,
+    lambda: f64,
+    n: u64,
+    mean: f64,
+    cum: f64,
+    cum_min: f64,
+}
+
+impl PageHinkley {
+    /// A detector with noise tolerance `delta` and threshold `lambda`.
+    pub fn new(delta: f64, lambda: f64) -> Self {
+        Self {
+            delta,
+            lambda,
+            n: 0,
+            mean: 0.0,
+            cum: 0.0,
+            cum_min: 0.0,
+        }
+    }
+
+    /// Absorbs one sample; `true` when this sample crossed the drift
+    /// threshold (the detector resets itself on detection).
+    pub fn update(&mut self, x: f64) -> bool {
+        self.n += 1;
+        self.mean += (x - self.mean) / self.n as f64;
+        self.cum += x - self.mean - self.delta;
+        self.cum_min = self.cum_min.min(self.cum);
+        if self.cum - self.cum_min > self.lambda {
+            self.reset();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The current test statistic `m_t − min(m)` (0 right after reset).
+    pub fn statistic(&self) -> f64 {
+        self.cum - self.cum_min
+    }
+
+    /// Forgets all absorbed history.
+    pub fn reset(&mut self) {
+        self.n = 0;
+        self.mean = 0.0;
+        self.cum = 0.0;
+        self.cum_min = 0.0;
+    }
+}
+
+/// One-sided (upward) CUSUM chart.
+///
+/// The in-control level is estimated as the mean of the first `warmup`
+/// samples; afterwards `g⁺ = max(0, g⁺ + x − mean − k)` accumulates
+/// excursions above the level plus the allowance `k`, and drift is
+/// declared when `g⁺ > h`. Resets (statistic and warmup) on detection.
+#[derive(Debug, Clone)]
+pub struct Cusum {
+    k: f64,
+    h: f64,
+    warmup: u64,
+    n: u64,
+    mean: f64,
+    g: f64,
+}
+
+impl Cusum {
+    /// A chart with allowance `k`, threshold `h`, and an in-control
+    /// level estimated from the first `warmup` samples (min 1).
+    pub fn new(k: f64, h: f64, warmup: u64) -> Self {
+        Self {
+            k,
+            h,
+            warmup: warmup.max(1),
+            n: 0,
+            mean: 0.0,
+            g: 0.0,
+        }
+    }
+
+    /// Absorbs one sample; `true` when this sample crossed the drift
+    /// threshold (the chart resets itself on detection).
+    pub fn update(&mut self, x: f64) -> bool {
+        self.n += 1;
+        if self.n <= self.warmup {
+            self.mean += (x - self.mean) / self.n as f64;
+            return false;
+        }
+        self.g = (self.g + x - self.mean - self.k).max(0.0);
+        if self.g > self.h {
+            self.reset();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The current `g⁺` statistic (0 during warmup and after reset).
+    pub fn statistic(&self) -> f64 {
+        self.g
+    }
+
+    /// Forgets all absorbed history (re-enters warmup).
+    pub fn reset(&mut self) {
+        self.n = 0;
+        self.mean = 0.0;
+        self.g = 0.0;
+    }
+}
+
+/// A running detector instance of either family.
+#[derive(Debug, Clone)]
+pub enum Detector {
+    /// Page–Hinkley mean-shift test.
+    PageHinkley(PageHinkley),
+    /// One-sided CUSUM chart.
+    Cusum(Cusum),
+}
+
+impl Detector {
+    /// Absorbs one sample; `true` on a detection edge.
+    pub fn update(&mut self, x: f64) -> bool {
+        match self {
+            Detector::PageHinkley(d) => d.update(x),
+            Detector::Cusum(d) => d.update(x),
+        }
+    }
+
+    /// The current test statistic.
+    pub fn statistic(&self) -> f64 {
+        match self {
+            Detector::PageHinkley(d) => d.statistic(),
+            Detector::Cusum(d) => d.statistic(),
+        }
+    }
+
+    /// Forgets all absorbed history.
+    pub fn reset(&mut self) {
+        match self {
+            Detector::PageHinkley(d) => d.reset(),
+            Detector::Cusum(d) => d.reset(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A flat series, then a level shift.
+    fn shifted(flat: usize, shift: usize, lo: f64, hi: f64) -> Vec<f64> {
+        let mut v = vec![lo; flat];
+        v.resize(flat + shift, hi);
+        v
+    }
+
+    #[test]
+    fn page_hinkley_flags_level_shift_not_noise() {
+        let mut ph = PageHinkley::new(0.05, 5.0);
+        let mut detections = Vec::new();
+        for (i, &x) in shifted(60, 40, 1.0, 3.0).iter().enumerate() {
+            if ph.update(x) {
+                detections.push(i);
+            }
+        }
+        assert!(!detections.is_empty(), "shift never detected");
+        assert!(
+            detections[0] >= 60,
+            "detected at {} inside the flat phase",
+            detections[0]
+        );
+    }
+
+    #[test]
+    fn cusum_flags_level_shift_not_noise() {
+        let mut cs = Cusum::new(0.2, 3.0, 20);
+        let mut detections = Vec::new();
+        for (i, &x) in shifted(60, 40, 1.0, 2.0).iter().enumerate() {
+            if cs.update(x) {
+                detections.push(i);
+            }
+        }
+        assert!(!detections.is_empty(), "shift never detected");
+        assert!(
+            detections[0] >= 60,
+            "detected at {} inside the flat phase",
+            detections[0]
+        );
+    }
+
+    #[test]
+    fn detectors_rearm_after_detection() {
+        // Two shifts, each from a fresh baseline the detector relearns.
+        let mut series = shifted(60, 40, 1.0, 4.0);
+        series.extend(shifted(60, 40, 4.0, 9.0));
+        let mut ph = PageHinkley::new(0.05, 5.0);
+        let hits = series.iter().filter(|&&x| ph.update(x)).count();
+        assert!(hits >= 2, "only {hits} detections across two shifts");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let series = shifted(50, 50, 2.0, 5.0);
+        let run = |mut d: Detector| -> (Vec<usize>, f64) {
+            let hits = series
+                .iter()
+                .enumerate()
+                .filter(|(_, &x)| d.update(x))
+                .map(|(i, _)| i)
+                .collect();
+            (hits, d.statistic())
+        };
+        let a = run(Detector::PageHinkley(PageHinkley::new(0.01, 8.0)));
+        let b = run(Detector::PageHinkley(PageHinkley::new(0.01, 8.0)));
+        assert_eq!(a, b);
+        let a = run(Detector::Cusum(Cusum::new(0.1, 4.0, 10)));
+        let b = run(Detector::Cusum(Cusum::new(0.1, 4.0, 10)));
+        assert_eq!(a, b);
+    }
+}

@@ -1,8 +1,9 @@
-//! Snapshot-schema compatibility: schema 2 is a strict superset of
-//! schema 1. Consumers keyed on the v1 fields (`schema`, `counters`,
-//! `gauges`, `spans`, `events`) must keep working unchanged; the v2
-//! additions (`histograms`, `tree`) only append. A bump to `schema`
-//! (see DESIGN.md, "Metrics snapshot schema") is required whenever an
+//! Snapshot-schema compatibility: each schema version is a strict
+//! superset of the previous one. Consumers keyed on the v1 fields
+//! (`schema`, `counters`, `gauges`, `spans`, `events`) must keep
+//! working unchanged; the v2 additions (`histograms`, `tree`) and the
+//! v3 addition (`gauge_seq`) only append. A bump to `schema` (see
+//! DESIGN.md, "Metrics snapshot schema") is required whenever an
 //! existing key changes shape — this test is the tripwire.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
@@ -25,7 +26,7 @@ fn v1_keys_and_shapes_are_unchanged() {
     // The v1 field set, in the v1 order, with the v1 value shapes.
     assert!(json.starts_with(&format!("{{\n  \"schema\": {SNAPSHOT_SCHEMA},")));
     assert_eq!(
-        SNAPSHOT_SCHEMA, 2,
+        SNAPSHOT_SCHEMA, 3,
         "bumping the schema? update DESIGN.md and this test"
     );
     assert!(json.contains("\"counters\": {"));
@@ -37,8 +38,11 @@ fn v1_keys_and_shapes_are_unchanged() {
     assert!(json.contains("\"count\": 1, \"total_ns\": "));
     assert!(json.contains("\"events\": ["));
     assert!(json.contains("\"name\": \"guard.trip\", \"detail\": \"deadline\""));
+    // v3: every gauge carries a write ordinal, as a plain integer map.
+    assert!(json.contains("\"gauge_seq\": {"));
+    assert!(json.contains("\"assoc.mem.ck_bytes\": 1"));
 
-    // v2 only appends new keys, after the v1 ones.
+    // Later versions only append new keys, after the earlier ones.
     let order: Vec<usize> = [
         "\"schema\"",
         "\"counters\"",
@@ -47,6 +51,7 @@ fn v1_keys_and_shapes_are_unchanged() {
         "\"events\"",
         "\"histograms\"",
         "\"tree\"",
+        "\"gauge_seq\"",
     ]
     .iter()
     .map(|k| {
@@ -72,10 +77,23 @@ fn empty_snapshot_keeps_every_top_level_key() {
         "events",
         "histograms",
         "tree",
+        "gauge_seq",
     ] {
         assert!(
             json.contains(&format!("\"{key}\"")),
             "empty snapshot must still carry \"{key}\": {json}"
         );
     }
+}
+
+#[test]
+fn gauge_seq_names_match_gauges() {
+    let rec = InMemoryRecorder::new();
+    let obs = Obs::new(&rec);
+    obs.gauge("stream.kmeans.inertia", 3.0);
+    obs.gauge_max("serve.queue.depth_peak", 7.0);
+    let snap = rec.snapshot();
+    let gauges: Vec<&String> = snap.gauges.keys().collect();
+    let seqs: Vec<&String> = snap.gauge_seq.keys().collect();
+    assert_eq!(gauges, seqs, "gauge_seq must shadow the gauge key set");
 }

@@ -1,0 +1,175 @@
+//! Property tests for the `dm_obs::watch` alert state machine: for
+//! *arbitrary* breach/clear sequences and durations the machine only
+//! ever takes legal edges, never fires without a sustained breach,
+//! never resolves without a sustained clear (the anti-flap
+//! hysteresis), and replays deterministically — the invariants E17
+//! gates at 0% and the serving reactions (degrade/refresh) rely on.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dm_obs::watch::{
+    AlertState, Clock, Condition, ManualClock, RuleSet, SloRule, Transition, Watcher,
+};
+use dm_obs::{InMemoryRecorder, Obs, Recorder};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Evaluation cadence: one tick per series element, 100 ms apart.
+const TICK_MS: u64 = 100;
+
+fn gauge_rule(for_ms: u64, clear_for_ms: u64) -> RuleSet {
+    RuleSet::new(vec![SloRule::new(
+        "props-level",
+        Condition::GaugeAbove {
+            metric: "props.level".into(),
+            max: 5.0,
+        },
+    )
+    .for_ms(for_ms)
+    .clear_for_ms(clear_for_ms)])
+}
+
+/// Drives one boolean breach series through a fresh watcher (breach ->
+/// gauge 9.0, clear -> gauge 1.0) and returns the state after each tick
+/// plus the edges each tick produced. Tick `i` runs at `i * TICK_MS`.
+fn drive(
+    breaches: &[bool],
+    for_ms: u64,
+    clear_for_ms: u64,
+) -> (Vec<AlertState>, Vec<Vec<Transition>>) {
+    let clock = Arc::new(ManualClock::new(0));
+    let mut w = Watcher::new(
+        gauge_rule(for_ms, clear_for_ms),
+        10_000,
+        clock.clone() as Arc<dyn Clock>,
+    );
+    let source = InMemoryRecorder::new();
+    let sink = InMemoryRecorder::new();
+    let obs = Obs::new(&sink);
+    let mut states = Vec::with_capacity(breaches.len());
+    let mut per_tick = Vec::with_capacity(breaches.len());
+    for &b in breaches {
+        source.gauge("props.level", if b { 9.0 } else { 1.0 });
+        per_tick.push(w.tick(&source.snapshot(), &obs));
+        states.push(w.statuses()[0].state);
+        clock.advance(TICK_MS);
+    }
+    (states, per_tick)
+}
+
+/// The only edges the machine may take (in particular: `Pending` can
+/// never skip straight to `Resolved`, and `Firing` can never fall
+/// straight back to `Ok`).
+fn legal(from: AlertState, to: AlertState) -> bool {
+    matches!(
+        (from, to),
+        (AlertState::Ok, AlertState::Pending)
+            | (AlertState::Pending, AlertState::Firing)
+            | (AlertState::Pending, AlertState::Ok)
+            | (AlertState::Firing, AlertState::Resolved)
+            | (AlertState::Resolved, AlertState::Pending)
+            | (AlertState::Resolved, AlertState::Ok)
+    )
+}
+
+proptest! {
+    /// Under any breach sequence and any durations: at most one edge
+    /// per tick, every edge is legal, every edge is justified by the
+    /// breach history (firing needs a breach run covering `for_ms`,
+    /// resolving needs a clean run covering `clear_for_ms`), and the
+    /// status state always equals the fold of the edges.
+    #[test]
+    fn every_edge_is_legal_and_justified(
+        breaches in prop::collection::vec((0u8..2).prop_map(|b| b == 1), 1..60),
+        for_ticks in 0u64..4,
+        clear_ticks in 0u64..4,
+    ) {
+        let (states, per_tick) = drive(&breaches, for_ticks * TICK_MS, clear_ticks * TICK_MS);
+        let mut state = AlertState::Ok;
+        for (i, edges) in per_tick.iter().enumerate() {
+            prop_assert!(edges.len() <= 1, "tick {i} took {} edges", edges.len());
+            if let Some(t) = edges.first() {
+                prop_assert_eq!(t.from, state, "edge at tick {} left the wrong state", i);
+                prop_assert!(legal(t.from, t.to), "illegal edge {:?} -> {:?}", t.from, t.to);
+                prop_assert_eq!(t.at_ms, i as u64 * TICK_MS);
+                match t.to {
+                    // Entering Pending needs a breach *now*.
+                    AlertState::Pending => prop_assert!(breaches[i]),
+                    // Firing needs the breach held for the whole
+                    // for_ms run ending now.
+                    AlertState::Firing => {
+                        let run = i.saturating_sub(for_ticks as usize)..=i;
+                        for (j, &b) in breaches.iter().enumerate() {
+                            prop_assert!(
+                                b || !run.contains(&j),
+                                "fired at tick {i} over a clean tick {j}"
+                            );
+                        }
+                    }
+                    // Resolving needs the clear held for the whole
+                    // clear_for_ms run ending now: the hysteresis.
+                    AlertState::Resolved => {
+                        let run = i.saturating_sub(clear_ticks as usize)..=i;
+                        for (j, &b) in breaches.iter().enumerate() {
+                            prop_assert!(
+                                !b || !run.contains(&j),
+                                "resolved at tick {i} over a breach tick {j}"
+                            );
+                        }
+                    }
+                    AlertState::Ok => prop_assert!(!breaches[i]),
+                }
+                state = t.to;
+            }
+            prop_assert_eq!(states[i], state, "status diverged from the edge fold at tick {}", i);
+        }
+    }
+
+    /// No breach, no transition: a clean series leaves the machine in
+    /// `Ok` forever and emits zero edges.
+    #[test]
+    fn no_transition_without_a_breach(len in 1usize..80, for_ticks in 0u64..4, clear_ticks in 0u64..4) {
+        let series = vec![false; len];
+        let (states, per_tick) = drive(&series, for_ticks * TICK_MS, clear_ticks * TICK_MS);
+        prop_assert!(states.iter().all(|s| *s == AlertState::Ok));
+        prop_assert!(per_tick.iter().all(Vec::is_empty));
+    }
+
+    /// Anti-flap hysteresis: once firing, clean runs shorter than
+    /// `clear_for_ms` — no matter how they alternate with fresh
+    /// breaches — never resolve the alert. It stays `Firing` through
+    /// the whole oscillation.
+    #[test]
+    fn hysteresis_prevents_flapping(
+        runs in prop::collection::vec((1usize..3, 1usize..4), 1..10),
+        clear_ticks in 3u64..6,
+    ) {
+        // Two breach ticks walk Ok -> Pending -> Firing (for_ms = 0),
+        // then oscillate: every clean run is at most 2 ticks, strictly
+        // shorter than the >= 3-tick clear requirement.
+        let mut series = vec![true, true];
+        for &(clean_len, breach_len) in &runs {
+            series.extend(vec![false; clean_len]);
+            series.extend(vec![true; breach_len]);
+        }
+        let (states, _) = drive(&series, 0, clear_ticks * TICK_MS);
+        prop_assert_eq!(states[1], AlertState::Firing);
+        for (i, s) in states.iter().enumerate().skip(1) {
+            prop_assert_eq!(*s, AlertState::Firing, "flapped out of Firing at tick {}", i);
+        }
+    }
+
+    /// Replay determinism: the same series under the same durations
+    /// produces bit-identical edge sequences (what lets E17 gate
+    /// transition counts at 0%).
+    #[test]
+    fn replay_is_deterministic(
+        breaches in prop::collection::vec((0u8..2).prop_map(|b| b == 1), 1..60),
+        for_ticks in 0u64..4,
+        clear_ticks in 0u64..4,
+    ) {
+        let a = drive(&breaches, for_ticks * TICK_MS, clear_ticks * TICK_MS);
+        let b = drive(&breaches, for_ticks * TICK_MS, clear_ticks * TICK_MS);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -60,6 +60,7 @@ mod models;
 mod queue;
 mod server;
 mod ticket;
+pub mod watch;
 
 pub use api::{
     Endpoint, ModelKind, Recommendation, Reply, Request, ServeError, ServeResponse, ServeResult,
@@ -70,6 +71,7 @@ pub use loadgen::{LoadGenConfig, LoadReport, RequestMix};
 pub use models::ModelSet;
 pub use server::{ServeConfig, Server};
 pub use ticket::Ticket;
+pub use watch::WatchPolicy;
 
 #[cfg(feature = "failpoints")]
 pub use server::ChaosConfig;

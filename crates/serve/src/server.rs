@@ -86,7 +86,7 @@ struct Job {
     seq: u64,
 }
 
-struct Shared {
+pub(crate) struct Shared {
     queue: AdmissionQueue<Job>,
     /// The served bundle, swappable in place: workers snapshot the
     /// `Arc` per job, so a [`Server::refresh_artifact`] never blocks
@@ -100,7 +100,7 @@ struct Shared {
 }
 
 impl Shared {
-    fn obs(&self) -> Obs<'_> {
+    pub(crate) fn obs(&self) -> Obs<'_> {
         match self.recorder.as_deref() {
             Some(rec) => Obs::new(rec),
             None => Obs::noop(),
@@ -115,9 +115,15 @@ impl Shared {
 /// A running server. Dropping it without [`Server::shutdown`] closes
 /// the queue and detaches the workers; prefer an explicit shutdown.
 pub struct Server {
-    shared: Arc<Shared>,
+    pub(crate) shared: Arc<Shared>,
     config: ServeConfig,
     handles: Mutex<Vec<JoinHandle<()>>>,
+    /// The attached watcher, if [`Server::install_watch`] was called.
+    pub(crate) watch: Mutex<Option<crate::watch::AttachedWatch>>,
+    /// Work-unit cap applied to every submission while the watcher has
+    /// an SLO alert firing and the policy asks for degradation
+    /// (`0` = no cap). See [`crate::watch::WatchPolicy`].
+    pub(crate) degrade_cap: AtomicU64,
 }
 
 /// What `build` threads through for fault injection: the real knobs
@@ -192,6 +198,8 @@ impl Server {
             shared,
             config,
             handles: Mutex::new(handles),
+            watch: Mutex::new(None),
+            degrade_cap: AtomicU64::new(0),
         }
     }
 
@@ -212,10 +220,17 @@ impl Server {
     pub fn submit_with(
         &self,
         request: Request,
-        budget: Budget,
+        mut budget: Budget,
         token: CancelToken,
     ) -> Result<Ticket, ServeError> {
         let obs = self.shared.obs();
+        // While the watcher has the degradation reaction engaged, cap
+        // every request's work budget so overload sheds load through
+        // the existing truncation tiers instead of queueing more of it.
+        let cap = self.degrade_cap.load(Ordering::SeqCst);
+        if cap > 0 {
+            budget.max_work = Some(budget.max_work.map_or(cap, |m| m.min(cap)));
+        }
         let (ticket, responder) = ticket_pair();
         let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed) + 1;
         let job = Job {
@@ -229,6 +244,7 @@ impl Server {
         match self.shared.queue.push(job) {
             Ok(depth) => {
                 obs.counter("serve.req.admitted", 1);
+                obs.gauge("serve.queue.depth", depth as f64);
                 obs.gauge_max("serve.queue.depth_peak", depth as f64);
                 Ok(ticket)
             }
@@ -331,6 +347,7 @@ fn run_job(shared: &Shared, job: Job) {
         seq,
     } = job;
     let obs = shared.obs();
+    obs.gauge("serve.queue.depth", shared.queue.depth() as f64);
     let waited = submitted.elapsed();
     obs.value("serve.queue.wait_ns", waited.as_nanos() as u64);
     // Charge the queue wait against the deadline: the guard measures

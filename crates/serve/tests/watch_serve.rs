@@ -1,0 +1,213 @@
+//! End-to-end watch integration: a server evaluating `dm_obs::watch`
+//! rules over its own recorder reacts the way the policy says — an
+//! overload alert engages (and later releases) the degradation cap,
+//! and a concept-drift alert republishes the model artifact. Every
+//! tick runs on a `ManualClock`, so each test is a deterministic
+//! transition script, not a timing race.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dm_core::cluster::KMeansModel;
+use dm_core::dataset::Matrix;
+use dm_core::obs::watch::{
+    AlertState, Condition, DetectorSpec, ManualClock, RuleKind, RuleSet, SloRule, Watcher,
+};
+use dm_core::obs::{InMemoryRecorder, Obs, Recorder};
+use dm_serve::{ModelSet, Request, ServeConfig, ServeError, Server, WatchPolicy};
+use std::sync::Arc;
+
+fn predict_req() -> Request {
+    Request::Predict {
+        model: dm_serve::ModelKind::Knn,
+        rows: vec![vec![0.1, 0.2]],
+    }
+}
+
+/// Overload scenario: a zero-worker, capacity-1 server sheds load, the
+/// shed-rate rule walks Ok → Pending → Firing (engaging the work cap),
+/// then — once the window slides past the burst — Resolved → Ok
+/// (releasing it).
+#[test]
+fn shed_rate_alert_engages_and_releases_degrade_cap() {
+    let recorder = Arc::new(InMemoryRecorder::new());
+    let config = ServeConfig {
+        workers: 0,
+        queue_capacity: 1,
+        default_deadline: None,
+    };
+    let server = Server::start_recorded(
+        ModelSet::demo(7).unwrap(),
+        config,
+        recorder.clone() as Arc<dyn Recorder>,
+    );
+
+    let clock = Arc::new(ManualClock::new(0));
+    let rule = SloRule::new(
+        "shed-rate",
+        Condition::RatioAbove {
+            numerator: "serve.shed.queue_full".into(),
+            denominators: vec!["serve.req.admitted".into(), "serve.shed.queue_full".into()],
+            max: 0.5,
+        },
+    )
+    .for_ms(100)
+    .clear_for_ms(100);
+    let watcher = Watcher::new(RuleSet::new(vec![rule]), 300, clock.clone());
+    server.install_watch(
+        recorder.clone(),
+        watcher,
+        WatchPolicy {
+            degrade_max_work_while_firing: Some(64),
+            refresh_on_drift: None,
+        },
+    );
+
+    // Baseline tick before any traffic: nothing fires.
+    let report = server.watch_tick().unwrap();
+    assert!(report.transitions.is_empty());
+    assert_eq!(server.degrade_cap(), None);
+
+    // One admit, three sheds: shed rate 3/4 > 0.5.
+    let _held = server.submit(predict_req()).unwrap();
+    for _ in 0..3 {
+        match server.submit(predict_req()) {
+            Err(ServeError::Overloaded { .. }) => {}
+            Err(other) => panic!("expected shed, got {other:?}"),
+            Ok(_) => panic!("expected shed, got an admitted ticket"),
+        }
+    }
+
+    clock.advance(100); // t=100: breach observed -> Pending
+    let report = server.watch_tick().unwrap();
+    assert_eq!(report.transitions.len(), 1);
+    assert_eq!(report.transitions[0].to, AlertState::Pending);
+    assert_eq!(server.degrade_cap(), None, "pending must not degrade");
+
+    clock.advance(100); // t=200: held for for_ms -> Firing
+    let report = server.watch_tick().unwrap();
+    assert_eq!(report.transitions.len(), 1);
+    assert_eq!(report.transitions[0].to, AlertState::Firing);
+    assert_eq!(server.degrade_cap(), Some(64), "firing engages the cap");
+    let status = server.alert_status();
+    assert_eq!(status.len(), 1);
+    assert_eq!(status[0].rule, "shed-rate");
+    assert_eq!(status[0].state, AlertState::Firing);
+
+    clock.advance(100); // t=300: burst still inside the window
+    let report = server.watch_tick().unwrap();
+    assert!(report.transitions.is_empty());
+    assert_eq!(server.degrade_cap(), Some(64));
+
+    clock.advance(100); // t=400: window slid past the burst; first clean tick
+    let report = server.watch_tick().unwrap();
+    assert!(report.transitions.is_empty(), "hysteresis holds the alert");
+    assert_eq!(server.degrade_cap(), Some(64));
+
+    clock.advance(100); // t=500: clean for clear_for_ms -> Resolved, cap released
+    let report = server.watch_tick().unwrap();
+    assert_eq!(report.transitions.len(), 1);
+    assert_eq!(report.transitions[0].from, AlertState::Firing);
+    assert_eq!(report.transitions[0].to, AlertState::Resolved);
+    assert_eq!(server.degrade_cap(), None, "resolve releases the cap");
+
+    clock.advance(100); // t=600: Resolved -> Ok
+    let report = server.watch_tick().unwrap();
+    assert_eq!(report.transitions.len(), 1);
+    assert_eq!(report.transitions[0].to, AlertState::Ok);
+
+    let snap = recorder.snapshot();
+    assert_eq!(snap.counters.get("serve.watch.degrade.engaged"), Some(&1));
+    assert_eq!(snap.counters.get("serve.watch.degrade.released"), Some(&1));
+    assert!(snap.counters.get("watch.alert.transitions").copied() >= Some(4));
+
+    let _ = server.shutdown();
+}
+
+/// Drift scenario: a streaming gauge shifts distribution, the
+/// Page–Hinkley rule fires, and the policy's refresh closure
+/// republishes the kmeans artifact through `refresh_artifact`.
+#[test]
+fn drift_alert_triggers_artifact_refresh() {
+    let recorder = Arc::new(InMemoryRecorder::new());
+    let server = Server::start_recorded(
+        ModelSet::demo(7).unwrap(),
+        ServeConfig::default(),
+        recorder.clone() as Arc<dyn Recorder>,
+    );
+
+    let replacement =
+        KMeansModel::from_centroids(Matrix::from_vec(vec![42.0, 42.0], 1, 2).unwrap()).unwrap();
+    let refreshed = replacement.clone();
+
+    let clock = Arc::new(ManualClock::new(0));
+    let rule = SloRule::new(
+        "inertia-drift",
+        Condition::Drift {
+            metric: "stream.kmeans.inertia".into(),
+            detector: DetectorSpec::PageHinkley {
+                delta: 0.05,
+                lambda: 5.0,
+            },
+            hold_ms: None,
+        },
+    );
+    let watcher = Watcher::new(RuleSet::new(vec![rule]), 1_000, clock.clone());
+    server.install_watch(
+        recorder.clone(),
+        watcher,
+        WatchPolicy {
+            degrade_max_work_while_firing: None,
+            refresh_on_drift: Some(Box::new(move |m| m.with_kmeans(refreshed.clone()))),
+        },
+    );
+
+    let obs = Obs::new(&*recorder);
+    let mut fired = false;
+    // Flat regime: inertia hovers at 1.0; nothing may fire.
+    for _ in 0..30 {
+        obs.gauge("stream.kmeans.inertia", 1.0);
+        clock.advance(100);
+        let report = server.watch_tick().unwrap();
+        assert!(report.transitions.is_empty(), "no drift in the flat regime");
+    }
+    // Shifted regime: inertia jumps to 8.0; the detector must fire
+    // within a few samples.
+    for _ in 0..20 {
+        obs.gauge("stream.kmeans.inertia", 8.0);
+        clock.advance(100);
+        let report = server.watch_tick().unwrap();
+        if report
+            .transitions
+            .iter()
+            .any(|t| t.kind == RuleKind::Drift && t.to == AlertState::Firing)
+        {
+            fired = true;
+            break;
+        }
+    }
+    assert!(fired, "Page-Hinkley never fired on an 8x inertia shift");
+
+    let served = server.models();
+    assert_eq!(
+        served.kmeans().unwrap().centroids.as_slice(),
+        replacement.centroids.as_slice(),
+        "firing drift alert must republish the artifact"
+    );
+    let snap = recorder.snapshot();
+    assert_eq!(snap.counters.get("serve.watch.refresh.on_drift"), Some(&1));
+    assert_eq!(snap.counters.get("serve.artifact.refreshed"), Some(&1));
+    assert!(snap.counters.get("watch.drift.detections").copied() >= Some(1));
+
+    let _ = server.shutdown();
+}
+
+/// Without an installed watcher the hooks are inert: ticking is a
+/// no-op, the status API is empty, no cap is applied.
+#[test]
+fn watch_hooks_are_inert_until_installed() {
+    let server = Server::start(ModelSet::demo(7).unwrap(), ServeConfig::default());
+    assert!(server.watch_tick().is_none());
+    assert!(server.alert_status().is_empty());
+    assert_eq!(server.degrade_cap(), None);
+    let _ = server.shutdown();
+}

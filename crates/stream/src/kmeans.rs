@@ -35,6 +35,7 @@ pub struct StreamKMeans {
     pending: Vec<Vec<f64>>,
     seen: u64,
     flushes: u64,
+    last_inertia: Option<f64>,
 }
 
 /// The complete engine state, for equivalence tests: two engines that
@@ -53,6 +54,9 @@ pub struct KMeansSnapshot {
     pub seen: u64,
     /// Batch flushes performed.
     pub flushes: u64,
+    /// Assignment inertia of the most recent flush (see
+    /// [`StreamKMeans::last_inertia`]).
+    pub last_inertia: Option<f64>,
 }
 
 impl StreamKMeans {
@@ -78,6 +82,7 @@ impl StreamKMeans {
             pending: Vec::new(),
             seen: 0,
             flushes: 0,
+            last_inertia: None,
         })
     }
 
@@ -110,6 +115,15 @@ impl StreamKMeans {
         self.flushes
     }
 
+    /// Sum of squared distances from the most recent flushed batch to
+    /// its assigned (pre-update) centroids — the per-flush inertia
+    /// series concept-drift detectors watch. `None` before the first
+    /// flush. Bit-identical across thread policies: per-chunk partial
+    /// sums combine in chunk order.
+    pub fn last_inertia(&self) -> Option<f64> {
+        self.last_inertia
+    }
+
     /// Current centroids (may be fewer than `k` before the stream has
     /// delivered `k` records).
     pub fn centroids(&self) -> &[Vec<f64>] {
@@ -124,6 +138,7 @@ impl StreamKMeans {
             pending: self.pending.clone(),
             seen: self.seen,
             flushes: self.flushes,
+            last_inertia: self.last_inertia,
         }
     }
 
@@ -143,31 +158,33 @@ impl StreamKMeans {
         let rows = self.pending.len();
         let dims = self.centroids.first().map_or(0, Vec::len);
         let k = self.centroids.len();
-        let (sums, counts) = par_range_map_reduce(
+        let (sums, counts, inertia) = par_range_map_reduce(
             self.parallelism,
             Chunking::Fixed(ROW_CHUNK),
             rows,
-            || (vec![vec![0.0f64; dims]; k], vec![0u64; k]),
+            || (vec![vec![0.0f64; dims]; k], vec![0u64; k], 0.0f64),
             |range| {
                 let mut sums = vec![vec![0.0f64; dims]; k];
                 let mut counts = vec![0u64; k];
+                let mut inertia = 0.0f64;
                 for i in range {
                     let p = &self.pending[i];
-                    let best = self
+                    let (best, best_d) = self
                         .centroids
                         .iter()
+                        .map(|c| euclidean_sq(c, p))
                         .enumerate()
-                        .min_by(|(_, a), (_, b)| euclidean_sq(a, p).total_cmp(&euclidean_sq(b, p)))
-                        .map(|(c, _)| c)
-                        .unwrap_or(0);
+                        .min_by(|(_, a), (_, b)| a.total_cmp(b))
+                        .unwrap_or((0, 0.0));
                     for (s, &x) in sums[best].iter_mut().zip(p) {
                         *s += x;
                     }
                     counts[best] += 1;
+                    inertia += best_d;
                 }
-                (sums, counts)
+                (sums, counts, inertia)
             },
-            |(mut asums, mut acounts), (bsums, bcounts)| {
+            |(mut asums, mut acounts, ai), (bsums, bcounts, bi)| {
                 for (a, b) in asums.iter_mut().zip(&bsums) {
                     for (x, &y) in a.iter_mut().zip(b) {
                         *x += y;
@@ -176,7 +193,7 @@ impl StreamKMeans {
                 for (a, &b) in acounts.iter_mut().zip(&bcounts) {
                     *a += b;
                 }
-                (asums, acounts)
+                (asums, acounts, ai + bi)
             },
         );
         for c in 0..k {
@@ -193,6 +210,7 @@ impl StreamKMeans {
         }
         self.pending.clear();
         self.flushes += 1;
+        self.last_inertia = Some(inertia);
         rows as u64
     }
 }
@@ -236,6 +254,9 @@ impl StreamEngine for StreamKMeans {
         obs.counter("stream.kmeans.flushes", self.flushes);
         obs.gauge("stream.kmeans.centroids", self.centroids.len() as f64);
         obs.gauge("stream.kmeans.pending", self.pending.len() as f64);
+        if let Some(inertia) = self.last_inertia {
+            obs.gauge("stream.kmeans.inertia", inertia);
+        }
     }
 }
 
@@ -324,6 +345,63 @@ mod tests {
             .predict(&Matrix::from_rows(&[vec![0.0, 0.0], vec![100.0, 100.0]]).unwrap())
             .unwrap();
         assert_ne!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn inertia_tracks_each_flush_and_matches_across_parallelism() {
+        let mut seq = StreamKMeans::new(2, 8).unwrap();
+        let mut par = StreamKMeans::new(2, 8)
+            .unwrap()
+            .with_parallelism(Parallelism::Threads(2));
+        assert_eq!(seq.last_inertia(), None);
+        for p in points(2 + 64) {
+            seq.insert(&p);
+            par.insert(&p);
+        }
+        let i_seq = seq.last_inertia().unwrap();
+        let i_par = par.last_inertia().unwrap();
+        assert!(i_seq.is_finite() && i_seq >= 0.0);
+        assert_eq!(i_seq.to_bits(), i_par.to_bits(), "seq/par inertia differs");
+        assert_eq!(seq.snapshot().last_inertia, Some(i_seq));
+    }
+
+    #[test]
+    fn inertia_jumps_when_the_distribution_shifts() {
+        // Warm on one blob, then shift the stream far away: the first
+        // post-shift flush assigns distant points to stale centroids,
+        // so the inertia series spikes — the signal drift rules watch.
+        let mut e = StreamKMeans::new(1, 10).unwrap();
+        for _ in 0..51 {
+            e.insert(&vec![0.0, 0.0]);
+        }
+        let calm = e.last_inertia().unwrap();
+        for _ in 0..10 {
+            e.insert(&vec![100.0, 100.0]);
+        }
+        let shifted = e.last_inertia().unwrap();
+        assert!(
+            shifted > calm + 1000.0,
+            "shift invisible: calm {calm}, shifted {shifted}"
+        );
+    }
+
+    #[test]
+    fn observe_emits_inertia_gauge_after_first_flush() {
+        use dm_obs::InMemoryRecorder;
+        let rec = InMemoryRecorder::new();
+        let obs = Obs::new(&rec);
+        let mut e = StreamKMeans::new(2, 4).unwrap();
+        e.observe(&obs);
+        assert_eq!(rec.snapshot().gauge("stream.kmeans.inertia"), None);
+        for p in points(2 + 4) {
+            e.insert(&p);
+        }
+        e.observe(&obs);
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.gauge("stream.kmeans.inertia"),
+            Some(e.last_inertia().unwrap())
+        );
     }
 
     #[test]

@@ -76,7 +76,10 @@ pub trait StreamEngine {
     /// on [`dm_guard::RunStatus::Truncated`] the caller can resume by
     /// replaying the remaining suffix (here or on a fresh guard).
     ///
-    /// Emits `stream.<name>.inserts` and `stream.<name>.work` counters.
+    /// Emits `stream.<name>.inserts` and `stream.<name>.work` counters,
+    /// then the engine's own state gauges ([`StreamEngine::observe`]) —
+    /// so every governed batch refreshes the series (inertia, leaf
+    /// entries, ...) the `dm_obs::watch` drift detectors consume.
     fn insert_governed(&mut self, records: &[Self::Record], guard: &Guard) -> Outcome<usize> {
         let mut absorbed = 0usize;
         let mut work = 0u64;
@@ -94,6 +97,7 @@ pub trait StreamEngine {
                 absorbed as u64,
             );
             obs.counter_fmt(format_args!("stream.{}.work", self.name()), work);
+            self.observe(&obs);
         }
         guard.outcome(absorbed)
     }
