@@ -1,9 +1,11 @@
-//! `dm` — the workspace's operational command surface. Two subcommand
+//! `dm` — the workspace's operational command surface. Three subcommand
 //! families: `dm ledger`, which operates on run-ledger records produced
 //! by `experiments --ledger FILE` (see `dm_obs::ledger` and `DESIGN.md`
-//! "Run ledger"), and `dm watch`, which replays metric snapshots
-//! through an SLO/drift rule file (see `dm_obs::watch` and the README
-//! "Watching & alerting").
+//! "Run ledger"), `dm watch`, which replays metric snapshots through an
+//! SLO/drift rule file (see `dm_obs::watch` and the README "Watching &
+//! alerting"), and `dm trace`, which lists, pretty-prints and exports
+//! request traces dumped from a tail-sampled `TraceStore` (see
+//! `dm_obs::trace` and the README "Request tracing").
 //!
 //! ```text
 //! dm ledger show RECORD                # one-line-per-experiment summary
@@ -19,21 +21,31 @@
 //!     [--tick MS]                      #   simulated ms between snapshots (default 1000)
 //!     [--prom FILE]                    #   write the watcher's own metrics as
 //!                                      #   Prometheus text exposition
+//! dm trace list FILE                   # retained traces, one line each
+//!     [--outcome LABEL]                #   keep only this outcome (shed reason or
+//!                                      #   finish label, e.g. queue_full, panicked)
+//!     [--endpoint LABEL]               #   keep only this endpoint
+//!     [--anomalous]                    #   keep only always-retained traces
+//! dm trace show FILE ID                # one request's full lifecycle
+//! dm trace export FILE ID [--out F]    # the lifecycle as a chrome trace
 //! ```
 //!
 //! Exit codes: 0 = pass / no error, 1 = gate violations (`ledger
-//! check`) or at least one alert still firing after the last snapshot
-//! (`watch`), 2 = usage or I/O error. `check` prints the human report
-//! to stdout; with `--update-baseline` it *rewrites the baseline file*
-//! with the current record instead of failing, which is the documented
-//! way to land an intentional counter change (commit the refreshed
-//! baseline together with the code that moved it). `watch` replays the
+//! check`), at least one alert still firing after the last snapshot
+//! (`watch`), or an id that is not in the trace file (`trace
+//! show`/`export`), 2 = usage or I/O error (including a malformed
+//! trace file). `check` prints the human report to stdout; with
+//! `--update-baseline` it *rewrites the baseline file* with the
+//! current record instead of failing, which is the documented way to
+//! land an intentional counter change (commit the refreshed baseline
+//! together with the code that moved it). `watch` replays the
 //! snapshot files against a `ManualClock` advanced `--tick` per file,
 //! so the same inputs always produce the same transition log.
 
 use dm_core::obs::ledger::{check, diff, write_atomic, CheckPolicy, RunRecord};
+use dm_core::obs::trace::{chrome_trace_request, render_list, render_show, traces_from_json};
 use dm_core::obs::watch::{AlertState, ManualClock, RuleSet, WatchReport, Watcher};
-use dm_core::obs::{export, InMemoryRecorder, Obs, Snapshot};
+use dm_core::obs::{export, InMemoryRecorder, Obs, Snapshot, TraceId};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -44,12 +56,15 @@ fn emit(s: &str) {
     let _ = std::io::stdout().write_all(s.as_bytes());
 }
 
-const USAGE: &str = "usage: dm <ledger | watch> ...\n\
+const USAGE: &str = "usage: dm <ledger | watch | trace> ...\n\
   dm ledger show RECORD\n\
   dm ledger diff A B [--json]\n\
   dm ledger check --baseline BASE CURRENT [--band N] [--no-noisy] [--subset] \
 [--json-report FILE] [--update-baseline]\n\
-  dm watch RULES SNAPSHOT... [--window MS] [--tick MS] [--prom FILE]";
+  dm watch RULES SNAPSHOT... [--window MS] [--tick MS] [--prom FILE]\n\
+  dm trace list FILE [--outcome LABEL] [--endpoint LABEL] [--anomalous]\n\
+  dm trace show FILE ID\n\
+  dm trace export FILE ID [--out FILE]";
 
 fn main() {
     std::process::exit(real_main());
@@ -345,6 +360,134 @@ fn cmd_watch(args: &[String]) -> i32 {
     }
 }
 
+/// Reads and parses one trace dump (the `traces_to_json` format),
+/// mapping failures to a readable message and exit code 2.
+fn load_traces(path: &str) -> Result<Vec<dm_core::obs::trace::RequestTrace>, i32> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("cannot read trace file `{path}`: {e}");
+        2
+    })?;
+    traces_from_json(&text).map_err(|e| {
+        eprintln!("cannot parse trace file `{path}`: {e}");
+        2
+    })
+}
+
+/// Resolves an id argument against a parsed trace file. A well-formed
+/// id that simply isn't retained is a data outcome (exit 1), not a
+/// usage error.
+fn find_trace(traces: &[dm_core::obs::trace::RequestTrace], id_arg: &str) -> Result<usize, i32> {
+    let id = TraceId::from_hex(id_arg).ok_or_else(|| {
+        eprintln!("`{id_arg}` is not a trace id (expected 16 hex digits)\n{USAGE}");
+        2
+    })?;
+    traces.iter().position(|t| t.id == id).ok_or_else(|| {
+        eprintln!("trace {id} is not in this file (dropped by the sampler, or a different run?)");
+        1
+    })
+}
+
+fn cmd_trace(args: &[String]) -> i32 {
+    let usage = |msg: &str| -> i32 {
+        eprintln!("{msg}\n{USAGE}");
+        2
+    };
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            let mut outcome: Option<String> = None;
+            let mut endpoint: Option<String> = None;
+            let mut anomalous = false;
+            let mut positional: Vec<&str> = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--outcome" => match it.next() {
+                        Some(v) => outcome = Some(v.to_owned()),
+                        None => return usage("--outcome needs a label"),
+                    },
+                    "--endpoint" => match it.next() {
+                        Some(v) => endpoint = Some(v.to_owned()),
+                        None => return usage("--endpoint needs a label"),
+                    },
+                    "--anomalous" => anomalous = true,
+                    other if other.starts_with('-') => {
+                        return usage(&format!("unknown flag `{other}` for dm trace list"));
+                    }
+                    other => positional.push(other),
+                }
+            }
+            let [path] = positional.as_slice() else {
+                return usage("dm trace list needs exactly one trace file");
+            };
+            let traces = match load_traces(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let total = traces.len();
+            let kept: Vec<_> = traces
+                .into_iter()
+                .filter(|t| outcome.as_deref().is_none_or(|o| t.outcome() == o))
+                .filter(|t| endpoint.as_deref().is_none_or(|e| t.endpoint == e))
+                .filter(|t| !anomalous || t.is_anomalous())
+                .collect();
+            emit(&render_list(&kept));
+            if kept.len() != total {
+                eprintln!("[{} of {total} trace(s) match the filters]", kept.len());
+            }
+            0
+        }
+        Some("show") | Some("export") => {
+            let export = args[0] == "export";
+            let mut out: Option<String> = None;
+            let mut positional: Vec<&str> = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--out" if export => match it.next() {
+                        Some(v) => out = Some(v.to_owned()),
+                        None => return usage("--out needs a file path"),
+                    },
+                    other if other.starts_with('-') => {
+                        return usage(&format!("unknown flag `{other}` for dm trace {}", args[0]));
+                    }
+                    other => positional.push(other),
+                }
+            }
+            let [path, id_arg] = positional.as_slice() else {
+                return usage(&format!(
+                    "dm trace {} needs a trace file and a trace id",
+                    args[0]
+                ));
+            };
+            let traces = match load_traces(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let idx = match find_trace(&traces, id_arg) {
+                Ok(i) => i,
+                Err(code) => return code,
+            };
+            if export {
+                let rendered = chrome_trace_request(&traces[idx]);
+                match &out {
+                    Some(dest) => {
+                        if let Err(e) = std::fs::write(dest, rendered) {
+                            eprintln!("cannot write chrome trace `{dest}`: {e}");
+                            return 2;
+                        }
+                        eprintln!("[chrome trace written to {dest}]");
+                    }
+                    None => emit(&rendered),
+                }
+            } else {
+                emit(&render_show(&traces[idx]));
+            }
+            0
+        }
+        _ => usage("dm trace needs a verb: list, show or export"),
+    }
+}
+
 fn real_main() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
@@ -353,6 +496,9 @@ fn real_main() -> i32 {
     }
     if args[0] == "watch" {
         return cmd_watch(&args[1..]);
+    }
+    if args[0] == "trace" {
+        return cmd_trace(&args[1..]);
     }
     if args[0] != "ledger" {
         eprintln!("unknown subcommand `{}`\n{USAGE}", args[0]);

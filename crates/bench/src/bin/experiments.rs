@@ -1,7 +1,7 @@
 //! Regenerates the tables and figures of `DESIGN.md`'s experiment index.
 //!
 //! ```text
-//! experiments all                    # run everything (E1..E15, A1, A2)
+//! experiments all                    # run everything (E1..E18, A1, A2)
 //! experiments e1 e9                  # run a subset
 //! experiments --deadline-ms 5000 all # stop gracefully after ~5 s
 //! experiments --metrics out.json e1  # also dump recorded metric snapshots
@@ -51,7 +51,7 @@ use std::time::Instant;
 
 const USAGE: &str = "usage: experiments [--list] [--deadline-ms N] [--metrics FILE] \
      [--ledger FILE] [--trace FILE] [--folded FILE] [--prom FILE] [--progress] \
-     <all | e1..e15 a1 a2 ...>";
+     <all | e1..e18 a1 a2 ...>";
 
 /// The current git revision, for ledger provenance. Best effort: a
 /// missing `git` binary or a non-repo checkout degrades to "unknown".

@@ -13,7 +13,7 @@
 //! cargo run --release -p dm-bench --bin experiments -- all
 //! ```
 //!
-//! or a single experiment by id (`e1` … `e17`, `a1`, `a2`).
+//! or a single experiment by id (`e1` … `e18`, `a1`, `a2`).
 
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
@@ -24,12 +24,13 @@ pub mod seq_exp;
 pub mod serve_exp;
 pub mod stream_exp;
 pub mod table;
+pub mod trace_exp;
 pub mod watch_exp;
 
 /// All experiment ids, in order.
-pub const ALL_EXPERIMENTS: [&str; 19] = [
+pub const ALL_EXPERIMENTS: [&str; 20] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "a1", "a2",
+    "e16", "e17", "e18", "a1", "a2",
 ];
 
 /// Runs one experiment by id, returning its report (or the data error
@@ -70,6 +71,7 @@ pub fn run_governed(
         "e15" => serve_exp::e15_serving(guard),
         "e16" => stream_exp::e16_streaming(guard),
         "e17" => watch_exp::e17_watch(guard),
+        "e18" => trace_exp::e18_trace(guard),
         "a1" => assoc_exp::a1_hashtree_ablation(guard),
         "a2" => cluster_exp::a2_birch_ablation(guard),
         _ => return None,

@@ -55,6 +55,7 @@ pub fn e15_serving(guard: &Guard) -> Result<String, DataError> {
                 workers,
                 queue_capacity: 64,
                 default_deadline: None,
+                trace: None,
             },
         );
         let report = loadgen::run(
@@ -102,6 +103,7 @@ pub fn e15_serving(guard: &Guard) -> Result<String, DataError> {
                 workers: 1,
                 queue_capacity: 64,
                 default_deadline: None,
+                trace: None,
             },
         );
         let report = loadgen::run(
@@ -133,6 +135,7 @@ pub fn e15_serving(guard: &Guard) -> Result<String, DataError> {
                 workers: 0,
                 queue_capacity: 1,
                 default_deadline: None,
+                trace: None,
             },
         );
         let report = loadgen::run(

@@ -112,6 +112,7 @@ pub fn e17_watch(guard: &Guard) -> Result<String, DataError> {
                 workers: 0,
                 queue_capacity: 1,
                 default_deadline: None,
+                trace: None,
             },
             rec.clone() as Arc<dyn Recorder>,
         );
@@ -185,6 +186,7 @@ pub fn e17_watch(guard: &Guard) -> Result<String, DataError> {
                 workers: 1,
                 queue_capacity: 16,
                 default_deadline: None,
+                trace: None,
             },
             rec.clone() as Arc<dyn Recorder>,
         );
@@ -245,6 +247,7 @@ pub fn e17_watch(guard: &Guard) -> Result<String, DataError> {
                 workers: 1,
                 queue_capacity: 16,
                 default_deadline: None,
+                trace: None,
             },
             rec.clone() as Arc<dyn Recorder>,
         );

@@ -420,7 +420,7 @@ fn memory_gauges_cover_the_paper_structures() {
 /// ledgers diff and gate on these names across commits, so a rename is
 /// a baseline-breaking event — this test is the executable convention.
 fn assert_well_named(kind: &str, name: &str) {
-    const SUBSYSTEMS: [&str; 10] = [
+    const SUBSYSTEMS: [&str; 11] = [
         "assoc",
         "seq",
         "cluster",
@@ -431,6 +431,7 @@ fn assert_well_named(kind: &str, name: &str) {
         "experiment",
         "stream",
         "watch",
+        "trace",
     ];
     let ok_chars = name
         .chars()
@@ -619,6 +620,103 @@ fn watch_alert_and_drift_metrics_cover_the_registry() {
     for event in &snap.events {
         assert_well_named("event", &event.name);
     }
+}
+
+/// The tail sampler is a metric *producer* like the watcher: one
+/// retain, one sampled drop, one budget eviction and one pin must emit
+/// every `trace.*` name the DESIGN.md registry documents, and nothing
+/// off-convention. (The per-request `serve.request.queue_ns` /
+/// `serve.request.exec_ns` split is enforced end-to-end by
+/// `crates/serve/tests/trace_serve.rs`, which owns the serving path.)
+#[test]
+fn trace_store_metrics_cover_the_registry() {
+    use dm_core::obs::trace::{
+        RequestTrace, TraceConfig, TraceEvent, TraceEventKind, TraceId, TraceStore,
+    };
+    use dm_core::obs::Obs;
+
+    let make = |seq: u64, anomalous: bool| {
+        let mut events = vec![TraceEvent {
+            at_ns: 0,
+            kind: TraceEventKind::Submitted,
+        }];
+        if anomalous {
+            events.push(TraceEvent {
+                at_ns: 100,
+                kind: TraceEventKind::Shed {
+                    reason: "queue_full".into(),
+                },
+            });
+        } else {
+            events.push(TraceEvent {
+                at_ns: 100,
+                kind: TraceEventKind::Finished {
+                    outcome: "complete".into(),
+                },
+            });
+        }
+        RequestTrace {
+            id: TraceId::mint(7, seq),
+            seq,
+            endpoint: "predict".into(),
+            events,
+            queue_ns: 0,
+            exec_ns: 100,
+            total_ns: 100,
+            pinned: Vec::new(),
+        }
+    };
+
+    let rec = Arc::new(InMemoryRecorder::new());
+    let obs = Obs::new(&*rec);
+    // A budget two anomalous traces overflow, sampling off: the boring
+    // trace is dropped, the third shed evicts the first, the pin walks
+    // the survivors.
+    let budget = 2 * make(1, true).approx_bytes() + make(1, true).approx_bytes() / 2;
+    let store = TraceStore::new(
+        TraceConfig {
+            seed: 7,
+            byte_budget: budget,
+            sample_every: 0,
+            slowest_k: 0,
+            ..TraceConfig::default()
+        },
+        1,
+    );
+    assert!(!store.offer(0, make(1, false), &obs), "boring trace kept");
+    for seq in 2..=4 {
+        assert!(store.offer(0, make(seq, true), &obs), "shed {seq} dropped");
+    }
+    store.pin_recent("overload", &obs);
+
+    let snap = rec.snapshot();
+    assert_counters(
+        &snap,
+        &[
+            "trace.retained",
+            "trace.dropped",
+            "trace.evicted",
+            "trace.pinned",
+        ],
+    );
+    assert!(snap.gauge("trace.bytes").is_some_and(|v| v > 0.0));
+    for name in snap.counters.keys() {
+        assert_well_named("counter", name);
+    }
+    for name in snap.gauges.keys() {
+        assert_well_named("gauge", name);
+    }
+    let stats = store.stats();
+    assert_eq!(stats.retained, 3);
+    assert_eq!(stats.dropped, 1);
+    // The third shed forces one eviction; the pin's own byte overhead
+    // (rule-name strings) may force a second re-balance.
+    assert!(
+        (1..=2).contains(&stats.evicted),
+        "evicted {}",
+        stats.evicted
+    );
+    assert!(stats.bytes <= budget);
 }
 
 #[test]

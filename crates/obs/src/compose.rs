@@ -8,7 +8,7 @@
 //! (stderr by default) as they happen, which is what `--progress`
 //! rides.
 
-use crate::{Recorder, SpanId};
+use crate::{Recorder, SpanId, TraceId};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -107,6 +107,10 @@ impl Recorder for ProgressRecorder {
         self.inner.value(name, v);
     }
 
+    fn value_traced(&self, name: &str, v: u64, trace: TraceId) {
+        self.inner.value_traced(name, v, trace);
+    }
+
     fn span_ns(&self, name: &str, elapsed_ns: u64) {
         if self.narrate_span(name) {
             self.sink.line(&format!(
@@ -188,6 +192,11 @@ impl Recorder for TeeRecorder {
     fn value(&self, name: &str, v: u64) {
         self.primary.value(name, v);
         self.secondary.value(name, v);
+    }
+
+    fn value_traced(&self, name: &str, v: u64, trace: TraceId) {
+        self.primary.value_traced(name, v, trace);
+        self.secondary.value_traced(name, v, trace);
     }
 
     fn span_ns(&self, name: &str, elapsed_ns: u64) {

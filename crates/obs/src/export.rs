@@ -238,6 +238,9 @@ fn prom_f64(v: f64) -> String {
 /// Histograms use cumulative `le` buckets with bounds `2^i - 1` — the
 /// inclusive upper edge of each power-of-two bucket, so integer
 /// semantics are exact — plus `+Inf`, `_sum` and `_count` series.
+/// Buckets that carry an exemplar (a traced observation, see
+/// [`crate::Recorder::value_traced`]) append it in OpenMetrics
+/// exemplar syntax: `… {cum} # {trace_id="<16 hex>"} <value>`.
 /// Distinct dotted names that sanitize to the same Prometheus name are
 /// emitted once (first in sorted order wins).
 pub fn prometheus(snap: &Snapshot) -> String {
@@ -264,11 +267,16 @@ pub fn prometheus(snap: &Snapshot) -> String {
         if !seen.insert(n.clone()) {
             continue;
         }
+        let exemplars = snap.exemplars.get(name);
         let _ = writeln!(out, "# TYPE {n} histogram");
         let mut cum = 0u64;
         for (bucket, count) in h.nonzero_buckets() {
             cum += count;
-            let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", bucket_max(bucket));
+            let _ = write!(out, "{n}_bucket{{le=\"{}\"}} {cum}", bucket_max(bucket));
+            if let Some(e) = exemplars.and_then(|m| m.get(&bucket)) {
+                let _ = write!(out, " # {{trace_id=\"{:016x}\"}} {}", e.trace_id, e.value);
+            }
+            out.push('\n');
         }
         let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
         let _ = writeln!(out, "{n}_sum {}", h.sum);
@@ -284,15 +292,19 @@ mod tests {
 
     fn sample() -> Snapshot {
         let rec = InMemoryRecorder::new();
+        // Span durations are explicit: a live `obs.span` leaf can
+        // measure 0 ns under load, and folded_stacks rightly drops
+        // zero-self-time frames — the fixture must not depend on the
+        // clock's resolution.
+        let e = rec.span_begin("experiment.e1", SpanId::ROOT);
+        let p1 = rec.span_begin("assoc.apriori.pass1", e);
+        let s0 = rec.span_begin("par.shard0", p1);
+        rec.span_end(s0, "par.shard0", 100);
+        rec.span_end(p1, "assoc.apriori.pass1", 300);
+        let p2 = rec.span_begin("assoc.apriori.pass2", e);
+        rec.span_end(p2, "assoc.apriori.pass2", 200);
+        rec.span_end(e, "experiment.e1", 900);
         let obs = Obs::new(&rec);
-        {
-            let _e = obs.span("experiment.e1");
-            {
-                let _p = obs.span("assoc.apriori.pass1");
-                let _s = obs.span("par.shard0");
-            }
-            let _p2 = obs.span("assoc.apriori.pass2");
-        }
         obs.counter("assoc.apriori.passes", 2);
         obs.gauge("assoc.mem.db_bytes", 1024.0);
         obs.value("par.shard.items", 100);
@@ -416,29 +428,76 @@ mod tests {
         assert!(out.contains("par_shard_items_count 2\n"));
     }
 
+    /// Asserts one exposition line is well-formed, including the
+    /// optional OpenMetrics exemplar suffix on bucket lines.
+    fn lint_line(line: &str) {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap();
+            assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+            assert!(matches!(
+                parts.next(),
+                Some("counter" | "gauge" | "histogram")
+            ));
+            return;
+        }
+        // Split off an exemplar suffix: `<series> <value> # {trace_id="…"} <exemplar-value>`
+        let series_part = match line.split_once(" # ") {
+            Some((series, exemplar)) => {
+                let rest = exemplar
+                    .strip_prefix("{trace_id=\"")
+                    .unwrap_or_else(|| panic!("bad exemplar labels in {line}"));
+                let (id, rest) = rest.split_once("\"} ").expect("unterminated exemplar");
+                assert_eq!(id.len(), 16, "trace_id is 16 hex digits in {line}");
+                assert!(id.chars().all(|c| c.is_ascii_hexdigit()));
+                rest.parse::<f64>().expect("exemplar value parses");
+                series
+            }
+            None => line,
+        };
+        let (series, value) = series_part.rsplit_once(' ').unwrap();
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+            "bad value in {line}"
+        );
+        let name = series.split('{').next().unwrap();
+        assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "bad series name in {line}"
+        );
+    }
+
     #[test]
     fn prometheus_lint_every_line_well_formed() {
         for line in prometheus(&sample()).lines() {
-            if let Some(rest) = line.strip_prefix("# TYPE ") {
-                let mut parts = rest.split(' ');
-                let name = parts.next().unwrap();
-                assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
-                assert!(matches!(
-                    parts.next(),
-                    Some("counter" | "gauge" | "histogram")
-                ));
-            } else {
-                let (series, value) = line.rsplit_once(' ').unwrap();
-                assert!(
-                    value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
-                    "bad value in {line}"
-                );
-                let name = series.split('{').next().unwrap();
-                assert!(
-                    name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
-                    "bad series name in {line}"
-                );
-            }
+            lint_line(line);
+        }
+    }
+
+    #[test]
+    fn prometheus_buckets_carry_exemplars() {
+        use crate::TraceId;
+        let rec = InMemoryRecorder::new();
+        let obs = Obs::new(&rec);
+        obs.value_traced("serve.latency.predict_ns", 100, TraceId(0xDEAD_BEEF));
+        obs.value_traced("serve.latency.predict_ns", 900, TraceId(0xFEED));
+        let out = prometheus(&rec.snapshot());
+        assert!(
+            out.contains(
+                "serve_latency_predict_ns_bucket{le=\"127\"} 1 # {trace_id=\"00000000deadbeef\"} 100"
+            ),
+            "{out}"
+        );
+        assert!(
+            out.contains(
+                "serve_latency_predict_ns_bucket{le=\"1023\"} 2 # {trace_id=\"000000000000feed\"} 900"
+            ),
+            "{out}"
+        );
+        // +Inf / _sum / _count never carry exemplars.
+        assert!(out.contains("serve_latency_predict_ns_bucket{le=\"+Inf\"} 2\n"));
+        for line in out.lines() {
+            lint_line(line);
         }
     }
 }

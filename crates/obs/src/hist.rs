@@ -15,6 +15,21 @@ use std::fmt;
 /// Number of buckets: one for zero plus one per power of two of `u64`.
 pub const N_BUCKETS: usize = 65;
 
+/// A histogram exemplar: the most recent *traced* observation that
+/// landed in a bucket. Recorders keep one per (histogram, bucket) —
+/// last write wins — so an operator can jump from "the p99 bucket grew"
+/// straight to a concrete request trace. Exported in OpenMetrics
+/// exemplar syntax by [`crate::export::prometheus`] and serialized in
+/// snapshot schema 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Raw id of the trace whose observation landed here (the `u64`
+    /// behind [`crate::trace::TraceId`]).
+    pub trace_id: u64,
+    /// The exact observed value (the bucket only bounds it).
+    pub value: u64,
+}
+
 /// A mergeable power-of-two histogram with exact count and sum.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Histogram {

@@ -1442,7 +1442,7 @@ mod tests {
             parsed.get("truncated").and_then(Json::as_str),
             Some("wall-clock deadline exceeded")
         );
-        assert_eq!(parsed.get("schema").and_then(Json::as_u64), Some(3));
+        assert_eq!(parsed.get("schema").and_then(Json::as_u64), Some(4));
         assert_eq!(
             parsed
                 .get("counters")

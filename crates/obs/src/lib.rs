@@ -81,7 +81,7 @@
 //! let snap = rec.snapshot();
 //! assert_eq!(snap.counter("assoc.apriori.pass3.candidates"), Some(44));
 //! assert_eq!(snap.tree.len(), 1);
-//! assert!(snap.to_json().contains("\"schema\": 3"));
+//! assert!(snap.to_json().contains("\"schema\": 4"));
 //! ```
 
 #![warn(missing_docs)]
@@ -93,11 +93,13 @@ pub mod heap;
 pub mod hist;
 pub mod json;
 pub mod ledger;
+pub mod trace;
 pub mod watch;
 
 pub use compose::{ProgressRecorder, ProgressSink, StderrSink, TeeRecorder};
 pub use heap::HeapSize;
-pub use hist::Histogram;
+pub use hist::{Exemplar, Histogram};
+pub use trace::TraceId;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -109,7 +111,8 @@ use std::time::Instant;
 /// Version of the [`Snapshot`] JSON schema (the `"schema"` key). Bump
 /// it whenever a key is added, removed or its meaning changes, and
 /// record the change in `DESIGN.md` ("Metrics snapshot schema").
-pub const SNAPSHOT_SCHEMA: u32 = 3;
+/// Version 4 appended `exemplars`; readers accept 1..=4.
+pub const SNAPSHOT_SCHEMA: u32 = 4;
 
 /// Identifier of one node in a recorder's span tree. `SpanId::ROOT`
 /// (zero) is "no parent": a top-level span, or a recorder that does not
@@ -166,6 +169,15 @@ pub trait Recorder: Send + Sync {
     /// dropping the sample.
     fn value(&self, name: &str, v: u64) {
         let _ = (name, v);
+    }
+
+    /// Records one sample into the named value histogram *and* marks
+    /// the bucket it lands in with `trace` as its exemplar (last write
+    /// wins). Defaults to plain [`Recorder::value`] for recorders
+    /// without exemplar storage.
+    fn value_traced(&self, name: &str, v: u64, trace: TraceId) {
+        let _ = trace;
+        self.value(name, v);
     }
 
     /// Opens a span in the hierarchical span tree under `parent`
@@ -260,6 +272,9 @@ struct State {
     /// Recorder-wide monotonic gauge write counter (feeds `gauge_seq`).
     gauge_writes: u64,
     hists: BTreeMap<String, Histogram>,
+    /// Per-histogram bucket exemplars: the most recent traced
+    /// observation per bucket (schema 4).
+    exemplars: BTreeMap<String, BTreeMap<usize, Exemplar>>,
     events: Vec<Event>,
     nodes: Vec<SpanNode>,
     /// Dense thread-id table: `threads[i]` opened spans with `tid = i`.
@@ -352,6 +367,7 @@ impl InMemoryRecorder {
                 })
                 .collect(),
             histograms: s.hists.clone(),
+            exemplars: s.exemplars.clone(),
             events: s.events.clone(),
             tree: s.nodes.clone(),
             gauge_seq: s.gauge_seq.clone(),
@@ -395,6 +411,19 @@ impl Recorder for InMemoryRecorder {
     fn value(&self, name: &str, v: u64) {
         self.with_state(|s| {
             s.hists.entry(name.to_owned()).or_default().record(v);
+        });
+    }
+
+    fn value_traced(&self, name: &str, v: u64, trace: TraceId) {
+        self.with_state(|s| {
+            s.hists.entry(name.to_owned()).or_default().record(v);
+            s.exemplars.entry(name.to_owned()).or_default().insert(
+                hist::bucket_index(v),
+                Exemplar {
+                    trace_id: trace.0,
+                    value: v,
+                },
+            );
         });
     }
 
@@ -475,6 +504,10 @@ pub struct Snapshot {
     /// with every write to any gauge, so two snapshots of the same
     /// recorder order gauge observations even when the value repeats.
     pub gauge_seq: BTreeMap<String, u64>,
+    /// Per-histogram bucket exemplars (schema 4): for each histogram
+    /// fed through [`Recorder::value_traced`], the most recent traced
+    /// observation per bucket.
+    pub exemplars: BTreeMap<String, BTreeMap<usize, Exemplar>>,
 }
 
 impl Snapshot {
@@ -491,6 +524,15 @@ impl Snapshot {
     /// The duration/value histogram recorded under `name`.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// The exemplar marking `bucket` of histogram `name`, if a traced
+    /// observation ever landed there.
+    pub fn exemplar(&self, name: &str, bucket: usize) -> Option<Exemplar> {
+        self.exemplars
+            .get(name)
+            .and_then(|m| m.get(&bucket))
+            .copied()
     }
 
     /// Whether nothing at all was recorded.
@@ -527,8 +569,10 @@ impl Snapshot {
     /// (`counters`, `gauges`, `spans`, `events`) are unchanged from
     /// version 1, plus `histograms` (sparse power-of-two buckets) and
     /// `tree` (the span hierarchy) from version 2, plus `gauge_seq`
-    /// (per-gauge write ordinals) from version 3. Map keys sorted
-    /// lexicographically; non-finite gauge values serialize as `null`.
+    /// (per-gauge write ordinals) from version 3, plus `exemplars`
+    /// (sparse `[bucket, trace_id, value]` triples per histogram) from
+    /// version 4. Map keys sorted lexicographically; non-finite gauge
+    /// values serialize as `null`.
     /// See `DESIGN.md` ("Metrics snapshot schema") for the full schema
     /// and the bump rule.
     pub fn to_json(&self) -> String {
@@ -623,6 +667,19 @@ impl Snapshot {
             let _ = write!(out, "{sep}\n    {}: {v}", json_string(k));
         }
         if !self.gauge_seq.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"exemplars\": {");
+        for (i, (k, buckets)) in self.exemplars.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    {}: [", json_string(k));
+            for (j, (bucket, e)) in buckets.iter().enumerate() {
+                let sep = if j == 0 { "" } else { ", " };
+                let _ = write!(out, "{sep}[{bucket}, {}, {}]", e.trace_id, e.value);
+            }
+            out.push(']');
+        }
+        if !self.exemplars.is_empty() {
             out.push_str("\n  ");
         }
         out.push_str("}\n}");
@@ -762,6 +819,34 @@ impl Snapshot {
                 .as_u64()
                 .ok_or_else(|| format!("snapshot: gauge_seq `{k}` is not a u64"))?;
             snap.gauge_seq.insert(k.clone(), n);
+        }
+        for (k, v) in obj_entries(&doc, "exemplars")? {
+            let mut buckets = BTreeMap::new();
+            for triple in v
+                .as_arr()
+                .ok_or_else(|| format!("snapshot: exemplars `{k}` is not an array"))?
+            {
+                let [b, t, val] = triple.as_arr().unwrap_or(&[]) else {
+                    return Err(format!(
+                        "snapshot: exemplars `{k}` entry is not a [bucket, trace_id, value] triple"
+                    ));
+                };
+                let (b, t, val) = match (b.as_u64(), t.as_u64(), val.as_u64()) {
+                    (Some(b), Some(t), Some(val)) => (b, t, val),
+                    _ => return Err(format!("snapshot: exemplars `{k}` entry is not integers")),
+                };
+                if b as usize >= hist::N_BUCKETS {
+                    return Err(format!("snapshot: exemplars `{k}` bucket index {b} >= 65"));
+                }
+                buckets.insert(
+                    b as usize,
+                    Exemplar {
+                        trace_id: t,
+                        value: val,
+                    },
+                );
+            }
+            snap.exemplars.insert(k.clone(), buckets);
         }
         Ok(snap)
     }
@@ -909,6 +994,23 @@ impl<'a> Obs<'a> {
     pub fn value_fmt(&self, name: std::fmt::Arguments<'_>, v: u64) {
         if self.rec.enabled() {
             self.rec.value(&name.to_string(), v);
+        }
+    }
+
+    /// Value-histogram sample carrying a trace exemplar (see
+    /// [`Recorder::value_traced`]).
+    #[inline]
+    pub fn value_traced(&self, name: &str, v: u64, trace: TraceId) {
+        if self.rec.enabled() {
+            self.rec.value_traced(name, v, trace);
+        }
+    }
+
+    /// Traced value sample with a lazily formatted name.
+    #[inline]
+    pub fn value_traced_fmt(&self, name: std::fmt::Arguments<'_>, v: u64, trace: TraceId) {
+        if self.rec.enabled() {
+            self.rec.value_traced(&name.to_string(), v, trace);
         }
     }
 
@@ -1331,12 +1433,47 @@ mod tests {
     fn empty_snapshot_serializes_cleanly() {
         let snap = InMemoryRecorder::new().snapshot();
         let json = snap.to_json();
-        assert!(json.contains("\"schema\": 3"));
+        assert!(json.contains("\"schema\": 4"));
         assert!(json.contains("\"counters\": {}"));
         assert!(json.contains("\"events\": []"));
         assert!(json.contains("\"histograms\": {}"));
         assert!(json.contains("\"tree\": []"));
         assert!(json.contains("\"gauge_seq\": {}"));
+        assert!(json.contains("\"exemplars\": {}"));
+    }
+
+    #[test]
+    fn value_traced_keeps_last_exemplar_per_bucket() {
+        let rec = InMemoryRecorder::new();
+        let obs = Obs::new(&rec);
+        // Two values in the same bucket (le 1023): last trace wins.
+        obs.value_traced("serve.latency.predict_ns", 600, TraceId(0xA));
+        obs.value_traced("serve.latency.predict_ns", 900, TraceId(0xB));
+        // A different bucket keeps its own exemplar.
+        obs.value_traced("serve.latency.predict_ns", 3, TraceId(0xC));
+        // Untraced samples never touch exemplars.
+        obs.value("serve.latency.predict_ns", 700);
+        let snap = rec.snapshot();
+        let h = snap.histogram("serve.latency.predict_ns").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(
+            snap.exemplar("serve.latency.predict_ns", hist::bucket_index(900)),
+            Some(Exemplar {
+                trace_id: 0xB,
+                value: 900
+            })
+        );
+        assert_eq!(
+            snap.exemplar("serve.latency.predict_ns", hist::bucket_index(3)),
+            Some(Exemplar {
+                trace_id: 0xC,
+                value: 3
+            })
+        );
+        assert_eq!(snap.exemplar("serve.latency.predict_ns", 0), None);
+        // Exemplars round-trip through the schema-4 document.
+        let parsed = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Golden-file test for the `dm trace` renderers: a checked-in trace
+//! dump (the `traces_to_json` wire format, exactly what the serve-chaos
+//! CI job uploads as its artifact) and the exact list / show / chrome
+//! renders it must produce. These strings are what `dm trace` prints
+//! and what the CI trace-smoke step greps, so a formatting change is a
+//! *product* change — it must show up in review as a golden-file edit,
+//! not slip by.
+//!
+//! The dump fixture is canonically the output of [`scenario`] below
+//! (one request per lifecycle shape: a clean complete, a queue-full
+//! shed, a guard-tripped degrade pinned by a firing rule, and a
+//! refresh-raced panic recovery). Regenerate everything after an
+//! intentional change:
+//!
+//! ```text
+//! cargo test -p dm-obs --test trace_golden -- --ignored regenerate_fixtures
+//! ```
+//!
+//! The same renders are reproducible through the CLI:
+//!
+//! ```text
+//! cargo run -p dm-bench --bin dm -- trace list \
+//!     crates/obs/tests/fixtures/trace_dump.json
+//! ```
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dm_obs::trace::{
+    chrome_trace_request, render_list, render_show, traces_from_json, traces_to_json, RequestTrace,
+    TraceEvent, TraceEventKind, TraceId,
+};
+
+const SEED: u64 = 0x90_1D;
+
+fn fixture_path(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn fixture(name: &str) -> String {
+    let path = fixture_path(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+fn ev(at_ns: u64, kind: TraceEventKind) -> TraceEvent {
+    TraceEvent { at_ns, kind }
+}
+
+/// The scripted retained set behind the dump fixture — one trace per
+/// lifecycle shape, with hand-picked durations that exercise every
+/// duration unit the renderer formats (ns, us, ms).
+fn scenario() -> Vec<RequestTrace> {
+    vec![
+        // 1: the boring happy path, kept by the 1-in-N sampler.
+        RequestTrace {
+            id: TraceId::mint(SEED, 1),
+            seq: 1,
+            endpoint: "predict".into(),
+            events: vec![
+                ev(0, TraceEventKind::Submitted),
+                ev(0, TraceEventKind::Admitted { depth: 1 }),
+                ev(
+                    12_400,
+                    TraceEventKind::Dequeued {
+                        worker: 0,
+                        wait_ns: 12_400,
+                    },
+                ),
+                ev(
+                    812_400,
+                    TraceEventKind::Finished {
+                        outcome: "complete".into(),
+                    },
+                ),
+            ],
+            queue_ns: 12_400,
+            exec_ns: 800_000,
+            total_ns: 812_400,
+            pinned: Vec::new(),
+        },
+        // 2: shed at admission — never queued, answered in nanoseconds.
+        RequestTrace {
+            id: TraceId::mint(SEED, 2),
+            seq: 2,
+            endpoint: "predict".into(),
+            events: vec![
+                ev(0, TraceEventKind::Submitted),
+                ev(
+                    850,
+                    TraceEventKind::Shed {
+                        reason: "queue_full".into(),
+                    },
+                ),
+            ],
+            queue_ns: 0,
+            exec_ns: 0,
+            total_ns: 850,
+            pinned: Vec::new(),
+        },
+        // 3: deadline trip, served degraded, pinned by a firing rule.
+        RequestTrace {
+            id: TraceId::mint(SEED, 3),
+            seq: 3,
+            endpoint: "recommend".into(),
+            events: vec![
+                ev(0, TraceEventKind::Submitted),
+                ev(0, TraceEventKind::Admitted { depth: 3 }),
+                ev(
+                    2_100_000,
+                    TraceEventKind::Dequeued {
+                        worker: 1,
+                        wait_ns: 2_100_000,
+                    },
+                ),
+                ev(
+                    2_900_000,
+                    TraceEventKind::GuardTrip {
+                        reason: "deadline".into(),
+                    },
+                ),
+                ev(
+                    2_950_000,
+                    TraceEventKind::Degraded {
+                        tier: "top_support".into(),
+                    },
+                ),
+                ev(
+                    3_000_000,
+                    TraceEventKind::Finished {
+                        outcome: "truncated".into(),
+                    },
+                ),
+            ],
+            queue_ns: 2_100_000,
+            exec_ns: 900_000,
+            total_ns: 3_000_000,
+            pinned: vec!["latency-slo".into()],
+        },
+        // 4: artifact refresh lands while queued; the worker then dies
+        // on it and the panic is recovered into a typed answer.
+        RequestTrace {
+            id: TraceId::mint(SEED, 4),
+            seq: 4,
+            endpoint: "score".into(),
+            events: vec![
+                ev(0, TraceEventKind::Submitted),
+                ev(0, TraceEventKind::Admitted { depth: 2 }),
+                ev(
+                    55_000,
+                    TraceEventKind::Dequeued {
+                        worker: 0,
+                        wait_ns: 55_000,
+                    },
+                ),
+                ev(
+                    55_000,
+                    TraceEventKind::RefreshRace {
+                        submitted_gen: 0,
+                        served_gen: 1,
+                    },
+                ),
+                ev(95_000, TraceEventKind::PanicRecovered),
+                ev(
+                    95_000,
+                    TraceEventKind::Finished {
+                        outcome: "panicked".into(),
+                    },
+                ),
+            ],
+            queue_ns: 55_000,
+            exec_ns: 40_000,
+            total_ns: 95_000,
+            pinned: Vec::new(),
+        },
+    ]
+}
+
+#[test]
+fn list_render_matches_golden() {
+    assert_eq!(
+        render_list(&scenario()),
+        fixture("trace_list.golden"),
+        "trace list renderer drifted from the committed golden"
+    );
+}
+
+#[test]
+fn show_render_matches_golden() {
+    // The degraded trace is the richest lifecycle: queue/exec split,
+    // guard trip, degradation tier, and a pin.
+    assert_eq!(
+        render_show(&scenario()[2]),
+        fixture("trace_show.golden"),
+        "trace show renderer drifted from the committed golden"
+    );
+}
+
+#[test]
+fn chrome_export_matches_golden() {
+    assert_eq!(
+        chrome_trace_request(&scenario()[2]),
+        fixture("trace_chrome.golden"),
+        "chrome trace exporter drifted from the committed golden"
+    );
+}
+
+/// The committed dump is exactly what the scenario serializes to, and
+/// it round-trips through the schema-1 reader — a hand-edit that
+/// breaks canonical form fails here.
+#[test]
+fn dump_fixture_is_canonical() {
+    let committed = fixture("trace_dump.json");
+    assert_eq!(
+        committed,
+        traces_to_json(&scenario()),
+        "trace_dump.json drifted from the scenario"
+    );
+    let parsed = traces_from_json(&committed).expect("fixture parses");
+    assert_eq!(parsed, scenario(), "round-trip lost information");
+    assert_eq!(
+        traces_to_json(&parsed),
+        committed,
+        "re-encode not canonical"
+    );
+}
+
+/// The fixture set covers every event kind the tracer can emit, so a
+/// renderer change to any arm is guaranteed to move a golden file.
+#[test]
+fn fixtures_cover_every_event_kind() {
+    let labels: std::collections::BTreeSet<&str> = scenario()
+        .iter()
+        .flat_map(|t| t.events.iter().map(|e| e.kind.label()))
+        .collect();
+    for kind in [
+        "submitted",
+        "admitted",
+        "shed",
+        "dequeued",
+        "guard_trip",
+        "degraded",
+        "panic_recovered",
+        "refresh_race",
+        "finished",
+    ] {
+        assert!(labels.contains(kind), "no fixture trace emits `{kind}`");
+    }
+}
+
+/// Rewrites every fixture from the scenario (run explicitly after an
+/// intentional renderer or scenario change; see the module docs).
+#[test]
+#[ignore = "regenerates the committed fixtures in-place"]
+fn regenerate_fixtures() {
+    let traces = scenario();
+    std::fs::write(fixture_path("trace_dump.json"), traces_to_json(&traces)).unwrap();
+    std::fs::write(fixture_path("trace_list.golden"), render_list(&traces)).unwrap();
+    std::fs::write(fixture_path("trace_show.golden"), render_show(&traces[2])).unwrap();
+    std::fs::write(
+        fixture_path("trace_chrome.golden"),
+        chrome_trace_request(&traces[2]),
+    )
+    .unwrap();
+}

@@ -1,0 +1,216 @@
+//! Property tests for the tail-based trace sampler: for arbitrary
+//! seeded request streams the retained set is a pure function of the
+//! stream (replay determinism — what lets E18 gate retention counters
+//! at 0%), every anomalous request survives, and the byte budget is
+//! never exceeded. These are the invariants `ServeConfig::trace`
+//! inherits wholesale.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dm_obs::trace::{RequestTrace, TraceConfig, TraceEvent, TraceEventKind, TraceId, TraceStore};
+use dm_obs::{InMemoryRecorder, Obs};
+use proptest::prelude::*;
+
+/// A synthetic request outcome the generator scripts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fate {
+    Complete,
+    Shed,
+    GuardTrip,
+    Degraded,
+    Panicked,
+}
+
+fn fate() -> impl Strategy<Value = Fate> {
+    // ~60% boring, the rest split across the anomalous classes.
+    (0u32..10).prop_map(|roll| match roll {
+        0..=5 => Fate::Complete,
+        6 => Fate::Shed,
+        7 => Fate::GuardTrip,
+        8 => Fate::Degraded,
+        _ => Fate::Panicked,
+    })
+}
+
+/// Builds the trace a server would assemble for request `seq` with the
+/// scripted fate. Durations are synthetic but deterministic in `seq`,
+/// so slowest-k decisions replay exactly.
+fn assemble(seed: u64, seq: u64, f: Fate) -> RequestTrace {
+    let id = TraceId::mint(seed, seq);
+    let total_ns = 1_000 + (seq * 7_919) % 100_000; // deterministic spread
+    let mut events = vec![TraceEvent {
+        at_ns: 0,
+        kind: TraceEventKind::Submitted,
+    }];
+    match f {
+        Fate::Shed => events.push(TraceEvent {
+            at_ns: total_ns,
+            kind: TraceEventKind::Shed {
+                reason: "queue_full".into(),
+            },
+        }),
+        Fate::Complete | Fate::GuardTrip | Fate::Degraded | Fate::Panicked => {
+            events.push(TraceEvent {
+                at_ns: 0,
+                kind: TraceEventKind::Admitted { depth: 1 },
+            });
+            events.push(TraceEvent {
+                at_ns: total_ns / 2,
+                kind: TraceEventKind::Dequeued {
+                    worker: 0,
+                    wait_ns: total_ns / 2,
+                },
+            });
+            match f {
+                Fate::GuardTrip => events.push(TraceEvent {
+                    at_ns: total_ns,
+                    kind: TraceEventKind::GuardTrip {
+                        reason: "deadline".into(),
+                    },
+                }),
+                Fate::Degraded => events.push(TraceEvent {
+                    at_ns: total_ns,
+                    kind: TraceEventKind::Degraded {
+                        tier: "majority".into(),
+                    },
+                }),
+                Fate::Panicked => events.push(TraceEvent {
+                    at_ns: total_ns,
+                    kind: TraceEventKind::PanicRecovered,
+                }),
+                _ => {}
+            }
+            let outcome = match f {
+                Fate::Panicked => "panicked",
+                Fate::GuardTrip | Fate::Degraded => "truncated",
+                _ => "complete",
+            };
+            events.push(TraceEvent {
+                at_ns: total_ns,
+                kind: TraceEventKind::Finished {
+                    outcome: outcome.into(),
+                },
+            });
+        }
+    }
+    RequestTrace {
+        id,
+        seq,
+        endpoint: "predict".into(),
+        events,
+        queue_ns: total_ns / 2,
+        exec_ns: total_ns / 2,
+        total_ns,
+        pinned: Vec::new(),
+    }
+}
+
+/// Replays one scripted stream through a fresh store and returns the
+/// retained (id, pinned) set in seq order.
+fn replay(cfg: &TraceConfig, shards: usize, fates: &[Fate]) -> Vec<RequestTrace> {
+    let store = TraceStore::new(cfg.clone(), shards);
+    let rec = InMemoryRecorder::new();
+    let obs = Obs::new(&rec);
+    for (i, &f) in fates.iter().enumerate() {
+        let seq = i as u64 + 1;
+        let shard = if f == Fate::Shed {
+            0
+        } else {
+            (seq as usize % shards.max(2).saturating_sub(1)) + 1
+        };
+        store.offer(shard.min(shards - 1), assemble(cfg.seed, seq, f), &obs);
+    }
+    store.retained()
+}
+
+proptest! {
+    /// Same seed, same stream ⇒ byte-identical retained set. The
+    /// sampler consults only ids, fates and synthetic durations — no
+    /// ambient clock, no global state.
+    #[test]
+    fn replay_determinism(
+        seed in 0u64..u64::MAX,
+        fates in prop::collection::vec(fate(), 1..200),
+        sample_every in 0u64..8,
+        slowest_k in 0usize..4,
+    ) {
+        let cfg = TraceConfig {
+            seed,
+            sample_every,
+            slowest_k,
+            ..TraceConfig::default()
+        };
+        let a = replay(&cfg, 3, &fates);
+        let b = replay(&cfg, 3, &fates);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every anomalous request (shed, guard trip, degraded tier,
+    /// recovered panic) is retained — under a budget generous enough
+    /// that anomalous traces alone cannot exhaust it.
+    #[test]
+    fn anomalous_requests_are_always_retained(
+        seed in 0u64..u64::MAX,
+        fates in prop::collection::vec(fate(), 1..150),
+    ) {
+        let cfg = TraceConfig {
+            seed,
+            byte_budget: 1 << 22,
+            ring_capacity: 1024,
+            ..TraceConfig::default()
+        };
+        let retained = replay(&cfg, 3, &fates);
+        for (i, &f) in fates.iter().enumerate() {
+            if f != Fate::Complete {
+                let seq = i as u64 + 1;
+                prop_assert!(
+                    retained.iter().any(|t| t.seq == seq),
+                    "anomalous seq {} ({:?}) was dropped", seq, f
+                );
+            }
+        }
+        // And each retained anomalous trace agrees with its script.
+        for t in &retained {
+            let f = fates[(t.seq - 1) as usize];
+            prop_assert_eq!(t.is_anomalous(), f != Fate::Complete);
+        }
+    }
+
+    /// Retained bytes never exceed the configured budget, even under
+    /// tiny budgets that force constant eviction; the store's own
+    /// accounting matches a recount from scratch.
+    #[test]
+    fn retained_bytes_never_exceed_budget(
+        seed in 0u64..u64::MAX,
+        fates in prop::collection::vec(fate(), 1..150),
+        budget in 512usize..8192,
+    ) {
+        let cfg = TraceConfig {
+            seed,
+            byte_budget: budget,
+            sample_every: 1, // maximum retention pressure
+            ..TraceConfig::default()
+        };
+        let store = TraceStore::new(cfg.clone(), 3);
+        let rec = InMemoryRecorder::new();
+        let obs = Obs::new(&rec);
+        for (i, &f) in fates.iter().enumerate() {
+            let seq = i as u64 + 1;
+            store.offer((i % 3).min(2), assemble(seed, seq, f), &obs);
+            let stats = store.stats();
+            prop_assert!(
+                stats.bytes <= budget,
+                "bytes {} exceed budget {} after seq {}", stats.bytes, budget, seq
+            );
+            // Recount by rebuilding each retained trace the way it was
+            // originally constructed (a clone would shrink Vec
+            // capacities and undercount the capacity-based HeapSize).
+            let recount: usize = store
+                .retained()
+                .iter()
+                .map(|t| assemble(seed, t.seq, fates[(t.seq - 1) as usize]).approx_bytes())
+                .sum();
+            prop_assert_eq!(stats.bytes, recount, "accounting drifted at seq {}", seq);
+        }
+    }
+}

@@ -73,5 +73,11 @@ pub use server::{ServeConfig, Server};
 pub use ticket::Ticket;
 pub use watch::WatchPolicy;
 
+/// Request-tracing vocabulary, re-exported from `dm_obs::trace` so a
+/// serving deployment can configure [`ServeConfig::trace`] and query
+/// [`Server::tracer`] without a direct `dm-obs` dependency.
+pub use dm_core::obs::trace::{RequestTrace, TraceConfig, TraceStats, TraceStore};
+pub use dm_core::obs::TraceId;
+
 #[cfg(feature = "failpoints")]
 pub use server::ChaosConfig;

@@ -25,8 +25,9 @@ use crate::api::{Request, ServeError, ServeResult, Tier};
 use crate::models::ModelSet;
 use crate::queue::{AdmissionQueue, Popped, PushError};
 use crate::ticket::{ticket_pair, Responder, Ticket};
-use dm_core::guard::{Budget, CancelToken, Guard, RunStatus};
-use dm_core::obs::{Obs, Recorder};
+use dm_core::guard::{Budget, CancelToken, Guard, RunStatus, TruncationReason};
+use dm_core::obs::trace::{RequestTrace, TraceConfig, TraceEvent, TraceEventKind, TraceStore};
+use dm_core::obs::{Obs, Recorder, TraceId};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
@@ -49,6 +50,12 @@ pub struct ServeConfig {
     /// Deadline applied to requests submitted without an explicit
     /// budget ([`Server::submit`]). `None` = no implicit deadline.
     pub default_deadline: Option<Duration>,
+    /// Request-scoped tracing. `Some` mints a deterministic
+    /// [`TraceId`] per submission, threads lifecycle events through
+    /// the request, and retains completed traces in a tail-sampled
+    /// [`TraceStore`] ([`Server::tracer`]). `None` (the default) keeps
+    /// the request path allocation-free: no ids, no events, no store.
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +64,7 @@ impl Default for ServeConfig {
             workers: 2,
             queue_capacity: 64,
             default_deadline: Some(Duration::from_millis(250)),
+            trace: None,
         }
     }
 }
@@ -77,6 +85,15 @@ pub struct ChaosConfig {
     pub trip_every: Option<u64>,
 }
 
+/// Per-request trace state carried inside the job while tracing is
+/// enabled: the minted id, the artifact generation seen at admission
+/// (for refresh-race detection), and the events accumulated so far.
+struct TraceCtx {
+    id: TraceId,
+    submitted_gen: u64,
+    events: Vec<TraceEvent>,
+}
+
 struct Job {
     request: Request,
     responder: Responder,
@@ -84,6 +101,7 @@ struct Job {
     token: CancelToken,
     submitted: Instant,
     seq: u64,
+    trace: Option<TraceCtx>,
 }
 
 pub(crate) struct Shared {
@@ -95,6 +113,14 @@ pub(crate) struct Shared {
     models: RwLock<Arc<ModelSet>>,
     recorder: Option<Arc<dyn Recorder>>,
     seq: AtomicU64,
+    /// Bumped by every [`Server::refresh_artifact`]; traced requests
+    /// compare the generation they saw at submit against the one they
+    /// are served under and record a `refresh_race` event on mismatch.
+    models_gen: AtomicU64,
+    /// The tail-sampled trace store, when tracing is configured.
+    /// Shard 0 takes the submit-path traces (sheds, shutdown answers);
+    /// worker `w` offers into shard `w + 1`.
+    pub(crate) tracer: Option<Arc<TraceStore>>,
     #[cfg(feature = "failpoints")]
     chaos: ChaosConfig,
 }
@@ -180,18 +206,24 @@ impl Server {
     ) -> Self {
         #[cfg(not(feature = "failpoints"))]
         let ChaosParam = chaos;
+        let tracer = config
+            .trace
+            .clone()
+            .map(|cfg| Arc::new(TraceStore::new(cfg, config.workers + 1)));
         let shared = Arc::new(Shared {
             queue: AdmissionQueue::new(config.queue_capacity.max(1)),
             models: RwLock::new(Arc::new(models)),
             recorder,
             seq: AtomicU64::new(0),
+            models_gen: AtomicU64::new(0),
+            tracer,
             #[cfg(feature = "failpoints")]
             chaos,
         });
         let handles = (0..config.workers)
-            .map(|_| {
+            .map(|w| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared, w as u32))
             })
             .collect();
         Self {
@@ -231,16 +263,37 @@ impl Server {
         if cap > 0 {
             budget.max_work = Some(budget.max_work.map_or(cap, |m| m.min(cap)));
         }
-        let (ticket, responder) = ticket_pair();
         let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed) + 1;
-        let job = Job {
+        let trace = self.shared.tracer.as_ref().map(|t| TraceCtx {
+            id: TraceId::mint(t.seed(), seq),
+            submitted_gen: self.shared.models_gen.load(Ordering::Acquire),
+            events: vec![TraceEvent {
+                at_ns: 0,
+                kind: TraceEventKind::Submitted,
+            }],
+        });
+        let (ticket, responder) = ticket_pair(trace.as_ref().map(|t| t.id));
+        let mut job = Job {
             request,
             responder,
             budget,
             token,
             submitted: Instant::now(),
             seq,
+            trace,
         };
+        if let Some(ctx) = &mut job.trace {
+            // Recorded before the push (the job is gone on success):
+            // the depth is this submission's expected position. Exact
+            // under a single submitter; a racy estimate otherwise. A
+            // rejected push strips it again in `offer_shed_trace`.
+            ctx.events.push(TraceEvent {
+                at_ns: 0,
+                kind: TraceEventKind::Admitted {
+                    depth: self.shared.queue.depth() as u64 + 1,
+                },
+            });
+        }
         match self.shared.queue.push(job) {
             Ok(depth) => {
                 obs.counter("serve.req.admitted", 1);
@@ -251,15 +304,62 @@ impl Server {
             Err(PushError::Full(job)) => {
                 obs.counter("serve.shed.queue_full", 1);
                 let depth = self.shared.queue.capacity();
-                job.responder.deliver(Err(ServeError::Overloaded { depth }));
+                self.offer_shed_trace(job, "queue_full", false, &obs);
                 Err(ServeError::Overloaded { depth })
             }
             Err(PushError::Closed(job)) => {
                 obs.counter("serve.shed.shutdown", 1);
-                job.responder.deliver(Err(ServeError::ShuttingDown));
+                self.offer_shed_trace(job, "shutdown", false, &obs);
                 Err(ServeError::ShuttingDown)
             }
         }
+    }
+
+    /// Answers a rejected job and, when tracing is on, assembles and
+    /// offers its (always-anomalous) shed trace into shard 0.
+    /// `admitted` distinguishes shutdown-drained jobs (which really
+    /// were queued, so their `admitted` event stands) from admission
+    /// rejects (whose optimistic `admitted` event is stripped).
+    fn offer_shed_trace(&self, mut job: Job, reason: &str, admitted: bool, obs: &Obs<'_>) {
+        let error = match reason {
+            "queue_full" => ServeError::Overloaded {
+                depth: self.shared.queue.capacity(),
+            },
+            _ => ServeError::ShuttingDown,
+        };
+        job.responder.deliver(Err(error));
+        let (Some(tracer), Some(mut ctx)) = (self.shared.tracer.as_ref(), job.trace.take()) else {
+            return;
+        };
+        if !admitted
+            && ctx
+                .events
+                .last()
+                .is_some_and(|e| matches!(e.kind, TraceEventKind::Admitted { .. }))
+        {
+            ctx.events.pop();
+        }
+        let total_ns = job.submitted.elapsed().as_nanos() as u64;
+        ctx.events.push(TraceEvent {
+            at_ns: total_ns,
+            kind: TraceEventKind::Shed {
+                reason: reason.to_owned(),
+            },
+        });
+        tracer.offer(
+            0,
+            RequestTrace {
+                id: ctx.id,
+                seq: job.seq,
+                endpoint: job.request.endpoint().label().to_owned(),
+                events: ctx.events,
+                queue_ns: 0,
+                exec_ns: 0,
+                total_ns,
+                pinned: Vec::new(),
+            },
+            obs,
+        );
     }
 
     /// Current admission-queue depth.
@@ -291,8 +391,19 @@ impl Server {
             .unwrap_or_else(PoisonError::into_inner);
         let next = update((**slot).clone());
         *slot = Arc::new(next);
+        // Bump the generation while still holding the write lock so a
+        // worker can never observe the new bundle under the old number.
+        self.shared.models_gen.fetch_add(1, Ordering::Release);
         drop(slot);
         self.shared.obs().counter("serve.artifact.refreshed", 1);
+    }
+
+    /// The trace store, when [`ServeConfig::trace`] was set. Query it
+    /// for retained traces ([`TraceStore::retained`],
+    /// [`TraceStore::find`]) or serialize with [`TraceStore::to_json`]
+    /// for `dm trace`.
+    pub fn tracer(&self) -> Option<Arc<TraceStore>> {
+        self.shared.tracer.clone()
     }
 
     /// Graceful shutdown: close admission, join workers (they finish
@@ -312,7 +423,10 @@ impl Server {
         let n = leftovers.len();
         for job in leftovers {
             obs.counter("serve.shed.shutdown", 1);
-            job.responder.deliver(Err(ServeError::ShuttingDown));
+            // Shed-at-shutdown traces are anomalous and always offered,
+            // so gated experiments see exact retention counts even for
+            // requests that never reached a worker.
+            self.offer_shed_trace(job, "shutdown", true, &obs);
         }
         n
     }
@@ -327,17 +441,28 @@ impl Drop for Server {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker: u32) {
     loop {
         match shared.queue.pop(POP_POLL) {
-            Popped::Job(job) => run_job(shared, job),
+            Popped::Job(job) => run_job(shared, job, worker),
             Popped::TimedOut => continue,
             Popped::Closed => break,
         }
     }
 }
 
-fn run_job(shared: &Shared, job: Job) {
+/// Short stable tag for a guard trip, used in trace events (the
+/// `Display` form is prose for the event log).
+fn trip_label(reason: TruncationReason) -> &'static str {
+    match reason {
+        TruncationReason::DeadlineExceeded => "deadline",
+        TruncationReason::WorkLimitExceeded => "work_limit",
+        TruncationReason::IterationLimitReached => "iteration_limit",
+        TruncationReason::Cancelled => "cancelled",
+    }
+}
+
+fn run_job(shared: &Shared, job: Job, worker: u32) {
     let Job {
         request,
         responder,
@@ -345,11 +470,33 @@ fn run_job(shared: &Shared, job: Job) {
         token,
         submitted,
         seq,
+        mut trace,
     } = job;
     let obs = shared.obs();
     obs.gauge("serve.queue.depth", shared.queue.depth() as f64);
     let waited = submitted.elapsed();
-    obs.value("serve.queue.wait_ns", waited.as_nanos() as u64);
+    let queue_ns = waited.as_nanos() as u64;
+    obs.value("serve.queue.wait_ns", queue_ns);
+    obs.value("serve.request.queue_ns", queue_ns);
+    if let Some(ctx) = &mut trace {
+        ctx.events.push(TraceEvent {
+            at_ns: queue_ns,
+            kind: TraceEventKind::Dequeued {
+                worker,
+                wait_ns: queue_ns,
+            },
+        });
+        let served_gen = shared.models_gen.load(Ordering::Acquire);
+        if served_gen != ctx.submitted_gen {
+            ctx.events.push(TraceEvent {
+                at_ns: queue_ns,
+                kind: TraceEventKind::RefreshRace {
+                    submitted_gen: ctx.submitted_gen,
+                    served_gen,
+                },
+            });
+        }
+    }
     // Charge the queue wait against the deadline: the guard measures
     // from its own construction, so shrink the deadline by the wait
     // (saturating at zero ⇒ the guard trips on its first check and the
@@ -367,7 +514,7 @@ fn run_job(shared: &Shared, job: Job) {
     if shared.chaos.trip_every.is_some_and(|n| seq % n.max(1) == 0) {
         // trip_at counts checks that *pass*; 0 trips at the very first
         // check site the handler reaches.
-        guard = guard.with_failpoint(0, dm_core::guard::TruncationReason::DeadlineExceeded);
+        guard = guard.with_failpoint(0, TruncationReason::DeadlineExceeded);
     }
     let started = Instant::now();
     #[cfg(feature = "failpoints")]
@@ -392,6 +539,8 @@ fn run_job(shared: &Shared, job: Job) {
             Err(ServeError::WorkerPanicked)
         }
     };
+    let exec_ns = started.elapsed().as_nanos() as u64;
+    obs.value("serve.request.exec_ns", exec_ns);
     match &result {
         Ok(response) => {
             match response.status {
@@ -406,11 +555,80 @@ fn run_job(shared: &Shared, job: Job) {
         Err(ServeError::ModelUnavailable(_)) => obs.counter("serve.resp.unavailable", 1),
         Err(_) => {}
     }
-    obs.value_fmt(
-        format_args!("serve.latency.{}_ns", endpoint.label()),
-        started.elapsed().as_nanos() as u64,
-    );
-    responder.deliver(result);
+    match &trace {
+        Some(ctx) => obs.value_traced_fmt(
+            format_args!("serve.latency.{}_ns", endpoint.label()),
+            exec_ns,
+            ctx.id,
+        ),
+        None => obs.value_fmt(
+            format_args!("serve.latency.{}_ns", endpoint.label()),
+            exec_ns,
+        ),
+    }
+    if let Some(mut ctx) = trace {
+        let total_ns = submitted.elapsed().as_nanos() as u64;
+        let outcome_label = match &result {
+            Ok(response) => {
+                if let RunStatus::Truncated(reason) = response.status {
+                    ctx.events.push(TraceEvent {
+                        at_ns: total_ns,
+                        kind: TraceEventKind::GuardTrip {
+                            reason: trip_label(reason).to_owned(),
+                        },
+                    });
+                }
+                if response.tier != Tier::Full {
+                    ctx.events.push(TraceEvent {
+                        at_ns: total_ns,
+                        kind: TraceEventKind::Degraded {
+                            tier: response.tier.label().to_owned(),
+                        },
+                    });
+                }
+                if response.status.is_complete() {
+                    "complete"
+                } else {
+                    "truncated"
+                }
+            }
+            Err(ServeError::WorkerPanicked) => {
+                ctx.events.push(TraceEvent {
+                    at_ns: total_ns,
+                    kind: TraceEventKind::PanicRecovered,
+                });
+                "panicked"
+            }
+            Err(ServeError::Malformed(_)) => "malformed",
+            Err(ServeError::ModelUnavailable(_)) => "unavailable",
+            Err(_) => "error",
+        };
+        ctx.events.push(TraceEvent {
+            at_ns: total_ns,
+            kind: TraceEventKind::Finished {
+                outcome: outcome_label.to_owned(),
+            },
+        });
+        responder.deliver(result);
+        if let Some(tracer) = &shared.tracer {
+            tracer.offer(
+                worker as usize + 1,
+                RequestTrace {
+                    id: ctx.id,
+                    seq,
+                    endpoint: endpoint.label().to_owned(),
+                    events: ctx.events,
+                    queue_ns,
+                    exec_ns,
+                    total_ns,
+                    pinned: Vec::new(),
+                },
+                &obs,
+            );
+        }
+    } else {
+        responder.deliver(result);
+    }
 }
 
 fn handle(models: &ModelSet, request: Request, guard: &Guard) -> ServeResult {

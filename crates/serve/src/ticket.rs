@@ -6,6 +6,7 @@
 //! non-event in `tests/chaos.rs`.
 
 use crate::api::{ServeError, ServeResult};
+use dm_core::obs::TraceId;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -17,6 +18,7 @@ struct Slot {
 /// The client's half: resolves to the request's [`ServeResult`].
 pub struct Ticket {
     slot: Arc<Slot>,
+    trace_id: Option<TraceId>,
 }
 
 /// The server's half: fills the slot exactly once (first write wins).
@@ -24,8 +26,10 @@ pub(crate) struct Responder {
     slot: Arc<Slot>,
 }
 
-/// Creates a connected client/server pair for one request.
-pub(crate) fn ticket_pair() -> (Ticket, Responder) {
+/// Creates a connected client/server pair for one request. `trace_id`
+/// is the request's minted trace id when the server runs with tracing
+/// enabled — the client-facing handle to `dm trace show <id>`.
+pub(crate) fn ticket_pair(trace_id: Option<TraceId>) -> (Ticket, Responder) {
     let slot = Arc::new(Slot {
         result: Mutex::new(None),
         ready: Condvar::new(),
@@ -33,6 +37,7 @@ pub(crate) fn ticket_pair() -> (Ticket, Responder) {
     (
         Ticket {
             slot: Arc::clone(&slot),
+            trace_id,
         },
         Responder { slot },
     )
@@ -56,6 +61,13 @@ impl Responder {
 }
 
 impl Ticket {
+    /// The request's trace id, when the server minted one (tracing
+    /// enabled). Stable across the whole lifecycle — valid to look up
+    /// even after the ticket resolves.
+    pub fn trace_id(&self) -> Option<TraceId> {
+        self.trace_id
+    }
+
     /// Blocks until the response arrives or `timeout` elapses
     /// ([`ServeError::ResponseTimeout`]). Consuming `self` makes the
     /// one-shot contract explicit: one ticket, one answer.
@@ -100,7 +112,7 @@ mod tests {
 
     #[test]
     fn wait_times_out_without_delivery() {
-        let (ticket, _responder) = ticket_pair();
+        let (ticket, _responder) = ticket_pair(None);
         assert_eq!(
             ticket.wait(Duration::from_millis(5)),
             Err(ServeError::ResponseTimeout)
@@ -109,7 +121,7 @@ mod tests {
 
     #[test]
     fn delivery_resolves_a_waiting_ticket() {
-        let (ticket, responder) = ticket_pair();
+        let (ticket, responder) = ticket_pair(None);
         let handle = std::thread::spawn(move || ticket.wait(Duration::from_secs(5)));
         responder.deliver(Err(ServeError::ShuttingDown));
         assert_eq!(handle.join().unwrap(), Err(ServeError::ShuttingDown));
@@ -117,7 +129,7 @@ mod tests {
 
     #[test]
     fn first_delivery_wins() {
-        let (ticket, responder) = ticket_pair();
+        let (ticket, responder) = ticket_pair(None);
         responder.deliver(Err(ServeError::WorkerPanicked));
         responder.deliver(Err(ServeError::ShuttingDown));
         assert_eq!(
@@ -128,7 +140,7 @@ mod tests {
 
     #[test]
     fn delivery_to_an_abandoned_ticket_does_not_block_or_panic() {
-        let (ticket, responder) = ticket_pair();
+        let (ticket, responder) = ticket_pair(None);
         drop(ticket);
         responder.deliver(Err(ServeError::ShuttingDown));
     }

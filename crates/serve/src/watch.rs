@@ -100,6 +100,15 @@ impl Server {
         let transitions = attached.watcher.tick(&snap, &obs);
 
         for t in &transitions {
+            if t.to == AlertState::Firing {
+                // Pin the traces overlapping this rule's firing edge:
+                // whatever the tail sampler holds right now is the
+                // request mix that pushed the rule over, so protect it
+                // from eviction and stamp it with the rule name.
+                if let Some(tracer) = &self.shared.tracer {
+                    tracer.pin_recent(&t.rule, &obs);
+                }
+            }
             if t.kind == RuleKind::Drift && t.to == AlertState::Firing {
                 if let Some(refresh) = &attached.policy.refresh_on_drift {
                     self.refresh_artifact(refresh.as_ref());

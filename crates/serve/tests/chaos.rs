@@ -28,6 +28,7 @@ fn recorded_chaos(
             workers,
             queue_capacity: capacity,
             default_deadline: Some(Duration::from_secs(5)),
+            trace: None,
         },
         Some(rec.clone()),
         chaos,
@@ -216,6 +217,7 @@ fn retry_budget_caps_amplification_deterministically() {
             workers: 0,
             queue_capacity: 1,
             default_deadline: None,
+            trace: None,
         },
     );
     let config = LoadGenConfig {
@@ -236,6 +238,58 @@ fn retry_budget_caps_amplification_deterministically() {
     assert_eq!(server.shutdown(), 1);
 }
 
+/// Panic-recovery traces survive the tail sampler, and (when the
+/// `TRACE_DUMP` env var points at a path — the CI serve-chaos job sets
+/// it) the retained set is dumped in the `dm trace` file format so the
+/// run's forensics ship as a build artifact.
+#[test]
+fn panic_recovery_traces_are_retained_and_dumpable() {
+    use dm_core::obs::trace::{traces_to_json, TraceConfig};
+    let rec = Arc::new(InMemoryRecorder::new());
+    let server = Server::start_chaos(
+        ModelSet::demo(7).unwrap(),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 16,
+            default_deadline: Some(Duration::from_secs(5)),
+            trace: Some(TraceConfig {
+                seed: 0xC405,
+                sample_every: 0, // anomalous-only retention...
+                slowest_k: 0,    // ...with slowest-k off too
+                ..TraceConfig::default()
+            }),
+        },
+        Some(rec.clone()),
+        ChaosConfig {
+            panic_every: Some(3),
+            trip_every: None,
+        },
+    );
+    for seq in 1..=9u64 {
+        let got = server.submit(tiny_predict()).unwrap().wait(WAIT);
+        assert_eq!(seq % 3 == 0, got == Err(ServeError::WorkerPanicked));
+    }
+    let tracer = server.tracer().unwrap();
+    server.shutdown();
+
+    let retained = tracer.retained();
+    let panicked: Vec<_> = retained
+        .iter()
+        .filter(|t| t.events.iter().any(|e| e.kind.label() == "panic_recovered"))
+        .collect();
+    assert_eq!(panicked.len(), 3, "requests 3, 6, 9");
+    for t in &panicked {
+        assert!(t.is_anomalous());
+        assert_eq!(t.outcome(), "panicked");
+    }
+    assert_eq!(rec.snapshot().counter("trace.retained"), Some(3));
+
+    if let Ok(path) = std::env::var("TRACE_DUMP") {
+        std::fs::write(&path, traces_to_json(&retained))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    }
+}
+
 #[test]
 fn load_generator_is_bit_reproducible_for_a_fixed_seed() {
     // Two fresh server+loadgen pairs, same seed: every deterministic
@@ -248,6 +302,7 @@ fn load_generator_is_bit_reproducible_for_a_fixed_seed() {
                 workers: 2,
                 queue_capacity: 256,
                 default_deadline: None,
+                trace: None,
             },
         );
         let config = LoadGenConfig {

@@ -118,6 +118,7 @@ fn served_degraded_response_equals_direct_fallback_end_to_end() {
             workers: 1,
             queue_capacity: 8,
             default_deadline: None,
+            trace: None,
         },
     );
     let response = server

@@ -21,6 +21,7 @@ fn demo_server(workers: usize, capacity: usize) -> (Server, Arc<InMemoryRecorder
             workers,
             queue_capacity: capacity,
             default_deadline: Some(Duration::from_secs(5)),
+            trace: None,
         },
         rec.clone(),
     );

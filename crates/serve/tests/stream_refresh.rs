@@ -50,6 +50,7 @@ fn stream_refresh_updates_served_scores_in_place() {
             workers: 2,
             queue_capacity: 16,
             default_deadline: Some(Duration::from_secs(5)),
+            trace: None,
         },
         rec.clone(),
     );

@@ -34,6 +34,7 @@ fn shed_rate_alert_engages_and_releases_degrade_cap() {
         workers: 0,
         queue_capacity: 1,
         default_deadline: None,
+        trace: None,
     };
     let server = Server::start_recorded(
         ModelSet::demo(7).unwrap(),
